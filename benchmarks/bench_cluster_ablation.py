@@ -1,0 +1,43 @@
+"""Ablation (§4.1): clustering for the early cuts, and per-region
+quadratic refinement — the remaining two placement algorithms of the
+paper's list, measured against the plain partitioning flow.
+"""
+
+from conftest import BENCH_SCALE, publish
+
+from repro import build_des_design
+from repro.placement import Partitioner, QuadraticRefine, Reflow
+
+
+def run_variants(library):
+    out = {}
+    for label, cluster, quad in (("plain", 0, False),
+                                 ("clustered", 3, False),
+                                 ("quad_refined", 0, True)):
+        design = build_des_design("Des1", library, scale=BENCH_SCALE)
+        part = Partitioner(design, seed=11,
+                           cluster_first_cuts=cluster)
+        reflow = Reflow(part)
+        while not part.done:
+            part.cut()
+            reflow.run()
+            if quad and 40 <= part.status <= 80:
+                QuadraticRefine().run(design)
+        out[label] = design.total_wirelength()
+    return out
+
+
+def test_cluster_and_quadratic(benchmark, library):
+    out = benchmark.pedantic(run_variants, args=(library,),
+                             rounds=1, iterations=1)
+    lines = ["Clustering / quadratic-refine ablation (Des1 at scale %g)"
+             % BENCH_SCALE,
+             "%-14s %12s" % ("variant", "wirelength")]
+    for label, wl in out.items():
+        lines.append("%-14s %12.0f" % (label, wl))
+    publish("cluster_ablation.txt", "\n".join(lines) + "\n")
+
+    # alternative placement algorithms must stay in the same quality
+    # class as the plain flow (they are options, not regressions)
+    assert out["clustered"] <= out["plain"] * 1.25
+    assert out["quad_refined"] <= out["plain"] * 1.10

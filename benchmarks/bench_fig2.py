@@ -1,0 +1,82 @@
+"""Figure 2: wire load histogram — Steiner estimate vs final routing.
+
+The paper plots, per net, the percentage error between the Steiner
+tree length and the final routed length, and shows the large-error
+tail disappearing when the shortest 10% / 20% of nets are removed
+(quantization error on short nets has no delay significance).
+
+We place and route one design, compute the same three series, and
+check the same shape: the tail above 50% error shrinks monotonically
+as short nets are dropped.
+"""
+
+import numpy as np
+from conftest import BENCH_SCALE, publish
+
+from repro import build_des_design
+from repro.placement import Partitioner, Reflow, legalize_rows
+from repro.routing import GlobalRouter
+
+_BUCKETS = [0, 5, 10, 15, 20, 25, 30, 40, 50, 75, 100, 1000]
+
+
+def run_fig2(library):
+    design = build_des_design("Des2", library, scale=BENCH_SCALE)
+    part = Partitioner(design, seed=3)
+    part.run_to(100)
+    Reflow(part).run()
+    legalize_rows(design)
+    result = GlobalRouter(design).route()
+    data = [(r.steiner_length,
+             100.0 * abs(r.routed_length - r.steiner_length)
+             / r.steiner_length)
+            for r in result.routes.values() if r.steiner_length > 0]
+    data.sort()  # by steiner length, shortest first
+    return data
+
+
+def series(data, drop_fraction):
+    kept = data[int(len(data) * drop_fraction):]
+    return np.array([err for _l, err in kept])
+
+
+def histogram_text(errors):
+    counts, _edges = np.histogram(errors, bins=_BUCKETS)
+    return counts
+
+
+def format_figure(data):
+    lines = ["Figure 2 (reproduction): wire load histogram",
+             "% error buckets: " + ", ".join(
+                 "%d-%d" % (a, b) for a, b in
+                 zip(_BUCKETS[:-2], _BUCKETS[1:-1])) + ", >100",
+             ""]
+    for drop in (0.0, 0.1, 0.2):
+        errors = series(data, drop)
+        counts = histogram_text(errors)
+        bars = " ".join("%4d" % c for c in counts)
+        lines.append("drop %3d%% shortest: %s   (tail>50%%: %d nets)"
+                     % (int(drop * 100), bars,
+                        int((errors > 50).sum())))
+    return "\n".join(lines) + "\n"
+
+
+def test_fig2(benchmark, library):
+    data = benchmark.pedantic(run_fig2, args=(library,),
+                              rounds=1, iterations=1)
+    publish("fig2.txt", format_figure(data))
+
+    all_nets = series(data, 0.0)
+    drop10 = series(data, 0.1)
+    drop20 = series(data, 0.2)
+    assert len(all_nets) > 100
+
+    # the error tail is driven by short nets: removing the shortest
+    # 10%/20% must shrink the >50% bucket monotonically
+    tail = [(e > 50).mean() for e in (all_nets, drop10, drop20)]
+    assert tail[0] >= tail[1] >= tail[2]
+    assert tail[2] < tail[0] or tail[0] == 0.0
+
+    # for slightly longer nets the Steiner estimate is sufficient:
+    # median error of the surviving 80% is small
+    assert np.median(drop20) <= 25.0

@@ -1,0 +1,54 @@
+"""Section 2 claim: gradual bin refinement -> gradually better estimates.
+
+"Gradual refinement of the bins will create gradually more precise
+wire-length estimates and better timing and noise analysis."
+
+We freeze copies of one design at increasing cut status, compare the
+Steiner wirelength estimate at that status against the same netlist's
+final routed wirelength, and expect the estimation error to shrink as
+the image refines.
+"""
+
+from conftest import BENCH_SCALE, publish
+
+from repro import build_des_design
+from repro.placement import Partitioner, Reflow, legalize_rows
+from repro.routing import GlobalRouter
+
+_CHECKPOINTS = [20, 40, 60, 80, 100]
+
+
+def run_refinement(library):
+    design = build_des_design("Des5", library, scale=BENCH_SCALE)
+    part = Partitioner(design, seed=6)
+    reflow = Reflow(part)
+    estimates = {}
+    while not part.done:
+        part.cut()
+        reflow.run()
+        for mark in _CHECKPOINTS:
+            if mark not in estimates and part.status >= mark:
+                estimates[mark] = design.total_wirelength()
+    legalize_rows(design)
+    result = GlobalRouter(design).route()
+    final = sum(r.routed_length for r in result.routes.values())
+    return estimates, final
+
+
+def test_image_refinement(benchmark, library):
+    estimates, final = benchmark.pedantic(run_refinement,
+                                          args=(library,),
+                                          rounds=1, iterations=1)
+    lines = ["Bin refinement ablation (Des5 at scale %g)" % BENCH_SCALE,
+             "final routed wirelength: %.0f tracks" % final,
+             "%-8s %12s %10s" % ("status", "estimate", "error %")]
+    errors = {}
+    for mark in _CHECKPOINTS:
+        est = estimates[mark]
+        errors[mark] = abs(est - final) / final * 100.0
+        lines.append("%-8d %12.0f %9.1f%%" % (mark, est, errors[mark]))
+    publish("image_refinement.txt", "\n".join(lines) + "\n")
+
+    # estimates approach the routed truth as bins refine
+    assert errors[100] < errors[20]
+    assert errors[100] < 35.0

@@ -1,0 +1,59 @@
+"""Ablation (ref [4]): Krishnamurthy look-ahead gains in FM.
+
+The partitioner breaks first-order gain ties with a second-order
+("look-ahead") gain.  On tie-heavy hypergraphs this steers FM toward
+moves that set up future uncuts.  We compare cut quality with and
+without look-ahead over a batch of random hypergraphs and on a real
+placement.
+"""
+
+import random
+
+from conftest import BENCH_SCALE, publish
+
+from repro import build_des_design
+from repro.partition import Hypergraph, fm_bipartition
+from repro.placement import Partitioner
+
+
+def random_hypergraph(seed, n=80, m=140):
+    rng = random.Random(seed)
+    nets = []
+    for _ in range(m):
+        k = rng.randint(2, 4)
+        nets.append(list({rng.randrange(n) for _ in range(k)}))
+    nets = [net for net in nets if len(net) >= 2]
+    return Hypergraph([1.0] * n, nets)
+
+
+def run_experiment(library):
+    cuts = {"lookahead": [], "plain": []}
+    for seed in range(30):
+        hg = random_hypergraph(seed)
+        for label, flag in (("lookahead", True), ("plain", False)):
+            res = fm_bipartition(hg, seed=seed, lookahead=flag)
+            cuts[label].append(res.cut)
+
+    wl = {}
+    for label, flag in (("lookahead", True), ("plain", False)):
+        design = build_des_design("Des5", library, scale=BENCH_SCALE)
+        part = Partitioner(design, seed=3, lookahead=flag)
+        part.run_to(100)
+        wl[label] = design.total_wirelength()
+    return cuts, wl
+
+
+def test_lookahead(benchmark, library):
+    cuts, wl = benchmark.pedantic(run_experiment, args=(library,),
+                                  rounds=1, iterations=1)
+    avg = {k: sum(v) / len(v) for k, v in cuts.items()}
+    lines = ["Look-ahead gain ablation",
+             "random hypergraphs (30 seeds): avg cut "
+             "lookahead %.2f vs plain %.2f"
+             % (avg["lookahead"], avg["plain"]),
+             "Des5 placement wirelength: lookahead %.0f vs plain %.0f"
+             % (wl["lookahead"], wl["plain"])]
+    publish("lookahead_ablation.txt", "\n".join(lines) + "\n")
+
+    # look-ahead should not lose on average
+    assert avg["lookahead"] <= avg["plain"] * 1.05

@@ -1,0 +1,40 @@
+"""Ablation (section 4.3): logical-effort net weighting modes.
+
+Runs the TPS scenario with net weighting disabled, in ABSOLUTE mode,
+and in INCREMENTAL mode.  The paper's claim: logical-effort-scaled,
+per-cut-refreshed weights control timing more precisely than no
+weighting; the incremental mode changes weights more smoothly.
+"""
+
+from conftest import BENCH_SCALE, publish
+
+from repro import TPSConfig, TPSScenario, build_des_design
+from repro.transforms import WeightMode
+
+
+def run_modes(library):
+    results = {}
+    for label, mode in (("none", None),
+                        ("absolute", WeightMode.ABSOLUTE),
+                        ("incremental", WeightMode.INCREMENTAL)):
+        design = build_des_design("Des5", library, scale=BENCH_SCALE)
+        config = TPSConfig(netweight_mode=mode, seed=2)
+        results[label] = TPSScenario(design, config).run()
+    return results
+
+
+def test_netweight_modes(benchmark, library):
+    results = benchmark.pedantic(run_modes, args=(library,),
+                                 rounds=1, iterations=1)
+    lines = ["Net weighting ablation (Des5 at scale %g)" % BENCH_SCALE,
+             "%-12s %9s %9s" % ("mode", "slack", "WL")]
+    for label, report in results.items():
+        lines.append("%-12s %9.1f %9.0f"
+                     % (label, report.worst_slack, report.wirelength))
+    publish("netweight_ablation.txt", "\n".join(lines) + "\n")
+
+    best_weighted = max(results["absolute"].worst_slack,
+                        results["incremental"].worst_slack)
+    # weighting should not lose to no weighting by a meaningful margin
+    cycle = results["none"].cycle_time
+    assert best_weighted >= results["none"].worst_slack - 0.05 * cycle

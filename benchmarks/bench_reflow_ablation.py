@@ -1,0 +1,42 @@
+"""Ablation (section 4.1): reflow after each partitioning cut.
+
+Strict bipartitioning "traps" objects; reflow lets logic flow back
+across earlier cut lines.  Expected: with reflow, total wirelength is
+no worse (usually better) and the placement is less "grainy" — here
+measured as lower variance of bin utilization.
+"""
+
+import statistics
+
+from conftest import BENCH_SCALE, publish
+
+from repro import TPSConfig, TPSScenario, build_des_design
+
+
+def run_pair(library):
+    out = {}
+    for label, use in (("no_reflow", False), ("reflow", True)):
+        design = build_des_design("Des1", library, scale=BENCH_SCALE)
+        config = TPSConfig(use_reflow=use, seed=3)
+        report = TPSScenario(design, config).run()
+        utils = [b.utilization for b in design.grid.bins()
+                 if b.effective_capacity > 0]
+        out[label] = (report, statistics.pstdev(utils))
+    return out
+
+
+def test_reflow(benchmark, library):
+    out = benchmark.pedantic(run_pair, args=(library,),
+                             rounds=1, iterations=1)
+    lines = ["Reflow ablation (Des1 at scale %g)" % BENCH_SCALE,
+             "%-10s %9s %9s %12s" % ("variant", "WL", "slack",
+                                     "util stdev")]
+    for label, (report, spread) in out.items():
+        lines.append("%-10s %9.0f %9.1f %12.3f"
+                     % (label, report.wirelength, report.worst_slack,
+                        spread))
+    publish("reflow_ablation.txt", "\n".join(lines) + "\n")
+
+    with_reflow, _s1 = out["reflow"]
+    without, _s0 = out["no_reflow"]
+    assert with_reflow.wirelength <= without.wirelength * 1.1

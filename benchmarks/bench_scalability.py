@@ -1,0 +1,61 @@
+"""Scalability (section 7): "full chips of about a million gates flat
+... with reasonable run times".
+
+The enabling property is that the placement transforms scale near
+linearly: each cut partitions every region once, and region sizes
+halve as their count doubles.  We run the placement phase
+(Partitioner + Reflow + legalization) over a geometric size sweep and
+check that runtime grows sub-quadratically.
+"""
+
+import math
+import time
+
+from conftest import publish
+
+from repro import default_library, make_design
+from repro.placement import Partitioner, Reflow, legalize_rows
+from repro.workloads import ProcessorParams, processor_partition
+
+_SIZES = [250, 500, 1000, 2000]
+
+
+def run_sweep(library):
+    points = []
+    for target in _SIZES:
+        params = ProcessorParams(
+            n_stages=3, regs_per_stage=max(4, target // 40),
+            gates_per_stage=max(20, round(target * 0.30)), seed=31)
+        netlist = processor_partition(params, library)
+        design = make_design(netlist, library, cycle_time=2000.0)
+        n = len(netlist.movable_cells())
+        start = time.time()
+        part = Partitioner(design, seed=1)
+        reflow = Reflow(part)
+        while not part.done:
+            part.cut()
+            reflow.run()
+        legalize_rows(design)
+        elapsed = time.time() - start
+        points.append((n, elapsed, design.total_wirelength()))
+    return points
+
+
+def test_scalability(benchmark, library):
+    points = benchmark.pedantic(run_sweep, args=(library,),
+                                rounds=1, iterations=1)
+    lines = ["Placement scalability sweep",
+             "%8s %9s %10s %12s" % ("cells", "seconds", "s/cell(ms)",
+                                    "wirelength")]
+    for n, secs, wl in points:
+        lines.append("%8d %9.2f %10.2f %12.0f"
+                     % (n, secs, 1000.0 * secs / n, wl))
+    # empirical scaling exponent from the first and last points
+    n0, t0, _ = points[0]
+    n1, t1, _ = points[-1]
+    exponent = math.log(t1 / t0) / math.log(n1 / n0)
+    lines.append("empirical runtime exponent: %.2f "
+                 "(1.0 = linear, 2.0 = quadratic)" % exponent)
+    publish("scalability.txt", "\n".join(lines) + "\n")
+
+    assert exponent < 1.9, "placement no longer scales: %.2f" % exponent

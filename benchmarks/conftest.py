@@ -1,0 +1,38 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one table or figure of the paper (see
+DESIGN.md's per-experiment index), printing it and writing it under
+``benchmarks/results/`` so EXPERIMENTS.md can reference the output.
+
+Environment knobs:
+
+* ``REPRO_TABLE1_SCALE`` — netlist scale for the Table 1 run
+  (default 0.35, ~1/12 of the paper's partition sizes);
+* ``REPRO_BENCH_SCALE`` — scale for the single-design benchmarks and
+  ablations (default 0.2).
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.library import default_library
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+TABLE1_SCALE = float(os.environ.get("REPRO_TABLE1_SCALE", "0.35"))
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
+
+
+@pytest.fixture(scope="session")
+def library():
+    return default_library()
+
+
+def publish(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(text)
+    print()
+    print(text)

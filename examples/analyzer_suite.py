@@ -1,0 +1,69 @@
+"""Every analyzer at once: timing, congestion, noise, power, yield.
+
+The TPS thesis is that transforms get *direct feedback* from the
+sign-off analyzers.  This example runs the flow and then queries the
+whole analyzer suite on the finished design — the same objects a
+custom transform would interrogate.
+
+Run:  python examples/analyzer_suite.py
+"""
+
+from repro import TPSScenario, build_des_design, default_library
+from repro.analysis import (
+    NoiseAnalyzer,
+    PowerAnalyzer,
+    YieldAnalyzer,
+    congestion_report,
+    qor_summary,
+    report_timing,
+    slack_histogram,
+)
+
+
+def main() -> None:
+    library = default_library()
+    design = build_des_design("Des1", library, scale=0.15)
+    print("running TPS on %d cells ..." % design.netlist.num_cells)
+    report = TPSScenario(design).run()
+
+    print()
+    print("timing")
+    print("  worst slack %.1f ps of a %g ps cycle"
+          % (report.worst_slack, report.cycle_time))
+    print("  TNS %.1f ps" % design.timing.total_negative_slack())
+
+    congestion = congestion_report(design)
+    print("congestion")
+    print("  max %.2f, avg %.2f, %d hotspot bin(s)"
+          % (congestion.max_congestion, congestion.avg_congestion,
+             len(congestion.hotspots)))
+
+    noise = NoiseAnalyzer(design, margin=0.35).analyze()
+    worst_net, worst_val = noise.worst
+    print("noise")
+    print("  worst victim %s at %.3f of the rail; %d violation(s)"
+          % (worst_net, worst_val, len(noise.violations())))
+
+    power = PowerAnalyzer(design).analyze()
+    print("power")
+    print("  total %.1f uW, clock tree %.1f uW (%.0f%%)"
+          % (power.total, power.clock, 100 * power.clock_fraction))
+
+    yld = YieldAnalyzer(design).analyze()
+    print("yield")
+    print("  critical area %.0f track^2 (short %.0f + open %.0f)"
+          % (yld.total_critical_area, yld.short_critical_area,
+             yld.open_critical_area))
+    print("  estimated functional yield %.1f%%"
+          % (100 * yld.yield_estimate))
+
+    print()
+    print("QoR:", qor_summary(design).row())
+    print()
+    print(slack_histogram(design, buckets=8).format())
+    print()
+    print(report_timing(design, n_paths=1))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Quickstart: run the TPS flow on a synthetic processor partition.
+
+Builds a small Des5-style design, runs the full Figure-5 scenario
+(partitioning + reflow + clock/scan staging + sizing + electrical
+correction + detailed placement + routing), and prints the closing
+metrics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import TPSScenario, build_des_design, default_library
+
+
+def main() -> None:
+    library = default_library()
+    design = build_des_design("Des5", library, scale=0.2)
+    print("design: %d cells, %d nets, die %gx%g tracks"
+          % (design.netlist.num_cells, design.netlist.num_nets,
+             design.die.width, design.die.height))
+    print("cycle time target: %g ps" % design.constraints.cycle_time)
+    print("running the TPS scenario ...")
+
+    report = TPSScenario(design).run()
+
+    print()
+    print("flow finished in %.1f s" % report.cpu_seconds)
+    print("  worst slack : %8.1f ps" % report.worst_slack)
+    print("  wirelength  : %8.0f tracks" % report.wirelength)
+    print("  cell area   : %8.0f track^2 (%d icells)"
+          % (report.cell_area, report.icells))
+    print("  wires cut   : %s  (horiz pk/avg, vert pk/avg)"
+          % report.cuts.row())
+    print("  routable    : %s" % report.routable)
+    print()
+    print("last flow steps:")
+    for line in report.trace[-8:]:
+        print("   ", line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""The whole pipeline: unmapped logic -> synthesis -> TPS.
+
+Section 5: "technology independent optimization, technology mapping
+and the early part of the timing optimization stage ... employ a
+gain-based (load-independent) delay model.  As a result, the effect of
+wire load models on area-delay tradeoffs performed is minimized."
+
+This example starts from an And-Inverter Graph (no gates chosen yet),
+balances it, technology-maps it onto the library under the gain model,
+verifies functional equivalence by simulation, and then runs the TPS
+placement+synthesis flow on the mapped netlist.
+
+Run:  python examples/synthesis_to_placement.py
+"""
+
+import random
+
+from repro import MapperOptions, TPSScenario, default_library, make_design
+from repro.synth import balance, synthesize
+from repro.synth.flow import evaluate_netlist
+from repro.timing.graph import TimingGraph
+from repro.workloads import random_aig
+
+
+def main() -> None:
+    library = default_library()
+
+    aig = random_aig(n_inputs=12, n_nodes=500, n_outputs=12, seed=42)
+    print("unmapped: %d AND nodes, depth %d" % (aig.num_ands,
+                                                aig.depth()))
+    balanced = balance(aig)
+    print("balanced: %d AND nodes, depth %d" % (balanced.num_ands,
+                                                balanced.depth()))
+
+    netlist = synthesize(aig, library, MapperOptions(mode="delay"),
+                         name="synth_demo")
+    levels = TimingGraph(netlist).max_level()
+    print("mapped:   %d cells, %d logic levels"
+          % (len(netlist.logic_cells()), levels))
+
+    # prove the mapping is the same boolean function
+    rng = random.Random(7)
+    vectors = {name: rng.getrandbits(64) for name in aig.inputs}
+    assert aig.simulate(vectors) == evaluate_netlist(netlist, vectors)
+    print("simulation check: mapped netlist == source AIG")
+
+    design = make_design(netlist, library, cycle_time=2600.0)
+    print("running TPS on the mapped netlist ...")
+    report = TPSScenario(design).run()
+    print("final slack %.1f ps, wirelength %.0f tracks, routable %s"
+          % (report.worst_slack, report.wirelength, report.routable))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Timing closure: TPS vs the traditional SPR loop (one Table 1 row).
+
+Runs the same design through both flows and prints the comparison the
+paper's Table 1 makes: area (icells), worst slack, % cycle-time
+improvement, and horizontal/vertical wires cut.
+
+Run:  python examples/timing_closure.py [DesN] [scale]
+"""
+
+import sys
+
+from repro import (
+    FlowReport,
+    SPRFlow,
+    TPSScenario,
+    build_des_design,
+    default_library,
+)
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "Des1"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.2
+    library = default_library()
+
+    print("=== %s at scale %g ===" % (name, scale))
+    d_spr = build_des_design(name, library, scale=scale)
+    print("SPR: synthesis -> quadratic placement -> resynthesis ...")
+    spr = SPRFlow(d_spr).run()
+    print("SPR finished: %d placement/synthesis iterations, %.1f s"
+          % (spr.iterations, spr.cpu_seconds))
+
+    d_tps = build_des_design(name, library, scale=scale)
+    print("TPS: one converging transformational flow ...")
+    tps = TPSScenario(d_tps).run()
+    print("TPS finished: single invocation, %.1f s" % tps.cpu_seconds)
+
+    print()
+    header = "%-5s %-5s %7s %9s %14s %14s" % (
+        "Ckt", "Flow", "icells", "slack", "Horiz pk/avg", "Vert pk/avg")
+    print(header)
+    print("-" * len(header))
+    for r in (spr, tps):
+        cuts = r.cuts
+        print("%-5s %-5s %7d %9.1f %9d/%-4d %9d/%-4d" % (
+            name, r.flow, r.icells, r.worst_slack,
+            round(cuts.horizontal_peak), round(cuts.horizontal_avg),
+            round(cuts.vertical_peak), round(cuts.vertical_avg)))
+    print()
+    impr = FlowReport.cycle_time_improvement(spr, tps)
+    print("cycle time improvement: %.1f%% of the %g ps cycle"
+          % (impr, d_tps.constraints.cycle_time))
+    print("wirelength: SPR %.0f vs TPS %.0f tracks"
+          % (spr.wirelength, tps.wirelength))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""repro — Transformational Placement and Synthesis (TPS).
+
+A full reproduction of Donath et al., "Transformational Placement and
+Synthesis" (DATE 2000): logic synthesis and placement integrated into
+one converging transformational flow over a shared design space, with
+incremental timing, wirelength, congestion, noise and power analyzers.
+
+Quickstart::
+
+    from repro import (default_library, build_des_design,
+                       TPSScenario, SPRFlow)
+
+    library = default_library()
+    design = build_des_design("Des5", library, scale=0.2)
+    report = TPSScenario(design).run()
+    print(report.table_row())
+
+Main entry points:
+
+* :class:`repro.design.Design` — netlist + die + analyzers bundle;
+* :class:`repro.scenario.TPSScenario` — the paper's Figure 5 flow;
+* :class:`repro.scenario.SPRFlow` — the synthesis/place/resynthesize
+  baseline of Table 1;
+* :mod:`repro.workloads` — synthetic processor-partition generators
+  (Des1..Des5 presets);
+* :mod:`repro.transforms` — the individual placement+synthesis
+  transforms, usable stand-alone.
+"""
+
+from repro.design import Design
+from repro.geometry import Point, Rect
+from repro.library import Library, analyze_library, default_library
+from repro.netlist import Netlist
+from repro.scenario import FlowReport, SPRConfig, SPRFlow, TPSConfig, TPSScenario
+from repro.synth import Aig, MapperOptions, synthesize
+from repro.timing import DelayMode, TimingConstraints, TimingEngine
+from repro.workloads import (
+    build_des_design,
+    des_params,
+    make_design,
+    processor_partition,
+    random_logic,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Design",
+    "Point",
+    "Rect",
+    "Library",
+    "analyze_library",
+    "default_library",
+    "Netlist",
+    "FlowReport",
+    "SPRConfig",
+    "SPRFlow",
+    "TPSConfig",
+    "TPSScenario",
+    "DelayMode",
+    "TimingConstraints",
+    "TimingEngine",
+    "build_des_design",
+    "des_params",
+    "make_design",
+    "processor_partition",
+    "random_logic",
+    "Aig",
+    "MapperOptions",
+    "synthesize",
+    "__version__",
+]

@@ -1,0 +1,190 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``tps``      — run the TPS scenario on a Des preset or a Verilog file
+* ``spr``      — run the SPR baseline flow
+* ``compare``  — run both flows on the same design (one Table 1 row)
+* ``synth``    — technology-map an ASCII AIGER (.aag) file to Verilog
+* ``info``     — print design statistics without running a flow
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import (
+    FlowReport,
+    SPRFlow,
+    TPSScenario,
+    build_des_design,
+    default_library,
+    make_design,
+)
+from repro.netlist.verilog import read_verilog, write_placement, write_verilog
+from repro.workloads.presets import DES_PRESETS
+
+
+def _load_design(args, library):
+    """A Design from a preset name or a structural Verilog file."""
+    if args.design in DES_PRESETS:
+        return build_des_design(args.design, library, scale=args.scale,
+                                cycle_time=args.cycle)
+    with open(args.design) as stream:
+        netlist = read_verilog(stream, library)
+    cycle = args.cycle if args.cycle else 1000.0
+    design = make_design(netlist, library, cycle_time=cycle)
+    if getattr(args, "sdc", None):
+        from repro.timing.sdc import read_sdc
+        with open(args.sdc) as stream:
+            design.constraints = read_sdc(stream)
+        design.timing.constraints = design.constraints
+        design.timing._mark_all_dirty()
+    return design
+
+
+def _write_outputs(design, args) -> None:
+    if getattr(args, "out_verilog", None):
+        with open(args.out_verilog, "w") as stream:
+            write_verilog(design.netlist, stream)
+        print("wrote %s" % args.out_verilog)
+    if getattr(args, "out_placement", None):
+        with open(args.out_placement, "w") as stream:
+            write_placement(design.netlist, stream)
+        print("wrote %s" % args.out_placement)
+
+
+def _print_report(report) -> None:
+    print("%s finished in %.1f s" % (report.flow, report.cpu_seconds))
+    print("  icells      %8d" % report.icells)
+    print("  cell area   %8.0f track^2" % report.cell_area)
+    print("  worst slack %8.1f ps (cycle %g)"
+          % (report.worst_slack, report.cycle_time))
+    print("  wirelength  %8.0f tracks" % report.wirelength)
+    if report.cuts:
+        print("  wires cut   %s" % report.cuts.row())
+    print("  routable    %s" % report.routable)
+
+
+def cmd_tps(args) -> int:
+    library = default_library()
+    design = _load_design(args, library)
+    report = TPSScenario(design).run()
+    _print_report(report)
+    if args.trace:
+        for line in report.trace:
+            print("   ", line)
+    _write_outputs(design, args)
+    return 0
+
+
+def cmd_spr(args) -> int:
+    library = default_library()
+    design = _load_design(args, library)
+    report = SPRFlow(design).run()
+    _print_report(report)
+    _write_outputs(design, args)
+    return 0
+
+
+def cmd_compare(args) -> int:
+    library = default_library()
+    d_spr = _load_design(args, library)
+    spr = SPRFlow(d_spr).run()
+    d_tps = _load_design(args, library)
+    tps = TPSScenario(d_tps).run()
+    for r in (spr, tps):
+        _print_report(r)
+    print("cycle time improvement: %.1f%%"
+          % FlowReport.cycle_time_improvement(spr, tps))
+    return 0
+
+
+def cmd_synth(args) -> int:
+    from repro.synth import MapperOptions, synthesize
+    from repro.synth.aiger import read_aag
+    library = default_library()
+    with open(args.aag) as stream:
+        aig = read_aag(stream)
+    print("read %s" % aig)
+    netlist = synthesize(aig, library,
+                         MapperOptions(mode=args.mode))
+    print("mapped: %d cells" % len(netlist.logic_cells()))
+    with open(args.out, "w") as stream:
+        write_verilog(netlist, stream)
+    print("wrote %s" % args.out)
+    return 0
+
+
+def cmd_info(args) -> int:
+    library = default_library()
+    design = _load_design(args, library)
+    nl = design.netlist
+    print("design %s" % nl.name)
+    print("  cells %d (%d logic, %d sequential, %d ports)"
+          % (nl.num_cells, len(nl.logic_cells()),
+             len(nl.sequential_cells()), len(nl.ports())))
+    print("  nets %d" % nl.num_nets)
+    print("  die %gx%g tracks, %d blockage(s)"
+          % (design.die.width, design.die.height,
+             len(design.blockages)))
+    print("  gain-model worst slack %.1f ps at cycle %g"
+          % (design.worst_slack(), design.constraints.cycle_time))
+    return 0
+
+
+def _add_design_args(parser) -> None:
+    parser.add_argument("design",
+                        help="Des1..Des5 preset or a Verilog file")
+    parser.add_argument("--scale", type=float, default=0.2,
+                        help="preset scale (default 0.2)")
+    parser.add_argument("--cycle", type=float, default=None,
+                        help="cycle time in ps (presets have defaults)")
+    parser.add_argument("--sdc", default=None,
+                        help="SDC-lite constraint file (Verilog "
+                             "designs only)")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Transformational Placement and Synthesis "
+                    "(DATE 2000) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("tps", help="run the TPS scenario")
+    _add_design_args(p)
+    p.add_argument("--trace", action="store_true",
+                   help="print the flow trace")
+    p.add_argument("--out-verilog")
+    p.add_argument("--out-placement")
+    p.set_defaults(func=cmd_tps)
+
+    p = sub.add_parser("spr", help="run the SPR baseline")
+    _add_design_args(p)
+    p.add_argument("--out-verilog")
+    p.add_argument("--out-placement")
+    p.set_defaults(func=cmd_spr)
+
+    p = sub.add_parser("compare", help="SPR vs TPS on one design")
+    _add_design_args(p)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("synth", help="map an .aag file to Verilog")
+    p.add_argument("aag", help="ASCII AIGER input")
+    p.add_argument("-o", "--out", default="mapped.v")
+    p.add_argument("--mode", choices=("delay", "area"),
+                   default="delay")
+    p.set_defaults(func=cmd_synth)
+
+    p = sub.add_parser("info", help="design statistics only")
+    _add_design_args(p)
+    p.set_defaults(func=cmd_info)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Additional incremental analyzers and design reports.
+
+The transformational approach is explicitly open-ended about metrics:
+"target a variety of metrics including noise, yield and
+manufacturability".  This package provides the noise and power
+analyzers that transforms can couple to, plus congestion maps and a
+combined design report.
+"""
+
+from repro.analysis.noise import NoiseAnalyzer, NoiseReport
+from repro.analysis.power import PowerAnalyzer, PowerReport
+from repro.analysis.congestion import CongestionReport, congestion_report
+from repro.analysis.yield_model import YieldAnalyzer, YieldReport
+from repro.analysis.timing_report import TimingPath, extract_path, report_timing
+from repro.analysis.histogram import QorSummary, SlackHistogram, qor_summary, slack_histogram
+
+__all__ = [
+    "NoiseAnalyzer",
+    "NoiseReport",
+    "PowerAnalyzer",
+    "PowerReport",
+    "CongestionReport",
+    "congestion_report",
+    "YieldAnalyzer",
+    "YieldReport",
+    "TimingPath",
+    "extract_path",
+    "report_timing",
+    "QorSummary",
+    "SlackHistogram",
+    "qor_summary",
+    "slack_histogram",
+]

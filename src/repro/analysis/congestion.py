@@ -1,0 +1,54 @@
+"""Congestion maps over the placement image."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.design import Design
+
+
+@dataclass
+class CongestionReport:
+    """Bin-level congestion summary.
+
+    ``hotspots`` are bins whose demand/capacity ratio exceeds the
+    threshold, most congested first.
+    """
+
+    max_congestion: float
+    avg_congestion: float
+    total_wire_overflow: float
+    hotspots: List[Tuple[int, int, float]] = field(default_factory=list)
+    cell_overflow: float = 0.0
+
+    @property
+    def clean(self) -> bool:
+        return self.max_congestion <= 1.0 and self.cell_overflow <= 0.0
+
+
+def congestion_report(design: Design,
+                      hotspot_threshold: float = 0.9) -> CongestionReport:
+    """Summarise routing and cell congestion of the current image.
+
+    Requires the global router to have published wire usage (its
+    ``route()`` does that); before routing, wire congestion is zero and
+    only cell-area congestion is meaningful.
+    """
+    ratios = []
+    hotspots = []
+    overflow = 0.0
+    for b in design.grid.bins():
+        c = b.congestion
+        ratios.append(c)
+        overflow += b.wire_overflow
+        if c > hotspot_threshold:
+            hotspots.append((b.ix, b.iy, c))
+    hotspots.sort(key=lambda t: -t[2])
+    return CongestionReport(
+        max_congestion=max(ratios) if ratios else 0.0,
+        avg_congestion=sum(ratios) / len(ratios) if ratios else 0.0,
+        total_wire_overflow=overflow,
+        hotspots=hotspots,
+        cell_overflow=design.grid.total_overflow(),
+    )

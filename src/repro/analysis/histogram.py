@@ -1,0 +1,89 @@
+"""Slack distribution reporting (QoR dashboards).
+
+``slack_histogram`` buckets endpoint slacks; ``qor_summary`` is the
+one-line quality-of-results row designers track across flow runs:
+WNS / TNS / failing endpoints / wirelength / area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.design import Design
+from repro.timing.engine import INF
+
+
+@dataclass
+class SlackHistogram:
+    """Endpoint slack distribution."""
+
+    edges: List[float]
+    counts: List[int]
+    worst: float
+    failing: int
+
+    def format(self, width: int = 40) -> str:
+        peak = max(self.counts) if self.counts else 1
+        lines = ["Endpoint slack histogram (worst %.1f ps, %d failing)"
+                 % (self.worst, self.failing)]
+        for (lo, hi), count in zip(zip(self.edges, self.edges[1:]),
+                                   self.counts):
+            bar = "#" * max(1 if count else 0,
+                            round(width * count / max(peak, 1)))
+            lines.append("%8.0f .. %8.0f | %4d %s" % (lo, hi, count, bar))
+        return "\n".join(lines)
+
+
+def slack_histogram(design: Design, buckets: int = 10) -> SlackHistogram:
+    """Bucket all finite endpoint slacks into ``buckets`` equal bins."""
+    engine = design.timing
+    slacks = [engine.slack(p) for p in engine.endpoints()]
+    slacks = [s for s in slacks if s < INF]
+    if not slacks:
+        return SlackHistogram(edges=[0.0, 0.0], counts=[0],
+                              worst=INF, failing=0)
+    lo, hi = min(slacks), max(slacks)
+    if hi <= lo:
+        hi = lo + 1.0
+    span = (hi - lo) / buckets
+    edges = [lo + i * span for i in range(buckets + 1)]
+    counts = [0] * buckets
+    for s in slacks:
+        idx = min(buckets - 1, int((s - lo) / span))
+        counts[idx] += 1
+    return SlackHistogram(edges=edges, counts=counts, worst=lo,
+                          failing=sum(1 for s in slacks if s < 0))
+
+
+@dataclass
+class QorSummary:
+    """One row of quality-of-results."""
+
+    wns: float
+    tns: float
+    failing_endpoints: int
+    wirelength: float
+    cell_area: float
+    icells: int
+
+    def row(self) -> str:
+        return ("WNS %8.1f  TNS %10.1f  FEP %5d  WL %9.0f  "
+                "area %9.0f  icells %5d"
+                % (self.wns, self.tns, self.failing_endpoints,
+                   self.wirelength, self.cell_area, self.icells))
+
+
+def qor_summary(design: Design) -> QorSummary:
+    """Snapshot the design's QoR row."""
+    engine = design.timing
+    slacks = [engine.slack(p) for p in engine.endpoints()]
+    finite = [s for s in slacks if s < INF]
+    return QorSummary(
+        wns=min(finite) if finite else INF,
+        tns=sum(min(0.0, s) for s in finite),
+        failing_endpoints=sum(1 for s in finite if s < 0),
+        wirelength=design.total_wirelength(),
+        cell_area=design.total_cell_area(),
+        icells=design.icell_count(),
+    )

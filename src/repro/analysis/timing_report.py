@@ -1,0 +1,124 @@
+"""Textual timing path reports (the sign-off view of the analyzer).
+
+``report_timing`` walks the worst endpoints' critical paths backwards
+through the timing graph and prints a per-stage breakdown — cell arc
+delays, wire delays, Steiner lengths — the report a designer would ask
+the incremental engine for after a flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.design import Design
+from repro.netlist.cell import Pin
+from repro.timing.engine import INF
+
+
+@dataclass
+class PathStage:
+    """One arc of a reported path."""
+
+    kind: str          # "cell" or "net"
+    description: str   # cell name + size, or net name + length
+    delay: float
+    arrival: float
+
+
+@dataclass
+class TimingPath:
+    """A reported critical path."""
+
+    endpoint: str
+    slack: float
+    arrival: float
+    required: float
+    stages: List[PathStage] = field(default_factory=list)
+
+    def format(self) -> str:
+        lines = ["Endpoint %s  slack %.1f ps  (arrival %.1f, "
+                 "required %.1f)"
+                 % (self.endpoint, self.slack, self.arrival,
+                    self.required)]
+        for stage in self.stages:
+            lines.append("  %-4s %-42s %+8.1f  @ %8.1f"
+                         % (stage.kind, stage.description[:42],
+                            stage.delay, stage.arrival))
+        return "\n".join(lines)
+
+
+def _worst_fanin(design: Design, pin: Pin) -> Optional[Tuple[Pin, str]]:
+    """The fanin arc that sets ``pin``'s arrival."""
+    engine = design.timing
+    graph = engine.graph()
+    best: Optional[Tuple[float, Pin, str]] = None
+    for src, kind in graph.fanin_arcs(pin):
+        if kind == "cell":
+            delay = (engine.gate_delay(pin.cell, pin)
+                     * src.spec.delay_factor)
+        else:
+            net = pin.net
+            if net is None:
+                continue
+            delay = engine.net_electrical(net).delay_to(pin.full_name)
+        arr = engine.arrival(src) + delay
+        if best is None or arr > best[0]:
+            best = (arr, src, kind)
+    if best is None:
+        return None
+    return best[1], best[2]
+
+
+def extract_path(design: Design, endpoint: Pin,
+                 max_stages: int = 80) -> TimingPath:
+    """The critical path into ``endpoint``, driver to endpoint order."""
+    engine = design.timing
+    path = TimingPath(
+        endpoint=endpoint.full_name,
+        slack=engine.slack(endpoint),
+        arrival=engine.arrival(endpoint),
+        required=engine.required(endpoint),
+    )
+    stages: List[PathStage] = []
+    pin = endpoint
+    for _ in range(max_stages):
+        step = _worst_fanin(design, pin)
+        if step is None:
+            break
+        src, kind = step
+        if kind == "cell":
+            delay = (engine.gate_delay(pin.cell, pin)
+                     * src.spec.delay_factor)
+            desc = "%s (%s) %s->%s" % (pin.cell.name,
+                                       pin.cell.size.name,
+                                       src.name, pin.name)
+        else:
+            net = pin.net
+            delay = engine.net_electrical(net).delay_to(pin.full_name)
+            desc = "net %s (len %.0f, deg %d)" % (
+                net.name, design.steiner.length(net), net.degree)
+        stages.append(PathStage(kind=kind, description=desc,
+                                delay=delay,
+                                arrival=engine.arrival(pin)))
+        pin = src
+    stages.reverse()
+    path.stages = stages
+    return path
+
+
+def report_timing(design: Design, n_paths: int = 3,
+                  max_stages: int = 80) -> str:
+    """A formatted report of the ``n_paths`` worst endpoint paths."""
+    engine = design.timing
+    endpoints = [(engine.slack(p), p) for p in engine.endpoints()
+                 if engine.slack(p) < INF]
+    endpoints.sort(key=lambda t: t[0])
+    blocks = ["Timing report: %d worst path(s) of %d endpoints "
+              "(cycle %g ps, worst slack %.1f ps)"
+              % (min(n_paths, len(endpoints)), len(endpoints),
+                 design.constraints.cycle_time, engine.worst_slack())]
+    for _slack, endpoint in endpoints[:n_paths]:
+        blocks.append(extract_path(design, endpoint,
+                                   max_stages=max_stages).format())
+    return "\n\n".join(blocks)

@@ -1,0 +1,90 @@
+"""Yield / manufacturability analyzer (critical-area model).
+
+The paper closes with "extending algorithms to optimize metrics such
+as noise, congestion, power and yield"; this analyzer supplies the
+yield side.  A Poisson defect model over critical area:
+
+* **shorts** — a spot defect bridges two neighbouring wires; the
+  critical area grows quadratically with local wire density, so it is
+  dominated by congested bins;
+* **opens** — a defect severs a wire; critical area is proportional to
+  total wire length.
+
+``Y = exp(-D0 * (CA_short + CA_open))`` with defect density ``D0``
+(defects per million track^2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.design import Design
+
+
+@dataclass
+class YieldReport:
+    """Critical areas (track^2) and the Poisson yield estimate."""
+
+    short_critical_area: float
+    open_critical_area: float
+    yield_estimate: float
+    worst_bins: List[Tuple[int, int, float]] = field(default_factory=list)
+
+    @property
+    def total_critical_area(self) -> float:
+        return self.short_critical_area + self.open_critical_area
+
+
+class YieldAnalyzer:
+    """Estimates functional yield from the routed placement image.
+
+    ``defect_density`` is D0 in defects per 1e6 track^2; ``defect_size``
+    the characteristic spot size in tracks.
+    """
+
+    def __init__(self, design: Design, defect_density: float = 0.4,
+                 defect_size: float = 1.0) -> None:
+        self.design = design
+        self.defect_density = defect_density
+        self.defect_size = defect_size
+
+    def bin_short_area(self, b) -> float:
+        """Short critical area of one bin.
+
+        With ``u`` used tracks in a span of ``cap`` available tracks,
+        the expected number of adjacent wire pairs scales with u^2/cap;
+        each pair contributes (defect_size x span) of critical area.
+        """
+        total = 0.0
+        for used, cap, span in (
+            (b.wire_used_h, b.wire_capacity_h, b.rect.width),
+            (b.wire_used_v, b.wire_capacity_v, b.rect.height),
+        ):
+            if cap <= 0 or used <= 1:
+                continue
+            adjacent_pairs = used * used / cap
+            total += adjacent_pairs * self.defect_size * span
+        return total
+
+    def analyze(self) -> YieldReport:
+        short_ca = 0.0
+        per_bin: List[Tuple[int, int, float]] = []
+        for b in self.design.grid.bins():
+            ca = self.bin_short_area(b)
+            short_ca += ca
+            if ca > 0:
+                per_bin.append((b.ix, b.iy, ca))
+        per_bin.sort(key=lambda t: -t[2])
+
+        wirelength = self.design.total_wirelength()
+        open_ca = wirelength * self.defect_size
+
+        lam = self.defect_density * 1e-6 * (short_ca + open_ca)
+        return YieldReport(
+            short_critical_area=short_ca,
+            open_critical_area=open_ca,
+            yield_estimate=math.exp(-lam),
+            worst_bins=per_bin[:10],
+        )

@@ -1,0 +1,96 @@
+"""The ``Design``: one object bundling the unified TPS design space.
+
+"All transforms have an unified view of the placement and synthesis
+design space.  Synthesis, timing, and placement algorithms and data are
+concurrently available to all transforms."  A ``Design`` wires the
+netlist to the bin image, the Steiner cache, the wire model and the
+incremental timing engine, and is the single argument every transform
+receives.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.geometry import Rect
+from repro.image import BinGrid, Blockage
+from repro.library import Library, LibraryAnalysis, WireParasitics, analyze_library
+from repro.netlist import Netlist
+from repro.timing import DelayMode, TimingConstraints, TimingEngine
+from repro.wirelength import RentEstimator, SteinerCache, WireModel
+
+
+class Design:
+    """A netlist bound to a die image and incremental analyzers."""
+
+    def __init__(self, netlist: Netlist, library: Library, die: Rect,
+                 constraints: TimingConstraints,
+                 blockages: Sequence[Blockage] = (),
+                 parasitics: Optional[WireParasitics] = None,
+                 target_utilization: float = 0.85,
+                 mode: DelayMode = DelayMode.GAIN,
+                 seed: int = 0) -> None:
+        self.netlist = netlist
+        self.library = library
+        self.die = die
+        self.constraints = constraints
+        self.blockages = list(blockages)
+        self.target_utilization = target_utilization
+        self.rng = random.Random(seed)
+
+        self.grid = BinGrid(die, 1, 1, blockages=self.blockages,
+                            target_utilization=target_utilization)
+        self.grid.attach(netlist)
+
+        self.parasitics = parasitics or WireParasitics()
+        self.steiner = SteinerCache(netlist, rent=RentEstimator())
+        self.wire_model = WireModel(self.steiner, self.parasitics)
+        self.timing = TimingEngine(netlist, self.wire_model, constraints,
+                                   mode=mode)
+        self.library_analysis: LibraryAnalysis = analyze_library(library)
+
+        #: Placement progress 0..100 as reported by the Partitioner.
+        self.status: int = 0
+
+    # -- convenience metrics -------------------------------------------
+
+    def worst_slack(self) -> float:
+        return self.timing.worst_slack()
+
+    def total_wirelength(self) -> float:
+        """Total Steiner wirelength over all nets (tracks)."""
+        return self.steiner.total_length()
+
+    def icell_count(self) -> int:
+        """Number of logic cells (the paper's "icells" area column)."""
+        return len(self.netlist.logic_cells())
+
+    def total_cell_area(self) -> float:
+        return self.netlist.total_cell_area()
+
+    def effective_capacity(self, region: Rect) -> float:
+        """Blockage-aware cell capacity of a die sub-region (track^2)."""
+        overlap = region.intersection(self.die)
+        if overlap is None:
+            return 0.0
+        cap = overlap.area * self.target_utilization
+        for blk in self.blockages:
+            cap -= blk.blocked_area_in(overlap)
+        return max(0.0, cap)
+
+    def spread_all_to_center(self) -> None:
+        """Reset placement: all movable cells to the die center."""
+        center = self.die.center
+        for cell in self.netlist.movable_cells():
+            self.netlist.move_cell(cell, center)
+
+    def check(self) -> None:
+        """Validate netlist/grid consistency (test hook)."""
+        self.netlist.check_consistency()
+        self.grid.check_occupancy()
+
+    def __repr__(self) -> str:
+        return "<Design %s: %d cells on %gx%g, status %d>" % (
+            self.netlist.name, self.netlist.num_cells,
+            self.die.width, self.die.height, self.status)

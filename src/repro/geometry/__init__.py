@@ -1,0 +1,10 @@
+"""Planar geometry primitives used throughout TPS.
+
+All coordinates are in routing *tracks* (a track is one wiring pitch);
+areas are in track^2.  Distances are Manhattan unless stated otherwise.
+"""
+
+from repro.geometry.point import Point, manhattan
+from repro.geometry.rect import Rect
+
+__all__ = ["Point", "Rect", "manhattan"]

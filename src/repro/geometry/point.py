@@ -1,0 +1,43 @@
+"""Immutable 2-D points with Manhattan-distance helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """A point in the placement plane, in track units."""
+
+    x: float
+    y: float
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def scaled(self, factor: float) -> "Point":
+        """Return this point scaled about the origin."""
+        return Point(self.x * factor, self.y * factor)
+
+    def manhattan_to(self, other: "Point") -> float:
+        """Manhattan (L1) distance to ``other``."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def euclidean_to(self, other: "Point") -> float:
+        """Euclidean (L2) distance to ``other``."""
+        return ((self.x - other.x) ** 2 + (self.y - other.y) ** 2) ** 0.5
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a copy shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> tuple:
+        return (self.x, self.y)
+
+
+def manhattan(a: Point, b: Point) -> float:
+    """Manhattan distance between two points."""
+    return a.manhattan_to(b)

@@ -1,0 +1,121 @@
+"""Axis-aligned rectangles (placement regions, bins, blockages)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True)
+class Rect:
+    """A closed axis-aligned rectangle ``[xlo, xhi] x [ylo, yhi]``."""
+
+    xlo: float
+    ylo: float
+    xhi: float
+    yhi: float
+
+    def __post_init__(self) -> None:
+        if self.xhi < self.xlo or self.yhi < self.ylo:
+            raise ValueError(
+                "degenerate rect: (%r, %r, %r, %r)"
+                % (self.xlo, self.ylo, self.xhi, self.yhi)
+            )
+
+    @property
+    def width(self) -> float:
+        return self.xhi - self.xlo
+
+    @property
+    def height(self) -> float:
+        return self.yhi - self.ylo
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.xlo + self.xhi) / 2.0, (self.ylo + self.yhi) / 2.0)
+
+    def contains(self, point: Point) -> bool:
+        """True if ``point`` lies inside or on the boundary."""
+        return (
+            self.xlo <= point.x <= self.xhi and self.ylo <= point.y <= self.yhi
+        )
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True if ``other`` lies entirely inside this rectangle."""
+        return (
+            self.xlo <= other.xlo
+            and self.ylo <= other.ylo
+            and self.xhi >= other.xhi
+            and self.yhi >= other.yhi
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """True if the two rectangles share any area or boundary."""
+        return not (
+            self.xhi < other.xlo
+            or other.xhi < self.xlo
+            or self.yhi < other.ylo
+            or other.yhi < self.ylo
+        )
+
+    def intersection(self, other: "Rect") -> Optional["Rect"]:
+        """The overlapping rectangle, or ``None`` if disjoint."""
+        if not self.intersects(other):
+            return None
+        return Rect(
+            max(self.xlo, other.xlo),
+            max(self.ylo, other.ylo),
+            min(self.xhi, other.xhi),
+            min(self.yhi, other.yhi),
+        )
+
+    def union(self, other: "Rect") -> "Rect":
+        """The bounding box of both rectangles."""
+        return Rect(
+            min(self.xlo, other.xlo),
+            min(self.ylo, other.ylo),
+            max(self.xhi, other.xhi),
+            max(self.yhi, other.yhi),
+        )
+
+    def expanded(self, margin: float) -> "Rect":
+        """Return a copy grown by ``margin`` on every side."""
+        return Rect(
+            self.xlo - margin,
+            self.ylo - margin,
+            self.xhi + margin,
+            self.yhi + margin,
+        )
+
+    def clamp(self, point: Point) -> Point:
+        """The closest point inside the rectangle to ``point``."""
+        return Point(
+            min(max(point.x, self.xlo), self.xhi),
+            min(max(point.y, self.ylo), self.yhi),
+        )
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        return Rect(self.xlo + dx, self.ylo + dy, self.xhi + dx, self.yhi + dy)
+
+    @staticmethod
+    def bounding(points: Iterable[Point]) -> "Rect":
+        """Bounding box of a non-empty collection of points."""
+        pts = list(points)
+        if not pts:
+            raise ValueError("bounding box of empty point set")
+        return Rect(
+            min(p.x for p in pts),
+            min(p.y for p in pts),
+            max(p.x for p in pts),
+            max(p.y for p in pts),
+        )
+
+    def half_perimeter(self) -> float:
+        """Half-perimeter (the HPWL contribution of this bbox)."""
+        return self.width + self.height

@@ -1,0 +1,15 @@
+"""Bin-based placement image (section 2 of the paper).
+
+The chip area is divided into bins; only abstracted information is kept
+per bin (area capacity/usage, wiring capacity/usage, blockage data).
+Circuits move between bins without a complex legalization procedure —
+the image just tracks how much of each bin's capacity is used.  The
+grid *refines gradually* (bins subdivide) as the flow converges, giving
+efficiency up-front and precision late.
+"""
+
+from repro.image.bins import Bin
+from repro.image.blockage import Blockage
+from repro.image.grid import BinGrid
+
+__all__ = ["Bin", "Blockage", "BinGrid"]

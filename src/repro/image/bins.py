@@ -1,0 +1,97 @@
+"""A single bin of the placement image (the BIN_DATA of Figure 1)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Set
+
+from repro.geometry import Point, Rect
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netlist.cell import Cell
+
+
+class Bin:
+    """One bin: abstracted capacity/usage bookkeeping, no legalization.
+
+    Attributes mirror the paper's BIN_DATA record: area capacity, area
+    used, wire capacity, wire used, and blockage data.  Wire usage is
+    maintained by the global router; area usage by the ``BinGrid``
+    listening to netlist moves.
+    """
+
+    __slots__ = ("ix", "iy", "rect", "area_capacity", "area_used",
+                 "blocked_area", "wire_capacity_h", "wire_capacity_v",
+                 "wire_used_h", "wire_used_v", "cells")
+
+    def __init__(self, ix: int, iy: int, rect: Rect,
+                 target_utilization: float = 0.85,
+                 tracks_per_unit: float = 1.0) -> None:
+        self.ix = ix
+        self.iy = iy
+        self.rect = rect
+        self.blocked_area = 0.0
+        self.area_capacity = rect.area * target_utilization
+        self.area_used = 0.0
+        # Routing capacity through the bin: proportional to its span in
+        # each direction (tracks available on the crossing layers).
+        self.wire_capacity_h = rect.height * tracks_per_unit
+        self.wire_capacity_v = rect.width * tracks_per_unit
+        self.wire_used_h = 0.0
+        self.wire_used_v = 0.0
+        self.cells: Set["Cell"] = set()
+
+    # -- area --------------------------------------------------------
+
+    @property
+    def effective_capacity(self) -> float:
+        """Cell area capacity net of blockages (track^2)."""
+        return max(0.0, self.area_capacity - self.blocked_area)
+
+    @property
+    def free_area(self) -> float:
+        return self.effective_capacity - self.area_used
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of effective capacity in use (may exceed 1)."""
+        cap = self.effective_capacity
+        if cap <= 0.0:
+            return float("inf") if self.area_used > 0 else 1.0
+        return self.area_used / cap
+
+    def can_fit(self, area: float) -> bool:
+        """True if ``area`` more track^2 of cells fits in this bin."""
+        return self.free_area >= area
+
+    @property
+    def overfilled(self) -> bool:
+        return self.area_used > self.effective_capacity
+
+    # -- wiring ------------------------------------------------------
+
+    @property
+    def wire_overflow(self) -> float:
+        """Routing demand beyond capacity, summed over directions."""
+        return (max(0.0, self.wire_used_h - self.wire_capacity_h)
+                + max(0.0, self.wire_used_v - self.wire_capacity_v))
+
+    @property
+    def congestion(self) -> float:
+        """Worst-direction routing demand / capacity ratio."""
+        ratios = []
+        if self.wire_capacity_h > 0:
+            ratios.append(self.wire_used_h / self.wire_capacity_h)
+        if self.wire_capacity_v > 0:
+            ratios.append(self.wire_used_v / self.wire_capacity_v)
+        return max(ratios) if ratios else 0.0
+
+    # -- geometry ----------------------------------------------------
+
+    @property
+    def center(self) -> Point:
+        return self.rect.center
+
+    def __repr__(self) -> str:
+        return "<Bin (%d,%d) used=%.0f/%.0f cells=%d>" % (
+            self.ix, self.iy, self.area_used, self.effective_capacity,
+            len(self.cells))

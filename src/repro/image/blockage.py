@@ -1,0 +1,33 @@
+"""Placement and wiring blockages.
+
+Figure 1 of the paper shows bin area blocked by a custom datapath and
+power lines blocking wiring tracks; a ``Blockage`` models both: it
+removes cell capacity from the bins it overlaps and (optionally) a
+fraction of their wiring capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry import Rect
+
+
+@dataclass(frozen=True)
+class Blockage:
+    """A rectangular obstruction on the placement image.
+
+    ``wiring_factor`` is the fraction of routing capacity removed over
+    the blockage (0 = routing may pass over freely, e.g. a datapath
+    macro with free upper layers; 1 = fully blocked, e.g. dense power
+    straps).
+    """
+
+    rect: Rect
+    name: str = "blockage"
+    wiring_factor: float = 0.5
+
+    def blocked_area_in(self, region: Rect) -> float:
+        """Cell area (track^2) this blockage removes from ``region``."""
+        overlap = self.rect.intersection(region)
+        return overlap.area if overlap is not None else 0.0

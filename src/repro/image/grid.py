@@ -1,0 +1,220 @@
+"""The placement image: a refinable grid of bins bound to a netlist.
+
+The grid subscribes to netlist change events, so bin occupancy is
+always current without any polling: moving a cell, resizing it, or
+creating/deleting cells updates ``area_used`` of the affected bins
+only.  ``refine()`` subdivides every bin, implementing the paper's
+gradual-precision story ("eventually, each bin could contain one cell").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.geometry import Point, Rect
+from repro.image.bins import Bin
+from repro.image.blockage import Blockage
+from repro.library.types import GateSize
+from repro.netlist.cell import Cell
+from repro.netlist.netlist import Netlist, NetlistListener
+
+
+class BinGrid(NetlistListener):
+    """A grid of bins covering the die, kept in sync with a netlist."""
+
+    #: the image is the physical view: it also receives virtual resizes
+    is_physical_view = True
+
+    def __init__(self, die: Rect, nx: int = 1, ny: int = 1,
+                 blockages: Sequence[Blockage] = (),
+                 target_utilization: float = 0.85,
+                 tracks_per_unit: float = 1.0) -> None:
+        if nx < 1 or ny < 1:
+            raise ValueError("grid must have at least one bin per axis")
+        self.die = die
+        self.blockages: List[Blockage] = list(blockages)
+        self.target_utilization = target_utilization
+        self.tracks_per_unit = tracks_per_unit
+        self.netlist: Optional[Netlist] = None
+        self.nx = 0
+        self.ny = 0
+        self._bins: List[List[Bin]] = []
+        self._cell_bin: Dict[str, Bin] = {}
+        self._rebuild(nx, ny)
+
+    # -- construction / refinement ------------------------------------
+
+    def _rebuild(self, nx: int, ny: int) -> None:
+        """(Re)create the bin array at the given resolution."""
+        self.nx, self.ny = nx, ny
+        bw = self.die.width / nx
+        bh = self.die.height / ny
+        self._bins = []
+        for ix in range(nx):
+            column = []
+            for iy in range(ny):
+                rect = Rect(self.die.xlo + ix * bw, self.die.ylo + iy * bh,
+                            self.die.xlo + (ix + 1) * bw,
+                            self.die.ylo + (iy + 1) * bh)
+                b = Bin(ix, iy, rect,
+                        target_utilization=self.target_utilization,
+                        tracks_per_unit=self.tracks_per_unit)
+                for blk in self.blockages:
+                    b.blocked_area += blk.blocked_area_in(rect)
+                    overlap = blk.rect.intersection(rect)
+                    if overlap is not None and rect.area > 0:
+                        frac = overlap.area / rect.area * blk.wiring_factor
+                        b.wire_capacity_h *= (1.0 - frac)
+                        b.wire_capacity_v *= (1.0 - frac)
+                column.append(b)
+            self._bins.append(column)
+        self._cell_bin = {}
+        if self.netlist is not None:
+            for cell in self.netlist.cells():
+                if cell.placed:
+                    self._insert(cell)
+
+    def attach(self, netlist: Netlist) -> None:
+        """Bind to a netlist: populate from placed cells and subscribe."""
+        if self.netlist is not None:
+            self.netlist.remove_listener(self)
+        self.netlist = netlist
+        netlist.add_listener(self)
+        self._rebuild(self.nx, self.ny)
+
+    def detach(self) -> None:
+        if self.netlist is not None:
+            self.netlist.remove_listener(self)
+            self.netlist = None
+
+    def refine(self, factor: int = 2) -> None:
+        """Subdivide every bin ``factor``x``factor`` ways."""
+        if factor < 2:
+            raise ValueError("refinement factor must be >= 2")
+        self._rebuild(self.nx * factor, self.ny * factor)
+
+    def resize(self, nx: int, ny: int) -> None:
+        """Rebuild the grid at an explicit resolution (re-binning all
+        cells); used by the Partitioner to keep bins aligned with its
+        region structure."""
+        if nx < 1 or ny < 1:
+            raise ValueError("grid must have at least one bin per axis")
+        self._rebuild(nx, ny)
+
+    @property
+    def bin_area(self) -> float:
+        return self._bins[0][0].rect.area
+
+    # -- lookup --------------------------------------------------------
+
+    def bin(self, ix: int, iy: int) -> Bin:
+        if not (0 <= ix < self.nx and 0 <= iy < self.ny):
+            raise IndexError("bin (%d,%d) outside %dx%d grid" % (ix, iy, self.nx, self.ny))
+        return self._bins[ix][iy]
+
+    def bins(self) -> Iterable[Bin]:
+        for column in self._bins:
+            for b in column:
+                yield b
+
+    def index_at(self, point: Point) -> Tuple[int, int]:
+        """Grid index of the bin containing ``point`` (clamped to die)."""
+        p = self.die.clamp(point)
+        bw = self.die.width / self.nx
+        bh = self.die.height / self.ny
+        ix = min(self.nx - 1, max(0, int((p.x - self.die.xlo) / bw)))
+        iy = min(self.ny - 1, max(0, int((p.y - self.die.ylo) / bh)))
+        return ix, iy
+
+    def bin_at(self, point: Point) -> Bin:
+        ix, iy = self.index_at(point)
+        return self._bins[ix][iy]
+
+    def bin_of(self, cell: Cell) -> Optional[Bin]:
+        """The bin currently holding ``cell`` (None if unplaced)."""
+        return self._cell_bin.get(cell.name)
+
+    def bins_in(self, region: Rect) -> List[Bin]:
+        """All bins whose rectangle intersects ``region``."""
+        lo = self.index_at(Point(region.xlo, region.ylo))
+        hi = self.index_at(Point(region.xhi, region.yhi))
+        out = []
+        for ix in range(lo[0], hi[0] + 1):
+            for iy in range(lo[1], hi[1] + 1):
+                b = self._bins[ix][iy]
+                if b.rect.intersects(region):
+                    out.append(b)
+        return out
+
+    def neighbors(self, b: Bin) -> List[Bin]:
+        """The 4-connected neighbour bins."""
+        out = []
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            ix, iy = b.ix + dx, b.iy + dy
+            if 0 <= ix < self.nx and 0 <= iy < self.ny:
+                out.append(self._bins[ix][iy])
+        return out
+
+    # -- occupancy maintenance (netlist events) ------------------------
+
+    def _insert(self, cell: Cell) -> None:
+        b = self.bin_at(cell.require_position())
+        b.cells.add(cell)
+        b.area_used += cell.area
+        self._cell_bin[cell.name] = b
+
+    def _evict(self, cell: Cell) -> None:
+        b = self._cell_bin.pop(cell.name, None)
+        if b is not None:
+            b.cells.discard(cell)
+            b.area_used -= cell.area
+
+    def on_cell_added(self, cell: Cell) -> None:
+        if cell.placed:
+            self._insert(cell)
+
+    def on_cell_removed(self, cell: Cell) -> None:
+        self._evict(cell)
+
+    def on_cell_moved(self, cell: Cell, old_position) -> None:
+        self._evict(cell)
+        if cell.placed:
+            self._insert(cell)
+
+    def on_cell_resized(self, cell: Cell, old_size: GateSize) -> None:
+        b = self._cell_bin.get(cell.name)
+        if b is not None:
+            b.area_used += cell.area - old_size.area
+
+    # -- aggregate measures --------------------------------------------
+
+    def total_overflow(self) -> float:
+        """Total cell-area overflow over all bins (track^2)."""
+        return sum(max(0.0, b.area_used - b.effective_capacity)
+                   for b in self.bins())
+
+    def max_utilization(self) -> float:
+        return max((b.utilization for b in self.bins()), default=0.0)
+
+    def reset_wire_usage(self) -> None:
+        for b in self.bins():
+            b.wire_used_h = 0.0
+            b.wire_used_v = 0.0
+
+    def check_occupancy(self) -> None:
+        """Verify bin bookkeeping against cell positions; raise if stale."""
+        for b in self.bins():
+            expect = sum(c.area for c in b.cells)
+            if not math.isclose(expect, b.area_used, abs_tol=1e-6):
+                raise AssertionError(
+                    "bin (%d,%d) area_used %.3f != cells %.3f"
+                    % (b.ix, b.iy, b.area_used, expect))
+            for c in b.cells:
+                if self.bin_at(c.require_position()) is not b:
+                    raise AssertionError(
+                        "cell %s tracked in wrong bin" % c.name)
+
+    def __repr__(self) -> str:
+        return "<BinGrid %dx%d over %gx%g>" % (
+            self.nx, self.ny, self.die.width, self.die.height)

@@ -1,0 +1,33 @@
+"""Technology library substrate.
+
+TPS relies on a standard-cell library with:
+
+* per-gate-type *logical effort* and *parasitic delay* (Sutherland &
+  Sproull), used by the gain-based delay model and the
+  ``LogicalEffortNetWeight`` transform;
+* multiple *drive strengths* per type, grouped into *footprints*
+  (same physical outline) so that a final in-footprint sizing can be
+  done without disturbing placement or routing;
+* per-size input capacitance, drive resistance, and cell area.
+
+The S/390 library used in the paper is proprietary; ``default_library``
+builds a parametric equivalent exposing the same knobs.
+"""
+
+from repro.library.types import GateKind, GateType, GateSize, PinSpec, PinDirection
+from repro.library.library import Library, LibraryAnalysis, analyze_library
+from repro.library.default import default_library
+from repro.library.parasitics import WireParasitics
+
+__all__ = [
+    "GateKind",
+    "GateType",
+    "GateSize",
+    "PinSpec",
+    "PinDirection",
+    "Library",
+    "LibraryAnalysis",
+    "analyze_library",
+    "default_library",
+    "WireParasitics",
+]

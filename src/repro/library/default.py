@@ -1,0 +1,192 @@
+"""The default parametric standard-cell library.
+
+Logical efforts follow the canonical Sutherland & Sproull values for
+static CMOS (INV = 1, NAND2 = 4/3, NOR2 = 5/3, XOR2 = 4, ...);
+parasitic delays scale with the number of series devices.  Clock
+buffers are modelled as much larger than ordinary cells, which is what
+drives the staged clock optimization of section 4.5.
+"""
+
+from __future__ import annotations
+
+from repro.library.library import Library
+from repro.library.types import GateKind, GateType, PinDirection, PinSpec
+
+
+#: Arc-speed asymmetry of stacked inputs: pins later in the list drive
+#: transistors closer to the output and switch faster.  Pin swapping
+#: puts late-arriving signals on the fast pins.
+_STACK_SPEEDUP = (1.0, 0.92, 0.86, 0.82)
+
+
+def _inputs(names, swap_group=0, **kwargs):
+    """PinSpecs for a group of mutually swappable input pins."""
+    return tuple(
+        PinSpec(n, PinDirection.INPUT, swap_group=swap_group,
+                delay_factor=_STACK_SPEEDUP[min(i, len(_STACK_SPEEDUP) - 1)],
+                **kwargs)
+        for i, n in enumerate(names)
+    )
+
+
+def _out(name="Z"):
+    return (PinSpec(name, PinDirection.OUTPUT),)
+
+
+def default_library() -> Library:
+    """Build the default library used by the TPS reproduction."""
+    lib = Library("tps_default")
+
+    std = [1.0, 2.0, 4.0, 8.0]
+    drv = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0]
+
+    lib.add_type(
+        GateType("INV", GateKind.COMBINATIONAL, _inputs(["A"]) + _out(),
+                 logical_effort=1.0, parasitic=1.0),
+        drv,
+    )
+    lib.add_type(
+        GateType("BUF", GateKind.BUFFER, _inputs(["A"]) + _out(),
+                 logical_effort=1.0, parasitic=2.0, area_factor=1.5,
+                 inverting=False),
+        drv,
+    )
+    lib.add_type(
+        GateType("NAND2", GateKind.COMBINATIONAL, _inputs(["A", "B"]) + _out(),
+                 logical_effort=4.0 / 3.0, parasitic=2.0, area_factor=1.5),
+        std,
+    )
+    lib.add_type(
+        GateType("NAND3", GateKind.COMBINATIONAL,
+                 _inputs(["A", "B", "C"]) + _out(),
+                 logical_effort=5.0 / 3.0, parasitic=3.0, area_factor=2.0),
+        std,
+    )
+    lib.add_type(
+        GateType("NAND4", GateKind.COMBINATIONAL,
+                 _inputs(["A", "B", "C", "D"]) + _out(),
+                 logical_effort=2.0, parasitic=4.0, area_factor=2.5),
+        std,
+    )
+    lib.add_type(
+        GateType("NOR2", GateKind.COMBINATIONAL, _inputs(["A", "B"]) + _out(),
+                 logical_effort=5.0 / 3.0, parasitic=2.0, area_factor=1.5),
+        std,
+    )
+    lib.add_type(
+        GateType("NOR3", GateKind.COMBINATIONAL,
+                 _inputs(["A", "B", "C"]) + _out(),
+                 logical_effort=7.0 / 3.0, parasitic=3.0, area_factor=2.0),
+        std,
+    )
+    lib.add_type(
+        GateType("AND2", GateKind.COMBINATIONAL, _inputs(["A", "B"]) + _out(),
+                 logical_effort=1.5, parasitic=3.0, area_factor=2.0,
+                 inverting=False),
+        std,
+    )
+    lib.add_type(
+        GateType("OR2", GateKind.COMBINATIONAL, _inputs(["A", "B"]) + _out(),
+                 logical_effort=1.8, parasitic=3.0, area_factor=2.0,
+                 inverting=False),
+        std,
+    )
+    # AOI21: inputs A, B feed the AND; C is the bare OR leg (not swappable
+    # with A/B).
+    lib.add_type(
+        GateType(
+            "AOI21", GateKind.COMBINATIONAL,
+            _inputs(["A", "B"], swap_group=0)
+            + (PinSpec("C", PinDirection.INPUT, swap_group=None),)
+            + _out(),
+            logical_effort=2.0, parasitic=3.0, area_factor=2.0,
+        ),
+        std,
+    )
+    lib.add_type(
+        GateType(
+            "OAI21", GateKind.COMBINATIONAL,
+            _inputs(["A", "B"], swap_group=0)
+            + (PinSpec("C", PinDirection.INPUT, swap_group=None),)
+            + _out(),
+            logical_effort=2.0, parasitic=3.0, area_factor=2.0,
+        ),
+        std,
+    )
+    lib.add_type(
+        GateType("XOR2", GateKind.COMBINATIONAL, _inputs(["A", "B"]) + _out(),
+                 logical_effort=4.0, parasitic=4.0, area_factor=3.0,
+                 inverting=False),
+        std,
+    )
+    lib.add_type(
+        GateType("XNOR2", GateKind.COMBINATIONAL, _inputs(["A", "B"]) + _out(),
+                 logical_effort=4.0, parasitic=4.0, area_factor=3.0),
+        std,
+    )
+    lib.add_type(
+        GateType(
+            "MUX2", GateKind.COMBINATIONAL,
+            (
+                PinSpec("D0", PinDirection.INPUT, swap_group=None),
+                PinSpec("D1", PinDirection.INPUT, swap_group=None),
+                PinSpec("S", PinDirection.INPUT, swap_group=None),
+            )
+            + _out(),
+            logical_effort=2.0, parasitic=4.0, area_factor=3.0,
+            inverting=False,
+        ),
+        std,
+    )
+    # Registers.  The D pin is the timing endpoint; CK is driven by the
+    # clock tree.
+    lib.add_type(
+        GateType(
+            "DFF", GateKind.SEQUENTIAL,
+            (
+                PinSpec("D", PinDirection.INPUT),
+                PinSpec("CK", PinDirection.INPUT, is_clock=True,
+                        cap_factor=0.8),
+                PinSpec("Q", PinDirection.OUTPUT),
+            ),
+            logical_effort=1.5, parasitic=4.0, area_factor=6.0,
+            inverting=False,
+        ),
+        [1.0, 2.0, 4.0],
+    )
+    # Scan register: SI is the scan-chain input, reordered by the scan
+    # optimization transform.
+    lib.add_type(
+        GateType(
+            "SDFF", GateKind.SEQUENTIAL,
+            (
+                PinSpec("D", PinDirection.INPUT),
+                PinSpec("SI", PinDirection.INPUT, is_scan=True,
+                        cap_factor=0.6),
+                PinSpec("CK", PinDirection.INPUT, is_clock=True,
+                        cap_factor=0.8),
+                PinSpec("Q", PinDirection.OUTPUT),
+            ),
+            logical_effort=1.5, parasitic=4.5, area_factor=7.0,
+            inverting=False,
+        ),
+        [1.0, 2.0, 4.0],
+    )
+    # Clock buffers are "typically much larger than registers" (§4.5).
+    # Each size is its own footprint: clock cells are never resized by
+    # the post-route in-footprint pass.
+    lib.add_type(
+        GateType(
+            "CLKBUF", GateKind.CLOCK_BUFFER,
+            (
+                PinSpec("A", PinDirection.INPUT, is_clock=True),
+                PinSpec("Z", PinDirection.OUTPUT),
+            ),
+            logical_effort=1.0, parasitic=2.0, area_factor=4.0,
+            inverting=False,
+        ),
+        [2.0, 4.0, 8.0, 16.0],
+        footprint_of={2.0: "CLKBUF_FPA", 4.0: "CLKBUF_FPB",
+                      8.0: "CLKBUF_FPC", 16.0: "CLKBUF_FPD"},
+    )
+    return lib

@@ -1,0 +1,149 @@
+"""Library container and logical-effort analysis.
+
+``analyze_library`` is the paper's ``analyze_library()`` step in
+algorithm *LogicalEffortNetWeight*: it is run once before placement and
+yields the logical effort of every gate type, normalised so the net
+weighting transform can scale weights by ``logical_effort /
+max_logical_effort``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.library.types import GateSize, GateType
+
+
+class Library:
+    """A collection of gate types, each with a ladder of drive strengths."""
+
+    def __init__(self, name: str = "lib") -> None:
+        self.name = name
+        self._types: Dict[str, GateType] = {}
+        self._sizes: Dict[str, List[GateSize]] = {}
+
+    def add_type(self, gate_type: GateType, sizes: Iterable[float],
+                 footprint_of: Optional[Dict[float, str]] = None) -> GateType:
+        """Register a gate type with the given size multiples.
+
+        ``footprint_of`` maps a size multiple to its footprint name; by
+        default consecutive size pairs share a footprint, which gives
+        every size an in-footprint alternative.
+        """
+        if gate_type.name in self._types:
+            raise ValueError("duplicate gate type %s" % gate_type.name)
+        size_list = sorted(set(sizes))
+        if not size_list:
+            raise ValueError("gate type %s registered with no sizes" % gate_type.name)
+        self._types[gate_type.name] = gate_type
+        footprints: Dict[float, str] = {}
+        for i, x in enumerate(size_list):
+            if footprint_of and x in footprint_of:
+                footprints[x] = footprint_of[x]
+            else:
+                footprints[x] = "%s_FP%d" % (gate_type.name, i // 2)
+        # Every size in a footprint shares the outline of the largest
+        # member, so in-footprint resizing never perturbs placement.
+        outline: Dict[str, float] = {}
+        for x in size_list:
+            probe = GateSize(gate_type, x, footprints[x])
+            fp = footprints[x]
+            outline[fp] = max(outline.get(fp, 0.0), probe.device_area)
+        ladder: List[GateSize] = [
+            GateSize(gate_type, x, footprints[x], footprint_area=outline[footprints[x]])
+            for x in size_list
+        ]
+        self._sizes[gate_type.name] = ladder
+        return gate_type
+
+    def type(self, name: str) -> GateType:
+        try:
+            return self._types[name]
+        except KeyError:
+            raise KeyError("no gate type %r in library %s" % (name, self.name))
+
+    def has_type(self, name: str) -> bool:
+        return name in self._types
+
+    def types(self) -> List[GateType]:
+        return list(self._types.values())
+
+    def sizes(self, type_name: str) -> List[GateSize]:
+        """All drive strengths of a type, ascending."""
+        try:
+            return list(self._sizes[type_name])
+        except KeyError:
+            raise KeyError("no gate type %r in library %s" % (type_name, self.name))
+
+    def size(self, type_name: str, x: float) -> GateSize:
+        """The exact size ``x`` of ``type_name``."""
+        for s in self.sizes(type_name):
+            if s.x == x:
+                return s
+        raise KeyError("no size x%g for type %s" % (x, type_name))
+
+    def smallest(self, type_name: str) -> GateSize:
+        return self.sizes(type_name)[0]
+
+    def largest(self, type_name: str) -> GateSize:
+        return self.sizes(type_name)[-1]
+
+    def discretize(self, type_name: str, target_cin: float) -> GateSize:
+        """The size whose input capacitance best matches ``target_cin``.
+
+        This is the library-match step of the discretization process in
+        section 4.4: given a gain assignment and a load, the required
+        input capacitance is ``load / gain`` and the closest available
+        size is selected.
+        """
+        ladder = self.sizes(type_name)
+        return min(ladder, key=lambda s: abs(s.input_cap() - target_cin))
+
+    def footprint_siblings(self, size: GateSize) -> List[GateSize]:
+        """Sizes of the same type sharing ``size``'s footprint."""
+        return [
+            s for s in self.sizes(size.gate_type.name)
+            if s.footprint == size.footprint
+        ]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def __len__(self) -> int:
+        return len(self._types)
+
+
+@dataclass
+class LibraryAnalysis:
+    """Result of the pre-placement library analysis.
+
+    ``efforts`` maps gate type name to logical effort; ``max_effort``
+    is the largest logical effort over non-clock combinational types,
+    used for normalisation in the net weighting transform.
+    """
+
+    efforts: Dict[str, float] = field(default_factory=dict)
+    max_effort: float = 1.0
+    min_effort: float = 1.0
+
+    def normalized(self, type_name: str) -> float:
+        """Logical effort of the type divided by the library maximum."""
+        return self.efforts.get(type_name, 1.0) / self.max_effort
+
+
+def analyze_library(library: Library) -> LibraryAnalysis:
+    """Compute logical efforts for every gate type in the library."""
+    efforts = {t.name: t.logical_effort for t in library.types()}
+    drivers = [
+        t.logical_effort
+        for t in library.types()
+        if t.kind.value in ("comb", "buffer", "seq")
+    ]
+    if not drivers:
+        drivers = list(efforts.values()) or [1.0]
+    return LibraryAnalysis(
+        efforts=efforts,
+        max_effort=max(drivers),
+        min_effort=min(drivers),
+    )

@@ -1,0 +1,38 @@
+"""Interconnect parasitics.
+
+Wire load capacitances are estimated as lumped capacitances
+proportional to the Steiner estimates of wire length (section 3 of the
+paper); for longer wires the resistive component matters and a
+distributed RC model is used instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WireParasitics:
+    """Per-unit-length interconnect parasitics.
+
+    Units: capacitance fF/track, resistance kOhm/track.  The defaults
+    approximate a late-1990s 0.25um process at minimum wire width where
+    a track is one routing pitch.
+    """
+
+    cap_per_track: float = 0.2
+    res_per_track: float = 0.02
+    #: Wires longer than this (tracks) use the distributed RC model.
+    rc_threshold: float = 200.0
+
+    def wire_cap(self, length: float) -> float:
+        """Total capacitance of a wire of the given length (fF)."""
+        return self.cap_per_track * max(0.0, length)
+
+    def wire_res(self, length: float) -> float:
+        """Total resistance of a wire of the given length (kOhm)."""
+        return self.res_per_track * max(0.0, length)
+
+    def is_long(self, length: float) -> bool:
+        """True if the RC component of this wire is significant."""
+        return length > self.rc_threshold

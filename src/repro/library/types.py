@@ -1,0 +1,199 @@
+"""Gate types, sizes (drive strengths), and pin specifications."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+#: Unit input capacitance of a minimum inverter input, in fF.
+C_UNIT = 1.0
+#: Output resistance of a minimum inverter, in kOhm.
+R_UNIT = 2.0
+#: Process time constant tau = R_UNIT * C_UNIT, in ps (kOhm * fF = ps).
+TAU = R_UNIT * C_UNIT
+#: Standard-cell row height, in tracks.
+ROW_HEIGHT = 8.0
+#: Area of a minimum inverter, in track^2.
+AREA_UNIT = 16.0
+
+
+class PinDirection(enum.Enum):
+    """Direction of a library pin."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+
+
+class GateKind(enum.Enum):
+    """Coarse functional class of a gate type."""
+
+    COMBINATIONAL = "comb"
+    SEQUENTIAL = "seq"
+    BUFFER = "buffer"
+    CLOCK_BUFFER = "clock_buffer"
+    PORT = "port"
+
+
+@dataclass(frozen=True)
+class PinSpec:
+    """A pin on a library gate type.
+
+    ``swap_group`` marks functionally interchangeable inputs (e.g. the
+    two inputs of a NAND2); the pin-swapping transform may permute pins
+    within a group.  ``cap_factor`` scales the per-size input
+    capacitance (e.g. a clock pin that is lighter than a data pin).
+    """
+
+    name: str
+    direction: PinDirection
+    swap_group: Optional[int] = None
+    cap_factor: float = 1.0
+    #: Relative speed of the arc from this pin to the output (inner
+    #: transistors switch faster); pin swapping exploits the asymmetry.
+    delay_factor: float = 1.0
+    is_clock: bool = False
+    is_scan: bool = False
+
+
+@dataclass(frozen=True)
+class GateType:
+    """A logic function available in the library.
+
+    ``logical_effort`` is the ratio of this type's input capacitance to
+    that of an inverter delivering the same output current (g in the
+    logical-effort model).  ``parasitic`` is the intrinsic delay p, in
+    units of tau.
+    """
+
+    name: str
+    kind: GateKind
+    pins: Tuple[PinSpec, ...]
+    logical_effort: float
+    parasitic: float
+    area_factor: float = 1.0
+    #: True if output = logical inversion of AND/OR (affects remapping only).
+    inverting: bool = True
+
+    def __post_init__(self) -> None:
+        if self.logical_effort <= 0:
+            raise ValueError("logical effort must be positive")
+        if not any(p.direction is PinDirection.OUTPUT for p in self.pins):
+            if self.kind is not GateKind.PORT:
+                raise ValueError("gate type %s has no output pin" % self.name)
+
+    @property
+    def input_pins(self) -> List[PinSpec]:
+        return [p for p in self.pins if p.direction is PinDirection.INPUT]
+
+    @property
+    def output_pins(self) -> List[PinSpec]:
+        return [p for p in self.pins if p.direction is PinDirection.OUTPUT]
+
+    @property
+    def output_pin(self) -> PinSpec:
+        outs = self.output_pins
+        if len(outs) != 1:
+            raise ValueError("gate type %s has %d outputs" % (self.name, len(outs)))
+        return outs[0]
+
+    def pin(self, name: str) -> PinSpec:
+        for p in self.pins:
+            if p.name == name:
+                return p
+        raise KeyError("no pin %r on gate type %s" % (name, self.name))
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.kind is GateKind.SEQUENTIAL
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.input_pins)
+
+    def swap_groups(self) -> Dict[int, List[PinSpec]]:
+        """Input pins grouped by swap group (groups of size >= 2 only)."""
+        groups: Dict[int, List[PinSpec]] = {}
+        for p in self.input_pins:
+            if p.swap_group is not None:
+                groups.setdefault(p.swap_group, []).append(p)
+        return {g: ps for g, ps in groups.items() if len(ps) >= 2}
+
+
+@dataclass(frozen=True)
+class GateSize:
+    """A concrete drive strength of a gate type.
+
+    ``x`` is the size multiple of the minimum device.  Sizes sharing a
+    ``footprint`` have the same physical outline, so exchanging them
+    never perturbs placement (used for post-route in-footprint sizing).
+    """
+
+    gate_type: GateType
+    x: float
+    footprint: str
+    #: Physical area shared by every size in the footprint (track^2).
+    #: ``None`` falls back to the size's own device area.
+    footprint_area: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.x <= 0:
+            raise ValueError("size multiple must be positive")
+
+    @property
+    def name(self) -> str:
+        return "%s_X%g" % (self.gate_type.name, self.x)
+
+    def input_cap(self, pin_name: Optional[str] = None) -> float:
+        """Input capacitance of ``pin_name`` (fF); any input if None."""
+        factor = 1.0
+        if pin_name is not None:
+            factor = self.gate_type.pin(pin_name).cap_factor
+        return self.gate_type.logical_effort * self.x * C_UNIT * factor
+
+    @property
+    def drive_resistance(self) -> float:
+        """Equivalent output resistance, in kOhm."""
+        return R_UNIT / self.x
+
+    @property
+    def intrinsic_delay(self) -> float:
+        """Parasitic (load-independent) delay, in ps."""
+        return self.gate_type.parasitic * TAU
+
+    @property
+    def device_area(self) -> float:
+        """Area demanded by the devices alone, in track^2."""
+        return self.gate_type.area_factor * self.x * AREA_UNIT
+
+    @property
+    def area(self) -> float:
+        """Cell outline area in track^2.
+
+        Sizes sharing a footprint share an outline (that of the largest
+        member), which is what makes post-route in-footprint sizing a
+        zero-perturbation move.
+        """
+        if self.footprint_area is not None:
+            return self.footprint_area
+        return self.device_area
+
+    @property
+    def width(self) -> float:
+        """Cell width in tracks, at the standard row height."""
+        return self.area / ROW_HEIGHT
+
+    @property
+    def height(self) -> float:
+        return ROW_HEIGHT
+
+    def delay(self, load: float) -> float:
+        """Load-based gate delay in ps: ``p*tau + R_drive * C_load``."""
+        return self.intrinsic_delay + self.drive_resistance * load
+
+    def gain_for_load(self, load: float) -> float:
+        """Electrical effort h = C_out / C_in for a given load."""
+        cin = self.input_cap()
+        if cin <= 0:
+            return 0.0
+        return load / cin

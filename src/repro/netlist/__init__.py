@@ -1,0 +1,27 @@
+"""Gate-level netlist data model.
+
+TPS gives every transform a *unified view* of the synthesis and
+placement design space: boolean (connectivity), electrical (sizes,
+gains) and physical (positions) data live on one ``Netlist`` object.
+Incremental analyzers (timing, Steiner trees, congestion) subscribe to
+the netlist's change events instead of polling, which is what makes
+"recalculations only happen in regions affected by netlist or placement
+changes" possible.
+"""
+
+from repro.netlist.cell import Cell, Pin
+from repro.netlist.net import Net
+from repro.netlist.netlist import Netlist, NetlistListener
+from repro.netlist.ports import input_port_type, output_port_type
+from repro.netlist import ops
+
+__all__ = [
+    "Cell",
+    "Pin",
+    "Net",
+    "Netlist",
+    "NetlistListener",
+    "input_port_type",
+    "output_port_type",
+    "ops",
+]

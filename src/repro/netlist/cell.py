@@ -1,0 +1,177 @@
+"""Cells (gate instances) and their instance pins."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.geometry import Point, Rect
+from repro.library.types import GateKind, GateSize, PinDirection, PinSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.netlist.net import Net
+    from repro.netlist.netlist import Netlist
+
+
+class Pin:
+    """An instance pin: a library pin materialised on a particular cell."""
+
+    __slots__ = ("cell", "spec", "net")
+
+    def __init__(self, cell: "Cell", spec: PinSpec) -> None:
+        self.cell = cell
+        self.spec = spec
+        self.net: Optional["Net"] = None
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def full_name(self) -> str:
+        return "%s/%s" % (self.cell.name, self.spec.name)
+
+    @property
+    def direction(self) -> PinDirection:
+        return self.spec.direction
+
+    @property
+    def is_output(self) -> bool:
+        return self.spec.direction is PinDirection.OUTPUT
+
+    @property
+    def is_input(self) -> bool:
+        return self.spec.direction is PinDirection.INPUT
+
+    @property
+    def is_clock(self) -> bool:
+        return self.spec.is_clock
+
+    @property
+    def is_scan(self) -> bool:
+        return self.spec.is_scan
+
+    @property
+    def position(self) -> Optional[Point]:
+        """Pin position; cells are small so pins sit at the cell origin."""
+        return self.cell.position
+
+    def input_cap(self) -> float:
+        """Capacitance presented by this pin to its net (fF).
+
+        Output pins present no load; input pin capacitance scales with
+        the cell's current size.
+        """
+        if self.is_output:
+            return 0.0
+        return self.cell.size.input_cap(self.spec.name)
+
+    def __repr__(self) -> str:
+        return "<Pin %s>" % self.full_name
+
+
+class Cell:
+    """A placed (or not-yet-placed) instance of a library gate size.
+
+    Electrical state: ``size`` (the current drive strength) and
+    ``gain`` (the target electrical effort in gain-based mode — the
+    paper's "sizeless cells, only a gain value is assigned").
+    Physical state: ``position`` (cell origin in tracks) and ``fixed``.
+    """
+
+    __slots__ = (
+        "name", "size", "position", "fixed", "gain",
+        "_pins", "netlist", "tags",
+    )
+
+    def __init__(self, name: str, size: GateSize,
+                 position: Optional[Point] = None,
+                 fixed: bool = False) -> None:
+        self.name = name
+        self.size = size
+        self.position = position
+        self.fixed = fixed
+        #: Target gain (electrical effort) in gain-based delay mode.
+        self.gain: Optional[float] = None
+        self.netlist: Optional["Netlist"] = None
+        #: Free-form markers ("in_clock_tree", "scan_chain:3", ...).
+        self.tags: set = set()
+        self._pins: Dict[str, Pin] = {
+            spec.name: Pin(self, spec) for spec in size.gate_type.pins
+        }
+
+    # -- structure ---------------------------------------------------
+
+    @property
+    def gate_type(self):
+        return self.size.gate_type
+
+    @property
+    def type_name(self) -> str:
+        return self.size.gate_type.name
+
+    def pin(self, name: str) -> Pin:
+        try:
+            return self._pins[name]
+        except KeyError:
+            raise KeyError("cell %s has no pin %r" % (self.name, name))
+
+    def pins(self) -> List[Pin]:
+        return list(self._pins.values())
+
+    def input_pins(self) -> List[Pin]:
+        return [p for p in self._pins.values() if p.is_input]
+
+    def output_pins(self) -> List[Pin]:
+        return [p for p in self._pins.values() if p.is_output]
+
+    def output_pin(self) -> Pin:
+        outs = self.output_pins()
+        if len(outs) != 1:
+            raise ValueError("cell %s has %d output pins" % (self.name, len(outs)))
+        return outs[0]
+
+    # -- classification ----------------------------------------------
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.gate_type.kind is GateKind.SEQUENTIAL
+
+    @property
+    def is_port(self) -> bool:
+        return self.gate_type.kind is GateKind.PORT
+
+    @property
+    def is_clock_buffer(self) -> bool:
+        return self.gate_type.kind is GateKind.CLOCK_BUFFER
+
+    @property
+    def is_movable(self) -> bool:
+        return not self.fixed
+
+    # -- physical ----------------------------------------------------
+
+    @property
+    def area(self) -> float:
+        return self.size.area
+
+    @property
+    def placed(self) -> bool:
+        return self.position is not None
+
+    def require_position(self) -> Point:
+        if self.position is None:
+            raise ValueError("cell %s is not placed" % self.name)
+        return self.position
+
+    def outline(self) -> Rect:
+        """The cell's physical outline at its current position."""
+        pos = self.require_position()
+        return Rect(pos.x, pos.y, pos.x + self.size.width,
+                    pos.y + self.size.height)
+
+    def __repr__(self) -> str:
+        where = (
+            "@(%g,%g)" % (self.position.x, self.position.y)
+            if self.position is not None else "unplaced"
+        )
+        return "<Cell %s %s %s>" % (self.name, self.size.name, where)

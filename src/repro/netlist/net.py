@@ -1,0 +1,93 @@
+"""Nets: the hyperedges of the netlist."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.geometry import Point, Rect
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.netlist.cell import Cell, Pin
+
+
+class Net:
+    """A net connecting one driver pin to zero or more sink pins.
+
+    ``weight`` is the placement net weight manipulated by the
+    ``LogicalEffortNetWeight`` transform and by the staged clock/scan
+    masking protocol (a weight of 0 makes placement ignore the net).
+    ``base_weight`` remembers the original value so masked weights can
+    be restored.
+    """
+
+    __slots__ = ("name", "weight", "base_weight", "is_clock", "is_scan",
+                 "_pins", "netlist")
+
+    def __init__(self, name: str, weight: float = 1.0,
+                 is_clock: bool = False, is_scan: bool = False) -> None:
+        self.name = name
+        self.weight = weight
+        self.base_weight = weight
+        self.is_clock = is_clock
+        self.is_scan = is_scan
+        self._pins: List["Pin"] = []
+        self.netlist = None
+
+    # -- connectivity ------------------------------------------------
+
+    def pins(self) -> List["Pin"]:
+        return list(self._pins)
+
+    @property
+    def degree(self) -> int:
+        return len(self._pins)
+
+    def driver(self) -> Optional["Pin"]:
+        """The unique driving (output) pin, or ``None`` if undriven."""
+        for p in self._pins:
+            if p.is_output:
+                return p
+        return None
+
+    def sinks(self) -> List["Pin"]:
+        """All input pins on the net."""
+        return [p for p in self._pins if p.is_input]
+
+    def cells(self) -> List["Cell"]:
+        """Distinct cells touching this net, in pin order."""
+        seen = set()
+        out = []
+        for p in self._pins:
+            if id(p.cell) not in seen:
+                seen.add(id(p.cell))
+                out.append(p.cell)
+        return out
+
+    # -- electrical --------------------------------------------------
+
+    def pin_load(self) -> float:
+        """Total sink pin capacitance on the net (fF), excluding wire."""
+        return sum(p.input_cap() for p in self._pins if p.is_input)
+
+    # -- physical ----------------------------------------------------
+
+    def placed_points(self) -> List[Point]:
+        """Positions of all placed pins on the net."""
+        return [p.position for p in self._pins if p.position is not None]
+
+    def bounding_box(self) -> Optional[Rect]:
+        """Bounding box of placed pins, or ``None`` if fewer than one."""
+        pts = self.placed_points()
+        if not pts:
+            return None
+        return Rect.bounding(pts)
+
+    def hpwl(self) -> float:
+        """Half-perimeter wirelength over placed pins (tracks)."""
+        box = self.bounding_box()
+        if box is None:
+            return 0.0
+        return box.half_perimeter()
+
+    def __repr__(self) -> str:
+        return "<Net %s deg=%d w=%g>" % (self.name, self.degree, self.weight)

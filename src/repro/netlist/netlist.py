@@ -1,0 +1,297 @@
+"""The ``Netlist`` container and its change-event bus.
+
+Both changes to positions of cells and changes to the netlist may
+trigger incremental recalculations of timing and Steiner trees
+(section 3).  Analyzers implement ``NetlistListener`` and register
+with ``Netlist.add_listener``; every mutating operation on the netlist
+notifies them, so nothing ever has to diff or poll the design.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+from repro.geometry import Point
+from repro.library.types import GateSize
+from repro.netlist.cell import Cell, Pin
+from repro.netlist.net import Net
+from repro.netlist.ports import input_port_type, output_port_type
+
+
+class NetlistListener:
+    """Interface for incremental analyzers subscribed to a netlist.
+
+    Every hook is a no-op by default; analyzers override the events
+    they care about.  ``old_position`` / ``old_size`` let a listener
+    invalidate state keyed on the previous value.
+
+    ``is_physical_view`` marks listeners that track the *physical*
+    image (bin occupancy): they are the only ones notified of
+    **virtual** resizes — the paper's virtual discretization gives the
+    placer new cell shapes without updating timing analysis.
+    """
+
+    is_physical_view = False
+
+    def on_cell_added(self, cell: Cell) -> None:
+        pass
+
+    def on_cell_removed(self, cell: Cell) -> None:
+        pass
+
+    def on_cell_moved(self, cell: Cell, old_position: Optional[Point]) -> None:
+        pass
+
+    def on_cell_resized(self, cell: Cell, old_size: GateSize) -> None:
+        pass
+
+    def on_net_added(self, net: Net) -> None:
+        pass
+
+    def on_net_removed(self, net: Net) -> None:
+        pass
+
+    def on_connect(self, pin: Pin, net: Net) -> None:
+        pass
+
+    def on_disconnect(self, pin: Pin, net: Net) -> None:
+        pass
+
+
+class Netlist:
+    """A mutable gate-level netlist with placement data and event bus."""
+
+    def __init__(self, name: str = "design") -> None:
+        self.name = name
+        self._cells: Dict[str, Cell] = {}
+        self._nets: Dict[str, Net] = {}
+        self._listeners: List[NetlistListener] = []
+        self._name_counter = itertools.count()
+
+    # -- listeners ---------------------------------------------------
+
+    def add_listener(self, listener: NetlistListener) -> None:
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: NetlistListener) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def _emit(self, hook: str, *args) -> None:
+        for listener in self._listeners:
+            getattr(listener, hook)(*args)
+
+    # -- naming ------------------------------------------------------
+
+    def unique_name(self, prefix: str) -> str:
+        """A cell/net name not yet used in this netlist."""
+        while True:
+            candidate = "%s_%d" % (prefix, next(self._name_counter))
+            if candidate not in self._cells and candidate not in self._nets:
+                return candidate
+
+    # -- cells -------------------------------------------------------
+
+    def add_cell(self, name: str, size: GateSize,
+                 position: Optional[Point] = None,
+                 fixed: bool = False) -> Cell:
+        if name in self._cells:
+            raise ValueError("duplicate cell name %r" % name)
+        cell = Cell(name, size, position=position, fixed=fixed)
+        cell.netlist = self
+        self._cells[name] = cell
+        self._emit("on_cell_added", cell)
+        return cell
+
+    def remove_cell(self, cell: Cell) -> None:
+        """Remove a cell, disconnecting all its pins first."""
+        if self._cells.get(cell.name) is not cell:
+            raise KeyError("cell %s is not in this netlist" % cell.name)
+        for pin in cell.pins():
+            if pin.net is not None:
+                self.disconnect(pin)
+        del self._cells[cell.name]
+        cell.netlist = None
+        self._emit("on_cell_removed", cell)
+
+    def cell(self, name: str) -> Cell:
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise KeyError("no cell %r in netlist %s" % (name, self.name))
+
+    def has_cell(self, name: str) -> bool:
+        return name in self._cells
+
+    def cells(self) -> List[Cell]:
+        return list(self._cells.values())
+
+    def movable_cells(self) -> List[Cell]:
+        return [c for c in self._cells.values() if c.is_movable]
+
+    def ports(self) -> List[Cell]:
+        return [c for c in self._cells.values() if c.is_port]
+
+    def logic_cells(self) -> List[Cell]:
+        """All non-port cells (the paper's "icells")."""
+        return [c for c in self._cells.values() if not c.is_port]
+
+    def sequential_cells(self) -> List[Cell]:
+        return [c for c in self._cells.values() if c.is_sequential]
+
+    # -- ports -------------------------------------------------------
+
+    def add_input_port(self, name: str, position: Optional[Point] = None) -> Cell:
+        """Add a primary input (drives a net through its Z pin)."""
+        size = GateSize(input_port_type(), 1.0, "PORT_FP", footprint_area=0.0)
+        return self.add_cell(name, size, position=position, fixed=True)
+
+    def add_output_port(self, name: str, position: Optional[Point] = None) -> Cell:
+        """Add a primary output (sinks a net through its A pin)."""
+        size = GateSize(output_port_type(), 1.0, "PORT_FP", footprint_area=0.0)
+        return self.add_cell(name, size, position=position, fixed=True)
+
+    # -- nets --------------------------------------------------------
+
+    def add_net(self, name: str, weight: float = 1.0,
+                is_clock: bool = False, is_scan: bool = False) -> Net:
+        if name in self._nets:
+            raise ValueError("duplicate net name %r" % name)
+        net = Net(name, weight=weight, is_clock=is_clock, is_scan=is_scan)
+        net.netlist = self
+        self._nets[name] = net
+        self._emit("on_net_added", net)
+        return net
+
+    def remove_net(self, net: Net) -> None:
+        """Remove a net, disconnecting any remaining pins first."""
+        if self._nets.get(net.name) is not net:
+            raise KeyError("net %s is not in this netlist" % net.name)
+        for pin in net.pins():
+            self.disconnect(pin)
+        del self._nets[net.name]
+        net.netlist = None
+        self._emit("on_net_removed", net)
+
+    def net(self, name: str) -> Net:
+        try:
+            return self._nets[name]
+        except KeyError:
+            raise KeyError("no net %r in netlist %s" % (name, self.name))
+
+    def has_net(self, name: str) -> bool:
+        return name in self._nets
+
+    def nets(self) -> List[Net]:
+        return list(self._nets.values())
+
+    # -- connectivity ------------------------------------------------
+
+    def connect(self, pin: Pin, net: Net) -> None:
+        """Attach ``pin`` to ``net`` (disconnecting it first if needed)."""
+        if self._nets.get(net.name) is not net:
+            raise KeyError("net %s is not in this netlist" % net.name)
+        if pin.net is net:
+            return
+        if pin.net is not None:
+            self.disconnect(pin)
+        if pin.is_output and net.driver() is not None:
+            raise ValueError(
+                "net %s already driven by %s; cannot add driver %s"
+                % (net.name, net.driver().full_name, pin.full_name)
+            )
+        net._pins.append(pin)
+        pin.net = net
+        self._emit("on_connect", pin, net)
+
+    def disconnect(self, pin: Pin) -> None:
+        """Detach ``pin`` from its net (no-op if already floating)."""
+        net = pin.net
+        if net is None:
+            return
+        net._pins.remove(pin)
+        pin.net = None
+        self._emit("on_disconnect", pin, net)
+
+    # -- physical / electrical edits ----------------------------------
+
+    def move_cell(self, cell: Cell, position: Optional[Point]) -> None:
+        """Place or move a cell; fires ``on_cell_moved``."""
+        if self._cells.get(cell.name) is not cell:
+            raise KeyError("cell %s is not in this netlist" % cell.name)
+        old = cell.position
+        if old == position:
+            return
+        cell.position = position
+        self._emit("on_cell_moved", cell, old)
+
+    def resize_cell(self, cell: Cell, new_size: GateSize,
+                    virtual: bool = False) -> None:
+        """Swap a cell to another size of the *same gate type*.
+
+        With ``virtual=True`` only physical-view listeners (the bin
+        image) are notified: the placer sees the new width and height,
+        but timing analysis is not updated — section 4.4's virtual
+        discretization.  A later mode switch or actual resize
+        resynchronises the analyzers.
+        """
+        if self._cells.get(cell.name) is not cell:
+            raise KeyError("cell %s is not in this netlist" % cell.name)
+        if new_size.gate_type.name != cell.gate_type.name:
+            raise ValueError(
+                "resize must stay within gate type (%s -> %s); use ops.remap"
+                % (cell.type_name, new_size.gate_type.name)
+            )
+        if new_size == cell.size:
+            return
+        old = cell.size
+        cell.size = new_size
+        if virtual:
+            for listener in self._listeners:
+                if listener.is_physical_view:
+                    listener.on_cell_resized(cell, old)
+        else:
+            self._emit("on_cell_resized", cell, old)
+
+    # -- aggregate metrics --------------------------------------------
+
+    @property
+    def num_cells(self) -> int:
+        return len(self._cells)
+
+    @property
+    def num_nets(self) -> int:
+        return len(self._nets)
+
+    def total_cell_area(self) -> float:
+        """Total area of non-port cells (track^2)."""
+        return sum(c.area for c in self._cells.values() if not c.is_port)
+
+    def total_hpwl(self) -> float:
+        """Total half-perimeter wirelength over all nets (tracks)."""
+        return sum(n.hpwl() for n in self._nets.values())
+
+    def check_consistency(self) -> None:
+        """Validate pin<->net back-references; raise on corruption."""
+        for net in self._nets.values():
+            drivers = [p for p in net._pins if p.is_output]
+            if len(drivers) > 1:
+                raise AssertionError("net %s has %d drivers" % (net.name, len(drivers)))
+            for pin in net._pins:
+                if pin.net is not net:
+                    raise AssertionError(
+                        "pin %s back-reference broken" % pin.full_name)
+                if self._cells.get(pin.cell.name) is not pin.cell:
+                    raise AssertionError(
+                        "pin %s belongs to a removed cell" % pin.full_name)
+        for cell in self._cells.values():
+            for pin in cell.pins():
+                if pin.net is not None and self._nets.get(pin.net.name) is not pin.net:
+                    raise AssertionError(
+                        "pin %s connected to removed net" % pin.full_name)
+
+    def __repr__(self) -> str:
+        return "<Netlist %s: %d cells, %d nets>" % (
+            self.name, len(self._cells), len(self._nets))

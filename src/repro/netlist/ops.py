@@ -1,0 +1,191 @@
+"""Netlist editing operations used by the synthesis transforms.
+
+Every operation goes through the ``Netlist`` mutation API so that
+subscribed incremental analyzers see each elementary change.  All
+operations return the objects they created, and each has an inverse (or
+is its own inverse) so transforms can implement try/score/reject.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.geometry import Point
+from repro.library import Library
+from repro.netlist.cell import Cell, Pin
+from repro.netlist.net import Net
+from repro.netlist.netlist import Netlist
+
+
+def clone_cell(netlist: Netlist, cell: Cell, sink_pins: Sequence[Pin],
+               position: Optional[Point] = None) -> Cell:
+    """Clone ``cell`` and move ``sink_pins`` of its output net to the clone.
+
+    The clone shares all input nets with the original; a new output net
+    is created, driven by the clone, and the given sinks are
+    re-connected to it.  Used by the cloning transform to split heavy
+    fanout or to pull logic toward a distant sink cluster.
+    """
+    out = cell.output_pin()
+    if out.net is None:
+        raise ValueError("cannot clone %s: output is unconnected" % cell.name)
+    original_net = out.net
+    sink_set = set(id(p) for p in sink_pins)
+    for p in sink_pins:
+        if p.net is not original_net:
+            raise ValueError(
+                "sink %s is not on %s's output net" % (p.full_name, cell.name))
+    clone = netlist.add_cell(
+        netlist.unique_name(cell.name + "_cln"), cell.size,
+        position=position if position is not None else cell.position,
+    )
+    clone.gain = cell.gain
+    for pin in cell.input_pins():
+        if pin.net is not None:
+            netlist.connect(clone.pin(pin.name), pin.net)
+    new_net = netlist.add_net(
+        netlist.unique_name(original_net.name + "_cln"),
+        weight=original_net.weight,
+        is_clock=original_net.is_clock, is_scan=original_net.is_scan,
+    )
+    netlist.connect(clone.output_pin(), new_net)
+    for p in list(original_net.sinks()):
+        if id(p) in sink_set:
+            netlist.connect(p, new_net)
+    return clone
+
+
+def unclone_cell(netlist: Netlist, clone: Cell, original: Cell) -> None:
+    """Undo ``clone_cell``: fold the clone's sinks back and delete it."""
+    clone_net = clone.output_pin().net
+    original_net = original.output_pin().net
+    if clone_net is None or original_net is None:
+        raise ValueError("unclone requires both outputs connected")
+    for p in list(clone_net.sinks()):
+        netlist.connect(p, original_net)
+    netlist.remove_cell(clone)
+    netlist.remove_net(clone_net)
+
+
+def insert_buffer(netlist: Netlist, library: Library, net: Net,
+                  sink_pins: Sequence[Pin],
+                  position: Optional[Point] = None,
+                  buffer_x: float = 2.0) -> Cell:
+    """Insert a BUF driving ``sink_pins``, leaving other sinks on ``net``.
+
+    The buffer's input joins ``net``; a fresh net carries its output to
+    the selected sinks.  Used to shield a critical driver from
+    off-path load or to repeat a long wire.
+    """
+    if net.driver() is None:
+        raise ValueError("cannot buffer undriven net %s" % net.name)
+    for p in sink_pins:
+        if p.net is not net:
+            raise ValueError("pin %s is not on net %s" % (p.full_name, net.name))
+        if p.is_output:
+            raise ValueError("cannot buffer the driver pin %s" % p.full_name)
+    size = min(library.sizes("BUF"), key=lambda s: abs(s.x - buffer_x))
+    buf = netlist.add_cell(
+        netlist.unique_name(net.name + "_buf"), size, position=position)
+    netlist.connect(buf.pin("A"), net)
+    buffered = netlist.add_net(
+        netlist.unique_name(net.name + "_bufd"), weight=net.weight,
+        is_clock=net.is_clock, is_scan=net.is_scan,
+    )
+    netlist.connect(buf.pin("Z"), buffered)
+    for p in list(sink_pins):
+        netlist.connect(p, buffered)
+    return buf
+
+
+def remove_buffer(netlist: Netlist, buffer_cell: Cell) -> None:
+    """Undo ``insert_buffer``: reattach buffered sinks to the source net."""
+    if buffer_cell.type_name not in ("BUF", "CLKBUF"):
+        raise ValueError("%s is not a buffer" % buffer_cell.name)
+    source = buffer_cell.pin("A").net
+    buffered = buffer_cell.output_pin().net
+    if source is None or buffered is None:
+        raise ValueError("buffer %s is not fully connected" % buffer_cell.name)
+    for p in list(buffered.sinks()):
+        netlist.connect(p, source)
+    netlist.remove_cell(buffer_cell)
+    netlist.remove_net(buffered)
+
+
+def swap_pins(netlist: Netlist, cell: Cell, pin_a: str, pin_b: str) -> None:
+    """Exchange the nets on two input pins of ``cell``.
+
+    Callers must ensure the pins are functionally interchangeable
+    (same library swap group); this operation is its own inverse.
+    """
+    a, b = cell.pin(pin_a), cell.pin(pin_b)
+    spec_a = cell.gate_type.pin(pin_a)
+    spec_b = cell.gate_type.pin(pin_b)
+    if (spec_a.swap_group is None or spec_a.swap_group != spec_b.swap_group):
+        raise ValueError(
+            "pins %s and %s of %s are not swappable"
+            % (pin_a, pin_b, cell.type_name))
+    net_a, net_b = a.net, b.net
+    netlist.disconnect(a)
+    netlist.disconnect(b)
+    if net_b is not None:
+        netlist.connect(a, net_b)
+    if net_a is not None:
+        netlist.connect(b, net_a)
+
+
+#: Decomposition rules: type -> (front stage type, front input pins,
+#: back stage type, back free pin).  front output feeds the back gate's
+#: first listed pin.
+_DECOMPOSE_RULES: Dict[str, Tuple[str, List[str], str, List[str]]] = {
+    "NAND3": ("AND2", ["A", "B"], "NAND2", ["C"]),
+    "NOR3": ("OR2", ["A", "B"], "NOR2", ["C"]),
+    "NAND4": ("AND2", ["A", "B"], "NAND3", ["C", "D"]),
+    "AND2": ("NAND2", ["A", "B"], "INV", []),
+    "OR2": ("NOR2", ["A", "B"], "INV", []),
+}
+
+
+def can_decompose(cell: Cell) -> bool:
+    """True if ``decompose_cell`` has a rule for this cell's type."""
+    return cell.type_name in _DECOMPOSE_RULES
+
+
+def decompose_cell(netlist: Netlist, library: Library,
+                   cell: Cell) -> Tuple[Cell, Cell]:
+    """Re-decompose a complex gate into a two-stage equivalent.
+
+    Returns ``(front, back)``.  The back stage replaces ``cell`` on its
+    output net.  This is the re-decomposition move a congestion
+    transform can use instead of physically moving cells.
+    """
+    rule = _DECOMPOSE_RULES.get(cell.type_name)
+    if rule is None:
+        raise ValueError("no decomposition rule for %s" % cell.type_name)
+    front_type, front_pins, back_type, back_extra = rule
+    out_net = cell.output_pin().net
+    input_nets = {p.name: p.net for p in cell.input_pins()}
+
+    front = netlist.add_cell(
+        netlist.unique_name(cell.name + "_fr"),
+        library.smallest(front_type), position=cell.position)
+    back = netlist.add_cell(
+        netlist.unique_name(cell.name + "_bk"),
+        library.smallest(back_type), position=cell.position)
+    mid = netlist.add_net(netlist.unique_name(cell.name + "_mid"))
+
+    for lib_pin, src_pin in zip(front.gate_type.input_pins, front_pins):
+        if input_nets.get(src_pin) is not None:
+            netlist.connect(front.pin(lib_pin.name), input_nets[src_pin])
+    netlist.connect(front.output_pin(), mid)
+
+    back_inputs = back.gate_type.input_pins
+    netlist.connect(back.pin(back_inputs[0].name), mid)
+    for lib_pin, src_pin in zip(back_inputs[1:], back_extra):
+        if input_nets.get(src_pin) is not None:
+            netlist.connect(back.pin(lib_pin.name), input_nets[src_pin])
+
+    netlist.remove_cell(cell)
+    if out_net is not None:
+        netlist.connect(back.output_pin(), out_net)
+    return front, back

@@ -1,0 +1,42 @@
+"""Primary I/O ports, modelled as fixed single-pin cells.
+
+A primary input drives its net, so its pin is an *output* from the
+netlist's point of view; a primary output is a sink.  Modelling ports
+as cells lets the partitioner, Steiner estimator and timing engine
+treat them uniformly (terminal projection sees them "natively", as the
+paper puts it).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.library.types import GateKind, GateType, PinDirection, PinSpec
+
+
+@lru_cache(maxsize=None)
+def input_port_type() -> GateType:
+    """The gate type of a primary input port."""
+    return GateType(
+        "PORT_IN",
+        GateKind.PORT,
+        (PinSpec("Z", PinDirection.OUTPUT),),
+        logical_effort=1.0,
+        parasitic=0.0,
+        area_factor=0.0,
+        inverting=False,
+    )
+
+
+@lru_cache(maxsize=None)
+def output_port_type() -> GateType:
+    """The gate type of a primary output port."""
+    return GateType(
+        "PORT_OUT",
+        GateKind.PORT,
+        (PinSpec("A", PinDirection.INPUT),),
+        logical_effort=1.0,
+        parasitic=0.0,
+        area_factor=0.0,
+        inverting=False,
+    )

@@ -1,0 +1,20 @@
+"""Min-cut hypergraph partitioning substrate.
+
+The Partitioner placement transform is built on multi-level
+bipartitioning [2, 13] with Fiduccia–Mattheyses refinement and
+Krishnamurthy look-ahead gains [4].  The substrate works on an
+abstract ``Hypergraph`` so the placement layer can encode movable
+cells, fixed terminals (terminal projection) and net weights uniformly.
+"""
+
+from repro.partition.hypergraph import Hypergraph
+from repro.partition.fm import FMResult, fm_bipartition, cut_size
+from repro.partition.multilevel import multilevel_bipartition
+
+__all__ = [
+    "Hypergraph",
+    "FMResult",
+    "fm_bipartition",
+    "cut_size",
+    "multilevel_bipartition",
+]

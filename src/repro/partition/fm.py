@@ -1,0 +1,253 @@
+"""Fiduccia–Mattheyses bipartition refinement.
+
+Single-vertex moves with bucketed gains, a balance window, and
+roll-back to the best prefix of the move sequence.  Ties on first-order
+gain are broken with a Krishnamurthy-style second-order ("look-ahead")
+gain [4]: prefer moves that bring additional nets within one move of
+leaving the cut.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.partition.hypergraph import Hypergraph
+
+
+@dataclass
+class FMResult:
+    """Outcome of FM refinement."""
+
+    sides: List[int]
+    cut: float
+    passes: int
+    moves_applied: int
+
+
+def cut_size(graph: Hypergraph, sides: Sequence[int]) -> float:
+    """Total weight of nets spanning both sides."""
+    total = 0.0
+    for net, w in zip(graph.nets, graph.net_weights):
+        seen0 = seen1 = False
+        for v in net:
+            if sides[v] == 0:
+                seen0 = True
+            else:
+                seen1 = True
+            if seen0 and seen1:
+                total += w
+                break
+    return total
+
+
+def _balance_bounds(graph: Hypergraph, target_fraction: float,
+                    tolerance: float) -> Tuple[float, float]:
+    total = graph.total_weight
+    target = total * target_fraction
+    slop = total * tolerance
+    return max(0.0, target - slop), min(total, target + slop)
+
+
+class _FMPass:
+    """One FM pass: move every free vertex at most once, keep the best
+    prefix."""
+
+    def __init__(self, graph: Hypergraph, sides: List[int],
+                 lo: float, hi: float, rng: random.Random,
+                 lookahead: bool = True) -> None:
+        self.graph = graph
+        self.sides = sides
+        self.lo, self.hi = lo, hi
+        self.rng = rng
+        self.lookahead = lookahead
+        self.incidence = graph.vertex_nets()
+        self.counts = [[0, 0] for _ in graph.nets]
+        for ni, net in enumerate(graph.nets):
+            for v in net:
+                self.counts[ni][sides[v]] += 1
+        self.locked = [False] * graph.num_vertices
+        for v in graph.fixed:
+            self.locked[v] = True
+        self.gain: Dict[int, float] = {}
+        for v in graph.free_vertices():
+            self.gain[v] = self._initial_gain(v)
+        self.heap: List[Tuple[float, float, int, int]] = []
+        self.counter = itertools.count()
+        for v, g in self.gain.items():
+            self._push(v)
+        self.side_weight = [0.0, 0.0]
+        for v in range(graph.num_vertices):
+            self.side_weight[sides[v]] += graph.vertex_weights[v]
+
+    def _initial_gain(self, v: int) -> float:
+        s = self.sides[v]
+        t = 1 - s
+        g = 0.0
+        for ni in self.incidence[v]:
+            w = self.graph.net_weights[ni]
+            if self.counts[ni][s] == 1:
+                g += w
+            if self.counts[ni][t] == 0:
+                g -= w
+        return g
+
+    def _lookahead_gain(self, v: int) -> float:
+        """Second-order gain: nets one extra move away from uncutting."""
+        if not self.lookahead:
+            return 0.0
+        s = self.sides[v]
+        g2 = 0.0
+        for ni in self.incidence[v]:
+            if self.counts[ni][s] == 2:
+                g2 += self.graph.net_weights[ni]
+        return g2
+
+    def _push(self, v: int) -> None:
+        heapq.heappush(self.heap, (
+            -self.gain[v], -self._lookahead_gain(v),
+            next(self.counter), v))
+
+    def _pop_best(self) -> Optional[int]:
+        """Best unlocked, balance-feasible move (lazy heap)."""
+        deferred = []
+        chosen = None
+        while self.heap:
+            negg, _negg2, _n, v = heapq.heappop(self.heap)
+            if self.locked[v]:
+                continue
+            if -negg != self.gain[v]:
+                continue  # stale entry; a fresh one exists
+            s = self.sides[v]
+            w = self.graph.vertex_weights[v]
+            new0 = self.side_weight[0] + (w if s == 1 else -w)
+            if self.lo <= new0 <= self.hi:
+                chosen = v
+                break
+            deferred.append((negg, _negg2, _n, v))
+        for item in deferred:
+            heapq.heappush(self.heap, item)
+        return chosen
+
+    def _apply(self, v: int) -> None:
+        s = self.sides[v]
+        t = 1 - s
+        w_v = self.graph.vertex_weights[v]
+        self.locked[v] = True
+        for ni in self.incidence[v]:
+            w = self.graph.net_weights[ni]
+            net = self.graph.nets[ni]
+            # Before the move (standard FM delta rules):
+            if self.counts[ni][t] == 0:
+                for u in net:
+                    if not self.locked[u]:
+                        self.gain[u] += w
+                        self._push(u)
+            elif self.counts[ni][t] == 1:
+                for u in net:
+                    if self.sides[u] == t and not self.locked[u]:
+                        self.gain[u] -= w
+                        self._push(u)
+            self.counts[ni][s] -= 1
+            self.counts[ni][t] += 1
+            # After the move:
+            if self.counts[ni][s] == 0:
+                for u in net:
+                    if not self.locked[u]:
+                        self.gain[u] -= w
+                        self._push(u)
+            elif self.counts[ni][s] == 1:
+                for u in net:
+                    if self.sides[u] == s and not self.locked[u]:
+                        self.gain[u] += w
+                        self._push(u)
+        self.sides[v] = t
+        self.side_weight[s] -= w_v
+        self.side_weight[t] += w_v
+
+    def run(self) -> Tuple[float, int]:
+        """Execute the pass; returns (total_gain_of_best_prefix, moves)."""
+        sequence: List[int] = []
+        cumulative = 0.0
+        best_gain = 0.0
+        best_len = 0
+        while True:
+            v = self._pop_best()
+            if v is None:
+                break
+            cumulative += self.gain[v]
+            self._apply(v)
+            sequence.append(v)
+            if cumulative > best_gain + 1e-12:
+                best_gain = cumulative
+                best_len = len(sequence)
+        # Roll back moves beyond the best prefix.
+        for v in reversed(sequence[best_len:]):
+            s = self.sides[v]
+            t = 1 - s
+            self.sides[v] = t
+            w_v = self.graph.vertex_weights[v]
+            self.side_weight[s] -= w_v
+            self.side_weight[t] += w_v
+        return best_gain, best_len
+
+
+def fm_bipartition(graph: Hypergraph,
+                   initial_sides: Optional[Sequence[int]] = None,
+                   target_fraction: float = 0.5,
+                   tolerance: float = 0.1,
+                   max_passes: int = 8,
+                   seed: int = 0,
+                   lookahead: bool = True) -> FMResult:
+    """Refine (or create) a bipartition with repeated FM passes.
+
+    ``target_fraction`` is the desired share of total vertex weight on
+    side 0; ``tolerance`` the allowed deviation as a fraction of total
+    weight.  Fixed vertices never move but count toward balance and
+    net cut states.
+    """
+    rng = random.Random(seed)
+    n = graph.num_vertices
+    if initial_sides is None:
+        sides = _random_balanced(graph, target_fraction, rng)
+    else:
+        if len(initial_sides) != n:
+            raise ValueError("initial_sides length mismatch")
+        sides = list(initial_sides)
+    for v, side in graph.fixed.items():
+        sides[v] = side
+
+    lo, hi = _balance_bounds(graph, target_fraction, tolerance)
+    passes = 0
+    total_moves = 0
+    for _ in range(max_passes):
+        fm = _FMPass(graph, sides, lo, hi, rng, lookahead=lookahead)
+        gain, moves = fm.run()
+        passes += 1
+        total_moves += moves
+        if gain <= 1e-12:
+            break
+    return FMResult(sides=sides, cut=cut_size(graph, sides),
+                    passes=passes, moves_applied=total_moves)
+
+
+def _random_balanced(graph: Hypergraph, target_fraction: float,
+                     rng: random.Random) -> List[int]:
+    """Random initial sides hitting the target weight split."""
+    sides = [1] * graph.num_vertices
+    weight0 = 0.0
+    target = graph.total_weight * target_fraction
+    for v, side in graph.fixed.items():
+        sides[v] = side
+        if side == 0:
+            weight0 += graph.vertex_weights[v]
+    order = graph.free_vertices()
+    rng.shuffle(order)
+    for v in order:
+        if weight0 < target:
+            sides[v] = 0
+            weight0 += graph.vertex_weights[v]
+    return sides

@@ -1,0 +1,62 @@
+"""A weighted hypergraph with optional fixed-side vertices."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class Hypergraph:
+    """Vertices 0..n-1 with weights; nets are vertex index lists.
+
+    ``fixed`` pins a vertex to side 0 or 1 (terminal projection uses
+    this to represent connections leaving the region being cut).
+    """
+
+    vertex_weights: List[float]
+    nets: List[List[int]]
+    net_weights: Optional[List[float]] = None
+    fixed: Dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.net_weights is None:
+            self.net_weights = [1.0] * len(self.nets)
+        if len(self.net_weights) != len(self.nets):
+            raise ValueError("net_weights length mismatch")
+        n = self.num_vertices
+        for net in self.nets:
+            for v in net:
+                if not (0 <= v < n):
+                    raise ValueError("net references vertex %d of %d" % (v, n))
+        for v, side in self.fixed.items():
+            if side not in (0, 1):
+                raise ValueError("fixed side must be 0/1")
+            if not (0 <= v < n):
+                raise ValueError("fixed vertex %d out of range" % v)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vertex_weights)
+
+    @property
+    def num_nets(self) -> int:
+        return len(self.nets)
+
+    @property
+    def total_weight(self) -> float:
+        return sum(self.vertex_weights)
+
+    def free_vertices(self) -> List[int]:
+        return [v for v in range(self.num_vertices) if v not in self.fixed]
+
+    def vertex_nets(self) -> List[List[int]]:
+        """For each vertex, the indices of nets containing it."""
+        incidence: List[List[int]] = [[] for _ in range(self.num_vertices)]
+        for ni, net in enumerate(self.nets):
+            for v in set(net):
+                incidence[v].append(ni)
+        return incidence
+
+    def movable_weight(self) -> float:
+        return sum(self.vertex_weights[v] for v in self.free_vertices())

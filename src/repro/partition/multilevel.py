@@ -1,0 +1,131 @@
+"""Multi-level bipartitioning (Alpert/Karypis style [2, 13]).
+
+Coarsen by heavy-edge matching until the graph is small, bipartition
+the coarsest graph, then uncoarsen — projecting sides down and running
+FM refinement at every level.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.partition.fm import FMResult, fm_bipartition
+from repro.partition.hypergraph import Hypergraph
+
+#: Stop coarsening below this many vertices.
+_COARSE_LIMIT = 60
+#: Give up coarsening when a level shrinks less than this factor.
+_MIN_SHRINK = 0.9
+
+
+def _heavy_edge_matching(graph: Hypergraph,
+                         rng: random.Random) -> List[int]:
+    """Greedy matching by clique-model connectivity weight.
+
+    Returns ``match[v]`` = partner vertex (or v itself).  Fixed
+    vertices never merge (they must keep their identity for terminal
+    projection).
+    """
+    n = graph.num_vertices
+    match = list(range(n))
+    matched = [False] * n
+    for v in graph.fixed:
+        matched[v] = True
+
+    # Connectivity weights via small-net clique expansion.
+    neighbor_weight: List[Dict[int, float]] = [dict() for _ in range(n)]
+    for net, w in zip(graph.nets, graph.net_weights):
+        members = [v for v in set(net)]
+        k = len(members)
+        if k < 2 or k > 12:  # huge nets carry no matching signal
+            continue
+        share = w / (k - 1)
+        for i, u in enumerate(members):
+            for x in members[i + 1:]:
+                neighbor_weight[u][x] = neighbor_weight[u].get(x, 0.0) + share
+                neighbor_weight[x][u] = neighbor_weight[x].get(u, 0.0) + share
+
+    order = graph.free_vertices()
+    rng.shuffle(order)
+    for v in order:
+        if matched[v]:
+            continue
+        best, best_w = -1, 0.0
+        for u, w in neighbor_weight[v].items():
+            if not matched[u] and u != v and w > best_w:
+                best, best_w = u, w
+        if best >= 0:
+            match[v] = best
+            match[best] = v
+            matched[v] = matched[best] = True
+        # unmatched vertices stay singleton this round
+    return match
+
+
+def _coarsen(graph: Hypergraph,
+             rng: random.Random) -> Tuple[Hypergraph, List[int]]:
+    """One coarsening level; returns (coarse graph, fine->coarse map)."""
+    match = _heavy_edge_matching(graph, rng)
+    cmap: List[int] = [-1] * graph.num_vertices
+    weights: List[float] = []
+    fixed: Dict[int, int] = {}
+    for v in range(graph.num_vertices):
+        if cmap[v] >= 0:
+            continue
+        u = match[v]
+        idx = len(weights)
+        cmap[v] = idx
+        w = graph.vertex_weights[v]
+        if u != v and cmap[u] < 0:
+            cmap[u] = idx
+            w += graph.vertex_weights[u]
+        weights.append(w)
+        if v in graph.fixed:
+            fixed[idx] = graph.fixed[v]
+    nets: List[List[int]] = []
+    net_weights: List[float] = []
+    seen_nets: Dict[Tuple[int, ...], int] = {}
+    for net, w in zip(graph.nets, graph.net_weights):
+        coarse = tuple(sorted({cmap[v] for v in net}))
+        if len(coarse) < 2:
+            continue
+        if coarse in seen_nets:
+            net_weights[seen_nets[coarse]] += w
+        else:
+            seen_nets[coarse] = len(nets)
+            nets.append(list(coarse))
+            net_weights.append(w)
+    return Hypergraph(weights, nets, net_weights, fixed), cmap
+
+
+def multilevel_bipartition(graph: Hypergraph,
+                           target_fraction: float = 0.5,
+                           tolerance: float = 0.1,
+                           seed: int = 0,
+                           lookahead: bool = True) -> FMResult:
+    """Bipartition via coarsen / initial-cut / refine-on-uncoarsen."""
+    rng = random.Random(seed)
+    levels: List[Tuple[Hypergraph, List[int]]] = []
+    current = graph
+    while (current.num_vertices > _COARSE_LIMIT
+           and len(current.free_vertices()) > _COARSE_LIMIT):
+        coarse, cmap = _coarsen(current, rng)
+        if coarse.num_vertices >= current.num_vertices * _MIN_SHRINK:
+            break
+        levels.append((current, cmap))
+        current = coarse
+
+    result = fm_bipartition(current, target_fraction=target_fraction,
+                            tolerance=tolerance, seed=seed,
+                            lookahead=lookahead)
+    sides = result.sides
+    while levels:
+        fine, cmap = levels.pop()
+        fine_sides = [sides[cmap[v]] for v in range(fine.num_vertices)]
+        result = fm_bipartition(fine, initial_sides=fine_sides,
+                                target_fraction=target_fraction,
+                                tolerance=tolerance, seed=seed,
+                                lookahead=lookahead)
+        sides = result.sides
+    return result

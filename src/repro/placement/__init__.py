@@ -1,0 +1,36 @@
+"""Placement transforms (section 4.1 of the paper).
+
+The placement *function* is decomposed into transforms, each
+addressing one phase of the problem:
+
+* ``Partitioner`` — recursive min-cut bisection with terminal
+  projection; reports the flow's cut status 0..100;
+* ``Reflow`` — sliding windows that let logic flow back across cut
+  lines the strict bipartitioner froze;
+* ``DetailedPlaceOpt`` — greedy windowed swap/permutation improvement;
+* ``QuadraticPlacer`` — GORDIAN-style analytic placement (the SPR
+  baseline's stand-alone placer);
+* ``legalize_rows`` — final row/site legalization;
+* ``CircuitRelocation`` — min-cost-flow bin-to-bin space creation
+  (section 4.6).
+"""
+
+from repro.placement.partitioner import Partitioner
+from repro.placement.reflow import Reflow
+from repro.placement.detailed import DetailedPlaceOpt
+from repro.placement.quadratic import QuadraticPlacer
+from repro.placement.legalize import legalize_rows
+from repro.placement.relocation import CircuitRelocation
+from repro.placement.clustering import cluster_cells
+from repro.placement.quadratic_refine import QuadraticRefine
+
+__all__ = [
+    "Partitioner",
+    "Reflow",
+    "DetailedPlaceOpt",
+    "QuadraticPlacer",
+    "legalize_rows",
+    "CircuitRelocation",
+    "cluster_cells",
+    "QuadraticRefine",
+]

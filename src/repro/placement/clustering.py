@@ -1,0 +1,91 @@
+"""Connectivity clustering (one of the §4.1 placement algorithms).
+
+Tightly-connected movable cells are grouped bottom-up by heavy-edge
+affinity (rounds of matching until a size/area cap), so the early,
+coarse partitioning cuts can move whole clusters instead of individual
+cells — fewer FM vertices, less early-decision noise, and naturally
+co-located timing-coupled logic.  The Partitioner can be told to cut
+cluster-wise for its first cuts (``cluster_first_cuts``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.netlist.cell import Cell
+
+#: Nets wider than this carry no clustering affinity.
+_MAX_NET_DEGREE = 10
+
+
+def _affinities(cells: Sequence[Cell]) -> Dict[Tuple[int, int], float]:
+    """Pairwise connectivity weights (clique model on small nets)."""
+    index = {id(c): i for i, c in enumerate(cells)}
+    weights: Dict[Tuple[int, int], float] = {}
+    seen_nets = set()
+    for cell in cells:
+        for pin in cell.pins():
+            net = pin.net
+            if net is None or net.name in seen_nets:
+                continue
+            seen_nets.add(net.name)
+            if net.degree > _MAX_NET_DEGREE or net.weight <= 0:
+                continue
+            members = sorted({index[id(p.cell)] for p in net.pins()
+                              if id(p.cell) in index})
+            k = len(members)
+            if k < 2:
+                continue
+            share = net.weight / (k - 1)
+            for i, u in enumerate(members):
+                for v in members[i + 1:]:
+                    weights[(u, v)] = weights.get((u, v), 0.0) + share
+    return weights
+
+
+def cluster_cells(cells: Sequence[Cell], max_cluster_cells: int = 4,
+                  max_cluster_area: float = float("inf"),
+                  ) -> List[List[Cell]]:
+    """Group cells into connectivity clusters.
+
+    Rounds of greedy heavy-edge matching merge the most-affine pairs
+    until no merge stays within both caps.  Every input cell appears in
+    exactly one output cluster (singletons allowed).
+    """
+    cells = list(cells)
+    clusters: List[List[int]] = [[i] for i in range(len(cells))]
+    areas = [cells[i].area for i in range(len(cells))]
+    pair_weights = _affinities(cells)
+
+    # cluster-level affinity bootstrapped from cell pairs
+    owner = list(range(len(cells)))
+
+    def find(x: int) -> int:
+        while owner[x] != x:
+            owner[x] = owner[owner[x]]
+            x = owner[x]
+        return x
+
+    sizes = [1] * len(cells)
+    cluster_area = list(areas)
+    edges = sorted(pair_weights.items(), key=lambda kv: -kv[1])
+    merged = True
+    while merged:
+        merged = False
+        for (u, v), _w in edges:
+            ru, rv = find(u), find(v)
+            if ru == rv:
+                continue
+            if sizes[ru] + sizes[rv] > max_cluster_cells:
+                continue
+            if cluster_area[ru] + cluster_area[rv] > max_cluster_area:
+                continue
+            owner[rv] = ru
+            sizes[ru] += sizes[rv]
+            cluster_area[ru] += cluster_area[rv]
+            merged = True
+
+    groups: Dict[int, List[Cell]] = {}
+    for i, cell in enumerate(cells):
+        groups.setdefault(find(i), []).append(cell)
+    return [sorted(g, key=lambda c: c.name) for g in groups.values()]

@@ -1,0 +1,159 @@
+"""Detailed placement optimization (algorithm *DetailedPlaceOpt*).
+
+A small window (approximately large enough for ~20 objects) slides
+across the chip; within each window every pair swap and small-subset
+permutation of positions is tried, the best move is scored — weighted
+wire length, optionally timing — accepted if it improves, and rejected
+otherwise.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, List, Sequence, Set
+
+from repro.design import Design
+from repro.geometry import Point
+from repro.netlist.cell import Cell
+
+
+class DetailedPlaceOpt:
+    """Greedy windowed swap/permutation improvement.
+
+    ``timing_weight`` > 0 adds a worst-slack term to the score (the
+    paper's "scoring function includes timing, noise and area
+    objectives"); the incremental timing engine makes per-move slack
+    queries affordable.
+    """
+
+    def __init__(self, design: Design, window_cells: int = 20,
+                 permutation_size: int = 4, timing_weight: float = 0.0,
+                 legal_mode: bool = False, seed: int = 0) -> None:
+        self.design = design
+        self.window_cells = window_cells
+        self.permutation_size = min(permutation_size, 6)
+        self.timing_weight = timing_weight
+        #: Only exchange positions among equal-width cells, so a legal
+        #: placement stays legal (used after row legalization).
+        self.legal_mode = legal_mode
+        self.rng = random.Random(seed)
+
+    # -- scoring --------------------------------------------------------
+
+    def _local_wl(self, cells: Sequence[Cell]) -> float:
+        """Weighted Steiner length of all nets touching ``cells``."""
+        seen: Set[str] = set()
+        total = 0.0
+        for cell in cells:
+            for pin in cell.pins():
+                net = pin.net
+                if net is None or net.name in seen:
+                    continue
+                seen.add(net.name)
+                total += net.weight * self.design.steiner.length(net)
+        return total
+
+    def _score(self, cells: Sequence[Cell]) -> float:
+        score = self._local_wl(cells)
+        if self.timing_weight > 0:
+            slack = self.design.timing.worst_slack()
+            if slack < float("inf"):
+                score += self.timing_weight * max(0.0, -slack)
+        return score
+
+    # -- move application -------------------------------------------------
+
+    def _try_positions(self, cells: List[Cell],
+                       positions: List[Point]) -> bool:
+        """Tentatively place ``cells`` at ``positions``; keep if better."""
+        old = [c.require_position() for c in cells]
+        before = self._score(cells)
+        netlist = self.design.netlist
+        for c, p in zip(cells, positions):
+            netlist.move_cell(c, p)
+        if self._fits(cells) and self._score(cells) < before - 1e-9:
+            return True
+        for c, p in zip(cells, old):
+            netlist.move_cell(c, p)
+        return False
+
+    def _fits(self, cells: Sequence[Cell]) -> bool:
+        """No bin holding one of ``cells`` may be overfilled."""
+        grid = self.design.grid
+        bins = {grid.bin_of(c) for c in cells}
+        return all(b is None or not b.overfilled for b in bins)
+
+    # -- window generation -------------------------------------------------
+
+    def _windows(self) -> List[List[Cell]]:
+        """Slide over the bin grid, grouping ~window_cells objects."""
+        grid = self.design.grid
+        windows: List[List[Cell]] = []
+        current: List[Cell] = []
+        for b in grid.bins():
+            movable = sorted((c for c in b.cells if c.is_movable),
+                             key=lambda c: c.name)
+            current.extend(movable)
+            if len(current) >= self.window_cells:
+                windows.append(current)
+                current = []
+        if len(current) >= 2:
+            windows.append(current)
+        return windows
+
+    # -- main entry ---------------------------------------------------------
+
+    def run(self) -> int:
+        """One full sweep; returns the number of accepted moves."""
+        accepted = 0
+        for window in self._windows():
+            accepted += self._optimize_window(window)
+        return accepted
+
+    def _optimize_window(self, window: List[Cell]) -> int:
+        accepted = 0
+        # Pairwise swaps: "try swapping with each of the other objects".
+        for i in range(len(window)):
+            for j in range(i + 1, len(window)):
+                a, b = window[i], window[j]
+                if self.legal_mode and a.size.width != b.size.width:
+                    continue
+                pa, pb = a.require_position(), b.require_position()
+                if pa == pb:
+                    continue
+                if self._try_positions([a, b], [pb, pa]):
+                    accepted += 1
+        # "pick several objects, and try all permutations of reordering".
+        pool = window
+        if self.legal_mode:
+            # permute within the most common width class only
+            by_width: Dict[float, List[Cell]] = {}
+            for c in window:
+                by_width.setdefault(c.size.width, []).append(c)
+            pool = max(by_width.values(), key=len)
+        if len(pool) >= 3:
+            k = min(self.permutation_size, len(pool))
+            chosen = self.rng.sample(pool, k)
+            original = [c.require_position() for c in chosen]
+            best_perm = None
+            before = self._score(chosen)
+            for perm in itertools.permutations(range(k)):
+                if list(perm) == list(range(k)):
+                    continue
+                netlist = self.design.netlist
+                for c, idx in zip(chosen, perm):
+                    netlist.move_cell(c, original[idx])
+                if self._fits(chosen):
+                    score = self._score(chosen)
+                    if score < before - 1e-9:
+                        before = score
+                        best_perm = perm
+                for c, p in zip(chosen, original):
+                    netlist.move_cell(c, p)
+            if best_perm is not None:
+                netlist = self.design.netlist
+                for c, idx in zip(chosen, best_perm):
+                    netlist.move_cell(c, original[idx])
+                accepted += 1
+        return accepted

@@ -1,0 +1,192 @@
+"""Row/site legalization.
+
+At the end of the flow "the circuits have exact legal locations for a
+given chip image and the circuit rows ... are exactly defined"
+(section 2).  ``legalize_rows`` snaps every movable cell into standard
+cell rows without overlap, minimizing displacement: cells are processed
+in x order and dropped into the best free gap of a nearby row.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.design import Design
+from repro.geometry import Point, Rect
+from repro.library.types import ROW_HEIGHT
+from repro.netlist.cell import Cell
+
+
+class _Segment:
+    """A blockage-free span of one row, tracking occupied intervals."""
+
+    __slots__ = ("xlo", "xhi", "_starts", "_ends")
+
+    def __init__(self, xlo: float, xhi: float) -> None:
+        self.xlo = xlo
+        self.xhi = xhi
+        self._starts: List[float] = []
+        self._ends: List[float] = []
+
+    def best_gap(self, want_x: float,
+                 width: float) -> Optional[Tuple[float, float]]:
+        """(x, |x - want_x|) of the best legal position, or None."""
+        lo = self.xlo
+        best: Optional[Tuple[float, float]] = None
+        for i in range(len(self._starts) + 1):
+            hi = self._starts[i] if i < len(self._starts) else self.xhi
+            if hi - lo >= width - 1e-9:
+                x = min(max(want_x, lo), hi - width)
+                cost = abs(x - want_x)
+                if best is None or cost < best[1]:
+                    best = (x, cost)
+                if best is not None and lo > want_x \
+                        and best[1] <= lo - want_x:
+                    break  # later gaps start even farther right
+            if i < len(self._ends):
+                lo = max(lo, self._ends[i])
+        return best
+
+    def occupy(self, x: float, width: float) -> None:
+        i = bisect.bisect_left(self._starts, x)
+        self._starts.insert(i, x)
+        self._ends.insert(i, x + width)
+
+
+@dataclass
+class LegalizeResult:
+    """Displacement statistics of a legalization run."""
+
+    placed: int
+    failed: int
+    total_displacement: float
+
+    @property
+    def mean_displacement(self) -> float:
+        return self.total_displacement / self.placed if self.placed else 0.0
+
+
+def _build_rows(design: Design) -> List[Tuple[float, List[_Segment]]]:
+    """Rows (y, free segments) covering the die minus blockages."""
+    die = design.die
+    rows: List[Tuple[float, List[_Segment]]] = []
+    y = die.ylo
+    while y + ROW_HEIGHT <= die.yhi + 1e-9:
+        row_rect = Rect(die.xlo, y, die.xhi, y + ROW_HEIGHT)
+        cut_spans = []
+        for blk in design.blockages:
+            overlap = blk.rect.intersection(row_rect)
+            if overlap is not None and overlap.width > 0 \
+                    and overlap.height > 1e-9:
+                cut_spans.append((overlap.xlo, overlap.xhi))
+        cut_spans.sort()
+        segments = []
+        x = die.xlo
+        for lo, hi in cut_spans:
+            if lo > x:
+                segments.append(_Segment(x, lo))
+            x = max(x, hi)
+        if x < die.xhi:
+            segments.append(_Segment(x, die.xhi))
+        rows.append((y, segments))
+        y += ROW_HEIGHT
+    return rows
+
+
+def legalize_rows(design: Design,
+                  cells: Optional[Sequence[Cell]] = None,
+                  respect_existing: bool = False) -> LegalizeResult:
+    """Assign exact, non-overlapping row positions to movable cells.
+
+    Cells are processed left-to-right; each lands in the gap (over all
+    candidate rows) minimizing Manhattan displacement.  Returns
+    displacement statistics; cells that cannot fit anywhere stay put
+    and are counted in ``failed``.
+
+    With ``respect_existing`` the already-placed cells *not* in
+    ``cells`` are treated as obstacles — incremental legalization for
+    the handful of cells a post-placement transform created or moved.
+    """
+    if cells is None:
+        cells = [c for c in design.netlist.movable_cells() if c.placed]
+    rows = _build_rows(design)
+    if not rows:
+        return LegalizeResult(0, len(list(cells)), 0.0)
+    if respect_existing:
+        moving = {id(c) for c in cells}
+        for other in design.netlist.movable_cells():
+            if id(other) in moving or not other.placed \
+                    or other.size.width <= 0:
+                continue
+            box = other.outline()
+            for row_y, segments in rows:
+                if abs(row_y - box.ylo) > 1e-6:
+                    continue
+                for seg in segments:
+                    if seg.xlo - 1e-9 <= box.xlo and \
+                            box.xhi <= seg.xhi + 1e-9:
+                        seg.occupy(box.xlo, box.width)
+                        break
+                break
+
+    # Wide cells first (clock buffers, x16+ drivers): they need the
+    # large gaps that fragment once ordinary cells are packed.
+    order = sorted(cells, key=lambda c: (-c.size.width,
+                                         c.require_position().x,
+                                         c.require_position().y,
+                                         c.name))
+    placed = 0
+    failed = 0
+    total_disp = 0.0
+    netlist = design.netlist
+    for cell in order:
+        want = cell.require_position()
+        width = cell.size.width
+        best = None  # (cost, row_y, segment, x)
+        for row_y, segments in rows:
+            dy = abs(row_y - want.y)
+            if best is not None and dy >= best[0]:
+                continue  # even a perfect x cannot beat the best found
+            for seg in segments:
+                gap = seg.best_gap(want.x, width)
+                if gap is None:
+                    continue
+                x, dx = gap
+                cost = dx + dy
+                if best is None or cost < best[0]:
+                    best = (cost, row_y, seg, x)
+        if best is None:
+            failed += 1
+            continue
+        cost, row_y, seg, x = best
+        netlist.move_cell(cell, Point(x, row_y))
+        seg.occupy(x, width)
+        total_disp += cost
+        placed += 1
+    return LegalizeResult(placed, failed, total_disp)
+
+
+def check_legal(design: Design, tolerance: float = 1e-6) -> List[str]:
+    """Overlap/off-die violations among movable cells; empty if legal."""
+    problems: List[str] = []
+    cells = [c for c in design.netlist.movable_cells()
+             if c.placed and c.area > 0]
+    outlines = []
+    for c in cells:
+        box = c.outline()
+        if not design.die.contains_rect(box):
+            problems.append("%s outside die" % c.name)
+        outlines.append((box, c.name))
+    by_row = {}
+    for box, name in outlines:
+        by_row.setdefault(round(box.ylo, 3), []).append(
+            (box.xlo, box.xhi, name))
+    for row, spans in by_row.items():
+        spans.sort()
+        for (alo, ahi, aname), (blo, bhi, bname) in zip(spans, spans[1:]):
+            if blo < ahi - tolerance:
+                problems.append("overlap %s / %s in row %g"
+                                % (aname, bname, row))
+    return problems

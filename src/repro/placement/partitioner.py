@@ -1,0 +1,314 @@
+"""The Partitioner placement transform.
+
+Recursive min-cut bisection over the region grid, with *terminal
+projection* done natively: every partitioning operation sees the whole
+netlist and current placement, so connections exiting a region become
+fixed vertices on the side of the cut line their projected position
+falls on — "no data model set up overhead".
+
+The Partitioner also owns the flow's notion of progress: it reports a
+**cut status** between 0 and 100 derived from how far the bins have
+refined, and ``run_to(target)`` advances placement to a requested
+status (section 5).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.design import Design
+from repro.geometry import Point, Rect
+from repro.netlist.cell import Cell
+from repro.partition import Hypergraph, fm_bipartition, multilevel_bipartition
+from repro.placement.regions import Region, RegionGrid
+
+#: Use multilevel partitioning above this many movable vertices.
+_MULTILEVEL_THRESHOLD = 150
+#: Nets wider than this carry almost no cut signal; skip for speed.
+_MAX_NET_DEGREE = 64
+
+
+def bipartition_cells(design: Design, cells: Sequence[Cell],
+                      rect_lo: Rect, rect_hi: Rect, axis: str,
+                      seed: int = 0, lookahead: bool = True,
+                      tolerance: float = 0.1,
+                      initial_sides: Optional[Sequence[int]] = None,
+                      groups: Optional[Sequence[Sequence[Cell]]] = None,
+                      ) -> Tuple[List[Cell], List[Cell]]:
+    """Split ``cells`` across the boundary between two rectangles.
+
+    Returns ``(cells_lo, cells_hi)``.  External connections (pins of
+    cells not in the set, or fixed cells) are projected to fixed
+    vertices; the area split targets the blockage-aware capacity ratio
+    of the two rectangles.
+
+    With ``groups`` (a partition of ``cells`` into clusters), each
+    cluster moves as one FM vertex — the clustering placement mode.
+    ``initial_sides`` is then per group.
+    """
+    cells = list(cells)
+    if not cells:
+        return [], []
+    if axis == "x":
+        cut_coord = rect_lo.xhi
+    else:
+        cut_coord = rect_lo.yhi
+    window = rect_lo.union(rect_hi)
+
+    if groups is None:
+        units: List[List[Cell]] = [[c] for c in cells]
+    else:
+        units = [list(g) for g in groups if g]
+    index = {}
+    for vi, unit in enumerate(units):
+        for cell in unit:
+            index[id(cell)] = vi
+    vertex_weights = [max(sum(c.area for c in unit), 1.0)
+                      for unit in units]
+    nets: List[List[int]] = []
+    net_weights: List[float] = []
+    fixed = {}
+
+    seen_nets = set()
+    for cell in cells:
+        for pin in cell.pins():
+            net = pin.net
+            if net is None or net.name in seen_nets:
+                continue
+            seen_nets.add(net.name)
+            if net.weight <= 0.0 or net.degree > _MAX_NET_DEGREE:
+                continue
+            members: List[int] = []
+            ext_sides = set()
+            for p in net.pins():
+                vi = index.get(id(p.cell))
+                if vi is not None:
+                    if vi not in members:
+                        members.append(vi)
+                    continue
+                pos = p.position
+                if pos is None:
+                    continue
+                clamped = window.clamp(pos)
+                coord = clamped.x if axis == "x" else clamped.y
+                ext_sides.add(0 if coord < cut_coord else 1)
+            if len(members) + len(ext_sides) < 2:
+                continue
+            for side in sorted(ext_sides):
+                vi = len(vertex_weights)
+                vertex_weights.append(0.0)
+                fixed[vi] = side
+                members.append(vi)
+            nets.append(members)
+            net_weights.append(net.weight)
+
+    graph = Hypergraph(vertex_weights, nets, net_weights, fixed)
+    cap_lo = design.effective_capacity(rect_lo)
+    cap_hi = design.effective_capacity(rect_hi)
+    total_cap = cap_lo + cap_hi
+    fraction = cap_lo / total_cap if total_cap > 0 else 0.5
+
+    n_units = len(units)
+    if initial_sides is not None:
+        # Refine an existing assignment (reflow): keep FM flat so the
+        # starting point is preserved rather than re-derived.
+        init = list(initial_sides) + [fixed[v] for v in
+                                      range(n_units, len(vertex_weights))]
+        result = fm_bipartition(graph, initial_sides=init,
+                                target_fraction=fraction,
+                                tolerance=tolerance, seed=seed,
+                                lookahead=lookahead)
+    elif n_units > _MULTILEVEL_THRESHOLD:
+        result = multilevel_bipartition(graph, target_fraction=fraction,
+                                        tolerance=tolerance, seed=seed,
+                                        lookahead=lookahead)
+    else:
+        result = fm_bipartition(graph, target_fraction=fraction,
+                                tolerance=tolerance, seed=seed,
+                                lookahead=lookahead)
+    lo: List[Cell] = []
+    hi: List[Cell] = []
+    for vi, unit in enumerate(units):
+        (lo if result.sides[vi] == 0 else hi).extend(unit)
+    return lo, hi
+
+
+def standard_grid_dims(design: Design,
+                       total_cuts: Optional[int] = None) -> Tuple[int, int]:
+    """The bin grid resolution the Partitioner would finish at.
+
+    Used by flows that do not run the Partitioner (e.g. the SPR
+    baseline) so that routing and cut metrics are computed on the same
+    image resolution as a TPS run of the same design.
+    """
+    n_movable = max(2, len(design.netlist.movable_cells()))
+    if total_cuts is None:
+        total_cuts = max(2, math.ceil(math.log2(n_movable * 2.0)))
+    nx = ny = 1
+    for _ in range(total_cuts):
+        if design.die.width / nx >= design.die.height / ny:
+            nx *= 2
+        else:
+            ny *= 2
+    return nx, ny
+
+
+class Partitioner:
+    """Recursive bisection placement over a ``Design``.
+
+    Invoke ``run_to(target_status)`` to advance placement; each cut
+    doubles the region grid along its longer axis, re-distributes every
+    region's cells by min-cut, snaps positions to region centers, and
+    refines the design's bin image to match.
+    """
+
+    def __init__(self, design: Design, tolerance: float = 0.1,
+                 lookahead: bool = True, seed: int = 0,
+                 total_cuts: Optional[int] = None,
+                 cluster_first_cuts: int = 0,
+                 cluster_size: int = 4) -> None:
+        self.design = design
+        self.tolerance = tolerance
+        self.lookahead = lookahead
+        self.seed = seed
+        #: during the first N cuts, tightly-connected cells move as
+        #: clusters (the §4.1 "clustering" placement algorithm)
+        self.cluster_first_cuts = cluster_first_cuts
+        self.cluster_size = cluster_size
+        self.regions = RegionGrid(design.die)
+        self.regions.seed(design.netlist)
+        self.cut_number = 0
+        n_movable = max(2, len(design.netlist.movable_cells()))
+        if total_cuts is None:
+            # Refine until bins hold less than one cell on average
+            # ("eventually, each bin could contain one cell"), so the
+            # final legalization step barely moves anything.
+            total_cuts = max(2, math.ceil(math.log2(n_movable * 2.0)))
+        self.total_cuts = total_cuts
+        self._sync_image()
+
+    # -- status -----------------------------------------------------------
+
+    @property
+    def status(self) -> int:
+        """Placement progress 0..100, from bin (region) refinement."""
+        return min(100, round(100.0 * self.cut_number / self.total_cuts))
+
+    @property
+    def done(self) -> bool:
+        return self.cut_number >= self.total_cuts
+
+    # -- main entry points --------------------------------------------------
+
+    def run_to(self, target_status: int) -> int:
+        """Cut until status reaches ``target_status`` (or placement done).
+
+        Returns the achieved status, per the paper's contract: "attempt
+        to bring the design into a state with status number as close as
+        possible to the target".
+        """
+        while self.status < target_status and not self.done:
+            self.cut()
+        return self.status
+
+    def cut(self) -> None:
+        """One partitioning cut across every region."""
+        if self.done:
+            return
+        self.sync()
+        axis = self._next_axis()
+        self.regions.split(axis)
+        cluster_this_cut = self.cut_number < self.cluster_first_cuts
+        for lo, hi in self._sibling_pairs(axis):
+            cells = sorted(lo.cells, key=lambda c: c.name)
+            lo.cells = set()
+            for c in cells:
+                self.regions._owner.pop(c.name, None)
+            groups = None
+            if cluster_this_cut and len(cells) > self.cluster_size:
+                from repro.placement.clustering import cluster_cells
+                groups = cluster_cells(cells,
+                                       max_cluster_cells=self.cluster_size)
+            side_lo, side_hi = bipartition_cells(
+                self.design, cells, lo.rect, hi.rect, axis,
+                seed=self.seed + 7919 * self.cut_number + lo.ix * 31 + lo.iy,
+                lookahead=self.lookahead, tolerance=self.tolerance,
+                groups=groups,
+            )
+            for c in side_lo:
+                self.regions.assign(self.design.netlist, c, lo)
+            for c in side_hi:
+                self.regions.assign(self.design.netlist, c, hi)
+        self.cut_number += 1
+        self._sync_image()
+
+    # -- helpers ------------------------------------------------------------
+
+    def _next_axis(self) -> str:
+        rw = self.design.die.width / self.regions.nx
+        rh = self.design.die.height / self.regions.ny
+        return "x" if rw >= rh else "y"
+
+    def _sibling_pairs(self, axis: str) -> List[Tuple[Region, Region]]:
+        pairs = []
+        if axis == "x":
+            for ix in range(0, self.regions.nx, 2):
+                for iy in range(self.regions.ny):
+                    pairs.append((self.regions.region(ix, iy),
+                                  self.regions.region(ix + 1, iy)))
+        else:
+            for ix in range(self.regions.nx):
+                for iy in range(0, self.regions.ny, 2):
+                    pairs.append((self.regions.region(ix, iy),
+                                  self.regions.region(ix, iy + 1)))
+        return pairs
+
+    def _sync_image(self) -> None:
+        """Align the design's bin image and status with the regions."""
+        self.design.grid.resize(self.regions.nx, self.regions.ny)
+        bin_rect = self.design.grid.bin(0, 0).rect
+        self.design.steiner.set_bin_side(
+            (bin_rect.width + bin_rect.height) / 2.0)
+        self.design.status = self.status
+
+    def sync(self) -> None:
+        """Adopt stray cells and drop removed ones.
+
+        Synthesis transforms create and delete cells between cuts; new
+        movable cells are adopted into the region containing their
+        position (or the least-full region when unplaced).
+        """
+        netlist = self.design.netlist
+        live = {c.name for c in netlist.movable_cells()}
+        for region in self.regions.regions():
+            dead = [c for c in region.cells if c.name not in live
+                    or c.netlist is not netlist or not c.is_movable]
+            for c in dead:
+                self.regions.forget(c)
+        for cell in netlist.movable_cells():
+            if self.regions.region_of(cell) is None:
+                self._adopt(cell)
+
+    def _adopt(self, cell: Cell) -> None:
+        if cell.position is not None:
+            target = self._region_at(cell.position)
+        else:
+            target = min(self.regions.regions(),
+                         key=lambda r: r.cell_area())
+        # Keep the cell's exact position if it has one (transforms pick
+        # positions deliberately); just track region membership.
+        pos = cell.position
+        self.regions.assign(self.design.netlist, cell,
+                            target)
+        if pos is not None:
+            self.design.netlist.move_cell(cell, pos)
+
+    def _region_at(self, point: Point) -> Region:
+        die = self.design.die
+        p = die.clamp(point)
+        ix = min(self.regions.nx - 1,
+                 int((p.x - die.xlo) / (die.width / self.regions.nx)))
+        iy = min(self.regions.ny - 1,
+                 int((p.y - die.ylo) / (die.height / self.regions.ny)))
+        return self.regions.region(ix, iy)

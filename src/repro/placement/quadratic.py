@@ -1,0 +1,172 @@
+"""Quadratic (analytic) placement — the SPR baseline's placer.
+
+A GORDIAN-style [14] formulation: minimize sum of squared Euclidean
+edge lengths under a clique/star net model with fixed I/O anchors,
+solved with conjugate gradients, then spread by recursive
+capacity-weighted median bisection.  This is the "commercial quadratic
+placer" stand-in of the paper's SPR comparison flow: a *global cost
+function* placer with no coupling to the timing analyzer beyond static
+net weights.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+from scipy.sparse import coo_matrix, csr_matrix
+from scipy.sparse.linalg import cg
+
+from repro.design import Design
+from repro.geometry import Point, Rect
+from repro.netlist.cell import Cell
+
+#: Nets up to this degree use a clique model; larger nets use a star.
+_CLIQUE_LIMIT = 6
+#: Weak pull to the die center so floating components stay bounded.
+_ANCHOR_WEIGHT = 1e-4
+
+
+class QuadraticPlacer:
+    """Analytic global placement over a design's movable cells."""
+
+    def __init__(self, design: Design, min_region_cells: int = 8,
+                 seed: int = 0) -> None:
+        self.design = design
+        self.min_region_cells = min_region_cells
+        self.seed = seed
+
+    def run(self) -> None:
+        """Solve, spread, and commit bin-level positions."""
+        movable = [c for c in self.design.netlist.movable_cells()]
+        if not movable:
+            return
+        xs, ys = self._solve(movable)
+        positions = self._spread(movable, xs, ys)
+        for cell, pos in zip(movable, positions):
+            self.design.netlist.move_cell(cell, pos)
+
+    # -- system assembly and solve ----------------------------------------
+
+    def _solve(self, movable: List[Cell]) -> Tuple[np.ndarray, np.ndarray]:
+        index = {id(c): i for i, c in enumerate(movable)}
+        n = len(movable)
+        rows: List[int] = []
+        cols: List[int] = []
+        vals: List[float] = []
+        bx = np.zeros(n)
+        by = np.zeros(n)
+        diag = np.full(n, _ANCHOR_WEIGHT)
+        center = self.design.die.center
+        bx += _ANCHOR_WEIGHT * center.x
+        by += _ANCHOR_WEIGHT * center.y
+
+        def add_edge(i: Optional[int], pi: Optional[Point],
+                     j: Optional[int], pj: Optional[Point],
+                     w: float) -> None:
+            """Quadratic spring between two endpoints (index or fixed)."""
+            if i is not None and j is not None:
+                diag[i] += w
+                diag[j] += w
+                rows.extend((i, j))
+                cols.extend((j, i))
+                vals.extend((-w, -w))
+            elif i is not None and pj is not None:
+                diag[i] += w
+                bx[i] += w * pj.x
+                by[i] += w * pj.y
+            elif j is not None and pi is not None:
+                diag[j] += w
+                bx[j] += w * pi.x
+                by[j] += w * pi.y
+
+        for net in self.design.netlist.nets():
+            if net.weight <= 0:
+                continue
+            ends: List[Tuple[Optional[int], Optional[Point]]] = []
+            for pin in net.pins():
+                i = index.get(id(pin.cell))
+                if i is not None:
+                    ends.append((i, None))
+                elif pin.position is not None:
+                    ends.append((None, pin.position))
+            k = len(ends)
+            if k < 2:
+                continue
+            if k <= _CLIQUE_LIMIT:
+                w = net.weight / (k - 1)
+                for a in range(k):
+                    for b in range(a + 1, k):
+                        add_edge(ends[a][0], ends[a][1],
+                                 ends[b][0], ends[b][1], w)
+            else:
+                # Star model: fixed pseudo-center at the mean of fixed
+                # endpoints (or die center), movable members pulled in.
+                fixed_pts = [p for _i, p in ends if p is not None]
+                if fixed_pts:
+                    cx = sum(p.x for p in fixed_pts) / len(fixed_pts)
+                    cy = sum(p.y for p in fixed_pts) / len(fixed_pts)
+                else:
+                    cx, cy = center.x, center.y
+                star = Point(cx, cy)
+                w = net.weight / k
+                for i, p in ends:
+                    if i is not None:
+                        add_edge(i, None, None, star, w)
+
+        rows.extend(range(n))
+        cols.extend(range(n))
+        vals.extend(diag)
+        laplacian = csr_matrix(
+            coo_matrix((vals, (rows, cols)), shape=(n, n)))
+        xs, _ = cg(laplacian, bx, rtol=1e-8, maxiter=500)
+        ys, _ = cg(laplacian, by, rtol=1e-8, maxiter=500)
+        return xs, ys
+
+    # -- spreading ----------------------------------------------------------
+
+    def _spread(self, movable: List[Cell], xs: np.ndarray,
+                ys: np.ndarray) -> List[Point]:
+        """Recursive capacity-weighted median bisection."""
+        positions: List[Optional[Point]] = [None] * len(movable)
+        order = list(range(len(movable)))
+
+        def recurse(idxs: List[int], region: Rect, vertical: bool) -> None:
+            if len(idxs) <= self.min_region_cells:
+                c = region.center
+                for i in idxs:
+                    positions[i] = c
+                return
+            if vertical:
+                idxs.sort(key=lambda i: xs[i])
+                mid = (region.xlo + region.xhi) / 2.0
+                left = Rect(region.xlo, region.ylo, mid, region.yhi)
+                right = Rect(mid, region.ylo, region.xhi, region.yhi)
+            else:
+                idxs.sort(key=lambda i: ys[i])
+                mid = (region.ylo + region.yhi) / 2.0
+                left = Rect(region.xlo, region.ylo, region.xhi, mid)
+                right = Rect(region.xlo, mid, region.xhi, region.yhi)
+            cap_l = self.design.effective_capacity(left)
+            cap_r = self.design.effective_capacity(right)
+            total_cap = cap_l + cap_r
+            frac = cap_l / total_cap if total_cap > 0 else 0.5
+            total_area = sum(max(movable[i].area, 1.0) for i in idxs)
+            want = frac * total_area
+            acc = 0.0
+            split = 0
+            for pos, i in enumerate(idxs):
+                if acc >= want:
+                    split = pos
+                    break
+                acc += max(movable[i].area, 1.0)
+            else:
+                split = len(idxs)
+            split = max(1, min(len(idxs) - 1, split))
+            recurse(idxs[:split], left, not vertical)
+            recurse(idxs[split:], right, not vertical)
+
+        recurse(order, self.design.die,
+                self.design.die.width >= self.design.die.height)
+        return [p if p is not None else self.design.die.center
+                for p in positions]

@@ -1,0 +1,126 @@
+"""Quadratic refinement within regions (§4.1 lists "quadratic" among
+the placement algorithms deployed within TPS).
+
+Mid-flow, each region holds a handful of co-located cells.  This
+transform re-solves the quadratic wirelength minimisation *inside* a
+region — cells outside act as fixed anchors — and keeps the solution
+if it shortens the weighted wirelength of the touched nets.  Unlike the
+stand-alone GORDIAN baseline this is analyzer-coupled and local: a
+refinement transform like any other, freely mixable into scenarios.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.design import Design
+from repro.geometry import Point
+from repro.netlist.cell import Cell
+
+
+class QuadraticRefine:
+    """Per-region quadratic placement refinement."""
+
+    name = "quadratic_refine"
+
+    def __init__(self, min_cells: int = 3, max_cells: int = 40) -> None:
+        self.min_cells = min_cells
+        self.max_cells = max_cells
+
+    def run(self, design: Design) -> int:
+        """Refine every bin's cell group; returns accepted regions."""
+        accepted = 0
+        for b in design.grid.bins():
+            cells = sorted((c for c in b.cells if c.is_movable),
+                           key=lambda c: c.name)
+            if not (self.min_cells <= len(cells) <= self.max_cells):
+                continue
+            if self._refine_group(design, cells, b):
+                accepted += 1
+        return accepted
+
+    # -- internals -------------------------------------------------------
+
+    def _local_wl(self, design: Design, cells: List[Cell]) -> float:
+        seen = set()
+        total = 0.0
+        for cell in cells:
+            for pin in cell.pins():
+                net = pin.net
+                if net is None or net.name in seen:
+                    continue
+                seen.add(net.name)
+                total += net.weight * design.steiner.length(net)
+        return total
+
+    def _refine_group(self, design: Design, cells: List[Cell],
+                      b) -> bool:
+        index = {id(c): i for i, c in enumerate(cells)}
+        n = len(cells)
+        laplacian = np.full((n, n), 0.0)
+        diag = np.full(n, 1e-6)
+        bx = np.zeros(n)
+        by = np.zeros(n)
+        center = b.rect.center
+        bx += 1e-6 * center.x
+        by += 1e-6 * center.y
+
+        seen = set()
+        for cell in cells:
+            for pin in cell.pins():
+                net = pin.net
+                if net is None or net.name in seen or net.weight <= 0:
+                    continue
+                seen.add(net.name)
+                ends = []
+                for p in net.pins():
+                    i = index.get(id(p.cell))
+                    if i is not None:
+                        ends.append((i, None))
+                    elif p.position is not None:
+                        ends.append((None, p.position))
+                k = len(ends)
+                if k < 2 or k > 10:
+                    continue
+                w = net.weight / (k - 1)
+                for a in range(k):
+                    for c in range(a + 1, k):
+                        ia, pa = ends[a]
+                        ic, pc = ends[c]
+                        if ia is not None and ic is not None:
+                            diag[ia] += w
+                            diag[ic] += w
+                            laplacian[ia][ic] -= w
+                            laplacian[ic][ia] -= w
+                        elif ia is not None:
+                            diag[ia] += w
+                            bx[ia] += w * pc.x
+                            by[ia] += w * pc.y
+                        elif ic is not None:
+                            diag[ic] += w
+                            bx[ic] += w * pa.x
+                            by[ic] += w * pa.y
+        np.fill_diagonal(laplacian, diag)
+        try:
+            xs = np.linalg.solve(laplacian, bx)
+            ys = np.linalg.solve(laplacian, by)
+        except np.linalg.LinAlgError:
+            return False
+
+        netlist = design.netlist
+        old = [c.require_position() for c in cells]
+        before = self._local_wl(design, cells)
+        # keep strictly inside the bin: its upper boundary belongs to
+        # the neighbouring bin in the image's indexing
+        margin = min(0.25, b.rect.width / 8.0, b.rect.height / 8.0)
+        interior = b.rect.expanded(-margin)
+        for cell, x, y in zip(cells, xs, ys):
+            target = interior.clamp(Point(float(x), float(y)))
+            netlist.move_cell(cell, target)
+        if self._local_wl(design, cells) < before - 1e-9:
+            return True
+        for cell, p in zip(cells, old):
+            netlist.move_cell(cell, p)
+        return False

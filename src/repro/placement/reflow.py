@@ -1,0 +1,94 @@
+"""The Reflow placement transform.
+
+Strict bipartitioning "traps" objects: early decisions fence logic into
+geometric areas it cannot escape.  Reflow deploys sliding windows that
+roam around the chip between partitioning steps — each window merges
+two adjacent regions (crossing an *earlier* cut line) and re-partitions
+the union, letting logic flow back.  Windows start off large (early,
+when regions are large) and progress to small as the grid refines.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.design import Design
+from repro.placement.partitioner import Partitioner, bipartition_cells
+from repro.placement.regions import Region
+
+
+class Reflow:
+    """Sliding-window re-partitioning over a Partitioner's regions."""
+
+    def __init__(self, partitioner: Partitioner,
+                 tolerance: float = 0.1, lookahead: bool = True) -> None:
+        self.partitioner = partitioner
+        self.tolerance = tolerance
+        self.lookahead = lookahead
+        self._pass_count = 0
+
+    @property
+    def design(self) -> Design:
+        return self.partitioner.design
+
+    def run(self) -> int:
+        """One full reflow pass (both axes, both window offsets).
+
+        Returns the number of cells that changed region.
+        """
+        self.partitioner.sync()
+        moved = 0
+        regions = self.partitioner.regions
+        for axis in ("x", "y"):
+            for offset in (1, 0):
+                for lo, hi in self._window_pairs(axis, offset):
+                    moved += self._reflow_window(lo, hi, axis)
+        self._pass_count += 1
+        return moved
+
+    # -- internals ----------------------------------------------------
+
+    def _window_pairs(self, axis: str,
+                      offset: int) -> List[Tuple[Region, Region]]:
+        """Adjacent region pairs; offset 1 crosses older cut lines."""
+        regions = self.partitioner.regions
+        pairs = []
+        if axis == "x":
+            for ix in range(offset, regions.nx - 1, 2):
+                for iy in range(regions.ny):
+                    pairs.append((regions.region(ix, iy),
+                                  regions.region(ix + 1, iy)))
+        else:
+            for ix in range(regions.nx):
+                for iy in range(offset, regions.ny - 1, 2):
+                    pairs.append((regions.region(ix, iy),
+                                  regions.region(ix, iy + 1)))
+        return pairs
+
+    def _reflow_window(self, lo: Region, hi: Region, axis: str) -> int:
+        """Merge two regions, re-partition, count membership changes."""
+        cells = (sorted(lo.cells, key=lambda c: c.name)
+                 + sorted(hi.cells, key=lambda c: c.name))
+        if len(cells) < 2:
+            return 0
+        before = {c.name: (self.partitioner.regions.region_of(c))
+                  for c in cells}
+        initial = [0 if before[c.name] is lo else 1 for c in cells]
+        side_lo, side_hi = bipartition_cells(
+            self.design, cells, lo.rect, hi.rect, axis,
+            seed=(self.partitioner.seed + 104729 * self._pass_count
+                  + lo.ix * 131 + lo.iy * 7),
+            lookahead=self.lookahead, tolerance=self.tolerance,
+            initial_sides=initial,
+        )
+        moved = 0
+        netlist = self.design.netlist
+        for c in side_lo:
+            if before[c.name] is not lo:
+                moved += 1
+            self.partitioner.regions.assign(netlist, c, lo)
+        for c in side_hi:
+            if before[c.name] is not hi:
+                moved += 1
+            self.partitioner.regions.assign(netlist, c, hi)
+        return moved

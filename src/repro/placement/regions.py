@@ -1,0 +1,137 @@
+"""Region bookkeeping shared by the Partitioner and Reflow.
+
+A ``RegionGrid`` is the placer's view of the die: an nx-by-ny array of
+rectangular regions, each owning a set of movable cells whose positions
+are the region center (the bin abstraction of section 2).  The
+partitioner doubles one axis per cut; reflow re-partitions merged
+neighbour regions in place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.geometry import Point, Rect
+from repro.netlist.cell import Cell
+from repro.netlist.netlist import Netlist
+
+
+class Region:
+    """One placement region and the movable cells assigned to it."""
+
+    __slots__ = ("ix", "iy", "rect", "cells")
+
+    def __init__(self, ix: int, iy: int, rect: Rect) -> None:
+        self.ix = ix
+        self.iy = iy
+        self.rect = rect
+        self.cells: Set[Cell] = set()
+
+    @property
+    def center(self) -> Point:
+        return self.rect.center
+
+    def cell_area(self) -> float:
+        return sum(c.area for c in self.cells)
+
+    def __repr__(self) -> str:
+        return "<Region (%d,%d) %d cells>" % (self.ix, self.iy,
+                                              len(self.cells))
+
+
+class RegionGrid:
+    """The nx-by-ny region array; owns cell-to-region assignment."""
+
+    def __init__(self, die: Rect) -> None:
+        self.die = die
+        self.nx = 1
+        self.ny = 1
+        self._regions: Dict[Tuple[int, int], Region] = {
+            (0, 0): Region(0, 0, die)
+        }
+        self._owner: Dict[str, Region] = {}
+
+    def region(self, ix: int, iy: int) -> Region:
+        return self._regions[(ix, iy)]
+
+    def regions(self) -> List[Region]:
+        return [self._regions[(ix, iy)]
+                for ix in range(self.nx) for iy in range(self.ny)]
+
+    def region_of(self, cell: Cell) -> Optional[Region]:
+        return self._owner.get(cell.name)
+
+    def seed(self, netlist: Netlist) -> None:
+        """Assign every movable cell to the single root region."""
+        if self.nx != 1 or self.ny != 1:
+            raise ValueError("seed() requires an unsplit region grid")
+        root = self._regions[(0, 0)]
+        root.cells = set(netlist.movable_cells())
+        for cell in root.cells:
+            self._owner[cell.name] = root
+            netlist.move_cell(cell, root.center)
+
+    def assign(self, netlist: Netlist, cell: Cell, region: Region) -> None:
+        """Move a cell into ``region`` (position snaps to its center)."""
+        old = self._owner.get(cell.name)
+        if old is not None:
+            old.cells.discard(cell)
+        region.cells.add(cell)
+        self._owner[cell.name] = region
+        netlist.move_cell(cell, region.center)
+
+    def forget(self, cell: Cell) -> None:
+        """Drop a (removed) cell from the region bookkeeping."""
+        old = self._owner.pop(cell.name, None)
+        if old is not None:
+            old.cells.discard(cell)
+
+    def split(self, axis: str) -> None:
+        """Double the region count along ``axis`` ('x' or 'y').
+
+        Cells stay with the *lower* child; the partitioner immediately
+        redistributes them, so the interim assignment is irrelevant —
+        it just keeps the invariant that every cell has a region.
+        """
+        if axis not in ("x", "y"):
+            raise ValueError("axis must be 'x' or 'y'")
+        new: Dict[Tuple[int, int], Region] = {}
+        for (ix, iy), r in self._regions.items():
+            if axis == "x":
+                midx = (r.rect.xlo + r.rect.xhi) / 2.0
+                lo = Region(2 * ix, iy,
+                            Rect(r.rect.xlo, r.rect.ylo, midx, r.rect.yhi))
+                hi = Region(2 * ix + 1, iy,
+                            Rect(midx, r.rect.ylo, r.rect.xhi, r.rect.yhi))
+            else:
+                midy = (r.rect.ylo + r.rect.yhi) / 2.0
+                lo = Region(ix, 2 * iy,
+                            Rect(r.rect.xlo, r.rect.ylo, r.rect.xhi, midy))
+                hi = Region(ix, 2 * iy + 1,
+                            Rect(r.rect.xlo, midy, r.rect.xhi, r.rect.yhi))
+            lo.cells = set(r.cells)
+            for c in lo.cells:
+                self._owner[c.name] = lo
+            new[(lo.ix, lo.iy)] = lo
+            new[(hi.ix, hi.iy)] = hi
+        self._regions = new
+        if axis == "x":
+            self.nx *= 2
+        else:
+            self.ny *= 2
+
+    def check(self, netlist: Netlist) -> None:
+        """Every movable cell in exactly one region, at its center."""
+        seen: Set[str] = set()
+        for r in self._regions.values():
+            for c in r.cells:
+                if c.name in seen:
+                    raise AssertionError("cell %s in two regions" % c.name)
+                seen.add(c.name)
+        movable = {c.name for c in netlist.movable_cells()}
+        if seen != movable:
+            missing = movable - seen
+            extra = seen - movable
+            raise AssertionError(
+                "region/netlist mismatch: missing=%s extra=%s"
+                % (sorted(missing)[:5], sorted(extra)[:5]))

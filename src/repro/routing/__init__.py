@@ -1,0 +1,20 @@
+"""Global routing substrate.
+
+The paper validates wirability after TPS ("we could route all chip
+partitions") and reports horizontal/vertical wires cut (Table 1); the
+wire-load histogram of Figure 2 compares Steiner estimates against the
+final routing.  This package provides the routing stand-in: a
+bin-grid global router initialized from the Steiner topology with
+congestion-aware rip-up-and-reroute, plus the cut metrics.
+"""
+
+from repro.routing.router import GlobalRouter, NetRoute, RoutingResult
+from repro.routing.metrics import CutMetrics, cut_metrics
+
+__all__ = [
+    "GlobalRouter",
+    "NetRoute",
+    "RoutingResult",
+    "CutMetrics",
+    "cut_metrics",
+]

@@ -1,0 +1,59 @@
+"""Wirability metrics: horizontal/vertical wires cut (Table 1).
+
+The paper measures wirability "in terms of the horizontal and vertical
+wires cut", reporting peak and average.  A vertical gridline cuts the
+*horizontal* wires that cross it; a horizontal gridline cuts the
+vertical wires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.routing.router import GlobalRouter
+
+
+@dataclass
+class CutMetrics:
+    """Peak/average wires cut per gridline, by direction."""
+
+    horizontal_peak: float
+    horizontal_avg: float
+    vertical_peak: float
+    vertical_avg: float
+    horizontal_per_line: List[float]
+    vertical_per_line: List[float]
+
+    def row(self) -> str:
+        """Table-1 style "pk/avg" cells."""
+        return "%d/%d  %d/%d" % (
+            round(self.horizontal_peak), round(self.horizontal_avg),
+            round(self.vertical_peak), round(self.vertical_avg))
+
+
+def cut_metrics(router: GlobalRouter) -> CutMetrics:
+    """Compute wires-cut statistics from a routed design."""
+    # horizontal wires cross vertical gridlines: one line per x boundary
+    h_lines: List[float] = []
+    for ix in range(router.nx - 1):
+        total = sum(router.usage(("h", ix, iy))
+                    for iy in range(router.ny))
+        h_lines.append(total)
+    v_lines: List[float] = []
+    for iy in range(router.ny - 1):
+        total = sum(router.usage(("v", ix, iy))
+                    for ix in range(router.nx))
+        v_lines.append(total)
+
+    def peak_avg(lines: List[float]):
+        if not lines:
+            return 0.0, 0.0
+        return max(lines), sum(lines) / len(lines)
+
+    hp, ha = peak_avg(h_lines)
+    vp, va = peak_avg(v_lines)
+    return CutMetrics(horizontal_peak=hp, horizontal_avg=ha,
+                      vertical_peak=vp, vertical_avg=va,
+                      horizontal_per_line=h_lines,
+                      vertical_per_line=v_lines)

@@ -1,0 +1,272 @@
+"""Bin-grid global router.
+
+Nets are routed edge-by-edge over their Steiner topology ("this
+Steiner tree is also being used to initialize the global router",
+section 3): each tree edge becomes an L-shaped path between bins, with
+the bend chosen by congestion.  Edges crossing overflowed boundaries
+are ripped up and re-routed with a congestion-penalised Dijkstra.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.design import Design
+from repro.geometry import Point
+from repro.netlist.net import Net
+
+#: A boundary crossing: ("h", ix, iy) is the boundary between bins
+#: (ix, iy) and (ix+1, iy) — crossed by horizontally running wire.
+Crossing = Tuple[str, int, int]
+
+
+@dataclass
+class NetRoute:
+    """The global route of one net."""
+
+    net_name: str
+    crossings: List[Crossing] = field(default_factory=list)
+    routed_length: float = 0.0
+    steiner_length: float = 0.0
+
+    @property
+    def detour(self) -> float:
+        return self.routed_length - self.steiner_length
+
+
+@dataclass
+class RoutingResult:
+    """Outcome of a full-chip global route."""
+
+    routes: Dict[str, NetRoute]
+    total_overflow: float
+    iterations: int
+
+    @property
+    def routable(self) -> bool:
+        return self.total_overflow <= 0.0
+
+    def total_routed_length(self) -> float:
+        return sum(r.routed_length for r in self.routes.values())
+
+
+class GlobalRouter:
+    """Congestion-aware global routing over a design's bin grid."""
+
+    def __init__(self, design: Design, overflow_penalty: float = 8.0,
+                 max_iterations: int = 3) -> None:
+        self.design = design
+        self.overflow_penalty = overflow_penalty
+        self.max_iterations = max_iterations
+        grid = design.grid
+        self.nx, self.ny = grid.nx, grid.ny
+        self._usage: Dict[Crossing, float] = {}
+        self._cap: Dict[Crossing, float] = {}
+        for ix in range(self.nx - 1):
+            for iy in range(self.ny):
+                a, b = grid.bin(ix, iy), grid.bin(ix + 1, iy)
+                self._cap[("h", ix, iy)] = min(a.wire_capacity_h,
+                                               b.wire_capacity_h)
+        for ix in range(self.nx):
+            for iy in range(self.ny - 1):
+                a, b = grid.bin(ix, iy), grid.bin(ix, iy + 1)
+                self._cap[("v", ix, iy)] = min(a.wire_capacity_v,
+                                               b.wire_capacity_v)
+        self.bin_w = design.die.width / self.nx
+        self.bin_h = design.die.height / self.ny
+
+    # -- public API -----------------------------------------------------
+
+    def route(self, nets: Optional[Sequence[Net]] = None) -> RoutingResult:
+        """Route all (or the given) nets; rip-up/re-route overflow."""
+        if nets is None:
+            nets = [n for n in self.design.netlist.nets() if n.degree >= 2]
+        routes: Dict[str, NetRoute] = {}
+        for net in nets:
+            routes[net.name] = self._route_net(net, maze=False)
+        iterations = 1
+        for _ in range(self.max_iterations - 1):
+            victims = [n for n in nets
+                       if self._is_overflowed(routes[n.name])]
+            if not victims:
+                break
+            for net in victims:
+                self._unroute(routes[net.name])
+                routes[net.name] = self._route_net(net, maze=True)
+            iterations += 1
+        self._publish_bin_usage()
+        return RoutingResult(routes=routes,
+                             total_overflow=self.total_overflow(),
+                             iterations=iterations)
+
+    def usage(self, crossing: Crossing) -> float:
+        return self._usage.get(crossing, 0.0)
+
+    def capacity(self, crossing: Crossing) -> float:
+        return self._cap.get(crossing, 0.0)
+
+    def total_overflow(self) -> float:
+        return sum(max(0.0, u - self._cap.get(c, 0.0))
+                   for c, u in self._usage.items())
+
+    # -- per-net routing ---------------------------------------------------
+
+    def _route_net(self, net: Net, maze: bool) -> NetRoute:
+        route = NetRoute(net.name)
+        tree = self.design.steiner.tree(net)
+        route.steiner_length = self.design.steiner.length(net)
+        pins = net.placed_points()
+        if len(pins) < 2 or len(tree.points) < 2:
+            return route
+        length = 0.0
+        for i, j in tree.edges:
+            a = self._bin_index(tree.points[i])
+            b = self._bin_index(tree.points[j])
+            if maze:
+                path = self._maze_path(a, b)
+            else:
+                path = self._l_path(a, b)
+            length += self._commit_path(route, path)
+        # residual in-bin wiring: pin to its bin center
+        for p in pins:
+            bx, by = self._bin_index(p)
+            center = self.design.grid.bin(bx, by).center
+            length += p.manhattan_to(center)
+        route.routed_length = length
+        return route
+
+    def _unroute(self, route: NetRoute) -> None:
+        for c in route.crossings:
+            self._usage[c] = self._usage.get(c, 0.0) - 1.0
+        route.crossings = []
+
+    def _commit_path(self, route: NetRoute,
+                     path: List[Tuple[int, int]]) -> float:
+        """Add usage along a bin path; returns its wire length."""
+        length = 0.0
+        for (x1, y1), (x2, y2) in zip(path, path[1:]):
+            if x2 == x1 + 1:
+                c: Crossing = ("h", x1, y1)
+                length += self.bin_w
+            elif x2 == x1 - 1:
+                c = ("h", x2, y1)
+                length += self.bin_w
+            elif y2 == y1 + 1:
+                c = ("v", x1, y1)
+                length += self.bin_h
+            else:
+                c = ("v", x1, y2)
+                length += self.bin_h
+            self._usage[c] = self._usage.get(c, 0.0) + 1.0
+            route.crossings.append(c)
+        return length
+
+    # -- path generation -------------------------------------------------------
+
+    def _bin_index(self, point: Point) -> Tuple[int, int]:
+        return self.design.grid.index_at(point)
+
+    def _l_path(self, a: Tuple[int, int],
+                b: Tuple[int, int]) -> List[Tuple[int, int]]:
+        """The less-congested of the two L-shaped routes a->b."""
+        first = self._l_points(a, b, horizontal_first=True)
+        second = self._l_points(a, b, horizontal_first=False)
+        if first == second:
+            return first
+        return min((first, second), key=self._path_congestion)
+
+    def _l_points(self, a: Tuple[int, int], b: Tuple[int, int],
+                  horizontal_first: bool) -> List[Tuple[int, int]]:
+        (ax, ay), (bx, by) = a, b
+        path = [a]
+        x, y = ax, ay
+        def walk_x():
+            nonlocal x
+            while x != bx:
+                x += 1 if bx > x else -1
+                path.append((x, y))
+        def walk_y():
+            nonlocal y
+            while y != by:
+                y += 1 if by > y else -1
+                path.append((x, y))
+        if horizontal_first:
+            walk_x()
+            walk_y()
+        else:
+            walk_y()
+            walk_x()
+        return path
+
+    def _path_congestion(self, path: List[Tuple[int, int]]) -> float:
+        worst = 0.0
+        for (x1, y1), (x2, y2) in zip(path, path[1:]):
+            if x2 != x1:
+                c: Crossing = ("h", min(x1, x2), y1)
+            else:
+                c = ("v", x1, min(y1, y2))
+            cap = self._cap.get(c, 1.0)
+            use = self._usage.get(c, 0.0)
+            ratio = (use + 1.0) / cap if cap > 0 else float("inf")
+            worst = max(worst, ratio)
+        return worst
+
+    def _maze_path(self, a: Tuple[int, int],
+                   b: Tuple[int, int]) -> List[Tuple[int, int]]:
+        """Congestion-penalised Dijkstra over the bin graph."""
+        if a == b:
+            return [a]
+        dist: Dict[Tuple[int, int], float] = {a: 0.0}
+        prev: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        heap: List[Tuple[float, Tuple[int, int]]] = [(0.0, a)]
+        while heap:
+            d, node = heapq.heappop(heap)
+            if node == b:
+                break
+            if d > dist.get(node, float("inf")):
+                continue
+            x, y = node
+            for nxt, c, base in (
+                ((x + 1, y), ("h", x, y), self.bin_w),
+                ((x - 1, y), ("h", x - 1, y), self.bin_w),
+                ((x, y + 1), ("v", x, y), self.bin_h),
+                ((x, y - 1), ("v", x, y - 1), self.bin_h),
+            ):
+                if not (0 <= nxt[0] < self.nx and 0 <= nxt[1] < self.ny):
+                    continue
+                cap = self._cap.get(c, 0.0)
+                use = self._usage.get(c, 0.0)
+                over = max(0.0, use + 1.0 - cap)
+                cost = base * (1.0 + self.overflow_penalty * over)
+                nd = d + cost
+                if nd < dist.get(nxt, float("inf")):
+                    dist[nxt] = nd
+                    prev[nxt] = node
+                    heapq.heappush(heap, (nd, nxt))
+        if b not in prev and a != b:
+            return self._l_points(a, b, horizontal_first=True)
+        path = [b]
+        while path[-1] != a:
+            path.append(prev[path[-1]])
+        path.reverse()
+        return path
+
+    def _is_overflowed(self, route: NetRoute) -> bool:
+        return any(self._usage.get(c, 0.0) > self._cap.get(c, 0.0)
+                   for c in route.crossings)
+
+    # -- publication ----------------------------------------------------------
+
+    def _publish_bin_usage(self) -> None:
+        """Write per-bin wire usage back into the placement image."""
+        grid = self.design.grid
+        grid.reset_wire_usage()
+        for (kind, ix, iy), use in self._usage.items():
+            if kind == "h":
+                for bx in (ix, ix + 1):
+                    grid.bin(bx, iy).wire_used_h += use / 2.0
+            else:
+                for by in (iy, iy + 1):
+                    grid.bin(ix, by).wire_used_v += use / 2.0

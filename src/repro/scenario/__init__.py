@@ -1,0 +1,21 @@
+"""Flow orchestration (section 5).
+
+``TPSScenario`` is the paper's Figure 5: placement advances in status
+steps, and synthesis/placement transforms fire in their status
+windows, producing a single converging flow.  ``SPRFlow`` is the
+baseline it is compared against in Table 1: stand-alone synthesis on a
+wire-load model, a stand-alone quadratic placement, then
+resynthesis — iterated.
+"""
+
+from repro.scenario.report import FlowReport
+from repro.scenario.tps import TPSConfig, TPSScenario
+from repro.scenario.spr import SPRConfig, SPRFlow
+
+__all__ = [
+    "FlowReport",
+    "TPSConfig",
+    "TPSScenario",
+    "SPRConfig",
+    "SPRFlow",
+]

@@ -1,0 +1,72 @@
+"""Flow result reporting (the columns of Table 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.design import Design
+from repro.routing import CutMetrics
+
+
+@dataclass
+class FlowReport:
+    """Everything Table 1 reports about one flow run, plus extras."""
+
+    flow: str
+    design_name: str
+    icells: int
+    cell_area: float
+    worst_slack: float
+    total_negative_slack: float
+    cycle_time: float
+    wirelength: float
+    cuts: Optional[CutMetrics] = None
+    routable: bool = False
+    cpu_seconds: float = 0.0
+    iterations: int = 1
+    trace: List[str] = field(default_factory=list)
+
+    @property
+    def slack_fraction_of_cycle(self) -> float:
+        return self.worst_slack / self.cycle_time
+
+    @staticmethod
+    def cycle_time_improvement(spr: "FlowReport",
+                               tps: "FlowReport") -> float:
+        """The paper's "% cycle time impr." column.
+
+        Improvement of achievable cycle time: the slack delta relative
+        to the constraint cycle.
+        """
+        return 100.0 * (tps.worst_slack - spr.worst_slack) / spr.cycle_time
+
+    def table_row(self) -> str:
+        cuts = self.cuts.row() if self.cuts else "-"
+        return "%-6s %-5s %7d %8.0f %9.1f  %s" % (
+            self.design_name, self.flow, self.icells, self.cell_area,
+            self.worst_slack, cuts)
+
+
+def snapshot(design: Design, flow: str,
+             cuts: Optional[CutMetrics] = None,
+             routable: bool = False,
+             cpu_seconds: float = 0.0,
+             iterations: int = 1,
+             trace: Optional[List[str]] = None) -> FlowReport:
+    """Capture a design's current metrics into a FlowReport."""
+    return FlowReport(
+        flow=flow,
+        design_name=design.netlist.name,
+        icells=design.icell_count(),
+        cell_area=design.total_cell_area(),
+        worst_slack=design.timing.worst_slack(),
+        total_negative_slack=design.timing.total_negative_slack(),
+        cycle_time=design.constraints.cycle_time,
+        wirelength=design.total_wirelength(),
+        cuts=cuts,
+        routable=routable,
+        cpu_seconds=cpu_seconds,
+        iterations=iterations,
+        trace=trace or [],
+    )

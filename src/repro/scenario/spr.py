@@ -1,0 +1,177 @@
+"""The SPR baseline: Synthesis -> Placement -> Resynthesis, iterated.
+
+This is the traditional flow Table 1 compares against:
+
+1. **Synthesis** on a *wire load model* (no placement knowledge):
+   gain assignment, discretization against WLM loads, sizing and
+   fanout buffering driven by WLM timing.
+2. **Placement** by a stand-alone quadratic placer with *static* net
+   weights frozen from the post-synthesis timing sign-off — the
+   approach criticised in section 4.3.
+3. Clock tree and scan optimization *after* placement, with no space
+   reservation (the late-disturbance problem of section 4.5).
+4. **Resynthesis** against real Steiner loads, followed by another
+   placement pass — iterated until timing stops improving.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.design import Design
+from repro.netlist import ops
+from repro.placement import QuadraticPlacer, legalize_rows
+from repro.routing import GlobalRouter, cut_metrics
+from repro.scenario.report import FlowReport, snapshot
+from repro.timing import DelayMode
+from repro.timing.engine import INF
+from repro.transforms import BufferInsertion, ClockScanOptimizer, PinSwapping
+from repro.transforms.base import TimingProbe
+from repro.transforms.sizing import GateSizing
+from repro.wirelength.wlm import WireLoadModel
+
+
+@dataclass
+class SPRConfig:
+    """Knobs of the baseline flow."""
+
+    max_iterations: int = 3
+    default_gain: float = 3.0
+    seed: int = 0
+    wlm_cap_per_fanout: float = 6.0
+    fanout_buffer_threshold: int = 8
+    regs_per_clock_buffer: int = 6
+    #: stop iterating when slack improves less than this (ps)
+    convergence_ps: float = 2.0
+
+
+class SPRFlow:
+    """Run the iterative synthesis/placement baseline on a design."""
+
+    def __init__(self, design: Design,
+                 config: Optional[SPRConfig] = None) -> None:
+        self.design = design
+        self.config = config or SPRConfig()
+        self.trace: List[str] = []
+
+    def _log(self, what: str) -> None:
+        self.trace.append(what)
+
+    def run(self) -> FlowReport:
+        started = time.time()
+        design = self.design
+        cfg = self.config
+        real_model = design.timing.wire_model
+        sizing = GateSizing(default_gain=cfg.default_gain)
+
+        # ---- 1. stand-alone synthesis on the wire load model ----------
+        wlm = WireLoadModel(design.steiner, design.parasitics,
+                            cap_per_fanout=cfg.wlm_cap_per_fanout)
+        design.timing.set_wire_model(wlm)
+        sizing.assign_gains(design)
+        design.timing.set_mode(DelayMode.LOAD)
+        sizing.discretize(design)
+        self._log("synthesis: discretized on WLM")
+        sizing.gate_sizing_for_speed(design)
+        self._fanout_buffering(design)
+        self._log("synthesis: WLM slack %.1f"
+                  % design.timing.worst_slack())
+
+        # net weights frozen from the synthesis sign-off
+        self._freeze_net_weights(design)
+
+        clock_scan = ClockScanOptimizer(
+            regs_per_buffer=cfg.regs_per_clock_buffer)
+        pinswap = PinSwapping()
+        # Post-placement resynthesis "significantly limit[s] the netlist
+        # changes that can be made to be able to maintain incrementality
+        # in the succeeding placement" (section 1): buffers may only go
+        # where space already exists — no circuit relocation.
+        buffering = BufferInsertion(relocate_for_space=False)
+
+        best_slack = -INF
+        iterations = 0
+        for iteration in range(cfg.max_iterations):
+            iterations += 1
+            # ---- 2. stand-alone placement --------------------------------
+            QuadraticPlacer(design, seed=cfg.seed + iteration).run()
+            legalize_rows(design)
+            self._log("iter %d: quadratic placement + legalization"
+                      % iteration)
+            if iteration == 0:
+                # ---- 3. late clock tree & scan, no space reservation -----
+                design.timing.set_wire_model(real_model)
+                clock_scan.clock_optimization(design)
+                clock_scan.scan_optimization(design)
+                legalize_rows(design)  # clean up the disturbance
+                self._log("iter 0: clock/scan inserted post-placement")
+            else:
+                design.timing.set_wire_model(real_model)
+
+            # ---- 4. resynthesis against real loads -----------------------
+            sizing.gate_sizing_for_speed(design)
+            buffering.run(design)
+            pinswap.run(design)
+            sizing.gate_sizing_for_area(design)
+            legalize_rows(design)
+            slack = design.timing.worst_slack()
+            self._log("iter %d: resynthesis slack %.1f"
+                      % (iteration, slack))
+            if slack <= best_slack + cfg.convergence_ps:
+                best_slack = max(best_slack, slack)
+                break
+            best_slack = slack
+            if iteration + 1 < cfg.max_iterations:
+                # next placement run biases toward the new critical nets
+                self._freeze_net_weights(design)
+                design.timing.set_wire_model(wlm)
+
+        # Route on the same image resolution a TPS run would end at, so
+        # the wires-cut metrics of the two flows are comparable.
+        from repro.placement.partitioner import standard_grid_dims
+        nx, ny = standard_grid_dims(design)
+        design.grid.resize(nx, ny)
+        router = GlobalRouter(design)
+        routing = router.route()
+        sizing.in_footprint_sizing(design)
+        self._log("routed: overflow %.1f" % routing.total_overflow)
+
+        return snapshot(design, "SPR", cuts=cut_metrics(router),
+                        routable=routing.routable,
+                        cpu_seconds=time.time() - started,
+                        iterations=iterations, trace=list(self.trace))
+
+    # -- helpers -----------------------------------------------------------
+
+    def _freeze_net_weights(self, design: Design) -> None:
+        """Static slack-only net weights from the current timing."""
+        worst = design.timing.worst_slack()
+        if worst == INF:
+            return
+        window = 0.15 * design.constraints.cycle_time
+        for net in design.netlist.nets():
+            if net.is_clock or net.is_scan:
+                continue
+            slack = design.timing.net_slack(net)
+            if slack == INF:
+                net.weight = net.base_weight
+                continue
+            depth = min(1.0, max(0.0, (worst + window - slack) / window))
+            net.weight = net.base_weight * (1.0 + 3.0 * depth)
+
+    def _fanout_buffering(self, design: Design) -> None:
+        """Placement-blind fanout fixing during synthesis."""
+        threshold = self.config.fanout_buffer_threshold
+        for net in list(design.netlist.nets()):
+            sinks = net.sinks()
+            if len(sinks) < threshold or net.is_clock or net.is_scan:
+                continue
+            probe = TimingProbe(design)
+            buf = ops.insert_buffer(design.netlist, design.library, net,
+                                    sinks[len(sinks) // 2:],
+                                    position=None, buffer_x=4.0)
+            buf.gain = design.timing.default_gain
+            if not probe.improved():
+                ops.remove_buffer(design.netlist, buf)

@@ -1,0 +1,243 @@
+"""The TPS scenario: the optimization flow chart of Figure 5.
+
+status = 0; step = 5
+while place_status < 100:
+    target = status + step; status = Partitioner(target); Reflow()
+    20 < status < 30 : Gate_sizing_for_area()
+    status == 30     : Clock_optimization()
+    status > 30      : Gate_sizing_for_speed()
+    30 < status < 50 : circuit_migration(); Cloning_and_Buffering()
+    status > 50      : Pin_swapping()
+    status > 80      : Gate_sizing_for_area()
+Detailed_placement(); Routing(); In_foot_print_gate_sizing()
+
+plus, per sections 4.3/4.4: logical-effort net weights refreshed on
+every cut, virtual discretization while the timer is gain-based, and
+the discretize-and-link switch to actual delays at ``link_status``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.design import Design
+from repro.placement import DetailedPlaceOpt, Partitioner, Reflow, legalize_rows
+from repro.routing import GlobalRouter, cut_metrics
+from repro.scenario.report import FlowReport, snapshot
+from repro.transforms import (
+    BufferInsertion,
+    CircuitMigration,
+    ClockScanOptimizer,
+    Cloning,
+    LogicalEffortNetWeight,
+    PinSwapping,
+    RedundancyCleanup,
+    WeightMode,
+)
+from repro.transforms.sizing import GateSizing
+
+
+@dataclass
+class TPSConfig:
+    """Knobs of the TPS scenario (the ablation switches of DESIGN.md)."""
+
+    step: int = 5
+    link_status: int = 30
+    default_gain: float = 4.0
+    seed: int = 0
+    #: Figure 5 applies migration/cloning/buffering for 30<status<50;
+    #: at reproduction scale a design sees only ~2 cuts in that window,
+    #: so the default widens it (same transforms, more invocations) to
+    #: also cover the post-scan-reorder statuses.  Set to (30, 50) for
+    #: the strict Figure 5 schedule.
+    electrical_window: tuple = (30, 92)
+    #: repeat migration/cloning/buffering up to this many times per
+    #: status while timing still fails and progress is being made.
+    electrical_rounds: int = 3
+    #: ablations
+    use_reflow: bool = True
+    netweight_mode: Optional[WeightMode] = WeightMode.INCREMENTAL
+    use_migration: bool = True
+    use_cloning: bool = True
+    use_buffering: bool = True
+    use_pin_swapping: bool = True
+    use_clock_scan_staging: bool = True
+    use_detailed_placement: bool = True
+    use_in_footprint_sizing: bool = True
+    regs_per_clock_buffer: int = 6
+    #: §7 extensions (off by default: not part of the paper's Table 1
+    #: scenario): power recovery after closure, hold fixing after
+    #: routing, cluster-wise early cuts.
+    use_power_recovery: bool = False
+    use_hold_fix: bool = False
+    cluster_first_cuts: int = 0
+
+
+class TPSScenario:
+    """Run the converging transformational flow on a design."""
+
+    def __init__(self, design: Design,
+                 config: Optional[TPSConfig] = None) -> None:
+        self.design = design
+        self.config = config or TPSConfig()
+        self.trace: List[str] = []
+
+    def _log(self, status: int, what: str) -> None:
+        self.trace.append("status %3d: %s" % (status, what))
+
+    def run(self) -> FlowReport:
+        started = time.time()
+        design = self.design
+        cfg = self.config
+
+        sizing = GateSizing(default_gain=cfg.default_gain)
+        sizing.assign_gains(design)
+        partitioner = Partitioner(
+            design, seed=cfg.seed,
+            cluster_first_cuts=cfg.cluster_first_cuts)
+        reflow = Reflow(partitioner)
+        clock_scan = ClockScanOptimizer(
+            regs_per_buffer=cfg.regs_per_clock_buffer)
+        netweight = (LogicalEffortNetWeight(mode=cfg.netweight_mode)
+                     if cfg.netweight_mode is not None else None)
+        migration = CircuitMigration()
+        cloning = Cloning()
+        buffering = BufferInsertion()
+        pinswap = PinSwapping()
+
+        linked = False
+        status = 0
+        self._log(0, "initialized (gain-based timing, status 0)")
+        while status < 100:
+            prev = status
+            target = status + cfg.step
+            status = partitioner.run_to(target)
+            if status == prev and partitioner.done:
+                break
+            self._log(status, "partitioner cut -> status %d" % status)
+            if cfg.use_reflow:
+                moved = reflow.run()
+                self._log(status, "reflow moved %d" % moved)
+            if cfg.use_clock_scan_staging:
+                for stage in clock_scan.apply_for_status(design, status):
+                    self._log(status, "clock/scan stage: %s" % stage)
+            if netweight is not None:
+                netweight.run(design)
+                self._log(status, "net weights refreshed")
+            if not linked and status >= cfg.link_status:
+                res = sizing.link_cells(design)
+                linked = True
+                self._log(status, "discretized and linked (%d resized), "
+                          "timing -> actual" % res.accepted)
+            elif not linked:
+                res = sizing.discretize(design)
+                self._log(status, "virtual discretization (%d resized)"
+                          % res.accepted)
+            if self._window(prev, status, 20, 30):
+                r = sizing.gate_sizing_for_area(design)
+                self._log(status, "area recovery: %s" % r)
+            if status > 30:
+                r = sizing.gate_sizing_for_speed(design)
+                self._log(status, "speed sizing: %s" % r)
+            if self._window(prev, status, *cfg.electrical_window):
+                for round_no in range(cfg.electrical_rounds):
+                    accepted = 0
+                    if cfg.use_migration:
+                        r = migration.run(design)
+                        accepted += r.accepted
+                        self._log(status, "migration: %s" % r)
+                    if cfg.use_cloning:
+                        r = cloning.run(design)
+                        accepted += r.accepted
+                        self._log(status, "cloning: %s" % r)
+                    if cfg.use_buffering:
+                        r = buffering.run(design)
+                        accepted += r.accepted
+                        self._log(status, "buffering: %s" % r)
+                    if accepted == 0 or design.timing.worst_slack() >= 0:
+                        break
+            if status > 50 and cfg.use_pin_swapping:
+                r = pinswap.run(design)
+                self._log(status, "pin swapping: %s" % r)
+            if status > 80:
+                for _ in range(5):  # recover until dry
+                    r = sizing.gate_sizing_for_area(design,
+                                                    max_cells=2000)
+                    self._log(status, "late area recovery: %s" % r)
+                    if r.accepted == 0:
+                        break
+
+        if not linked:
+            sizing.link_cells(design)
+            self._log(100, "late link (small design)")
+        if cfg.use_clock_scan_staging:
+            for stage in clock_scan.apply_for_status(design, 100):
+                self._log(100, "clock/scan stage: %s" % stage)
+
+        # Placement is final: drop electrical corrections that stopped
+        # paying for themselves, then recover drive area once more.
+        r = RedundancyCleanup().run(design)
+        self._log(100, "redundancy cleanup: %s" % r)
+        r = sizing.gate_sizing_for_area(design, max_cells=2000)
+        self._log(100, "final area recovery: %s" % r)
+
+        # Output stage of Figure 5: detailed placement on exact legal
+        # locations, then routing.
+        leg = legalize_rows(design)
+        self._log(100, "legalized (%d placed, %d failed)"
+                  % (leg.placed, leg.failed))
+        if cfg.use_detailed_placement:
+            opt = DetailedPlaceOpt(design, legal_mode=True,
+                                   seed=cfg.seed)
+            accepted = opt.run()
+            self._log(100, "detailed placement: %d moves" % accepted)
+        # recover what legalization displacement cost, without moving
+        # anything: drive and pin assignment only
+        r = sizing.gate_sizing_for_speed(design)
+        self._log(100, "post-legalization speed sizing: %s" % r)
+        if cfg.use_pin_swapping:
+            r = pinswap.run(design)
+            self._log(100, "post-legalization pin swapping: %s" % r)
+        if cfg.use_buffering:
+            # electrical correction on the legal placement; any new
+            # buffers are legalized incrementally around existing cells
+            before_names = {c.name for c in design.netlist.cells()}
+            r = buffering.run(design)
+            new_cells = [c for c in design.netlist.cells()
+                         if c.name not in before_names]
+            if new_cells:
+                legalize_rows(design, cells=new_cells,
+                              respect_existing=True)
+            self._log(100, "post-legalization buffering: %s (%d new)"
+                      % (r, len(new_cells)))
+        router = GlobalRouter(design)
+        routing = router.route()
+        self._log(100, "routed: overflow %.1f" % routing.total_overflow)
+        if cfg.use_in_footprint_sizing:
+            r = sizing.in_footprint_sizing(design)
+            self._log(100, "in-footprint sizing: %s" % r)
+        if cfg.use_power_recovery:
+            from repro.transforms import PowerRecovery
+            r = PowerRecovery().run(design)
+            self._log(100, "power recovery: %s" % r)
+        if cfg.use_hold_fix:
+            from repro.transforms import HoldFix
+            r = HoldFix().run(design)
+            self._log(100, "hold fixing: %s" % r)
+
+        return snapshot(design, "TPS", cuts=cut_metrics(router),
+                        routable=routing.routable,
+                        cpu_seconds=time.time() - started,
+                        iterations=1, trace=list(self.trace))
+
+    @staticmethod
+    def _window(prev: int, status: int, lo: int, hi: int) -> bool:
+        """True if (prev, status] overlaps the open window (lo, hi).
+
+        Status advances in discrete jumps, so the paper's ``lo < status
+        < hi`` conditions are evaluated against the interval the flow
+        just traversed — a window is never skipped over.
+        """
+        return status > lo and prev < hi

@@ -1,0 +1,31 @@
+"""Synthesis front-end: the stages *before* TPS takes over.
+
+"In our system, technology independent optimization, technology
+mapping and the early part of the timing optimization stage ... employ
+a gain-based (load-independent) delay model" (section 5).  This
+package provides that front-end:
+
+* :mod:`repro.synth.aig` — And-Inverter Graph with structural hashing,
+  the technology-independent representation;
+* :mod:`repro.synth.balance` — depth reduction by tree balancing
+  (technology-independent optimization);
+* :mod:`repro.synth.mapper` — cut-based dynamic-programming technology
+  mapping onto the standard-cell library, minimising gain-model delay
+  or area;
+* :mod:`repro.synth.flow` — the ``synthesize`` pipeline gluing them
+  together and emitting a mapped :class:`~repro.netlist.Netlist`.
+"""
+
+from repro.synth.aig import Aig, Lit
+from repro.synth.balance import balance
+from repro.synth.mapper import MapperOptions, technology_map
+from repro.synth.flow import synthesize
+
+__all__ = [
+    "Aig",
+    "Lit",
+    "balance",
+    "MapperOptions",
+    "technology_map",
+    "synthesize",
+]

@@ -1,0 +1,186 @@
+"""And-Inverter Graphs with structural hashing.
+
+The technology-independent subject graph: two-input AND nodes plus
+edge complement bits.  Literals are ``2*node + complement`` (the AIGER
+convention); node 0 is the constant FALSE, so literal 1 is TRUE.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+#: A literal: 2*node_id + complement_bit.
+Lit = int
+
+FALSE: Lit = 0
+TRUE: Lit = 1
+
+
+def lit(node: int, complemented: bool = False) -> Lit:
+    return 2 * node + (1 if complemented else 0)
+
+
+def lit_node(literal: Lit) -> int:
+    return literal >> 1
+
+def lit_compl(literal: Lit) -> bool:
+    return bool(literal & 1)
+
+
+def lit_not(literal: Lit) -> Lit:
+    return literal ^ 1
+
+
+class Aig:
+    """A combinational AIG.
+
+    Node 0 is the constant; nodes ``1..num_inputs`` are the primary
+    inputs; the rest are AND nodes created through :meth:`add_and`
+    (with structural hashing and constant/idempotence simplification).
+    """
+
+    def __init__(self) -> None:
+        self._inputs: List[str] = []
+        #: fanins of AND nodes: node -> (lit0, lit1); inputs/const absent
+        self._ands: Dict[int, Tuple[Lit, Lit]] = {}
+        self._strash: Dict[Tuple[Lit, Lit], int] = {}
+        self._outputs: List[Tuple[str, Lit]] = []
+        self._next_node = 1
+
+    # -- construction ---------------------------------------------------
+
+    def add_input(self, name: str) -> Lit:
+        """Create a primary input; returns its (positive) literal."""
+        if any(n == name for n in self._inputs):
+            raise ValueError("duplicate input %r" % name)
+        node = self._next_node
+        self._next_node += 1
+        self._inputs.append(name)
+        self._input_nodes = None  # lazy cache invalidation
+        return lit(node)
+
+    def add_and(self, a: Lit, b: Lit) -> Lit:
+        """AND of two literals with simplification and strashing."""
+        self._check(a)
+        self._check(b)
+        if a > b:
+            a, b = b, a
+        if a == FALSE or b == FALSE:
+            return FALSE
+        if a == TRUE:
+            return b
+        if b == TRUE:
+            return a
+        if a == b:
+            return a
+        if a == lit_not(b):
+            return FALSE
+        key = (a, b)
+        node = self._strash.get(key)
+        if node is None:
+            node = self._next_node
+            self._next_node += 1
+            self._ands[node] = key
+            self._strash[key] = node
+        return lit(node)
+
+    def add_or(self, a: Lit, b: Lit) -> Lit:
+        return lit_not(self.add_and(lit_not(a), lit_not(b)))
+
+    def add_xor(self, a: Lit, b: Lit) -> Lit:
+        return self.add_or(self.add_and(a, lit_not(b)),
+                           self.add_and(lit_not(a), b))
+
+    def add_mux(self, sel: Lit, d1: Lit, d0: Lit) -> Lit:
+        return self.add_or(self.add_and(sel, d1),
+                           self.add_and(lit_not(sel), d0))
+
+    def add_output(self, name: str, literal: Lit) -> None:
+        self._check(literal)
+        if any(n == name for n, _l in self._outputs):
+            raise ValueError("duplicate output %r" % name)
+        self._outputs.append((name, literal))
+
+    def _check(self, literal: Lit) -> None:
+        node = lit_node(literal)
+        if node >= self._next_node or node < 0:
+            raise ValueError("literal %d references unknown node" % literal)
+
+    # -- structure --------------------------------------------------------
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self._inputs)
+
+    @property
+    def num_ands(self) -> int:
+        return len(self._ands)
+
+    @property
+    def inputs(self) -> List[str]:
+        return list(self._inputs)
+
+    @property
+    def outputs(self) -> List[Tuple[str, Lit]]:
+        return list(self._outputs)
+
+    def is_input(self, node: int) -> bool:
+        return 1 <= node <= len(self._inputs)
+
+    def input_name(self, node: int) -> str:
+        return self._inputs[node - 1]
+
+    def fanins(self, node: int) -> Tuple[Lit, Lit]:
+        return self._ands[node]
+
+    def nodes_topological(self) -> List[int]:
+        """AND nodes in creation (= topological) order."""
+        return sorted(self._ands)
+
+    def levels(self) -> Dict[int, int]:
+        """Logic depth of every node (inputs and constant at 0)."""
+        level: Dict[int, int] = {0: 0}
+        for i in range(1, len(self._inputs) + 1):
+            level[i] = 0
+        for node in self.nodes_topological():
+            a, b = self._ands[node]
+            level[node] = 1 + max(level[lit_node(a)], level[lit_node(b)])
+        return level
+
+    def depth(self) -> int:
+        level = self.levels()
+        return max((level[lit_node(l)] for _n, l in self._outputs),
+                   default=0)
+
+    # -- simulation ---------------------------------------------------------
+
+    def simulate(self, vectors: Dict[str, int],
+                 width: int = 64) -> Dict[str, int]:
+        """Bit-parallel simulation: ``width``-bit words per signal."""
+        mask = (1 << width) - 1
+        value: Dict[int, int] = {0: 0}
+        for i, name in enumerate(self._inputs, start=1):
+            value[i] = vectors.get(name, 0) & mask
+        for node in self.nodes_topological():
+            a, b = self._ands[node]
+            va = value[lit_node(a)] ^ (mask if lit_compl(a) else 0)
+            vb = value[lit_node(b)] ^ (mask if lit_compl(b) else 0)
+            value[node] = va & vb
+        out = {}
+        for name, literal in self._outputs:
+            v = value[lit_node(literal)]
+            out[name] = (v ^ (mask if lit_compl(literal) else 0)) & mask
+        return out
+
+    def random_simulation(self, seed: int = 0,
+                          width: int = 64) -> Dict[str, int]:
+        """Outputs under one random input vector word."""
+        rng = random.Random(seed)
+        vectors = {name: rng.getrandbits(width) for name in self._inputs}
+        return self.simulate(vectors, width=width)
+
+    def __repr__(self) -> str:
+        return "<Aig %d inputs, %d ands, %d outputs, depth %d>" % (
+            self.num_inputs, self.num_ands, len(self._outputs),
+            self.depth())

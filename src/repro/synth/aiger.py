@@ -1,0 +1,105 @@
+"""ASCII AIGER ('aag') reading and writing.
+
+The standard interchange format for And-Inverter Graphs (Biere's AIGER,
+combinational subset: no latches).  Literal numbering matches our
+internal convention directly (2*var + complement).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, TextIO
+
+from repro.synth.aig import Aig, Lit, lit_node
+
+
+def write_aag(aig: Aig, stream: TextIO) -> None:
+    """Write the AIG in ASCII AIGER format with a symbol table."""
+    # Compact node numbering: inputs 1..I, ands I+1..I+A
+    remap: Dict[int, int] = {0: 0}
+    for i in range(1, aig.num_inputs + 1):
+        remap[i] = i
+    and_nodes = aig.nodes_topological()
+    for k, node in enumerate(and_nodes, start=aig.num_inputs + 1):
+        remap[node] = k
+
+    def remap_lit(literal: Lit) -> int:
+        return 2 * remap[lit_node(literal)] + (literal & 1)
+
+    m = aig.num_inputs + len(and_nodes)
+    stream.write("aag %d %d 0 %d %d\n" % (m, aig.num_inputs,
+                                          len(aig.outputs),
+                                          len(and_nodes)))
+    for i in range(1, aig.num_inputs + 1):
+        stream.write("%d\n" % (2 * i))
+    for _name, literal in aig.outputs:
+        stream.write("%d\n" % remap_lit(literal))
+    for node in and_nodes:
+        a, b = aig.fanins(node)
+        stream.write("%d %d %d\n" % (2 * remap[node],
+                                     remap_lit(a), remap_lit(b)))
+    for i, name in enumerate(aig.inputs):
+        stream.write("i%d %s\n" % (i, name))
+    for i, (name, _l) in enumerate(aig.outputs):
+        stream.write("o%d %s\n" % (i, name))
+
+
+def read_aag(stream: TextIO) -> Aig:
+    """Parse an ASCII AIGER file (combinational: L must be 0)."""
+    header = stream.readline().split()
+    if len(header) != 6 or header[0] != "aag":
+        raise ValueError("not an ASCII AIGER (aag) file")
+    m, i, l, o, a = (int(x) for x in header[1:])
+    if l != 0:
+        raise ValueError("latches are not supported (L=%d)" % l)
+
+    input_lits: List[int] = []
+    for _ in range(i):
+        input_lits.append(int(stream.readline()))
+    output_lits: List[int] = []
+    for _ in range(o):
+        output_lits.append(int(stream.readline()))
+    and_rows: List[List[int]] = []
+    for _ in range(a):
+        and_rows.append([int(x) for x in stream.readline().split()])
+
+    input_names = {k: "i%d" % k for k in range(i)}
+    output_names = {k: "o%d" % k for k in range(o)}
+    for raw in stream:
+        line = raw.strip()
+        if not line or line == "c":
+            break
+        if line[0] in "io" and " " in line:
+            kind, name = line[0], line.split(" ", 1)[1]
+            idx = int(line[1:line.index(" ")])
+            if kind == "i":
+                input_names[idx] = name
+            else:
+                output_names[idx] = name
+
+    aig = Aig()
+    lit_map: Dict[int, Lit] = {0: 0, 1: 1}
+    for k, file_lit in enumerate(input_lits):
+        if file_lit % 2 or file_lit == 0:
+            raise ValueError("invalid input literal %d" % file_lit)
+        ours = aig.add_input(input_names[k])
+        lit_map[file_lit] = ours
+        lit_map[file_lit + 1] = ours ^ 1
+
+    def resolve(file_lit: int) -> Lit:
+        try:
+            return lit_map[file_lit]
+        except KeyError:
+            raise ValueError("literal %d used before definition"
+                             % file_lit)
+
+    for row in and_rows:
+        if len(row) != 3:
+            raise ValueError("malformed AND row %r" % row)
+        lhs, r0, r1 = row
+        ours = aig.add_and(resolve(r0), resolve(r1))
+        lit_map[lhs] = ours
+        lit_map[lhs + 1] = ours ^ 1
+
+    for k, file_lit in enumerate(output_lits):
+        aig.add_output(output_names[k], resolve(file_lit))
+    return aig

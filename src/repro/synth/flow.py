@@ -1,0 +1,85 @@
+"""The synthesis pipeline feeding TPS.
+
+``synthesize`` = structural hashing (implicit in the AIG) → tree
+balancing → technology mapping — the "technology independent
+optimization, technology mapping" stages of section 5, all under the
+gain-based delay model (the mapper's delay costs are gain-model
+delays).  The result is a mapped netlist ready for ``make_design`` +
+``TPSScenario``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.library import Library
+from repro.netlist import Netlist
+from repro.synth.aig import Aig
+from repro.synth.balance import balance
+from repro.synth.mapper import MapperOptions, technology_map
+
+
+def synthesize(aig: Aig, library: Library,
+               options: Optional[MapperOptions] = None,
+               name: str = "synth",
+               balance_passes: int = 1) -> Netlist:
+    """Technology-independent optimization + mapping.
+
+    Returns a mapped, simulation-equivalent netlist.  ``balance_passes``
+    controls how many balancing rounds run before mapping (one is
+    usually enough; balancing is idempotent on balanced trees).
+    """
+    current = aig
+    for _ in range(max(0, balance_passes)):
+        current = balance(current)
+    return technology_map(current, library, options=options, name=name)
+
+
+def evaluate_netlist(netlist: Netlist, vectors: dict,
+                     width: int = 64) -> dict:
+    """Bit-parallel functional simulation of a mapped netlist.
+
+    ``vectors`` maps primary input names to ``width``-bit words;
+    returns output port name -> word.  Used to check mapper
+    equivalence against the source AIG.
+    """
+    from repro.synth.mapper import _GATE_FUNCS
+
+    mask = (1 << width) - 1
+    values = {}
+    for port in netlist.ports():
+        if port.output_pins():
+            net = port.pin("Z").net
+            if net is not None:
+                values[net.name] = vectors.get(port.name, 0) & mask
+
+    # topological evaluation over logic cells
+    remaining = [c for c in netlist.logic_cells()]
+    guard = len(remaining) + 1
+    while remaining and guard > 0:
+        guard -= 1
+        progressed = []
+        for cell in remaining:
+            in_nets = [p.net for p in cell.input_pins()]
+            if any(n is None or n.name not in values for n in in_nets):
+                continue
+            func = _GATE_FUNCS.get(cell.type_name)
+            if func is None:
+                raise ValueError("cannot simulate %s" % cell.type_name)
+            args = [values[n.name] for n in in_nets]
+            out = func(*args) & mask
+            out_net = cell.output_pin().net
+            if out_net is not None:
+                values[out_net.name] = out
+            progressed.append(cell)
+        if not progressed:
+            raise ValueError("netlist is not acyclic or has floating "
+                             "inputs")
+        remaining = [c for c in remaining if c not in progressed]
+
+    result = {}
+    for port in netlist.ports():
+        if port.input_pins():
+            net = port.pin("A").net
+            result[port.name] = values.get(net.name, 0) if net else 0
+    return result

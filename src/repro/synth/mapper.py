@@ -1,0 +1,305 @@
+"""Cut-based technology mapping onto the standard-cell library.
+
+Classic DAG covering: enumerate k-feasible cuts per AIG node, compute
+each cut's truth table, match it against the (permuted) functions of
+the library gates, and run a dynamic program over (node, phase) —
+every node can be realised in positive or negative polarity, with
+inverters bridging phases — minimising gain-model delay (or area
+flow).  The winning cover is emitted as a mapped
+:class:`~repro.netlist.Netlist`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.library import Library
+from repro.library.types import TAU
+from repro.netlist import Netlist
+from repro.synth.aig import Aig, lit_compl, lit_node
+
+#: Maximum cut size (= widest library gate input count).
+_K = 4
+#: Cuts kept per node (pruned by leaf count then discovery order).
+_CUTS_PER_NODE = 8
+#: Variable patterns for 4-input truth tables (16 bits).
+_VARS = (0xAAAA, 0xCCCC, 0xF0F0, 0xFF00)
+_MASK = 0xFFFF
+
+#: Boolean function of each mappable gate type, over its input pins in
+#: library pin order.  Bitwise operators work on truth-table words.
+_GATE_FUNCS = {
+    "INV": lambda a: ~a,
+    "BUF": lambda a: a,
+    "NAND2": lambda a, b: ~(a & b),
+    "NAND3": lambda a, b, c: ~(a & b & c),
+    "NAND4": lambda a, b, c, d: ~(a & b & c & d),
+    "NOR2": lambda a, b: ~(a | b),
+    "NOR3": lambda a, b, c: ~(a | b | c),
+    "AND2": lambda a, b: a & b,
+    "OR2": lambda a, b: a | b,
+    "AOI21": lambda a, b, c: ~((a & b) | c),
+    "OAI21": lambda a, b, c: ~((a | b) & c),
+    "XOR2": lambda a, b: a ^ b,
+    "XNOR2": lambda a, b: ~(a ^ b),
+    "MUX2": lambda d0, d1, s: (s & d1) | (~s & d0),
+}
+
+
+@dataclass
+class MapperOptions:
+    """Mapping objective and the gain used for the delay model."""
+
+    mode: str = "delay"  # "delay" | "area"
+    gain: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("delay", "area"):
+            raise ValueError("mode must be 'delay' or 'area'")
+
+
+@dataclass
+class _Match:
+    """One way to realise a (node, phase): a gate over cut leaves.
+
+    ``leaf_phases[i]`` is the polarity pin i reads its leaf in (1
+    means through an inverter-realised negative phase).
+    """
+
+    gate_type: str
+    #: leaf node ids, in gate pin order
+    leaf_order: Tuple[int, ...]
+    leaf_phases: Tuple[int, ...] = ()
+    cost: float = 0.0
+
+
+class _PatternLibrary:
+    """(num_inputs, table) -> [(type, pin permutation, compl mask)].
+
+    Patterns enumerate input complementations too, so functions like
+    ``a & ~b`` match ``AND2`` with pin B in negative phase.
+    """
+
+    def __init__(self, library: Library, gain: float) -> None:
+        self.patterns: Dict[Tuple[int, int],
+                            List[Tuple[str, Tuple[int, ...], int]]] = {}
+        self.gate_delay: Dict[str, float] = {}
+        self.gate_area: Dict[str, float] = {}
+        for type_name, func in _GATE_FUNCS.items():
+            if not library.has_type(type_name):
+                continue
+            gate = library.type(type_name)
+            n = gate.num_inputs
+            self.gate_delay[type_name] = TAU * (
+                gate.parasitic + gate.logical_effort * gain)
+            self.gate_area[type_name] = library.smallest(type_name).area
+            for perm in itertools.permutations(range(n)):
+                for compl in range(1 << n):
+                    # gate pin i reads leaf variable perm[i], possibly
+                    # complemented
+                    args = []
+                    for i in range(n):
+                        v = _VARS[perm[i]]
+                        if (compl >> i) & 1:
+                            v = ~v
+                        args.append(v)
+                    table = func(*args) & _table_mask(n)
+                    key = (n, table)
+                    entry = (type_name, perm, compl)
+                    bucket = self.patterns.setdefault(key, [])
+                    if entry not in bucket:
+                        bucket.append(entry)
+
+    def matches(self, n: int, table: int):
+        return self.patterns.get((n, table & _table_mask(n)), [])
+
+
+def _table_mask(n: int) -> int:
+    return (1 << (1 << n)) - 1 if n < 4 else _MASK
+
+
+def _enumerate_cuts(aig: Aig) -> Dict[int, List[Tuple[int, ...]]]:
+    """K-feasible cuts per node (leaf node-id tuples, sorted)."""
+    cuts: Dict[int, List[Tuple[int, ...]]] = {0: [(0,)]}
+    for i in range(1, aig.num_inputs + 1):
+        cuts[i] = [(i,)]
+    for node in aig.nodes_topological():
+        a, b = aig.fanins(node)
+        na, nb = lit_node(a), lit_node(b)
+        merged: List[Tuple[int, ...]] = [(node,)]
+        seen = {(node,)}
+        for ca in cuts[na]:
+            for cb in cuts[nb]:
+                union = tuple(sorted(set(ca) | set(cb)))
+                if len(union) > _K or union in seen:
+                    continue
+                # prune dominated cuts (supersets of existing ones)
+                if any(set(c) <= set(union) for c in merged
+                       if c != (node,)):
+                    continue
+                seen.add(union)
+                merged.append(union)
+                if len(merged) >= _CUTS_PER_NODE:
+                    break
+            if len(merged) >= _CUTS_PER_NODE:
+                break
+        cuts[node] = merged
+    return cuts
+
+
+def _cut_table(aig: Aig, node: int, leaves: Sequence[int]) -> Optional[int]:
+    """Truth table of ``node`` over ``leaves`` (positive polarity)."""
+    values: Dict[int, int] = {0: 0}
+    for i, leaf in enumerate(leaves):
+        values[leaf] = _VARS[i]
+
+    def eval_node(n: int) -> Optional[int]:
+        if n in values:
+            return values[n]
+        if aig.is_input(n):
+            return None  # leaf set does not cover the cone
+        a, b = aig.fanins(n)
+        va = eval_node(lit_node(a))
+        vb = eval_node(lit_node(b))
+        if va is None or vb is None:
+            return None
+        if lit_compl(a):
+            va = ~va
+        if lit_compl(b):
+            vb = ~vb
+        values[n] = va & vb & _MASK
+        return values[n]
+
+    result = eval_node(node)
+    return None if result is None else result & _MASK
+
+
+def technology_map(aig: Aig, library: Library,
+                   options: Optional[MapperOptions] = None,
+                   name: str = "mapped") -> Netlist:
+    """Cover ``aig`` with library gates; returns the mapped netlist."""
+    options = options or MapperOptions()
+    patterns = _PatternLibrary(library, options.gain)
+    cuts = _enumerate_cuts(aig)
+    inv_cost = (patterns.gate_delay["INV"] if options.mode == "delay"
+                else patterns.gate_area["INV"])
+
+    INF = float("inf")
+    # DP state: (node, phase) -> (cost, _Match or "inv" marker)
+    cost: Dict[Tuple[int, int], float] = {}
+    choice: Dict[Tuple[int, int], object] = {}
+
+    def state_cost(node: int, phase: int) -> float:
+        return cost.get((node, phase), INF)
+
+    for i in range(0, aig.num_inputs + 1):
+        cost[(i, 0)] = 0.0
+        choice[(i, 0)] = "leaf"
+        cost[(i, 1)] = inv_cost
+        choice[(i, 1)] = "inv"
+
+    for node in aig.nodes_topological():
+        best: Dict[int, Tuple[float, _Match]] = {}
+        for cut in cuts[node]:
+            if cut == (node,):
+                continue
+            table = _cut_table(aig, node, cut)
+            if table is None:
+                continue
+            n = len(cut)
+            for phase, want in ((0, table), (1, ~table & _MASK)):
+                for type_name, perm, compl in patterns.matches(n, want):
+                    leaf_order = tuple(cut[perm[i]] for i in range(n))
+                    leaf_phases = tuple((compl >> i) & 1
+                                        for i in range(n))
+                    leaf_costs = [state_cost(l, ph) for l, ph
+                                  in zip(leaf_order, leaf_phases)]
+                    if any(c == INF for c in leaf_costs):
+                        continue
+                    if options.mode == "delay":
+                        total = (max(leaf_costs, default=0.0)
+                                 + patterns.gate_delay[type_name])
+                    else:
+                        total = (patterns.gate_area[type_name]
+                                 + sum(leaf_costs))
+                    if total < best.get(phase, (INF, None))[0]:
+                        best[phase] = (total, _Match(
+                            type_name, leaf_order, leaf_phases))
+        for phase in (0, 1):
+            if phase in best:
+                cost[(node, phase)] = best[phase][0]
+                choice[(node, phase)] = best[phase][1]
+        # inverter bridges: realise the missing phase from the other
+        for phase in (0, 1):
+            alt = state_cost(node, 1 - phase) + inv_cost
+            if alt < state_cost(node, phase):
+                cost[(node, phase)] = alt
+                choice[(node, phase)] = "inv"
+        if state_cost(node, 0) == INF and state_cost(node, 1) == INF:
+            raise ValueError(
+                "node %d has no match in the pattern library" % node)
+
+    return _emit(aig, library, choice, name)
+
+
+def _emit(aig: Aig, library: Library, choice: Dict, name: str) -> Netlist:
+    """Materialise the chosen cover as a netlist."""
+    netlist = Netlist(name)
+    nets: Dict[Tuple[int, int], object] = {}
+
+    for input_name in aig.inputs:
+        port = netlist.add_input_port(input_name)
+        net = netlist.add_net(netlist.unique_name("n_" + input_name))
+        netlist.connect(port.pin("Z"), net)
+
+    input_ids = {i + 1: input_name
+                 for i, input_name in enumerate(aig.inputs)}
+
+    def realise(node: int, phase: int):
+        key = (node, phase)
+        if key in nets:
+            return nets[key]
+        picked = choice.get(key)
+        if picked == "leaf":
+            net = netlist.cell(input_ids[node]).pin("Z").net
+        elif picked == "inv":
+            source = realise(node, 1 - phase)
+            inv = netlist.add_cell(
+                netlist.unique_name("m%d_inv" % node),
+                library.smallest("INV"))
+            netlist.connect(inv.pin("A"), source)
+            net = netlist.add_net(netlist.unique_name("w%d_%d"
+                                                      % (node, phase)))
+            netlist.connect(inv.pin("Z"), net)
+        elif isinstance(picked, _Match):
+            gate = netlist.add_cell(
+                netlist.unique_name("m%d_%s" % (node,
+                                                picked.gate_type.lower())),
+                library.smallest(picked.gate_type))
+            phases = picked.leaf_phases or (0,) * len(picked.leaf_order)
+            for pin_spec, leaf, leaf_phase in zip(
+                    gate.gate_type.input_pins, picked.leaf_order,
+                    phases):
+                netlist.connect(gate.pin(pin_spec.name),
+                                realise(leaf, leaf_phase))
+            net = netlist.add_net(netlist.unique_name("w%d_%d"
+                                                      % (node, phase)))
+            netlist.connect(gate.output_pin(), net)
+        else:
+            raise ValueError("no realisation for node %d phase %d"
+                             % (node, phase))
+        nets[key] = net
+        return net
+
+    for out_name, literal in aig.outputs:
+        node = lit_node(literal)
+        phase = 1 if lit_compl(literal) else 0
+        if node == 0:
+            raise ValueError("constant outputs are not supported "
+                             "by the mapper (output %r)" % out_name)
+        net = realise(node, phase)
+        port = netlist.add_output_port(out_name)
+        netlist.connect(port.pin("A"), net)
+    return netlist

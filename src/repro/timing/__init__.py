@@ -1,0 +1,30 @@
+"""Incremental static timing analysis.
+
+"All timing calculations in TPS are fully incremental and
+recalculations only happen in regions affected by netlist or placement
+changes."  The engine subscribes to netlist events, keeps per-pin
+arrival/required times, and lazily re-propagates only from dirtied pins
+— stopping as soon as recomputed values stop changing.
+
+Two delay modes mirror the paper's flow (section 4.4/5):
+
+* ``gain`` — load-independent gain-based delay, ``d = tau*(p + g*h)``
+  with ``h`` the *assigned* gain (used before/early in placement);
+* ``load`` — load-based delay from actual sizes and Steiner wire loads
+  (used once discretization has happened).
+"""
+
+from repro.timing.constraints import TimingConstraints
+from repro.timing.graph import CombinationalLoopError, TimingGraph
+from repro.timing.engine import DelayMode, TimingEngine
+from repro.timing.critical import CriticalRegion, obtain_critical_region
+
+__all__ = [
+    "TimingConstraints",
+    "TimingGraph",
+    "CombinationalLoopError",
+    "DelayMode",
+    "TimingEngine",
+    "CriticalRegion",
+    "obtain_critical_region",
+]

@@ -1,0 +1,39 @@
+"""Timing constraints: the sign-off contract for a design."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class TimingConstraints:
+    """Cycle time and boundary conditions, all in ps.
+
+    ``input_arrival``/``output_required`` may be overridden per port
+    name; unlisted ports use the defaults.  ``setup_time`` applies to
+    every register D pin.
+    """
+
+    cycle_time: float
+    default_input_arrival: float = 0.0
+    default_output_required: Optional[float] = None
+    setup_time: float = 4.0
+    hold_time: float = 2.0
+    input_arrivals: Dict[str, float] = field(default_factory=dict)
+    output_requireds: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.cycle_time <= 0:
+            raise ValueError("cycle time must be positive")
+
+    def input_arrival(self, port_name: str) -> float:
+        return self.input_arrivals.get(port_name,
+                                       self.default_input_arrival)
+
+    def output_required(self, port_name: str) -> float:
+        if port_name in self.output_requireds:
+            return self.output_requireds[port_name]
+        if self.default_output_required is not None:
+            return self.default_output_required
+        return self.cycle_time

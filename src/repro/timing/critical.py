@@ -1,0 +1,74 @@
+"""Critical region extraction.
+
+Several transforms (circuit migration, net weighting, sizing) begin
+with ``CR = obtain_critical_region(design)``: the sub-netlist whose
+slack is within a margin of the worst.  Clock pins are excluded — the
+common clock path does not constitute a data-path criticality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set
+
+from repro.netlist.cell import Cell, Pin
+from repro.netlist.net import Net
+from repro.timing.engine import INF, TimingEngine
+
+
+@dataclass
+class CriticalRegion:
+    """Pins/nets/cells whose slack falls at or below ``threshold``."""
+
+    threshold: float
+    pins: List[Pin] = field(default_factory=list)
+    nets: List[Net] = field(default_factory=list)
+    cells: List[Cell] = field(default_factory=list)
+
+    @property
+    def empty(self) -> bool:
+        return not self.pins
+
+    def net_names(self) -> Set[str]:
+        return {n.name for n in self.nets}
+
+    def cell_names(self) -> Set[str]:
+        return {c.name for c in self.cells}
+
+
+def obtain_critical_region(engine: TimingEngine,
+                           slack_margin: float = 0.0,
+                           absolute_threshold: float = None) -> CriticalRegion:
+    """Extract the critical region from the timing engine.
+
+    By default the threshold is ``worst_slack + slack_margin``; passing
+    ``absolute_threshold`` selects everything with slack at or below
+    that value instead (e.g. 0.0 for "all failing paths").
+    """
+    if absolute_threshold is not None:
+        threshold = absolute_threshold
+    else:
+        worst = engine.worst_slack()
+        if worst == INF:
+            return CriticalRegion(threshold=INF)
+        threshold = worst + slack_margin
+
+    region = CriticalRegion(threshold=threshold)
+    seen_nets: Set[str] = set()
+    seen_cells: Set[str] = set()
+    eps = 1e-9
+    for cell in engine.netlist.cells():
+        for pin in cell.pins():
+            if pin.is_clock:
+                continue
+            slack = engine.slack(pin)
+            if slack == INF or slack > threshold + eps:
+                continue
+            region.pins.append(pin)
+            if pin.net is not None and pin.net.name not in seen_nets:
+                seen_nets.add(pin.net.name)
+                region.nets.append(pin.net)
+            if not cell.is_port and cell.name not in seen_cells:
+                seen_cells.add(cell.name)
+                region.cells.append(cell)
+    return region

@@ -1,0 +1,135 @@
+"""The timing graph: pins as nodes, net and cell arcs as edges.
+
+Arcs:
+
+* **net arcs** — driver pin -> each sink pin, delay = wire delay;
+* **cell arcs** — input pin -> output pin through combinational cells
+  (and buffers / clock buffers), delay = gate delay;
+* **sequential cells** contribute only a CK -> Q arc (clock-to-out);
+  the D pin is a capture endpoint checked against the clock arrival.
+
+The graph is a pure structural view rebuilt lazily after connectivity
+edits; arrival/required values live in the engine, not here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Tuple
+
+from repro.netlist.cell import Cell, Pin
+from repro.netlist.netlist import Netlist
+
+
+class CombinationalLoopError(Exception):
+    """Raised when the netlist contains a combinational cycle."""
+
+    def __init__(self, pins: List[Pin]) -> None:
+        self.pins = pins
+        names = ", ".join(p.full_name for p in pins[:8])
+        more = "" if len(pins) <= 8 else " (+%d more)" % (len(pins) - 8)
+        super().__init__("combinational loop through: %s%s" % (names, more))
+
+
+def cell_arcs(cell: Cell) -> List[Tuple[Pin, Pin]]:
+    """The (input, output) timing arcs through one cell."""
+    if cell.is_port:
+        return []
+    if cell.is_sequential:
+        try:
+            ck = cell.pin("CK")
+            q = cell.pin("Q")
+        except KeyError:
+            return []
+        return [(ck, q)]
+    outs = cell.output_pins()
+    return [(i, o) for i in cell.input_pins() for o in outs]
+
+
+class TimingGraph:
+    """Fanin/fanout arc maps plus a topological levelization."""
+
+    def __init__(self, netlist: Netlist) -> None:
+        self.netlist = netlist
+        #: pin id -> list of (src_pin, kind); kind in {"net", "cell"}
+        self.fanin: Dict[int, List[Tuple[Pin, str]]] = {}
+        #: pin id -> list of (dst_pin, kind)
+        self.fanout: Dict[int, List[Tuple[Pin, str]]] = {}
+        self.level: Dict[int, int] = {}
+        self._pins: Dict[int, Pin] = {}
+        self._build()
+
+    # -- construction --------------------------------------------------
+
+    def _register(self, pin: Pin) -> None:
+        pid = id(pin)
+        if pid not in self._pins:
+            self._pins[pid] = pin
+            self.fanin[pid] = []
+            self.fanout[pid] = []
+
+    def _add_arc(self, src: Pin, dst: Pin, kind: str) -> None:
+        self._register(src)
+        self._register(dst)
+        self.fanin[id(dst)].append((src, kind))
+        self.fanout[id(src)].append((dst, kind))
+
+    def _build(self) -> None:
+        for cell in self.netlist.cells():
+            for pin in cell.pins():
+                self._register(pin)
+            for src, dst in cell_arcs(cell):
+                self._add_arc(src, dst, "cell")
+        for net in self.netlist.nets():
+            driver = net.driver()
+            if driver is None:
+                continue
+            for sink in net.sinks():
+                self._add_arc(driver, sink, "net")
+        self._levelize()
+
+    def _levelize(self) -> None:
+        """Longest-path levels via Kahn; detects combinational loops."""
+        indeg = {pid: len(arcs) for pid, arcs in self.fanin.items()}
+        queue = deque(pid for pid, d in indeg.items() if d == 0)
+        self.level = {pid: 0 for pid in queue}
+        done = 0
+        while queue:
+            pid = queue.popleft()
+            done += 1
+            lvl = self.level[pid]
+            for dst, _kind in self.fanout[pid]:
+                did = id(dst)
+                if self.level.get(did, -1) < lvl + 1:
+                    self.level[did] = lvl + 1
+                indeg[did] -= 1
+                if indeg[did] == 0:
+                    queue.append(did)
+        if done != len(self._pins):
+            stuck = [self._pins[pid] for pid, d in indeg.items() if d > 0]
+            raise CombinationalLoopError(stuck)
+
+    # -- queries ---------------------------------------------------------
+
+    def pins(self) -> Iterable[Pin]:
+        return self._pins.values()
+
+    def level_of(self, pin: Pin) -> int:
+        return self.level.get(id(pin), 0)
+
+    def fanin_arcs(self, pin: Pin) -> List[Tuple[Pin, str]]:
+        return self.fanin.get(id(pin), [])
+
+    def fanout_arcs(self, pin: Pin) -> List[Tuple[Pin, str]]:
+        return self.fanout.get(id(pin), [])
+
+    @property
+    def num_pins(self) -> int:
+        return len(self._pins)
+
+    @property
+    def num_arcs(self) -> int:
+        return sum(len(a) for a in self.fanin.values())
+
+    def max_level(self) -> int:
+        return max(self.level.values(), default=0)

@@ -1,0 +1,135 @@
+"""SDC-lite: the constraint-file subset real flows feed a timer.
+
+Supported commands (one per line, ``#`` comments)::
+
+    create_clock -period 2000 [-name core]
+    set_input_delay 120 [get_ports pi3]
+    set_input_delay 80 [all_inputs]
+    set_output_delay 150 [get_ports po1]
+    set_output_delay 100 [all_outputs]
+    set_clock_uncertainty 25
+
+Delays are in ps, matching the rest of the system.  ``set_output_delay
+D`` means the data must arrive D before the cycle edge, i.e. the
+required time is ``period - D``.  ``set_clock_uncertainty`` is folded
+into the setup margin.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, TextIO
+
+from repro.timing.constraints import TimingConstraints
+
+_PORT_REF = re.compile(r"\[\s*get_ports\s+([^\]\s]+)\s*\]")
+_ALL_INPUTS = re.compile(r"\[\s*all_inputs\s*\]")
+_ALL_OUTPUTS = re.compile(r"\[\s*all_outputs\s*\]")
+
+
+class SdcError(ValueError):
+    """Raised for malformed or unsupported SDC input."""
+
+
+def read_sdc(stream: TextIO) -> TimingConstraints:
+    """Parse an SDC-lite file into :class:`TimingConstraints`."""
+    period: Optional[float] = None
+    uncertainty = 0.0
+    default_input: Optional[float] = None
+    default_output_delay: Optional[float] = None
+    input_arrivals = {}
+    output_delays = {}
+
+    for lineno, raw in enumerate(stream, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        command = tokens[0]
+        if command == "create_clock":
+            period = _flag_value(line, "-period", lineno)
+        elif command == "set_input_delay":
+            value = _leading_value(tokens, lineno)
+            port = _PORT_REF.search(line)
+            if port:
+                input_arrivals[port.group(1)] = value
+            elif _ALL_INPUTS.search(line):
+                default_input = value
+            else:
+                raise SdcError("line %d: set_input_delay needs "
+                               "[get_ports ...] or [all_inputs]" % lineno)
+        elif command == "set_output_delay":
+            value = _leading_value(tokens, lineno)
+            port = _PORT_REF.search(line)
+            if port:
+                output_delays[port.group(1)] = value
+            elif _ALL_OUTPUTS.search(line):
+                default_output_delay = value
+            else:
+                raise SdcError("line %d: set_output_delay needs "
+                               "[get_ports ...] or [all_outputs]" % lineno)
+        elif command == "set_clock_uncertainty":
+            uncertainty = _leading_value(tokens, lineno)
+        else:
+            raise SdcError("line %d: unsupported command %r"
+                           % (lineno, command))
+
+    if period is None:
+        raise SdcError("no create_clock -period found")
+
+    constraints = TimingConstraints(
+        cycle_time=period,
+        default_input_arrival=default_input or 0.0,
+        default_output_required=(period - default_output_delay
+                                 if default_output_delay is not None
+                                 else None),
+        setup_time=TimingConstraints.__dataclass_fields__[
+            "setup_time"].default + uncertainty,
+        input_arrivals=dict(input_arrivals),
+        output_requireds={p: period - d
+                          for p, d in output_delays.items()},
+    )
+    return constraints
+
+
+def write_sdc(constraints: TimingConstraints, stream: TextIO,
+              clock_name: str = "core") -> None:
+    """Write constraints back out as SDC-lite."""
+    stream.write("# repro SDC-lite\n")
+    stream.write("create_clock -period %g -name %s\n"
+                 % (constraints.cycle_time, clock_name))
+    if constraints.default_input_arrival:
+        stream.write("set_input_delay %g [all_inputs]\n"
+                     % constraints.default_input_arrival)
+    for port, value in sorted(constraints.input_arrivals.items()):
+        stream.write("set_input_delay %g [get_ports %s]\n"
+                     % (value, port))
+    if constraints.default_output_required is not None:
+        stream.write("set_output_delay %g [all_outputs]\n"
+                     % (constraints.cycle_time
+                        - constraints.default_output_required))
+    for port, req in sorted(constraints.output_requireds.items()):
+        stream.write("set_output_delay %g [get_ports %s]\n"
+                     % (constraints.cycle_time - req, port))
+
+
+def _flag_value(line: str, flag: str, lineno: int) -> float:
+    tokens = line.split()
+    for i, token in enumerate(tokens):
+        if token == flag and i + 1 < len(tokens):
+            try:
+                return float(tokens[i + 1])
+            except ValueError:
+                raise SdcError("line %d: bad value for %s"
+                               % (lineno, flag))
+    raise SdcError("line %d: missing %s" % (lineno, flag))
+
+
+def _leading_value(tokens: List[str], lineno: int) -> float:
+    if len(tokens) < 2:
+        raise SdcError("line %d: missing delay value" % lineno)
+    try:
+        return float(tokens[1])
+    except ValueError:
+        raise SdcError("line %d: bad delay value %r"
+                       % (lineno, tokens[1]))

@@ -1,0 +1,40 @@
+"""Synthesis + placement transforms (sections 4.2 - 4.6).
+
+Every transform follows the paper's contract: it queries the
+incremental analyzers, makes a tentative design change, and the change
+is kept only if the evaluator sees an improvement — "direct feedback
+from the analyzer(s) is used in the synthesis optimizations".
+"""
+
+from repro.transforms.base import Transform, TransformResult, TimingProbe
+from repro.transforms.netweight import LogicalEffortNetWeight, WeightMode
+from repro.transforms.sizing import GateSizing
+from repro.transforms.migration import CircuitMigration
+from repro.transforms.cloning import Cloning
+from repro.transforms.buffering import BufferInsertion
+from repro.transforms.pinswap import PinSwapping
+from repro.transforms.clock_scan import ClockScanOptimizer
+from repro.transforms.cleanup import RedundancyCleanup
+from repro.transforms.congestion import CongestionRelief
+from repro.transforms.remap import LocalRemap
+from repro.transforms.power import PowerRecovery
+from repro.transforms.holdfix import HoldFix
+
+__all__ = [
+    "RedundancyCleanup",
+    "CongestionRelief",
+    "LocalRemap",
+    "PowerRecovery",
+    "HoldFix",
+    "Transform",
+    "TransformResult",
+    "TimingProbe",
+    "LogicalEffortNetWeight",
+    "WeightMode",
+    "GateSizing",
+    "CircuitMigration",
+    "Cloning",
+    "BufferInsertion",
+    "PinSwapping",
+    "ClockScanOptimizer",
+]

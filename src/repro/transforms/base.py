@@ -1,0 +1,69 @@
+"""Transform protocol and the accept/reject evaluator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.design import Design
+
+
+@dataclass
+class TransformResult:
+    """Outcome of one transform invocation."""
+
+    name: str
+    accepted: int = 0
+    rejected: int = 0
+    detail: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def attempted(self) -> int:
+        return self.accepted + self.rejected
+
+    def __str__(self) -> str:
+        return "%s: %d/%d accepted %s" % (
+            self.name, self.accepted, self.attempted, self.detail or "")
+
+
+class Transform:
+    """Base class: a named, repeatable optimization step.
+
+    Subclasses implement ``run(design)``; the scenario decides *when*
+    to invoke each transform based on the placement status.
+    """
+
+    name = "transform"
+
+    def run(self, design: Design) -> TransformResult:
+        raise NotImplementedError
+
+
+class TimingProbe:
+    """Evaluator for try/score/accept: snapshots timing before a move.
+
+    ``improved()`` compares (worst slack, TNS) lexicographically — a
+    move must not hurt the worst path, and among equals should reduce
+    total negative slack.  ``margin`` requires a minimum gain, used by
+    transforms whose changes cost area.
+    """
+
+    def __init__(self, design: Design, margin: float = 0.0) -> None:
+        self.design = design
+        self.margin = margin
+        self.worst_before = design.timing.worst_slack()
+        self.tns_before = design.timing.total_negative_slack()
+
+    def improved(self) -> bool:
+        worst = self.design.timing.worst_slack()
+        if worst > self.worst_before + max(self.margin, 1e-9):
+            return True
+        if worst < self.worst_before - 1e-9:
+            return False
+        return (self.design.timing.total_negative_slack()
+                > self.tns_before + max(self.margin, 1e-9))
+
+    def not_degraded(self, tolerance: float = 1e-9) -> bool:
+        """True if the worst slack did not get worse."""
+        worst = self.design.timing.worst_slack()
+        return worst >= self.worst_before - tolerance

@@ -1,0 +1,144 @@
+"""Buffer insertion, placement-aware.
+
+Two patterns from the electrical-correction repertoire:
+
+* **shielding** — on a net with one late sink and off-path load, a
+  buffer takes over the non-critical sinks so the driver sees less
+  capacitance on the critical arc;
+* **repeating** — a long two-point wire gets a repeater at its
+  midpoint, halving the quadratic RC term.
+
+Like cloning, the transform chooses positions from the placement image
+and may invoke circuit relocation for space ("let its choice ... be
+driven by how much space is available").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.design import Design
+from repro.geometry import Point
+from repro.netlist import ops
+from repro.netlist.net import Net
+from repro.placement.relocation import CircuitRelocation
+from repro.timing.critical import obtain_critical_region
+from repro.transforms.base import TimingProbe, Transform, TransformResult
+
+
+class BufferInsertion(Transform):
+    """Insert shield/repeater buffers on critical nets."""
+
+    name = "buffer_insertion"
+
+    def __init__(self, max_nets: int = 40, buffer_x: float = 4.0,
+                 slack_margin_fraction: float = 0.08,
+                 relocate_for_space: bool = True) -> None:
+        self.max_nets = max_nets
+        self.buffer_x = buffer_x
+        self.slack_margin_fraction = slack_margin_fraction
+        self.relocate_for_space = relocate_for_space
+
+    def run(self, design: Design) -> TransformResult:
+        result = TransformResult(self.name)
+        region = obtain_critical_region(
+            design.timing,
+            slack_margin=self.slack_margin_fraction
+            * design.constraints.cycle_time)
+        protect = region.cell_names()
+        nets = sorted(
+            (n for n in region.nets if not n.is_clock and not n.is_scan),
+            key=lambda n: design.timing.net_slack(n))
+        for net in nets[:self.max_nets]:
+            if (self._try_isolate(design, net, protect)
+                    or self._try_shield(design, net, protect)
+                    or self._try_repeater(design, net, protect)):
+                result.accepted += 1
+            else:
+                result.rejected += 1
+        return result
+
+    # -- critical-sink isolation ---------------------------------------
+
+    def _try_isolate(self, design: Design, net: Net,
+                     protect: set) -> bool:
+        """Give a distant critical sink its own buffered connection.
+
+        On a multi-sink net whose most critical sink is far from the
+        driver, the Steiner detour through the other sinks dominates
+        the Elmore delay; a dedicated buffer at the midpoint turns the
+        critical arc into a short point-to-point hop.
+        """
+        driver = net.driver()
+        sinks = [p for p in net.sinks() if p.position is not None]
+        if driver is None or driver.position is None or len(sinks) < 2:
+            return False
+        critical = min(sinks, key=lambda p: design.timing.slack(p))
+        dist = driver.position.manhattan_to(critical.position)
+        if not design.parasitics.is_long(dist):
+            return False
+        mid = Point((driver.position.x + critical.position.x) / 2.0,
+                    (driver.position.y + critical.position.y) / 2.0)
+        return self._insert(design, net, [critical], mid, protect)
+
+    # -- shielding --------------------------------------------------------
+
+    def _try_shield(self, design: Design, net: Net, protect: set) -> bool:
+        sinks = [p for p in net.sinks() if p.position is not None]
+        if len(sinks) < 3:
+            return False
+        slacks = {p.full_name: design.timing.slack(p) for p in sinks}
+        ordered = sorted(sinks, key=lambda p: slacks[p.full_name])
+        critical = ordered[0]
+        shielded = ordered[len(ordered) // 2:]
+        shielded = [p for p in shielded if p is not critical]
+        if not shielded:
+            return False
+        cx = sum(p.position.x for p in shielded) / len(shielded)
+        cy = sum(p.position.y for p in shielded) / len(shielded)
+        return self._insert(design, net, shielded, Point(cx, cy), protect)
+
+    # -- repeating ---------------------------------------------------------
+
+    def _try_repeater(self, design: Design, net: Net,
+                      protect: set) -> bool:
+        driver = net.driver()
+        sinks = [p for p in net.sinks() if p.position is not None]
+        if driver is None or driver.position is None or len(sinks) != 1:
+            return False
+        sink = sinks[0]
+        length = driver.position.manhattan_to(sink.position)
+        if not design.parasitics.is_long(length):
+            return False
+        mid = Point((driver.position.x + sink.position.x) / 2.0,
+                    (driver.position.y + sink.position.y) / 2.0)
+        return self._insert(design, net, [sink], mid, protect)
+
+    # -- shared ---------------------------------------------------------------
+
+    def _insert(self, design: Design, net: Net, sink_pins: Sequence,
+                where: Point, protect: set) -> bool:
+        where = design.die.clamp(where)
+        buf_size = min(design.library.sizes("BUF"),
+                       key=lambda s: abs(s.x - self.buffer_x))
+        target_bin = design.grid.bin_at(where)
+        probe = TimingProbe(design, margin=1.0)
+        reloc = None
+        if not target_bin.can_fit(buf_size.area):
+            if not self.relocate_for_space:
+                return False
+            reloc = CircuitRelocation(design)
+            if not reloc.make_space(target_bin, buf_size.area,
+                                    protect=protect):
+                reloc.undo()
+                return False
+        buf = ops.insert_buffer(design.netlist, design.library, net,
+                                list(sink_pins), position=where,
+                                buffer_x=self.buffer_x)
+        buf.gain = design.timing.default_gain
+        if probe.improved():
+            return True
+        ops.remove_buffer(design.netlist, buf)
+        if reloc is not None:
+            reloc.undo()
+        return False

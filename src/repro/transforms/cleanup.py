@@ -1,0 +1,101 @@
+"""Redundancy cleanup: remove buffers and clones that stopped paying.
+
+Electrical corrections accepted at coarse placement may become
+unnecessary once the placement refines (their wire detour shrank, or a
+later move fixed the path another way).  This transform walks the
+inserted buffers and clones and removes any whose removal does not
+degrade timing — area recovery for the *netlist structure*, the dual
+of downsizing.
+"""
+
+from __future__ import annotations
+
+
+from repro.design import Design
+from repro.netlist import ops
+from repro.netlist.cell import Cell
+from repro.transforms.base import TimingProbe, Transform, TransformResult
+
+
+class RedundancyCleanup(Transform):
+    """Drop no-longer-useful buffers and clones."""
+
+    name = "redundancy_cleanup"
+
+    def __init__(self, margin: float = 0.0) -> None:
+        self.margin = margin
+
+    def run(self, design: Design) -> TransformResult:
+        result = TransformResult(self.name)
+        removed_area = 0.0
+        for cell in list(design.netlist.cells()):
+            if design.netlist._cells.get(cell.name) is not cell:
+                continue  # removed as a side effect earlier this pass
+            if cell.type_name == "BUF" and self._is_inserted_buffer(cell):
+                area = cell.area
+                if self._try_remove_buffer(design, cell):
+                    result.accepted += 1
+                    removed_area += area
+                else:
+                    result.rejected += 1
+            elif "_cln" in cell.name:
+                area = cell.area
+                if self._try_remove_clone(design, cell):
+                    result.accepted += 1
+                    removed_area += area
+                else:
+                    result.rejected += 1
+        result.detail["area_removed"] = removed_area
+        return result
+
+    @staticmethod
+    def _is_inserted_buffer(cell: Cell) -> bool:
+        # transform-inserted buffers carry generated names
+        return "_buf" in cell.name or "_bufd" in cell.name
+
+    def _try_remove_buffer(self, design: Design, buf: Cell) -> bool:
+        a_net = buf.pin("A").net
+        z_net = buf.output_pin().net
+        if a_net is None or z_net is None:
+            return False
+        probe = TimingProbe(design)
+        sinks = list(z_net.sinks())
+        position = buf.position
+        ops.remove_buffer(design.netlist, buf)
+        if probe.not_degraded(tolerance=self.margin + 1e-9):
+            return True
+        # resurrect it exactly as it was
+        new = ops.insert_buffer(design.netlist, design.library, a_net,
+                                [p for p in sinks if p.net is a_net],
+                                position=position, buffer_x=buf.size.x)
+        design.netlist.resize_cell(new, buf.size)
+        return False
+
+    def _try_remove_clone(self, design: Design, clone: Cell) -> bool:
+        out = clone.output_pin()
+        if out.net is None:
+            return False
+        original = self._find_original(design, clone)
+        if original is None:
+            return False
+        probe = TimingProbe(design)
+        moved_sinks = list(out.net.sinks())
+        position = clone.position
+        ops.unclone_cell(design.netlist, clone, original)
+        if probe.not_degraded(tolerance=self.margin + 1e-9):
+            return True
+        new = ops.clone_cell(design.netlist, original,
+                             [p for p in moved_sinks], position=position)
+        design.netlist.resize_cell(new, clone.size)
+        return False
+
+    @staticmethod
+    def _find_original(design: Design, clone: Cell) -> Cell:
+        """The cell this clone was copied from (same inputs + type)."""
+        base_name = clone.name.split("_cln")[0]
+        if design.netlist.has_cell(base_name):
+            candidate = design.netlist.cell(base_name)
+            if (candidate.type_name == clone.type_name
+                    and candidate.output_pin().net is not None):
+                return candidate
+        return None

@@ -1,0 +1,376 @@
+"""Clock tree and scan chain net length optimization (section 4.5).
+
+The staging protocol of algorithm *Clock and Scan Net Optimization*:
+
+* **status 10** — clock and scan net weights drop to 0 (placement lets
+  data flow dominate register locations), clock buffers shrink to
+  minimum, registers grow a size to *reserve space* for the buffers
+  that will appear next to them;
+* **status 30** — weights and sizes are restored (freeing space in the
+  register bins), and clock optimization inserts clock buffers into
+  that space: registers are clustered geometrically, one buffer per
+  cluster at its centroid, wired from the clock root;
+* **status 80** — scan weights are restored and the chain is reordered
+  by register location (nearest-neighbour tour + 2-opt), reconnecting
+  SI pins to minimize total scan net length.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.design import Design
+from repro.geometry import Point
+from repro.library.types import GateSize
+from repro.netlist.cell import Cell
+from repro.netlist.net import Net
+from repro.placement.relocation import CircuitRelocation
+from repro.transforms.base import Transform, TransformResult
+
+
+class ClockScanOptimizer:
+    """Owns the clock/scan staging protocol across the whole flow."""
+
+    def __init__(self, regs_per_buffer: int = 8,
+                 branch_factor: int = 4,
+                 clkbuf_x: float = 4.0) -> None:
+        self.regs_per_buffer = regs_per_buffer
+        self.branch_factor = branch_factor
+        self.clkbuf_x = clkbuf_x
+        self.masked = False
+        self.clock_done = False
+        self.scan_done = False
+        self._saved_sizes: Dict[str, GateSize] = {}
+
+    # -- scenario hook -----------------------------------------------------
+
+    def apply_for_status(self, design: Design, status: int) -> List[str]:
+        """Fire the stages whose status thresholds were crossed."""
+        fired = []
+        if status >= 10 and not self.masked:
+            self.mask(design)
+            fired.append("mask")
+        if status >= 30 and not self.clock_done:
+            self.restore_clock(design)
+            self.clock_optimization(design)
+            fired.append("clock")
+        if status >= 80 and not self.scan_done:
+            self.restore_scan(design)
+            self.scan_optimization(design)
+            fired.append("scan")
+        return fired
+
+    # -- stage 10: masking ----------------------------------------------------
+
+    def mask(self, design: Design) -> None:
+        """Zero clock/scan weights; shrink clock buffers, grow registers."""
+        for net in design.netlist.nets():
+            if net.is_clock or net.is_scan:
+                net.weight = 0.0
+        library = design.library
+        for cell in design.netlist.cells():
+            if cell.is_clock_buffer and library.has_type(cell.type_name):
+                self._saved_sizes[cell.name] = cell.size
+                design.netlist.resize_cell(
+                    cell, library.smallest(cell.type_name))
+            elif cell.is_sequential and library.has_type(cell.type_name):
+                ladder = library.sizes(cell.type_name)
+                idx = next((i for i, s in enumerate(ladder)
+                            if s.x == cell.size.x), None)
+                if idx is not None and idx + 1 < len(ladder):
+                    self._saved_sizes[cell.name] = cell.size
+                    design.netlist.resize_cell(cell, ladder[idx + 1])
+        self.masked = True
+
+    # -- stage 30: clock ---------------------------------------------------------
+
+    def restore_clock(self, design: Design) -> None:
+        for net in design.netlist.nets():
+            if net.is_clock:
+                net.weight = net.base_weight
+        self._restore_sizes(design)
+
+    def clock_optimization(self, design: Design) -> TransformResult:
+        """Build a recursive buffered clock tree over the registers.
+
+        Registers cluster geometrically (one leaf buffer per cluster at
+        the cluster centroid, in the space freed by the register-size
+        restore); buffer levels repeat upward until the root net drives
+        only a handful of buffers, keeping every clock net short — that
+        is what bounds insertion delay and skew.
+        """
+        result = TransformResult("clock_optimization")
+        netlist = design.netlist
+        root = self._clock_root(design)
+        if root is None:
+            return result
+        regs = [c for c in netlist.sequential_cells()
+                if c.placed and self._on_net(c, root)]
+        if not regs:
+            return result
+        buf_size = min(design.library.sizes("CLKBUF"),
+                       key=lambda s: abs(s.x - self.clkbuf_x))
+
+        level_cells: List[Cell] = list(regs)
+        level = 0
+        while len(level_cells) > self.branch_factor:
+            per_buffer = (self.regs_per_buffer if level == 0
+                          else self.branch_factor)
+            clusters = _geometric_clusters(level_cells, per_buffer)
+            if len(clusters) <= 1 and level > 0:
+                break
+            next_level: List[Cell] = []
+            for i, cluster in enumerate(clusters):
+                cx = sum(c.require_position().x
+                         for c in cluster) / len(cluster)
+                cy = sum(c.require_position().y
+                         for c in cluster) / len(cluster)
+                where = design.die.clamp(Point(cx, cy))
+                target_bin = design.grid.bin_at(where)
+                if not target_bin.can_fit(buf_size.area):
+                    CircuitRelocation(design).make_space(
+                        target_bin, buf_size.area)
+                buf = netlist.add_cell(
+                    netlist.unique_name("clkbuf_l%d_%d" % (level, i)),
+                    buf_size, position=where)
+                leaf = netlist.add_net(
+                    netlist.unique_name("clk_l%d_%d" % (level, i)),
+                    is_clock=True)
+                netlist.connect(buf.pin("Z"), leaf)
+                for cell in cluster:
+                    pin = ("CK" if level == 0 and not cell.is_clock_buffer
+                           else "A")
+                    netlist.connect(cell.pin(pin), leaf)
+                next_level.append(buf)
+                result.accepted += 1
+            level_cells = next_level
+            level += 1
+        # Top of the tree: a single root driver near the centroid of the
+        # remaining buffers, so the net from the clock port is two-pin
+        # (its wire delay shifts insertion delay, not skew).
+        tops = [c for c in level_cells
+                if c.is_clock_buffer and c.pin("A").net is None]
+        if len(tops) > 1:
+            cx = sum(c.require_position().x for c in tops) / len(tops)
+            cy = sum(c.require_position().y for c in tops) / len(tops)
+            where = design.die.clamp(Point(cx, cy))
+            driver = netlist.add_cell(
+                netlist.unique_name("clkbuf_root"), buf_size,
+                position=where)
+            trunk = netlist.add_net(netlist.unique_name("clk_trunk"),
+                                    is_clock=True)
+            netlist.connect(driver.pin("Z"), trunk)
+            for buf in tops:
+                netlist.connect(buf.pin("A"), trunk)
+            netlist.connect(driver.pin("A"), root)
+            result.accepted += 1
+        elif tops:
+            netlist.connect(tops[0].pin("A"), root)
+        elif level == 0 and level_cells:
+            # Degenerate: very few registers; drive them from the root.
+            pass
+        self.clock_done = True
+        result.detail["levels"] = float(level)
+        return result
+
+    # -- stage 80: scan -------------------------------------------------------------
+
+    def restore_scan(self, design: Design) -> None:
+        for net in design.netlist.nets():
+            if net.is_scan:
+                net.weight = net.base_weight
+
+    def scan_optimization(self, design: Design) -> TransformResult:
+        """Reorder every scan chain by register location."""
+        result = TransformResult("scan_optimization")
+        netlist = design.netlist
+        heads = self._scan_heads(design)
+        all_scan_regs = [c for c in netlist.sequential_cells()
+                         if c.placed and self._has_connected_si(c)]
+        before_total = 0.0
+        after_total = 0.0
+        for head_net in heads:
+            regs = _chain_order(head_net, all_scan_regs)
+            if len(regs) < 2:
+                continue
+            tail_pin = self._chain_tail(regs)
+            before_total += _tour_length(design, head_net, regs,
+                                         tail_pin)
+            start = self._net_anchor(head_net)
+            order = _nearest_neighbor_tour(regs, start)
+            order = _two_opt(order, start)
+            # Reconnect: head net -> SI of first; Q of k -> SI of k+1.
+            netlist.connect(order[0].pin("SI"), head_net)
+            for prev, cur in zip(order, order[1:]):
+                qn = prev.pin("Q").net
+                if qn is None:
+                    qn = netlist.add_net(netlist.unique_name("scan_q"))
+                    netlist.connect(prev.pin("Q"), qn)
+                netlist.connect(cur.pin("SI"), qn)
+            if tail_pin is not None:
+                last_q = order[-1].pin("Q").net
+                if last_q is not None:
+                    netlist.connect(tail_pin, last_q)
+            after_total += _tour_length(design, head_net, order,
+                                        tail_pin)
+            result.accepted += 1
+        result.detail["length_before"] = before_total
+        result.detail["length_after"] = after_total
+        self.scan_done = True
+        return result
+
+    @staticmethod
+    def _scan_heads(design: Design) -> List[Net]:
+        """Chain head nets: scan nets driven by input ports."""
+        return [net for net in design.netlist.nets()
+                if net.is_scan and net.driver() is not None
+                and net.driver().cell.is_port]
+
+    @staticmethod
+    def _chain_tail(regs: List[Cell]):
+        """The scan-out port pin hanging off a chain's last register."""
+        last_q = regs[-1].pin("Q").net
+        if last_q is None:
+            return None
+        for pin in last_q.sinks():
+            if pin.cell.is_port:
+                return pin
+        return None
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _restore_sizes(self, design: Design) -> None:
+        for name, size in self._saved_sizes.items():
+            if design.netlist.has_cell(name):
+                design.netlist.resize_cell(design.netlist.cell(name), size)
+        self._saved_sizes.clear()
+
+    @staticmethod
+    def _clock_root(design: Design) -> Optional[Net]:
+        for net in design.netlist.nets():
+            if net.is_clock and net.driver() is not None \
+                    and net.driver().cell.is_port:
+                return net
+        for net in design.netlist.nets():
+            if net.is_clock:
+                return net
+        return None
+
+    @staticmethod
+    def _on_net(cell: Cell, net: Net) -> bool:
+        try:
+            return cell.pin("CK").net is net
+        except KeyError:
+            return False
+
+    @staticmethod
+    def _has_connected_si(cell: Cell) -> bool:
+        try:
+            return cell.pin("SI").net is not None
+        except KeyError:
+            return False
+
+    @staticmethod
+    def _net_anchor(net: Net) -> Point:
+        driver = net.driver()
+        if driver is not None and driver.position is not None:
+            return driver.position
+        pts = net.placed_points()
+        return pts[0] if pts else Point(0, 0)
+
+
+# -- tour utilities -----------------------------------------------------------
+
+
+def _tour_length(design: Design, head: Net, regs: Sequence[Cell],
+                 tail_pin) -> float:
+    """Total scan hop length for the current chain order (tracks)."""
+    total = 0.0
+    anchor = ClockScanOptimizer._net_anchor(head)
+    # reconstruct order by following SI connections
+    order = _chain_order(head, regs)
+    prev = anchor
+    for reg in order:
+        pos = reg.require_position()
+        total += prev.manhattan_to(pos)
+        prev = pos
+    if tail_pin is not None and tail_pin.position is not None and order:
+        total += prev.manhattan_to(tail_pin.position)
+    return total
+
+
+def _chain_order(head: Net, regs: Sequence[Cell]) -> List[Cell]:
+    reg_set = {id(c): c for c in regs}
+    order: List[Cell] = []
+    net = head
+    visited = set()
+    while net is not None and net.name not in visited:
+        visited.add(net.name)
+        next_net = None
+        for pin in net.sinks():
+            if pin.is_scan and id(pin.cell) in reg_set:
+                order.append(pin.cell)
+                next_net = pin.cell.pin("Q").net
+                break
+        net = next_net
+    return order
+
+
+def _nearest_neighbor_tour(regs: Sequence[Cell],
+                           start: Point) -> List[Cell]:
+    remaining = list(regs)
+    order: List[Cell] = []
+    here = start
+    while remaining:
+        best = min(remaining,
+                   key=lambda c: here.manhattan_to(c.require_position()))
+        remaining.remove(best)
+        order.append(best)
+        here = best.require_position()
+    return order
+
+
+def _two_opt(order: List[Cell], start: Point,
+             max_passes: int = 3) -> List[Cell]:
+    """Classic 2-opt improvement on the open scan tour."""
+    def pos(i: int) -> Point:
+        return start if i < 0 else order[i].require_position()
+
+    n = len(order)
+    for _ in range(max_passes):
+        improved = False
+        for i in range(-1, n - 2):
+            for j in range(i + 2, n):
+                a, b = pos(i), pos(i + 1)
+                c = pos(j)
+                if j == n - 1:
+                    # reversing the tail: the chain simply ends at b
+                    delta = a.manhattan_to(c) - a.manhattan_to(b)
+                else:
+                    d = pos(j + 1)
+                    delta = (a.manhattan_to(c) + b.manhattan_to(d)
+                             - a.manhattan_to(b) - c.manhattan_to(d))
+                if delta < -1e-9:
+                    order[i + 1:j + 1] = reversed(order[i + 1:j + 1])
+                    improved = True
+        if not improved:
+            break
+    return order
+
+
+def _geometric_clusters(cells: Sequence[Cell],
+                        max_size: int) -> List[List[Cell]]:
+    """Recursive median split until every cluster fits ``max_size``."""
+    def split(group: List[Cell]) -> List[List[Cell]]:
+        if len(group) <= max_size:
+            return [group]
+        xs = [c.require_position().x for c in group]
+        ys = [c.require_position().y for c in group]
+        if max(xs) - min(xs) >= max(ys) - min(ys):
+            group = sorted(group, key=lambda c: c.require_position().x)
+        else:
+            group = sorted(group, key=lambda c: c.require_position().y)
+        mid = len(group) // 2
+        return split(group[:mid]) + split(group[mid:])
+
+    return split(list(cells))

@@ -1,0 +1,112 @@
+"""Gate cloning with placement awareness (sections 4.6 / 5).
+
+The clone transform duplicates a critical driver to split its fanout.
+Being placement-aware it (a) splits the sinks geometrically, (b) puts
+the clone at the centroid of the sinks it takes over, and (c) when the
+target bin is full, calls circuit relocation to create space instead of
+giving up — the paper's example of a combined netlist/placement
+transform.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.design import Design
+from repro.geometry import Point
+from repro.netlist import ops
+from repro.netlist.cell import Pin
+from repro.netlist.net import Net
+from repro.placement.relocation import CircuitRelocation
+from repro.timing.critical import obtain_critical_region
+from repro.transforms.base import TimingProbe, Transform, TransformResult
+
+
+class Cloning(Transform):
+    """Duplicate critical drivers to distribute load."""
+
+    name = "cloning"
+
+    def __init__(self, fanout_threshold: int = 4, max_nets: int = 40,
+                 slack_margin_fraction: float = 0.08,
+                 relocate_for_space: bool = True) -> None:
+        self.fanout_threshold = fanout_threshold
+        self.max_nets = max_nets
+        self.slack_margin_fraction = slack_margin_fraction
+        self.relocate_for_space = relocate_for_space
+
+    def run(self, design: Design) -> TransformResult:
+        result = TransformResult(self.name)
+        region = obtain_critical_region(
+            design.timing,
+            slack_margin=self.slack_margin_fraction
+            * design.constraints.cycle_time)
+        protect = region.cell_names()
+        nets = sorted(
+            (n for n in region.nets
+             if not n.is_clock and not n.is_scan
+             and len(n.sinks()) >= self.fanout_threshold),
+            key=lambda n: design.timing.net_slack(n))
+        for net in nets[:self.max_nets]:
+            if self._try_clone(design, net, protect):
+                result.accepted += 1
+            else:
+                result.rejected += 1
+        return result
+
+    # -- internals ------------------------------------------------------------
+
+    def _try_clone(self, design: Design, net: Net,
+                   protect: set) -> bool:
+        driver = net.driver()
+        if driver is None or driver.cell.is_port:
+            return False
+        cell = driver.cell
+        if not design.library.has_type(cell.type_name):
+            return False
+        split = self._split_sinks(net)
+        if split is None:
+            return False
+        keep, move, centroid = split
+        centroid = design.die.clamp(centroid)
+        target_bin = design.grid.bin_at(centroid)
+        probe = TimingProbe(design, margin=1.0)
+        reloc = None
+        if not target_bin.can_fit(cell.area):
+            if not self.relocate_for_space:
+                return False
+            reloc = CircuitRelocation(design)
+            if not reloc.make_space(target_bin, cell.area,
+                                    protect=protect):
+                reloc.undo()
+                return False
+        clone = ops.clone_cell(design.netlist, cell, move,
+                               position=centroid)
+        if probe.improved():
+            return True
+        ops.unclone_cell(design.netlist, clone, cell)
+        if reloc is not None:
+            reloc.undo()
+        return False
+
+    def _split_sinks(self, net: Net
+                     ) -> Optional[Tuple[List[Pin], List[Pin], Point]]:
+        """Split sinks geometrically about the driver.
+
+        The half farther from the driver goes to the clone; returns
+        (kept sinks, moved sinks, clone centroid).
+        """
+        driver = net.driver()
+        placed = [p for p in net.sinks() if p.position is not None]
+        if len(placed) < 2 or driver is None or driver.position is None:
+            return None
+        dp = driver.position
+        ordered = sorted(placed,
+                         key=lambda p: p.position.manhattan_to(dp))
+        half = len(ordered) // 2
+        keep, move = ordered[:half], ordered[half:]
+        if not move:
+            return None
+        cx = sum(p.position.x for p in move) / len(move)
+        cy = sum(p.position.y for p in move) / len(move)
+        return keep, move, Point(cx, cy)

@@ -1,0 +1,120 @@
+"""Congestion relief: move cells *or* re-decompose the netlist.
+
+Section 1's flagship example of a combined netlist/placement
+transform: "A transform to eliminate wire congestion can do this both
+by moving cells or re-decomposing a piece of the netlist."  For each
+congestion hotspot bin this transform tries, in order:
+
+1. **moving** non-critical cells out of the hotspot (via circuit
+   relocation), which removes their pins' wiring demand;
+2. **re-decomposing** a complex gate in the hotspot into a two-stage
+   equivalent whose front stage can be placed outside the hotspot —
+   splitting one multi-pin net crossing the congested area into two
+   shorter nets.
+
+Each action is scored against the analyzers: the congestion of the
+hotspot must drop, and timing must not degrade.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.design import Design
+from repro.image.bins import Bin
+from repro.netlist import ops
+from repro.placement.relocation import CircuitRelocation
+from repro.timing.critical import obtain_critical_region
+from repro.transforms.base import TimingProbe, Transform, TransformResult
+
+
+class CongestionRelief(Transform):
+    """Reduce wiring demand in hotspot bins."""
+
+    name = "congestion_relief"
+
+    def __init__(self, hotspot_threshold: float = 1.0,
+                 max_bins: int = 10,
+                 slack_margin_fraction: float = 0.1) -> None:
+        self.hotspot_threshold = hotspot_threshold
+        self.max_bins = max_bins
+        self.slack_margin_fraction = slack_margin_fraction
+
+    def run(self, design: Design) -> TransformResult:
+        result = TransformResult(self.name)
+        region = obtain_critical_region(
+            design.timing,
+            slack_margin=self.slack_margin_fraction
+            * design.constraints.cycle_time)
+        protect = region.cell_names()
+        hotspots = sorted(
+            (b for b in design.grid.bins()
+             if b.congestion > self.hotspot_threshold),
+            key=lambda b: -b.congestion)
+        for bin_ in hotspots[:self.max_bins]:
+            if self._relieve_by_moving(design, bin_, protect):
+                result.accepted += 1
+            elif self._relieve_by_decomposition(design, bin_, protect):
+                result.accepted += 1
+                result.detail["decompositions"] = (
+                    result.detail.get("decompositions", 0) + 1)
+            else:
+                result.rejected += 1
+        result.detail["hotspots"] = float(len(hotspots))
+        return result
+
+    # -- action 1: move cells out ------------------------------------------
+
+    def _relieve_by_moving(self, design: Design, bin_: Bin,
+                           protect: Set[str]) -> bool:
+        """Push some non-critical area out of the hotspot."""
+        movable_area = sum(c.area for c in bin_.cells
+                           if c.is_movable and c.name not in protect)
+        if movable_area <= 0:
+            return False
+        target_free = bin_.free_area + movable_area * 0.5
+        probe = TimingProbe(design)
+        reloc = CircuitRelocation(design)
+        demand_before = self._pin_demand(bin_)
+        ok = reloc.make_space(bin_, target_free, protect=protect)
+        if ok and self._pin_demand(bin_) < demand_before \
+                and probe.not_degraded(tolerance=1.0):
+            return True
+        reloc.undo()
+        return False
+
+    # -- action 2: re-decompose -------------------------------------------
+
+    def _relieve_by_decomposition(self, design: Design, bin_: Bin,
+                                  protect: Set[str]) -> bool:
+        """Split a complex gate so its front stage leaves the hotspot."""
+        candidates = sorted(
+            (c for c in bin_.cells
+             if c.is_movable and c.name not in protect
+             and ops.can_decompose(c)),
+            key=lambda c: -c.gate_type.num_inputs)
+        grid = design.grid
+        for cell in candidates[:4]:
+            neighbors = [b for b in grid.neighbors(bin_)
+                         if b.congestion < bin_.congestion
+                         and b.can_fit(cell.area)]
+            if not neighbors:
+                continue
+            quiet = min(neighbors, key=lambda b: b.congestion)
+            probe = TimingProbe(design)
+            front, back = ops.decompose_cell(design.netlist,
+                                             design.library, cell)
+            design.netlist.move_cell(front, quiet.center)
+            if probe.not_degraded(tolerance=1.0):
+                return True
+            # no clean inverse for decomposition: fold the front stage
+            # back into the hotspot so at least wiring is unchanged
+            design.netlist.move_cell(front, back.require_position())
+            return False
+        return False
+
+    @staticmethod
+    def _pin_demand(bin_: Bin) -> int:
+        """Connected pins inside the bin — a proxy for local wiring."""
+        return sum(1 for c in bin_.cells for p in c.pins()
+                   if p.net is not None)

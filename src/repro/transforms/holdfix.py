@@ -1,0 +1,68 @@
+"""Hold fixing: pad racing register-to-register paths.
+
+With min/max timing available, hold violations (data racing through
+before the capture window closes) are repaired the standard way:
+delay buffers on the offending D inputs.  Each insertion is checked
+against *both* analyses — the hold slack must improve and the setup
+slack must stay non-degraded — the same dual-analyzer accept/reject
+discipline as every other transform.
+"""
+
+from __future__ import annotations
+
+
+from repro.design import Design
+from repro.netlist import ops
+from repro.netlist.cell import Pin
+from repro.transforms.base import Transform, TransformResult
+
+
+class HoldFix(Transform):
+    """Insert delay buffers on hold-violating register inputs."""
+
+    name = "hold_fix"
+
+    def __init__(self, max_buffers_per_path: int = 4,
+                 buffer_x: float = 1.0) -> None:
+        self.max_buffers_per_path = max_buffers_per_path
+        self.buffer_x = buffer_x
+
+    def run(self, design: Design) -> TransformResult:
+        result = TransformResult(self.name)
+        engine = design.timing
+        victims = [p for p in engine.endpoints()
+                   if engine.hold_slack(p) < 0]
+        total_added = 0
+        for pin in victims:
+            added = self._fix_pin(design, pin)
+            total_added += added
+            if engine.hold_slack(pin) >= 0:
+                result.accepted += 1
+            else:
+                result.rejected += 1
+        result.detail["buffers_added"] = float(total_added)
+        return result
+
+    def _fix_pin(self, design: Design, pin: Pin) -> int:
+        engine = design.timing
+        added = 0
+        for _ in range(self.max_buffers_per_path):
+            if engine.hold_slack(pin) >= 0:
+                break
+            net = pin.net
+            if net is None or net.driver() is None:
+                break
+            setup_before = engine.slack(pin)
+            hold_before = engine.hold_slack(pin)
+            where = pin.position if pin.position is not None else None
+            buf = ops.insert_buffer(design.netlist, design.library,
+                                    net, [pin], position=where,
+                                    buffer_x=self.buffer_x)
+            buf.gain = engine.default_gain
+            if engine.hold_slack(pin) <= hold_before + 1e-9 or \
+                    (setup_before >= 0 and engine.slack(pin) < 0):
+                # no progress, or we broke setup: undo and stop
+                ops.remove_buffer(design.netlist, buf)
+                break
+            added += 1
+        return added

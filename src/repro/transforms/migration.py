@@ -1,0 +1,148 @@
+"""Circuit migration: strong moves (section 4.2, ref [8]).
+
+Individual cell moves on a critical meander often cannot shorten it
+(Figure 3) and single Steiner nodes cannot leave the trunk (Figure 4) —
+but the *collective* motion of a connected group can.  A **strong
+move** relocates an optimal set of circuits connected to a net (or a
+group of nets) such that no proper subset achieves the improvement.
+
+The transform builds candidate groups from the critical region —
+starting from single critical nets, then merging across nets — and
+tries joint translations of one bin step in each direction, accepting
+a move only if the timing analyzer confirms an improvement and bin
+capacities are respected.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.design import Design
+from repro.geometry import Point
+from repro.netlist.cell import Cell
+from repro.timing.critical import obtain_critical_region
+from repro.transforms.base import Transform, TransformResult
+
+
+class CircuitMigration(Transform):
+    """Joint relocation of critical cell groups."""
+
+    name = "circuit_migration"
+
+    def __init__(self, max_group_size: int = 6, max_groups: int = 60,
+                 slack_margin_fraction: float = 0.08) -> None:
+        self.max_group_size = max_group_size
+        self.max_groups = max_groups
+        self.slack_margin_fraction = slack_margin_fraction
+
+    def run(self, design: Design) -> TransformResult:
+        result = TransformResult(self.name)
+        groups = self._build_groups(design)
+        steps = self._steps(design)
+        for group in groups[:self.max_groups]:
+            if self._try_group(design, group, steps):
+                result.accepted += 1
+            else:
+                result.rejected += 1
+        return result
+
+    # -- group construction -------------------------------------------------
+
+    def _build_groups(self, design: Design) -> List[List[Cell]]:
+        """Candidate strong-move sets from the critical region.
+
+        For every critical net: the movable critical cells on it; then
+        one merged group per net including neighbours reached through
+        other critical nets ("strong moves for a group of nets").
+        """
+        region = obtain_critical_region(
+            design.timing,
+            slack_margin=self.slack_margin_fraction
+            * design.constraints.cycle_time)
+        critical_cells = {c.name for c in region.cells if c.is_movable}
+        groups: List[List[Cell]] = []
+        seen: Set[FrozenSet[str]] = set()
+
+        def push(cells: Sequence[Cell]) -> None:
+            cells = [c for c in cells if c.is_movable and c.placed]
+            if not cells or len(cells) > self.max_group_size:
+                return
+            key = frozenset(c.name for c in cells)
+            if key in seen:
+                return
+            seen.add(key)
+            groups.append(list(cells))
+
+        nets = sorted(region.nets, key=lambda n: design.timing.net_slack(n))
+        for net in nets:
+            base = [c for c in net.cells()
+                    if c.name in critical_cells and c.is_movable]
+            if not base:
+                continue
+            push(base)
+            # grow across adjacent critical nets
+            grown = list(base)
+            grown_names = {c.name for c in grown}
+            for cell in base:
+                for pin in cell.pins():
+                    other = pin.net
+                    if other is None or other is net:
+                        continue
+                    if other.name not in region.net_names():
+                        continue
+                    for c in other.cells():
+                        if (c.name in critical_cells and c.is_movable
+                                and c.name not in grown_names
+                                and len(grown) < self.max_group_size):
+                            grown.append(c)
+                            grown_names.add(c.name)
+            if len(grown) > len(base):
+                push(grown)
+        return groups
+
+    # -- move trial -----------------------------------------------------------
+
+    def _steps(self, design: Design) -> List[Tuple[float, float]]:
+        bw = design.die.width / max(design.grid.nx, 1)
+        bh = design.die.height / max(design.grid.ny, 1)
+        return [(bw, 0.0), (-bw, 0.0), (0.0, bh), (0.0, -bh),
+                (bw, bh), (-bw, -bh), (bw, -bh), (-bw, bh)]
+
+    def _try_group(self, design: Design, group: List[Cell],
+                   steps: Sequence[Tuple[float, float]]) -> bool:
+        """Evaluate every step; commit the one with the best timing gain.
+
+        A strong move is the *optimal* relocation of the set, so all
+        candidate directions are scored before any is kept.
+        """
+        netlist = design.netlist
+        original = [c.require_position() for c in group]
+        base_worst = design.timing.worst_slack()
+        base_tns = design.timing.total_negative_slack()
+        best: Optional[Tuple[float, float, List[Point]]] = None
+        for dx, dy in steps:
+            targets = [design.die.clamp(p.translated(dx, dy))
+                       for p in original]
+            if all(t == p for t, p in zip(targets, original)):
+                continue
+            for cell, t in zip(group, targets):
+                netlist.move_cell(cell, t)
+            if self._bins_ok(design, group):
+                gain = design.timing.worst_slack() - base_worst
+                tns_gain = (design.timing.total_negative_slack()
+                            - base_tns)
+                if (gain > 1e-9 or (gain > -1e-9 and tns_gain > 1e-9)):
+                    if best is None or (gain, tns_gain) > best[:2]:
+                        best = (gain, tns_gain, targets)
+            for cell, p in zip(group, original):
+                netlist.move_cell(cell, p)
+        if best is None:
+            return False
+        for cell, t in zip(group, best[2]):
+            netlist.move_cell(cell, t)
+        return True
+
+    @staticmethod
+    def _bins_ok(design: Design, group: Sequence[Cell]) -> bool:
+        bins = {design.grid.bin_of(c) for c in group}
+        return all(b is None or not b.overfilled for b in bins)

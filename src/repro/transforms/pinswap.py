@@ -1,0 +1,87 @@
+"""Pin swapping on functionally symmetric inputs.
+
+Stacked CMOS inputs are not electrically identical: pins closer to the
+output switch faster (their ``delay_factor`` is below 1).  On critical
+cells, the transform permutes swappable inputs so the latest-arriving
+signal lands on the fastest pin, accepting the permutation only if the
+timing analyzer confirms the gain.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.design import Design
+from repro.netlist import ops
+from repro.netlist.cell import Cell
+from repro.timing.critical import obtain_critical_region
+from repro.transforms.base import TimingProbe, Transform, TransformResult
+
+
+class PinSwapping(Transform):
+    """Match arrival order to pin speed on critical cells."""
+
+    name = "pin_swapping"
+
+    def __init__(self, max_cells: int = 200,
+                 slack_margin_fraction: float = 0.08) -> None:
+        self.max_cells = max_cells
+        self.slack_margin_fraction = slack_margin_fraction
+
+    def run(self, design: Design) -> TransformResult:
+        result = TransformResult(self.name)
+        region = obtain_critical_region(
+            design.timing,
+            slack_margin=self.slack_margin_fraction
+            * design.constraints.cycle_time)
+        for cell in region.cells[:self.max_cells]:
+            if cell.is_port or cell.is_sequential:
+                continue
+            groups = cell.gate_type.swap_groups()
+            if not groups:
+                continue
+            if self._optimize_cell(design, cell):
+                result.accepted += 1
+            else:
+                result.rejected += 1
+        return result
+
+    # -- internals ------------------------------------------------------------
+
+    def _optimize_cell(self, design: Design, cell: Cell) -> bool:
+        """Apply the arrival-vs-speed matching permutation, keep if better."""
+        swaps = self._desired_swaps(design, cell)
+        if not swaps:
+            return False
+        probe = TimingProbe(design)
+        for a, b in swaps:
+            ops.swap_pins(design.netlist, cell, a, b)
+        if probe.improved():
+            return True
+        for a, b in reversed(swaps):
+            ops.swap_pins(design.netlist, cell, a, b)
+        return False
+
+    def _desired_swaps(self, design: Design,
+                       cell: Cell) -> List[Tuple[str, str]]:
+        """Pairwise swaps realising: latest arrival -> fastest pin."""
+        swaps: List[Tuple[str, str]] = []
+        for group in cell.gate_type.swap_groups().values():
+            names = [spec.name for spec in group]
+            arrivals = {n: design.timing.arrival(cell.pin(n))
+                        for n in names}
+            # target assignment: sort nets by arrival (latest first)
+            # onto pins by delay_factor (fastest first)
+            by_speed = sorted(names,
+                              key=lambda n: cell.gate_type.pin(n).delay_factor)
+            by_arrival = sorted(names, key=lambda n: -arrivals[n])
+            # desired: pin by_speed[i] carries signal now on by_arrival[i]
+            current = {n: n for n in names}  # pin -> pin whose net it has
+            for target_pin, source_pin in zip(by_speed, by_arrival):
+                holder = next(p for p, h in current.items()
+                              if h == source_pin)
+                if holder != target_pin:
+                    swaps.append((holder, target_pin))
+                    current[holder], current[target_pin] = \
+                        current[target_pin], current[holder]
+        return swaps

@@ -1,0 +1,71 @@
+"""Power recovery: the power-analyzer-coupled transform.
+
+"Other work involves extending algorithms to optimize metrics such as
+noise, congestion, power and yield" (section 7).  This transform
+couples to the :class:`~repro.analysis.PowerAnalyzer` exactly the way
+the timing transforms couple to the timing engine: it walks the nets
+by switching power, downsizes their drivers (less input capacitance
+upstream, same wire), and keeps a change only if the power analyzer
+reports a saving and the timing analyzer reports no worst-slack
+degradation.
+"""
+
+from __future__ import annotations
+
+
+from repro.analysis.power import PowerAnalyzer
+from repro.design import Design
+from repro.transforms.base import TimingProbe, Transform, TransformResult
+
+
+class PowerRecovery(Transform):
+    """Trade surplus drive for switching power."""
+
+    name = "power_recovery"
+
+    def __init__(self, max_nets: int = 100,
+                 activity: float = 0.1) -> None:
+        self.max_nets = max_nets
+        self.activity = activity
+
+    def run(self, design: Design) -> TransformResult:
+        result = TransformResult(self.name)
+        analyzer = PowerAnalyzer(design, activity=self.activity)
+        report = analyzer.analyze()
+        saved = 0.0
+        hungry = sorted(report.per_net.items(), key=lambda kv: -kv[1])
+        library = design.library
+        for net_name, _power in hungry[:self.max_nets]:
+            if not design.netlist.has_net(net_name):
+                continue
+            net = design.netlist.net(net_name)
+            if net.is_clock:
+                continue  # the clock tree's sizing is its own problem
+            saving = 0.0
+            for pin in net.sinks():
+                cell = pin.cell
+                if cell.is_port or cell.is_sequential \
+                        or not library.has_type(cell.type_name):
+                    continue
+                ladder = library.sizes(cell.type_name)
+                idx = next((i for i, s in enumerate(ladder)
+                            if s.x == cell.size.x), None)
+                if idx is None or idx == 0:
+                    continue
+                before_power = analyzer.net_power(net)
+                probe = TimingProbe(design)
+                design.netlist.resize_cell(cell, ladder[idx - 1])
+                # smaller sink -> less cap on this (hot) net
+                after_power = analyzer.net_power(net)
+                if after_power < before_power \
+                        and probe.not_degraded(tolerance=1e-6):
+                    saving += before_power - after_power
+                else:
+                    design.netlist.resize_cell(cell, ladder[idx])
+            if saving > 0:
+                result.accepted += 1
+                saved += saving
+            else:
+                result.rejected += 1
+        result.detail["power_saved_uw"] = saved
+        return result

@@ -1,0 +1,99 @@
+"""Local remapping for timing (the "remapping" of section 4.6).
+
+Complex stacked gates are slow for their latest-arriving input.  This
+transform re-decomposes a critical complex gate (NAND3/NAND4/AND2/...)
+into a two-stage equivalent arranged so the *late* signal enters the
+final stage: the early signals pre-compute through the front gate
+while the critical one bypasses it.  Placement-aware like every TPS
+transform — the new front gate is placed at the original location and
+the change is kept only if the timing analyzer confirms it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.design import Design
+from repro.netlist import ops
+from repro.netlist.cell import Cell
+from repro.timing.critical import obtain_critical_region
+from repro.transforms.base import TimingProbe, Transform, TransformResult
+
+#: type -> (pin that should carry the latest signal after decomposition)
+#: (the decomposition rules put the listed pin on the *back* stage)
+_LATE_PIN = {
+    "NAND3": "C",
+    "NOR3": "C",
+    "NAND4": "D",
+}
+
+
+class LocalRemap(Transform):
+    """Re-decompose critical complex gates around their late input."""
+
+    name = "local_remap"
+
+    def __init__(self, max_cells: int = 30,
+                 slack_margin_fraction: float = 0.08) -> None:
+        self.max_cells = max_cells
+        self.slack_margin_fraction = slack_margin_fraction
+
+    def run(self, design: Design) -> TransformResult:
+        result = TransformResult(self.name)
+        region = obtain_critical_region(
+            design.timing,
+            slack_margin=self.slack_margin_fraction
+            * design.constraints.cycle_time)
+        candidates = [c for c in region.cells
+                      if c.type_name in _LATE_PIN and c.is_movable]
+        for cell in candidates[:self.max_cells]:
+            if self._try_remap(design, cell):
+                result.accepted += 1
+            else:
+                result.rejected += 1
+        return result
+
+    def _try_remap(self, design: Design, cell: Cell) -> bool:
+        """Rotate the late signal onto the bypass pin, then decompose."""
+        engine = design.timing
+        inputs = [p for p in cell.input_pins() if p.net is not None]
+        if len(inputs) < cell.gate_type.num_inputs:
+            return False
+        late = max(inputs, key=lambda p: engine.arrival(p))
+        bypass = _LATE_PIN[cell.type_name]
+        probe = TimingProbe(design)
+
+        # get the late signal onto the pin that stays on the back stage
+        swapped: Optional[tuple] = None
+        if late.name != bypass:
+            spec_a = cell.gate_type.pin(late.name)
+            spec_b = cell.gate_type.pin(bypass)
+            if spec_a.swap_group is None \
+                    or spec_a.swap_group != spec_b.swap_group:
+                return False
+            ops.swap_pins(design.netlist, cell, late.name, bypass)
+            swapped = (late.name, bypass)
+
+        net_map = {p.name: p.net for p in cell.pins()}
+        front, back = ops.decompose_cell(design.netlist, design.library,
+                                         cell)
+        if probe.improved():
+            return True
+        # undo: rebuild the original gate and reconnect it
+        design.netlist.remove_cell(front)
+        mid = back.gate_type.input_pins[0]
+        mid_net = back.pin(mid.name).net
+        design.netlist.remove_cell(back)
+        if mid_net is not None and mid_net.degree == 0:
+            design.netlist.remove_net(mid_net)
+        restored = design.netlist.add_cell(
+            design.netlist.unique_name("rm_" + cell.name),
+            cell.size, position=cell.position)
+        restored.gain = cell.gain
+        for pin_name, net in net_map.items():
+            if net is not None and net.netlist is design.netlist:
+                design.netlist.connect(restored.pin(pin_name), net)
+        if swapped is not None:
+            ops.swap_pins(design.netlist, restored, swapped[0],
+                          swapped[1])
+        return False

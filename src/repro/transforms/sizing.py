@@ -1,0 +1,230 @@
+"""Gate sizing (section 4.4): gain assignment, discretization,
+timing/area sizing, and post-route in-footprint sizing.
+
+Before placement, gates are *sizeless*: each carries only a gain.
+During placement, **discretization** derives a physical size from the
+gain and the (increasingly accurate) load.  While the timing mode is
+gain-based the discretization is *virtual* — the placer sees the new
+width/height but timing does not re-propagate (gain delays are
+load-independent), exactly the cheap path of algorithm PlacementDisc.
+Switching the engine to LOAD mode is the "link cells" moment.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.design import Design
+from repro.timing.critical import obtain_critical_region
+from repro.timing.engine import DelayMode, INF
+from repro.transforms.base import TimingProbe, Transform, TransformResult
+
+
+class GateSizing:
+    """The sizing tool-kit; the scenario invokes individual phases."""
+
+    def __init__(self, default_gain: float = 3.0,
+                 area_slack_margin_fraction: float = 0.25) -> None:
+        self.default_gain = default_gain
+        self.area_slack_margin_fraction = area_slack_margin_fraction
+
+    # -- gain phase ------------------------------------------------------
+
+    def assign_gains(self, design: Design,
+                     gain: Optional[float] = None) -> int:
+        """Give every sizable cell a target gain (pre-placement)."""
+        g = gain if gain is not None else self.default_gain
+        count = 0
+        for cell in design.netlist.logic_cells():
+            if cell.is_port:
+                continue
+            cell.gain = g
+            count += 1
+        design.timing.default_gain = g
+        return count
+
+    # -- discretization ----------------------------------------------------
+
+    def discretize(self, design: Design,
+                   virtual: Optional[bool] = None) -> TransformResult:
+        """Derive sizes from gain and current load for every cell.
+
+        While the timer is gain-based this is the paper's *virtual*
+        discretization: only the physical image learns the new cell
+        shapes; timing analysis is not updated (no incremental
+        recomputation fires).  Pass ``virtual`` explicitly to override;
+        by default it follows the timing mode.
+        """
+        if virtual is None:
+            virtual = design.timing.mode is DelayMode.GAIN
+        result = TransformResult("discretize")
+        library = design.library
+        for cell in design.netlist.logic_cells():
+            if cell.is_port or not library.has_type(cell.type_name):
+                continue
+            out_pins = cell.output_pins()
+            if len(out_pins) != 1 or out_pins[0].net is None:
+                continue
+            load = design.timing.net_electrical(out_pins[0].net).total_cap
+            gain = cell.gain if cell.gain is not None else self.default_gain
+            target_cin = load / max(gain, 0.1)
+            new_size = library.discretize(cell.type_name, target_cin)
+            if new_size.area > cell.area:
+                # growth must fit the placement image: fall back to the
+                # largest size the cell's bin can absorb.
+                bin_ = design.grid.bin_of(cell)
+                if bin_ is not None:
+                    headroom = bin_.free_area
+                    ladder = [s for s in library.sizes(cell.type_name)
+                              if s.area - cell.area <= headroom]
+                    if ladder:
+                        new_size = min(
+                            ladder,
+                            key=lambda s: abs(s.input_cap() - target_cin))
+                    else:
+                        new_size = cell.size
+            if new_size != cell.size:
+                design.netlist.resize_cell(cell, new_size,
+                                           virtual=virtual)
+                result.accepted += 1
+            else:
+                result.rejected += 1
+        return result
+
+    def link_cells(self, design: Design) -> TransformResult:
+        """Final (actual) discretization + switch to load-based timing.
+
+        The mode switch re-times the whole design, absorbing any sizes
+        the timer had not seen because they were virtual.
+        """
+        # switch first so the final sizes are chosen against fresh
+        # (actual) loads rather than the virtual-era estimates
+        design.timing.set_mode(DelayMode.LOAD)
+        result = self.discretize(design, virtual=False)
+        result.name = "discretize_and_link"
+        return result
+
+    # -- incremental timing-driven sizing -----------------------------------
+
+    def gate_sizing_for_speed(self, design: Design,
+                              max_cells: int = 200) -> TransformResult:
+        """Upsize critical cells one step each where timing improves."""
+        result = TransformResult("gate_sizing_for_speed")
+        region = obtain_critical_region(
+            design.timing,
+            slack_margin=0.05 * design.constraints.cycle_time)
+        library = design.library
+        candidates = [c for c in region.cells
+                      if not c.is_port and library.has_type(c.type_name)]
+        candidates.sort(key=lambda c: design.timing.slack(
+            c.output_pins()[0]) if c.output_pins() else INF)
+        for cell in candidates[:max_cells]:
+            ladder = library.sizes(cell.type_name)
+            idx = self._ladder_index(ladder, cell.size)
+            if idx is None or idx + 1 >= len(ladder):
+                continue
+            bigger = ladder[idx + 1]
+            bin_ = design.grid.bin_of(cell)
+            if bin_ is not None and not bin_.can_fit(
+                    bigger.area - cell.area):
+                result.rejected += 1
+                continue
+            probe = TimingProbe(design)
+            design.netlist.resize_cell(cell, bigger)
+            if probe.improved():
+                result.accepted += 1
+            else:
+                design.netlist.resize_cell(cell, ladder[idx])
+                result.rejected += 1
+        return result
+
+    def gate_sizing_for_area(self, design: Design,
+                             max_cells: int = 400) -> TransformResult:
+        """Downsize comfortably non-critical cells (area recovery)."""
+        result = TransformResult("gate_sizing_for_area")
+        margin = (self.area_slack_margin_fraction
+                  * design.constraints.cycle_time)
+        worst = design.timing.worst_slack()
+        if worst == INF:
+            worst = 0.0
+        # "non-critical" is relative to the current worst path: a cell
+        # comfortably above it may shed drive even while the design as
+        # a whole still fails timing.
+        floor = worst + margin
+        library = design.library
+        recovered = 0.0
+        count = 0
+        for cell in design.netlist.logic_cells():
+            if count >= max_cells:
+                break
+            if cell.is_port or not library.has_type(cell.type_name):
+                continue
+            outs = cell.output_pins()
+            if not outs:
+                continue
+            slack = min((design.timing.slack(p) for p in outs),
+                        default=INF)
+            if slack == INF or slack < floor:
+                continue
+            ladder = library.sizes(cell.type_name)
+            idx = self._ladder_index(ladder, cell.size)
+            if idx is None or idx == 0:
+                continue
+            count += 1
+            smaller = ladder[idx - 1]
+            probe = TimingProbe(design)
+            old_area = cell.area
+            design.netlist.resize_cell(cell, smaller)
+            still_safe = min((design.timing.slack(p) for p in outs),
+                             default=INF) >= worst + margin / 2.0
+            if probe.not_degraded(tolerance=1e-6) and still_safe:
+                result.accepted += 1
+                recovered += old_area - cell.area
+            else:
+                design.netlist.resize_cell(cell, ladder[idx])
+                result.rejected += 1
+        result.detail["area_recovered"] = recovered
+        return result
+
+    # -- post-route --------------------------------------------------------
+
+    def in_footprint_sizing(self, design: Design) -> TransformResult:
+        """Post-route sizing restricted to footprint siblings.
+
+        Compensates estimated-vs-routed wire length mismatch without
+        disturbing placement or routing: only sizes sharing the cell's
+        physical outline are considered.
+        """
+        result = TransformResult("in_footprint_sizing")
+        library = design.library
+        region = obtain_critical_region(
+            design.timing,
+            slack_margin=0.05 * design.constraints.cycle_time)
+        for cell in region.cells:
+            if cell.is_port or not library.has_type(cell.type_name):
+                continue
+            siblings = [s for s in library.footprint_siblings(cell.size)
+                        if s.x > cell.size.x]
+            improved = False
+            for sib in sorted(siblings, key=lambda s: s.x):
+                probe = TimingProbe(design)
+                old = cell.size
+                design.netlist.resize_cell(cell, sib)
+                if probe.improved():
+                    improved = True
+                    break
+                design.netlist.resize_cell(cell, old)
+            if improved:
+                result.accepted += 1
+            else:
+                result.rejected += 1
+        return result
+
+    # -- helpers -------------------------------------------------------------
+
+    @staticmethod
+    def _ladder_index(ladder: List, size) -> Optional[int]:
+        for i, s in enumerate(ladder):
+            if s.x == size.x:
+                return i
+        return None

@@ -1,0 +1,32 @@
+"""Wire length calculation (section 3 of the paper).
+
+Steiner trees are calculated from pin positions (exact or bin-derived)
+and dynamically re-calculated when gate positions change or cells are
+created/deleted.  Wire loads are lumped capacitances proportional to
+Steiner length for short nets; longer nets get a distributed RC
+(Elmore) model.  The calculators register with the incremental timing
+engine as net-delay calculators.
+"""
+
+from repro.wirelength.steiner import (
+    SteinerTree,
+    build_steiner,
+    hanan_points,
+    iterated_one_steiner,
+    prim_rmst,
+)
+from repro.wirelength.cache import SteinerCache
+from repro.wirelength.rent import RentEstimator
+from repro.wirelength.models import NetElectrical, WireModel
+
+__all__ = [
+    "SteinerTree",
+    "build_steiner",
+    "hanan_points",
+    "iterated_one_steiner",
+    "prim_rmst",
+    "SteinerCache",
+    "RentEstimator",
+    "NetElectrical",
+    "WireModel",
+]

@@ -1,0 +1,150 @@
+"""Net electrical models: lumped capacitance and distributed RC.
+
+For short wires an Elmore [25] model with the wire treated as a lumped
+capacitance is used; for longer wires, where the RC component is
+significant, the distributed Elmore delay over the Steiner topology is
+computed instead (the paper picks "an appropriate delay model" [19, 5]
+for these).  ``WireModel.analyze`` is registered as the net-delay
+calculator of the incremental timing engine.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.geometry import Point, manhattan
+from repro.library.parasitics import WireParasitics
+from repro.netlist.net import Net
+from repro.wirelength.cache import SteinerCache
+from repro.wirelength.steiner import SteinerTree
+
+
+@dataclass
+class NetElectrical:
+    """The electrical view of one net.
+
+    ``total_cap`` is the load seen by the driver (wire + sink pins, in
+    fF); ``sink_wire_delay`` maps sink pin full names to the wire delay
+    from driver to that sink (ps).
+    """
+
+    total_cap: float
+    wire_length: float
+    sink_wire_delay: Dict[str, float] = field(default_factory=dict)
+    model: str = "lumped"
+
+    def delay_to(self, pin_full_name: str) -> float:
+        return self.sink_wire_delay.get(pin_full_name, 0.0)
+
+
+class WireModel:
+    """Computes ``NetElectrical`` for nets using cached Steiner trees.
+
+    Clock nets are routed on wide upper-layer metal in practice, so
+    they get their own (much lower resistance) parasitics.
+    """
+
+    def __init__(self, cache: SteinerCache,
+                 parasitics: Optional[WireParasitics] = None,
+                 clock_parasitics: Optional[WireParasitics] = None) -> None:
+        self.cache = cache
+        self.parasitics = parasitics or WireParasitics()
+        if clock_parasitics is None:
+            clock_parasitics = WireParasitics(
+                cap_per_track=self.parasitics.cap_per_track,
+                res_per_track=self.parasitics.res_per_track / 5.0,
+                rc_threshold=self.parasitics.rc_threshold * 2.0,
+            )
+        self.clock_parasitics = clock_parasitics
+
+    def parasitics_for(self, net: Net) -> WireParasitics:
+        return self.clock_parasitics if net.is_clock else self.parasitics
+
+    def analyze(self, net: Net) -> NetElectrical:
+        """Electrical view of ``net`` under the current placement."""
+        parasitics = self.parasitics_for(net)
+        length = self.cache.length(net)
+        pin_cap = net.pin_load()
+        wire_cap = parasitics.wire_cap(length)
+        total = pin_cap + wire_cap
+
+        driver = net.driver()
+        if (driver is None or driver.position is None
+                or not parasitics.is_long(length)):
+            # Short wire (or nothing to root the RC tree at): lumped
+            # capacitance, no per-sink wire delay.
+            return NetElectrical(total, length, model="lumped")
+
+        tree = self.cache.tree(net)
+        delays = self._elmore_delays(net, tree, driver.position,
+                                     parasitics)
+        return NetElectrical(total, length, sink_wire_delay=delays,
+                             model="elmore")
+
+    # -- Elmore over the Steiner topology --------------------------------
+
+    def _elmore_delays(self, net: Net, tree: SteinerTree,
+                       root_pos: Point,
+                       parasitics: Optional[WireParasitics] = None,
+                       ) -> Dict[str, float]:
+        """Per-sink Elmore wire delay (ps) from the driver."""
+        if parasitics is None:
+            parasitics = self.parasitics
+        if not tree.points:
+            return {}
+        index_of: Dict[Point, int] = {
+            p: i for i, p in enumerate(tree.points)
+        }
+        root = index_of.get(root_pos)
+        if root is None:
+            return {}
+
+        # Sink pin caps attach at their tree node.
+        node_cap = [0.0] * len(tree.points)
+        sink_node: Dict[str, int] = {}
+        for pin in net.sinks():
+            if pin.position is None:
+                continue
+            node = index_of.get(pin.position)
+            if node is None:
+                continue
+            node_cap[node] += pin.input_cap()
+            sink_node[pin.full_name] = node
+
+        adj = tree.adjacency()
+        # Root the tree: BFS order, parent pointers.
+        parent = [-1] * len(tree.points)
+        order: List[int] = []
+        seen = {root}
+        queue = deque([root])
+        while queue:
+            u = queue.popleft()
+            order.append(u)
+            for v in adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    parent[v] = u
+                    queue.append(v)
+
+        # Downstream capacitance below each node (its pin caps + its
+        # subtree's edge and pin caps).
+        below = list(node_cap)
+        for u in reversed(order):
+            p = parent[u]
+            if p >= 0:
+                edge_len = manhattan(tree.points[p], tree.points[u])
+                below[p] += below[u] + parasitics.wire_cap(edge_len)
+
+        # Elmore: delay(v) = delay(parent) + R_e * (C_e/2 + below(v)).
+        delay = [0.0] * len(tree.points)
+        for u in order:
+            p = parent[u]
+            if p >= 0:
+                edge_len = manhattan(tree.points[p], tree.points[u])
+                r_e = parasitics.wire_res(edge_len)
+                c_e = parasitics.wire_cap(edge_len)
+                delay[u] = delay[p] + r_e * (c_e / 2.0 + below[u])
+
+        return {name: delay[node] for name, node in sink_node.items()}

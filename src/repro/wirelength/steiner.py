@@ -1,0 +1,215 @@
+"""Rectilinear Steiner tree construction.
+
+Three estimators of increasing cost:
+
+* ``prim_rmst`` — rectilinear minimum spanning tree (no Steiner
+  points); a safe overestimate with a real topology, used for
+  high-degree nets.
+* median-trunk construction — optimal for 3 terminals.
+* ``iterated_one_steiner`` — greedy 1-Steiner insertion over the Hanan
+  grid; near-optimal for the small/medium nets that dominate timing.
+
+``build_steiner`` dispatches on net degree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.geometry import Point, manhattan
+
+#: Degree above which we fall back to the plain RMST.
+_ONE_STEINER_LIMIT = 12
+
+
+@dataclass
+class SteinerTree:
+    """A rectilinear tree over ``points``; edges index into ``points``.
+
+    Terminals always come first in ``points`` (in the order given to
+    the builder); Steiner points follow.
+    """
+
+    points: List[Point]
+    edges: List[Tuple[int, int]]
+    num_terminals: int
+
+    @property
+    def length(self) -> float:
+        """Total Manhattan length of the tree (tracks)."""
+        return sum(
+            manhattan(self.points[i], self.points[j]) for i, j in self.edges
+        )
+
+    def adjacency(self) -> Dict[int, List[int]]:
+        adj: Dict[int, List[int]] = {i: [] for i in range(len(self.points))}
+        for i, j in self.edges:
+            adj[i].append(j)
+            adj[j].append(i)
+        return adj
+
+    def validate(self) -> None:
+        """Raise if the edge set is not a spanning tree."""
+        n = len(self.points)
+        if n == 0:
+            return
+        if len(self.edges) != n - 1:
+            raise AssertionError(
+                "tree over %d points has %d edges" % (n, len(self.edges)))
+        seen = {0}
+        frontier = [0]
+        adj = self.adjacency()
+        while frontier:
+            u = frontier.pop()
+            for v in adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    frontier.append(v)
+        if len(seen) != n:
+            raise AssertionError("tree is disconnected")
+
+
+def prim_rmst(points: Sequence[Point]) -> List[Tuple[int, int]]:
+    """Edges of a minimum spanning tree under Manhattan distance.
+
+    O(n^2) Prim — fine for net degrees seen in standard-cell designs.
+    """
+    n = len(points)
+    if n <= 1:
+        return []
+    in_tree = [False] * n
+    best_dist = [float("inf")] * n
+    best_edge = [0] * n
+    in_tree[0] = True
+    for v in range(1, n):
+        best_dist[v] = manhattan(points[0], points[v])
+    edges: List[Tuple[int, int]] = []
+    for _ in range(n - 1):
+        u = -1
+        u_dist = float("inf")
+        for v in range(n):
+            if not in_tree[v] and best_dist[v] < u_dist:
+                u, u_dist = v, best_dist[v]
+        in_tree[u] = True
+        edges.append((best_edge[u], u))
+        for v in range(n):
+            if not in_tree[v]:
+                d = manhattan(points[u], points[v])
+                if d < best_dist[v]:
+                    best_dist[v] = d
+                    best_edge[v] = u
+    return edges
+
+
+def _mst_length(points: Sequence[Point]) -> float:
+    return sum(
+        manhattan(points[i], points[j]) for i, j in prim_rmst(points)
+    )
+
+
+def hanan_points(points: Sequence[Point]) -> List[Point]:
+    """The Hanan grid of the terminals, minus the terminals themselves."""
+    xs = sorted({p.x for p in points})
+    ys = sorted({p.y for p in points})
+    terminals = set(points)
+    return [
+        Point(x, y) for x in xs for y in ys if Point(x, y) not in terminals
+    ]
+
+
+def iterated_one_steiner(points: Sequence[Point],
+                         max_added: int = 0) -> SteinerTree:
+    """Greedy 1-Steiner: repeatedly add the best Hanan candidate.
+
+    Each round adds the candidate Steiner point that shrinks the MST
+    most; stops when no candidate helps (or ``max_added`` reached,
+    default = number of terminals).
+    """
+    terminals = list(points)
+    if max_added <= 0:
+        max_added = len(terminals)
+    current: List[Point] = list(terminals)
+    base = _mst_length(current)
+    added = 0
+    while added < max_added:
+        candidates = hanan_points(current)
+        best_gain = 1e-9
+        best_point = None
+        for cand in candidates:
+            trial = _mst_length(current + [cand])
+            gain = base - trial
+            if gain > best_gain:
+                best_gain = gain
+                best_point = cand
+        if best_point is None:
+            break
+        current.append(best_point)
+        base -= best_gain
+        added += 1
+    # Drop degree<=2 Steiner points? They are harmless for length; keep
+    # the tree simple by pruning degree-1 Steiner points only.
+    edges = prim_rmst(current)
+    tree = SteinerTree(current, edges, num_terminals=len(terminals))
+    return _prune_leaf_steiner(tree)
+
+
+def _prune_leaf_steiner(tree: SteinerTree) -> SteinerTree:
+    """Remove Steiner points that ended up as tree leaves."""
+    while True:
+        degree = [0] * len(tree.points)
+        for i, j in tree.edges:
+            degree[i] += 1
+            degree[j] += 1
+        victims = [
+            i for i in range(tree.num_terminals, len(tree.points))
+            if degree[i] <= 1
+        ]
+        if not victims:
+            return tree
+        keep = [i for i in range(len(tree.points)) if i not in set(victims)]
+        remap = {old: new for new, old in enumerate(keep)}
+        points = [tree.points[i] for i in keep]
+        edges = [
+            (remap[i], remap[j]) for i, j in tree.edges
+            if i in remap and j in remap
+        ]
+        tree = SteinerTree(points, edges, tree.num_terminals)
+
+
+def _median_trunk(points: Sequence[Point]) -> SteinerTree:
+    """Optimal RSMT for exactly three terminals: the median point."""
+    xs = sorted(p.x for p in points)
+    ys = sorted(p.y for p in points)
+    median = Point(xs[1], ys[1])
+    pts = list(points)
+    if median in pts:
+        idx = pts.index(median)
+        edges = [(idx, i) for i in range(3) if i != idx]
+        return SteinerTree(pts, edges, num_terminals=3)
+    pts.append(median)
+    return SteinerTree(pts, [(3, 0), (3, 1), (3, 2)], num_terminals=3)
+
+
+def build_steiner(points: Sequence[Point]) -> SteinerTree:
+    """Construct a rectilinear Steiner tree over (deduplicated) points.
+
+    Dispatch: <=2 terminals trivially, 3 via the median construction
+    (optimal), up to ``_ONE_STEINER_LIMIT`` via iterated 1-Steiner,
+    beyond that a plain RMST.
+    """
+    unique: List[Point] = []
+    seen = set()
+    for p in points:
+        if p not in seen:
+            seen.add(p)
+            unique.append(p)
+    n = len(unique)
+    if n <= 2:
+        edges = [(0, 1)] if n == 2 else []
+        return SteinerTree(unique, edges, num_terminals=n)
+    if n == 3:
+        return _median_trunk(unique)
+    if n <= _ONE_STEINER_LIMIT:
+        return iterated_one_steiner(unique)
+    return SteinerTree(unique, prim_rmst(unique), num_terminals=n)

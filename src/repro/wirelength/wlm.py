@@ -1,0 +1,36 @@
+"""Statistical wire load models (the synthesis-side estimate SPR uses).
+
+"Synthesis typically operates on wire load models, and may predict the
+critical paths incorrectly" (section 4.3).  A ``WireLoadModel``
+estimates a net's capacitance from its fanout alone — no placement
+knowledge, no per-sink wire delay — which is exactly the blind spot
+the TPS flow removes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.library.parasitics import WireParasitics
+from repro.netlist.net import Net
+from repro.wirelength.cache import SteinerCache
+from repro.wirelength.models import NetElectrical, WireModel
+
+
+class WireLoadModel(WireModel):
+    """Fanout-based lumped wire capacitance, placement-blind."""
+
+    def __init__(self, cache: SteinerCache,
+                 parasitics: Optional[WireParasitics] = None,
+                 base_cap: float = 2.0,
+                 cap_per_fanout: float = 6.0) -> None:
+        super().__init__(cache, parasitics)
+        self.base_cap = base_cap
+        self.cap_per_fanout = cap_per_fanout
+
+    def analyze(self, net: Net) -> NetElectrical:
+        fanout = len(net.sinks())
+        wire_cap = (self.base_cap + self.cap_per_fanout * fanout
+                    if fanout > 0 else 0.0)
+        return NetElectrical(net.pin_load() + wire_cap, 0.0,
+                             model="wlm")

@@ -1,0 +1,27 @@
+"""Synthetic workload generation.
+
+The paper evaluates on five partitions of a mainframe processor —
+proprietary netlists we substitute with seeded synthetic equivalents:
+Rent-rule-flavoured random logic clouds between register banks, a
+clock domain, a scan chain, boundary I/O and a datapath blockage
+(see DESIGN.md, "Substitutions").
+"""
+
+from repro.workloads.random_logic import comb_cloud, random_logic
+from repro.workloads.processor import ProcessorParams, processor_partition
+from repro.workloads.presets import DES_PRESETS, build_des_design, des_params
+from repro.workloads.build import make_design, size_die
+from repro.workloads.unmapped import random_aig
+
+__all__ = [
+    "comb_cloud",
+    "random_logic",
+    "ProcessorParams",
+    "processor_partition",
+    "DES_PRESETS",
+    "des_params",
+    "build_des_design",
+    "make_design",
+    "size_die",
+    "random_aig",
+]

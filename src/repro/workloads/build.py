@@ -1,0 +1,103 @@
+"""Turning a netlist into a constrained ``Design`` on a sized die."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.design import Design
+from repro.geometry import Point, Rect
+from repro.image import Blockage
+from repro.library import Library, WireParasitics
+from repro.library.types import ROW_HEIGHT
+from repro.netlist import Netlist
+from repro.timing import DelayMode, TimingConstraints
+
+
+def size_die(netlist: Netlist, target_utilization: float = 0.6,
+             blockage_area: float = 0.0) -> Rect:
+    """A square die sized for the netlist's cell area.
+
+    ``target_utilization`` is the intended *overall* fill rate (the
+    paper's images leave room for wiring); the side snaps up to a
+    whole number of rows.
+    """
+    area = netlist.total_cell_area() + blockage_area
+    if area <= 0:
+        area = 100.0
+    side = math.sqrt(area / target_utilization)
+    side = math.ceil(side / ROW_HEIGHT) * ROW_HEIGHT
+    return Rect(0.0, 0.0, side, side)
+
+
+def place_ports_on_boundary(netlist: Netlist, die: Rect) -> None:
+    """Spread unplaced ports around the die boundary.
+
+    Inputs go on the left/bottom edges, outputs on the right/top —
+    the "primary IO port assignments" of the paper's floorplanning
+    constraints.
+    """
+    ins = [p for p in netlist.ports()
+           if p.position is None and p.output_pins()]
+    outs = [p for p in netlist.ports()
+            if p.position is None and p.input_pins()]
+
+    def spread(ports: List, edges: List) -> None:
+        if not ports:
+            return
+        per_edge = math.ceil(len(ports) / len(edges))
+        i = 0
+        for edge in edges:
+            chunk = ports[i:i + per_edge]
+            i += per_edge
+            for k, port in enumerate(chunk):
+                t = (k + 1) / (len(chunk) + 1)
+                netlist.move_cell(port, edge(t))
+
+    spread(ins, [
+        lambda t: Point(die.xlo, die.ylo + t * die.height),
+        lambda t: Point(die.xlo + t * die.width, die.ylo),
+    ])
+    spread(outs, [
+        lambda t: Point(die.xhi, die.ylo + t * die.height),
+        lambda t: Point(die.xlo + t * die.width, die.yhi),
+    ])
+
+
+def make_design(netlist: Netlist, library: Library, cycle_time: float,
+                target_utilization: float = 0.5,
+                growth_allowance: float = 2.2,
+                with_blockage: bool = False,
+                parasitics: Optional[WireParasitics] = None,
+                mode: DelayMode = DelayMode.GAIN,
+                seed: int = 0) -> Design:
+    """Size a die, place ports, and wrap everything in a ``Design``.
+
+    The die is sized for the area the netlist will have *after*
+    gain-based sizing — generator netlists are minimum-size, and
+    discretization grows them by roughly ``growth_allowance`` — so that
+    ``target_utilization`` describes the finished design.
+
+    ``with_blockage`` reserves a datapath-macro corner of the die
+    (about 1/16 of its area), reproducing the "Area in BIN_2 blocked by
+    custom datapath" situation of Figure 1.
+    """
+    effective_util = target_utilization / max(growth_allowance, 1.0)
+    blockages: List[Blockage] = []
+    blockage_area = 0.0
+    if with_blockage:
+        probe = size_die(netlist, effective_util)
+        span = probe.width / 4.0
+        blockage_area = span * span
+    die = size_die(netlist, effective_util,
+                   blockage_area=blockage_area)
+    if with_blockage:
+        span = die.width / 4.0
+        blockages.append(Blockage(
+            Rect(die.xhi - span, die.yhi - span, die.xhi, die.yhi),
+            name="datapath_macro", wiring_factor=0.6))
+    place_ports_on_boundary(netlist, die)
+    constraints = TimingConstraints(cycle_time=cycle_time)
+    return Design(netlist, library, die, constraints,
+                  blockages=blockages, parasitics=parasitics,
+                  target_utilization=0.9, mode=mode, seed=seed)

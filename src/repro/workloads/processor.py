@@ -1,0 +1,164 @@
+"""Synthetic "processor partition" designs.
+
+Structure mirrors what the paper's five mainframe-processor partitions
+exercise: pipeline register banks with combinational clouds between
+them, one clock domain distributed to every register (clock buffers are
+*not* pre-placed — the clock optimization transform inserts them), a
+scan chain stitched through the scan registers, boundary I/O, and a
+datapath blockage.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.library import Library
+from repro.netlist import Netlist
+from repro.netlist.cell import Cell
+from repro.netlist.net import Net
+from repro.workloads.random_logic import comb_cloud
+
+
+@dataclass
+class ProcessorParams:
+    """Knobs of the processor-partition generator."""
+
+    name: str = "proc"
+    n_stages: int = 3
+    regs_per_stage: int = 24
+    gates_per_stage: int = 300
+    n_inputs: int = 24
+    n_outputs: int = 24
+    scan_fraction: float = 0.5
+    n_scan_chains: int = 1
+    seed: int = 0
+
+    @property
+    def approx_cells(self) -> int:
+        return (self.n_stages * self.gates_per_stage
+                + (self.n_stages + 1) * self.regs_per_stage)
+
+
+def processor_partition(params: ProcessorParams,
+                        library: Library) -> Netlist:
+    """Build a pipelined sequential netlist from ``params``."""
+    rng = random.Random(params.seed)
+    netlist = Netlist(params.name)
+
+    clk_port = netlist.add_input_port("clk")
+    clk_net = netlist.add_net("clk_net", is_clock=True)
+    netlist.connect(clk_port.pin("Z"), clk_net)
+
+    input_nets: List[Net] = []
+    for i in range(params.n_inputs):
+        port = netlist.add_input_port("pi%d" % i)
+        net = netlist.add_net("pinet%d" % i)
+        netlist.connect(port.pin("Z"), net)
+        input_nets.append(net)
+
+    scan_regs: List[Cell] = []
+    stage_inputs = input_nets
+    for stage in range(params.n_stages + 1):
+        regs = _register_bank(netlist, library, params, stage,
+                              stage_inputs, clk_net, rng, scan_regs)
+        q_nets = []
+        for reg in regs:
+            qn = netlist.add_net(netlist.unique_name("q_s%d" % stage))
+            netlist.connect(reg.pin("Q"), qn)
+            q_nets.append(qn)
+        if stage < params.n_stages:
+            stage_inputs = comb_cloud(
+                netlist, library, params.gates_per_stage, q_nets, rng,
+                prefix="s%d" % stage)
+            if not stage_inputs:
+                stage_inputs = q_nets
+        else:
+            stage_inputs = q_nets
+
+    # Final stage Q nets drive output ports.
+    for i, net in enumerate(stage_inputs):
+        port = netlist.add_output_port(netlist.unique_name("po%d" % i))
+        netlist.connect(port.pin("A"), net)
+
+    chains = max(1, params.n_scan_chains)
+    for k in range(chains):
+        _stitch_scan_chain(netlist, scan_regs[k::chains], rng,
+                           suffix="" if chains == 1 else "_%d" % k)
+    _tie_dangling(netlist)
+    return netlist
+
+
+def _tie_dangling(netlist: Netlist) -> None:
+    """Give every driven-but-unread net an output port.
+
+    Dangling cones would be timing-unconstrained; real partitions
+    export such signals at the partition boundary.
+    """
+    for net in netlist.nets():
+        if net.is_clock or net.is_scan:
+            continue
+        if net.driver() is not None and not net.sinks():
+            port = netlist.add_output_port(netlist.unique_name("po_t"))
+            netlist.connect(port.pin("A"), net)
+
+
+def _register_bank(netlist: Netlist, library: Library,
+                   params: ProcessorParams, stage: int,
+                   d_nets: Sequence[Net], clk_net: Net,
+                   rng: random.Random,
+                   scan_regs: List[Cell]) -> List[Cell]:
+    """One bank of registers capturing ``d_nets``."""
+    regs = []
+    for i in range(params.regs_per_stage):
+        scan = rng.random() < params.scan_fraction
+        type_name = "SDFF" if scan else "DFF"
+        reg = netlist.add_cell(
+            netlist.unique_name("ff_s%d_%d" % (stage, i)),
+            library.smallest(type_name))
+        netlist.connect(reg.pin("CK"), clk_net)
+        d_src = d_nets[i % len(d_nets)] if d_nets else None
+        if d_src is not None:
+            netlist.connect(reg.pin("D"), d_src)
+        regs.append(reg)
+        if scan:
+            scan_regs.append(reg)
+    return regs
+
+
+def _stitch_scan_chain(netlist: Netlist, scan_regs: List[Cell],
+                       rng: random.Random, suffix: str = "") -> None:
+    """Connect SI pins in a (deliberately arbitrary) chain order.
+
+    The initial order is random — scan reordering after placement is
+    exactly the optimization the paper's transform performs.  Nets
+    whose only sinks are scan pins are marked ``is_scan``.
+    """
+    if not scan_regs:
+        return
+    order = list(scan_regs)
+    rng.shuffle(order)
+    scan_in = netlist.add_input_port("scan_in" + suffix)
+    si_net = netlist.add_net("scan_net_in" + suffix, is_scan=True)
+    netlist.connect(scan_in.pin("Z"), si_net)
+    netlist.connect(order[0].pin("SI"), si_net)
+    for prev, cur in zip(order, order[1:]):
+        qn = prev.pin("Q").net
+        if qn is None:
+            qn = netlist.add_net(netlist.unique_name("scan_q"))
+            netlist.connect(prev.pin("Q"), qn)
+        netlist.connect(cur.pin("SI"), qn)
+    last_q = order[-1].pin("Q").net
+    scan_out = netlist.add_output_port("scan_out" + suffix)
+    if last_q is not None:
+        netlist.connect(scan_out.pin("A"), last_q)
+    refresh_scan_flags(netlist)
+
+
+def refresh_scan_flags(netlist: Netlist) -> None:
+    """Mark nets whose sinks are exclusively scan pins as scan nets."""
+    for net in netlist.nets():
+        sinks = net.sinks()
+        if sinks and all(p.is_scan for p in sinks):
+            net.is_scan = True

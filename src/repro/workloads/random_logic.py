@@ -1,0 +1,137 @@
+"""Random combinational logic with Rent-style locality.
+
+Gates are created in topological order; each input connects to a net
+drawn from a sliding window of recently created nets (locality bias —
+this is what gives synthetic netlists a Rent exponent below 1) or,
+with small probability, from anywhere earlier (global nets).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.library import Library
+from repro.netlist import Netlist
+from repro.netlist.net import Net
+
+#: Gate type mix: (type name, relative probability).
+DEFAULT_MIX: Sequence[Tuple[str, float]] = (
+    ("INV", 0.14),
+    ("BUF", 0.03),
+    ("NAND2", 0.20),
+    ("NOR2", 0.13),
+    ("NAND3", 0.09),
+    ("NOR3", 0.05),
+    ("NAND4", 0.03),
+    ("AND2", 0.06),
+    ("OR2", 0.06),
+    ("AOI21", 0.08),
+    ("OAI21", 0.05),
+    ("XOR2", 0.04),
+    ("XNOR2", 0.02),
+    ("MUX2", 0.02),
+)
+
+_MAX_FANOUT = 8
+_LOCALITY_WINDOW = 40
+_GLOBAL_PROB = 0.06
+
+
+def _pick_type(rng: random.Random,
+               mix: Sequence[Tuple[str, float]]) -> str:
+    total = sum(w for _n, w in mix)
+    r = rng.random() * total
+    for name, w in mix:
+        r -= w
+        if r <= 0:
+            return name
+    return mix[-1][0]
+
+
+def comb_cloud(netlist: Netlist, library: Library, n_gates: int,
+               input_nets: Sequence[Net], rng: random.Random,
+               prefix: str = "g",
+               mix: Sequence[Tuple[str, float]] = DEFAULT_MIX,
+               ) -> List[Net]:
+    """Grow a combinational cloud fed by ``input_nets``.
+
+    Returns the cloud's *open* nets (driven, with no sinks yet) —
+    the caller hooks them to registers or output ports.
+    """
+    if not input_nets:
+        raise ValueError("comb_cloud needs at least one input net")
+    pool: List[Net] = list(input_nets)
+    fanout: Dict[str, int] = {n.name: len(n.sinks()) for n in pool}
+    open_nets: Dict[str, Net] = {}
+
+    for i in range(n_gates):
+        type_name = _pick_type(rng, mix)
+        gate = netlist.add_cell(
+            netlist.unique_name("%s_%s" % (prefix, type_name.lower())),
+            library.smallest(type_name))
+        for pin in gate.input_pins():
+            net = _draw_net(pool, fanout, rng)
+            netlist.connect(pin, net)
+            fanout[net.name] += 1
+            open_nets.pop(net.name, None)
+            if fanout[net.name] >= _MAX_FANOUT:
+                _remove_from_pool(pool, net)
+        out = netlist.add_net(netlist.unique_name("%s_n" % prefix))
+        netlist.connect(gate.output_pin(), out)
+        pool.append(out)
+        fanout[out.name] = 0
+        open_nets[out.name] = out
+
+    return list(open_nets.values())
+
+
+def _draw_net(pool: List[Net], fanout: Dict[str, int],
+              rng: random.Random) -> Net:
+    if rng.random() < _GLOBAL_PROB or len(pool) <= _LOCALITY_WINDOW:
+        return rng.choice(pool)
+    window = pool[-_LOCALITY_WINDOW:]
+    return rng.choice(window)
+
+
+def _remove_from_pool(pool: List[Net], net: Net) -> None:
+    try:
+        pool.remove(net)
+    except ValueError:
+        pass
+
+
+def random_logic(name: str, library: Library, n_gates: int,
+                 n_inputs: int = 16, n_outputs: int = 16,
+                 seed: int = 0) -> Netlist:
+    """A standalone combinational design: PIs -> cloud -> POs.
+
+    Ports are created unplaced; ``make_design``/``size_die`` assigns
+    boundary positions once the die is known.
+    """
+    rng = random.Random(seed)
+    netlist = Netlist(name)
+    input_nets = []
+    for i in range(n_inputs):
+        port = netlist.add_input_port("pi%d" % i)
+        net = netlist.add_net("pin%d" % i)
+        netlist.connect(port.pin("Z"), net)
+        input_nets.append(net)
+    open_nets = comb_cloud(netlist, library, n_gates, input_nets, rng)
+    _tie_outputs(netlist, open_nets, n_outputs, rng)
+    return netlist
+
+
+def _tie_outputs(netlist: Netlist, open_nets: List[Net],
+                 n_outputs: int, rng: random.Random) -> None:
+    """Connect open nets (or random driven nets) to output ports."""
+    chosen = list(open_nets)
+    rng.shuffle(chosen)
+    if len(chosen) > n_outputs:
+        # Tie extra open nets to output ports too: dangling logic would
+        # be unconstrained in timing.  Prefer n_outputs "official"
+        # ports plus sinks for the remainder.
+        n_outputs = len(chosen)
+    for i, net in enumerate(chosen):
+        port = netlist.add_output_port(netlist.unique_name("po%d" % i))
+        netlist.connect(port.pin("A"), net)

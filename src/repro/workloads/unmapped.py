@@ -1,0 +1,45 @@
+"""Random unmapped logic: AIGs for the synthesis front-end."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.synth.aig import Aig, Lit, lit_not
+
+
+def random_aig(n_inputs: int = 8, n_nodes: int = 120,
+               n_outputs: int = 8, seed: int = 0) -> Aig:
+    """A random combinational AIG with local structure.
+
+    Operations mix AND/OR/XOR/MUX (all lowered to AND-INV); operands
+    are drawn with a recency bias so the graph has depth and reuse.
+    """
+    rng = random.Random(seed)
+    aig = Aig()
+    signals: List[Lit] = [aig.add_input("i%d" % k)
+                          for k in range(n_inputs)]
+
+    def draw() -> Lit:
+        window = signals[-24:] if len(signals) > 24 else signals
+        s = rng.choice(window)
+        return lit_not(s) if rng.random() < 0.3 else s
+
+    while aig.num_ands < n_nodes:
+        op = rng.random()
+        if op < 0.4:
+            out = aig.add_and(draw(), draw())
+        elif op < 0.7:
+            out = aig.add_or(draw(), draw())
+        elif op < 0.85:
+            out = aig.add_xor(draw(), draw())
+        else:
+            out = aig.add_mux(draw(), draw(), draw())
+        if out not in (0, 1):
+            signals.append(out)
+
+    pool = [s for s in signals[n_inputs:]] or signals
+    rng.shuffle(pool)
+    for k in range(n_outputs):
+        aig.add_output("o%d" % k, pool[k % len(pool)])
+    return aig

@@ -1,0 +1,131 @@
+import pytest
+
+from repro.analysis import (
+    NoiseAnalyzer,
+    PowerAnalyzer,
+    congestion_report,
+)
+from repro.placement import Partitioner, legalize_rows
+from repro.routing import GlobalRouter
+from repro.workloads import ProcessorParams, make_design, processor_partition
+
+
+@pytest.fixture(scope="module")
+def routed_design(library):
+    params = ProcessorParams(n_stages=2, regs_per_stage=10,
+                             gates_per_stage=150, seed=5)
+    netlist = processor_partition(params, library)
+    design = make_design(netlist, library, cycle_time=1500.0)
+    Partitioner(design, seed=3).run_to(100)
+    legalize_rows(design)
+    GlobalRouter(design).route()
+    return design
+
+
+class TestNoiseAnalyzer:
+    def test_report_covers_multi_pin_nets(self, routed_design):
+        report = NoiseAnalyzer(routed_design).analyze()
+        multi = [n for n in routed_design.netlist.nets() if n.degree >= 2]
+        assert len(report.per_net) == len(multi)
+
+    def test_noise_bounded(self, routed_design):
+        report = NoiseAnalyzer(routed_design).analyze()
+        for v in report.per_net.values():
+            assert 0.0 <= v <= 1.0
+
+    def test_longer_nets_noisier(self, routed_design):
+        analyzer = NoiseAnalyzer(routed_design)
+        nets = sorted(routed_design.netlist.nets(),
+                      key=lambda n: routed_design.steiner.length(n))
+        shortest = [n for n in nets if n.degree >= 2][0]
+        longest = nets[-1]
+        assert analyzer.net_noise(longest) > analyzer.net_noise(shortest)
+
+    def test_strong_driver_quieter(self, routed_design, library):
+        analyzer = NoiseAnalyzer(routed_design)
+        net = max((n for n in routed_design.netlist.nets()
+                   if n.driver() is not None
+                   and n.driver().cell.type_name == "INV"),
+                  key=lambda n: routed_design.steiner.length(n))
+        cell = net.driver().cell
+        weak = analyzer.net_noise(net)
+        routed_design.netlist.resize_cell(cell, library.largest("INV"))
+        strong = analyzer.net_noise(net)
+        assert strong < weak
+
+    def test_worst_and_violations(self, routed_design):
+        report = NoiseAnalyzer(routed_design, margin=0.0).analyze()
+        name, value = report.worst
+        assert name in report.per_net
+        noisy = [n for n, v in report.per_net.items() if v > 0]
+        assert set(report.violations()) == set(noisy)
+
+
+class TestPowerAnalyzer:
+    def test_total_is_sum(self, routed_design):
+        report = PowerAnalyzer(routed_design).analyze()
+        assert report.total == pytest.approx(sum(report.per_net.values()))
+        assert report.total > 0
+
+    def test_clock_fraction(self, routed_design):
+        report = PowerAnalyzer(routed_design).analyze()
+        assert 0.0 < report.clock_fraction < 1.0
+
+    def test_clock_nets_full_activity(self, routed_design):
+        analyzer = PowerAnalyzer(routed_design, activity=0.1)
+        clk = next(n for n in routed_design.netlist.nets()
+                   if n.is_clock and n.driver() is not None)
+        cap = routed_design.timing.net_electrical(clk).total_cap
+        data = next(n for n in routed_design.netlist.nets()
+                    if not n.is_clock and n.driver() is not None)
+        ratio = analyzer.net_power(clk) / cap
+        data_cap = routed_design.timing.net_electrical(data).total_cap
+        data_ratio = analyzer.net_power(data) / data_cap
+        assert ratio == pytest.approx(10 * data_ratio)
+
+    def test_faster_clock_more_power(self, routed_design):
+        lo = PowerAnalyzer(routed_design).analyze().total
+        routed_design.constraints.cycle_time /= 2
+        hi = PowerAnalyzer(routed_design).analyze().total
+        routed_design.constraints.cycle_time *= 2
+        assert hi == pytest.approx(2 * lo)
+
+
+class TestCongestionReport:
+    def test_report_after_routing(self, routed_design):
+        report = congestion_report(routed_design)
+        assert report.max_congestion > 0
+        assert report.avg_congestion <= report.max_congestion
+        for ix, iy, c in report.hotspots:
+            assert c > 0.9
+
+    def test_hotspots_sorted(self, routed_design):
+        report = congestion_report(routed_design, hotspot_threshold=0.0)
+        values = [c for _ix, _iy, c in report.hotspots]
+        assert values == sorted(values, reverse=True)
+
+
+class TestYieldAnalyzer:
+    def test_yield_in_unit_interval(self, routed_design):
+        from repro.analysis import YieldAnalyzer
+        report = YieldAnalyzer(routed_design).analyze()
+        assert 0.0 < report.yield_estimate <= 1.0
+        assert report.total_critical_area > 0
+
+    def test_more_defects_less_yield(self, routed_design):
+        from repro.analysis import YieldAnalyzer
+        lo = YieldAnalyzer(routed_design, defect_density=0.1).analyze()
+        hi = YieldAnalyzer(routed_design, defect_density=2.0).analyze()
+        assert hi.yield_estimate < lo.yield_estimate
+
+    def test_worst_bins_sorted(self, routed_design):
+        from repro.analysis import YieldAnalyzer
+        report = YieldAnalyzer(routed_design).analyze()
+        values = [v for _i, _j, v in report.worst_bins]
+        assert values == sorted(values, reverse=True)
+
+    def test_open_area_tracks_wirelength(self, routed_design):
+        from repro.analysis import YieldAnalyzer
+        report = YieldAnalyzer(routed_design, defect_size=1.0).analyze()
+        assert report.open_critical_area == pytest.approx(
+            routed_design.total_wirelength())

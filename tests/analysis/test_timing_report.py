@@ -1,0 +1,93 @@
+import pytest
+
+from repro.analysis import extract_path, report_timing
+from repro.placement import Partitioner
+from repro.transforms.sizing import GateSizing
+from repro.workloads import ProcessorParams, make_design, processor_partition
+
+
+@pytest.fixture(scope="module")
+def design(library):
+    params = ProcessorParams(n_stages=2, regs_per_stage=8,
+                             gates_per_stage=100, seed=23)
+    netlist = processor_partition(params, library)
+    d = make_design(netlist, library, cycle_time=1200.0)
+    GateSizing().assign_gains(d)
+    Partitioner(d, seed=4).run_to(100)
+    GateSizing().link_cells(d)
+    return d
+
+
+class TestExtractPath:
+    def test_path_arrives_consistently(self, design):
+        engine = design.timing
+        worst = min(engine.endpoints(), key=lambda p: engine.slack(p))
+        path = extract_path(design, worst)
+        assert path.endpoint == worst.full_name
+        assert path.slack == pytest.approx(engine.slack(worst))
+        # stage delays sum (plus launch offset) to the arrival
+        total = sum(s.delay for s in path.stages)
+        launch = path.arrival - total
+        assert launch >= -1e-6  # clock/boundary offset is non-negative
+        assert path.stages  # non-trivial
+
+    def test_arrivals_monotonic(self, design):
+        engine = design.timing
+        worst = min(engine.endpoints(), key=lambda p: engine.slack(p))
+        path = extract_path(design, worst)
+        arrivals = [s.arrival for s in path.stages]
+        assert arrivals == sorted(arrivals)
+
+    def test_alternating_kinds(self, design):
+        engine = design.timing
+        worst = min(engine.endpoints(), key=lambda p: engine.slack(p))
+        path = extract_path(design, worst)
+        for a, b in zip(path.stages, path.stages[1:]):
+            assert (a.kind, b.kind) in (("net", "cell"), ("cell", "net"))
+
+
+class TestReportTiming:
+    def test_report_structure(self, design):
+        text = report_timing(design, n_paths=2)
+        assert "Timing report" in text
+        assert text.count("Endpoint ") == 2
+        assert "net " in text
+
+    def test_report_orders_by_slack(self, design):
+        text = report_timing(design, n_paths=3)
+        slacks = [float(line.split("slack")[1].split("ps")[0])
+                  for line in text.splitlines()
+                  if line.startswith("Endpoint")]
+        assert slacks == sorted(slacks)
+
+
+class TestHistogramAndQor:
+    def test_histogram_counts_everything(self, design):
+        from repro.analysis import slack_histogram
+        h = slack_histogram(design, buckets=8)
+        engine = design.timing
+        finite = [engine.slack(p) for p in engine.endpoints()
+                  if engine.slack(p) < float("inf")]
+        assert sum(h.counts) == len(finite)
+        assert h.worst == pytest.approx(min(finite))
+        assert "slack histogram" in h.format()
+
+    def test_qor_summary_consistent(self, design):
+        from repro.analysis import qor_summary
+        q = qor_summary(design)
+        assert q.wns == pytest.approx(design.timing.worst_slack())
+        assert q.tns == pytest.approx(
+            design.timing.total_negative_slack())
+        assert q.icells == design.icell_count()
+        assert "WNS" in q.row()
+
+    def test_histogram_empty_design(self, library):
+        from repro.analysis import slack_histogram
+        from repro.netlist import Netlist
+        from repro.geometry import Rect
+        from repro.design import Design
+        from repro.timing import TimingConstraints
+        d = Design(Netlist(), library, Rect(0, 0, 10, 10),
+                   TimingConstraints(cycle_time=10.0))
+        h = slack_histogram(d)
+        assert sum(h.counts) == 0

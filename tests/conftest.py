@@ -1,0 +1,11 @@
+"""Shared fixtures for the TPS test suite."""
+
+import pytest
+
+from repro.library import default_library
+
+
+@pytest.fixture(scope="session")
+def library():
+    """The default technology library (immutable; session-scoped)."""
+    return default_library()

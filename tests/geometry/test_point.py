@@ -1,0 +1,60 @@
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point, manhattan
+
+coords = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+points = st.builds(Point, coords, coords)
+
+
+class TestPointBasics:
+    def test_add(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+
+    def test_sub(self):
+        assert Point(5, 5) - Point(2, 3) == Point(3, 2)
+
+    def test_scaled(self):
+        assert Point(2, -4).scaled(0.5) == Point(1, -2)
+
+    def test_translated(self):
+        assert Point(1, 1).translated(2, -1) == Point(3, 0)
+
+    def test_as_tuple(self):
+        assert Point(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+    def test_manhattan(self):
+        assert Point(0, 0).manhattan_to(Point(3, 4)) == 7
+        assert manhattan(Point(1, 1), Point(1, 1)) == 0
+
+    def test_euclidean(self):
+        assert Point(0, 0).euclidean_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_points_are_hashable_and_orderable(self):
+        assert len({Point(0, 0), Point(0, 0), Point(1, 0)}) == 2
+        assert Point(0, 1) < Point(1, 0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            Point(0, 0).x = 5
+
+
+class TestPointProperties:
+    @given(points, points)
+    def test_manhattan_symmetric(self, a, b):
+        assert a.manhattan_to(b) == b.manhattan_to(a)
+
+    @given(points, points, points)
+    def test_manhattan_triangle_inequality(self, a, b, c):
+        assert a.manhattan_to(c) <= a.manhattan_to(b) + b.manhattan_to(c) + 1e-6
+
+    @given(points)
+    def test_manhattan_identity(self, p):
+        assert p.manhattan_to(p) == 0
+
+    @given(points, points)
+    def test_euclidean_le_manhattan(self, a, b):
+        assert a.euclidean_to(b) <= a.manhattan_to(b) + 1e-9

@@ -1,0 +1,100 @@
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect
+
+coords = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+
+
+@st.composite
+def rects(draw):
+    x1, x2 = sorted((draw(coords), draw(coords)))
+    y1, y2 = sorted((draw(coords), draw(coords)))
+    return Rect(x1, y1, x2, y2)
+
+
+class TestRectBasics:
+    def test_dimensions(self):
+        r = Rect(0, 0, 4, 2)
+        assert r.width == 4
+        assert r.height == 2
+        assert r.area == 8
+        assert r.half_perimeter() == 6
+        assert r.center == Point(2, 1)
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            Rect(1, 0, 0, 1)
+        with pytest.raises(ValueError):
+            Rect(0, 1, 1, 0)
+
+    def test_zero_area_ok(self):
+        r = Rect(1, 1, 1, 1)
+        assert r.area == 0
+        assert r.contains(Point(1, 1))
+
+    def test_contains(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains(Point(5, 5))
+        assert r.contains(Point(0, 0))  # boundary
+        assert not r.contains(Point(11, 5))
+
+    def test_contains_rect(self):
+        assert Rect(0, 0, 10, 10).contains_rect(Rect(1, 1, 9, 9))
+        assert not Rect(0, 0, 10, 10).contains_rect(Rect(5, 5, 11, 9))
+
+    def test_intersection(self):
+        a = Rect(0, 0, 4, 4)
+        b = Rect(2, 2, 6, 6)
+        assert a.intersection(b) == Rect(2, 2, 4, 4)
+        assert a.intersection(Rect(5, 5, 6, 6)) is None
+
+    def test_touching_rects_intersect(self):
+        assert Rect(0, 0, 1, 1).intersects(Rect(1, 0, 2, 1))
+
+    def test_union(self):
+        assert Rect(0, 0, 1, 1).union(Rect(2, 2, 3, 3)) == Rect(0, 0, 3, 3)
+
+    def test_expanded(self):
+        assert Rect(1, 1, 2, 2).expanded(1) == Rect(0, 0, 3, 3)
+
+    def test_clamp(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.clamp(Point(-5, 5)) == Point(0, 5)
+        assert r.clamp(Point(3, 20)) == Point(3, 10)
+        assert r.clamp(Point(4, 4)) == Point(4, 4)
+
+    def test_translated(self):
+        assert Rect(0, 0, 1, 1).translated(2, 3) == Rect(2, 3, 3, 4)
+
+    def test_bounding(self):
+        box = Rect.bounding([Point(1, 5), Point(-2, 0), Point(4, 2)])
+        assert box == Rect(-2, 0, 4, 5)
+
+    def test_bounding_empty_raises(self):
+        with pytest.raises(ValueError):
+            Rect.bounding([])
+
+
+class TestRectProperties:
+    @given(rects(), rects())
+    def test_intersection_within_both(self, a, b):
+        inter = a.intersection(b)
+        if inter is not None:
+            assert a.contains_rect(inter)
+            assert b.contains_rect(inter)
+
+    @given(rects(), rects())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains_rect(a)
+        assert u.contains_rect(b)
+
+    @given(rects(), st.builds(Point, coords, coords))
+    def test_clamp_inside(self, r, p):
+        assert r.contains(r.clamp(p))
+
+    @given(rects(), rects())
+    def test_intersects_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)

@@ -1,0 +1,48 @@
+import pytest
+
+from repro.geometry import Rect
+from repro.image import Bin, Blockage
+
+
+class TestBin:
+    def test_capacity_from_utilization(self):
+        b = Bin(0, 0, Rect(0, 0, 10, 10), target_utilization=0.8)
+        assert b.area_capacity == pytest.approx(80.0)
+        assert b.free_area == pytest.approx(80.0)
+        assert b.can_fit(80.0)
+        assert not b.can_fit(80.1)
+
+    def test_blockage_reduces_effective_capacity(self):
+        b = Bin(0, 0, Rect(0, 0, 10, 10), target_utilization=1.0)
+        b.blocked_area = 40.0
+        assert b.effective_capacity == pytest.approx(60.0)
+        b.area_used = 70.0
+        assert b.overfilled
+        assert b.utilization == pytest.approx(70 / 60)
+
+    def test_fully_blocked_bin(self):
+        b = Bin(0, 0, Rect(0, 0, 10, 10), target_utilization=1.0)
+        b.blocked_area = 200.0
+        assert b.effective_capacity == 0.0
+        assert b.utilization == 1.0  # empty
+        b.area_used = 1.0
+        assert b.utilization == float("inf")
+
+    def test_wire_capacity_scales_with_span(self):
+        b = Bin(0, 0, Rect(0, 0, 20, 10), tracks_per_unit=2.0)
+        assert b.wire_capacity_h == pytest.approx(20.0)  # height*2
+        assert b.wire_capacity_v == pytest.approx(40.0)  # width*2
+
+    def test_wire_overflow_and_congestion(self):
+        b = Bin(0, 0, Rect(0, 0, 10, 10))
+        b.wire_used_h = 15.0
+        b.wire_used_v = 5.0
+        assert b.wire_overflow == pytest.approx(5.0)
+        assert b.congestion == pytest.approx(1.5)
+
+
+class TestBlockage:
+    def test_blocked_area_in(self):
+        blk = Blockage(Rect(0, 0, 10, 10))
+        assert blk.blocked_area_in(Rect(5, 5, 15, 15)) == pytest.approx(25.0)
+        assert blk.blocked_area_in(Rect(20, 20, 30, 30)) == 0.0

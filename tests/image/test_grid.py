@@ -1,0 +1,150 @@
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.image import BinGrid, Blockage
+from repro.netlist import Netlist
+
+
+@pytest.fixture
+def design(library):
+    nl = Netlist()
+    cells = []
+    for i in range(4):
+        c = nl.add_cell("u%d" % i, library.smallest("INV"),
+                        position=Point(10 + 20 * i, 10))
+        cells.append(c)
+    return nl, cells
+
+
+class TestGridGeometry:
+    def test_bin_layout(self):
+        g = BinGrid(Rect(0, 0, 100, 50), nx=4, ny=2)
+        assert g.bin(0, 0).rect == Rect(0, 0, 25, 25)
+        assert g.bin(3, 1).rect == Rect(75, 25, 100, 50)
+        assert len(list(g.bins())) == 8
+
+    def test_invalid_grid(self):
+        with pytest.raises(ValueError):
+            BinGrid(Rect(0, 0, 10, 10), nx=0)
+
+    def test_index_at_clamps(self):
+        g = BinGrid(Rect(0, 0, 100, 100), nx=2, ny=2)
+        assert g.index_at(Point(-5, -5)) == (0, 0)
+        assert g.index_at(Point(500, 500)) == (1, 1)
+        assert g.index_at(Point(100, 100)) == (1, 1)  # upper edge
+
+    def test_bin_out_of_range(self):
+        g = BinGrid(Rect(0, 0, 10, 10), nx=2, ny=2)
+        with pytest.raises(IndexError):
+            g.bin(2, 0)
+
+    def test_neighbors(self):
+        g = BinGrid(Rect(0, 0, 30, 30), nx=3, ny=3)
+        corner = g.bin(0, 0)
+        middle = g.bin(1, 1)
+        assert len(g.neighbors(corner)) == 2
+        assert len(g.neighbors(middle)) == 4
+
+    def test_bins_in_region(self):
+        g = BinGrid(Rect(0, 0, 100, 100), nx=4, ny=4)
+        hit = g.bins_in(Rect(0, 0, 49, 49))
+        assert len(hit) == 4
+
+
+class TestOccupancyTracking:
+    def test_attach_populates(self, design):
+        nl, cells = design
+        g = BinGrid(Rect(0, 0, 100, 20), nx=5, ny=1)
+        g.attach(nl)
+        assert g.bin_of(cells[0]).ix == 0
+        assert g.bin(0, 0).area_used == pytest.approx(cells[0].area)
+        g.check_occupancy()
+
+    def test_move_updates_bins(self, design):
+        nl, cells = design
+        g = BinGrid(Rect(0, 0, 100, 20), nx=5, ny=1)
+        g.attach(nl)
+        nl.move_cell(cells[0], Point(90, 10))
+        assert g.bin_of(cells[0]).ix == 4
+        assert g.bin(0, 0).area_used == pytest.approx(0.0)
+        g.check_occupancy()
+
+    def test_unplace_evicts(self, design):
+        nl, cells = design
+        g = BinGrid(Rect(0, 0, 100, 20), nx=5, ny=1)
+        g.attach(nl)
+        nl.move_cell(cells[0], None)
+        assert g.bin_of(cells[0]) is None
+        g.check_occupancy()
+
+    def test_add_remove_cell(self, design, library):
+        nl, _ = design
+        g = BinGrid(Rect(0, 0, 100, 20), nx=5, ny=1)
+        g.attach(nl)
+        c = nl.add_cell("new", library.smallest("NAND2"),
+                        position=Point(50, 10))
+        assert c in g.bin_of(c).cells
+        nl.remove_cell(c)
+        assert all(c not in b.cells for b in g.bins())
+        g.check_occupancy()
+
+    def test_resize_updates_area(self, design, library):
+        nl, cells = design
+        g = BinGrid(Rect(0, 0, 100, 20), nx=5, ny=1)
+        g.attach(nl)
+        before = g.bin_of(cells[0]).area_used
+        nl.resize_cell(cells[0], library.size("INV", 8.0))
+        after = g.bin_of(cells[0]).area_used
+        assert after > before
+        g.check_occupancy()
+
+    def test_refine_preserves_occupancy(self, design):
+        nl, cells = design
+        g = BinGrid(Rect(0, 0, 100, 20), nx=1, ny=1)
+        g.attach(nl)
+        total = sum(b.area_used for b in g.bins())
+        g.refine()
+        assert g.nx == 2 and g.ny == 2
+        assert sum(b.area_used for b in g.bins()) == pytest.approx(total)
+        g.check_occupancy()
+
+    def test_refine_requires_factor_ge_2(self, design):
+        g = BinGrid(Rect(0, 0, 10, 10))
+        with pytest.raises(ValueError):
+            g.refine(1)
+
+    def test_detach_stops_updates(self, design):
+        nl, cells = design
+        g = BinGrid(Rect(0, 0, 100, 20), nx=5, ny=1)
+        g.attach(nl)
+        g.detach()
+        nl.move_cell(cells[0], Point(90, 10))
+        # stale but not crashed: cell not re-tracked
+        assert g.bin_of(cells[0]).ix == 0
+
+
+class TestBlockagesAndAggregates:
+    def test_blockage_split_across_bins(self):
+        blk = Blockage(Rect(0, 0, 50, 100), wiring_factor=1.0)
+        g = BinGrid(Rect(0, 0, 100, 100), nx=2, ny=1,
+                    blockages=[blk], target_utilization=1.0)
+        left, right = g.bin(0, 0), g.bin(1, 0)
+        assert left.blocked_area == pytest.approx(5000.0)
+        assert right.blocked_area == 0.0
+        assert left.wire_capacity_h == pytest.approx(0.0)
+        assert right.wire_capacity_h > 0
+
+    def test_total_overflow(self, design, library):
+        nl, cells = design
+        g = BinGrid(Rect(0, 0, 100, 20), nx=5, ny=1,
+                    target_utilization=0.0001)
+        g.attach(nl)
+        assert g.total_overflow() > 0
+        assert g.max_utilization() > 1.0
+
+    def test_reset_wire_usage(self):
+        g = BinGrid(Rect(0, 0, 10, 10))
+        b = g.bin(0, 0)
+        b.wire_used_h = 5
+        g.reset_wire_usage()
+        assert b.wire_used_h == 0

@@ -1,0 +1,72 @@
+import pytest
+
+from repro.library import GateKind, default_library
+
+
+class TestDefaultLibrary:
+    def test_expected_types_present(self, library):
+        for name in ["INV", "BUF", "NAND2", "NAND3", "NAND4", "NOR2",
+                     "NOR3", "AND2", "OR2", "AOI21", "OAI21", "XOR2",
+                     "XNOR2", "MUX2", "DFF", "SDFF", "CLKBUF"]:
+            assert library.has_type(name), name
+
+    def test_canonical_logical_efforts(self, library):
+        assert library.type("INV").logical_effort == 1.0
+        assert library.type("NAND2").logical_effort == pytest.approx(4 / 3)
+        assert library.type("NOR2").logical_effort == pytest.approx(5 / 3)
+        assert library.type("XOR2").logical_effort == 4.0
+
+    def test_clock_buffer_is_large(self, library):
+        # "clock blocks are typically much larger than registers":
+        # compare at matched drive (x4 vs x4)
+        clkbuf = library.size("CLKBUF", 4.0)
+        dff = library.size("DFF", 4.0)
+        assert clkbuf.area > dff.area / 2
+        assert library.largest("CLKBUF").area > library.largest("INV").area
+
+    def test_clock_buffer_footprints_unique(self, library):
+        """Clock cells are never swapped by in-footprint sizing."""
+        for size in library.sizes("CLKBUF"):
+            assert library.footprint_siblings(size) == [size]
+
+    def test_sequential_kinds(self, library):
+        assert library.type("DFF").kind is GateKind.SEQUENTIAL
+        assert library.type("SDFF").kind is GateKind.SEQUENTIAL
+        assert library.type("CLKBUF").kind is GateKind.CLOCK_BUFFER
+
+    def test_dff_pins(self, library):
+        dff = library.type("DFF")
+        assert dff.pin("CK").is_clock
+        assert not dff.pin("D").is_clock
+        assert dff.output_pin.name == "Q"
+
+    def test_sdff_scan_pin(self, library):
+        sdff = library.type("SDFF")
+        assert sdff.pin("SI").is_scan
+        assert not sdff.pin("D").is_scan
+
+    def test_nand2_inputs_swappable(self, library):
+        groups = library.type("NAND2").swap_groups()
+        assert len(groups) == 1
+
+    def test_aoi21_c_not_swappable(self, library):
+        groups = library.type("AOI21").swap_groups()
+        names = {p.name for ps in groups.values() for p in ps}
+        assert names == {"A", "B"}
+
+    def test_mux2_nothing_swappable(self, library):
+        assert library.type("MUX2").swap_groups() == {}
+
+    def test_every_type_has_ascending_sizes(self, library):
+        for t in library.types():
+            xs = [s.x for s in library.sizes(t.name)]
+            assert xs == sorted(xs)
+            assert len(xs) >= 3
+
+    def test_size_ladder_monotone_electrically(self, library):
+        for t in library.types():
+            ladder = library.sizes(t.name)
+            caps = [s.input_cap() for s in ladder]
+            res = [s.drive_resistance for s in ladder]
+            assert caps == sorted(caps)
+            assert res == sorted(res, reverse=True)

@@ -1,0 +1,103 @@
+import pytest
+
+from repro.library import Library, analyze_library, default_library
+from repro.library.types import GateKind, GateType, PinDirection, PinSpec
+
+
+def simple_type(name, effort=1.0, kind=GateKind.COMBINATIONAL):
+    return GateType(
+        name, kind,
+        (PinSpec("A", PinDirection.INPUT),
+         PinSpec("Z", PinDirection.OUTPUT)),
+        logical_effort=effort, parasitic=1.0,
+    )
+
+
+class TestLibrary:
+    def test_add_and_lookup(self):
+        lib = Library()
+        lib.add_type(simple_type("INV"), [1, 2, 4])
+        assert lib.has_type("INV")
+        assert "INV" in lib
+        assert len(lib) == 1
+        assert [s.x for s in lib.sizes("INV")] == [1, 2, 4]
+
+    def test_duplicate_type_raises(self):
+        lib = Library()
+        lib.add_type(simple_type("INV"), [1])
+        with pytest.raises(ValueError):
+            lib.add_type(simple_type("INV"), [1])
+
+    def test_empty_sizes_raises(self):
+        lib = Library()
+        with pytest.raises(ValueError):
+            lib.add_type(simple_type("INV"), [])
+
+    def test_unknown_lookups_raise(self):
+        lib = Library()
+        with pytest.raises(KeyError):
+            lib.type("X")
+        with pytest.raises(KeyError):
+            lib.sizes("X")
+
+    def test_size_exact(self):
+        lib = Library()
+        lib.add_type(simple_type("INV"), [1, 2])
+        assert lib.size("INV", 2).x == 2
+        with pytest.raises(KeyError):
+            lib.size("INV", 3)
+
+    def test_smallest_largest(self):
+        lib = Library()
+        lib.add_type(simple_type("INV"), [4, 1, 2])
+        assert lib.smallest("INV").x == 1
+        assert lib.largest("INV").x == 4
+
+    def test_discretize_picks_best_cin_match(self):
+        lib = Library()
+        lib.add_type(simple_type("INV"), [1, 2, 4, 8])
+        # INV effort 1 -> cin == x * C_UNIT
+        assert lib.discretize("INV", 3.2).x == 4
+        assert lib.discretize("INV", 1.4).x == 1
+        assert lib.discretize("INV", 100).x == 8
+
+    def test_footprint_pairs_share_outline(self):
+        lib = Library()
+        lib.add_type(simple_type("INV"), [1, 2, 4, 8])
+        s1, s2, s4, s8 = lib.sizes("INV")
+        assert s1.footprint == s2.footprint
+        assert s4.footprint == s8.footprint
+        assert s1.footprint != s4.footprint
+        # shared outline = largest member's device area
+        assert s1.area == s2.area == s2.device_area
+        assert s4.area == s8.area == s8.device_area
+
+    def test_footprint_siblings(self):
+        lib = Library()
+        lib.add_type(simple_type("INV"), [1, 2, 4])
+        sibs = lib.footprint_siblings(lib.size("INV", 1))
+        assert sorted(s.x for s in sibs) == [1, 2]
+
+
+class TestAnalyzeLibrary:
+    def test_efforts_and_max(self):
+        lib = Library()
+        lib.add_type(simple_type("INV", effort=1.0), [1])
+        lib.add_type(simple_type("XOR2", effort=4.0), [1])
+        analysis = analyze_library(lib)
+        assert analysis.efforts["XOR2"] == 4.0
+        assert analysis.max_effort == 4.0
+        assert analysis.normalized("INV") == pytest.approx(0.25)
+        assert analysis.normalized("XOR2") == pytest.approx(1.0)
+
+    def test_unknown_type_normalizes_to_default(self):
+        lib = Library()
+        lib.add_type(simple_type("INV"), [1])
+        analysis = analyze_library(lib)
+        assert analysis.normalized("MISSING") == pytest.approx(1.0)
+
+    def test_default_library_analysis(self):
+        analysis = analyze_library(default_library())
+        assert analysis.efforts["INV"] == 1.0
+        assert analysis.max_effort == 4.0  # XOR2/XNOR2
+        assert analysis.normalized("NAND2") == pytest.approx((4 / 3) / 4)

@@ -1,0 +1,113 @@
+import pytest
+
+from repro.library import GateKind, GateSize, GateType, PinDirection, PinSpec
+from repro.library.types import AREA_UNIT, C_UNIT, R_UNIT, ROW_HEIGHT, TAU
+
+
+def make_inv():
+    return GateType(
+        "INV", GateKind.COMBINATIONAL,
+        (PinSpec("A", PinDirection.INPUT),
+         PinSpec("Z", PinDirection.OUTPUT)),
+        logical_effort=1.0, parasitic=1.0,
+    )
+
+
+class TestGateType:
+    def test_pin_lookup(self):
+        inv = make_inv()
+        assert inv.pin("A").direction is PinDirection.INPUT
+        with pytest.raises(KeyError):
+            inv.pin("nope")
+
+    def test_output_pin(self):
+        inv = make_inv()
+        assert inv.output_pin.name == "Z"
+        assert inv.num_inputs == 1
+
+    def test_no_output_raises(self):
+        with pytest.raises(ValueError):
+            GateType("BAD", GateKind.COMBINATIONAL,
+                     (PinSpec("A", PinDirection.INPUT),),
+                     logical_effort=1.0, parasitic=1.0)
+
+    def test_nonpositive_effort_raises(self):
+        with pytest.raises(ValueError):
+            GateType("BAD", GateKind.COMBINATIONAL,
+                     (PinSpec("Z", PinDirection.OUTPUT),),
+                     logical_effort=0.0, parasitic=1.0)
+
+    def test_swap_groups(self):
+        nand = GateType(
+            "NAND2", GateKind.COMBINATIONAL,
+            (PinSpec("A", PinDirection.INPUT, swap_group=0),
+             PinSpec("B", PinDirection.INPUT, swap_group=0),
+             PinSpec("Z", PinDirection.OUTPUT)),
+            logical_effort=4 / 3, parasitic=2.0,
+        )
+        groups = nand.swap_groups()
+        assert list(groups) == [0]
+        assert [p.name for p in groups[0]] == ["A", "B"]
+
+    def test_singleton_swap_group_dropped(self):
+        g = GateType(
+            "G", GateKind.COMBINATIONAL,
+            (PinSpec("A", PinDirection.INPUT, swap_group=0),
+             PinSpec("B", PinDirection.INPUT, swap_group=1),
+             PinSpec("Z", PinDirection.OUTPUT)),
+            logical_effort=1.0, parasitic=1.0,
+        )
+        assert g.swap_groups() == {}
+
+
+class TestGateSize:
+    def test_unit_inverter_electrical(self):
+        s = GateSize(make_inv(), 1.0, "FP0")
+        assert s.input_cap() == C_UNIT
+        assert s.drive_resistance == R_UNIT
+        assert s.intrinsic_delay == TAU
+        assert s.area == AREA_UNIT
+        assert s.height == ROW_HEIGHT
+        assert s.width == AREA_UNIT / ROW_HEIGHT
+
+    def test_scaling_with_x(self):
+        s1 = GateSize(make_inv(), 1.0, "FP0")
+        s4 = GateSize(make_inv(), 4.0, "FP1")
+        assert s4.input_cap() == 4 * s1.input_cap()
+        assert s4.drive_resistance == s1.drive_resistance / 4
+        assert s4.device_area == 4 * s1.device_area
+        # intrinsic delay is size-independent
+        assert s4.intrinsic_delay == s1.intrinsic_delay
+
+    def test_delay_model(self):
+        s = GateSize(make_inv(), 2.0, "FP0")
+        load = 10.0
+        assert s.delay(load) == pytest.approx(
+            s.intrinsic_delay + s.drive_resistance * load)
+
+    def test_gain_for_load(self):
+        s = GateSize(make_inv(), 1.0, "FP0")
+        assert s.gain_for_load(4.0) == pytest.approx(4.0)
+
+    def test_footprint_area_override(self):
+        s = GateSize(make_inv(), 1.0, "FP0", footprint_area=99.0)
+        assert s.area == 99.0
+        assert s.device_area == AREA_UNIT
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            GateSize(make_inv(), 0.0, "FP0")
+
+    def test_name(self):
+        assert GateSize(make_inv(), 2.0, "FP0").name == "INV_X2"
+
+    def test_pin_cap_factor(self):
+        dff = GateType(
+            "DFF", GateKind.SEQUENTIAL,
+            (PinSpec("D", PinDirection.INPUT),
+             PinSpec("CK", PinDirection.INPUT, is_clock=True, cap_factor=0.5),
+             PinSpec("Q", PinDirection.OUTPUT)),
+            logical_effort=2.0, parasitic=4.0,
+        )
+        s = GateSize(dff, 1.0, "FP")
+        assert s.input_cap("CK") == pytest.approx(0.5 * s.input_cap("D"))

@@ -1,0 +1,150 @@
+from repro.geometry import Point
+from repro.netlist import Netlist, NetlistListener
+
+
+class Recorder(NetlistListener):
+    def __init__(self):
+        self.events = []
+
+    def on_cell_added(self, cell):
+        self.events.append(("cell_added", cell.name))
+
+    def on_cell_removed(self, cell):
+        self.events.append(("cell_removed", cell.name))
+
+    def on_cell_moved(self, cell, old):
+        self.events.append(("cell_moved", cell.name, old))
+
+    def on_cell_resized(self, cell, old):
+        self.events.append(("cell_resized", cell.name, old.x))
+
+    def on_net_added(self, net):
+        self.events.append(("net_added", net.name))
+
+    def on_net_removed(self, net):
+        self.events.append(("net_removed", net.name))
+
+    def on_connect(self, pin, net):
+        self.events.append(("connect", pin.full_name, net.name))
+
+    def on_disconnect(self, pin, net):
+        self.events.append(("disconnect", pin.full_name, net.name))
+
+
+class TestEventBus:
+    def test_structural_events(self, library):
+        nl = Netlist()
+        rec = Recorder()
+        nl.add_listener(rec)
+        c = nl.add_cell("u1", library.smallest("INV"))
+        n = nl.add_net("n1")
+        nl.connect(c.pin("A"), n)
+        nl.disconnect(c.pin("A"))
+        nl.remove_net(n)
+        nl.remove_cell(c)
+        assert rec.events == [
+            ("cell_added", "u1"),
+            ("net_added", "n1"),
+            ("connect", "u1/A", "n1"),
+            ("disconnect", "u1/A", "n1"),
+            ("net_removed", "n1"),
+            ("cell_removed", "u1"),
+        ]
+
+    def test_move_event_carries_old_position(self, library):
+        nl = Netlist()
+        rec = Recorder()
+        nl.add_listener(rec)
+        c = nl.add_cell("u1", library.smallest("INV"), position=Point(1, 1))
+        nl.move_cell(c, Point(2, 2))
+        assert ("cell_moved", "u1", Point(1, 1)) in rec.events
+
+    def test_noop_move_fires_nothing(self, library):
+        nl = Netlist()
+        c = nl.add_cell("u1", library.smallest("INV"), position=Point(1, 1))
+        rec = Recorder()
+        nl.add_listener(rec)
+        nl.move_cell(c, Point(1, 1))
+        assert rec.events == []
+
+    def test_resize_event(self, library):
+        nl = Netlist()
+        c = nl.add_cell("u1", library.smallest("INV"))
+        rec = Recorder()
+        nl.add_listener(rec)
+        nl.resize_cell(c, library.size("INV", 2.0))
+        assert rec.events == [("cell_resized", "u1", 1.0)]
+
+    def test_reconnect_fires_disconnect_then_connect(self, library):
+        nl = Netlist()
+        c = nl.add_cell("u1", library.smallest("INV"))
+        n1, n2 = nl.add_net("n1"), nl.add_net("n2")
+        nl.connect(c.pin("A"), n1)
+        rec = Recorder()
+        nl.add_listener(rec)
+        nl.connect(c.pin("A"), n2)
+        assert rec.events == [
+            ("disconnect", "u1/A", "n1"),
+            ("connect", "u1/A", "n2"),
+        ]
+
+    def test_remove_cell_disconnects_first(self, library):
+        nl = Netlist()
+        c = nl.add_cell("u1", library.smallest("INV"))
+        n = nl.add_net("n1")
+        nl.connect(c.pin("A"), n)
+        rec = Recorder()
+        nl.add_listener(rec)
+        nl.remove_cell(c)
+        assert rec.events == [
+            ("disconnect", "u1/A", "n1"),
+            ("cell_removed", "u1"),
+        ]
+
+    def test_listener_removal(self, library):
+        nl = Netlist()
+        rec = Recorder()
+        nl.add_listener(rec)
+        nl.remove_listener(rec)
+        nl.add_cell("u1", library.smallest("INV"))
+        assert rec.events == []
+
+    def test_duplicate_listener_registered_once(self, library):
+        nl = Netlist()
+        rec = Recorder()
+        nl.add_listener(rec)
+        nl.add_listener(rec)
+        nl.add_cell("u1", library.smallest("INV"))
+        assert len(rec.events) == 1
+
+
+class TestVirtualResize:
+    def test_virtual_resize_skips_analyzers(self, library):
+        from repro.netlist import NetlistListener
+
+        class Physical(Recorder):
+            is_physical_view = True
+
+        nl = Netlist()
+        c = nl.add_cell("u1", library.smallest("INV"))
+        analyzer, image = Recorder(), Physical()
+        nl.add_listener(analyzer)
+        nl.add_listener(image)
+        nl.resize_cell(c, library.size("INV", 4.0), virtual=True)
+        assert analyzer.events == []
+        assert image.events == [("cell_resized", "u1", 1.0)]
+        # the cell itself really changed
+        assert c.size.x == 4.0
+
+    def test_actual_resize_reaches_everyone(self, library):
+        class Physical(Recorder):
+            is_physical_view = True
+
+        nl = Netlist()
+        c = nl.add_cell("u1", library.smallest("INV"))
+        analyzer, image = Recorder(), Physical()
+        nl.add_listener(analyzer)
+        nl.add_listener(image)
+        nl.resize_cell(c, library.size("INV", 4.0))
+        assert analyzer.events == [("cell_resized", "u1", 1.0)]
+        assert image.events == [("cell_resized", "u1", 1.0)]

@@ -1,0 +1,65 @@
+import pytest
+
+from repro.geometry import Point
+from repro.netlist import Netlist
+
+
+class TestNetlistMisc:
+    def test_unique_name_avoids_nets_too(self, library):
+        nl = Netlist()
+        nl.add_net("x_0")
+        name = nl.unique_name("x")
+        assert name != "x_0"
+        assert not nl.has_net(name)
+
+    def test_total_hpwl(self, library):
+        nl = Netlist()
+        a = nl.add_cell("a", library.smallest("INV"), position=Point(0, 0))
+        b = nl.add_cell("b", library.smallest("INV"),
+                        position=Point(10, 5))
+        n1 = nl.add_net("n1")
+        nl.connect(a.pin("Z"), n1)
+        nl.connect(b.pin("A"), n1)
+        n2 = nl.add_net("n2")  # floating net contributes 0
+        assert nl.total_hpwl() == pytest.approx(15.0)
+
+    def test_move_to_none_unplaces(self, library):
+        nl = Netlist()
+        a = nl.add_cell("a", library.smallest("INV"), position=Point(1, 1))
+        nl.move_cell(a, None)
+        assert not a.placed
+
+    def test_remove_net_of_other_netlist(self, library):
+        nl1, nl2 = Netlist(), Netlist()
+        n = nl1.add_net("n")
+        with pytest.raises(KeyError):
+            nl2.remove_net(n)
+
+    def test_consistency_detects_double_driver(self, library):
+        nl = Netlist()
+        a = nl.add_cell("a", library.smallest("INV"))
+        b = nl.add_cell("b", library.smallest("INV"))
+        n = nl.add_net("n")
+        nl.connect(a.pin("Z"), n)
+        # corrupt behind the API's back
+        n._pins.append(b.pin("Z"))
+        b.pin("Z").net = n
+        with pytest.raises(AssertionError):
+            nl.check_consistency()
+
+    def test_sequential_cells_listing(self, library):
+        nl = Netlist()
+        nl.add_cell("ff", library.smallest("DFF"))
+        nl.add_cell("g", library.smallest("NAND2"))
+        assert [c.name for c in nl.sequential_cells()] == ["ff"]
+
+    def test_cell_outline_requires_position(self, library):
+        nl = Netlist()
+        c = nl.add_cell("c", library.smallest("INV"))
+        with pytest.raises(ValueError):
+            c.outline()
+
+    def test_port_pin_positions_track_cell(self, library):
+        nl = Netlist()
+        p = nl.add_input_port("p", Point(3, 4))
+        assert p.pin("Z").position == Point(3, 4)

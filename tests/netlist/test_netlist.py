@@ -1,0 +1,154 @@
+import pytest
+
+from repro.geometry import Point
+from repro.netlist import Netlist
+
+
+@pytest.fixture
+def net3(library):
+    """INV -> NAND2 with one input port and one output port."""
+    nl = Netlist("t")
+    a = nl.add_input_port("a", Point(0, 0))
+    inv = nl.add_cell("inv0", library.smallest("INV"))
+    nand = nl.add_cell("nand0", library.smallest("NAND2"))
+    out = nl.add_output_port("z", Point(100, 0))
+    n1 = nl.add_net("n1")
+    n2 = nl.add_net("n2")
+    n3 = nl.add_net("n3")
+    nl.connect(a.pin("Z"), n1)
+    nl.connect(inv.pin("A"), n1)
+    nl.connect(inv.pin("Z"), n2)
+    nl.connect(nand.pin("A"), n2)
+    nl.connect(nand.pin("B"), n1)
+    nl.connect(nand.pin("Z"), n3)
+    nl.connect(out.pin("A"), n3)
+    return nl
+
+
+class TestCellManagement:
+    def test_add_and_lookup(self, library):
+        nl = Netlist()
+        c = nl.add_cell("u1", library.smallest("INV"))
+        assert nl.cell("u1") is c
+        assert nl.has_cell("u1")
+        assert nl.num_cells == 1
+        assert c.netlist is nl
+
+    def test_duplicate_cell_raises(self, library):
+        nl = Netlist()
+        nl.add_cell("u1", library.smallest("INV"))
+        with pytest.raises(ValueError):
+            nl.add_cell("u1", library.smallest("INV"))
+
+    def test_remove_cell_disconnects(self, net3):
+        inv = net3.cell("inv0")
+        n1 = net3.net("n1")
+        net3.remove_cell(inv)
+        assert not net3.has_cell("inv0")
+        assert all(p.cell is not inv for p in n1.pins())
+
+    def test_remove_foreign_cell_raises(self, library):
+        nl1, nl2 = Netlist(), Netlist()
+        c = nl1.add_cell("u1", library.smallest("INV"))
+        with pytest.raises(KeyError):
+            nl2.remove_cell(c)
+
+    def test_ports_classified(self, net3):
+        assert {c.name for c in net3.ports()} == {"a", "z"}
+        assert {c.name for c in net3.logic_cells()} == {"inv0", "nand0"}
+        assert net3.cell("a").fixed
+        assert not net3.cell("a").is_movable
+
+    def test_unique_name(self, net3):
+        n = net3.unique_name("inv")
+        assert not net3.has_cell(n)
+        assert n != net3.unique_name("inv")
+
+
+class TestConnectivity:
+    def test_driver_and_sinks(self, net3):
+        n1 = net3.net("n1")
+        assert n1.driver().full_name == "a/Z"
+        assert {p.full_name for p in n1.sinks()} == {"inv0/A", "nand0/B"}
+        assert n1.degree == 3
+
+    def test_two_drivers_rejected(self, net3, library):
+        inv2 = net3.add_cell("inv2", library.smallest("INV"))
+        with pytest.raises(ValueError):
+            net3.connect(inv2.pin("Z"), net3.net("n1"))
+
+    def test_reconnect_moves_pin(self, net3):
+        pin = net3.cell("nand0").pin("B")
+        net3.connect(pin, net3.net("n2"))
+        assert pin.net.name == "n2"
+        assert pin not in net3.net("n1").pins()
+
+    def test_connect_same_net_noop(self, net3):
+        pin = net3.cell("inv0").pin("A")
+        before = net3.net("n1").degree
+        net3.connect(pin, net3.net("n1"))
+        assert net3.net("n1").degree == before
+
+    def test_disconnect_floating_noop(self, net3, library):
+        c = net3.add_cell("u9", library.smallest("INV"))
+        net3.disconnect(c.pin("A"))  # no exception
+
+    def test_remove_net_disconnects(self, net3):
+        n2 = net3.net("n2")
+        pins = n2.pins()
+        net3.remove_net(n2)
+        assert not net3.has_net("n2")
+        assert all(p.net is None for p in pins)
+
+    def test_consistency_check_passes(self, net3):
+        net3.check_consistency()
+
+    def test_cells_on_net_unique(self, net3, library):
+        # connect both NAND inputs to the same net: cell listed once
+        net3.connect(net3.cell("nand0").pin("B"), net3.net("n2"))
+        names = [c.name for c in net3.net("n2").cells()]
+        assert names.count("nand0") == 1
+
+
+class TestPhysicalEdits:
+    def test_move_cell(self, net3):
+        inv = net3.cell("inv0")
+        net3.move_cell(inv, Point(10, 20))
+        assert inv.position == Point(10, 20)
+        assert inv.placed
+
+    def test_unplaced_cell(self, net3):
+        inv = net3.cell("inv0")
+        assert not inv.placed
+        with pytest.raises(ValueError):
+            inv.require_position()
+
+    def test_outline(self, net3):
+        inv = net3.cell("inv0")
+        net3.move_cell(inv, Point(0, 0))
+        box = inv.outline()
+        assert box.area == pytest.approx(inv.area)
+
+    def test_resize_same_type(self, net3, library):
+        inv = net3.cell("inv0")
+        net3.resize_cell(inv, library.size("INV", 4.0))
+        assert inv.size.x == 4.0
+
+    def test_resize_cross_type_rejected(self, net3, library):
+        with pytest.raises(ValueError):
+            net3.resize_cell(net3.cell("inv0"), library.smallest("NAND2"))
+
+    def test_pin_load(self, net3, library):
+        n2 = net3.net("n2")
+        expected = library.smallest("NAND2").input_cap("A")
+        assert n2.pin_load() == pytest.approx(expected)
+
+    def test_hpwl(self, net3):
+        net3.move_cell(net3.cell("inv0"), Point(10, 10))
+        n1 = net3.net("n1")  # a@(0,0), inv@(10,10), nand unplaced
+        assert n1.hpwl() == pytest.approx(20)
+
+    def test_total_cell_area_excludes_ports(self, net3, library):
+        expected = (library.smallest("INV").area
+                    + library.smallest("NAND2").area)
+        assert net3.total_cell_area() == pytest.approx(expected)

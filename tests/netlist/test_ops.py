@@ -1,0 +1,183 @@
+import pytest
+
+from repro.geometry import Point
+from repro.netlist import Netlist, ops
+
+
+@pytest.fixture
+def fanout4(library):
+    """One INV driving four NAND2 sinks."""
+    nl = Netlist("fanout")
+    drv = nl.add_cell("drv", library.size("INV", 2.0), position=Point(0, 0))
+    src = nl.add_net("src")
+    inp = nl.add_input_port("in0", Point(0, 0))
+    innet = nl.add_net("innet")
+    nl.connect(inp.pin("Z"), innet)
+    nl.connect(drv.pin("A"), innet)
+    nl.connect(drv.pin("Z"), src)
+    sinks = []
+    for i in range(4):
+        s = nl.add_cell("s%d" % i, library.smallest("NAND2"),
+                        position=Point(10 * (i + 1), 0))
+        nl.connect(s.pin("A"), src)
+        sinks.append(s)
+    return nl, drv, src, sinks
+
+
+class TestClone:
+    def test_clone_splits_sinks(self, fanout4):
+        nl, drv, src, sinks = fanout4
+        moved = [sinks[2].pin("A"), sinks[3].pin("A")]
+        clone = ops.clone_cell(nl, drv, moved, position=Point(30, 0))
+        assert clone.type_name == "INV"
+        assert clone.position == Point(30, 0)
+        assert {p.cell.name for p in src.sinks()} == {"s0", "s1"}
+        clone_net = clone.output_pin().net
+        assert {p.cell.name for p in clone_net.sinks()} == {"s2", "s3"}
+        # clone shares the original's input net
+        assert clone.pin("A").net is drv.pin("A").net
+        nl.check_consistency()
+
+    def test_clone_requires_sinks_on_net(self, fanout4, library):
+        nl, drv, src, sinks = fanout4
+        other = nl.add_cell("x", library.smallest("INV"))
+        with pytest.raises(ValueError):
+            ops.clone_cell(nl, drv, [other.pin("A")])
+
+    def test_clone_unconnected_output_raises(self, fanout4, library):
+        nl, _, _, _ = fanout4
+        lone = nl.add_cell("lone", library.smallest("INV"))
+        with pytest.raises(ValueError):
+            ops.clone_cell(nl, lone, [])
+
+    def test_unclone_restores(self, fanout4):
+        nl, drv, src, sinks = fanout4
+        before = {p.full_name for p in src.sinks()}
+        clone = ops.clone_cell(nl, drv, [sinks[3].pin("A")])
+        ops.unclone_cell(nl, clone, drv)
+        assert {p.full_name for p in src.sinks()} == before
+        assert not any(c.name.startswith("drv_cln") for c in nl.cells())
+        nl.check_consistency()
+
+
+class TestBuffer:
+    def test_insert_buffer(self, fanout4):
+        nl, drv, src, sinks = fanout4
+        buffered = [s.pin("A") for s in sinks[1:]]
+        buf = ops.insert_buffer(nl, _lib(nl), src, buffered,
+                                position=Point(20, 0), buffer_x=4.0)
+        assert buf.type_name == "BUF"
+        assert buf.size.x == 4.0
+        assert buf.pin("A").net is src
+        assert {p.cell.name for p in src.sinks()} == {"s0", buf.name}
+        out_net = buf.output_pin().net
+        assert {p.cell.name for p in out_net.sinks()} == {"s1", "s2", "s3"}
+        nl.check_consistency()
+
+    def test_buffer_undriven_net_raises(self, fanout4):
+        nl, _, _, _ = fanout4
+        dead = nl.add_net("dead")
+        with pytest.raises(ValueError):
+            ops.insert_buffer(nl, _lib(nl), dead, [])
+
+    def test_buffer_driver_pin_rejected(self, fanout4):
+        nl, drv, src, _ = fanout4
+        with pytest.raises(ValueError):
+            ops.insert_buffer(nl, _lib(nl), src, [drv.pin("Z")])
+
+    def test_remove_buffer_roundtrip(self, fanout4):
+        nl, drv, src, sinks = fanout4
+        before_sinks = {p.full_name for p in src.sinks()}
+        before_cells = nl.num_cells
+        buf = ops.insert_buffer(nl, _lib(nl), src,
+                                [s.pin("A") for s in sinks[2:]])
+        ops.remove_buffer(nl, buf)
+        assert {p.full_name for p in src.sinks()} == before_sinks
+        assert nl.num_cells == before_cells
+        nl.check_consistency()
+
+    def test_remove_non_buffer_raises(self, fanout4):
+        nl, drv, _, _ = fanout4
+        with pytest.raises(ValueError):
+            ops.remove_buffer(nl, drv)
+
+
+class TestSwapPins:
+    def test_swap_and_inverse(self, fanout4, library):
+        nl, _, src, sinks = fanout4
+        g = sinks[0]
+        other = nl.add_net("other")
+        nl.connect(g.pin("B"), other)
+        ops.swap_pins(nl, g, "A", "B")
+        assert g.pin("A").net is other
+        assert g.pin("B").net is src
+        ops.swap_pins(nl, g, "A", "B")
+        assert g.pin("A").net is src
+        assert g.pin("B").net is other
+        nl.check_consistency()
+
+    def test_swap_with_floating_pin(self, fanout4):
+        nl, _, src, sinks = fanout4
+        g = sinks[0]  # B floating
+        ops.swap_pins(nl, g, "A", "B")
+        assert g.pin("A").net is None
+        assert g.pin("B").net is src
+
+    def test_non_swappable_raises(self, library):
+        nl = Netlist()
+        m = nl.add_cell("m", library.smallest("MUX2"))
+        with pytest.raises(ValueError):
+            ops.swap_pins(nl, m, "D0", "S")
+
+
+class TestDecompose:
+    def test_nand3_decomposition(self, library):
+        nl = Netlist()
+        g = nl.add_cell("g", library.smallest("NAND3"), position=Point(5, 5))
+        nets = {n: nl.add_net(n) for n in ["a", "b", "c", "z"]}
+        ins = []
+        for name in ["a", "b", "c"]:
+            p = nl.add_input_port("p_" + name, Point(0, 0))
+            nl.connect(p.pin("Z"), nets[name])
+        nl.connect(g.pin("A"), nets["a"])
+        nl.connect(g.pin("B"), nets["b"])
+        nl.connect(g.pin("C"), nets["c"])
+        nl.connect(g.pin("Z"), nets["z"])
+        assert ops.can_decompose(g)
+        front, back = ops.decompose_cell(nl, library, g)
+        assert front.type_name == "AND2"
+        assert back.type_name == "NAND2"
+        assert not nl.has_cell("g")
+        assert back.output_pin().net is nets["z"]
+        assert front.pin("A").net is nets["a"]
+        assert front.pin("B").net is nets["b"]
+        # back gets mid on first pin and C on second
+        assert back.pin("A").net is front.output_pin().net
+        assert back.pin("B").net is nets["c"]
+        # new cells inherit position
+        assert front.position == Point(5, 5)
+        nl.check_consistency()
+
+    def test_and2_decomposition(self, library):
+        nl = Netlist()
+        g = nl.add_cell("g", library.smallest("AND2"))
+        a, b, z = nl.add_net("a"), nl.add_net("b"), nl.add_net("z")
+        nl.connect(g.pin("A"), a)
+        nl.connect(g.pin("B"), b)
+        nl.connect(g.pin("Z"), z)
+        front, back = ops.decompose_cell(nl, library, g)
+        assert front.type_name == "NAND2"
+        assert back.type_name == "INV"
+        assert back.output_pin().net is z
+
+    def test_no_rule_raises(self, library):
+        nl = Netlist()
+        g = nl.add_cell("g", library.smallest("XOR2"))
+        assert not ops.can_decompose(g)
+        with pytest.raises(ValueError):
+            ops.decompose_cell(nl, library, g)
+
+
+def _lib(nl):
+    from repro.library import default_library
+    return default_library()

@@ -1,0 +1,107 @@
+"""Property tests: netlist consistency survives arbitrary op sequences,
+and invertible ops really invert."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point
+from repro.netlist import Netlist, ops
+from repro.workloads import random_logic
+
+op_sequences = st.lists(
+    st.tuples(st.sampled_from(["buffer", "unbuffer", "clone", "unclone",
+                               "swap", "decompose", "remove"]),
+              st.integers(0, 10_000)),
+    min_size=1, max_size=15,
+)
+
+
+class TestOpSequences:
+    @given(op_sequences)
+    @settings(max_examples=30, deadline=None)
+    def test_consistency_always_holds(self, library, sequence):
+        nl = random_logic("p", library, 40, n_inputs=5, n_outputs=5,
+                          seed=11)
+        inserted_buffers = []
+        clones = []  # (clone, original)
+        for kind, a in sequence:
+            nets = [n for n in nl.nets() if n.driver() is not None
+                    and n.sinks()]
+            if not nets:
+                break
+            net = nets[a % len(nets)]
+            if kind == "buffer":
+                buf = ops.insert_buffer(nl, library, net,
+                                        net.sinks()[:2],
+                                        position=Point(1, 1))
+                inserted_buffers.append(buf)
+            elif kind == "unbuffer" and inserted_buffers:
+                buf = inserted_buffers.pop()
+                if nl.has_cell(buf.name):
+                    ops.remove_buffer(nl, buf)
+            elif kind == "clone":
+                driver = net.driver()
+                if driver is not None and not driver.cell.is_port \
+                        and len(net.sinks()) >= 2:
+                    clone = ops.clone_cell(nl, driver.cell,
+                                           net.sinks()[:1])
+                    clones.append((clone, driver.cell))
+            elif kind == "unclone" and clones:
+                clone, original = clones.pop()
+                if nl.has_cell(clone.name) and nl.has_cell(original.name):
+                    ops.unclone_cell(nl, clone, original)
+            elif kind == "swap":
+                cells = [c for c in nl.logic_cells()
+                         if c.gate_type.swap_groups()]
+                if cells:
+                    cell = cells[a % len(cells)]
+                    pins = list(cell.gate_type.swap_groups().values())[0]
+                    ops.swap_pins(nl, cell, pins[0].name, pins[1].name)
+            elif kind == "decompose":
+                cells = [c for c in nl.logic_cells()
+                         if ops.can_decompose(c)]
+                if cells:
+                    ops.decompose_cell(nl, library, cells[a % len(cells)])
+            elif kind == "remove":
+                cells = [c for c in nl.logic_cells()
+                         if not c.is_sequential]
+                if cells:
+                    victim = cells[a % len(cells)]
+                    # never leave a driven net with two drivers later
+                    nl.remove_cell(victim)
+            nl.check_consistency()
+        nl.check_consistency()
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_buffer_roundtrip_preserves_connectivity(self, library, a):
+        nl = random_logic("p", library, 30, seed=9)
+        nets = [n for n in nl.nets()
+                if n.driver() is not None and len(n.sinks()) >= 2]
+        net = nets[a % len(nets)]
+        snapshot = {p.full_name for p in net.sinks()}
+        buf = ops.insert_buffer(nl, library, net, net.sinks()[:2],
+                                position=Point(0, 0))
+        ops.remove_buffer(nl, buf)
+        assert {p.full_name for p in net.sinks()} == snapshot
+        nl.check_consistency()
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_clone_roundtrip(self, library, a):
+        nl = random_logic("p", library, 30, seed=9)
+        nets = [n for n in nl.nets()
+                if n.driver() is not None and len(n.sinks()) >= 2
+                and not n.driver().cell.is_port]
+        if not nets:
+            pytest.skip("no clonable nets")
+        net = nets[a % len(nets)]
+        driver = net.driver().cell
+        sinks_before = {p.full_name for p in net.sinks()}
+        cells_before = nl.num_cells
+        clone = ops.clone_cell(nl, driver, net.sinks()[:1])
+        ops.unclone_cell(nl, clone, driver)
+        assert {p.full_name for p in net.sinks()} == sinks_before
+        assert nl.num_cells == cells_before
+        nl.check_consistency()

@@ -1,0 +1,112 @@
+import io
+
+import pytest
+
+from repro.geometry import Point
+from repro.netlist import Netlist
+from repro.netlist.verilog import (
+    read_placement,
+    read_verilog,
+    write_placement,
+    write_verilog,
+)
+from repro.workloads import random_logic
+
+
+def roundtrip(netlist, library):
+    buf = io.StringIO()
+    write_verilog(netlist, buf)
+    buf.seek(0)
+    return read_verilog(buf, library, name=netlist.name)
+
+
+class TestVerilogRoundtrip:
+    def test_structure_preserved(self, library):
+        nl = random_logic("rt", library, 80, n_inputs=6, n_outputs=6,
+                          seed=3)
+        back = roundtrip(nl, library)
+        back.check_consistency()
+        assert back.num_cells == nl.num_cells
+        assert back.num_nets == nl.num_nets
+        for cell in nl.logic_cells():
+            twin = back.cell(cell.name)
+            assert twin.size.name == cell.size.name
+            for pin in cell.pins():
+                net = pin.net.name if pin.net else None
+                twin_net = twin.pin(pin.name).net
+                assert (twin_net.name if twin_net else None) == net
+
+    def test_ports_preserved(self, library):
+        nl = random_logic("rt", library, 40, seed=5)
+        back = roundtrip(nl, library)
+        assert {p.name for p in back.ports()} == \
+            {p.name for p in nl.ports()}
+        # port connectivity came back through the assigns
+        for port in nl.ports():
+            orig = port.pins()[0].net
+            twin = back.cell(port.name).pins()[0].net
+            assert (twin.name if twin else None) == \
+                (orig.name if orig else None)
+
+    def test_timing_identical_after_roundtrip(self, library):
+        from repro.workloads import make_design
+        nl = random_logic("rt", library, 60, seed=7)
+        back = roundtrip(nl, library)
+        d1 = make_design(nl, library, cycle_time=500.0)
+        d2 = make_design(back, library, cycle_time=500.0)
+        # unplaced + gain mode: pure netlist timing must agree
+        assert d1.worst_slack() == pytest.approx(d2.worst_slack())
+
+    def test_escaped_names(self, library):
+        nl = Netlist("weird")
+        c = nl.add_cell("u/with/slashes", library.smallest("INV"))
+        n = nl.add_net("net.with.dots")
+        nl.connect(c.pin("Z"), n)
+        back = roundtrip(nl, library)
+        assert back.has_cell("u/with/slashes")
+        assert back.has_net("net.with.dots")
+
+    def test_unknown_cell_rejected(self, library):
+        src = io.StringIO(
+            "module m (a);\n  input a;\n  wire n1;\n"
+            "  BOGUS_X1 u1 (.A(n1));\nendmodule\n")
+        with pytest.raises(ValueError):
+            read_verilog(src, library)
+
+
+class TestPlacementFile:
+    def test_roundtrip(self, library):
+        nl = random_logic("pl", library, 30, seed=2)
+        for i, cell in enumerate(nl.cells()):
+            nl.move_cell(cell, Point(float(i), float(i * 2)))
+        buf = io.StringIO()
+        write_placement(nl, buf)
+        # strip placement, re-apply
+        positions = {c.name: c.position for c in nl.cells()}
+        for cell in nl.cells():
+            nl.move_cell(cell, None)
+        buf.seek(0)
+        placed = read_placement(nl, buf)
+        assert placed == len(positions)
+        for cell in nl.cells():
+            assert cell.position == positions[cell.name]
+
+    def test_fixed_flag(self, library):
+        nl = Netlist()
+        c = nl.add_cell("u1", library.smallest("INV"),
+                        position=Point(1, 2))
+        buf = io.StringIO("u1 5 6 FIXED\n")
+        read_placement(nl, buf)
+        assert c.position == Point(5, 6)
+        assert c.fixed
+
+    def test_unknown_cells_skipped(self, library):
+        nl = Netlist()
+        nl.add_cell("u1", library.smallest("INV"))
+        buf = io.StringIO("ghost 1 2 PLACED\nu1 3 4 PLACED\n")
+        assert read_placement(nl, buf) == 1
+
+    def test_malformed_line(self, library):
+        nl = Netlist()
+        with pytest.raises(ValueError):
+            read_placement(nl, io.StringIO("only two\n"))

@@ -1,0 +1,168 @@
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition import (
+    Hypergraph,
+    cut_size,
+    fm_bipartition,
+    multilevel_bipartition,
+)
+
+
+def two_clusters(k=8, bridge=1):
+    """Two k-cliques joined by `bridge` nets: obvious min cut."""
+    nets = []
+    for base in (0, k):
+        for i in range(k):
+            for j in range(i + 1, k):
+                nets.append([base + i, base + j])
+    for b in range(bridge):
+        nets.append([b, k + b])
+    return Hypergraph([1.0] * (2 * k), nets)
+
+
+class TestHypergraph:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Hypergraph([1.0], [[0, 1]])
+        with pytest.raises(ValueError):
+            Hypergraph([1.0, 1.0], [[0, 1]], net_weights=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            Hypergraph([1.0], [], fixed={0: 2})
+
+    def test_incidence(self):
+        hg = Hypergraph([1, 1, 1], [[0, 1], [1, 2], [0, 1, 2]])
+        inc = hg.vertex_nets()
+        assert inc[1] == [0, 1, 2]
+        assert inc[0] == [0, 2]
+
+    def test_free_and_movable(self):
+        hg = Hypergraph([2.0, 3.0, 5.0], [], fixed={2: 1})
+        assert hg.free_vertices() == [0, 1]
+        assert hg.movable_weight() == 5.0
+        assert hg.total_weight == 10.0
+
+
+class TestCutSize:
+    def test_uncut(self):
+        hg = Hypergraph([1, 1, 1, 1], [[0, 1], [2, 3]])
+        assert cut_size(hg, [0, 0, 1, 1]) == 0.0
+
+    def test_weighted_cut(self):
+        hg = Hypergraph([1, 1], [[0, 1]], net_weights=[3.5])
+        assert cut_size(hg, [0, 1]) == 3.5
+
+    def test_hyperedge_counted_once(self):
+        hg = Hypergraph([1, 1, 1], [[0, 1, 2]])
+        assert cut_size(hg, [0, 0, 1]) == 1.0
+        assert cut_size(hg, [0, 1, 1]) == 1.0
+
+
+class TestFMBipartition:
+    def test_finds_obvious_min_cut(self):
+        hg = two_clusters(k=8, bridge=1)
+        res = fm_bipartition(hg, seed=3)
+        assert res.cut == pytest.approx(1.0)
+        # each cluster ends up whole on one side
+        assert len({res.sides[i] for i in range(8)}) == 1
+        assert len({res.sides[i] for i in range(8, 16)}) == 1
+
+    def test_balance_respected(self):
+        hg = two_clusters(k=10)
+        res = fm_bipartition(hg, tolerance=0.1, seed=1)
+        w0 = sum(hg.vertex_weights[v]
+                 for v in range(hg.num_vertices) if res.sides[v] == 0)
+        assert 0.4 * hg.total_weight <= w0 <= 0.6 * hg.total_weight
+
+    def test_fixed_vertices_never_move(self):
+        hg = Hypergraph([1.0] * 6, [[0, 1], [2, 3], [4, 5]],
+                        fixed={0: 1, 5: 0})
+        res = fm_bipartition(hg, seed=0, tolerance=0.5)
+        assert res.sides[0] == 1
+        assert res.sides[5] == 0
+
+    def test_fixed_terminals_pull_neighbors(self):
+        # star around a fixed terminal: neighbors should join its side
+        hg = Hypergraph([1.0] * 9,
+                        [[0, i] for i in range(1, 5)]
+                        + [[8, i] for i in range(5, 8)],
+                        fixed={0: 0, 8: 1})
+        res = fm_bipartition(hg, seed=2, tolerance=0.3)
+        assert all(res.sides[i] == 0 for i in range(1, 5))
+        assert all(res.sides[i] == 1 for i in range(5, 8))
+
+    def test_target_fraction(self):
+        hg = Hypergraph([1.0] * 10, [])
+        res = fm_bipartition(hg, target_fraction=0.3, tolerance=0.05,
+                             seed=0)
+        w0 = sum(1 for s in res.sides if s == 0)
+        assert w0 == 3
+
+    def test_initial_sides_respected_shape(self):
+        hg = two_clusters()
+        init = [0] * 8 + [1] * 8
+        res = fm_bipartition(hg, initial_sides=init, seed=0)
+        assert res.cut == pytest.approx(1.0)
+
+    def test_initial_sides_length_checked(self):
+        hg = two_clusters()
+        with pytest.raises(ValueError):
+            fm_bipartition(hg, initial_sides=[0, 1])
+
+    def test_empty_graph(self):
+        res = fm_bipartition(Hypergraph([], []))
+        assert res.sides == []
+        assert res.cut == 0.0
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_cut_reported_matches_sides(self, seed):
+        rng = random.Random(seed)
+        n = 20
+        nets = [[rng.randrange(n) for _ in range(rng.randint(2, 4))]
+                for _ in range(30)]
+        nets = [list(set(net)) for net in nets]
+        nets = [net for net in nets if len(net) >= 2]
+        hg = Hypergraph([1.0 + rng.random() for _ in range(n)], nets)
+        res = fm_bipartition(hg, seed=seed)
+        assert res.cut == pytest.approx(cut_size(hg, res.sides))
+
+    def test_lookahead_can_be_disabled(self):
+        hg = two_clusters()
+        res = fm_bipartition(hg, seed=0, lookahead=False)
+        assert res.cut == pytest.approx(1.0)
+
+    def test_net_weights_steer_cut(self):
+        # chain a-b-c; cutting the heavy net should be avoided
+        hg = Hypergraph([1.0, 1.0, 1.0, 1.0],
+                        [[0, 1], [1, 2], [2, 3]],
+                        net_weights=[1.0, 10.0, 1.0])
+        res = fm_bipartition(hg, seed=0, tolerance=0.3)
+        assert res.sides[1] == res.sides[2]
+
+
+class TestMultilevel:
+    def test_matches_flat_on_small(self):
+        hg = two_clusters(k=8)
+        res = multilevel_bipartition(hg, seed=0)
+        assert res.cut == pytest.approx(1.0)
+
+    def test_large_two_cluster(self):
+        hg = two_clusters(k=40, bridge=2)
+        res = multilevel_bipartition(hg, seed=1)
+        assert res.cut == pytest.approx(2.0)
+
+    def test_balance_on_large(self):
+        hg = two_clusters(k=40)
+        res = multilevel_bipartition(hg, tolerance=0.1, seed=0)
+        w0 = sum(1 for s in res.sides if s == 0)
+        assert 30 <= w0 <= 50
+
+    def test_fixed_respected_through_levels(self):
+        hg = two_clusters(k=30)
+        hg.fixed[0] = 1
+        res = multilevel_bipartition(hg, seed=0)
+        assert res.sides[0] == 1

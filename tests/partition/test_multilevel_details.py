@@ -1,0 +1,58 @@
+import pytest
+
+from repro.partition import Hypergraph, cut_size, multilevel_bipartition
+from repro.partition.multilevel import _coarsen, _heavy_edge_matching
+import random
+
+
+class TestCoarsening:
+    def test_weights_conserved(self):
+        hg = Hypergraph([1.0, 2.0, 3.0, 4.0],
+                        [[0, 1], [1, 2], [2, 3], [0, 3]])
+        coarse, cmap = _coarsen(hg, random.Random(0))
+        assert sum(coarse.vertex_weights) == pytest.approx(10.0)
+        assert len(cmap) == 4
+        assert all(0 <= c < coarse.num_vertices for c in cmap)
+
+    def test_parallel_nets_merge_weights(self):
+        # two vertices connected by two parallel nets: after they merge,
+        # no net survives; before, identical coarse nets combine weight
+        hg = Hypergraph([1.0, 1.0, 1.0],
+                        [[0, 1], [0, 1], [1, 2]],
+                        net_weights=[2.0, 3.0, 1.0])
+        coarse, cmap = _coarsen(hg, random.Random(1))
+        # every surviving coarse net's weight is a sum of fine weights
+        assert sum(coarse.net_weights) <= 6.0
+        for w in coarse.net_weights:
+            assert w in (1.0, 2.0, 3.0, 5.0, 6.0)
+
+    def test_fixed_vertices_never_merge(self):
+        hg = Hypergraph([1.0] * 4, [[0, 1], [2, 3]],
+                        fixed={0: 0, 1: 1})
+        coarse, cmap = _coarsen(hg, random.Random(2))
+        assert cmap[0] != cmap[1]
+        assert coarse.fixed[cmap[0]] == 0
+        assert coarse.fixed[cmap[1]] == 1
+
+    def test_matching_is_a_matching(self):
+        rng = random.Random(3)
+        nets = [[i, (i + 1) % 30] for i in range(30)]
+        hg = Hypergraph([1.0] * 30, nets)
+        match = _heavy_edge_matching(hg, rng)
+        for v, partner in enumerate(match):
+            assert match[partner] == v  # symmetric pairing
+
+
+class TestMultilevelQuality:
+    def test_never_worse_than_random_by_much(self):
+        rng = random.Random(5)
+        n = 120
+        nets = []
+        for _ in range(220):
+            base = rng.randrange(n - 4)
+            nets.append([base, base + rng.randint(1, 4)])
+        hg = Hypergraph([1.0] * n, nets)
+        res = multilevel_bipartition(hg, seed=5)
+        # a random balanced split cuts ~half the nets in expectation
+        assert res.cut < 0.4 * len(nets)
+        assert res.cut == pytest.approx(cut_size(hg, res.sides))

@@ -1,0 +1,26 @@
+import pytest
+
+from repro.workloads import (
+    ProcessorParams,
+    make_design,
+    processor_partition,
+    random_logic,
+)
+
+
+@pytest.fixture
+def small_design(library):
+    """A ~950-cell processor partition on a blockaged die."""
+    params = ProcessorParams(n_stages=3, regs_per_stage=15,
+                             gates_per_stage=250, seed=2)
+    netlist = processor_partition(params, library)
+    return make_design(netlist, library, cycle_time=300.0,
+                       with_blockage=True)
+
+
+@pytest.fixture
+def tiny_design(library):
+    """A ~120-cell combinational design (fast tests)."""
+    netlist = random_logic("tiny", library, 100, n_inputs=8,
+                           n_outputs=8, seed=7)
+    return make_design(netlist, library, cycle_time=200.0)

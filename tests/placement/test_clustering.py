@@ -1,0 +1,73 @@
+import pytest
+
+from repro.placement import Partitioner
+from repro.placement.clustering import cluster_cells
+from repro.netlist import Netlist
+
+
+class TestClusterCells:
+    def test_partition_property(self, small_design):
+        cells = small_design.netlist.movable_cells()
+        clusters = cluster_cells(cells, max_cluster_cells=4)
+        flat = [c for g in clusters for c in g]
+        assert sorted(c.name for c in flat) == \
+            sorted(c.name for c in cells)
+        assert all(1 <= len(g) <= 4 for g in clusters)
+
+    def test_connected_cells_cluster_together(self, library):
+        """A tight 3-cell chain plus isolated cells: the chain groups."""
+        nl = Netlist()
+        chain = []
+        prev = None
+        for i in range(3):
+            c = nl.add_cell("ch%d" % i, library.smallest("INV"))
+            if prev is not None:
+                net = nl.add_net("cn%d" % i)
+                nl.connect(prev.pin("Z"), net)
+                nl.connect(c.pin("A"), net)
+            chain.append(c)
+            prev = c
+        loners = [nl.add_cell("lone%d" % i, library.smallest("INV"))
+                  for i in range(3)]
+        clusters = cluster_cells(chain + loners, max_cluster_cells=4)
+        by_cell = {}
+        for gi, g in enumerate(clusters):
+            for c in g:
+                by_cell[c.name] = gi
+        assert by_cell["ch0"] == by_cell["ch1"] == by_cell["ch2"]
+        for lone in loners:
+            assert [by_cell[lone.name]] and \
+                len(clusters[by_cell[lone.name]]) == 1
+
+    def test_area_cap(self, small_design):
+        cells = small_design.netlist.movable_cells()
+        biggest = max(c.area for c in cells)
+        clusters = cluster_cells(cells, max_cluster_cells=8,
+                                 max_cluster_area=biggest * 1.5)
+        for g in clusters:
+            if len(g) > 1:
+                assert sum(c.area for c in g) <= biggest * 1.5 + 1e-9
+
+
+class TestClusteredPartitioner:
+    def test_cluster_mode_places_everything(self, small_design):
+        part = Partitioner(small_design, seed=1, cluster_first_cuts=3)
+        part.run_to(100)
+        part.regions.check(small_design.netlist)
+        small_design.check()
+
+    def test_quality_comparable(self, small_design, library):
+        from repro.workloads import (ProcessorParams, make_design,
+                                     processor_partition)
+        part = Partitioner(small_design, seed=1, cluster_first_cuts=3)
+        part.run_to(100)
+        wl_clustered = small_design.total_wirelength()
+
+        params = ProcessorParams(n_stages=3, regs_per_stage=15,
+                                 gates_per_stage=250, seed=2)
+        nl2 = processor_partition(params, library)
+        d2 = make_design(nl2, library, cycle_time=300.0,
+                         with_blockage=True)
+        part2 = Partitioner(d2, seed=1)
+        part2.run_to(100)
+        assert wl_clustered <= d2.total_wirelength() * 1.3

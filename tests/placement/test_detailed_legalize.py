@@ -1,0 +1,181 @@
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.placement import (
+    DetailedPlaceOpt,
+    Partitioner,
+    QuadraticPlacer,
+    legalize_rows,
+)
+from repro.placement.legalize import check_legal
+
+
+class TestDetailedPlaceOpt:
+    def test_improves_or_keeps_wirelength(self, small_design):
+        part = Partitioner(small_design, seed=1)
+        part.run_to(100)
+        before = small_design.total_wirelength()
+        opt = DetailedPlaceOpt(small_design, seed=3)
+        accepted = opt.run()
+        after = small_design.total_wirelength()
+        assert after <= before + 1e-6
+        assert accepted >= 0
+
+    def test_untangles_obvious_swap(self, library):
+        """Two crossed cells between their ports must be swapped."""
+        from repro.netlist import Netlist
+        from repro.workloads import make_design
+        nl = Netlist()
+        pa = nl.add_input_port("pa")
+        pb = nl.add_input_port("pb")
+        qa = nl.add_output_port("qa")
+        qb = nl.add_output_port("qb")
+        a = nl.add_cell("a", library.smallest("INV"))
+        b = nl.add_cell("b", library.smallest("INV"))
+        for (src, cell, dst, tag) in ((pa, a, qa, "a"), (pb, b, qb, "b")):
+            n1 = nl.add_net("ni_" + tag)
+            n2 = nl.add_net("no_" + tag)
+            nl.connect(src.pin("Z"), n1)
+            nl.connect(cell.pin("A"), n1)
+            nl.connect(cell.pin("Z"), n2)
+            nl.connect(dst.pin("A"), n2)
+        d = make_design(nl, library, cycle_time=100.0)
+        # ports: pa near (0, y1), pb near (0, y2) etc. Cross the cells.
+        nl.move_cell(pa, Point(0, 10))
+        nl.move_cell(qa, Point(d.die.xhi, 10))
+        nl.move_cell(pb, Point(0, 40))
+        nl.move_cell(qb, Point(d.die.xhi, 40))
+        nl.move_cell(a, Point(20, 40))   # a belongs at y=10
+        nl.move_cell(b, Point(20, 10))   # b belongs at y=40
+        before = d.total_wirelength()
+        opt = DetailedPlaceOpt(d, window_cells=2, seed=0)
+        accepted = opt.run()
+        assert accepted >= 1
+        assert d.total_wirelength() < before
+        assert a.position == Point(20, 10)
+        assert b.position == Point(20, 40)
+
+    def test_timing_weight_mode_runs(self, tiny_design):
+        part = Partitioner(tiny_design, seed=0)
+        part.run_to(100)
+        opt = DetailedPlaceOpt(tiny_design, timing_weight=1.0, seed=0)
+        opt.run()
+        tiny_design.check()
+
+
+class TestLegalize:
+    def test_legal_after_partition(self, small_design):
+        part = Partitioner(small_design, seed=1)
+        part.run_to(100)
+        result = legalize_rows(small_design)
+        assert result.failed == 0
+        assert check_legal(small_design) == []
+
+    def test_displacement_is_bounded(self, small_design):
+        part = Partitioner(small_design, seed=1)
+        part.run_to(100)
+        result = legalize_rows(small_design)
+        bin_side = small_design.die.width / small_design.grid.nx
+        assert result.mean_displacement < 6 * bin_side
+
+    def test_rows_aligned(self, small_design):
+        from repro.library.types import ROW_HEIGHT
+        part = Partitioner(small_design, seed=1)
+        part.run_to(100)
+        legalize_rows(small_design)
+        for c in small_design.netlist.movable_cells():
+            y = c.require_position().y
+            assert (y - small_design.die.ylo) % ROW_HEIGHT == pytest.approx(0.0)
+
+    def test_avoids_blockage(self, small_design):
+        part = Partitioner(small_design, seed=1)
+        part.run_to(100)
+        legalize_rows(small_design)
+        blk = small_design.blockages[0].rect
+        for c in small_design.netlist.movable_cells():
+            if c.area == 0:
+                continue
+            overlap = c.outline().intersection(blk)
+            assert overlap is None or overlap.area == pytest.approx(0.0)
+
+    def test_idempotent_when_legal(self, small_design):
+        part = Partitioner(small_design, seed=1)
+        part.run_to(100)
+        legalize_rows(small_design)
+        second = legalize_rows(small_design)
+        assert second.failed == 0
+        assert check_legal(small_design) == []
+
+
+class TestQuadraticPlacer:
+    def test_places_everything_inside_die(self, small_design):
+        QuadraticPlacer(small_design, seed=0).run()
+        for c in small_design.netlist.movable_cells():
+            assert small_design.die.contains(c.require_position())
+
+    def test_beats_center_clump(self, small_design):
+        small_design.spread_all_to_center()
+        # center clump wirelength counts port spokes only
+        QuadraticPlacer(small_design, seed=0).run()
+        after = small_design.total_wirelength()
+        # sanity: finite and the cells are spread (not one point)
+        positions = {c.require_position()
+                     for c in small_design.netlist.movable_cells()}
+        assert len(positions) > 10
+        assert after > 0
+
+    def test_connected_cells_near_each_other(self, library):
+        """A cell wired between two fixed ports lands between them."""
+        from repro.netlist import Netlist
+        from repro.workloads import make_design
+        nl = Netlist()
+        pa = nl.add_input_port("pa")
+        qa = nl.add_output_port("qa")
+        mid = nl.add_cell("mid", library.smallest("INV"))
+        n1, n2 = nl.add_net("n1"), nl.add_net("n2")
+        nl.connect(pa.pin("Z"), n1)
+        nl.connect(mid.pin("A"), n1)
+        nl.connect(mid.pin("Z"), n2)
+        nl.connect(qa.pin("A"), n2)
+        d = make_design(nl, library, cycle_time=100.0)
+        nl.move_cell(pa, Point(0, 0))
+        nl.move_cell(qa, Point(d.die.xhi, d.die.yhi))
+        QuadraticPlacer(d, min_region_cells=1, seed=0).run()
+        pos = mid.require_position()
+        assert 0 < pos.x < d.die.xhi
+        assert 0 < pos.y < d.die.yhi
+
+
+class TestIncrementalLegalize:
+    def test_respects_existing_cells(self, small_design, library):
+        from repro.geometry import Point
+        part = Partitioner(small_design, seed=1)
+        part.run_to(100)
+        legalize_rows(small_design)
+        assert check_legal(small_design) == []
+        # drop two new cells onto occupied spots
+        anchor = next(c for c in small_design.netlist.movable_cells()
+                      if c.placed)
+        new = []
+        for i in range(2):
+            c = small_design.netlist.add_cell(
+                "late%d" % i, library.size("INV", 4.0),
+                position=anchor.position)
+            new.append(c)
+        result = legalize_rows(small_design, cells=new,
+                               respect_existing=True)
+        assert result.failed == 0
+        assert check_legal(small_design) == []
+
+    def test_existing_cells_unmoved(self, small_design, library):
+        part = Partitioner(small_design, seed=1)
+        part.run_to(100)
+        legalize_rows(small_design)
+        before = {c.name: c.position
+                  for c in small_design.netlist.movable_cells()}
+        c = small_design.netlist.add_cell(
+            "late", library.smallest("NAND2"),
+            position=small_design.die.center)
+        legalize_rows(small_design, cells=[c], respect_existing=True)
+        for name, pos in before.items():
+            assert small_design.netlist.cell(name).position == pos

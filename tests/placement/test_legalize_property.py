@@ -1,0 +1,62 @@
+"""Property tests: the legalizer's contract under random placements."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.design import Design
+from repro.geometry import Point, Rect
+from repro.netlist import Netlist
+from repro.placement import legalize_rows
+from repro.placement.legalize import check_legal
+from repro.timing import TimingConstraints
+
+
+def build_design(library, positions, sizes):
+    nl = Netlist()
+    for i, (pos, x) in enumerate(zip(positions, sizes)):
+        nl.add_cell("c%d" % i, library.size("INV", x),
+                    position=Point(float(pos[0]), float(pos[1])))
+    return Design(nl, library, Rect(0, 0, 160, 160),
+                  TimingConstraints(cycle_time=100.0))
+
+
+coords = st.tuples(st.integers(0, 160), st.integers(0, 160))
+inv_sizes = st.sampled_from([1.0, 2.0, 4.0, 8.0])
+
+
+class TestLegalizeProperties:
+    @given(st.lists(coords, min_size=1, max_size=40),
+           st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_always_legal_and_on_die(self, library, positions, data):
+        sizes = [data.draw(inv_sizes) for _ in positions]
+        design = build_design(library, positions, sizes)
+        result = legalize_rows(design)
+        assert result.failed == 0  # plenty of space on this die
+        assert check_legal(design) == []
+        for cell in design.netlist.movable_cells():
+            assert design.die.contains_rect(cell.outline())
+
+    @given(st.lists(coords, min_size=2, max_size=25))
+    @settings(max_examples=15, deadline=None)
+    def test_idempotent(self, library, positions):
+        design = build_design(library, positions,
+                              [1.0] * len(positions))
+        legalize_rows(design)
+        first = {c.name: c.position
+                 for c in design.netlist.movable_cells()}
+        second = legalize_rows(design)
+        assert second.failed == 0
+        assert second.total_displacement == pytest.approx(0.0)
+        for c in design.netlist.movable_cells():
+            assert c.position == first[c.name]
+
+    @given(st.lists(coords, min_size=1, max_size=25))
+    @settings(max_examples=15, deadline=None)
+    def test_grid_bookkeeping_survives(self, library, positions):
+        design = build_design(library, positions,
+                              [2.0] * len(positions))
+        legalize_rows(design)
+        design.grid.check_occupancy()
+        design.netlist.check_consistency()

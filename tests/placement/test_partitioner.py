@@ -1,0 +1,172 @@
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.placement import Partitioner, Reflow
+from repro.placement.regions import RegionGrid
+
+
+class TestRegionGrid:
+    def test_seed_and_split(self, tiny_design):
+        rg = RegionGrid(tiny_design.die)
+        rg.seed(tiny_design.netlist)
+        assert len(rg.regions()) == 1
+        root = rg.region(0, 0)
+        assert len(root.cells) == len(tiny_design.netlist.movable_cells())
+        rg.split("x")
+        assert rg.nx == 2 and rg.ny == 1
+        rg.check(tiny_design.netlist)
+
+    def test_assign_moves_cell(self, tiny_design):
+        rg = RegionGrid(tiny_design.die)
+        rg.seed(tiny_design.netlist)
+        rg.split("x")
+        cell = tiny_design.netlist.movable_cells()[0]
+        right = rg.region(1, 0)
+        rg.assign(tiny_design.netlist, cell, right)
+        assert rg.region_of(cell) is right
+        assert cell.position == right.center
+        rg.check(tiny_design.netlist)
+
+    def test_split_axis_validation(self, tiny_design):
+        rg = RegionGrid(tiny_design.die)
+        with pytest.raises(ValueError):
+            rg.split("z")
+
+    def test_seed_requires_unsplit(self, tiny_design):
+        rg = RegionGrid(tiny_design.die)
+        rg.split("x")
+        with pytest.raises(ValueError):
+            rg.seed(tiny_design.netlist)
+
+
+class TestPartitioner:
+    def test_status_progression(self, tiny_design):
+        part = Partitioner(tiny_design, seed=0)
+        assert part.status == 0
+        part.cut()
+        assert 0 < part.status <= 100
+        final = part.run_to(100)
+        assert final == 100
+        assert part.done
+
+    def test_run_to_intermediate(self, tiny_design):
+        part = Partitioner(tiny_design, seed=0)
+        status = part.run_to(50)
+        assert status >= 50
+        assert not part.done or part.total_cuts <= 2
+
+    def test_wirelength_improves_hugely(self, small_design):
+        part = Partitioner(small_design, seed=1)
+        before = small_design.total_wirelength()
+        part.run_to(100)
+        after = small_design.total_wirelength()
+        assert after < before * 0.6
+
+    def test_grid_follows_regions(self, tiny_design):
+        part = Partitioner(tiny_design, seed=0)
+        part.run_to(100)
+        assert tiny_design.grid.nx == part.regions.nx
+        assert tiny_design.grid.ny == part.regions.ny
+        assert tiny_design.status == 100
+
+    def test_every_cell_in_some_region(self, small_design):
+        part = Partitioner(small_design, seed=1)
+        part.run_to(100)
+        part.regions.check(small_design.netlist)
+        small_design.check()
+
+    def test_cells_inside_die(self, small_design):
+        part = Partitioner(small_design, seed=1)
+        part.run_to(60)
+        for c in small_design.netlist.movable_cells():
+            assert small_design.die.contains(c.require_position())
+
+    def test_blockage_region_underused(self, small_design):
+        """The blockaged corner must not receive its area share."""
+        part = Partitioner(small_design, seed=1)
+        part.run_to(100)
+        blk = small_design.blockages[0].rect
+        area_in_blk = sum(
+            c.area for c in small_design.netlist.movable_cells()
+            if blk.contains(c.require_position()))
+        cap_in_blk = small_design.effective_capacity(blk)
+        total = small_design.total_cell_area()
+        # blockage rect is 1/16 of die but has ~0 capacity
+        assert area_in_blk <= max(0.12 * total, cap_in_blk * 2 + 1000)
+
+    def test_balance_roughly_even(self, small_design):
+        part = Partitioner(small_design, seed=1, tolerance=0.1)
+        part.cut()
+        halves = [0.0, 0.0]
+        mid = small_design.die.center.x
+        for c in small_design.netlist.movable_cells():
+            halves[0 if c.require_position().x < mid else 1] += c.area
+        ratio = halves[0] / sum(halves)
+        assert 0.3 <= ratio <= 0.7
+
+    def test_adopts_new_cells(self, tiny_design, library):
+        part = Partitioner(tiny_design, seed=0)
+        part.run_to(50)
+        c = tiny_design.netlist.add_cell(
+            "late", library.smallest("INV"),
+            position=Point(1.0, 1.0))
+        part.sync()
+        assert part.regions.region_of(c) is not None
+        assert c.position == Point(1.0, 1.0)  # kept its exact spot
+        part.cut()
+        part.regions.check(tiny_design.netlist)
+
+    def test_drops_removed_cells(self, tiny_design):
+        part = Partitioner(tiny_design, seed=0)
+        part.run_to(50)
+        victim = tiny_design.netlist.movable_cells()[0]
+        tiny_design.netlist.remove_cell(victim)
+        part.cut()
+        part.regions.check(tiny_design.netlist)
+
+
+class TestReflow:
+    def test_reflow_does_not_hurt_wirelength(self, small_design):
+        part = Partitioner(small_design, seed=1)
+        part.run_to(100)
+        before = small_design.total_wirelength()
+        moved = Reflow(part).run()
+        after = small_design.total_wirelength()
+        assert after <= before * 1.02
+        assert moved >= 0
+
+    def test_reflow_converges(self, small_design):
+        part = Partitioner(small_design, seed=1)
+        part.run_to(100)
+        reflow = Reflow(part)
+        first = reflow.run()
+        for _ in range(4):
+            last = reflow.run()
+        assert last <= max(first, 5)
+
+    def test_interleaved_beats_partition_only(self, small_design, library):
+        from repro.workloads import (ProcessorParams, make_design,
+                                     processor_partition)
+        part = Partitioner(small_design, seed=1)
+        part.run_to(100)
+        Reflow(part).run()
+        wl_plain = small_design.total_wirelength()
+
+        params = ProcessorParams(n_stages=3, regs_per_stage=15,
+                                 gates_per_stage=250, seed=2)
+        nl2 = processor_partition(params, library)
+        d2 = make_design(nl2, library, cycle_time=300.0,
+                         with_blockage=True)
+        part2 = Partitioner(d2, seed=1)
+        reflow2 = Reflow(part2)
+        while not part2.done:
+            part2.cut()
+            reflow2.run()
+        assert d2.total_wirelength() <= wl_plain * 1.05
+
+    def test_regions_consistent_after_reflow(self, small_design):
+        part = Partitioner(small_design, seed=1)
+        part.run_to(100)
+        Reflow(part).run()
+        part.regions.check(small_design.netlist)
+        small_design.check()

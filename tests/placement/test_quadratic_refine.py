@@ -1,0 +1,43 @@
+import pytest
+
+from repro.geometry import Point
+from repro.placement import Partitioner, QuadraticRefine
+from repro.placement.quadratic_refine import QuadraticRefine as QR
+
+
+class TestQuadraticRefine:
+    def test_never_lengthens_wirelength(self, small_design):
+        part = Partitioner(small_design, seed=1, total_cuts=6)
+        part.run_to(100)  # coarse stop: several cells per bin
+        before = small_design.total_wirelength()
+        accepted = QuadraticRefine().run(small_design)
+        after = small_design.total_wirelength()
+        assert after <= before + 1e-6
+        assert accepted >= 0
+
+    def test_cells_stay_in_their_bins(self, small_design):
+        part = Partitioner(small_design, seed=1, total_cuts=6)
+        part.run_to(100)
+        owner_before = {c.name: small_design.grid.bin_of(c)
+                        for c in small_design.netlist.movable_cells()}
+        QuadraticRefine().run(small_design)
+        for c in small_design.netlist.movable_cells():
+            assert small_design.grid.bin_of(c) is owner_before[c.name]
+        small_design.check()
+
+    def test_spreads_colocated_cells(self, small_design):
+        part = Partitioner(small_design, seed=1, total_cuts=6)
+        part.run_to(100)
+        accepted = QuadraticRefine().run(small_design)
+        if accepted:
+            positions = {c.position
+                         for c in small_design.netlist.movable_cells()}
+            # refined bins no longer have everything on one point
+            assert len(positions) > small_design.grid.nx * \
+                small_design.grid.ny * 0.5
+
+    def test_group_size_bounds(self, small_design):
+        part = Partitioner(small_design, seed=1, total_cuts=6)
+        part.run_to(100)
+        # impossible window -> nothing refined
+        assert QuadraticRefine(min_cells=1000).run(small_design) == 0

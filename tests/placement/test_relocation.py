@@ -1,0 +1,74 @@
+import pytest
+
+from repro.geometry import Point
+from repro.placement import CircuitRelocation, Partitioner
+
+
+class TestCircuitRelocation:
+    def _overfill_a_bin(self, design):
+        """Cram many cells into one corner bin; return it."""
+        part = Partitioner(design, seed=1)
+        part.run_to(100)
+        grid = design.grid
+        target = grid.bin(0, 0)
+        movers = [c for c in design.netlist.movable_cells()][:40]
+        for c in movers:
+            design.netlist.move_cell(c, target.center)
+        return target
+
+    def test_makes_space(self, small_design):
+        target = self._overfill_a_bin(small_design)
+        assert target.free_area < 0  # overfilled
+        reloc = CircuitRelocation(small_design)
+        need = target.rect.area * 0.3
+        ok = reloc.make_space(target, need)
+        assert ok
+        assert target.free_area >= need - 1e-6
+        small_design.check()
+
+    def test_noop_when_space_exists(self, small_design):
+        part = Partitioner(small_design, seed=1)
+        part.run_to(100)
+        grid = small_design.grid
+        empty = min(grid.bins(), key=lambda b: b.area_used)
+        positions = {c.name: c.position
+                     for c in small_design.netlist.movable_cells()}
+        ok = CircuitRelocation(small_design).make_space(empty, 1.0)
+        assert ok
+        # nothing moved
+        for c in small_design.netlist.movable_cells():
+            assert c.position == positions[c.name]
+
+    def test_protected_cells_stay(self, small_design):
+        target = self._overfill_a_bin(small_design)
+        protect = {c.name for c in list(target.cells)[:5] if c.is_movable}
+        before = {name: small_design.netlist.cell(name).position
+                  for name in protect}
+        CircuitRelocation(small_design).make_space(
+            target, target.rect.area * 0.2, protect=protect)
+        for name in protect:
+            assert small_design.netlist.cell(name).position == before[name]
+
+    def test_impossible_request_fails_gracefully(self, tiny_design):
+        part = Partitioner(tiny_design, seed=0)
+        part.run_to(100)
+        target = tiny_design.grid.bin(0, 0)
+        huge = tiny_design.die.area * 10
+        ok = CircuitRelocation(tiny_design).make_space(target, huge)
+        assert not ok
+        tiny_design.check()
+
+    def test_cells_move_to_adjacent_bins_first(self, small_design):
+        target = self._overfill_a_bin(small_design)
+        grid = small_design.grid
+        moved_names = {c.name for c in target.cells if c.is_movable}
+        CircuitRelocation(small_design).make_space(
+            target, target.rect.area * 0.2)
+        # displaced cells should be near the source bin, not far away
+        displaced = [small_design.netlist.cell(n) for n in moved_names
+                     if grid.bin_of(small_design.netlist.cell(n)) is not target]
+        assert displaced
+        for c in displaced:
+            b = grid.bin_of(c)
+            hops = abs(b.ix - target.ix) + abs(b.iy - target.iy)
+            assert hops <= max(grid.nx, grid.ny) // 2 + 2

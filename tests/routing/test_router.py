@@ -1,0 +1,88 @@
+import pytest
+
+from repro.placement import Partitioner, Reflow, legalize_rows
+from repro.routing import GlobalRouter, cut_metrics
+from repro.workloads import ProcessorParams, make_design, processor_partition
+
+
+@pytest.fixture(scope="module")
+def placed(library):
+    params = ProcessorParams(n_stages=2, regs_per_stage=10,
+                             gates_per_stage=180, seed=8)
+    netlist = processor_partition(params, library)
+    design = make_design(netlist, library, cycle_time=1500.0)
+    part = Partitioner(design, seed=2)
+    part.run_to(100)
+    Reflow(part).run()
+    legalize_rows(design)
+    return design
+
+
+class TestGlobalRouter:
+    def test_routes_every_multi_pin_net(self, placed):
+        router = GlobalRouter(placed)
+        result = router.route()
+        multi = [n for n in placed.netlist.nets() if n.degree >= 2]
+        assert len(result.routes) == len(multi)
+
+    def test_routed_at_least_steiner(self, placed):
+        router = GlobalRouter(placed)
+        result = router.route()
+        for r in result.routes.values():
+            if r.steiner_length > 0:
+                # routed length includes quantization/detour, so it may
+                # only fall slightly below the Steiner estimate
+                assert r.routed_length > 0.3 * r.steiner_length
+
+    def test_usage_conservation(self, placed):
+        """Unrouting everything returns usage to zero."""
+        router = GlobalRouter(placed)
+        result = router.route()
+        for route in result.routes.values():
+            router._unroute(route)
+        assert all(u == pytest.approx(0.0)
+                   for u in router._usage.values())
+
+    def test_overflow_decreases_with_iterations(self, placed):
+        one = GlobalRouter(placed, max_iterations=1)
+        one.route()
+        many = GlobalRouter(placed, max_iterations=4)
+        many.route()
+        assert many.total_overflow() <= one.total_overflow() + 1e-9
+
+    def test_publishes_bin_usage(self, placed):
+        GlobalRouter(placed).route()
+        assert any(b.wire_used_h > 0 or b.wire_used_v > 0
+                   for b in placed.grid.bins())
+
+    def test_single_bin_grid_routes_trivially(self, placed):
+        placed.grid.resize(1, 1)
+        result = GlobalRouter(placed).route()
+        assert result.total_overflow == 0.0
+        # restore resolution for other tests (module-scoped fixture)
+        from repro.placement.partitioner import standard_grid_dims
+        placed.grid.resize(*standard_grid_dims(placed))
+
+
+class TestCutMetrics:
+    def test_metrics_shape(self, placed):
+        router = GlobalRouter(placed)
+        router.route()
+        metrics = cut_metrics(router)
+        assert metrics.horizontal_peak >= metrics.horizontal_avg >= 0
+        assert metrics.vertical_peak >= metrics.vertical_avg >= 0
+        assert len(metrics.horizontal_per_line) == router.nx - 1
+        assert len(metrics.vertical_per_line) == router.ny - 1
+
+    def test_row_format(self, placed):
+        router = GlobalRouter(placed)
+        router.route()
+        row = cut_metrics(router).row()
+        assert "/" in row
+
+    def test_crossings_counted_somewhere(self, placed):
+        router = GlobalRouter(placed)
+        router.route()
+        metrics = cut_metrics(router)
+        assert sum(metrics.horizontal_per_line) > 0
+        assert sum(metrics.vertical_per_line) > 0

@@ -1,0 +1,75 @@
+"""Property tests for the global router's path machinery."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.design import Design
+from repro.geometry import Point, Rect
+from repro.netlist import Netlist
+from repro.routing import GlobalRouter
+from repro.timing import TimingConstraints
+
+
+def grid_design(library, nx=6, ny=6):
+    nl = Netlist()
+    design = Design(nl, library, Rect(0, 0, 120, 120),
+                    TimingConstraints(cycle_time=100.0))
+    design.grid.resize(nx, ny)
+    return design
+
+
+cells_idx = st.tuples(st.integers(0, 5), st.integers(0, 5))
+
+
+class TestPathProperties:
+    @given(cells_idx, cells_idx)
+    @settings(max_examples=40, deadline=None)
+    def test_l_path_is_connected_and_minimal(self, library, a, b):
+        design = grid_design(library)
+        router = GlobalRouter(design)
+        path = router._l_path(a, b)
+        assert path[0] == a and path[-1] == b
+        for (x1, y1), (x2, y2) in zip(path, path[1:]):
+            assert abs(x1 - x2) + abs(y1 - y2) == 1
+        assert len(path) - 1 == abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+    @given(cells_idx, cells_idx)
+    @settings(max_examples=40, deadline=None)
+    def test_maze_path_valid(self, library, a, b):
+        design = grid_design(library)
+        router = GlobalRouter(design)
+        path = router._maze_path(a, b)
+        assert path[0] == a and path[-1] == b
+        for (x1, y1), (x2, y2) in zip(path, path[1:]):
+            assert abs(x1 - x2) + abs(y1 - y2) == 1
+
+    @given(cells_idx, cells_idx)
+    @settings(max_examples=25, deadline=None)
+    def test_maze_no_longer_than_l_when_uncongested(self, library, a, b):
+        design = grid_design(library)
+        router = GlobalRouter(design)
+        l_path = router._l_path(a, b)
+        maze = router._maze_path(a, b)
+        assert len(maze) <= len(l_path)
+
+    @given(st.lists(st.tuples(st.integers(2, 116), st.integers(2, 116)),
+                    min_size=2, max_size=8, unique=True))
+    @settings(max_examples=20, deadline=None)
+    def test_net_route_accounting(self, library, points):
+        """Routing then unrouting a net restores pristine usage."""
+        design = grid_design(library)
+        nl = design.netlist
+        drv = nl.add_cell("drv", library.smallest("INV"),
+                          position=Point(*map(float, points[0])))
+        net = nl.add_net("n")
+        nl.connect(drv.pin("Z"), net)
+        for i, p in enumerate(points[1:]):
+            s = nl.add_cell("s%d" % i, library.smallest("INV"),
+                            position=Point(*map(float, p)))
+            nl.connect(s.pin("A"), net)
+        router = GlobalRouter(design)
+        route = router._route_net(net, maze=False)
+        assert route.routed_length >= 0
+        router._unroute(route)
+        assert all(abs(u) < 1e-9 for u in router._usage.values())

@@ -1,0 +1,179 @@
+import pytest
+
+from repro.scenario import FlowReport, SPRConfig, SPRFlow, TPSConfig, TPSScenario
+from repro.scenario.report import snapshot
+from repro.placement.legalize import check_legal
+from repro.timing import DelayMode
+from repro.workloads import ProcessorParams, make_design, processor_partition
+
+
+def small_design(library, seed=5, cycle=1500.0):
+    params = ProcessorParams(n_stages=2, regs_per_stage=8,
+                             gates_per_stage=110, seed=seed)
+    netlist = processor_partition(params, library)
+    return make_design(netlist, library, cycle_time=cycle,
+                       with_blockage=True)
+
+
+@pytest.fixture(scope="module")
+def tps_run(library):
+    design = small_design(library)
+    scenario = TPSScenario(design, TPSConfig(seed=1))
+    report = scenario.run()
+    return design, report
+
+
+class TestTPSScenario:
+    def test_report_fields(self, tps_run):
+        design, report = tps_run
+        assert report.flow == "TPS"
+        assert report.icells == design.icell_count()
+        assert report.cuts is not None
+        assert report.cpu_seconds > 0
+        assert report.trace
+
+    def test_ends_legal(self, tps_run):
+        design, _report = tps_run
+        assert check_legal(design) == []
+
+    def test_ends_in_load_mode(self, tps_run):
+        design, _report = tps_run
+        assert design.timing.mode is DelayMode.LOAD
+
+    def test_status_monotonic(self, tps_run):
+        _design, report = tps_run
+        statuses = [int(line.split(":")[0].split()[1])
+                    for line in report.trace]
+        assert statuses == sorted(statuses)
+        assert statuses[-1] == 100
+
+    def test_figure5_windows(self, tps_run):
+        """Transforms fire only inside their status windows.
+
+        Status advances in jumps, so window conditions are evaluated
+        against the traversed interval (prev, status]: a window fires
+        at the first status at-or-past it.
+        """
+        _design, report = tps_run
+        prev = 0
+        last_status = 0
+        for line in report.trace:
+            status = int(line.split(":")[0].split()[1])
+            if status != last_status:
+                prev, last_status = last_status, status
+            if "area recovery" in line and "late" not in line \
+                    and "final" not in line:
+                assert status > 20 and prev < 30, line
+            if "speed sizing" in line and "post-legalization" not in line:
+                assert status > 30, line
+            if line.endswith("clock/scan stage: clock"):
+                assert status >= 30, line
+            if "pin swapping" in line and "post-legalization" not in line:
+                assert status > 50, line
+            if "late area recovery" in line:
+                assert status > 80, line
+
+    def test_clock_tree_was_built(self, tps_run):
+        design, _report = tps_run
+        bufs = [c for c in design.netlist.cells() if c.is_clock_buffer]
+        assert bufs
+        for reg in design.netlist.sequential_cells():
+            assert reg.pin("CK").net is not None
+
+    def test_consistency(self, tps_run):
+        design, _report = tps_run
+        design.check()
+
+    def test_ablation_flags_disable_stages(self, library):
+        design = small_design(library, seed=6)
+        config = TPSConfig(seed=1, use_migration=False,
+                           use_cloning=False, use_buffering=False,
+                           use_pin_swapping=False, use_reflow=False,
+                           netweight_mode=None,
+                           use_detailed_placement=False)
+        report = TPSScenario(design, config).run()
+        text = "\n".join(report.trace)
+        assert "migration" not in text
+        assert "cloning" not in text
+        assert "buffering" not in text
+        assert "pin swapping" not in text
+        assert "reflow" not in text
+        assert "net weights" not in text
+        assert "detailed placement" not in text
+
+    def test_strict_figure5_window_config(self, library):
+        design = small_design(library, seed=7)
+        config = TPSConfig(seed=1, electrical_window=(30, 50))
+        report = TPSScenario(design, config).run()
+        prev = 0
+        last_status = 0
+        for line in report.trace:
+            status = int(line.split(":")[0].split()[1])
+            if status != last_status:
+                prev, last_status = last_status, status
+            if ("migration" in line or "cloning" in line
+                    or "buffering" in line) \
+                    and "post-legalization" not in line:
+                # interval semantics: fires while (prev, status]
+                # still overlaps the (30, 50) window
+                assert status > 30 and prev < 50, line
+
+
+class TestSPRFlow:
+    @pytest.fixture(scope="class")
+    def spr_run(self, library):
+        design = small_design(library)
+        flow = SPRFlow(design, SPRConfig(seed=1))
+        report = flow.run()
+        return design, report
+
+    def test_report(self, spr_run):
+        design, report = spr_run
+        assert report.flow == "SPR"
+        assert report.iterations >= 1
+        assert report.cuts is not None
+
+    def test_real_wire_model_restored(self, spr_run):
+        design, _report = spr_run
+        from repro.wirelength.wlm import WireLoadModel
+        assert not isinstance(design.timing.wire_model, WireLoadModel)
+
+    def test_clock_tree_exists(self, spr_run):
+        design, _report = spr_run
+        assert any(c.is_clock_buffer for c in design.netlist.cells())
+
+    def test_consistency(self, spr_run):
+        design, _report = spr_run
+        design.check()
+
+
+class TestComparison:
+    def test_tps_competitive(self, library):
+        """The Table 1 shape on a small instance: TPS slack at least
+        comparable, wirelength no worse than ~SPR."""
+        d_spr = small_design(library, seed=9, cycle=1400.0)
+        spr = SPRFlow(d_spr, SPRConfig(seed=2)).run()
+        d_tps = small_design(library, seed=9, cycle=1400.0)
+        tps = TPSScenario(d_tps, TPSConfig(seed=2)).run()
+        cycle = 1400.0
+        assert tps.worst_slack >= spr.worst_slack - 0.10 * cycle
+        assert tps.wirelength <= spr.wirelength * 1.2
+
+    def test_improvement_formula(self):
+        spr = FlowReport("SPR", "d", 1, 1.0, -380.0, -380.0, 2000.0, 1.0)
+        tps = FlowReport("TPS", "d", 1, 1.0, -222.0, -222.0, 2000.0, 1.0)
+        assert FlowReport.cycle_time_improvement(spr, tps) == \
+            pytest.approx(7.9)
+
+
+class TestExtensionFlags:
+    def test_power_and_hold_extensions(self, library):
+        design = small_design(library, seed=12, cycle=2500.0)
+        config = TPSConfig(seed=3, use_power_recovery=True,
+                           use_hold_fix=True, cluster_first_cuts=2)
+        report = TPSScenario(design, config).run()
+        text = "\n".join(report.trace)
+        assert "power recovery" in text
+        assert "hold fixing" in text
+        # hold fixing leaves no violations it could fix
+        design.check()

@@ -1,0 +1,94 @@
+import pytest
+
+from repro.scenario import SPRConfig, SPRFlow
+from repro.timing import DelayMode
+from repro.timing.engine import INF
+from repro.wirelength.wlm import WireLoadModel
+from repro.workloads import ProcessorParams, make_design, processor_partition
+
+
+@pytest.fixture
+def spr_setup(library):
+    params = ProcessorParams(n_stages=2, regs_per_stage=8,
+                             gates_per_stage=90, seed=37)
+    netlist = processor_partition(params, library)
+    design = make_design(netlist, library, cycle_time=1200.0)
+    return design
+
+
+class TestFreezeNetWeights:
+    def test_critical_nets_boosted(self, spr_setup):
+        design = spr_setup
+        flow = SPRFlow(design)
+        design.timing.set_mode(DelayMode.LOAD)
+        flow._freeze_net_weights(design)
+        boosted = [n for n in design.netlist.nets()
+                   if n.weight > n.base_weight]
+        assert boosted
+        worst = design.timing.worst_slack()
+        window = 0.15 * design.constraints.cycle_time
+        for n in boosted:
+            assert design.timing.net_slack(n) <= worst + window + 1e-6
+
+    def test_clock_scan_untouched(self, spr_setup):
+        design = spr_setup
+        flow = SPRFlow(design)
+        clk = next(n for n in design.netlist.nets() if n.is_clock)
+        clk.weight = 0.123
+        flow._freeze_net_weights(design)
+        assert clk.weight == 0.123
+
+    def test_weights_bounded(self, spr_setup):
+        design = spr_setup
+        flow = SPRFlow(design)
+        flow._freeze_net_weights(design)
+        for n in design.netlist.nets():
+            assert n.weight <= n.base_weight * 4.0 + 1e-9
+
+
+class TestFanoutBuffering:
+    def test_heavy_fanout_gets_buffers(self, library):
+        """A WLM-timed net with big fanout is split when it pays."""
+        from repro.netlist import Netlist
+        from repro.workloads import make_design
+        nl = Netlist()
+        pi = nl.add_input_port("pi")
+        drv = nl.add_cell("drv", library.smallest("INV"))
+        n0, fan = nl.add_net("n0"), nl.add_net("fan")
+        nl.connect(pi.pin("Z"), n0)
+        nl.connect(drv.pin("A"), n0)
+        nl.connect(drv.pin("Z"), fan)
+        for i in range(12):
+            s = nl.add_cell("s%d" % i, library.smallest("INV"))
+            nl.connect(s.pin("A"), fan)
+            out = nl.add_net("o%d" % i)
+            nl.connect(s.pin("Z"), out)
+            po = nl.add_output_port("po%d" % i)
+            nl.connect(po.pin("A"), out)
+        design = make_design(nl, library, cycle_time=60.0)
+        flow = SPRFlow(design, SPRConfig(fanout_buffer_threshold=8))
+        design.timing.set_wire_model(
+            WireLoadModel(design.steiner, design.parasitics))
+        design.timing.set_mode(DelayMode.LOAD)
+        before = design.netlist.num_cells
+        flow._fanout_buffering(design)
+        assert design.netlist.num_cells > before
+        design.netlist.check_consistency()
+
+    def test_threshold_respected(self, spr_setup):
+        design = spr_setup
+        flow = SPRFlow(design, SPRConfig(fanout_buffer_threshold=10**6))
+        before = design.netlist.num_cells
+        flow._fanout_buffering(design)
+        assert design.netlist.num_cells == before
+
+
+class TestSprConfig:
+    def test_convergence_cutoff(self, library):
+        """max_iterations=1 forces a single placement pass."""
+        params = ProcessorParams(n_stages=2, regs_per_stage=6,
+                                 gates_per_stage=60, seed=41)
+        netlist = processor_partition(params, library)
+        design = make_design(netlist, library, cycle_time=1500.0)
+        report = SPRFlow(design, SPRConfig(max_iterations=1)).run()
+        assert report.iterations == 1

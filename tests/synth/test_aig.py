@@ -1,0 +1,103 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synth.aig import (
+    FALSE,
+    TRUE,
+    Aig,
+    lit_compl,
+    lit_node,
+    lit_not,
+)
+
+
+class TestAigConstruction:
+    def test_inputs_and_ands(self):
+        aig = Aig()
+        a = aig.add_input("a")
+        b = aig.add_input("b")
+        f = aig.add_and(a, b)
+        aig.add_output("f", f)
+        assert aig.num_inputs == 2
+        assert aig.num_ands == 1
+        assert aig.depth() == 1
+
+    def test_duplicate_input_rejected(self):
+        aig = Aig()
+        aig.add_input("a")
+        with pytest.raises(ValueError):
+            aig.add_input("a")
+
+    def test_constant_simplification(self):
+        aig = Aig()
+        a = aig.add_input("a")
+        assert aig.add_and(a, FALSE) == FALSE
+        assert aig.add_and(a, TRUE) == a
+        assert aig.add_and(a, a) == a
+        assert aig.add_and(a, lit_not(a)) == FALSE
+        assert aig.num_ands == 0
+
+    def test_structural_hashing(self):
+        aig = Aig()
+        a, b = aig.add_input("a"), aig.add_input("b")
+        f1 = aig.add_and(a, b)
+        f2 = aig.add_and(b, a)  # commuted
+        assert f1 == f2
+        assert aig.num_ands == 1
+
+    def test_unknown_literal_rejected(self):
+        aig = Aig()
+        with pytest.raises(ValueError):
+            aig.add_and(10, 12)
+
+    def test_literal_helpers(self):
+        assert lit_node(7) == 3
+        assert lit_compl(7)
+        assert lit_not(lit_not(6)) == 6
+
+
+class TestAigSimulation:
+    def test_and_or_xor_mux(self):
+        aig = Aig()
+        a, b, s = (aig.add_input(n) for n in "abs")
+        aig.add_output("and", aig.add_and(a, b))
+        aig.add_output("or", aig.add_or(a, b))
+        aig.add_output("xor", aig.add_xor(a, b))
+        aig.add_output("mux", aig.add_mux(s, a, b))
+        # exhaustive over 8 combinations packed into one 8-bit word
+        v = {"a": 0xAA, "b": 0xCC, "s": 0xF0}
+        out = aig.simulate(v, width=8)
+        assert out["and"] == 0xAA & 0xCC
+        assert out["or"] == 0xAA | 0xCC
+        assert out["xor"] == 0xAA ^ 0xCC
+        assert out["mux"] == (0xF0 & 0xAA) | (0x0F & 0xCC)
+
+    def test_complemented_output(self):
+        aig = Aig()
+        a = aig.add_input("a")
+        aig.add_output("na", lit_not(a))
+        assert aig.simulate({"a": 0b01}, width=2)["na"] == 0b10
+
+    def test_levels(self):
+        aig = Aig()
+        a, b, c = (aig.add_input(n) for n in "abc")
+        ab = aig.add_and(a, b)
+        abc = aig.add_and(ab, c)
+        aig.add_output("f", abc)
+        levels = aig.levels()
+        assert levels[lit_node(ab)] == 1
+        assert levels[lit_node(abc)] == 2
+        assert aig.depth() == 2
+
+
+class TestRandomAig:
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_generator_well_formed(self, seed):
+        from repro.workloads.unmapped import random_aig
+        aig = random_aig(n_inputs=6, n_nodes=60, n_outputs=6, seed=seed)
+        assert aig.num_inputs == 6
+        assert aig.num_ands >= 60
+        assert len(aig.outputs) == 6
+        aig.random_simulation(seed=1)  # must not raise

@@ -1,0 +1,104 @@
+import io
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synth.aig import Aig, lit_not
+from repro.synth.aiger import read_aag, write_aag
+from repro.workloads import random_aig
+
+
+def roundtrip(aig):
+    buf = io.StringIO()
+    write_aag(aig, buf)
+    buf.seek(0)
+    return read_aag(buf)
+
+
+class TestAigerRoundtrip:
+    @given(st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_function_preserved(self, seed):
+        aig = random_aig(n_inputs=5, n_nodes=50, n_outputs=5, seed=seed)
+        back = roundtrip(aig)
+        assert back.num_inputs == aig.num_inputs
+        assert len(back.outputs) == len(aig.outputs)
+        rng = random.Random(seed)
+        vectors = {n: rng.getrandbits(64) for n in aig.inputs}
+        assert aig.simulate(vectors) == back.simulate(vectors)
+
+    def test_names_preserved(self):
+        aig = Aig()
+        a = aig.add_input("alpha")
+        b = aig.add_input("beta")
+        aig.add_output("gamma", aig.add_and(a, lit_not(b)))
+        back = roundtrip(aig)
+        assert back.inputs == ["alpha", "beta"]
+        assert back.outputs[0][0] == "gamma"
+
+    def test_complemented_output(self):
+        aig = Aig()
+        a = aig.add_input("a")
+        aig.add_output("na", lit_not(a))
+        back = roundtrip(aig)
+        assert back.simulate({"a": 0b1}, width=1)["na"] == 0b0
+
+    def test_header_format(self):
+        aig = Aig()
+        a, b = aig.add_input("a"), aig.add_input("b")
+        aig.add_output("f", aig.add_and(a, b))
+        buf = io.StringIO()
+        write_aag(aig, buf)
+        assert buf.getvalue().splitlines()[0] == "aag 3 2 0 1 1"
+
+
+class TestAigerErrors:
+    def test_not_aag(self):
+        with pytest.raises(ValueError):
+            read_aag(io.StringIO("aig 1 1 0 0 0\n"))
+
+    def test_latches_rejected(self):
+        with pytest.raises(ValueError):
+            read_aag(io.StringIO("aag 2 1 1 0 0\n2\n4 2\n"))
+
+    def test_forward_reference_rejected(self):
+        src = "aag 3 1 0 1 1\n2\n6\n6 2 8\n"
+        with pytest.raises(ValueError):
+            read_aag(io.StringIO(src))
+
+
+class TestCli:
+    def test_info_command(self, capsys):
+        from repro.__main__ import main
+        assert main(["info", "Des5", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "design Des5" in out
+        assert "cells" in out
+
+    def test_synth_command(self, tmp_path, capsys):
+        from repro.__main__ import main
+        aag = tmp_path / "t.aag"
+        with open(aag, "w") as f:
+            write_aag(random_aig(n_inputs=4, n_nodes=20, n_outputs=3,
+                                 seed=5), f)
+        out_v = tmp_path / "t.v"
+        assert main(["synth", str(aag), "-o", str(out_v)]) == 0
+        text = out_v.read_text()
+        assert "module" in text and "endmodule" in text
+
+    def test_tps_on_verilog_input(self, tmp_path, capsys, library):
+        from repro.__main__ import main
+        from repro.netlist.verilog import write_verilog
+        from repro.workloads import random_logic
+        nl = random_logic("cli", library, 60, seed=8)
+        path = tmp_path / "d.v"
+        with open(path, "w") as f:
+            write_verilog(nl, f)
+        code = main(["tps", str(path), "--cycle", "800",
+                     "--out-placement", str(tmp_path / "d.pl")])
+        assert code == 0
+        assert (tmp_path / "d.pl").exists()
+        out = capsys.readouterr().out
+        assert "TPS finished" in out

@@ -1,0 +1,82 @@
+import pytest
+
+from repro.design import Design
+from repro.geometry import Point, Rect
+from repro.image import Blockage
+from repro.netlist import Netlist
+from repro.timing import DelayMode, TimingConstraints
+from repro.workloads import random_logic
+
+
+@pytest.fixture
+def design(library):
+    netlist = random_logic("d", library, 50, seed=6)
+    die = Rect(0, 0, 200, 200)
+    blockage = Blockage(Rect(150, 150, 200, 200))
+    return Design(netlist, library, die,
+                  TimingConstraints(cycle_time=500.0),
+                  blockages=[blockage], target_utilization=0.8)
+
+
+class TestDesignFacade:
+    def test_analyzers_wired(self, design):
+        # the grid, steiner cache and timing engine all observe edits
+        cell = design.netlist.movable_cells()[0]
+        design.netlist.move_cell(cell, Point(10, 10))
+        assert design.grid.bin_of(cell) is design.grid.bin_at(Point(10, 10))
+        assert design.worst_slack() < float("inf")
+
+    def test_effective_capacity_subtracts_blockage(self, design):
+        free = design.effective_capacity(Rect(0, 0, 50, 50))
+        blocked = design.effective_capacity(Rect(150, 150, 200, 200))
+        assert free == pytest.approx(50 * 50 * 0.8)
+        assert blocked < free
+
+    def test_effective_capacity_outside_die(self, design):
+        assert design.effective_capacity(Rect(500, 500, 600, 600)) == 0.0
+
+    def test_effective_capacity_clamps_to_die(self, design):
+        inside = design.effective_capacity(Rect(0, 0, 200, 200))
+        overhang = design.effective_capacity(Rect(-100, -100, 200, 200))
+        assert overhang == pytest.approx(inside)
+
+    def test_spread_all_to_center(self, design):
+        design.spread_all_to_center()
+        center = design.die.center
+        for cell in design.netlist.movable_cells():
+            assert cell.position == center
+
+    def test_icell_count_excludes_ports(self, design):
+        assert design.icell_count() == len(design.netlist.logic_cells())
+
+    def test_check_detects_grid_corruption(self, design):
+        design.spread_all_to_center()
+        victim = design.netlist.movable_cells()[0]
+        # corrupt the bookkeeping behind the grid's back
+        b = design.grid.bin_of(victim)
+        b.area_used += 100.0
+        with pytest.raises(AssertionError):
+            design.check()
+
+    def test_repr(self, design):
+        assert "Design" in repr(design)
+
+
+class TestFlowReportSnapshot:
+    def test_snapshot_fields(self, design):
+        from repro.scenario.report import snapshot
+        design.spread_all_to_center()
+        report = snapshot(design, "TPS", cpu_seconds=1.5)
+        assert report.flow == "TPS"
+        assert report.icells == design.icell_count()
+        assert report.cell_area == pytest.approx(
+            design.total_cell_area())
+        assert report.cycle_time == 500.0
+        assert report.cpu_seconds == 1.5
+        assert "TPS" in report.table_row()
+
+    def test_slack_fraction(self, design):
+        from repro.scenario.report import snapshot
+        report = snapshot(design, "SPR")
+        assert report.slack_fraction_of_cycle == pytest.approx(
+            report.worst_slack / 500.0)

@@ -1,0 +1,42 @@
+"""The examples must at least parse, import cleanly, and expose main().
+
+(Full example runs take minutes; the benchmark suite and the examples
+themselves cover behaviour — this guards against bit-rot.)
+"""
+
+import ast
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_parses_and_has_main(path):
+    tree = ast.parse(path.read_text())
+    top_level = {node.name for node in tree.body
+                 if isinstance(node, ast.FunctionDef)}
+    assert "main" in top_level, "%s has no main()" % path.name
+    # a __main__ guard so importing never runs the flow
+    assert any(isinstance(node, ast.If) for node in tree.body), \
+        "%s has no __main__ guard" % path.name
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_resolve(path):
+    """Importing the module must not raise (and must not run main)."""
+    spec = importlib.util.spec_from_file_location(
+        "example_" + path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert callable(module.main)
+
+
+def test_expected_example_set():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "timing_closure", "strong_moves",
+            "clock_scan_flow", "custom_transform",
+            "synthesis_to_placement", "analyzer_suite"} <= names

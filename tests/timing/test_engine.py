@@ -1,0 +1,314 @@
+import pytest
+
+from repro.geometry import Point
+from repro.library.parasitics import WireParasitics
+from repro.library.types import TAU
+from repro.netlist import Netlist
+from repro.timing import (
+    CombinationalLoopError,
+    DelayMode,
+    TimingConstraints,
+    TimingEngine,
+    obtain_critical_region,
+)
+from repro.wirelength import SteinerCache, WireModel
+
+
+def make_engine(nl, cycle=100.0, mode=DelayMode.LOAD, rc_threshold=1e9,
+                setup=4.0):
+    cache = SteinerCache(nl)
+    model = WireModel(cache, WireParasitics(rc_threshold=rc_threshold))
+    constraints = TimingConstraints(cycle_time=cycle, setup_time=setup)
+    # port_drive_resistance=0 keeps the hand-computed arithmetic simple
+    return TimingEngine(nl, model, constraints, mode=mode,
+                        port_drive_resistance=0.0)
+
+
+@pytest.fixture
+def inv_chain(library):
+    """pi -> inv1 -> inv2 -> po, all co-located (zero wire length)."""
+    nl = Netlist()
+    pi = nl.add_input_port("pi", Point(0, 0))
+    po = nl.add_output_port("po", Point(0, 0))
+    inv1 = nl.add_cell("inv1", library.smallest("INV"), position=Point(0, 0))
+    inv2 = nl.add_cell("inv2", library.smallest("INV"), position=Point(0, 0))
+    n = [nl.add_net("n%d" % i) for i in range(3)]
+    nl.connect(pi.pin("Z"), n[0])
+    nl.connect(inv1.pin("A"), n[0])
+    nl.connect(inv1.pin("Z"), n[1])
+    nl.connect(inv2.pin("A"), n[1])
+    nl.connect(inv2.pin("Z"), n[2])
+    nl.connect(po.pin("A"), n[2])
+    return nl
+
+
+class TestCombinationalTiming:
+    def test_hand_computed_arrivals(self, inv_chain, library):
+        nl = inv_chain
+        eng = make_engine(nl)
+        inv1, inv2 = nl.cell("inv1"), nl.cell("inv2")
+        po = nl.cell("po")
+        # INV_X1: intrinsic 2ps, R=2kohm. Loads: inv2 pin 1fF; po pin 1fF.
+        assert eng.arrival(inv1.pin("A")) == pytest.approx(0.0)
+        assert eng.arrival(inv1.pin("Z")) == pytest.approx(4.0)
+        assert eng.arrival(inv2.pin("Z")) == pytest.approx(8.0)
+        assert eng.arrival(po.pin("A")) == pytest.approx(8.0)
+
+    def test_worst_slack(self, inv_chain):
+        eng = make_engine(inv_chain, cycle=100.0)
+        assert eng.worst_slack() == pytest.approx(92.0)
+        assert eng.total_negative_slack() == 0.0
+
+    def test_negative_slack(self, inv_chain):
+        eng = make_engine(inv_chain, cycle=5.0)
+        assert eng.worst_slack() == pytest.approx(-3.0)
+        assert eng.total_negative_slack() == pytest.approx(-3.0)
+
+    def test_required_propagates_backwards(self, inv_chain):
+        nl = inv_chain
+        eng = make_engine(nl, cycle=100.0)
+        inv1 = nl.cell("inv1")
+        # req(inv1/A) = 100 - 4 - 4 = 92 -> slack 92 everywhere on path
+        assert eng.required(inv1.pin("A")) == pytest.approx(92.0)
+        assert eng.slack(inv1.pin("A")) == pytest.approx(92.0)
+
+    def test_slack_uniform_on_single_path(self, inv_chain):
+        nl = inv_chain
+        eng = make_engine(nl)
+        slacks = {eng.slack(nl.cell(c).pin("Z")) for c in ("inv1", "inv2")}
+        assert len({round(s, 6) for s in slacks}) == 1
+
+    def test_gain_mode_load_independent(self, inv_chain, library):
+        nl = inv_chain
+        eng = make_engine(nl, mode=DelayMode.GAIN)
+        for c in ("inv1", "inv2"):
+            nl.cell(c).gain = 3.0
+        eng.set_mode(DelayMode.LOAD)
+        eng.set_mode(DelayMode.GAIN)
+        # d = tau*(p + g*h) = 2*(1 + 1*3) = 8 per stage
+        assert eng.arrival(nl.cell("inv2").pin("Z")) == pytest.approx(16.0)
+        # resizing downstream changes nothing in gain mode
+        nl.resize_cell(nl.cell("inv2"), library.size("INV", 8.0))
+        assert eng.arrival(nl.cell("inv1").pin("Z")) == pytest.approx(8.0)
+
+    def test_wire_delay_included_when_long(self, library):
+        nl = Netlist()
+        pi = nl.add_input_port("pi", Point(0, 0))
+        drv = nl.add_cell("drv", library.size("INV", 4.0),
+                          position=Point(0, 0))
+        snk = nl.add_cell("snk", library.smallest("INV"),
+                          position=Point(500, 0))
+        po = nl.add_output_port("po", Point(500, 0))
+        n0, n1, n2 = (nl.add_net("n%d" % i) for i in range(3))
+        nl.connect(pi.pin("Z"), n0)
+        nl.connect(drv.pin("A"), n0)
+        nl.connect(drv.pin("Z"), n1)
+        nl.connect(snk.pin("A"), n1)
+        nl.connect(snk.pin("Z"), n2)
+        nl.connect(po.pin("A"), n2)
+        eng_short = make_engine(nl, rc_threshold=1e9)
+        arr_short = eng_short.arrival(snk.pin("A"))
+        nl2_eng = make_engine(nl, rc_threshold=100.0)
+        arr_long = nl2_eng.arrival(snk.pin("A"))
+        assert arr_long > arr_short  # Elmore wire delay added
+
+    def test_combinational_loop_detected(self, library):
+        nl = Netlist()
+        a = nl.add_cell("a", library.smallest("INV"))
+        b = nl.add_cell("b", library.smallest("INV"))
+        n1, n2 = nl.add_net("n1"), nl.add_net("n2")
+        nl.connect(a.pin("Z"), n1)
+        nl.connect(b.pin("A"), n1)
+        nl.connect(b.pin("Z"), n2)
+        nl.connect(a.pin("A"), n2)
+        eng = make_engine(nl)
+        with pytest.raises(CombinationalLoopError):
+            eng.worst_slack()
+
+    def test_empty_design(self):
+        eng = make_engine(Netlist())
+        assert eng.worst_slack() == float("inf")
+
+
+@pytest.fixture
+def ff_pipe(library):
+    """clk -> (buffered) both FFs; pi -> ff1.D; ff1.Q -> inv -> ff2.D."""
+    nl = Netlist()
+    pi = nl.add_input_port("pi", Point(0, 0))
+    clk = nl.add_input_port("clk", Point(0, 0))
+    ff1 = nl.add_cell("ff1", library.smallest("DFF"), position=Point(0, 0))
+    ff2 = nl.add_cell("ff2", library.smallest("DFF"), position=Point(0, 0))
+    inv = nl.add_cell("inv", library.smallest("INV"), position=Point(0, 0))
+    nets = {n: nl.add_net(n) for n in ["din", "cknet", "q1", "d2"]}
+    nets["cknet"].is_clock = True
+    nl.connect(pi.pin("Z"), nets["din"])
+    nl.connect(ff1.pin("D"), nets["din"])
+    nl.connect(clk.pin("Z"), nets["cknet"])
+    nl.connect(ff1.pin("CK"), nets["cknet"])
+    nl.connect(ff2.pin("CK"), nets["cknet"])
+    nl.connect(ff1.pin("Q"), nets["q1"])
+    nl.connect(inv.pin("A"), nets["q1"])
+    nl.connect(inv.pin("Z"), nets["d2"])
+    nl.connect(ff2.pin("D"), nets["d2"])
+    return nl
+
+
+class TestSequentialTiming:
+    def test_q_launches_from_clock(self, ff_pipe, library):
+        nl = ff_pipe
+        eng = make_engine(nl, cycle=100.0)
+        ff1 = nl.cell("ff1")
+        # clk->CK wire is zero-length; arr(Q) = clk2q
+        clk2q = eng.gate_delay(ff1, ff1.pin("Q"))
+        assert eng.arrival(ff1.pin("Q")) == pytest.approx(clk2q)
+
+    def test_d_is_endpoint_with_setup(self, ff_pipe):
+        nl = ff_pipe
+        eng = make_engine(nl, cycle=100.0, setup=4.0)
+        ff2 = nl.cell("ff2")
+        assert eng.required(ff2.pin("D")) == pytest.approx(100.0 - 4.0)
+        assert ff2.pin("D") in eng.endpoints()
+
+    def test_reg_to_reg_slack(self, ff_pipe):
+        nl = ff_pipe
+        eng = make_engine(nl, cycle=100.0, setup=4.0)
+        ff1, ff2, inv = nl.cell("ff1"), nl.cell("ff2"), nl.cell("inv")
+        clk2q = eng.gate_delay(ff1, ff1.pin("Q"))
+        inv_d = eng.gate_delay(inv, inv.pin("Z"))
+        expected = (100.0 - 4.0) - (clk2q + inv_d)
+        assert eng.slack(ff2.pin("D")) == pytest.approx(expected)
+
+    def test_no_path_through_ff(self, ff_pipe):
+        nl = ff_pipe
+        eng = make_engine(nl, cycle=100.0)
+        ff1 = nl.cell("ff1")
+        # D of ff1 sees only the PI, not the downstream logic
+        assert eng.arrival(ff1.pin("D")) == pytest.approx(0.0)
+        assert eng.required(ff1.pin("D")) == pytest.approx(96.0)
+
+    def test_clock_skew_shifts_capture(self, ff_pipe, library):
+        nl = ff_pipe
+        # insert a clock buffer before ff2's CK only
+        from repro.netlist import ops
+        buf = ops.insert_buffer(nl, library, nl.net("cknet"),
+                                [nl.cell("ff2").pin("CK")],
+                                position=Point(0, 0))
+        eng = make_engine(nl, cycle=100.0, setup=4.0)
+        ff2 = nl.cell("ff2")
+        ck_arr = eng.arrival(ff2.pin("CK"))
+        assert ck_arr > 0
+        assert eng.required(ff2.pin("D")) == pytest.approx(
+            100.0 + ck_arr - 4.0)
+
+
+class TestIncrementality:
+    def test_independent_chains_not_recomputed(self, library):
+        nl = Netlist()
+        for tag in ("a", "b"):
+            pi = nl.add_input_port("pi_" + tag, Point(0, 0))
+            prev = nl.add_net("n_%s_in" % tag)
+            nl.connect(pi.pin("Z"), prev)
+            for i in range(10):
+                c = nl.add_cell("%s%d" % (tag, i), library.smallest("INV"),
+                                position=Point(float(i), 0))
+                nl.connect(c.pin("A"), prev)
+                prev = nl.add_net("n_%s_%d" % (tag, i))
+                nl.connect(c.pin("Z"), prev)
+            po = nl.add_output_port("po_" + tag, Point(10, 0))
+            nl.connect(po.pin("A"), prev)
+        eng = make_engine(nl)
+        eng.worst_slack()
+        before = dict(eng.stats)
+        # perturb chain a only
+        nl.move_cell(nl.cell("a5"), Point(5.0, 50.0))
+        eng.worst_slack()
+        recomputed = eng.stats["arrival_recomputes"] - before["arrival_recomputes"]
+        total_pins = eng.graph().num_pins
+        assert 0 < recomputed < total_pins / 2
+
+    def test_no_change_no_recompute(self, inv_chain):
+        eng = make_engine(inv_chain)
+        eng.worst_slack()
+        before = eng.stats["arrival_recomputes"]
+        eng.worst_slack()
+        assert eng.stats["arrival_recomputes"] == before
+
+    def test_incremental_matches_from_scratch(self, inv_chain, library):
+        nl = inv_chain
+        eng = make_engine(nl)
+        eng.worst_slack()
+        nl.resize_cell(nl.cell("inv1"), library.size("INV", 4.0))
+        nl.move_cell(nl.cell("inv2"), Point(40, 0))
+        incremental = eng.worst_slack()
+        fresh = make_engine(nl).worst_slack()
+        assert incremental == pytest.approx(fresh)
+
+    def test_connectivity_edit_matches_fresh(self, inv_chain, library):
+        nl = inv_chain
+        eng = make_engine(nl)
+        eng.worst_slack()
+        from repro.netlist import ops
+        ops.insert_buffer(nl, library, nl.net("n1"),
+                          [nl.cell("inv2").pin("A")], position=Point(0, 0))
+        assert eng.worst_slack() == pytest.approx(
+            make_engine(nl).worst_slack())
+
+    def test_cell_removal_matches_fresh(self, inv_chain, library):
+        nl = inv_chain
+        eng = make_engine(nl)
+        eng.worst_slack()
+        inv2 = nl.cell("inv2")
+        n1, n2 = nl.net("n1"), nl.net("n2")
+        nl.remove_cell(inv2)
+        # reconnect inv1 straight to po
+        po_pin = nl.cell("po").pin("A")
+        nl.connect(po_pin, n1)
+        assert eng.worst_slack() == pytest.approx(
+            make_engine(nl).worst_slack())
+
+
+class TestCriticalRegion:
+    def test_single_path_all_critical(self, inv_chain):
+        nl = inv_chain
+        eng = make_engine(nl, cycle=5.0)
+        cr = obtain_critical_region(eng)
+        assert {c.name for c in cr.cells} >= {"inv1", "inv2"}
+        assert not cr.empty
+
+    def test_margin_widens_region(self, library):
+        nl = Netlist()
+        pi = nl.add_input_port("pi", Point(0, 0))
+        n0 = nl.add_net("n0")
+        nl.connect(pi.pin("Z"), n0)
+        # long chain and short chain to separate POs
+        prev = n0
+        for i in range(5):
+            c = nl.add_cell("long%d" % i, library.smallest("INV"),
+                            position=Point(0, 0))
+            nl.connect(c.pin("A"), prev)
+            prev = nl.add_net("ln%d" % i)
+            nl.connect(c.pin("Z"), prev)
+        po1 = nl.add_output_port("po1", Point(0, 0))
+        nl.connect(po1.pin("A"), prev)
+        s = nl.add_cell("short0", library.smallest("INV"),
+                        position=Point(0, 0))
+        nl.connect(s.pin("A"), n0)
+        sn = nl.add_net("sn")
+        nl.connect(s.pin("Z"), sn)
+        po2 = nl.add_output_port("po2", Point(0, 0))
+        nl.connect(po2.pin("A"), sn)
+        eng = make_engine(nl, cycle=100.0)
+        tight = obtain_critical_region(eng, slack_margin=0.0)
+        wide = obtain_critical_region(eng, slack_margin=1000.0)
+        assert "short0" not in tight.cell_names()
+        assert "short0" in wide.cell_names()
+        assert len(wide.pins) > len(tight.pins)
+
+    def test_absolute_threshold(self, inv_chain):
+        eng = make_engine(inv_chain, cycle=1000.0)
+        cr = obtain_critical_region(eng, absolute_threshold=0.0)
+        assert cr.empty  # everything meets timing
+
+    def test_empty_design_region(self):
+        eng = make_engine(Netlist())
+        assert obtain_critical_region(eng).empty

@@ -1,0 +1,97 @@
+import pytest
+
+from repro.geometry import Point
+from repro.library.parasitics import WireParasitics
+from repro.netlist import Netlist
+from repro.timing import DelayMode, TimingConstraints, TimingEngine
+from repro.timing.engine import INF
+from repro.wirelength import SteinerCache, WireModel
+from repro.wirelength.wlm import WireLoadModel
+
+
+def engine_for(nl, **kw):
+    cache = SteinerCache(nl)
+    model = WireModel(cache, WireParasitics(rc_threshold=1e9))
+    constraints = TimingConstraints(cycle_time=kw.pop("cycle", 100.0))
+    return TimingEngine(nl, model, constraints,
+                        mode=DelayMode.LOAD,
+                        port_drive_resistance=0.0, **kw)
+
+
+@pytest.fixture
+def simple(library):
+    nl = Netlist()
+    pi = nl.add_input_port("pi", Point(0, 0))
+    po = nl.add_output_port("po", Point(0, 0))
+    g = nl.add_cell("g", library.smallest("NAND2"), position=Point(0, 0))
+    clk = nl.add_input_port("clk", Point(0, 0))
+    ff = nl.add_cell("ff", library.smallest("DFF"), position=Point(0, 0))
+    nets = {k: nl.add_net(k) for k in ("a", "b", "z", "ck")}
+    nets["ck"].is_clock = True
+    nl.connect(pi.pin("Z"), nets["a"])
+    nl.connect(g.pin("A"), nets["a"])
+    nl.connect(clk.pin("Z"), nets["ck"])
+    nl.connect(ff.pin("CK"), nets["ck"])
+    nl.connect(ff.pin("Q"), nets["b"])
+    nl.connect(g.pin("B"), nets["b"])
+    nl.connect(g.pin("Z"), nets["z"])
+    nl.connect(po.pin("A"), nets["z"])
+    nl.connect(ff.pin("D"), nets["z"])
+    return nl
+
+
+class TestEngineMisc:
+    def test_endpoint_slacks_keys(self, simple):
+        eng = engine_for(simple)
+        slacks = eng.endpoint_slacks()
+        assert set(slacks) == {"po/A", "ff/D"}
+
+    def test_net_slack_ignores_clock_pins(self, simple):
+        eng = engine_for(simple)
+        ck = simple.net("ck")
+        # the register CK pin is excluded; only the (non-clock) port
+        # driver pin counts
+        driver = ck.driver()
+        assert eng.net_slack(ck) == pytest.approx(eng.slack(driver))
+
+    def test_set_wire_model_retimes(self, simple):
+        eng = engine_for(simple)
+        before = eng.worst_slack()
+        wlm = WireLoadModel(SteinerCache(simple), cap_per_fanout=50.0)
+        eng.set_wire_model(wlm)
+        after = eng.worst_slack()
+        assert after < before  # huge WLM caps slow everything
+
+    def test_set_mode_noop_keeps_values(self, simple):
+        eng = engine_for(simple)
+        eng.worst_slack()
+        flushes = eng.stats["flushes"]
+        eng.set_mode(DelayMode.LOAD)  # already LOAD
+        eng.worst_slack()
+        assert eng.stats["flushes"] == flushes
+
+    def test_gate_delay_gain_vs_load(self, simple, library):
+        eng = engine_for(simple)
+        g = simple.cell("g")
+        load_delay = eng.gate_delay(g, g.pin("Z"))
+        eng.set_mode(DelayMode.GAIN)
+        g.gain = 4.0
+        gain_delay = eng.gate_delay(g, g.pin("Z"))
+        from repro.library.types import TAU
+        t = g.gate_type
+        assert gain_delay == pytest.approx(
+            TAU * (t.parasitic + t.logical_effort * 4.0))
+        assert gain_delay != load_delay
+
+    def test_tns_counts_only_negative(self, simple):
+        eng = engine_for(simple, cycle=10_000.0)
+        assert eng.total_negative_slack() == 0.0
+
+    def test_floating_input_unconstrained(self, simple, library):
+        nl = simple
+        lone = nl.add_cell("lone", library.smallest("INV"),
+                           position=Point(0, 0))
+        eng = engine_for(nl)
+        assert eng.arrival(lone.pin("A")) == 0.0
+        assert eng.required(lone.pin("A")) == INF
+        assert eng.slack(lone.pin("A")) == INF

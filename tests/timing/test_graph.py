@@ -1,0 +1,76 @@
+import pytest
+
+from repro.geometry import Point
+from repro.netlist import Netlist
+from repro.timing.graph import TimingGraph, cell_arcs
+
+
+class TestCellArcs:
+    def test_combinational_full_crossbar(self, library):
+        nl = Netlist()
+        g = nl.add_cell("g", library.smallest("NAND3"))
+        arcs = cell_arcs(g)
+        assert len(arcs) == 3
+        assert all(dst.name == "Z" for _src, dst in arcs)
+
+    def test_sequential_only_ck_to_q(self, library):
+        nl = Netlist()
+        ff = nl.add_cell("ff", library.smallest("SDFF"))
+        arcs = cell_arcs(ff)
+        assert len(arcs) == 1
+        (src, dst), = arcs
+        assert src.name == "CK" and dst.name == "Q"
+
+    def test_ports_have_no_arcs(self, library):
+        nl = Netlist()
+        p = nl.add_input_port("p")
+        assert cell_arcs(p) == []
+
+
+class TestTimingGraph:
+    @pytest.fixture
+    def graph(self, library):
+        nl = Netlist()
+        pi = nl.add_input_port("pi")
+        inv = nl.add_cell("inv", library.smallest("INV"))
+        nand = nl.add_cell("nand", library.smallest("NAND2"))
+        po = nl.add_output_port("po")
+        n0, n1, n2 = (nl.add_net("n%d" % i) for i in range(3))
+        nl.connect(pi.pin("Z"), n0)
+        nl.connect(inv.pin("A"), n0)
+        nl.connect(nand.pin("A"), n0)
+        nl.connect(inv.pin("Z"), n1)
+        nl.connect(nand.pin("B"), n1)
+        nl.connect(nand.pin("Z"), n2)
+        nl.connect(po.pin("A"), n2)
+        return nl, TimingGraph(nl)
+
+    def test_counts(self, graph):
+        nl, g = graph
+        # pins: pi.Z, inv.A/Z, nand.A/B/Z, po.A = 7
+        assert g.num_pins == 7
+        # net arcs: n0->(inv.A, nand.A)=2, n1->nand.B=1, n2->po.A=1;
+        # cell arcs: inv 1, nand 2
+        assert g.num_arcs == 7
+
+    def test_levels_longest_path(self, graph):
+        nl, g = graph
+        nand_z = nl.cell("nand").pin("Z")
+        # longest: pi.Z(0) -> inv.A(1) -> inv.Z(2) -> nand.B(3) -> Z(4)
+        assert g.level_of(nand_z) == 4
+        assert g.max_level() == 5  # po.A
+
+    def test_fanout_arcs(self, graph):
+        nl, g = graph
+        pi_z = nl.cell("pi").pin("Z")
+        dsts = {p.full_name for p, _k in g.fanout_arcs(pi_z)}
+        assert dsts == {"inv/A", "nand/A"}
+
+    def test_fanin_kinds(self, graph):
+        nl, g = graph
+        nand_z = nl.cell("nand").pin("Z")
+        kinds = {k for _p, k in g.fanin_arcs(nand_z)}
+        assert kinds == {"cell"}
+        nand_a = nl.cell("nand").pin("A")
+        kinds = {k for _p, k in g.fanin_arcs(nand_a)}
+        assert kinds == {"net"}

@@ -1,0 +1,128 @@
+import pytest
+
+from repro.geometry import Point
+from repro.library.parasitics import WireParasitics
+from repro.netlist import Netlist
+from repro.timing import DelayMode, TimingConstraints, TimingEngine
+from repro.timing.engine import INF
+from repro.wirelength import SteinerCache, WireModel
+
+
+def make_engine(nl, cycle=100.0, hold=2.0):
+    cache = SteinerCache(nl)
+    model = WireModel(cache, WireParasitics(rc_threshold=1e9))
+    constraints = TimingConstraints(cycle_time=cycle, hold_time=hold)
+    return TimingEngine(nl, model, constraints, mode=DelayMode.LOAD,
+                        port_drive_resistance=0.0)
+
+
+@pytest.fixture
+def ff_to_ff(library):
+    """ff1.Q -> (direct) ff2.D, shared ideal clock: a hold hazard."""
+    nl = Netlist()
+    clk = nl.add_input_port("clk", Point(0, 0))
+    ff1 = nl.add_cell("ff1", library.smallest("DFF"), position=Point(0, 0))
+    ff2 = nl.add_cell("ff2", library.smallest("DFF"), position=Point(0, 0))
+    cknet = nl.add_net("ck", is_clock=True)
+    nl.connect(clk.pin("Z"), cknet)
+    nl.connect(ff1.pin("CK"), cknet)
+    nl.connect(ff2.pin("CK"), cknet)
+    q = nl.add_net("q")
+    nl.connect(ff1.pin("Q"), q)
+    nl.connect(ff2.pin("D"), q)
+    pi = nl.add_input_port("pi", Point(0, 0))
+    din = nl.add_net("din")
+    nl.connect(pi.pin("Z"), din)
+    nl.connect(ff1.pin("D"), din)
+    return nl, ff1, ff2
+
+
+class TestMinArrival:
+    def test_min_le_max(self, ff_to_ff):
+        nl, ff1, ff2 = ff_to_ff
+        eng = make_engine(nl)
+        for cell in nl.cells():
+            for pin in cell.pins():
+                assert eng.arrival_min(pin) <= eng.arrival(pin) + 1e-9
+
+    def test_early_factor_scales(self, ff_to_ff):
+        nl, ff1, ff2 = ff_to_ff
+        eng = make_engine(nl)
+        q = ff1.pin("Q")
+        # single arc: min = early_factor * max (zero wire, same path)
+        assert eng.arrival_min(q) == pytest.approx(
+            eng.early_factor * eng.arrival(q))
+
+    def test_min_tracks_shortest_path(self, library):
+        """Two reconvergent paths: min follows the short one."""
+        nl = Netlist()
+        pi = nl.add_input_port("pi", Point(0, 0))
+        n0 = nl.add_net("n0")
+        nl.connect(pi.pin("Z"), n0)
+        # short branch: 1 inverter; long branch: 3 inverters
+        def chain(tag, k, src):
+            prev = src
+            for i in range(k):
+                c = nl.add_cell("%s%d" % (tag, i),
+                                library.smallest("INV"),
+                                position=Point(0, 0))
+                nl.connect(c.pin("A"), prev)
+                prev = nl.add_net("%sn%d" % (tag, i))
+                nl.connect(c.pin("Z"), prev)
+            return prev
+        short = chain("s", 1, n0)
+        long = chain("l", 3, n0)
+        g = nl.add_cell("g", library.smallest("NAND2"),
+                        position=Point(0, 0))
+        nl.connect(g.pin("A"), short)
+        nl.connect(g.pin("B"), long)
+        gout = nl.add_net("gout")
+        nl.connect(g.pin("Z"), gout)
+        po = nl.add_output_port("po", Point(0, 0))
+        nl.connect(po.pin("A"), gout)
+        eng = make_engine(nl)
+        z = g.pin("Z")
+        assert eng.arrival_min(z) < eng.arrival(z)
+
+
+class TestHoldSlack:
+    def test_direct_ff_to_ff_violates(self, ff_to_ff):
+        """Q->D with no logic: clk2q*early < hold -> violation region."""
+        nl, ff1, ff2 = ff_to_ff
+        eng = make_engine(nl, hold=20.0)  # brutal hold requirement
+        slack = eng.hold_slack(ff2.pin("D"))
+        assert slack < 0
+
+    def test_relaxed_hold_passes(self, ff_to_ff):
+        nl, ff1, ff2 = ff_to_ff
+        eng = make_engine(nl, hold=0.5)
+        assert eng.hold_slack(ff2.pin("D")) > 0
+
+    def test_hold_only_at_register_d(self, ff_to_ff):
+        nl, ff1, ff2 = ff_to_ff
+        eng = make_engine(nl)
+        assert eng.hold_slack(ff1.pin("CK")) == INF
+        assert eng.hold_slack(ff1.pin("Q")) == INF
+
+    def test_worst_hold(self, ff_to_ff):
+        nl, ff1, ff2 = ff_to_ff
+        eng = make_engine(nl, hold=20.0)
+        worst = eng.worst_hold_slack()
+        slacks = [eng.hold_slack(p) for p in eng.endpoints()
+                  if eng.hold_slack(p) < INF]
+        assert worst == min(slacks)
+
+    def test_added_delay_fixes_hold(self, ff_to_ff, library):
+        nl, ff1, ff2 = ff_to_ff
+        eng = make_engine(nl, hold=20.0)
+        before = eng.hold_slack(ff2.pin("D"))
+        # pad the Q->D path with two buffers
+        from repro.netlist import ops
+        q = ff1.pin("Q").net
+        b1 = ops.insert_buffer(nl, library, q, [ff2.pin("D")],
+                               position=Point(0, 0))
+        nl2 = b1.output_pin().net
+        ops.insert_buffer(nl, library, nl2, [ff2.pin("D")],
+                          position=Point(0, 0))
+        after = eng.hold_slack(ff2.pin("D"))
+        assert after > before

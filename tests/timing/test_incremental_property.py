@@ -1,0 +1,111 @@
+"""Property: incremental timing == from-scratch timing, always.
+
+The central contract of the engine — after ANY sequence of netlist
+edits, lazily re-propagated values must equal a fresh engine's values.
+Hypothesis drives random edit sequences (moves, resizes, buffer
+insertions/removals, pin swaps, cell clones) against a seed design.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point
+from repro.library.parasitics import WireParasitics
+from repro.netlist import Netlist, ops
+from repro.timing import DelayMode, TimingConstraints, TimingEngine
+from repro.wirelength import SteinerCache, WireModel
+from repro.workloads import random_logic
+
+
+def build(library, seed=3):
+    nl = random_logic("p", library, 60, n_inputs=6, n_outputs=6,
+                      seed=seed)
+    # place everything deterministically
+    for i, cell in enumerate(nl.cells()):
+        nl.move_cell(cell, Point(float((i * 37) % 200),
+                                 float((i * 53) % 200)))
+    return nl
+
+
+def fresh_engine(nl):
+    cache = SteinerCache(nl)
+    model = WireModel(cache, WireParasitics(rc_threshold=120.0))
+    return TimingEngine(nl, model,
+                        TimingConstraints(cycle_time=500.0),
+                        mode=DelayMode.LOAD)
+
+
+# an edit is (kind, int, int); ints index cells/nets/positions
+edits = st.lists(
+    st.tuples(st.sampled_from(["move", "resize", "buffer", "swap",
+                               "clone", "unplace"]),
+              st.integers(0, 10_000), st.integers(0, 10_000)),
+    min_size=1, max_size=12,
+)
+
+
+class TestIncrementalEqualsFresh:
+    @given(edits)
+    @settings(max_examples=25, deadline=None)
+    def test_random_edit_sequences(self, library, sequence):
+        nl = build(library)
+        engine = fresh_engine(nl)
+        engine.worst_slack()  # settle once
+
+        for kind, a, b in sequence:
+            cells = [c for c in nl.cells() if c.is_movable]
+            nets = [n for n in nl.nets() if n.driver() is not None]
+            if not cells or not nets:
+                break
+            cell = cells[a % len(cells)]
+            net = nets[b % len(nets)]
+            if kind == "move":
+                nl.move_cell(cell, Point(float(a % 200), float(b % 200)))
+            elif kind == "unplace":
+                nl.move_cell(cell, None)
+            elif kind == "resize":
+                ladder = library.sizes(cell.type_name) \
+                    if library.has_type(cell.type_name) else []
+                if ladder:
+                    nl.resize_cell(cell, ladder[a % len(ladder)])
+            elif kind == "buffer":
+                sinks = net.sinks()
+                if sinks:
+                    ops.insert_buffer(nl, library, net,
+                                      sinks[:1 + a % len(sinks)],
+                                      position=Point(float(a % 200),
+                                                     float(b % 200)))
+            elif kind == "swap":
+                groups = cell.gate_type.swap_groups()
+                if groups:
+                    pins = list(groups.values())[0]
+                    ops.swap_pins(nl, cell, pins[0].name, pins[1].name)
+            elif kind == "clone":
+                driver = net.driver()
+                if (driver is not None and not driver.cell.is_port
+                        and len(net.sinks()) >= 2):
+                    ops.clone_cell(nl, driver.cell, net.sinks()[:1],
+                                   position=cell.position)
+
+        incremental = engine.worst_slack()
+        reference = fresh_engine(nl).worst_slack()
+        assert incremental == pytest.approx(reference, abs=1e-6)
+
+    @given(st.integers(0, 2**30))
+    @settings(max_examples=10, deadline=None)
+    def test_per_pin_equality_after_moves(self, library, seed):
+        nl = build(library, seed=5)
+        engine = fresh_engine(nl)
+        engine.worst_slack()
+        movable = nl.movable_cells()
+        for i, cell in enumerate(movable[: 10]):
+            nl.move_cell(cell, Point(float((seed + i * 31) % 200),
+                                     float((seed + i * 17) % 200)))
+        reference = fresh_engine(nl)
+        for cell in nl.cells():
+            for pin in cell.pins():
+                assert engine.arrival(pin) == pytest.approx(
+                    reference.arrival(pin), abs=1e-6), pin.full_name
+                assert engine.slack(pin) == pytest.approx(
+                    reference.slack(pin), abs=1e-6), pin.full_name

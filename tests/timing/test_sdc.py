@@ -1,0 +1,92 @@
+import io
+
+import pytest
+
+from repro.timing import TimingConstraints
+from repro.timing.sdc import SdcError, read_sdc, write_sdc
+
+SAMPLE = """
+# core constraints
+create_clock -period 2000 -name core
+set_input_delay 80 [all_inputs]
+set_input_delay 120 [get_ports pi3]
+set_output_delay 100 [all_outputs]
+set_output_delay 150 [get_ports po1]
+set_clock_uncertainty 25
+"""
+
+
+class TestReadSdc:
+    def test_full_sample(self):
+        c = read_sdc(io.StringIO(SAMPLE))
+        assert c.cycle_time == 2000
+        assert c.default_input_arrival == 80
+        assert c.input_arrival("pi3") == 120
+        assert c.input_arrival("other") == 80
+        assert c.output_required("po1") == 2000 - 150
+        assert c.output_required("other") == 2000 - 100
+        # uncertainty folded into the setup margin
+        default_setup = TimingConstraints.__dataclass_fields__[
+            "setup_time"].default
+        assert c.setup_time == default_setup + 25
+
+    def test_minimal(self):
+        c = read_sdc(io.StringIO("create_clock -period 500\n"))
+        assert c.cycle_time == 500
+        assert c.output_required("x") == 500
+
+    def test_missing_clock(self):
+        with pytest.raises(SdcError):
+            read_sdc(io.StringIO("set_clock_uncertainty 10\n"))
+
+    def test_unknown_command(self):
+        with pytest.raises(SdcError):
+            read_sdc(io.StringIO("create_clock -period 10\n"
+                                 "set_false_path -from x\n"))
+
+    def test_bad_delay_target(self):
+        with pytest.raises(SdcError):
+            read_sdc(io.StringIO("create_clock -period 10\n"
+                                 "set_input_delay 5\n"))
+
+    def test_comments_ignored(self):
+        c = read_sdc(io.StringIO("# hi\ncreate_clock -period 10 # x\n"))
+        assert c.cycle_time == 10
+
+
+class TestRoundtrip:
+    def test_write_then_read(self):
+        original = read_sdc(io.StringIO(SAMPLE))
+        buf = io.StringIO()
+        write_sdc(original, buf)
+        buf.seek(0)
+        back = read_sdc(buf)
+        assert back.cycle_time == original.cycle_time
+        assert back.default_input_arrival == \
+            original.default_input_arrival
+        assert back.input_arrivals == original.input_arrivals
+        assert back.output_requireds == original.output_requireds
+
+    def test_constraints_drive_engine(self, library):
+        """SDC input arrival shifts timing like any other constraint."""
+        from repro.geometry import Point
+        from repro.netlist import Netlist
+        from repro.timing import DelayMode, TimingEngine
+        from repro.wirelength import SteinerCache, WireModel
+        nl = Netlist()
+        pi = nl.add_input_port("pi", Point(0, 0))
+        po = nl.add_output_port("po", Point(0, 0))
+        inv = nl.add_cell("inv", library.smallest("INV"),
+                          position=Point(0, 0))
+        n0, n1 = nl.add_net("n0"), nl.add_net("n1")
+        nl.connect(pi.pin("Z"), n0)
+        nl.connect(inv.pin("A"), n0)
+        nl.connect(inv.pin("Z"), n1)
+        nl.connect(po.pin("A"), n1)
+        sdc = io.StringIO("create_clock -period 100\n"
+                          "set_input_delay 30 [get_ports pi]\n")
+        constraints = read_sdc(sdc)
+        engine = TimingEngine(nl, WireModel(SteinerCache(nl)),
+                              constraints, mode=DelayMode.LOAD,
+                              port_drive_resistance=0.0)
+        assert engine.arrival(pi.pin("Z")) == pytest.approx(30.0)

@@ -1,0 +1,29 @@
+import pytest
+
+from repro.placement import Partitioner, Reflow
+from repro.transforms import ClockScanOptimizer
+from repro.transforms.sizing import GateSizing
+from repro.workloads import ProcessorParams, make_design, processor_partition
+
+
+@pytest.fixture
+def placed_design(library):
+    """A placed, clock-optimized, linked (LOAD-mode) design."""
+    params = ProcessorParams(n_stages=2, regs_per_stage=10,
+                             gates_per_stage=150, seed=5)
+    netlist = processor_partition(params, library)
+    design = make_design(netlist, library, cycle_time=250.0,
+                         with_blockage=False)
+    sizing = GateSizing()
+    sizing.assign_gains(design)
+    part = Partitioner(design, seed=3)
+    clock_scan = ClockScanOptimizer(regs_per_buffer=6)
+    reflow = Reflow(part)
+    while not part.done:
+        part.cut()
+        reflow.run()
+        clock_scan.apply_for_status(design, part.status)
+    sizing.link_cells(design)
+    design._partitioner = part
+    design._clock_scan = clock_scan
+    return design

@@ -1,0 +1,214 @@
+import pytest
+
+from repro.placement import Partitioner, Reflow
+from repro.transforms import ClockScanOptimizer
+from repro.transforms.clock_scan import (
+    _chain_order,
+    _geometric_clusters,
+    _nearest_neighbor_tour,
+    _two_opt,
+)
+from repro.geometry import Point
+from repro.workloads import ProcessorParams, make_design, processor_partition
+
+
+@pytest.fixture
+def seq_design(library):
+    params = ProcessorParams(n_stages=2, regs_per_stage=12,
+                             gates_per_stage=120, scan_fraction=0.7,
+                             seed=11)
+    netlist = processor_partition(params, library)
+    return make_design(netlist, library, cycle_time=250.0)
+
+
+def run_flow(design, optimizer):
+    part = Partitioner(design, seed=4)
+    reflow = Reflow(part)
+    while not part.done:
+        part.cut()
+        reflow.run()
+        optimizer.apply_for_status(design, part.status)
+    return part
+
+
+class TestStaging:
+    def test_stages_fire_once_in_order(self, seq_design):
+        opt = ClockScanOptimizer()
+        fired = []
+        part = Partitioner(seq_design, seed=4)
+        while not part.done:
+            part.cut()
+            fired.extend(opt.apply_for_status(seq_design, part.status))
+        assert fired == ["mask", "clock", "scan"]
+        assert opt.masked and opt.clock_done and opt.scan_done
+
+    def test_mask_zeroes_weights_and_resizes(self, seq_design):
+        opt = ClockScanOptimizer()
+        opt.apply_for_status(seq_design, 10)
+        for net in seq_design.netlist.nets():
+            if net.is_clock or net.is_scan:
+                assert net.weight == 0.0
+        # registers grew a step (space reservation)
+        grown = [c for c in seq_design.netlist.sequential_cells()
+                 if c.size.x > 1.0]
+        assert grown
+
+    def test_restore_at_30(self, seq_design):
+        opt = ClockScanOptimizer()
+        opt.apply_for_status(seq_design, 10)
+        # place registers so clustering works
+        part = Partitioner(seq_design, seed=4)
+        part.run_to(40)
+        opt.apply_for_status(seq_design, part.status)
+        for net in seq_design.netlist.nets():
+            if net.is_clock:
+                assert net.weight == net.base_weight
+        regs = [c for c in seq_design.netlist.sequential_cells()
+                if not c.is_clock_buffer]
+        assert all(c.size.x == 1.0 for c in regs)
+
+
+class TestClockTree:
+    def test_tree_built_with_short_nets(self, seq_design):
+        opt = ClockScanOptimizer(regs_per_buffer=6)
+        run_flow(seq_design, opt)
+        bufs = [c for c in seq_design.netlist.cells() if c.is_clock_buffer]
+        assert bufs
+        # every register CK now on a leaf net driven by a clock buffer
+        for reg in seq_design.netlist.sequential_cells():
+            ck = reg.pin("CK").net
+            assert ck is not None and ck.is_clock
+            assert ck.driver().cell.is_clock_buffer
+        # clock nets are all much shorter than the die span
+        for net in seq_design.netlist.nets():
+            if net.is_clock and net.degree > 1:
+                assert (seq_design.steiner.length(net)
+                        < 2.0 * seq_design.die.width)
+
+    def test_skew_bounded(self, seq_design):
+        opt = ClockScanOptimizer(regs_per_buffer=6)
+        run_flow(seq_design, opt)
+        from repro.transforms.sizing import GateSizing
+        GateSizing().link_cells(seq_design)
+        cks = [seq_design.timing.arrival(c.pin("CK"))
+               for c in seq_design.netlist.sequential_cells()]
+        skew = max(cks) - min(cks)
+        assert skew < 0.8 * seq_design.constraints.cycle_time
+
+
+class TestScanReorder:
+    def test_scan_length_decreases(self, seq_design):
+        opt = ClockScanOptimizer()
+        part = Partitioner(seq_design, seed=4)
+        reflow = Reflow(part)
+        result = None
+        while not part.done:
+            part.cut()
+            reflow.run()
+            if part.status >= 80 and not opt.scan_done:
+                opt.masked = True
+                opt.clock_done = True
+                opt.restore_scan(seq_design)
+                result = opt.scan_optimization(seq_design)
+            else:
+                opt.apply_for_status(seq_design, min(part.status, 79))
+        assert result is not None
+        assert result.detail["length_after"] <= result.detail["length_before"]
+
+    def test_chain_stays_connected(self, seq_design):
+        opt = ClockScanOptimizer()
+        run_flow(seq_design, opt)
+        nl = seq_design.netlist
+        head = next(n for n in nl.nets()
+                    if n.is_scan and n.driver() is not None
+                    and n.driver().cell.is_port)
+        scan_regs = [c for c in nl.sequential_cells()
+                     if c.gate_type.name == "SDFF"
+                     and c.pin("SI").net is not None]
+        order = _chain_order(head, scan_regs)
+        assert len(order) == len(scan_regs)
+        seq_design.check()
+
+
+class TestTourUtilities:
+    def test_nearest_neighbor(self, library):
+        from repro.netlist import Netlist
+        nl = Netlist()
+        cells = []
+        for i, x in enumerate([50.0, 10.0, 30.0]):
+            c = nl.add_cell("r%d" % i, library.smallest("DFF"),
+                            position=Point(x, 0))
+            cells.append(c)
+        tour = _nearest_neighbor_tour(cells, Point(0, 0))
+        assert [c.position.x for c in tour] == [10.0, 30.0, 50.0]
+
+    def test_two_opt_uncrosses(self, library):
+        from repro.netlist import Netlist
+        nl = Netlist()
+        xs = [40.0, 20.0, 30.0, 10.0]
+        cells = [nl.add_cell("r%d" % i, library.smallest("DFF"),
+                             position=Point(x, 0))
+                 for i, x in enumerate(xs)]
+        improved = _two_opt(list(cells), Point(0, 0))
+        assert [c.position.x for c in improved] == [10.0, 20.0, 30.0, 40.0]
+
+    def test_geometric_clusters_size(self, library):
+        from repro.netlist import Netlist
+        nl = Netlist()
+        cells = [nl.add_cell("r%d" % i, library.smallest("DFF"),
+                             position=Point(float(i * 7 % 50),
+                                            float(i * 13 % 50)))
+                 for i in range(37)]
+        clusters = _geometric_clusters(cells, 6)
+        assert all(len(c) <= 6 for c in clusters)
+        assert sum(len(c) for c in clusters) == 37
+
+
+class TestMultipleScanChains:
+    def test_chains_reordered_independently(self, library):
+        from repro.workloads import (ProcessorParams, make_design,
+                                     processor_partition)
+        from repro.placement import Partitioner, Reflow
+        params = ProcessorParams(n_stages=2, regs_per_stage=14,
+                                 gates_per_stage=100, scan_fraction=0.9,
+                                 n_scan_chains=3, seed=29)
+        netlist = processor_partition(params, library)
+        design = make_design(netlist, library, cycle_time=1500.0)
+        # three distinct scan-in/scan-out pairs exist
+        heads = [n for n in netlist.nets()
+                 if n.is_scan and n.driver() is not None
+                 and n.driver().cell.is_port]
+        assert len(heads) == 3
+        opt = ClockScanOptimizer()
+        run_flow(design, opt)
+        result_regs = set()
+        for head in heads:
+            all_regs = [c for c in netlist.sequential_cells()
+                        if c.gate_type.name == "SDFF"
+                        and c.pin("SI").net is not None]
+            chain = _chain_order(head, all_regs)
+            assert len(chain) >= 2
+            # membership is disjoint across chains
+            names = {c.name for c in chain}
+            assert not (names & result_regs)
+            result_regs |= names
+        design.check()
+
+    def test_multi_chain_lengths_reduced(self, library):
+        from repro.workloads import (ProcessorParams, make_design,
+                                     processor_partition)
+        from repro.placement import Partitioner, Reflow
+        params = ProcessorParams(n_stages=2, regs_per_stage=14,
+                                 gates_per_stage=100, scan_fraction=0.9,
+                                 n_scan_chains=2, seed=31)
+        netlist = processor_partition(params, library)
+        design = make_design(netlist, library, cycle_time=1500.0)
+        part = Partitioner(design, seed=4)
+        part.run_to(100)
+        opt = ClockScanOptimizer()
+        opt.masked = True
+        opt.clock_done = True
+        result = opt.scan_optimization(design)
+        assert result.accepted == 2
+        assert result.detail["length_after"] <= \
+            result.detail["length_before"]

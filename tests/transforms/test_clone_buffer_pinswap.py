@@ -1,0 +1,177 @@
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.netlist import Netlist
+from repro.timing import DelayMode, TimingConstraints
+from repro.transforms import BufferInsertion, Cloning, PinSwapping
+from repro.design import Design
+
+
+@pytest.fixture
+def heavy_fanout(library):
+    """A weak driver with 6 sinks split into two distant clusters."""
+    nl = Netlist()
+    pi = nl.add_input_port("pi")
+    drv = nl.add_cell("drv", library.smallest("INV"))
+    innet = nl.add_net("innet")
+    nl.connect(pi.pin("Z"), innet)
+    nl.connect(drv.pin("A"), innet)
+    fan = nl.add_net("fan")
+    nl.connect(drv.pin("Z"), fan)
+    sinks = []
+    for i in range(6):
+        s = nl.add_cell("s%d" % i, library.smallest("INV"))
+        nl.connect(s.pin("A"), fan)
+        out = nl.add_net("out%d" % i)
+        nl.connect(s.pin("Z"), out)
+        po = nl.add_output_port("po%d" % i)
+        nl.connect(po.pin("A"), out)
+        sinks.append(s)
+    d = Design(nl, library, Rect(0, 0, 400, 120),
+               TimingConstraints(cycle_time=30.0), mode=DelayMode.LOAD)
+    nl.move_cell(pi, Point(0, 60))
+    nl.move_cell(drv, Point(20, 60))
+    for i, s in enumerate(sinks[:3]):
+        nl.move_cell(s, Point(60, 40 + 20 * i))
+        nl.move_cell(nl.cell("po%d" % i), Point(80, 40 + 20 * i))
+    for i, s in enumerate(sinks[3:]):
+        nl.move_cell(s, Point(360, 40 + 20 * i))
+        nl.move_cell(nl.cell("po%d" % (i + 3)), Point(390, 40 + 20 * i))
+    return d, drv, sinks
+
+
+class TestCloning:
+    def test_clones_far_cluster(self, heavy_fanout):
+        d, drv, sinks = heavy_fanout
+        before = d.timing.worst_slack()
+        result = Cloning(fanout_threshold=4).run(d)
+        assert result.accepted >= 1
+        assert d.timing.worst_slack() > before
+        clones = [c for c in d.netlist.cells() if "_cln" in c.name]
+        assert len(clones) == 1
+        # clone sits near the far cluster, not near the driver
+        assert clones[0].require_position().x > 200
+        d.check()
+
+    def test_no_clone_when_no_space(self, heavy_fanout):
+        d, drv, sinks = heavy_fanout
+        # no bin can host the clone and relocation is off
+        for b in d.grid.bins():
+            b.area_capacity = 0.0
+        n_cells = d.netlist.num_cells
+        result = Cloning(fanout_threshold=4,
+                         relocate_for_space=False).run(d)
+        assert result.accepted == 0
+        assert d.netlist.num_cells == n_cells
+
+    def test_respects_fanout_threshold(self, heavy_fanout):
+        d, drv, sinks = heavy_fanout
+        result = Cloning(fanout_threshold=10).run(d)
+        assert result.attempted == 0
+
+
+class TestBufferInsertion:
+    def test_shields_far_sinks(self, heavy_fanout):
+        d, drv, sinks = heavy_fanout
+        before = d.timing.worst_slack()
+        result = BufferInsertion(buffer_x=4.0).run(d)
+        assert result.accepted >= 1
+        assert d.timing.worst_slack() > before
+        bufs = [c for c in d.netlist.cells() if c.type_name == "BUF"]
+        assert bufs
+        d.check()
+
+    def test_repeater_on_long_two_point_net(self, library):
+        nl = Netlist()
+        pi = nl.add_input_port("pi")
+        drv = nl.add_cell("drv", library.size("INV", 2.0))
+        snk = nl.add_cell("snk", library.smallest("INV"))
+        po = nl.add_output_port("po")
+        n0, n1, n2 = (nl.add_net("n%d" % i) for i in range(3))
+        nl.connect(pi.pin("Z"), n0)
+        nl.connect(drv.pin("A"), n0)
+        nl.connect(drv.pin("Z"), n1)
+        nl.connect(snk.pin("A"), n1)
+        nl.connect(snk.pin("Z"), n2)
+        nl.connect(po.pin("A"), n2)
+        d = Design(nl, library, Rect(0, 0, 800, 64),
+                   TimingConstraints(cycle_time=50.0),
+                   mode=DelayMode.LOAD)
+        nl.move_cell(pi, Point(0, 32))
+        nl.move_cell(drv, Point(10, 32))
+        nl.move_cell(snk, Point(790, 32))
+        nl.move_cell(po, Point(800, 32))
+        before = d.timing.worst_slack()
+        result = BufferInsertion(buffer_x=8.0).run(d)
+        assert result.accepted >= 1
+        assert d.timing.worst_slack() > before
+        # repeater lands mid-wire
+        buf = next(c for c in d.netlist.cells() if c.type_name == "BUF")
+        assert 200 < buf.require_position().x < 600
+
+    def test_rejected_insertions_leave_no_garbage(self, heavy_fanout):
+        d, drv, sinks = heavy_fanout
+        for c in d.netlist.cells():
+            d.netlist.move_cell(c, Point(10, 10))
+        cells_before = d.netlist.num_cells
+        nets_before = d.netlist.num_nets
+        BufferInsertion().run(d)
+        assert d.netlist.num_cells == cells_before
+        assert d.netlist.num_nets == nets_before
+        d.check()
+
+
+class TestPinSwapping:
+    @pytest.fixture
+    def skewed_nand(self, library):
+        """NAND2 whose late signal sits on the slow pin A."""
+        nl = Netlist()
+        early = nl.add_input_port("early")
+        late_p = nl.add_input_port("late")
+        po = nl.add_output_port("po")
+        # late path goes through 3 inverters first
+        chain_net = nl.add_net("c0")
+        nl.connect(late_p.pin("Z"), chain_net)
+        for i in range(3):
+            inv = nl.add_cell("inv%d" % i, library.smallest("INV"))
+            nl.connect(inv.pin("A"), chain_net)
+            chain_net = nl.add_net("c%d" % (i + 1))
+            nl.connect(inv.pin("Z"), chain_net)
+        enet = nl.add_net("enet")
+        nl.connect(early.pin("Z"), enet)
+        g = nl.add_cell("g", library.smallest("NAND2"))
+        nl.connect(g.pin("A"), chain_net)   # late signal on slow pin A
+        nl.connect(g.pin("B"), enet)        # early signal on fast pin B
+        gout = nl.add_net("gout")
+        nl.connect(g.pin("Z"), gout)
+        nl.connect(po.pin("A"), gout)
+        d = Design(nl, library, Rect(0, 0, 64, 64),
+                   TimingConstraints(cycle_time=10.0),
+                   mode=DelayMode.LOAD)
+        for c in nl.cells():
+            nl.move_cell(c, Point(32, 32))
+        return d, g
+
+    def test_swap_matches_arrival_to_speed(self, skewed_nand):
+        d, g = skewed_nand
+        chain_net_name = g.pin("A").net.name
+        before = d.timing.worst_slack()
+        result = PinSwapping().run(d)
+        assert result.accepted == 1
+        assert d.timing.worst_slack() > before
+        # the late signal moved to the fast pin B
+        assert g.pin("B").net.name == chain_net_name
+
+    def test_already_optimal_rejected(self, skewed_nand):
+        d, g = skewed_nand
+        PinSwapping().run(d)
+        nets = (g.pin("A").net.name, g.pin("B").net.name)
+        result = PinSwapping().run(d)
+        assert (g.pin("A").net.name, g.pin("B").net.name) == nets
+
+    def test_never_hurts_on_real_design(self, placed_design):
+        d = placed_design
+        before = d.worst_slack()
+        PinSwapping().run(d)
+        assert d.worst_slack() >= before - 1e-6
+        d.check()

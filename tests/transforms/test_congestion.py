@@ -1,0 +1,45 @@
+import pytest
+
+from repro.placement import Partitioner
+from repro.routing import GlobalRouter
+from repro.transforms import CongestionRelief
+from repro.workloads import ProcessorParams, make_design, processor_partition
+
+
+@pytest.fixture
+def congested(library):
+    params = ProcessorParams(n_stages=2, regs_per_stage=10,
+                             gates_per_stage=160, seed=17)
+    netlist = processor_partition(params, library)
+    design = make_design(netlist, library, cycle_time=1500.0)
+    Partitioner(design, seed=2).run_to(100)
+    GlobalRouter(design).route()  # publish wire usage to bins
+    return design
+
+
+class TestCongestionRelief:
+    def test_runs_and_keeps_consistency(self, congested):
+        result = CongestionRelief(hotspot_threshold=0.5).run(congested)
+        assert result.attempted >= 0
+        congested.check()
+
+    def test_never_hurts_timing_meaningfully(self, congested):
+        before = congested.timing.worst_slack()
+        CongestionRelief(hotspot_threshold=0.5).run(congested)
+        assert congested.timing.worst_slack() >= before - 2.0
+
+    def test_relieves_pin_demand_in_hotspots(self, congested):
+        tr = CongestionRelief(hotspot_threshold=0.5)
+        hotspots = [b for b in congested.grid.bins()
+                    if b.congestion > 0.5]
+        if not hotspots:
+            pytest.skip("design routed without hotspots")
+        before = {(b.ix, b.iy): tr._pin_demand(b) for b in hotspots}
+        result = tr.run(congested)
+        if result.accepted:
+            after = {(b.ix, b.iy): tr._pin_demand(b) for b in hotspots}
+            assert sum(after.values()) <= sum(before.values())
+
+    def test_no_hotspots_no_action(self, congested):
+        result = CongestionRelief(hotspot_threshold=1e9).run(congested)
+        assert result.attempted == 0

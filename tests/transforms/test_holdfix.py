@@ -1,0 +1,73 @@
+import pytest
+
+from repro.geometry import Point
+from repro.netlist import Netlist
+from repro.timing import DelayMode, TimingConstraints
+from repro.transforms import HoldFix
+from repro.design import Design
+from repro.geometry import Rect
+
+
+@pytest.fixture
+def racing(library):
+    """Two FFs wired Q->D directly with a cruel hold requirement."""
+    nl = Netlist()
+    clk = nl.add_input_port("clk")
+    ff1 = nl.add_cell("ff1", library.smallest("DFF"))
+    ff2 = nl.add_cell("ff2", library.smallest("DFF"))
+    cknet = nl.add_net("ck", is_clock=True)
+    nl.connect(clk.pin("Z"), cknet)
+    nl.connect(ff1.pin("CK"), cknet)
+    nl.connect(ff2.pin("CK"), cknet)
+    q = nl.add_net("q")
+    nl.connect(ff1.pin("Q"), q)
+    nl.connect(ff2.pin("D"), q)
+    pi = nl.add_input_port("pi")
+    din = nl.add_net("din")
+    nl.connect(pi.pin("Z"), din)
+    # a little logic in front of ff1 keeps its own hold path clean
+    inv = nl.add_cell("pad", library.smallest("INV"))
+    nl.connect(inv.pin("A"), din)
+    padded = nl.add_net("din_p")
+    nl.connect(inv.pin("Z"), padded)
+    nl.connect(ff1.pin("D"), padded)
+    d = Design(nl, library, Rect(0, 0, 64, 64),
+               TimingConstraints(cycle_time=200.0, hold_time=20.0),
+               mode=DelayMode.LOAD)
+    for c in nl.cells():
+        nl.move_cell(c, Point(32, 32))
+    return d, ff2
+
+
+class TestHoldFix:
+    def test_fixes_violation(self, racing):
+        d, ff2 = racing
+        assert d.timing.hold_slack(ff2.pin("D")) < 0
+        result = HoldFix().run(d)
+        assert result.accepted >= 1
+        assert d.timing.hold_slack(ff2.pin("D")) >= 0
+        assert result.detail["buffers_added"] >= 1
+        d.check()
+
+    def test_setup_not_broken(self, racing):
+        d, ff2 = racing
+        HoldFix().run(d)
+        assert d.timing.slack(ff2.pin("D")) >= 0
+
+    def test_noop_when_clean(self, racing):
+        d, ff2 = racing
+        d.constraints.hold_time = 0.1
+        d.timing._mark_all_dirty()
+        cells = d.netlist.num_cells
+        result = HoldFix().run(d)
+        assert result.attempted == 0
+        assert d.netlist.num_cells == cells
+
+    def test_gives_up_gracefully(self, racing):
+        d, ff2 = racing
+        d.constraints.hold_time = 1e6  # unfixable
+        d.timing._mark_all_dirty()
+        result = HoldFix(max_buffers_per_path=2).run(d)
+        assert result.rejected >= 1
+        assert result.accepted == 0
+        d.check()

@@ -1,0 +1,101 @@
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.netlist import Netlist
+from repro.timing import DelayMode
+from repro.transforms import CircuitMigration
+from repro.workloads import make_design
+
+
+@pytest.fixture
+def meander(library):
+    """Figure 3: critical chain A -> C -> D -> E -> B with C, D, E
+    meandering away from the straight line between fixed A and B."""
+    nl = Netlist()
+    cells = {}
+    for name in ("c", "d", "e"):
+        cells[name] = nl.add_cell(name, library.smallest("INV"))
+    a = nl.add_input_port("a")
+    b = nl.add_output_port("b")
+    chain = [a.pin("Z"), cells["c"], cells["d"], cells["e"]]
+    nets = []
+    prev = a.pin("Z")
+    for nxt in ("c", "d", "e"):
+        net = nl.add_net("n_" + nxt)
+        nl.connect(prev, net)
+        nl.connect(cells[nxt].pin("A"), net)
+        prev = cells[nxt].pin("Z")
+        nets.append(net)
+    last = nl.add_net("n_b")
+    nl.connect(prev, last)
+    nl.connect(b.pin("A"), last)
+    from repro.design import Design
+    from repro.timing import TimingConstraints
+    design = Design(nl, library, Rect(0, 0, 48, 32),
+                    TimingConstraints(cycle_time=20.0),
+                    mode=DelayMode.LOAD)
+    # fixed endpoints on the bottom edge; movable cells meander upward
+    nl.move_cell(a, Point(0, 0))
+    nl.move_cell(b, Point(40, 0))
+    nl.move_cell(cells["c"], Point(10, 20))
+    nl.move_cell(cells["d"], Point(20, 20))
+    nl.move_cell(cells["e"], Point(30, 20))
+    return design, cells
+
+
+class TestStrongMoves:
+    def test_individual_moves_do_not_help(self, meander):
+        design, cells = meander
+        eng = design.timing
+        base = eng.worst_slack()
+        for name in ("c", "d", "e"):
+            cell = cells[name]
+            old = cell.position
+            design.netlist.move_cell(cell, Point(old.x, 0.0))
+            assert eng.worst_slack() <= base + 1e-9, name
+            design.netlist.move_cell(cell, old)
+
+    def test_joint_move_helps(self, meander):
+        design, cells = meander
+        eng = design.timing
+        base = eng.worst_slack()
+        for name in ("c", "d", "e"):
+            design.netlist.move_cell(cells[name],
+                                     Point(cells[name].position.x, 0.0))
+        assert eng.worst_slack() > base
+
+    def test_migration_finds_the_strong_move(self, meander):
+        design, cells = meander
+        base = design.timing.worst_slack()
+        wl_before = design.total_wirelength()
+        result = CircuitMigration(max_group_size=4).run(design)
+        assert result.accepted >= 1
+        assert design.timing.worst_slack() > base
+        assert design.total_wirelength() < wl_before
+        # the meander was flattened
+        for name in ("c", "d", "e"):
+            assert cells[name].position.y == pytest.approx(0.0)
+
+    def test_migration_never_hurts(self, placed_design):
+        d = placed_design
+        before = d.worst_slack()
+        CircuitMigration(max_groups=20).run(d)
+        assert d.worst_slack() >= before - 1e-6
+        d.check()
+
+    def test_rejected_moves_restore_positions(self, meander):
+        design, cells = meander
+        # force every move to be rejected: all bins report overfill
+        for b in design.grid.bins():
+            b.area_capacity = 0.0
+        positions = {n: c.position for n, c in cells.items()}
+        result = CircuitMigration().run(design)
+        assert result.accepted == 0
+        for n, c in cells.items():
+            assert c.position == positions[n]
+
+    def test_group_size_respected(self, meander):
+        design, _cells = meander
+        tr = CircuitMigration(max_group_size=2)
+        groups = tr._build_groups(design)
+        assert all(len(g) <= 2 for g in groups)

@@ -1,0 +1,78 @@
+import pytest
+
+from repro.transforms import LogicalEffortNetWeight, WeightMode
+
+
+class TestLogicalEffortNetWeight:
+    def test_critical_nets_get_heavier(self, placed_design):
+        d = placed_design
+        tr = LogicalEffortNetWeight(mode=WeightMode.ABSOLUTE)
+        result = tr.run(d)
+        assert result.accepted > 0
+        boosted = [n for n in d.netlist.nets() if n.weight > n.base_weight]
+        assert boosted
+        # every boosted net is near-critical
+        worst = d.timing.worst_slack()
+        window = tr.slack_margin_fraction * d.constraints.cycle_time
+        for n in boosted:
+            assert d.timing.net_slack(n) <= worst + window + 1e-6
+
+    def test_noncritical_reset_in_absolute_mode(self, placed_design):
+        d = placed_design
+        victim = next(n for n in d.netlist.nets()
+                      if not n.is_clock and not n.is_scan
+                      and d.timing.net_slack(n) > d.timing.worst_slack()
+                      + 0.5 * d.constraints.cycle_time)
+        victim.weight = 5.0
+        LogicalEffortNetWeight(mode=WeightMode.ABSOLUTE).run(d)
+        assert victim.weight == victim.base_weight
+
+    def test_incremental_mode_smooths(self, placed_design):
+        d = placed_design
+        tr_abs = LogicalEffortNetWeight(mode=WeightMode.ABSOLUTE)
+        tr_inc = LogicalEffortNetWeight(mode=WeightMode.INCREMENTAL)
+        victim = next(n for n in d.netlist.nets()
+                      if not n.is_clock and not n.is_scan
+                      and d.timing.net_slack(n) > d.timing.worst_slack()
+                      + 0.5 * d.constraints.cycle_time)
+        victim.weight = 5.0
+        tr_inc.run(d)
+        # incremental decay: halfway to base, not straight to base
+        assert victim.base_weight < victim.weight < 5.0
+
+    def test_effort_scales_weight(self, placed_design):
+        d = placed_design
+        tr = LogicalEffortNetWeight()
+        # find two nets, one driven by INV, one by XOR-ish high effort
+        for net in d.netlist.nets():
+            drv = net.driver()
+            if drv is None or drv.cell.is_port:
+                continue
+            low = tr.effort_factor(d, net)
+            break
+        inv_net = next(n for n in d.netlist.nets() if n.driver() is not None
+                       and n.driver().cell.type_name == "INV")
+        assert tr.effort_factor(d, inv_net) == pytest.approx(1.0 / 4.0)
+
+    def test_masked_nets_untouched(self, placed_design):
+        d = placed_design
+        net = next((n for n in d.netlist.nets() if n.is_clock), None)
+        if net is None:
+            pytest.skip("no clock net")
+        net.weight = 0.0
+        LogicalEffortNetWeight().run(d)
+        assert net.weight == 0.0
+
+    def test_slack_weight_bounds(self, placed_design):
+        d = placed_design
+        tr = LogicalEffortNetWeight()
+        for net in list(d.netlist.nets())[:50]:
+            w = tr.compute_slack_weight(d, net)
+            assert 0.0 <= w <= 1.0
+
+    def test_weights_bounded_by_max_boost(self, placed_design):
+        d = placed_design
+        tr = LogicalEffortNetWeight(mode=WeightMode.ABSOLUTE, max_boost=8.0)
+        tr.run(d)
+        for n in d.netlist.nets():
+            assert n.weight <= n.base_weight * 8.0 + 1e-9

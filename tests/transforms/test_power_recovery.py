@@ -1,0 +1,51 @@
+import pytest
+
+from repro.analysis import PowerAnalyzer
+from repro.placement import Partitioner
+from repro.transforms import PowerRecovery
+from repro.transforms.sizing import GateSizing
+from repro.workloads import ProcessorParams, make_design, processor_partition
+
+
+@pytest.fixture
+def relaxed_design(library):
+    """A placed design with generous timing (lots of recoverable power)."""
+    params = ProcessorParams(n_stages=2, regs_per_stage=8,
+                             gates_per_stage=120, seed=19)
+    netlist = processor_partition(params, library)
+    design = make_design(netlist, library, cycle_time=4000.0)
+    GateSizing().assign_gains(design)
+    Partitioner(design, seed=2).run_to(100)
+    GateSizing().link_cells(design)
+    # upsize a few sinks so there is something to recover
+    for cell in design.netlist.logic_cells()[:30]:
+        if library.has_type(cell.type_name):
+            design.netlist.resize_cell(
+                cell, library.largest(cell.type_name))
+    return design
+
+
+class TestPowerRecovery:
+    def test_reduces_total_power(self, relaxed_design):
+        before = PowerAnalyzer(relaxed_design).analyze().total
+        result = PowerRecovery().run(relaxed_design)
+        after = PowerAnalyzer(relaxed_design).analyze().total
+        assert result.accepted > 0
+        assert after < before
+        assert result.detail["power_saved_uw"] > 0
+
+    def test_timing_not_degraded(self, relaxed_design):
+        before = relaxed_design.timing.worst_slack()
+        PowerRecovery().run(relaxed_design)
+        assert relaxed_design.timing.worst_slack() >= before - 1e-3
+
+    def test_clock_nets_untouched(self, relaxed_design):
+        clk_sizes = {c.name: c.size for c in relaxed_design.netlist.cells()
+                     if c.is_clock_buffer}
+        PowerRecovery().run(relaxed_design)
+        for name, size in clk_sizes.items():
+            assert relaxed_design.netlist.cell(name).size == size
+
+    def test_consistency(self, relaxed_design):
+        PowerRecovery().run(relaxed_design)
+        relaxed_design.check()

@@ -1,0 +1,68 @@
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.netlist import Netlist
+from repro.timing import DelayMode, TimingConstraints
+from repro.transforms.base import TimingProbe, Transform, TransformResult
+from repro.design import Design
+
+
+@pytest.fixture
+def probe_design(library):
+    nl = Netlist()
+    pi = nl.add_input_port("pi", Point(0, 0))
+    po = nl.add_output_port("po", Point(60, 0))
+    inv = nl.add_cell("inv", library.smallest("INV"), position=Point(30, 0))
+    n0, n1 = nl.add_net("n0"), nl.add_net("n1")
+    nl.connect(pi.pin("Z"), n0)
+    nl.connect(inv.pin("A"), n0)
+    nl.connect(inv.pin("Z"), n1)
+    nl.connect(po.pin("A"), n1)
+    return Design(nl, library, Rect(0, 0, 64, 16),
+                  TimingConstraints(cycle_time=10.0),
+                  mode=DelayMode.LOAD)
+
+
+class TestTimingProbe:
+    def test_improved_on_real_gain(self, probe_design):
+        d = probe_design
+        probe = TimingProbe(d)
+        # upsizing the only inverter improves the single path
+        d.netlist.resize_cell(d.netlist.cell("inv"),
+                              d.library.size("INV", 8.0))
+        assert probe.improved()
+        assert probe.not_degraded()
+
+    def test_not_improved_when_nothing_changes(self, probe_design):
+        probe = TimingProbe(probe_design)
+        assert not probe.improved()
+        assert probe.not_degraded()
+
+    def test_degradation_detected(self, probe_design):
+        d = probe_design
+        probe = TimingProbe(d)
+        # dragging the inverter far away lengthens both wires
+        d.netlist.move_cell(d.netlist.cell("inv"), Point(0, 15))
+        assert not probe.improved()
+        # may or may not degrade the *worst* slack depending on load;
+        # the probe must at least be internally consistent:
+        if not probe.not_degraded():
+            assert d.timing.worst_slack() < probe.worst_before
+
+    def test_margin_blocks_marginal_wins(self, probe_design):
+        d = probe_design
+        probe = TimingProbe(d, margin=1e9)
+        d.netlist.resize_cell(d.netlist.cell("inv"),
+                              d.library.size("INV", 8.0))
+        assert not probe.improved()
+
+
+class TestTransformBase:
+    def test_result_counters(self):
+        r = TransformResult("t", accepted=3, rejected=2)
+        assert r.attempted == 5
+        assert "3/5" in str(r)
+
+    def test_base_run_abstract(self, probe_design):
+        with pytest.raises(NotImplementedError):
+            Transform().run(probe_design)

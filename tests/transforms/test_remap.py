@@ -1,0 +1,99 @@
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.netlist import Netlist
+from repro.timing import DelayMode, TimingConstraints
+from repro.transforms import LocalRemap
+from repro.design import Design
+
+
+@pytest.fixture
+def late_nand3(library):
+    """NAND3 whose input A arrives much later than B and C."""
+    nl = Netlist()
+    early1 = nl.add_input_port("e1")
+    early2 = nl.add_input_port("e2")
+    late_p = nl.add_input_port("lt")
+    po = nl.add_output_port("po")
+    chain_net = nl.add_net("c0")
+    nl.connect(late_p.pin("Z"), chain_net)
+    for i in range(4):
+        inv = nl.add_cell("inv%d" % i, library.smallest("INV"))
+        nl.connect(inv.pin("A"), chain_net)
+        chain_net = nl.add_net("c%d" % (i + 1))
+        nl.connect(inv.pin("Z"), chain_net)
+    e1net, e2net = nl.add_net("e1n"), nl.add_net("e2n")
+    nl.connect(early1.pin("Z"), e1net)
+    nl.connect(early2.pin("Z"), e2net)
+    g = nl.add_cell("g", library.smallest("NAND3"))
+    nl.connect(g.pin("A"), chain_net)   # late on slow outer pin
+    nl.connect(g.pin("B"), e1net)
+    nl.connect(g.pin("C"), e2net)
+    gout = nl.add_net("gout")
+    nl.connect(g.pin("Z"), gout)
+    nl.connect(po.pin("A"), gout)
+    d = Design(nl, library, Rect(0, 0, 64, 64),
+               TimingConstraints(cycle_time=10.0), mode=DelayMode.LOAD)
+    for c in nl.cells():
+        nl.move_cell(c, Point(32, 32))
+    return d, g
+
+
+class TestLocalRemap:
+    def test_remaps_late_input(self, late_nand3):
+        d, g = late_nand3
+        before = d.timing.worst_slack()
+        result = LocalRemap().run(d)
+        assert result.accepted == 1
+        assert d.timing.worst_slack() > before
+        # the NAND3 is gone, replaced by a two-stage structure
+        assert not d.netlist.has_cell("g")
+        types = {c.type_name for c in d.netlist.logic_cells()}
+        assert "AND2" in types and "NAND2" in types
+        d.check()
+
+    def test_rejection_restores_netlist(self, library):
+        """All inputs arrive together: decomposing only adds a level,
+        so the move must be rejected and fully undone."""
+        nl = Netlist()
+        ports = [nl.add_input_port("p%d" % i) for i in range(3)]
+        po = nl.add_output_port("po")
+        g = nl.add_cell("g", library.smallest("NAND3"))
+        for port, pin in zip(ports, ("A", "B", "C")):
+            net = nl.add_net("n_" + pin)
+            nl.connect(port.pin("Z"), net)
+            nl.connect(g.pin(pin), net)
+        gout = nl.add_net("gout")
+        nl.connect(g.pin("Z"), gout)
+        nl.connect(po.pin("A"), gout)
+        d = Design(nl, library, Rect(0, 0, 64, 64),
+                   TimingConstraints(cycle_time=10.0),
+                   mode=DelayMode.LOAD)
+        for c in nl.cells():
+            nl.move_cell(c, Point(32, 32))
+        cells_before = d.netlist.num_cells
+        nets_before = d.netlist.num_nets
+        slack_before = d.timing.worst_slack()
+        result = LocalRemap().run(d)
+        assert result.accepted == 0
+        assert d.netlist.num_cells == cells_before
+        assert d.netlist.num_nets == nets_before
+        assert d.timing.worst_slack() == pytest.approx(slack_before)
+        d.check()
+
+    def test_noop_without_complex_gates(self, library):
+        nl = Netlist()
+        pi, po = nl.add_input_port("pi"), nl.add_output_port("po")
+        inv = nl.add_cell("i", library.smallest("INV"))
+        n1, n2 = nl.add_net("n1"), nl.add_net("n2")
+        nl.connect(pi.pin("Z"), n1)
+        nl.connect(inv.pin("A"), n1)
+        nl.connect(inv.pin("Z"), n2)
+        nl.connect(po.pin("A"), n2)
+        d = Design(nl, library, Rect(0, 0, 32, 32),
+                   TimingConstraints(cycle_time=5.0),
+                   mode=DelayMode.LOAD)
+        for c in nl.cells():
+            nl.move_cell(c, Point(16, 16))
+        result = LocalRemap().run(d)
+        assert result.attempted == 0

@@ -1,0 +1,141 @@
+import pytest
+
+from repro.timing import DelayMode
+from repro.transforms.sizing import GateSizing
+
+
+class TestGainAssignment:
+    def test_assign_gains(self, placed_design):
+        sizing = GateSizing(default_gain=3.5)
+        count = sizing.assign_gains(placed_design)
+        assert count > 0
+        for cell in placed_design.netlist.logic_cells():
+            assert cell.gain == 3.5
+        assert placed_design.timing.default_gain == 3.5
+
+
+class TestDiscretize:
+    def test_sizes_follow_load(self, placed_design):
+        d = placed_design
+        # the heaviest-loaded INV should be at least as big as the
+        # lightest-loaded INV after discretization
+        invs = [c for c in d.netlist.logic_cells()
+                if c.type_name == "INV" and c.output_pins()
+                and c.output_pin().net is not None]
+        if len(invs) < 2:
+            pytest.skip("not enough INVs")
+        GateSizing().discretize(d)
+        loads = {c.name: d.timing.net_electrical(c.output_pin().net).total_cap
+                 for c in invs}
+        heavy = max(invs, key=lambda c: loads[c.name])
+        light = min(invs, key=lambda c: loads[c.name])
+        if loads[heavy.name] > 2 * loads[light.name]:
+            assert heavy.size.x >= light.size.x
+
+    def test_discretize_in_gain_mode_keeps_arrivals(self, library):
+        """Virtual discretization: resize while gain-based -> no timing
+        change (the paper's cheap path)."""
+        from repro.workloads import ProcessorParams, make_design, \
+            processor_partition
+        params = ProcessorParams(n_stages=2, regs_per_stage=6,
+                                 gates_per_stage=60, seed=9)
+        nl = processor_partition(params, library)
+        d = make_design(nl, library, cycle_time=200.0)
+        GateSizing().assign_gains(d)
+        assert d.timing.mode is DelayMode.GAIN
+        before = d.worst_slack()
+        GateSizing().discretize(d)
+        assert d.worst_slack() == pytest.approx(before)
+
+    def test_link_switches_mode(self, library):
+        from repro.workloads import ProcessorParams, make_design, \
+            processor_partition
+        params = ProcessorParams(n_stages=2, regs_per_stage=6,
+                                 gates_per_stage=60, seed=9)
+        nl = processor_partition(params, library)
+        d = make_design(nl, library, cycle_time=200.0)
+        GateSizing().assign_gains(d)
+        GateSizing().link_cells(d)
+        assert d.timing.mode is DelayMode.LOAD
+
+
+class TestTimingDrivenSizing:
+    def test_speed_sizing_never_hurts(self, placed_design):
+        d = placed_design
+        before = d.worst_slack()
+        GateSizing().gate_sizing_for_speed(d)
+        assert d.worst_slack() >= before - 1e-6
+
+    def test_area_recovery_reduces_area(self, placed_design):
+        d = placed_design
+        before_area = d.total_cell_area()
+        before_slack = d.worst_slack()
+        result = GateSizing().gate_sizing_for_area(d)
+        assert d.total_cell_area() <= before_area
+        assert d.worst_slack() >= before_slack - 1e-6
+        if result.accepted:
+            assert result.detail["area_recovered"] > 0
+
+    def test_area_recovery_skips_critical(self, placed_design):
+        d = placed_design
+        # snapshot sizes of critical cells
+        from repro.timing.critical import obtain_critical_region
+        region = obtain_critical_region(d.timing, slack_margin=0.0)
+        crit_sizes = {c.name: c.size for c in region.cells}
+        GateSizing().gate_sizing_for_area(d)
+        for name, size in crit_sizes.items():
+            if d.netlist.has_cell(name):
+                assert d.netlist.cell(name).size == size
+
+
+class TestInFootprintSizing:
+    def test_never_moves_cells_or_changes_outline(self, placed_design):
+        d = placed_design
+        positions = {c.name: c.position for c in d.netlist.cells()}
+        areas = {c.name: c.area for c in d.netlist.cells()}
+        GateSizing().in_footprint_sizing(d)
+        for c in d.netlist.cells():
+            assert c.position == positions[c.name]
+            assert c.area == pytest.approx(areas[c.name])
+
+    def test_never_hurts_timing(self, placed_design):
+        d = placed_design
+        before = d.worst_slack()
+        GateSizing().in_footprint_sizing(d)
+        assert d.worst_slack() >= before - 1e-6
+
+
+class TestVirtualDiscretization:
+    def test_virtual_pass_triggers_no_timing_work(self, library):
+        from repro.workloads import ProcessorParams, make_design, \
+            processor_partition
+        from repro.placement import Partitioner
+        params = ProcessorParams(n_stages=2, regs_per_stage=6,
+                                 gates_per_stage=80, seed=12)
+        nl = processor_partition(params, library)
+        d = make_design(nl, library, cycle_time=1200.0)
+        GateSizing().assign_gains(d)
+        Partitioner(d, seed=1).run_to(30)
+        d.timing.worst_slack()  # settle
+        before = dict(d.timing.stats)
+        result = GateSizing().discretize(d)  # GAIN mode -> virtual
+        d.timing.worst_slack()
+        assert result.accepted > 0
+        assert d.timing.stats["arrival_recomputes"] == \
+            before["arrival_recomputes"]
+
+    def test_image_sees_virtual_sizes(self, library):
+        from repro.workloads import ProcessorParams, make_design, \
+            processor_partition
+        from repro.placement import Partitioner
+        params = ProcessorParams(n_stages=2, regs_per_stage=6,
+                                 gates_per_stage=80, seed=12)
+        nl = processor_partition(params, library)
+        d = make_design(nl, library, cycle_time=1200.0)
+        GateSizing().assign_gains(d)
+        Partitioner(d, seed=1).run_to(30)
+        area_before = sum(b.area_used for b in d.grid.bins())
+        GateSizing().discretize(d)
+        area_after = sum(b.area_used for b in d.grid.bins())
+        assert area_after != area_before
+        d.grid.check_occupancy()

@@ -1,0 +1,154 @@
+import pytest
+
+from repro.geometry import Point
+from repro.library.parasitics import WireParasitics
+from repro.netlist import Netlist
+from repro.wirelength import RentEstimator, SteinerCache, WireModel
+
+
+@pytest.fixture
+def chain(library):
+    """drv INV at (0,0) driving two NAND2 sinks at (100,0), (100,50)."""
+    nl = Netlist()
+    drv = nl.add_cell("drv", library.size("INV", 4.0), position=Point(0, 0))
+    s1 = nl.add_cell("s1", library.smallest("NAND2"), position=Point(100, 0))
+    s2 = nl.add_cell("s2", library.smallest("NAND2"), position=Point(100, 50))
+    net = nl.add_net("n")
+    nl.connect(drv.pin("Z"), net)
+    nl.connect(s1.pin("A"), net)
+    nl.connect(s2.pin("A"), net)
+    return nl, drv, s1, s2, net
+
+
+class TestSteinerCache:
+    def test_length_and_caching(self, chain):
+        nl, drv, s1, s2, net = chain
+        cache = SteinerCache(nl)
+        assert cache.length(net) == pytest.approx(150.0)
+        cache.length(net)
+        assert cache.stats["misses"] == 1
+        assert cache.stats["hits"] >= 1
+
+    def test_move_invalidates(self, chain):
+        nl, drv, s1, s2, net = chain
+        cache = SteinerCache(nl)
+        before = cache.length(net)
+        nl.move_cell(s2, Point(100, 0))
+        after = cache.length(net)
+        assert after == pytest.approx(100.0)
+        assert after != before
+
+    def test_connect_invalidates(self, chain, library):
+        nl, drv, s1, s2, net = chain
+        cache = SteinerCache(nl)
+        cache.length(net)
+        s3 = nl.add_cell("s3", library.smallest("NAND2"),
+                         position=Point(0, 50))
+        nl.connect(s3.pin("A"), net)
+        assert cache.length(net) == pytest.approx(200.0)
+
+    def test_disconnect_invalidates(self, chain):
+        nl, drv, s1, s2, net = chain
+        cache = SteinerCache(nl)
+        cache.length(net)
+        nl.disconnect(s2.pin("A"))
+        assert cache.length(net) == pytest.approx(100.0)
+
+    def test_unplaced_pins_ignored(self, chain, library):
+        nl, drv, s1, s2, net = chain
+        cache = SteinerCache(nl)
+        s4 = nl.add_cell("s4", library.smallest("NAND2"))
+        nl.connect(s4.pin("A"), net)
+        assert cache.length(net) == pytest.approx(150.0)
+
+    def test_total_length(self, chain):
+        nl, *_ = chain
+        cache = SteinerCache(nl)
+        assert cache.total_length() == pytest.approx(150.0)
+
+    def test_rent_correction_for_colocated_pins(self, library):
+        nl = Netlist()
+        drv = nl.add_cell("d", library.smallest("INV"), position=Point(5, 5))
+        s = nl.add_cell("s", library.smallest("INV"), position=Point(5, 5))
+        net = nl.add_net("n")
+        nl.connect(drv.pin("Z"), net)
+        nl.connect(s.pin("A"), net)
+        cache = SteinerCache(nl, rent=RentEstimator())
+        assert cache.length(net) == 0.0  # no bin side configured
+        cache.set_bin_side(40.0)
+        cache.invalidate_all()
+        assert cache.length(net) > 0.0
+
+
+class TestRentEstimator:
+    def test_single_pin_zero(self):
+        assert RentEstimator().intrabin_length(100, 1) == 0.0
+
+    def test_scales_with_bin_and_pins(self):
+        r = RentEstimator()
+        assert r.intrabin_length(100, 3) == pytest.approx(
+            2 * r.intrabin_length(100, 2))
+        assert r.intrabin_length(200, 2) == pytest.approx(
+            2 * r.intrabin_length(100, 2))
+
+    def test_alpha_grows_with_rent_exponent(self):
+        lo = RentEstimator(rent_exponent=0.5)
+        hi = RentEstimator(rent_exponent=0.7)
+        assert hi.alpha > lo.alpha
+
+
+class TestWireModel:
+    def test_short_net_lumped(self, chain):
+        nl, drv, s1, s2, net = chain
+        cache = SteinerCache(nl)
+        par = WireParasitics(rc_threshold=1000.0)
+        model = WireModel(cache, par)
+        e = model.analyze(net)
+        assert e.model == "lumped"
+        expected_cap = par.wire_cap(150.0) + net.pin_load()
+        assert e.total_cap == pytest.approx(expected_cap)
+        assert e.delay_to("s1/A") == 0.0
+
+    def test_long_net_elmore(self, chain):
+        nl, drv, s1, s2, net = chain
+        cache = SteinerCache(nl)
+        par = WireParasitics(rc_threshold=50.0)
+        model = WireModel(cache, par)
+        e = model.analyze(net)
+        assert e.model == "elmore"
+        # s2 is further downstream than s1 along the tree
+        assert e.delay_to("s2/A") > e.delay_to("s1/A") > 0.0
+
+    def test_elmore_two_pin_formula(self, library):
+        nl = Netlist()
+        drv = nl.add_cell("d", library.size("INV", 4.0), position=Point(0, 0))
+        snk = nl.add_cell("s", library.smallest("INV"),
+                          position=Point(100, 0))
+        net = nl.add_net("n")
+        nl.connect(drv.pin("Z"), net)
+        nl.connect(snk.pin("A"), net)
+        par = WireParasitics(rc_threshold=10.0)
+        model = WireModel(SteinerCache(nl), par)
+        e = model.analyze(net)
+        r = par.wire_res(100.0)
+        c = par.wire_cap(100.0)
+        expected = r * (c / 2.0 + snk.pin("A").input_cap())
+        assert e.delay_to("s/A") == pytest.approx(expected)
+
+    def test_undriven_net(self, library):
+        nl = Netlist()
+        s = nl.add_cell("s", library.smallest("INV"), position=Point(0, 0))
+        net = nl.add_net("n")
+        nl.connect(s.pin("A"), net)
+        e = WireModel(SteinerCache(nl)).analyze(net)
+        assert e.model == "lumped"
+        assert e.total_cap == pytest.approx(s.pin("A").input_cap())
+
+    def test_longer_wire_more_cap(self, chain):
+        nl, drv, s1, s2, net = chain
+        cache = SteinerCache(nl)
+        model = WireModel(cache)
+        before = model.analyze(net).total_cap
+        nl.move_cell(s2, Point(300, 300))
+        after = model.analyze(net).total_cap
+        assert after > before

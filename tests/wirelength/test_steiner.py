@@ -1,0 +1,151 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect
+from repro.wirelength import (
+    build_steiner,
+    hanan_points,
+    iterated_one_steiner,
+    prim_rmst,
+)
+
+coords = st.integers(min_value=0, max_value=200)
+point_sets = st.lists(
+    st.builds(Point, coords.map(float), coords.map(float)),
+    min_size=1, max_size=10, unique=True,
+)
+
+
+def mst_length(points):
+    return sum(points[i].manhattan_to(points[j])
+               for i, j in prim_rmst(points))
+
+
+class TestPrimRMST:
+    def test_empty_and_single(self):
+        assert prim_rmst([]) == []
+        assert prim_rmst([Point(0, 0)]) == []
+
+    def test_two_points(self):
+        pts = [Point(0, 0), Point(3, 4)]
+        assert prim_rmst(pts) == [(0, 1)]
+        assert mst_length(pts) == 7
+
+    def test_collinear(self):
+        pts = [Point(0, 0), Point(10, 0), Point(5, 0)]
+        assert mst_length(pts) == 10
+
+    def test_square(self):
+        pts = [Point(0, 0), Point(10, 0), Point(0, 10), Point(10, 10)]
+        assert mst_length(pts) == 30
+
+    @given(point_sets)
+    @settings(max_examples=50)
+    def test_is_spanning_tree(self, pts):
+        edges = prim_rmst(pts)
+        assert len(edges) == len(pts) - 1
+        # connectivity via union-find
+        parent = list(range(len(pts)))
+
+        def find(x):
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for i, j in edges:
+            parent[find(i)] = find(j)
+        assert len({find(i) for i in range(len(pts))}) == 1
+
+
+class TestHananPoints:
+    def test_l_shape(self):
+        pts = [Point(0, 0), Point(10, 10)]
+        assert set(hanan_points(pts)) == {Point(0, 10), Point(10, 0)}
+
+    def test_excludes_terminals(self):
+        pts = [Point(0, 0), Point(0, 10), Point(10, 0), Point(10, 10)]
+        assert hanan_points(pts) == []
+
+
+class TestSteinerConstruction:
+    def test_three_pin_median(self):
+        # T shape: median point at (5, 0) saves over MST
+        pts = [Point(0, 0), Point(10, 0), Point(5, 8)]
+        tree = build_steiner(pts)
+        assert tree.length == pytest.approx(18.0)  # 10 + 8
+        tree.validate()
+
+    def test_three_pin_median_is_terminal(self):
+        pts = [Point(0, 0), Point(5, 0), Point(10, 0)]
+        tree = build_steiner(pts)
+        assert tree.length == pytest.approx(10.0)
+        assert len(tree.points) == 3  # no extra Steiner point
+        tree.validate()
+
+    def test_four_corner_cross(self):
+        # Plus-sign terminals: Steiner point in the middle wins.
+        pts = [Point(5, 0), Point(5, 10), Point(0, 5), Point(10, 5)]
+        tree = build_steiner(pts)
+        assert tree.length == pytest.approx(20.0)
+        assert mst_length(pts) == 30.0
+        tree.validate()
+
+    def test_duplicate_points_deduped(self):
+        pts = [Point(0, 0), Point(0, 0), Point(5, 0)]
+        tree = build_steiner(pts)
+        assert tree.num_terminals == 2
+        assert tree.length == pytest.approx(5.0)
+
+    def test_single_point(self):
+        tree = build_steiner([Point(1, 1)])
+        assert tree.length == 0.0
+        assert tree.edges == []
+
+    def test_empty(self):
+        tree = build_steiner([])
+        assert tree.length == 0.0
+
+    def test_large_net_uses_rmst(self):
+        pts = [Point(float(i * 7 % 40), float(i * 13 % 40))
+               for i in range(20)]
+        tree = build_steiner(pts)
+        assert len(tree.points) == tree.num_terminals  # no Steiner pts
+        tree.validate()
+
+    @given(point_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_steiner_never_longer_than_mst(self, pts):
+        tree = build_steiner(pts)
+        assert tree.length <= mst_length(pts) + 1e-9
+        tree.validate()
+
+    @given(point_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_steiner_at_least_half_perimeter(self, pts):
+        # RSMT lower bound: half-perimeter of the bounding box.
+        tree = build_steiner(pts)
+        if len(pts) >= 2:
+            hp = Rect.bounding(pts).half_perimeter()
+            assert tree.length >= hp - 1e-9
+
+    @given(point_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_no_leaf_steiner_points(self, pts):
+        tree = build_steiner(pts)
+        degree = {}
+        for i, j in tree.edges:
+            degree[i] = degree.get(i, 0) + 1
+            degree[j] = degree.get(j, 0) + 1
+        for i in range(tree.num_terminals, len(tree.points)):
+            assert degree.get(i, 0) >= 2
+
+
+class TestIteratedOneSteiner:
+    def test_improves_on_mst(self):
+        pts = [Point(0, 0), Point(10, 0), Point(0, 10), Point(10, 10),
+               Point(5, 5)]
+        tree = iterated_one_steiner(pts)
+        assert tree.length <= mst_length(pts)
+        tree.validate()

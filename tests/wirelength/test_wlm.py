@@ -1,0 +1,63 @@
+import pytest
+
+from repro.geometry import Point
+from repro.netlist import Netlist
+from repro.wirelength import SteinerCache
+from repro.wirelength.wlm import WireLoadModel
+
+
+@pytest.fixture
+def fanout_net(library):
+    nl = Netlist()
+    drv = nl.add_cell("d", library.smallest("INV"), position=Point(0, 0))
+    net = nl.add_net("n")
+    nl.connect(drv.pin("Z"), net)
+    sinks = []
+    for i in range(3):
+        s = nl.add_cell("s%d" % i, library.smallest("INV"),
+                        position=Point(100.0 * (i + 1), 0))
+        nl.connect(s.pin("A"), net)
+        sinks.append(s)
+    return nl, net, sinks
+
+
+class TestWireLoadModel:
+    def test_cap_from_fanout_only(self, fanout_net):
+        nl, net, sinks = fanout_net
+        wlm = WireLoadModel(SteinerCache(nl), base_cap=2.0,
+                            cap_per_fanout=6.0)
+        e = wlm.analyze(net)
+        assert e.total_cap == pytest.approx(net.pin_load() + 2.0 + 18.0)
+        assert e.model == "wlm"
+
+    def test_placement_blind(self, fanout_net):
+        """Moving cells changes nothing — the WLM has no positions."""
+        nl, net, sinks = fanout_net
+        wlm = WireLoadModel(SteinerCache(nl))
+        before = wlm.analyze(net).total_cap
+        nl.move_cell(sinks[0], Point(9999, 9999))
+        assert wlm.analyze(net).total_cap == pytest.approx(before)
+
+    def test_no_wire_delay(self, fanout_net):
+        nl, net, sinks = fanout_net
+        wlm = WireLoadModel(SteinerCache(nl))
+        e = wlm.analyze(net)
+        for s in sinks:
+            assert e.delay_to("%s/A" % s.name) == 0.0
+
+    def test_undriven_zero_wire(self, library):
+        nl = Netlist()
+        s = nl.add_cell("s", library.smallest("INV"))
+        net = nl.add_net("n")
+        nl.connect(s.pin("A"), net)
+        # fanout counts sinks; an undriven net still models its sinks
+        wlm = WireLoadModel(SteinerCache(nl))
+        assert wlm.analyze(net).total_cap >= net.pin_load()
+
+    def test_grows_with_fanout(self, fanout_net, library):
+        nl, net, sinks = fanout_net
+        wlm = WireLoadModel(SteinerCache(nl))
+        before = wlm.analyze(net).total_cap
+        extra = nl.add_cell("s9", library.smallest("INV"))
+        nl.connect(extra.pin("A"), net)
+        assert wlm.analyze(net).total_cap > before

@@ -1,0 +1,52 @@
+import pytest
+
+from repro.library.types import ROW_HEIGHT
+from repro.workloads import make_design, random_logic, size_die
+from repro.workloads.build import place_ports_on_boundary
+
+
+class TestSizeDie:
+    def test_side_is_row_multiple(self, library):
+        nl = random_logic("r", library, 120, seed=1)
+        die = size_die(nl)
+        assert die.width % ROW_HEIGHT == pytest.approx(0.0)
+        assert die.width == die.height
+
+    def test_blockage_area_enlarges_die(self, library):
+        nl = random_logic("r", library, 120, seed=1)
+        plain = size_die(nl, 0.5)
+        padded = size_die(nl, 0.5, blockage_area=plain.area / 4)
+        assert padded.area > plain.area
+
+    def test_empty_netlist_has_minimum(self, library):
+        from repro.netlist import Netlist
+        die = size_die(Netlist())
+        assert die.area > 0
+
+
+class TestGrowthAllowance:
+    def test_allowance_grows_die(self, library):
+        nl1 = random_logic("a", library, 100, seed=2)
+        nl2 = random_logic("b", library, 100, seed=2)
+        tight = make_design(nl1, library, cycle_time=500.0,
+                            growth_allowance=1.0)
+        roomy = make_design(nl2, library, cycle_time=500.0,
+                            growth_allowance=3.0)
+        assert roomy.die.area > tight.die.area
+
+    def test_ports_stay_on_boundary_after_resize(self, library):
+        nl = random_logic("r", library, 80, seed=3)
+        design = make_design(nl, library, cycle_time=500.0)
+        for port in nl.ports():
+            p = port.require_position()
+            assert (p.x in (design.die.xlo, design.die.xhi)
+                    or p.y in (design.die.ylo, design.die.yhi))
+
+    def test_inputs_left_outputs_right_bias(self, library):
+        nl = random_logic("r", library, 80, seed=3)
+        design = make_design(nl, library, cycle_time=500.0)
+        ins = [p for p in nl.ports() if p.output_pins()]
+        outs = [p for p in nl.ports() if p.input_pins()]
+        avg_in_x = sum(p.position.x for p in ins) / len(ins)
+        avg_out_x = sum(p.position.x for p in outs) / len(outs)
+        assert avg_in_x < avg_out_x

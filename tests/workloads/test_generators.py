@@ -1,0 +1,128 @@
+import pytest
+
+from repro.timing import TimingEngine, TimingConstraints
+from repro.workloads import (
+    ProcessorParams,
+    build_des_design,
+    des_params,
+    make_design,
+    processor_partition,
+    random_logic,
+    size_die,
+)
+from repro.workloads.presets import DES_PRESETS
+
+
+class TestRandomLogic:
+    def test_size_and_consistency(self, library):
+        nl = random_logic("r", library, 300, seed=4)
+        nl.check_consistency()
+        assert 300 <= len(nl.logic_cells()) + len(nl.ports())
+
+    def test_acyclic(self, library):
+        nl = random_logic("r", library, 200, seed=4)
+        from repro.timing.graph import TimingGraph
+        TimingGraph(nl)  # raises CombinationalLoopError on a cycle
+
+    def test_deterministic_per_seed(self, library):
+        a = random_logic("a", library, 100, seed=7)
+        b = random_logic("b", library, 100, seed=7)
+        assert [c.type_name for c in a.cells()] == \
+            [c.type_name for c in b.cells()]
+        c = random_logic("c", library, 100, seed=8)
+        assert [x.type_name for x in a.cells()] != \
+            [x.type_name for x in c.cells()]
+
+    def test_every_net_driven(self, library):
+        nl = random_logic("r", library, 150, seed=2)
+        for net in nl.nets():
+            assert net.driver() is not None, net.name
+
+    def test_fanout_bounded(self, library):
+        nl = random_logic("r", library, 400, seed=3)
+        from repro.workloads.random_logic import _MAX_FANOUT
+        for net in nl.nets():
+            assert len(net.sinks()) <= _MAX_FANOUT + 1
+
+
+class TestProcessorPartition:
+    def test_structure(self, library):
+        params = ProcessorParams(n_stages=2, regs_per_stage=8,
+                                 gates_per_stage=80, seed=1)
+        nl = processor_partition(params, library)
+        nl.check_consistency()
+        seq = nl.sequential_cells()
+        assert len(seq) == 3 * 8  # (stages+1) banks
+        clk = [n for n in nl.nets() if n.is_clock]
+        assert len(clk) == 1
+        # every register is clocked
+        for reg in seq:
+            assert reg.pin("CK").net is clk[0]
+
+    def test_scan_chain_connected(self, library):
+        params = ProcessorParams(n_stages=2, regs_per_stage=10,
+                                 scan_fraction=1.0, gates_per_stage=50,
+                                 seed=2)
+        nl = processor_partition(params, library)
+        sdffs = [c for c in nl.sequential_cells()
+                 if c.gate_type.name == "SDFF"]
+        assert sdffs
+        for reg in sdffs:
+            assert reg.pin("SI").net is not None
+        assert nl.has_cell("scan_in")
+        assert nl.has_cell("scan_out")
+
+    def test_no_dangling_nets(self, library):
+        params = ProcessorParams(n_stages=3, regs_per_stage=6,
+                                 gates_per_stage=90, seed=3)
+        nl = processor_partition(params, library)
+        for net in nl.nets():
+            if net.driver() is not None and not net.is_clock:
+                assert net.sinks(), "dangling net %s" % net.name
+
+    def test_timeable(self, library):
+        params = ProcessorParams(n_stages=2, regs_per_stage=6,
+                                 gates_per_stage=60, seed=4)
+        nl = processor_partition(params, library)
+        design = make_design(nl, library, cycle_time=500.0)
+        assert design.worst_slack() < float("inf")
+
+
+class TestDiesAndPresets:
+    def test_size_die_fits_cells(self, library):
+        nl = random_logic("r", library, 200, seed=1)
+        die = size_die(nl, target_utilization=0.5)
+        assert die.area * 0.5 >= nl.total_cell_area() * 0.99
+
+    def test_port_placement_on_boundary(self, library):
+        nl = random_logic("r", library, 100, seed=1)
+        design = make_design(nl, library, cycle_time=300.0)
+        for port in nl.ports():
+            p = port.require_position()
+            on_edge = (p.x in (design.die.xlo, design.die.xhi)
+                       or p.y in (design.die.ylo, design.die.yhi))
+            assert on_edge, port.name
+
+    def test_des_params_scale(self):
+        full = des_params("Des1", scale=1.0)
+        small = des_params("Des1", scale=0.25)
+        assert small.gates_per_stage < full.gates_per_stage
+        assert small.n_stages == full.n_stages
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            des_params("Des9")
+
+    def test_relative_sizes_track_paper(self, library):
+        sizes = {}
+        for name in DES_PRESETS:
+            sizes[name] = des_params(name, scale=0.2).approx_cells
+        # Des3 is the paper's largest, Des5 the smallest
+        assert sizes["Des3"] == max(sizes.values())
+        assert sizes["Des5"] == min(sizes.values())
+
+    def test_build_des_design(self, library):
+        design = build_des_design("Des5", library, scale=0.1)
+        assert design.netlist.num_cells > 50
+        assert design.blockages  # datapath macro present
+        design.check()
