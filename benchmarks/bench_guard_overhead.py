@@ -1,0 +1,52 @@
+"""Guarded-execution overhead: checkpoints must be near-free.
+
+The guard wraps every transform invocation in a checkpoint + invariant
+check (see ``repro.guard``).  For the robustness machinery to be
+left on by default it has to stay well inside the noise floor of a
+flow run; the budget here is 15% wall-clock on the processor workload
+preset, with bit-identical results.
+"""
+
+from conftest import publish, stopwatch
+
+from repro import GuardConfig, TPSScenario, make_design
+from repro.scenario import TPSConfig
+from repro.workloads import ProcessorParams, processor_partition
+
+_PARAMS = ProcessorParams(n_stages=2, regs_per_stage=10,
+                          gates_per_stage=150, seed=11)
+
+
+def run_once(library, guard):
+    netlist = processor_partition(_PARAMS, library)
+    design = make_design(netlist, library, cycle_time=1600.0,
+                         with_blockage=True)
+    config = TPSConfig(seed=1, guard=GuardConfig() if guard else None)
+    with stopwatch() as sw:
+        report = TPSScenario(design, config).run()
+    return report, sw.seconds
+
+
+def test_guard_overhead(benchmark, library):
+    (plain, t_plain), (guarded, t_guarded) = benchmark.pedantic(
+        lambda: (run_once(library, False), run_once(library, True)),
+        rounds=1, iterations=1)
+
+    overhead = (t_guarded - t_plain) / t_plain
+    lines = [
+        "Guard overhead (processor preset, %d cells)" % guarded.icells,
+        "unguarded: %.2f s" % t_plain,
+        "guarded:   %.2f s (%+.1f%%, %.2f s inside the guard)"
+        % (t_guarded, 100.0 * overhead, guarded.guard_seconds),
+        "failures: %d, rollbacks: %d, quarantined: %s"
+        % (guarded.total_failures, guarded.total_rollbacks,
+           guarded.quarantined or "none"),
+    ]
+    publish("guard_overhead.txt", "\n".join(lines) + "\n")
+
+    # identical outcome: the guard observes, it must not steer
+    assert guarded.worst_slack == plain.worst_slack
+    assert guarded.wirelength == plain.wirelength
+    assert guarded.total_failures == 0
+    assert overhead < 0.15, "guard overhead %.1f%% over budget" % (
+        100.0 * overhead)

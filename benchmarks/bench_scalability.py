@@ -9,9 +9,8 @@ check that runtime grows sub-quadratically.
 """
 
 import math
-import time
 
-from conftest import publish
+from conftest import publish, stopwatch
 
 from repro import default_library, make_design
 from repro.placement import Partitioner, Reflow, legalize_rows
@@ -29,15 +28,14 @@ def run_sweep(library):
         netlist = processor_partition(params, library)
         design = make_design(netlist, library, cycle_time=2000.0)
         n = len(netlist.movable_cells())
-        start = time.time()
-        part = Partitioner(design, seed=1)
-        reflow = Reflow(part)
-        while not part.done:
-            part.cut()
-            reflow.run()
-        legalize_rows(design)
-        elapsed = time.time() - start
-        points.append((n, elapsed, design.total_wirelength()))
+        with stopwatch() as sw:
+            part = Partitioner(design, seed=1)
+            reflow = Reflow(part)
+            while not part.done:
+                part.cut()
+                reflow.run()
+            legalize_rows(design)
+        points.append((n, sw.seconds, design.total_wirelength()))
     return points
 
 

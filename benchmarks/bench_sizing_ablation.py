@@ -12,9 +12,7 @@ re-propagates).  The metric is timing work — arrival recomputations
 triggered by the pass — plus the wall time of the pass.
 """
 
-import time
-
-from conftest import BENCH_SCALE, publish
+from conftest import BENCH_SCALE, publish, stopwatch
 
 from repro import DelayMode, build_des_design
 from repro.placement import Partitioner, Reflow
@@ -37,10 +35,10 @@ def prepared_design(library, mode):
 def measure(library, mode):
     design, sizing = prepared_design(library, mode)
     before = dict(design.timing.stats)
-    t0 = time.time()
-    result = sizing.discretize(design)
-    design.timing.worst_slack()  # force the engine to absorb the pass
-    elapsed = time.time() - t0
+    with stopwatch() as sw:
+        result = sizing.discretize(design)
+        design.timing.worst_slack()  # force the engine to absorb the pass
+    elapsed = sw.seconds
     recomputes = (design.timing.stats["arrival_recomputes"]
                   - before["arrival_recomputes"])
     changes = (design.timing.stats["arrival_changes"]

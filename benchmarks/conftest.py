@@ -13,6 +13,7 @@ Environment knobs:
 """
 
 import os
+import time
 from pathlib import Path
 
 import pytest
@@ -28,6 +29,23 @@ BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
 @pytest.fixture(scope="session")
 def library():
     return default_library()
+
+
+class stopwatch:
+    """Monotonic wall-clock timer for benchmark bodies.
+
+    ``with stopwatch() as sw: ...`` then read ``sw.seconds``. Uses
+    ``time.perf_counter`` so timings are immune to system clock steps.
+    """
+
+    def __enter__(self):
+        self.seconds = 0.0
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self.seconds = time.perf_counter() - self._t0
+        return False
 
 
 def publish(name: str, text: str) -> None:

@@ -29,6 +29,14 @@ Main entry points:
 
 from repro.design import Design
 from repro.geometry import Point, Rect
+from repro.guard import (
+    DesignCheckpoint,
+    FaultInjector,
+    FaultKind,
+    GuardConfig,
+    GuardedRunner,
+    InvariantSuite,
+)
 from repro.library import Library, analyze_library, default_library
 from repro.netlist import Netlist
 from repro.scenario import FlowReport, SPRConfig, SPRFlow, TPSConfig, TPSScenario
@@ -46,6 +54,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Design",
+    "DesignCheckpoint",
+    "FaultInjector",
+    "FaultKind",
+    "GuardConfig",
+    "GuardedRunner",
+    "InvariantSuite",
     "Point",
     "Rect",
     "Library",

@@ -22,6 +22,7 @@ from repro import (
     default_library,
     make_design,
 )
+from repro.guard import FaultInjector, FaultKind, GuardConfig
 from repro.netlist.verilog import read_verilog, write_placement, write_verilog
 from repro.workloads.presets import DES_PRESETS
 
@@ -65,13 +66,40 @@ def _print_report(report) -> None:
     if report.cuts:
         print("  wires cut   %s" % report.cuts.row())
     print("  routable    %s" % report.routable)
+    if report.health:
+        print("  guard       %.2f s overhead, %d failures, "
+              "%d rollbacks, %d quarantined"
+              % (report.guard_seconds, report.total_failures,
+                 report.total_rollbacks, len(report.quarantined)))
+        for line in report.health_lines():
+            print("    %s" % line)
+
+
+def _guard_setup(args):
+    """(GuardConfig, FaultInjector) from the chaos CLI flags."""
+    injector = None
+    if getattr(args, "chaos_seed", None) is not None:
+        injector = FaultInjector(seed=args.chaos_seed,
+                                 rate=args.chaos_rate,
+                                 kinds=list(FaultKind))
+    config = None
+    if getattr(args, "guard", False) or injector is not None:
+        config = GuardConfig(budget_seconds=args.guard_budget)
+    return config, injector
 
 
 def cmd_tps(args) -> int:
     library = default_library()
     design = _load_design(args, library)
-    report = TPSScenario(design).run()
+    guard, injector = _guard_setup(args)
+    scenario = TPSScenario(design, injector=injector)
+    scenario.config.guard = guard
+    report = scenario.run()
     _print_report(report)
+    if injector is not None:
+        fired = injector.fired()
+        print("  chaos       %d faults fired: %s"
+              % (len(fired), ", ".join(str(f) for f in fired) or "-"))
     if args.trace:
         for line in report.trace:
             print("   ", line)
@@ -82,7 +110,10 @@ def cmd_tps(args) -> int:
 def cmd_spr(args) -> int:
     library = default_library()
     design = _load_design(args, library)
-    report = SPRFlow(design).run()
+    guard, injector = _guard_setup(args)
+    flow = SPRFlow(design, injector=injector)
+    flow.config.guard = guard
+    report = flow.run()
     _print_report(report)
     _write_outputs(design, args)
     return 0
@@ -144,6 +175,18 @@ def _add_design_args(parser) -> None:
     parser.add_argument("--sdc", default=None,
                         help="SDC-lite constraint file (Verilog "
                              "designs only)")
+    parser.add_argument("--guard", action="store_true",
+                        help="run transforms through the guarded "
+                             "runner (checkpoint/rollback/quarantine)")
+    parser.add_argument("--guard-budget", type=float, default=30.0,
+                        help="per-transform wall-clock budget in "
+                             "seconds (default 30)")
+    parser.add_argument("--chaos-seed", type=int, default=None,
+                        help="inject deterministic faults from this "
+                             "seed (implies --guard)")
+    parser.add_argument("--chaos-rate", type=float, default=0.05,
+                        help="per-invocation fault probability for "
+                             "--chaos-seed (default 0.05)")
 
 
 def main(argv=None) -> int:

@@ -85,10 +85,19 @@ class Design:
         for cell in self.netlist.movable_cells():
             self.netlist.move_cell(cell, center)
 
-    def check(self) -> None:
-        """Validate netlist/grid consistency (test hook)."""
-        self.netlist.check_consistency()
-        self.grid.check_occupancy()
+    def check(self, suite=None) -> None:
+        """Validate design-space consistency; raise on corruption.
+
+        Runs the default :class:`~repro.guard.invariants.InvariantSuite`
+        (netlist back-references, dangling pins, bin occupancy
+        conservation, timing-graph/netlist sync) or a caller-supplied
+        suite.  Used both as a test hook and in-flow by the guarded
+        scenarios.
+        """
+        if suite is None:
+            from repro.guard.invariants import InvariantSuite
+            suite = InvariantSuite()
+        suite.verify(self)
 
     def __repr__(self) -> str:
         return "<Design %s: %d cells on %gx%g, status %d>" % (

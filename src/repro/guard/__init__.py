@@ -1,0 +1,62 @@
+"""Guarded transform execution: checkpoints, rollback, quarantine.
+
+The paper's single converging flow interleaves ~15 transform kinds over
+one shared design space; an exception or state corruption in any of
+them would otherwise abort the whole flow with the ``Design``
+half-mutated.  This package makes every transform invocation a
+transaction:
+
+* :class:`DesignCheckpoint` — snapshot/restore of the mutable design
+  space (positions, sizes, netlist topology deltas, bin occupancy,
+  timing invalidation);
+* :class:`InvariantSuite` — pluggable post-run consistency checks
+  (netlist back-references, dangling pins, bin occupancy conservation,
+  timing-graph/netlist sync);
+* :class:`GuardedRunner` — exception isolation, wall-clock budgets,
+  invariant verification, rollback-on-failure and quarantine after K
+  consecutive failures, with per-transform health accounting;
+* :class:`FaultInjector` — a deterministic (seeded) chaos harness that
+  injects exceptions, slowdowns, and state corruption into chosen
+  transforms so the guarded flows can be tested under failure.
+"""
+
+from repro.guard.errors import (
+    BudgetExceeded,
+    FaultInjected,
+    GuardError,
+    InvariantViolation,
+    RestoreMismatch,
+    TransformError,
+)
+from repro.guard.checkpoint import DesignCheckpoint, state_signature
+from repro.guard.invariants import (
+    Invariant,
+    InvariantSuite,
+    default_invariants,
+)
+from repro.guard.faults import FaultInjector, FaultKind, FaultSpec
+from repro.guard.runner import (
+    GuardConfig,
+    GuardedRunner,
+    TransformHealth,
+)
+
+__all__ = [
+    "BudgetExceeded",
+    "DesignCheckpoint",
+    "FaultInjected",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSpec",
+    "GuardConfig",
+    "GuardError",
+    "GuardedRunner",
+    "Invariant",
+    "InvariantSuite",
+    "InvariantViolation",
+    "RestoreMismatch",
+    "TransformError",
+    "TransformHealth",
+    "default_invariants",
+    "state_signature",
+]

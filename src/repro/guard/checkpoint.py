@@ -1,0 +1,192 @@
+"""Atomic snapshot/restore of the mutable TPS design space.
+
+A :class:`DesignCheckpoint` captures everything a transform can change
+about a :class:`~repro.design.Design` — cell positions and sizes,
+netlist topology deltas (cells/pins/nets added or removed by cloning,
+buffering, decomposition, or cleanup), per-net placement weights, the
+bin-grid resolution, the timing mode/wire model, and the design RNG —
+and can restore it all atomically.
+
+Restore replays every difference through the ``Netlist`` mutation API,
+so the subscribed incremental analyzers (bin grid, Steiner cache,
+timing engine) receive ordinary change events and re-invalidate exactly
+the affected state; nothing is rebuilt unless bin bookkeeping itself
+was corrupted, in which case the grid is re-derived from cell
+positions.
+
+``state_signature`` hashes the restorable state; the chaos tests use it
+to assert a rollback is bit-identical to the checkpoint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional, Tuple
+
+from repro.design import Design
+from repro.netlist.cell import Cell
+from repro.netlist.net import Net
+
+
+class _CellState:
+    """Frozen per-cell restore record."""
+
+    __slots__ = ("cell", "size", "position", "fixed", "gain", "tags")
+
+    def __init__(self, cell: Cell) -> None:
+        self.cell = cell
+        self.size = cell.size
+        self.position = cell.position
+        self.fixed = cell.fixed
+        self.gain = cell.gain
+        self.tags = frozenset(cell.tags)
+
+
+class _NetState:
+    """Frozen per-net restore record (scalars + exact pin membership)."""
+
+    __slots__ = ("net", "weight", "base_weight", "is_clock", "is_scan",
+                 "pins", "pin_ids")
+
+    def __init__(self, net: Net) -> None:
+        self.net = net
+        self.weight = net.weight
+        self.base_weight = net.base_weight
+        self.is_clock = net.is_clock
+        self.is_scan = net.is_scan
+        self.pins = tuple(net.pins())
+        self.pin_ids = frozenset(id(p) for p in self.pins)
+
+
+class DesignCheckpoint:
+    """One restorable snapshot of a design's mutable state."""
+
+    def __init__(self, design: Design) -> None:
+        self.design = design
+        nl = design.netlist
+        self._cells: Dict[str, _CellState] = {
+            c.name: _CellState(c) for c in nl.cells()}
+        self._nets: Dict[str, _NetState] = {
+            n.name: _NetState(n) for n in nl.nets()}
+        self._grid_dims: Tuple[int, int] = (design.grid.nx, design.grid.ny)
+        self._timing_mode = design.timing.mode
+        self._wire_model = design.timing.wire_model
+        self._default_gain = design.timing.default_gain
+        self._status = design.status
+        self._rng_state = design.rng.getstate()
+        self.signature = state_signature(design)
+
+    # -- restore -------------------------------------------------------
+
+    def restore(self) -> None:
+        """Roll the design back to this checkpoint."""
+        design = self.design
+        nl = design.netlist
+
+        # 1. drop topology created after the checkpoint (removal
+        #    disconnects pins, so analyzers see each elementary change)
+        for cell in nl.cells():
+            state = self._cells.get(cell.name)
+            if state is None or state.cell is not cell:
+                nl.remove_cell(cell)
+        for net in nl.nets():
+            state = self._nets.get(net.name)
+            if state is None or state.net is not net:
+                nl.remove_net(net)
+
+        # 2. re-adopt topology removed after the checkpoint: the same
+        #    objects return, so pins referenced by the snapshot's
+        #    connectivity records stay valid
+        for name, state in self._cells.items():
+            if not nl.has_cell(name):
+                nl.adopt_cell(state.cell)
+        for name, state in self._nets.items():
+            if not nl.has_net(name):
+                nl.adopt_net(state.net)
+
+        # 3. per-cell physical/electrical scalars
+        for state in self._cells.values():
+            cell = state.cell
+            if cell.size != state.size:
+                nl.resize_cell(cell, state.size)
+            if cell.position != state.position:
+                nl.move_cell(cell, state.position)
+            cell.fixed = state.fixed
+            cell.gain = state.gain
+            cell.tags = set(state.tags)
+
+        # 4. connectivity: first detach every pin a net should not
+        #    carry (including stray drivers), then re-attach the
+        #    snapshot membership; ``connect`` migrates pins off any
+        #    interim net automatically
+        for state in self._nets.values():
+            for pin in state.net.pins():
+                if id(pin) not in state.pin_ids:
+                    nl.disconnect(pin)
+        for state in self._nets.values():
+            for pin in state.pins:
+                if pin.net is not state.net:
+                    nl.connect(pin, state.net)
+            net = state.net
+            net.weight = state.weight
+            net.base_weight = state.base_weight
+            net.is_clock = state.is_clock
+            net.is_scan = state.is_scan
+
+        # 5. bin image: restore resolution, then verify occupancy; a
+        #    direct corruption of bin bookkeeping (no netlist event
+        #    fired) is repaired by re-deriving the grid from positions
+        if (design.grid.nx, design.grid.ny) != self._grid_dims:
+            design.grid.resize(*self._grid_dims)
+        else:
+            try:
+                design.grid.check_occupancy()
+            except AssertionError:
+                design.grid.resize(*self._grid_dims)
+
+        # 6. analyzers and flow-level scalars
+        timing = design.timing
+        if timing.mode is not self._timing_mode:
+            timing.set_mode(self._timing_mode)
+        if timing.wire_model is not self._wire_model:
+            timing.set_wire_model(self._wire_model)
+        timing.default_gain = self._default_gain
+        design.status = self._status
+        design.rng.setstate(self._rng_state)
+
+    def verify(self) -> Optional[str]:
+        """None if the design matches this checkpoint, else a message."""
+        current = state_signature(self.design)
+        if current != self.signature:
+            return ("state signature %s != checkpoint %s"
+                    % (current[:12], self.signature[:12]))
+        return None
+
+
+def state_signature(design: Design) -> str:
+    """Deterministic digest of a design's restorable state.
+
+    Covers exactly what :class:`DesignCheckpoint` restores; two designs
+    with equal signatures are bit-identical as far as any transform can
+    observe.  ``repr`` keeps float identity exact.
+    """
+    h = hashlib.sha256()
+
+    def put(*parts) -> None:
+        h.update("|".join(repr(p) for p in parts).encode())
+        h.update(b";")
+
+    nl = design.netlist
+    for cell in sorted(nl.cells(), key=lambda c: c.name):
+        pos = (None if cell.position is None
+               else (cell.position.x, cell.position.y))
+        put("cell", cell.name, cell.size.gate_type.name, cell.size.name,
+            pos, cell.fixed, cell.gain, sorted(cell.tags))
+    for net in sorted(nl.nets(), key=lambda n: n.name):
+        put("net", net.name, net.weight, net.base_weight,
+            net.is_clock, net.is_scan,
+            sorted(p.full_name for p in net.pins()))
+    put("grid", design.grid.nx, design.grid.ny)
+    put("mode", design.timing.mode.value, design.timing.default_gain)
+    put("status", design.status)
+    return h.hexdigest()

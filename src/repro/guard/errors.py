@@ -1,0 +1,84 @@
+"""Structured error taxonomy for guarded transform execution.
+
+Every failure the :class:`~repro.guard.runner.GuardedRunner` can
+observe is recorded as one of these, so flow reports can aggregate
+failures by class instead of by free-form message.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class GuardError(Exception):
+    """Base class for guard failures; carries the transform name."""
+
+    #: short classification used in health stats ("error", ...)
+    kind = "error"
+
+    def __init__(self, transform: str, message: str,
+                 seconds: float = 0.0) -> None:
+        self.transform = transform
+        self.message = message
+        #: wall-clock seconds the guarded invocation took before failing
+        self.seconds = seconds
+        super().__init__("%s[%s]: %s" % (self.kind, transform, message))
+
+
+class TransformError(GuardError):
+    """A transform raised an (unexpected) exception."""
+
+    kind = "exception"
+
+    def __init__(self, transform: str, cause: BaseException,
+                 seconds: float = 0.0) -> None:
+        self.cause = cause
+        super().__init__(
+            transform, "%s: %s" % (type(cause).__name__, cause), seconds)
+
+
+class InvariantViolation(GuardError):
+    """A post-run invariant check failed: the design space is corrupt."""
+
+    kind = "invariant"
+
+    def __init__(self, transform: str, invariant: str, message: str,
+                 seconds: float = 0.0) -> None:
+        self.invariant = invariant
+        super().__init__(
+            transform, "%s: %s" % (invariant, message), seconds)
+
+
+class BudgetExceeded(GuardError):
+    """A transform overran its wall-clock budget."""
+
+    kind = "budget"
+
+    def __init__(self, transform: str, seconds: float,
+                 budget: float) -> None:
+        self.budget = budget
+        super().__init__(
+            transform,
+            "took %.3fs (budget %.3fs)" % (seconds, budget), seconds)
+
+
+class RestoreMismatch(GuardError):
+    """A rollback did not reproduce the checkpointed state exactly."""
+
+    kind = "restore"
+
+
+class FaultInjected(Exception):
+    """Raised by the fault injector to simulate a transform crash.
+
+    Deliberately *not* a :class:`GuardError`: to the runner it must be
+    indistinguishable from a genuine transform exception.
+    """
+
+    def __init__(self, transform: str,
+                 invocation: Optional[int] = None) -> None:
+        self.transform = transform
+        self.invocation = invocation
+        super().__init__(
+            "injected fault in %s (invocation %s)"
+            % (transform, invocation))

@@ -1,0 +1,206 @@
+"""Deterministic fault injection for chaos-testing the guarded flows.
+
+A :class:`FaultInjector` is armed with :class:`FaultSpec` records —
+either explicitly (``inject("cloning", FaultKind.EXCEPTION,
+invocation=2)``) or randomly but reproducibly from a seed
+(``FaultInjector(seed=7, rate=0.05)``).  The
+:class:`~repro.guard.runner.GuardedRunner` gives it two hook points per
+guarded invocation:
+
+* :meth:`before` — may raise :class:`FaultInjected` (simulated crash)
+  or sleep past the transform budget (simulated hang/slowdown);
+* :meth:`after` — may corrupt design state *bypassing* the netlist
+  event bus (stale bin bookkeeping, teleported cells, dropped
+  connections), which only the invariant suite can notice.
+
+Everything is derived from the seed and the (transform, invocation)
+sequence, so a chaos run is exactly repeatable.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.guard.errors import FaultInjected
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.design import Design
+
+
+class FaultKind(enum.Enum):
+    """The failure modes the chaos harness can simulate."""
+
+    #: raise from inside the transform (crash)
+    EXCEPTION = "exception"
+    #: sleep past the wall-clock budget (hang/slowdown)
+    SLOWDOWN = "slowdown"
+    #: teleport a cell without firing netlist events (stale image)
+    CORRUPT_POSITION = "corrupt-position"
+    #: scribble on bin ``area_used`` directly (broken conservation)
+    CORRUPT_OCCUPANCY = "corrupt-occupancy"
+    #: detach a random sink pin through the API (dangling topology)
+    CORRUPT_CONNECTIVITY = "corrupt-connectivity"
+
+
+#: kinds that fire before the transform body runs
+_BEFORE_KINDS = (FaultKind.EXCEPTION, FaultKind.SLOWDOWN)
+
+
+@dataclass
+class FaultSpec:
+    """One scheduled fault: which transform, which invocation, what."""
+
+    transform: str
+    kind: FaultKind
+    #: 0-based invocation index of the transform this fault fires on
+    invocation: int = 0
+    #: extra seconds to sleep for SLOWDOWN (defaults to 1.5x budget,
+    #: decided by the runner's budget at fire time)
+    sleep_seconds: Optional[float] = None
+    fired: bool = field(default=False, compare=False)
+
+    def __str__(self) -> str:
+        return "%s@%s#%d" % (self.kind.value, self.transform,
+                             self.invocation)
+
+
+class FaultInjector:
+    """Seeded, repeatable fault scheduler for guarded invocations."""
+
+    def __init__(self, seed: int = 0, rate: float = 0.0,
+                 kinds: Optional[List[FaultKind]] = None) -> None:
+        self.seed = seed
+        #: probability that any given invocation is faulted (random
+        #: mode; explicit ``inject`` specs fire regardless)
+        self.rate = rate
+        self.kinds = list(kinds) if kinds else list(FaultKind)
+        self._rng = random.Random(seed)
+        self._specs: List[FaultSpec] = []
+        self._fired: List[FaultSpec] = []
+
+    # -- scheduling ----------------------------------------------------
+
+    def inject(self, transform: str, kind: FaultKind,
+               invocation: int = 0,
+               sleep_seconds: Optional[float] = None) -> FaultSpec:
+        """Schedule one explicit fault; returns the spec."""
+        spec = FaultSpec(transform, kind, invocation, sleep_seconds)
+        self._specs.append(spec)
+        return spec
+
+    def fired(self) -> List[FaultSpec]:
+        """Every fault that actually fired, in firing order."""
+        return list(self._fired)
+
+    def _match(self, transform: str, invocation: int,
+               before: bool) -> Optional[FaultSpec]:
+        for spec in self._specs:
+            if (not spec.fired and spec.transform == transform
+                    and spec.invocation == invocation
+                    and (spec.kind in _BEFORE_KINDS) == before):
+                return spec
+        return None
+
+    def _roll(self, before: bool) -> Optional[FaultKind]:
+        """Random-mode draw: one rng call per hook, every hook."""
+        draw = self._rng.random()
+        kind = self._rng.choice(self.kinds)
+        if self.rate <= 0.0 or draw >= self.rate:
+            return None
+        if (kind in _BEFORE_KINDS) != before:
+            return None
+        return kind
+
+    # -- runner hook points --------------------------------------------
+
+    def before(self, transform: str, invocation: int,
+               design: "Design", budget: Optional[float]) -> None:
+        """Fire crash/slowdown faults ahead of the transform body."""
+        spec = self._match(transform, invocation, before=True)
+        kind = spec.kind if spec else self._roll(before=True)
+        if kind is None:
+            return
+        if spec:
+            spec.fired = True
+            self._fired.append(spec)
+        else:
+            self._fired.append(
+                FaultSpec(transform, kind, invocation, fired=True))
+        if kind is FaultKind.SLOWDOWN:
+            sleep = (spec.sleep_seconds if spec and spec.sleep_seconds
+                     is not None else None)
+            if sleep is None:
+                sleep = 1.5 * budget if budget else 0.05
+            time.sleep(sleep)
+            return
+        raise FaultInjected(transform, invocation)
+
+    def after(self, transform: str, invocation: int,
+              design: "Design") -> None:
+        """Fire state-corruption faults after the transform body."""
+        spec = self._match(transform, invocation, before=False)
+        kind = spec.kind if spec else self._roll(before=False)
+        if kind is None:
+            return
+        if spec:
+            spec.fired = True
+            self._fired.append(spec)
+        else:
+            self._fired.append(
+                FaultSpec(transform, kind, invocation, fired=True))
+        self._corrupt(design, kind)
+
+    # -- corruption payloads -------------------------------------------
+
+    def _corrupt(self, design: "Design", kind: FaultKind) -> None:
+        if kind is FaultKind.CORRUPT_POSITION:
+            self._corrupt_position(design)
+        elif kind is FaultKind.CORRUPT_OCCUPANCY:
+            self._corrupt_occupancy(design)
+        elif kind is FaultKind.CORRUPT_CONNECTIVITY:
+            self._corrupt_connectivity(design)
+        else:  # pragma: no cover - scheduling keeps kinds separated
+            raise ValueError("%s is not a corruption" % kind)
+
+    def _corrupt_position(self, design: "Design") -> None:
+        """Move a placed cell by assigning ``position`` directly: the
+        bin image and Steiner cache never hear about it."""
+        from repro.geometry import Point
+        cells = sorted(
+            (c for c in design.netlist.movable_cells() if c.placed),
+            key=lambda c: c.name)
+        if not cells:
+            return
+        victim = self._rng.choice(cells)
+        die = design.die
+        victim.position = Point(
+            die.xlo + self._rng.random() * die.width,
+            die.ylo + self._rng.random() * die.height)
+
+    def _corrupt_occupancy(self, design: "Design") -> None:
+        """Scribble on one bin's ``area_used`` bookkeeping."""
+        bins = list(design.grid.bins())
+        victim = self._rng.choice(bins)
+        victim.area_used += 10.0 + self._rng.random() * 100.0
+
+    def _corrupt_connectivity(self, design: "Design") -> None:
+        """Detach a random multi-sink net's driver pin: the net keeps
+        its sinks but loses its source (a dangling topology)."""
+        nets = sorted(
+            (n for n in design.netlist.nets()
+             if n.driver() is not None and len(n.sinks()) >= 1
+             and not n.is_clock and not n.is_scan),
+            key=lambda n: n.name)
+        if not nets:
+            return
+        victim = self._rng.choice(nets)
+        design.netlist.disconnect(victim.driver())
+
+    def __repr__(self) -> str:
+        return ("<FaultInjector seed=%d rate=%g specs=%d fired=%d>"
+                % (self.seed, self.rate, len(self._specs),
+                   len(self._fired)))

@@ -1,0 +1,174 @@
+"""Pluggable design-space invariants (the extended ``Design.check()``).
+
+Each :class:`Invariant` inspects one aspect of the shared design space
+and returns ``None`` when it holds or a human-readable violation
+message.  :class:`InvariantSuite` bundles them; the
+:class:`~repro.guard.runner.GuardedRunner` runs the suite after every
+transform, and ``Design.check()`` delegates to the default suite so the
+seed flows validate the same conditions in-flow that the tests do.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.design import Design
+
+
+class Invariant:
+    """One named consistency condition over a design."""
+
+    name = "invariant"
+
+    def check(self, design: "Design") -> Optional[str]:
+        """``None`` if the invariant holds, else a violation message."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return "<Invariant %s>" % self.name
+
+
+class FunctionInvariant(Invariant):
+    """Adapt a plain callable into an invariant."""
+
+    def __init__(self, name: str,
+                 fn: Callable[["Design"], Optional[str]]) -> None:
+        self.name = name
+        self._fn = fn
+
+    def check(self, design: "Design") -> Optional[str]:
+        return self._fn(design)
+
+
+class NetlistConsistency(Invariant):
+    """Pin<->net back-references and single-driver discipline hold."""
+
+    name = "netlist_consistency"
+
+    def check(self, design: "Design") -> Optional[str]:
+        try:
+            design.netlist.check_consistency()
+        except AssertionError as exc:
+            return str(exc)
+        return None
+
+
+class NoDanglingPins(Invariant):
+    """Every connected pin belongs to a live cell on a live net, and
+    every net that still has sinks has a driver to feed them."""
+
+    name = "no_dangling_pins"
+
+    def check(self, design: "Design") -> Optional[str]:
+        nl = design.netlist
+        for net in nl.nets():
+            if net.degree == 0:
+                continue
+            for pin in net.pins():
+                if pin.cell.netlist is not nl:
+                    return ("net %s carries pin %s of a detached cell"
+                            % (net.name, pin.full_name))
+            if net.sinks() and net.driver() is None:
+                return ("net %s has %d sinks but no driver"
+                        % (net.name, len(net.sinks())))
+        return None
+
+
+class BinOccupancyConservation(Invariant):
+    """Bin bookkeeping matches cell positions, and the total area
+    tracked by the image equals the total area of placed cells."""
+
+    name = "bin_occupancy"
+
+    def check(self, design: "Design") -> Optional[str]:
+        try:
+            design.grid.check_occupancy()
+        except AssertionError as exc:
+            return str(exc)
+        tracked = sum(b.area_used for b in design.grid.bins())
+        placed = sum(c.area for c in design.netlist.cells() if c.placed)
+        if not math.isclose(tracked, placed, abs_tol=1e-5,
+                            rel_tol=1e-9):
+            return ("grid tracks %.3f track^2 but placed cells total "
+                    "%.3f" % (tracked, placed))
+        return None
+
+
+class TimingNetlistSync(Invariant):
+    """The timing engine is bound to this netlist and its levelized
+    graph (when built) covers exactly the netlist's current pins."""
+
+    name = "timing_sync"
+
+    def check(self, design: "Design") -> Optional[str]:
+        engine = design.timing
+        if engine.netlist is not design.netlist:
+            return "timing engine bound to a different netlist"
+        graph = engine._graph
+        if graph is None:
+            return None  # lazily rebuilt on next query: trivially synced
+        graph_pins = set(id(p) for p in graph.pins())
+        netlist_pins = set(id(p) for c in design.netlist.cells()
+                           for p in c.pins())
+        if graph_pins != netlist_pins:
+            return ("timing graph has %d pins, netlist has %d "
+                    "(stale levelization)"
+                    % (len(graph_pins), len(netlist_pins)))
+        return None
+
+
+class InvariantSuite:
+    """An ordered bundle of invariants checked as one unit."""
+
+    def __init__(self, invariants: Optional[Sequence[Invariant]] = None
+                 ) -> None:
+        self.invariants: List[Invariant] = list(
+            default_invariants() if invariants is None else invariants)
+
+    def add(self, invariant: Invariant) -> "InvariantSuite":
+        self.invariants.append(invariant)
+        return self
+
+    def violations(self, design: "Design") -> List[str]:
+        """All violation messages, tagged with the invariant name."""
+        out = []
+        for inv in self.invariants:
+            try:
+                message = inv.check(design)
+            except Exception as exc:  # a crashed check is a violation
+                message = "check crashed: %s: %s" % (
+                    type(exc).__name__, exc)
+            if message is not None:
+                out.append("%s: %s" % (inv.name, message))
+        return out
+
+    def first_violation(self, design: "Design"
+                        ) -> Optional[tuple]:
+        """The first failing ``(invariant_name, message)``, or None."""
+        for inv in self.invariants:
+            try:
+                message = inv.check(design)
+            except Exception as exc:
+                message = "check crashed: %s: %s" % (
+                    type(exc).__name__, exc)
+            if message is not None:
+                return inv.name, message
+        return None
+
+    def verify(self, design: "Design") -> None:
+        """Raise ``AssertionError`` on the first violation (if any)."""
+        found = self.first_violation(design)
+        if found is not None:
+            raise AssertionError("%s: %s" % found)
+
+
+def default_invariants() -> List[Invariant]:
+    """The standard suite: what ``Design.check()`` validates."""
+    return [
+        NetlistConsistency(),
+        NoDanglingPins(),
+        BinOccupancyConservation(),
+        TimingNetlistSync(),
+    ]

@@ -1,0 +1,233 @@
+"""Transactional execution of transforms with rollback and quarantine.
+
+``GuardedRunner.call(name, fn)`` makes one transform invocation a
+transaction over the shared design space:
+
+1. checkpoint the design (:class:`DesignCheckpoint`);
+2. run ``fn`` under exception isolation and a wall-clock budget;
+3. verify the post-state with the :class:`InvariantSuite`;
+4. on any failure — exception, budget overrun, invariant violation —
+   restore the checkpoint (optionally verifying the restored state is
+   signature-identical), record a structured
+   :class:`~repro.guard.errors.GuardError`, and return ``None``;
+5. after ``quarantine_after`` *consecutive* failures of the same
+   transform, quarantine it: later calls are skipped outright, so a
+   persistently broken transform cannot stall the converging flow.
+
+Per-transform :class:`TransformHealth` counters (runs, failures,
+rollbacks, quarantine, time in transform vs. time in the guard itself)
+feed the flow report, satisfying the "degrade gracefully and tell me
+about it" contract.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, TypeVar
+
+from repro.design import Design
+from repro.guard.checkpoint import DesignCheckpoint
+from repro.guard.errors import (
+    BudgetExceeded,
+    GuardError,
+    InvariantViolation,
+    RestoreMismatch,
+    TransformError,
+)
+from repro.guard.faults import FaultInjector
+from repro.guard.invariants import InvariantSuite
+
+T = TypeVar("T")
+
+
+@dataclass
+class GuardConfig:
+    """Knobs of the guarded runner."""
+
+    #: wall-clock budget per transform invocation (None = unlimited).
+    #: Python cannot preempt a running transform, so overruns are
+    #: detected post-hoc and the result discarded via rollback.
+    budget_seconds: Optional[float] = 30.0
+    #: quarantine a transform after this many *consecutive* failures
+    quarantine_after: int = 3
+    #: run the invariant suite after every invocation
+    check_invariants: bool = True
+    #: after a rollback, verify the restored state is
+    #: signature-identical to the checkpoint (raises RestoreMismatch
+    #: if the guard itself failed — that is never swallowed)
+    verify_restore: bool = True
+    #: keep at most this many structured errors per transform
+    max_errors_kept: int = 20
+
+
+@dataclass
+class TransformHealth:
+    """Per-transform accounting of guarded execution."""
+
+    name: str
+    runs: int = 0
+    failures: int = 0
+    rollbacks: int = 0
+    #: invocations skipped because the transform was quarantined
+    skipped: int = 0
+    consecutive_failures: int = 0
+    quarantined: bool = False
+    #: wall-clock seconds spent inside transform bodies
+    seconds: float = 0.0
+    #: wall-clock seconds spent in the guard itself (checkpointing,
+    #: invariant checks, rollback) — the measurable guard overhead
+    guard_seconds: float = 0.0
+    failures_by_kind: Dict[str, int] = field(default_factory=dict)
+    errors: List[GuardError] = field(default_factory=list)
+
+    @property
+    def successes(self) -> int:
+        return self.runs - self.failures
+
+    def summary(self) -> str:
+        flags = []
+        if self.quarantined:
+            flags.append("QUARANTINED")
+        if self.failures:
+            kinds = ",".join("%s=%d" % kv for kv in
+                             sorted(self.failures_by_kind.items()))
+            flags.append(kinds)
+        return ("%s: %d ok / %d failed / %d rolled back / %d skipped "
+                "(%.2fs run, %.2fs guard)%s"
+                % (self.name, self.successes, self.failures,
+                   self.rollbacks, self.skipped, self.seconds,
+                   self.guard_seconds,
+                   " [" + "; ".join(flags) + "]" if flags else ""))
+
+
+class GuardedRunner:
+    """Run transform invocations as checkpointed transactions."""
+
+    def __init__(self, design: Design,
+                 config: Optional[GuardConfig] = None,
+                 invariants: Optional[InvariantSuite] = None,
+                 injector: Optional[FaultInjector] = None,
+                 log: Optional[Callable[[str], None]] = None) -> None:
+        self.design = design
+        self.config = config or GuardConfig()
+        self.invariants = invariants or InvariantSuite()
+        self.injector = injector
+        self.log = log
+        self.health: Dict[str, TransformHealth] = {}
+        self._invocations: Dict[str, int] = {}
+
+    # -- execution -----------------------------------------------------
+
+    def call(self, name: str, fn: Callable[[], T]) -> Optional[T]:
+        """Run ``fn`` transactionally as transform ``name``.
+
+        Returns ``fn``'s result, or ``None`` if the invocation failed
+        (the design is then back at its pre-call state) or the
+        transform is quarantined.
+        """
+        health = self.health.setdefault(name, TransformHealth(name))
+        if health.quarantined:
+            health.skipped += 1
+            return None
+        invocation = self._invocations.get(name, 0)
+        self._invocations[name] = invocation + 1
+        cfg = self.config
+
+        guard_t0 = time.perf_counter()
+        checkpoint = DesignCheckpoint(self.design)
+        health.guard_seconds += time.perf_counter() - guard_t0
+
+        run_t0 = time.perf_counter()
+        failure: Optional[GuardError] = None
+        result: Optional[T] = None
+        try:
+            if self.injector is not None:
+                self.injector.before(name, invocation, self.design,
+                                     cfg.budget_seconds)
+            result = fn()
+            if self.injector is not None:
+                self.injector.after(name, invocation, self.design)
+            elapsed = time.perf_counter() - run_t0
+            if (cfg.budget_seconds is not None
+                    and elapsed > cfg.budget_seconds):
+                raise BudgetExceeded(name, elapsed, cfg.budget_seconds)
+            if cfg.check_invariants:
+                check_t0 = time.perf_counter()
+                found = self.invariants.first_violation(self.design)
+                health.guard_seconds += time.perf_counter() - check_t0
+                if found is not None:
+                    raise InvariantViolation(name, found[0], found[1],
+                                             elapsed)
+        except GuardError as err:
+            failure = err
+        except Exception as exc:
+            failure = TransformError(name, exc,
+                                     time.perf_counter() - run_t0)
+
+        health.runs += 1
+        if failure is None:
+            health.seconds += time.perf_counter() - run_t0
+            health.consecutive_failures = 0
+            return result
+
+        # -- failure path: roll back, record, maybe quarantine ---------
+        health.seconds += failure.seconds
+        health.failures += 1
+        health.consecutive_failures += 1
+        health.failures_by_kind[failure.kind] = (
+            health.failures_by_kind.get(failure.kind, 0) + 1)
+        if len(health.errors) < cfg.max_errors_kept:
+            health.errors.append(failure)
+
+        roll_t0 = time.perf_counter()
+        checkpoint.restore()
+        health.rollbacks += 1
+        if cfg.verify_restore:
+            mismatch = checkpoint.verify()
+            if mismatch is not None:
+                # the guard itself is broken: never swallow this
+                raise RestoreMismatch(name, mismatch)
+        health.guard_seconds += time.perf_counter() - roll_t0
+
+        if health.consecutive_failures >= cfg.quarantine_after:
+            health.quarantined = True
+            self._say("%s quarantined after %d consecutive failures"
+                      % (name, health.consecutive_failures))
+        self._say(str(failure))
+        return None
+
+    # -- reporting -----------------------------------------------------
+
+    @property
+    def total_failures(self) -> int:
+        return sum(h.failures for h in self.health.values())
+
+    @property
+    def total_rollbacks(self) -> int:
+        return sum(h.rollbacks for h in self.health.values())
+
+    @property
+    def quarantined(self) -> List[str]:
+        return sorted(name for name, h in self.health.items()
+                      if h.quarantined)
+
+    @property
+    def guard_seconds(self) -> float:
+        """Total wall-clock spent in the guard machinery itself."""
+        return sum(h.guard_seconds for h in self.health.values())
+
+    def health_lines(self) -> List[str]:
+        """One summary line per guarded transform, name-sorted."""
+        return [self.health[name].summary()
+                for name in sorted(self.health)]
+
+    def _say(self, message: str) -> None:
+        if self.log is not None:
+            self.log("guard: %s" % message)
+
+    def __repr__(self) -> str:
+        return ("<GuardedRunner %d transforms, %d failures, "
+                "%d rollbacks, %d quarantined>"
+                % (len(self.health), self.total_failures,
+                   self.total_rollbacks, len(self.quarantined)))

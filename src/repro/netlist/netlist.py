@@ -116,6 +116,26 @@ class Netlist:
         cell.netlist = None
         self._emit("on_cell_removed", cell)
 
+    def adopt_cell(self, cell: Cell) -> Cell:
+        """Re-insert a previously removed cell *object* unchanged.
+
+        Rollback support (``repro.guard``): restoring a checkpoint must
+        bring back the identical ``Cell`` so pins referenced by
+        snapshot connectivity records stay valid.  The cell must be
+        detached (all pins floating).
+        """
+        if cell.name in self._cells:
+            raise ValueError("duplicate cell name %r" % cell.name)
+        for pin in cell.pins():
+            if pin.net is not None:
+                raise ValueError(
+                    "cannot adopt %s: pin %s still connected"
+                    % (cell.name, pin.full_name))
+        cell.netlist = self
+        self._cells[cell.name] = cell
+        self._emit("on_cell_added", cell)
+        return cell
+
     def cell(self, name: str) -> Cell:
         try:
             return self._cells[name]
@@ -174,6 +194,23 @@ class Netlist:
         del self._nets[net.name]
         net.netlist = None
         self._emit("on_net_removed", net)
+
+    def adopt_net(self, net: Net) -> Net:
+        """Re-insert a previously removed net *object* unchanged.
+
+        Rollback counterpart of :meth:`adopt_cell`; the net must carry
+        no pins (removal disconnected them).
+        """
+        if net.name in self._nets:
+            raise ValueError("duplicate net name %r" % net.name)
+        if net._pins:
+            raise ValueError(
+                "cannot adopt %s: %d pins still attached"
+                % (net.name, len(net._pins)))
+        net.netlist = self
+        self._nets[net.name] = net
+        self._emit("on_net_added", net)
+        return net
 
     def net(self, name: str) -> Net:
         try:

@@ -3,10 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.design import Design
 from repro.routing import CutMetrics
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.guard.runner import GuardedRunner, TransformHealth
 
 
 @dataclass
@@ -26,6 +29,26 @@ class FlowReport:
     cpu_seconds: float = 0.0
     iterations: int = 1
     trace: List[str] = field(default_factory=list)
+    #: per-transform guarded-execution health (empty when unguarded)
+    health: Dict[str, "TransformHealth"] = field(default_factory=dict)
+    #: transforms quarantined during the run
+    quarantined: List[str] = field(default_factory=list)
+    #: wall-clock spent in the guard machinery (checkpoints, invariant
+    #: checks, rollbacks) — the measurable guard overhead
+    guard_seconds: float = 0.0
+
+    @property
+    def total_failures(self) -> int:
+        return sum(h.failures for h in self.health.values())
+
+    @property
+    def total_rollbacks(self) -> int:
+        return sum(h.rollbacks for h in self.health.values())
+
+    def health_lines(self) -> List[str]:
+        """One guarded-execution summary line per transform."""
+        return [self.health[name].summary()
+                for name in sorted(self.health)]
 
     @property
     def slack_fraction_of_cycle(self) -> float:
@@ -53,7 +76,8 @@ def snapshot(design: Design, flow: str,
              routable: bool = False,
              cpu_seconds: float = 0.0,
              iterations: int = 1,
-             trace: Optional[List[str]] = None) -> FlowReport:
+             trace: Optional[List[str]] = None,
+             guard: Optional["GuardedRunner"] = None) -> FlowReport:
     """Capture a design's current metrics into a FlowReport."""
     return FlowReport(
         flow=flow,
@@ -69,4 +93,7 @@ def snapshot(design: Design, flow: str,
         cpu_seconds=cpu_seconds,
         iterations=iterations,
         trace=trace or [],
+        health=dict(guard.health) if guard is not None else {},
+        quarantined=guard.quarantined if guard is not None else [],
+        guard_seconds=guard.guard_seconds if guard is not None else 0.0,
     )

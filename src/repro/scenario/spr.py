@@ -18,9 +18,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional, TypeVar
 
 from repro.design import Design
+from repro.guard.faults import FaultInjector
+from repro.guard.runner import GuardConfig, GuardedRunner
 from repro.netlist import ops
 from repro.placement import QuadraticPlacer, legalize_rows
 from repro.routing import GlobalRouter, cut_metrics
@@ -45,22 +47,42 @@ class SPRConfig:
     regs_per_clock_buffer: int = 6
     #: stop iterating when slack improves less than this (ps)
     convergence_ps: float = 2.0
+    #: guarded transform execution (None = bare); see ``repro.guard``.
+    guard: Optional[GuardConfig] = None
+
+
+T = TypeVar("T")
 
 
 class SPRFlow:
     """Run the iterative synthesis/placement baseline on a design."""
 
     def __init__(self, design: Design,
-                 config: Optional[SPRConfig] = None) -> None:
+                 config: Optional[SPRConfig] = None,
+                 injector: Optional[FaultInjector] = None) -> None:
         self.design = design
         self.config = config or SPRConfig()
+        self.injector = injector
+        if injector is not None and self.config.guard is None:
+            self.config.guard = GuardConfig()
         self.trace: List[str] = []
+        self.runner: Optional[GuardedRunner] = None
 
     def _log(self, what: str) -> None:
         self.trace.append(what)
 
+    def _guarded(self, name: str, fn: Callable[[], T]) -> Optional[T]:
+        """Run one transform invocation, transactionally if guarded."""
+        if self.runner is None:
+            return fn()
+        return self.runner.call(name, fn)
+
     def run(self) -> FlowReport:
-        started = time.time()
+        started = time.perf_counter()
+        if self.config.guard is not None:
+            self.runner = GuardedRunner(
+                self.design, self.config.guard, injector=self.injector,
+                log=self._log)
         design = self.design
         cfg = self.config
         real_model = design.timing.wire_model
@@ -74,8 +96,10 @@ class SPRFlow:
         design.timing.set_mode(DelayMode.LOAD)
         sizing.discretize(design)
         self._log("synthesis: discretized on WLM")
-        sizing.gate_sizing_for_speed(design)
-        self._fanout_buffering(design)
+        self._guarded("gate_sizing_for_speed",
+                      lambda: sizing.gate_sizing_for_speed(design))
+        self._guarded("fanout_buffering",
+                      lambda: self._fanout_buffering(design))
         self._log("synthesis: WLM slack %.1f"
                   % design.timing.worst_slack())
 
@@ -103,18 +127,23 @@ class SPRFlow:
             if iteration == 0:
                 # ---- 3. late clock tree & scan, no space reservation -----
                 design.timing.set_wire_model(real_model)
-                clock_scan.clock_optimization(design)
-                clock_scan.scan_optimization(design)
+                self._guarded(
+                    "clock_scan",
+                    lambda: (clock_scan.clock_optimization(design),
+                             clock_scan.scan_optimization(design)))
                 legalize_rows(design)  # clean up the disturbance
                 self._log("iter 0: clock/scan inserted post-placement")
             else:
                 design.timing.set_wire_model(real_model)
 
             # ---- 4. resynthesis against real loads -----------------------
-            sizing.gate_sizing_for_speed(design)
-            buffering.run(design)
-            pinswap.run(design)
-            sizing.gate_sizing_for_area(design)
+            self._guarded("gate_sizing_for_speed",
+                          lambda: sizing.gate_sizing_for_speed(design))
+            self._guarded("buffer_insertion",
+                          lambda: buffering.run(design))
+            self._guarded("pin_swapping", lambda: pinswap.run(design))
+            self._guarded("gate_sizing_for_area",
+                          lambda: sizing.gate_sizing_for_area(design))
             legalize_rows(design)
             slack = design.timing.worst_slack()
             self._log("iter %d: resynthesis slack %.1f"
@@ -135,13 +164,18 @@ class SPRFlow:
         design.grid.resize(nx, ny)
         router = GlobalRouter(design)
         routing = router.route()
-        sizing.in_footprint_sizing(design)
+        self._guarded("in_footprint_sizing",
+                      lambda: sizing.in_footprint_sizing(design))
         self._log("routed: overflow %.1f" % routing.total_overflow)
+        if self.runner is not None:
+            for line in self.runner.health_lines():
+                self._log("health: %s" % line)
 
         return snapshot(design, "SPR", cuts=cut_metrics(router),
                         routable=routing.routable,
-                        cpu_seconds=time.time() - started,
-                        iterations=iterations, trace=list(self.trace))
+                        cpu_seconds=time.perf_counter() - started,
+                        iterations=iterations, trace=list(self.trace),
+                        guard=self.runner)
 
     # -- helpers -----------------------------------------------------------
 

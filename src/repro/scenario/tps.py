@@ -14,15 +14,24 @@ Detailed_placement(); Routing(); In_foot_print_gate_sizing()
 plus, per sections 4.3/4.4: logical-effort net weights refreshed on
 every cut, virtual discretization while the timer is gain-based, and
 the discretize-and-link switch to actual delays at ``link_status``.
+
+With ``TPSConfig.guard`` set (or a fault injector supplied) every
+transform invocation runs through a
+:class:`~repro.guard.runner.GuardedRunner`: exception-isolated,
+wall-clock budgeted, invariant-checked, rolled back on failure and
+quarantined after repeated failures — the flow converges even when
+individual transforms crash or corrupt state.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional, TypeVar
 
 from repro.design import Design
+from repro.guard.faults import FaultInjector
+from repro.guard.runner import GuardConfig, GuardedRunner
 from repro.placement import DetailedPlaceOpt, Partitioner, Reflow, legalize_rows
 from repro.routing import GlobalRouter, cut_metrics
 from repro.scenario.report import FlowReport, snapshot
@@ -37,6 +46,8 @@ from repro.transforms import (
     WeightMode,
 )
 from repro.transforms.sizing import GateSizing
+
+T = TypeVar("T")
 
 
 @dataclass
@@ -73,24 +84,44 @@ class TPSConfig:
     use_power_recovery: bool = False
     use_hold_fix: bool = False
     cluster_first_cuts: int = 0
+    #: guarded transform execution (None = run transforms bare, the
+    #: seed behaviour); see ``repro.guard``.
+    guard: Optional[GuardConfig] = None
 
 
 class TPSScenario:
     """Run the converging transformational flow on a design."""
 
     def __init__(self, design: Design,
-                 config: Optional[TPSConfig] = None) -> None:
+                 config: Optional[TPSConfig] = None,
+                 injector: Optional[FaultInjector] = None) -> None:
         self.design = design
         self.config = config or TPSConfig()
+        #: chaos harness: injecting faults implies guarded execution
+        self.injector = injector
+        if injector is not None and self.config.guard is None:
+            self.config.guard = GuardConfig()
         self.trace: List[str] = []
+        self.runner: Optional[GuardedRunner] = None
+        self._status = 0
 
     def _log(self, status: int, what: str) -> None:
         self.trace.append("status %3d: %s" % (status, what))
 
+    def _guarded(self, name: str, fn: Callable[[], T]) -> Optional[T]:
+        """Run one transform invocation, transactionally if guarded."""
+        if self.runner is None:
+            return fn()
+        return self.runner.call(name, fn)
+
     def run(self) -> FlowReport:
-        started = time.time()
+        started = time.perf_counter()
         design = self.design
         cfg = self.config
+        if cfg.guard is not None:
+            self.runner = GuardedRunner(
+                design, cfg.guard, injector=self.injector,
+                log=lambda m: self._log(self._status, m))
 
         sizing = GateSizing(default_gain=cfg.default_gain)
         sizing.assign_gains(design)
@@ -114,123 +145,193 @@ class TPSScenario:
             prev = status
             target = status + cfg.step
             status = partitioner.run_to(target)
+            self._status = status
             if status == prev and partitioner.done:
                 break
             self._log(status, "partitioner cut -> status %d" % status)
             if cfg.use_reflow:
-                moved = reflow.run()
-                self._log(status, "reflow moved %d" % moved)
+                moved = self._guarded("reflow", reflow.run)
+                if moved is not None:
+                    self._log(status, "reflow moved %d" % moved)
             if cfg.use_clock_scan_staging:
-                for stage in clock_scan.apply_for_status(design, status):
+                stages = self._guarded(
+                    "clock_scan",
+                    lambda: list(clock_scan.apply_for_status(design,
+                                                             status)))
+                for stage in stages or ():
                     self._log(status, "clock/scan stage: %s" % stage)
             if netweight is not None:
-                netweight.run(design)
-                self._log(status, "net weights refreshed")
+                r = self._guarded("logical_effort_net_weight",
+                                  lambda: netweight.run(design))
+                if r is not None:
+                    self._log(status, "net weights refreshed")
             if not linked and status >= cfg.link_status:
-                res = sizing.link_cells(design)
-                linked = True
-                self._log(status, "discretized and linked (%d resized), "
-                          "timing -> actual" % res.accepted)
+                res = self._guarded("discretize_and_link",
+                                    lambda: sizing.link_cells(design))
+                if res is not None:
+                    linked = True
+                    self._log(status,
+                              "discretized and linked (%d resized), "
+                              "timing -> actual" % res.accepted)
             elif not linked:
-                res = sizing.discretize(design)
-                self._log(status, "virtual discretization (%d resized)"
-                          % res.accepted)
+                res = self._guarded("discretize",
+                                    lambda: sizing.discretize(design))
+                if res is not None:
+                    self._log(status,
+                              "virtual discretization (%d resized)"
+                              % res.accepted)
             if self._window(prev, status, 20, 30):
-                r = sizing.gate_sizing_for_area(design)
-                self._log(status, "area recovery: %s" % r)
+                r = self._guarded(
+                    "gate_sizing_for_area",
+                    lambda: sizing.gate_sizing_for_area(design))
+                if r is not None:
+                    self._log(status, "area recovery: %s" % r)
             if status > 30:
-                r = sizing.gate_sizing_for_speed(design)
-                self._log(status, "speed sizing: %s" % r)
+                r = self._guarded(
+                    "gate_sizing_for_speed",
+                    lambda: sizing.gate_sizing_for_speed(design))
+                if r is not None:
+                    self._log(status, "speed sizing: %s" % r)
             if self._window(prev, status, *cfg.electrical_window):
                 for round_no in range(cfg.electrical_rounds):
                     accepted = 0
                     if cfg.use_migration:
-                        r = migration.run(design)
-                        accepted += r.accepted
-                        self._log(status, "migration: %s" % r)
+                        r = self._guarded(
+                            "circuit_migration",
+                            lambda: migration.run(design))
+                        if r is not None:
+                            accepted += r.accepted
+                            self._log(status, "migration: %s" % r)
                     if cfg.use_cloning:
-                        r = cloning.run(design)
-                        accepted += r.accepted
-                        self._log(status, "cloning: %s" % r)
+                        r = self._guarded("cloning",
+                                          lambda: cloning.run(design))
+                        if r is not None:
+                            accepted += r.accepted
+                            self._log(status, "cloning: %s" % r)
                     if cfg.use_buffering:
-                        r = buffering.run(design)
-                        accepted += r.accepted
-                        self._log(status, "buffering: %s" % r)
+                        r = self._guarded(
+                            "buffer_insertion",
+                            lambda: buffering.run(design))
+                        if r is not None:
+                            accepted += r.accepted
+                            self._log(status, "buffering: %s" % r)
                     if accepted == 0 or design.timing.worst_slack() >= 0:
                         break
             if status > 50 and cfg.use_pin_swapping:
-                r = pinswap.run(design)
-                self._log(status, "pin swapping: %s" % r)
+                r = self._guarded("pin_swapping",
+                                  lambda: pinswap.run(design))
+                if r is not None:
+                    self._log(status, "pin swapping: %s" % r)
             if status > 80:
                 for _ in range(5):  # recover until dry
-                    r = sizing.gate_sizing_for_area(design,
-                                                    max_cells=2000)
+                    r = self._guarded(
+                        "gate_sizing_for_area",
+                        lambda: sizing.gate_sizing_for_area(
+                            design, max_cells=2000))
+                    if r is None:
+                        break
                     self._log(status, "late area recovery: %s" % r)
                     if r.accepted == 0:
                         break
 
+        self._status = 100
         if not linked:
             sizing.link_cells(design)
             self._log(100, "late link (small design)")
         if cfg.use_clock_scan_staging:
-            for stage in clock_scan.apply_for_status(design, 100):
+            stages = self._guarded(
+                "clock_scan",
+                lambda: list(clock_scan.apply_for_status(design, 100)))
+            for stage in stages or ():
                 self._log(100, "clock/scan stage: %s" % stage)
 
         # Placement is final: drop electrical corrections that stopped
         # paying for themselves, then recover drive area once more.
-        r = RedundancyCleanup().run(design)
-        self._log(100, "redundancy cleanup: %s" % r)
-        r = sizing.gate_sizing_for_area(design, max_cells=2000)
-        self._log(100, "final area recovery: %s" % r)
+        r = self._guarded("redundancy_cleanup",
+                          lambda: RedundancyCleanup().run(design))
+        if r is not None:
+            self._log(100, "redundancy cleanup: %s" % r)
+        r = self._guarded(
+            "gate_sizing_for_area",
+            lambda: sizing.gate_sizing_for_area(design, max_cells=2000))
+        if r is not None:
+            self._log(100, "final area recovery: %s" % r)
 
         # Output stage of Figure 5: detailed placement on exact legal
         # locations, then routing.
         leg = legalize_rows(design)
         self._log(100, "legalized (%d placed, %d failed)"
                   % (leg.placed, leg.failed))
+        design.check()
+        self._log(100, "invariants ok (post-legalization)")
         if cfg.use_detailed_placement:
-            opt = DetailedPlaceOpt(design, legal_mode=True,
-                                   seed=cfg.seed)
-            accepted = opt.run()
-            self._log(100, "detailed placement: %d moves" % accepted)
+            accepted = self._guarded(
+                "detailed_placement",
+                lambda: DetailedPlaceOpt(design, legal_mode=True,
+                                         seed=cfg.seed).run())
+            if accepted is not None:
+                self._log(100, "detailed placement: %d moves" % accepted)
         # recover what legalization displacement cost, without moving
         # anything: drive and pin assignment only
-        r = sizing.gate_sizing_for_speed(design)
-        self._log(100, "post-legalization speed sizing: %s" % r)
+        r = self._guarded("gate_sizing_for_speed",
+                          lambda: sizing.gate_sizing_for_speed(design))
+        if r is not None:
+            self._log(100, "post-legalization speed sizing: %s" % r)
         if cfg.use_pin_swapping:
-            r = pinswap.run(design)
-            self._log(100, "post-legalization pin swapping: %s" % r)
+            r = self._guarded("pin_swapping",
+                              lambda: pinswap.run(design))
+            if r is not None:
+                self._log(100, "post-legalization pin swapping: %s" % r)
         if cfg.use_buffering:
             # electrical correction on the legal placement; any new
             # buffers are legalized incrementally around existing cells
-            before_names = {c.name for c in design.netlist.cells()}
-            r = buffering.run(design)
-            new_cells = [c for c in design.netlist.cells()
-                         if c.name not in before_names]
-            if new_cells:
-                legalize_rows(design, cells=new_cells,
-                              respect_existing=True)
-            self._log(100, "post-legalization buffering: %s (%d new)"
-                      % (r, len(new_cells)))
+            def _buffer_legal():
+                before_names = {c.name for c in design.netlist.cells()}
+                r = buffering.run(design)
+                new_cells = [c for c in design.netlist.cells()
+                             if c.name not in before_names]
+                if new_cells:
+                    legalize_rows(design, cells=new_cells,
+                                  respect_existing=True)
+                return r, len(new_cells)
+
+            out = self._guarded("buffer_insertion", _buffer_legal)
+            if out is not None:
+                self._log(100, "post-legalization buffering: %s (%d new)"
+                          % out)
+            design.check()
+            self._log(100, "invariants ok (post-legalization buffering)")
         router = GlobalRouter(design)
         routing = router.route()
         self._log(100, "routed: overflow %.1f" % routing.total_overflow)
         if cfg.use_in_footprint_sizing:
-            r = sizing.in_footprint_sizing(design)
-            self._log(100, "in-footprint sizing: %s" % r)
+            r = self._guarded(
+                "in_footprint_sizing",
+                lambda: sizing.in_footprint_sizing(design))
+            if r is not None:
+                self._log(100, "in-footprint sizing: %s" % r)
         if cfg.use_power_recovery:
             from repro.transforms import PowerRecovery
-            r = PowerRecovery().run(design)
-            self._log(100, "power recovery: %s" % r)
+            r = self._guarded("power_recovery",
+                              lambda: PowerRecovery().run(design))
+            if r is not None:
+                self._log(100, "power recovery: %s" % r)
         if cfg.use_hold_fix:
             from repro.transforms import HoldFix
-            r = HoldFix().run(design)
-            self._log(100, "hold fixing: %s" % r)
+            r = self._guarded("hold_fix",
+                              lambda: HoldFix().run(design))
+            if r is not None:
+                self._log(100, "hold fixing: %s" % r)
+
+        if self.runner is not None:
+            for line in self.runner.health_lines():
+                self._log(100, "health: %s" % line)
 
         return snapshot(design, "TPS", cuts=cut_metrics(router),
                         routable=routing.routable,
-                        cpu_seconds=time.time() - started,
-                        iterations=1, trace=list(self.trace))
+                        cpu_seconds=time.perf_counter() - started,
+                        iterations=1, trace=list(self.trace),
+                        guard=self.runner)
 
     @staticmethod
     def _window(prev: int, status: int, lo: int, hi: int) -> bool:

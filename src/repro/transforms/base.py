@@ -22,8 +22,20 @@ class TransformResult:
         return self.accepted + self.rejected
 
     def __str__(self) -> str:
+        detail = ""
+        if self.detail:
+            detail = "{%s}" % ", ".join(
+                "%s: %s" % (key, self._fmt(self.detail[key]))
+                for key in sorted(self.detail))
         return "%s: %d/%d accepted %s" % (
-            self.name, self.accepted, self.attempted, self.detail or "")
+            self.name, self.accepted, self.attempted, detail)
+
+    @staticmethod
+    def _fmt(value) -> str:
+        """Fixed-precision rendering: no raw float noise in the trace."""
+        if isinstance(value, float):
+            return "%d" % value if value == int(value) else "%.2f" % value
+        return str(value)
 
 
 class Transform:

@@ -1,0 +1,33 @@
+"""Shared fixtures for the guard test suite."""
+
+import pytest
+
+from repro.workloads import ProcessorParams, make_design, processor_partition
+
+
+def build_design(library, seed=5, cycle=1500.0, stages=2, regs=8,
+                 gates=110):
+    params = ProcessorParams(n_stages=stages, regs_per_stage=regs,
+                             gates_per_stage=gates, seed=seed)
+    netlist = processor_partition(params, library)
+    return make_design(netlist, library, cycle_time=cycle,
+                       with_blockage=True)
+
+
+@pytest.fixture
+def design(library):
+    """A fresh small processor-partition design per test, with every
+    movable cell placed (scattered deterministically) so position and
+    occupancy corruptions have real state to corrupt."""
+    design = build_design(library)
+    rng = __import__("random").Random(42)
+    die = design.die
+    for cell in design.netlist.movable_cells():
+        from repro.geometry import Point
+        design.netlist.move_cell(cell, Point(
+            die.xlo + rng.random() * die.width,
+            die.ylo + rng.random() * die.height))
+    # refine the image past its 1x1 seed resolution so cross-bin
+    # corruption is observable
+    design.grid.resize(8, 8)
+    return design

@@ -1,0 +1,129 @@
+"""Chaos suite: full flows must survive injected faults.
+
+The acceptance contract: with faults injected into >= 3 distinct
+transforms covering exception, timeout, and corruption classes,
+``TPSScenario.run()`` completes, every rollback restores a
+state-identical checkpoint (``verify_restore`` raises RestoreMismatch
+otherwise — it stays on here), quarantine triggers after K consecutive
+failures, and the ``FlowReport`` carries per-transform health stats.
+"""
+
+import pytest
+
+from repro.guard import FaultInjector, FaultKind, GuardConfig
+from repro.placement.legalize import check_legal
+from repro.scenario import SPRConfig, SPRFlow, TPSConfig, TPSScenario
+
+from tests.guard.conftest import build_design
+
+
+@pytest.fixture(scope="module")
+def chaos_run(library):
+    """One TPS run with faults in five distinct transforms covering
+    exception / timeout / three corruption classes."""
+    design = build_design(library)
+    injector = FaultInjector(seed=3)
+    # K=3 consecutive exceptions -> cloning must end up quarantined
+    injector.inject("cloning", FaultKind.EXCEPTION, invocation=0)
+    injector.inject("cloning", FaultKind.EXCEPTION, invocation=1)
+    injector.inject("cloning", FaultKind.EXCEPTION, invocation=2)
+    injector.inject("buffer_insertion", FaultKind.SLOWDOWN,
+                    invocation=1)
+    injector.inject("gate_sizing_for_speed",
+                    FaultKind.CORRUPT_POSITION, invocation=2)
+    injector.inject("pin_swapping", FaultKind.CORRUPT_OCCUPANCY,
+                    invocation=0)
+    injector.inject("circuit_migration",
+                    FaultKind.CORRUPT_CONNECTIVITY, invocation=1)
+    config = TPSConfig(seed=1, guard=GuardConfig(
+        budget_seconds=2.0, quarantine_after=3, verify_restore=True))
+    scenario = TPSScenario(design, config, injector=injector)
+    report = scenario.run()
+    return design, report, injector
+
+
+class TestTPSChaos:
+    def test_flow_completes(self, chaos_run):
+        design, report, _ = chaos_run
+        assert report.flow == "TPS"
+        assert report.cuts is not None
+        assert check_legal(design) == []
+
+    def test_all_fault_classes_fired(self, chaos_run):
+        _, _, injector = chaos_run
+        kinds = {f.kind for f in injector.fired()}
+        assert FaultKind.EXCEPTION in kinds
+        assert FaultKind.SLOWDOWN in kinds
+        assert kinds & {FaultKind.CORRUPT_POSITION,
+                        FaultKind.CORRUPT_OCCUPANCY,
+                        FaultKind.CORRUPT_CONNECTIVITY}
+        faulted = {f.transform for f in injector.fired()}
+        assert len(faulted) >= 3
+
+    def test_every_failure_was_rolled_back(self, chaos_run):
+        _, report, injector = chaos_run
+        assert report.total_failures == len(injector.fired())
+        assert report.total_rollbacks == report.total_failures
+        # verify_restore=True: any non-identical restore would have
+        # raised RestoreMismatch and aborted the run
+
+    def test_quarantine_triggered_after_k(self, chaos_run):
+        _, report, _ = chaos_run
+        assert report.quarantined == ["cloning"]
+        health = report.health["cloning"]
+        assert health.failures == 3 and health.quarantined
+        assert health.skipped > 0  # later windows skipped it
+
+    def test_report_carries_health_stats(self, chaos_run):
+        _, report, _ = chaos_run
+        assert report.health
+        for name in ("cloning", "buffer_insertion",
+                     "gate_sizing_for_speed", "pin_swapping"):
+            assert name in report.health
+        by_kind = {}
+        for health in report.health.values():
+            for kind, count in health.failures_by_kind.items():
+                by_kind[kind] = by_kind.get(kind, 0) + count
+        assert by_kind.get("exception") == 3
+        assert by_kind.get("budget") == 1
+        assert by_kind.get("invariant") == 3
+        assert report.guard_seconds > 0.0
+        assert any("health:" in line for line in report.trace)
+
+    def test_design_consistent_after_chaos(self, chaos_run):
+        design, _, _ = chaos_run
+        design.check()
+
+
+class TestSPRChaos:
+    def test_spr_survives_faults(self, library):
+        design = build_design(library, seed=6)
+        injector = FaultInjector(seed=11)
+        injector.inject("buffer_insertion", FaultKind.EXCEPTION,
+                        invocation=0)
+        injector.inject("pin_swapping", FaultKind.CORRUPT_OCCUPANCY,
+                        invocation=0)
+        flow = SPRFlow(design, SPRConfig(seed=1, guard=GuardConfig(
+            budget_seconds=None)), injector=injector)
+        report = flow.run()
+        assert report.flow == "SPR"
+        assert report.total_failures == len(injector.fired()) >= 2
+        assert report.total_rollbacks == report.total_failures
+        design.check()
+
+
+class TestGuardedEqualsUnguarded:
+    def test_no_faults_same_result(self, library):
+        """Guards without faults must not change the flow outcome."""
+        bare = TPSScenario(
+            build_design(library, seed=8),
+            TPSConfig(seed=2)).run()
+        guarded = TPSScenario(
+            build_design(library, seed=8),
+            TPSConfig(seed=2, guard=GuardConfig())).run()
+        assert guarded.worst_slack == bare.worst_slack
+        assert guarded.wirelength == bare.wirelength
+        assert guarded.icells == bare.icells
+        assert guarded.total_failures == 0
+        assert guarded.quarantined == []
+        assert guarded.guard_seconds > 0.0

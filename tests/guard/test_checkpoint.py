@@ -1,0 +1,164 @@
+"""DesignCheckpoint: snapshot/restore must be bit-identical."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.guard import DesignCheckpoint, state_signature
+from repro.netlist import ops
+from repro.transforms import BufferInsertion, Cloning, RedundancyCleanup
+from repro.transforms.sizing import GateSizing
+
+
+def prepared(design):
+    """Assign gains so sizing transforms can run."""
+    sizing = GateSizing(default_gain=4.0)
+    sizing.assign_gains(design)
+    return sizing
+
+
+class TestRoundtrip:
+    def test_noop_restore_is_identity(self, design):
+        sig = state_signature(design)
+        ck = DesignCheckpoint(design)
+        ck.restore()
+        assert state_signature(design) == sig
+        assert ck.verify() is None
+        design.check()
+
+    def test_restores_moves_and_resizes(self, design):
+        sizing = prepared(design)
+        sig = state_signature(design)
+        slack = design.timing.worst_slack()
+        ck = DesignCheckpoint(design)
+
+        for cell in design.netlist.movable_cells()[:20]:
+            design.netlist.move_cell(cell, Point(1.0, 2.0))
+        sizing.link_cells(design)  # resizes + flips timing mode
+        assert state_signature(design) != sig
+
+        ck.restore()
+        assert state_signature(design) == sig
+        assert design.timing.worst_slack() == slack
+        design.check()
+
+    def test_restores_topology_additions(self, design):
+        """Cells/nets created by cloning+buffering are removed again."""
+        prepared(design)
+        sig = state_signature(design)
+        n_cells = design.netlist.num_cells
+        ck = DesignCheckpoint(design)
+
+        BufferInsertion().run(design)
+        Cloning().run(design)
+
+        ck.restore()
+        assert design.netlist.num_cells == n_cells
+        assert state_signature(design) == sig
+        design.check()
+
+    def test_restores_topology_removals(self, design):
+        """Cells removed after the checkpoint come back — the same
+        objects, with their connectivity."""
+        prepared(design)
+        buf = ops.insert_buffer(
+            design.netlist, design.library,
+            max(design.netlist.nets(), key=lambda n: len(n.sinks())),
+            max(design.netlist.nets(),
+                key=lambda n: len(n.sinks())).sinks()[:1],
+            position=Point(4.0, 4.0))
+        sig = state_signature(design)
+        ck = DesignCheckpoint(design)
+
+        ops.remove_buffer(design.netlist, buf)
+        assert not design.netlist.has_cell(buf.name)
+
+        ck.restore()
+        assert design.netlist.cell(buf.name) is buf
+        assert state_signature(design) == sig
+        design.check()
+
+    def test_restores_cleanup_churn(self, design):
+        """RedundancyCleanup mixes removals, resizes and reconnects."""
+        prepared(design)
+        BufferInsertion().run(design)
+        Cloning().run(design)
+        sig = state_signature(design)
+        ck = DesignCheckpoint(design)
+        RedundancyCleanup().run(design)
+        ck.restore()
+        assert state_signature(design) == sig
+        design.check()
+
+    def test_restores_net_weights_and_status(self, design):
+        sig = state_signature(design)
+        ck = DesignCheckpoint(design)
+        for net in design.netlist.nets():
+            net.weight = net.weight * 3.0 + 1.0
+        design.status = 55
+        ck.restore()
+        assert state_signature(design) == sig
+        assert design.status == 0
+
+    def test_restores_grid_resolution(self, design):
+        sig = state_signature(design)
+        ck = DesignCheckpoint(design)
+        design.grid.refine(2)
+        ck.restore()
+        assert (design.grid.nx, design.grid.ny) != (0, 0)
+        assert state_signature(design) == sig
+        design.grid.check_occupancy()
+
+    def test_repairs_direct_position_corruption(self, design):
+        """A position assigned behind the event bus is healed."""
+        sig = state_signature(design)
+        ck = DesignCheckpoint(design)
+        victim = design.netlist.movable_cells()[0]
+        die = design.die
+        # mirror across the die: guaranteed to land in another bin
+        victim.position = Point(die.xlo + die.xhi - victim.position.x,
+                                die.ylo + die.yhi - victim.position.y)
+        with pytest.raises(AssertionError):
+            design.grid.check_occupancy()
+        ck.restore()
+        assert state_signature(design) == sig
+        design.grid.check_occupancy()
+
+    def test_repairs_occupancy_corruption(self, design):
+        sig = state_signature(design)
+        ck = DesignCheckpoint(design)
+        next(iter(design.grid.bins())).area_used += 42.0
+        ck.restore()
+        assert state_signature(design) == sig
+        design.grid.check_occupancy()
+
+    def test_verify_reports_divergence(self, design):
+        ck = DesignCheckpoint(design)
+        design.status = 99
+        assert ck.verify() is not None
+        ck.restore()
+        assert ck.verify() is None
+
+    def test_rng_state_restored(self, design):
+        ck = DesignCheckpoint(design)
+        before = design.rng.random()
+        design.rng.random()
+        ck.restore()
+        assert design.rng.random() == before
+
+
+class TestSignature:
+    def test_sensitive_to_position(self, design):
+        sig = state_signature(design)
+        cell = design.netlist.movable_cells()[0]
+        design.netlist.move_cell(cell, Point(cell.position.x + 1.0,
+                                             cell.position.y))
+        assert state_signature(design) != sig
+
+    def test_sensitive_to_connectivity(self, design):
+        sig = state_signature(design)
+        net = max(design.netlist.nets(), key=lambda n: len(n.sinks()))
+        design.netlist.disconnect(net.sinks()[0])
+        assert state_signature(design) != sig
+
+    def test_deterministic(self, design):
+        assert state_signature(design) == state_signature(design)

@@ -1,0 +1,85 @@
+"""Each invariant catches the corruption class it is named for."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.guard.invariants import (
+    BinOccupancyConservation,
+    FunctionInvariant,
+    InvariantSuite,
+    NetlistConsistency,
+    NoDanglingPins,
+    TimingNetlistSync,
+    default_invariants,
+)
+
+
+class TestCleanDesign:
+    def test_default_suite_passes(self, design):
+        assert InvariantSuite().violations(design) == []
+
+    def test_design_check_uses_suite(self, design):
+        design.check()  # must not raise
+
+    def test_custom_suite(self, design):
+        suite = InvariantSuite([FunctionInvariant(
+            "always_fails", lambda d: "nope")])
+        assert suite.violations(design) == ["always_fails: nope"]
+        with pytest.raises(AssertionError, match="always_fails"):
+            design.check(suite)
+
+
+class TestBinOccupancy:
+    def test_catches_scribbled_bin(self, design):
+        next(iter(design.grid.bins())).area_used += 5.0
+        assert BinOccupancyConservation().check(design) is not None
+
+    def test_catches_silent_teleport(self, design):
+        cell = design.netlist.movable_cells()[0]
+        die = design.die
+        cell.position = Point(die.xlo + die.xhi - cell.position.x,
+                              die.ylo + die.yhi - cell.position.y)
+        assert BinOccupancyConservation().check(design) is not None
+
+
+class TestNoDanglingPins:
+    def test_catches_undriven_sinks(self, design):
+        net = max((n for n in design.netlist.nets()
+                   if n.driver() is not None and n.sinks()),
+                  key=lambda n: len(n.sinks()))
+        design.netlist.disconnect(net.driver())
+        message = NoDanglingPins().check(design)
+        assert message is not None and net.name in message
+
+
+class TestNetlistConsistency:
+    def test_catches_broken_backref(self, design):
+        net = max(design.netlist.nets(), key=lambda n: n.degree)
+        pin = net.pins()[0]
+        pin.net = None  # break the back-reference directly
+        assert NetlistConsistency().check(design) is not None
+
+
+class TestTimingSync:
+    def test_detects_foreign_netlist(self, design):
+        from repro.netlist import Netlist
+        design.netlist = Netlist("other")
+        assert TimingNetlistSync().check(design) is not None
+
+    def test_passes_after_queries(self, design):
+        design.timing.worst_slack()  # builds the graph
+        assert TimingNetlistSync().check(design) is None
+
+
+class TestSuiteMechanics:
+    def test_crashing_check_is_a_violation(self, design):
+        def boom(d):
+            raise RuntimeError("kaput")
+        suite = InvariantSuite([FunctionInvariant("boom", boom)])
+        found = suite.first_violation(design)
+        assert found is not None and "kaput" in found[1]
+
+    def test_default_suite_composition(self):
+        names = [inv.name for inv in default_invariants()]
+        assert names == ["netlist_consistency", "no_dangling_pins",
+                         "bin_occupancy", "timing_sync"]

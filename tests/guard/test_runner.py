@@ -1,0 +1,226 @@
+"""GuardedRunner: isolation, rollback, budgets, quarantine, health."""
+
+import time
+
+import pytest
+
+from repro.geometry import Point
+from repro.guard import (
+    FaultInjector,
+    FaultKind,
+    GuardConfig,
+    GuardedRunner,
+    state_signature,
+)
+
+
+def runner_for(design, **kw):
+    kw.setdefault("budget_seconds", None)
+    return GuardedRunner(design, GuardConfig(**kw))
+
+
+class TestHappyPath:
+    def test_passthrough_result(self, design):
+        runner = runner_for(design)
+        assert runner.call("t", lambda: 42) == 42
+        health = runner.health["t"]
+        assert health.runs == 1 and health.failures == 0
+        assert not health.quarantined
+
+    def test_successful_mutation_is_kept(self, design):
+        runner = runner_for(design)
+        cell = design.netlist.movable_cells()[0]
+
+        def move():
+            design.netlist.move_cell(cell, Point(3.0, 3.0))
+            return "ok"
+
+        assert runner.call("mover", move) == "ok"
+        assert cell.position == Point(3.0, 3.0)
+        design.check()
+
+
+class TestExceptionIsolation:
+    def test_exception_rolls_back(self, design):
+        runner = runner_for(design)
+        sig = state_signature(design)
+        cell = design.netlist.movable_cells()[0]
+
+        def crash():
+            design.netlist.move_cell(cell, Point(9.0, 9.0))
+            raise RuntimeError("mid-transform crash")
+
+        assert runner.call("crasher", crash) is None
+        assert state_signature(design) == sig
+        health = runner.health["crasher"]
+        assert health.failures == 1 and health.rollbacks == 1
+        assert health.failures_by_kind == {"exception": 1}
+        assert "mid-transform crash" in str(health.errors[0])
+
+    def test_keyboard_interrupt_propagates(self, design):
+        runner = runner_for(design)
+
+        def interrupt():
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            runner.call("t", interrupt)
+
+
+class TestInvariantEnforcement:
+    def test_corrupting_transform_rolled_back(self, design):
+        runner = runner_for(design)
+        sig = state_signature(design)
+        cell = design.netlist.movable_cells()[0]
+
+        die = design.die
+
+        def corrupt():
+            # bypasses the event bus: image goes stale
+            cell.position = Point(die.xlo + die.xhi - cell.position.x,
+                                  die.ylo + die.yhi - cell.position.y)
+            return "done"
+
+        assert runner.call("corruptor", corrupt) is None
+        assert state_signature(design) == sig
+        design.grid.check_occupancy()
+        health = runner.health["corruptor"]
+        assert health.failures_by_kind == {"invariant": 1}
+
+    def test_invariant_checks_can_be_disabled(self, design):
+        runner = GuardedRunner(design, GuardConfig(
+            budget_seconds=None, check_invariants=False,
+            verify_restore=False))
+        cell = design.netlist.movable_cells()[0]
+        die = design.die
+
+        def corrupt():
+            cell.position = Point(die.xlo + die.xhi - cell.position.x,
+                                  die.ylo + die.yhi - cell.position.y)
+
+        runner.call("corruptor", corrupt)
+        assert runner.health["corruptor"].failures == 0
+
+
+class TestBudget:
+    def test_overrun_is_rolled_back(self, design):
+        runner = GuardedRunner(design, GuardConfig(
+            budget_seconds=0.01, quarantine_after=99))
+        sig = state_signature(design)
+        cell = design.netlist.movable_cells()[0]
+
+        def slow():
+            design.netlist.move_cell(cell, Point(6.0, 6.0))
+            time.sleep(0.03)
+            return "late"
+
+        assert runner.call("slowpoke", slow) is None
+        assert state_signature(design) == sig
+        assert runner.health["slowpoke"].failures_by_kind == \
+            {"budget": 1}
+
+    def test_none_budget_never_trips(self, design):
+        runner = runner_for(design)
+        assert runner.call("t", lambda: time.sleep(0.01) or "x") == "x"
+
+
+class TestQuarantine:
+    def test_quarantine_after_k_consecutive(self, design):
+        runner = GuardedRunner(design, GuardConfig(
+            budget_seconds=None, quarantine_after=3))
+
+        def crash():
+            raise ValueError("always broken")
+
+        for _ in range(3):
+            runner.call("broken", crash)
+        health = runner.health["broken"]
+        assert health.quarantined
+        assert runner.quarantined == ["broken"]
+        # further calls are skipped without executing the body
+        calls = []
+        runner.call("broken", lambda: calls.append(1))
+        assert calls == [] and health.skipped == 1
+
+    def test_success_resets_the_streak(self, design):
+        runner = GuardedRunner(design, GuardConfig(
+            budget_seconds=None, quarantine_after=3))
+
+        def crash():
+            raise ValueError("flaky")
+
+        runner.call("flaky", crash)
+        runner.call("flaky", crash)
+        runner.call("flaky", lambda: "ok")
+        runner.call("flaky", crash)
+        runner.call("flaky", crash)
+        assert not runner.health["flaky"].quarantined
+        assert runner.health["flaky"].failures == 4
+
+    def test_quarantine_is_per_transform(self, design):
+        runner = GuardedRunner(design, GuardConfig(
+            budget_seconds=None, quarantine_after=1))
+        runner.call("bad", lambda: 1 / 0)
+        assert runner.call("good", lambda: "fine") == "fine"
+        assert runner.quarantined == ["bad"]
+
+
+class TestFaultInjection:
+    def test_injected_exception_counts_as_failure(self, design):
+        injector = FaultInjector(seed=1)
+        injector.inject("t", FaultKind.EXCEPTION, invocation=1)
+        runner = GuardedRunner(design, GuardConfig(budget_seconds=None),
+                               injector=injector)
+        assert runner.call("t", lambda: "a") == "a"
+        assert runner.call("t", lambda: "b") is None  # faulted
+        assert runner.call("t", lambda: "c") == "c"
+        assert [str(f) for f in injector.fired()] == ["exception@t#1"]
+
+    def test_injected_corruption_detected_and_healed(self, design):
+        injector = FaultInjector(seed=2)
+        injector.inject("t", FaultKind.CORRUPT_OCCUPANCY, invocation=0)
+        runner = GuardedRunner(design, GuardConfig(budget_seconds=None),
+                               injector=injector)
+        sig = state_signature(design)
+        assert runner.call("t", lambda: "x") is None
+        assert state_signature(design) == sig
+        design.grid.check_occupancy()
+        assert runner.health["t"].failures_by_kind == {"invariant": 1}
+
+    def test_injected_slowdown_trips_budget(self, design):
+        injector = FaultInjector(seed=3)
+        injector.inject("t", FaultKind.SLOWDOWN, invocation=0,
+                        sleep_seconds=0.03)
+        runner = GuardedRunner(design, GuardConfig(budget_seconds=0.01),
+                               injector=injector)
+        assert runner.call("t", lambda: "x") is None
+        assert runner.health["t"].failures_by_kind == {"budget": 1}
+
+    def test_random_mode_is_deterministic(self, design):
+        def fire_sequence(seed):
+            injector = FaultInjector(seed=seed, rate=0.6,
+                                     kinds=[FaultKind.EXCEPTION])
+            runner = GuardedRunner(
+                design, GuardConfig(budget_seconds=None,
+                                    quarantine_after=99),
+                injector=injector)
+            return [runner.call("t", lambda: "ok") for _ in range(12)]
+
+        assert fire_sequence(7) == fire_sequence(7)
+        assert fire_sequence(7) != fire_sequence(8)
+
+
+class TestHealthReporting:
+    def test_summary_lines(self, design):
+        runner = runner_for(design)
+        runner.call("alpha", lambda: "ok")
+        runner.call("beta", lambda: 1 / 0)
+        lines = runner.health_lines()
+        assert len(lines) == 2
+        assert lines[0].startswith("alpha: 1 ok")
+        assert "exception=1" in lines[1]
+
+    def test_guard_seconds_accumulates(self, design):
+        runner = runner_for(design)
+        runner.call("t", lambda: "ok")
+        assert runner.guard_seconds > 0.0

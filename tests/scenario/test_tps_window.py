@@ -1,0 +1,116 @@
+"""TPSScenario._window boundary semantics and electrical-round exits.
+
+Status advances in discrete jumps, so Figure 5's ``lo < status < hi``
+guards are evaluated against the traversed interval ``(prev, status]``;
+these tests pin the boundary cases down exactly.
+"""
+
+import re
+
+import pytest
+
+from repro.scenario import TPSConfig, TPSScenario
+from repro.workloads import ProcessorParams, make_design, processor_partition
+
+_ACCEPTED = re.compile(r"(\d+)/(\d+) accepted")
+
+
+def tiny_design(library, seed=5):
+    params = ProcessorParams(n_stages=2, regs_per_stage=6,
+                             gates_per_stage=60, seed=seed)
+    netlist = processor_partition(params, library)
+    return make_design(netlist, library, cycle_time=1400.0,
+                       with_blockage=True)
+
+
+class TestWindowBoundaries:
+    """(prev, status] overlapping the open window (lo, hi)."""
+
+    window = staticmethod(TPSScenario._window)
+
+    def test_prev_on_lower_edge_fires(self):
+        # prev == lo: the traversed interval starts exactly at the
+        # window's open edge; (lo, status] overlaps (lo, hi)
+        assert self.window(30, 35, 30, 50)
+
+    def test_status_on_lower_edge_skips(self):
+        # status == lo: the interval (prev, lo] never enters (lo, hi)
+        assert not self.window(25, 30, 30, 50)
+
+    def test_status_on_upper_edge_fires(self):
+        # status == hi: values just below hi were traversed
+        assert self.window(45, 50, 30, 50)
+
+    def test_prev_on_upper_edge_skips(self):
+        # prev == hi: the window was fully handled by earlier cuts
+        assert not self.window(50, 55, 30, 50)
+
+    def test_window_jumped_in_one_step_still_fires(self):
+        # a single cut from below lo to above hi must not skip the
+        # window — the whole point of interval semantics
+        assert self.window(20, 60, 30, 50)
+        assert self.window(0, 100, 30, 50)
+
+    def test_interval_below_window_skips(self):
+        assert not self.window(10, 20, 30, 50)
+
+    def test_interval_above_window_skips(self):
+        assert not self.window(60, 70, 30, 50)
+
+    def test_degenerate_no_progress(self):
+        # prev == status inside the window: nothing new traversed but
+        # the guard is only consulted after a successful cut; the
+        # interval semantics still report overlap
+        assert self.window(35, 40, 30, 50)
+        assert not self.window(30, 30, 30, 50)
+
+
+def electrical_lines(report):
+    """Trace lines from the migration/cloning/buffering rounds."""
+    return [line for line in report.trace
+            if ("migration:" in line or "cloning:" in line
+                or "buffering:" in line)
+            and "post-legalization" not in line]
+
+
+class TestElectricalRounds:
+    def test_zero_rounds_disables_electrical_correction(self, library):
+        report = TPSScenario(
+            tiny_design(library),
+            TPSConfig(seed=1, electrical_rounds=0)).run()
+        assert electrical_lines(report) == []
+
+    def test_window_above_status_range_never_fires(self, library):
+        # lo == 100: status can never exceed it, so the window is dead
+        report = TPSScenario(
+            tiny_design(library),
+            TPSConfig(seed=1, electrical_window=(100, 101))).run()
+        assert electrical_lines(report) == []
+
+    def test_rounds_bounded_and_exit_on_no_progress(self, library):
+        """Per status: at most ``electrical_rounds`` rounds, and every
+        non-final round accepted at least one change (the loop exits
+        early the moment a round makes no progress)."""
+        rounds = 3
+        report = TPSScenario(
+            tiny_design(library),
+            TPSConfig(seed=1, electrical_rounds=rounds)).run()
+        by_status = {}
+        for line in electrical_lines(report):
+            status = int(line.split(":")[0].split()[1])
+            by_status.setdefault(status, []).append(line)
+        assert by_status, "electrical window never fired"
+        for status, lines in by_status.items():
+            n_rounds = sum("migration:" in line for line in lines)
+            assert n_rounds <= rounds, (status, lines)
+            # group into rounds (each starts with a migration line)
+            per_round = []
+            for line in lines:
+                if "migration:" in line:
+                    per_round.append([])
+                per_round[-1].append(line)
+            for round_lines in per_round[:-1]:
+                accepted = sum(
+                    int(m.group(1)) for line in round_lines
+                    for m in [_ACCEPTED.search(line)] if m)
+                assert accepted > 0, (status, round_lines)
