@@ -39,6 +39,7 @@ from repro.guard import (
 )
 from repro.library import Library, analyze_library, default_library
 from repro.netlist import Netlist
+from repro.persist import FlowPersist, PersistConfig, RunDir
 from repro.scenario import FlowReport, SPRConfig, SPRFlow, TPSConfig, TPSScenario
 from repro.synth import Aig, MapperOptions, synthesize
 from repro.timing import DelayMode, TimingConstraints, TimingEngine
@@ -66,6 +67,9 @@ __all__ = [
     "analyze_library",
     "default_library",
     "Netlist",
+    "FlowPersist",
+    "PersistConfig",
+    "RunDir",
     "FlowReport",
     "SPRConfig",
     "SPRFlow",

@@ -12,6 +12,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro import (
@@ -22,13 +23,31 @@ from repro import (
     default_library,
     make_design,
 )
-from repro.guard import FaultInjector, FaultKind, GuardConfig
+from repro.guard import FaultInjector, GuardConfig
 from repro.netlist.verilog import read_verilog, write_placement, write_verilog
+from repro.persist import (
+    FlowPersist,
+    Journal,
+    JournalError,
+    PersistConfig,
+    RunDir,
+    RunDirError,
+    SnapshotError,
+    read_snapshot,
+    rebuild_design,
+    scan_resume,
+)
+from repro.scenario.spr import SPRConfig
+from repro.scenario.tps import TPSConfig
 from repro.workloads.presets import DES_PRESETS
 
 
 def _load_design(args, library):
     """A Design from a preset name or a structural Verilog file."""
+    if args.design is None:
+        raise SystemExit(
+            "a design (Des1..Des5 preset or Verilog file) is required "
+            "unless resuming with --run-dir DIR --resume")
     if args.design in DES_PRESETS:
         return build_des_design(args.design, library, scale=args.scale,
                                 cycle_time=args.cycle)
@@ -41,7 +60,7 @@ def _load_design(args, library):
         with open(args.sdc) as stream:
             design.constraints = read_sdc(stream)
         design.timing.constraints = design.constraints
-        design.timing._mark_all_dirty()
+        design.timing.invalidate_all()
     return design
 
 
@@ -73,27 +92,131 @@ def _print_report(report) -> None:
                  report.total_rollbacks, len(report.quarantined)))
         for line in report.health_lines():
             print("    %s" % line)
+    if report.run_dir:
+        print("  run dir     %s%s"
+              % (report.run_dir, " (resumed)" if report.resumed else ""))
 
 
 def _guard_setup(args):
     """(GuardConfig, FaultInjector) from the chaos CLI flags."""
     injector = None
     if getattr(args, "chaos_seed", None) is not None:
+        # default kinds: everything except process-kill, which only the
+        # resume tests opt into explicitly
         injector = FaultInjector(seed=args.chaos_seed,
-                                 rate=args.chaos_rate,
-                                 kinds=list(FaultKind))
+                                 rate=args.chaos_rate)
     config = None
     if getattr(args, "guard", False) or injector is not None:
-        config = GuardConfig(budget_seconds=args.guard_budget)
+        # durable runs retry transient failures before striking
+        retries = 2 if getattr(args, "run_dir", None) else 0
+        config = GuardConfig(budget_seconds=args.guard_budget,
+                             retries=retries)
     return config, injector
 
 
+def _persist_create(args, flow, design, config, injector):
+    """A FlowPersist over a freshly created run directory, or None."""
+    if getattr(args, "run_dir", None) is None:
+        return None
+    pconfig = PersistConfig(snapshot_every=args.snapshot_every,
+                            die_at_status=args.die_at_status)
+    meta = {
+        "flow": flow,
+        "design": {"design": args.design, "scale": args.scale,
+                   "cycle": args.cycle,
+                   "sdc": getattr(args, "sdc", None)},
+        "config": config.to_state(),
+        "chaos": ({"seed": args.chaos_seed, "rate": args.chaos_rate}
+                  if injector is not None else None),
+        "persist": pconfig.to_state(),
+    }
+    rundir = RunDir.create(args.run_dir, meta)
+    journal = Journal.create(rundir.journal_path)
+    return FlowPersist(rundir, journal, pconfig, design)
+
+
+def _cmd_resume(args, expected_flow) -> int:
+    """Continue an interrupted durable run from its last snapshot."""
+    if args.run_dir is None:
+        print("--resume requires --run-dir DIR", file=sys.stderr)
+        return 2
+    library = default_library()
+    try:
+        rundir = RunDir.open(args.run_dir)
+        meta = rundir.meta
+        flow = meta.get("flow")
+        if flow != expected_flow:
+            print("run dir %s holds a %s run, not %s"
+                  % (args.run_dir, flow, expected_flow), file=sys.stderr)
+            return 2
+        journal = Journal.open(rundir.journal_path)
+        if journal.truncated_lines:
+            print("journal: dropped %d torn trailing line(s)"
+                  % journal.truncated_lines)
+        state = scan_resume(journal)
+        if state["completed"]:
+            print("run in %s already completed; stored report:"
+                  % args.run_dir)
+            print(json.dumps(rundir.read_report(), indent=2,
+                             sort_keys=True))
+            return 0
+        record = state["snapshot"]
+        if record is None:
+            print("no snapshot to resume from in %s" % args.run_dir,
+                  file=sys.stderr)
+            return 1
+        payload = read_snapshot(rundir.snapshot_path(
+            record["file"][:-len(".snap.gz")]))
+    except (RunDirError, JournalError, SnapshotError) as exc:
+        print("cannot resume: %s" % exc, file=sys.stderr)
+        return 1
+    design = rebuild_design(payload, library)
+    pconfig = PersistConfig.from_state(meta.get("persist", {}))
+    # never persisted; a fresh --die-at-status may be given per process
+    pconfig.die_at_status = args.die_at_status
+    quarantined = rundir.note_crashes(state["in_flight"],
+                                      pconfig.crash_quarantine_after)
+    if state["in_flight"]:
+        print("in flight at previous death: %s"
+              % ", ".join(state["in_flight"]))
+    persist = FlowPersist(rundir, journal, pconfig, design, resumed=True)
+    persist.seed_snapshot(record, record["status"])
+    persist.note_resumed(record["seq"], record["status"],
+                         state["in_flight"])
+    chaos = meta.get("chaos")
+    injector = (FaultInjector(seed=chaos["seed"], rate=chaos["rate"])
+                if chaos else None)
+    resume_state = dict(payload.get("extras", {}))
+    resume_state["quarantine"] = quarantined
+    if flow == "TPS":
+        scenario = TPSScenario(design,
+                               config=TPSConfig.from_state(meta["config"]),
+                               injector=injector, persist=persist,
+                               resume_state=resume_state)
+    else:
+        scenario = SPRFlow(design,
+                           config=SPRConfig.from_state(meta["config"]),
+                           injector=injector, persist=persist,
+                           resume_state=resume_state)
+    report = scenario.run()
+    _print_report(report)
+    if getattr(args, "trace", False):
+        for line in report.trace:
+            print("   ", line)
+    _write_outputs(design, args)
+    return 0
+
+
 def cmd_tps(args) -> int:
+    if getattr(args, "resume", False):
+        return _cmd_resume(args, "TPS")
     library = default_library()
     design = _load_design(args, library)
     guard, injector = _guard_setup(args)
-    scenario = TPSScenario(design, injector=injector)
-    scenario.config.guard = guard
+    config = TPSConfig(guard=guard)
+    persist = _persist_create(args, "TPS", design, config, injector)
+    scenario = TPSScenario(design, config=config, injector=injector,
+                           persist=persist)
     report = scenario.run()
     _print_report(report)
     if injector is not None:
@@ -108,11 +231,15 @@ def cmd_tps(args) -> int:
 
 
 def cmd_spr(args) -> int:
+    if getattr(args, "resume", False):
+        return _cmd_resume(args, "SPR")
     library = default_library()
     design = _load_design(args, library)
     guard, injector = _guard_setup(args)
-    flow = SPRFlow(design, injector=injector)
-    flow.config.guard = guard
+    config = SPRConfig(guard=guard)
+    persist = _persist_create(args, "SPR", design, config, injector)
+    flow = SPRFlow(design, config=config, injector=injector,
+                   persist=persist)
     report = flow.run()
     _print_report(report)
     _write_outputs(design, args)
@@ -166,8 +293,9 @@ def cmd_info(args) -> int:
 
 
 def _add_design_args(parser) -> None:
-    parser.add_argument("design",
-                        help="Des1..Des5 preset or a Verilog file")
+    parser.add_argument("design", nargs="?", default=None,
+                        help="Des1..Des5 preset or a Verilog file "
+                             "(omit when resuming)")
     parser.add_argument("--scale", type=float, default=0.2,
                         help="preset scale (default 0.2)")
     parser.add_argument("--cycle", type=float, default=None,
@@ -189,6 +317,23 @@ def _add_design_args(parser) -> None:
                              "--chaos-seed (default 0.05)")
 
 
+def _add_persist_args(parser) -> None:
+    parser.add_argument("--run-dir", default=None,
+                        help="durable run directory: journal every "
+                             "transform, snapshot at milestones, "
+                             "resumable after a crash")
+    parser.add_argument("--resume", action="store_true",
+                        help="continue the run in --run-dir from its "
+                             "last snapshot")
+    parser.add_argument("--snapshot-every", type=int, default=10,
+                        help="snapshot when cut status crosses a "
+                             "multiple of this (default 10)")
+    parser.add_argument("--die-at-status", type=int, default=None,
+                        help="simulate a process kill (exit 17) right "
+                             "after the first snapshot at or past this "
+                             "status (resume smoke testing)")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -198,6 +343,7 @@ def main(argv=None) -> int:
 
     p = sub.add_parser("tps", help="run the TPS scenario")
     _add_design_args(p)
+    _add_persist_args(p)
     p.add_argument("--trace", action="store_true",
                    help="print the flow trace")
     p.add_argument("--out-verilog")
@@ -206,6 +352,7 @@ def main(argv=None) -> int:
 
     p = sub.add_parser("spr", help="run the SPR baseline")
     _add_design_args(p)
+    _add_persist_args(p)
     p.add_argument("--out-verilog")
     p.add_argument("--out-placement")
     p.set_defaults(func=cmd_spr)

@@ -162,6 +162,16 @@ class DesignCheckpoint:
                     % (current[:12], self.signature[:12]))
         return None
 
+    @staticmethod
+    def state_signature(design: Design) -> str:
+        """Alias of the module-level :func:`state_signature`.
+
+        On-disk snapshots (:mod:`repro.persist`) verify their reload
+        through this same digest, so disk round trips and in-memory
+        rollbacks share one definition of "bit-identical".
+        """
+        return state_signature(design)
+
 
 def state_signature(design: Design) -> str:
     """Deterministic digest of a design's restorable state.

@@ -15,6 +15,10 @@ class GuardError(Exception):
 
     #: short classification used in health stats ("error", ...)
     kind = "error"
+    #: transient failures (crashes, overruns) may succeed if simply
+    #: retried after rollback; invariant violations and restore
+    #: mismatches will not, and are never retried
+    transient = False
 
     def __init__(self, transform: str, message: str,
                  seconds: float = 0.0) -> None:
@@ -29,6 +33,7 @@ class TransformError(GuardError):
     """A transform raised an (unexpected) exception."""
 
     kind = "exception"
+    transient = True
 
     def __init__(self, transform: str, cause: BaseException,
                  seconds: float = 0.0) -> None:
@@ -53,6 +58,7 @@ class BudgetExceeded(GuardError):
     """A transform overran its wall-clock budget."""
 
     kind = "budget"
+    transient = True
 
     def __init__(self, transform: str, seconds: float,
                  budget: float) -> None:

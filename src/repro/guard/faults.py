@@ -44,10 +44,17 @@ class FaultKind(enum.Enum):
     CORRUPT_OCCUPANCY = "corrupt-occupancy"
     #: detach a random sink pin through the API (dangling topology)
     CORRUPT_CONNECTIVITY = "corrupt-connectivity"
+    #: simulate the process being killed mid-transform: raises
+    #: ``KeyboardInterrupt``, which (as a ``BaseException``) escapes
+    #: the guard's exception isolation exactly like a real SIGINT /
+    #: OOM kill would — the run dies with a write-ahead journal entry
+    #: open and must be recovered by ``--resume``
+    PROCESS_KILL = "process-kill"
 
 
 #: kinds that fire before the transform body runs
-_BEFORE_KINDS = (FaultKind.EXCEPTION, FaultKind.SLOWDOWN)
+_BEFORE_KINDS = (FaultKind.EXCEPTION, FaultKind.SLOWDOWN,
+                 FaultKind.PROCESS_KILL)
 
 
 @dataclass
@@ -77,7 +84,11 @@ class FaultInjector:
         #: probability that any given invocation is faulted (random
         #: mode; explicit ``inject`` specs fire regardless)
         self.rate = rate
-        self.kinds = list(kinds) if kinds else list(FaultKind)
+        #: PROCESS_KILL terminates the run, so random mode never draws
+        #: it by default — schedule it explicitly with ``inject``
+        self.kinds = (list(kinds) if kinds else
+                      [k for k in FaultKind
+                       if k is not FaultKind.PROCESS_KILL])
         self._rng = random.Random(seed)
         self._specs: List[FaultSpec] = []
         self._fired: List[FaultSpec] = []
@@ -95,6 +106,42 @@ class FaultInjector:
     def fired(self) -> List[FaultSpec]:
         """Every fault that actually fired, in firing order."""
         return list(self._fired)
+
+    # -- persistence ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Everything a resumed process needs to continue the chaos
+        schedule exactly where this one left it (JSON-serializable)."""
+        version, internal, gauss = self._rng.getstate()
+        return {
+            "rng": [version, list(internal), gauss],
+            "specs": [
+                {"transform": s.transform, "kind": s.kind.value,
+                 "invocation": s.invocation,
+                 "sleep_seconds": s.sleep_seconds, "fired": s.fired}
+                for s in self._specs
+            ],
+            "fired": [
+                {"transform": s.transform, "kind": s.kind.value,
+                 "invocation": s.invocation}
+                for s in self._fired
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        version, internal, gauss = state["rng"]
+        self._rng.setstate((version, tuple(internal), gauss))
+        self._specs = [
+            FaultSpec(rec["transform"], FaultKind(rec["kind"]),
+                      rec["invocation"], rec["sleep_seconds"],
+                      fired=rec["fired"])
+            for rec in state["specs"]
+        ]
+        self._fired = [
+            FaultSpec(rec["transform"], FaultKind(rec["kind"]),
+                      rec["invocation"], fired=True)
+            for rec in state["fired"]
+        ]
 
     def _match(self, transform: str, invocation: int,
                before: bool) -> Optional[FaultSpec]:
@@ -137,6 +184,10 @@ class FaultInjector:
                 sleep = 1.5 * budget if budget else 0.05
             time.sleep(sleep)
             return
+        if kind is FaultKind.PROCESS_KILL:
+            raise KeyboardInterrupt(
+                "injected process kill in %s (invocation %s)"
+                % (transform, invocation))
         raise FaultInjected(transform, invocation)
 
     def after(self, transform: str, invocation: int,

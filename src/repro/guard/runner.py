@@ -51,6 +51,12 @@ class GuardConfig:
     budget_seconds: Optional[float] = 30.0
     #: quarantine a transform after this many *consecutive* failures
     quarantine_after: int = 3
+    #: retry a *transient* failure (crash, budget overrun) this many
+    #: times after rollback before it counts as a real failure and a
+    #: quarantine strike.  0 = fail immediately (the PR-1 behavior).
+    retries: int = 0
+    #: base of the exponential backoff between retry attempts
+    retry_backoff_seconds: float = 0.05
     #: run the invariant suite after every invocation
     check_invariants: bool = True
     #: after a rollback, verify the restored state is
@@ -59,6 +65,21 @@ class GuardConfig:
     verify_restore: bool = True
     #: keep at most this many structured errors per transform
     max_errors_kept: int = 20
+
+    def to_state(self) -> dict:
+        return {
+            "budget_seconds": self.budget_seconds,
+            "quarantine_after": self.quarantine_after,
+            "retries": self.retries,
+            "retry_backoff_seconds": self.retry_backoff_seconds,
+            "check_invariants": self.check_invariants,
+            "verify_restore": self.verify_restore,
+            "max_errors_kept": self.max_errors_kept,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "GuardConfig":
+        return cls(**state)
 
 
 @dataclass
@@ -84,6 +105,32 @@ class TransformHealth:
     @property
     def successes(self) -> int:
         return self.runs - self.failures
+
+    def to_state(self) -> dict:
+        """JSON-serializable counters (structured errors are process-
+        local and not carried across; their kind counts are)."""
+        return {
+            "name": self.name,
+            "runs": self.runs,
+            "failures": self.failures,
+            "rollbacks": self.rollbacks,
+            "skipped": self.skipped,
+            "consecutive_failures": self.consecutive_failures,
+            "quarantined": self.quarantined,
+            "seconds": self.seconds,
+            "guard_seconds": self.guard_seconds,
+            "failures_by_kind": dict(self.failures_by_kind),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "TransformHealth":
+        health = cls(state["name"])
+        for key in ("runs", "failures", "rollbacks", "skipped",
+                    "consecutive_failures", "quarantined", "seconds",
+                    "guard_seconds"):
+            setattr(health, key, state[key])
+        health.failures_by_kind = dict(state["failures_by_kind"])
+        return health
 
     def summary(self) -> str:
         flags = []
@@ -116,6 +163,14 @@ class GuardedRunner:
         self.log = log
         self.health: Dict[str, TransformHealth] = {}
         self._invocations: Dict[str, int] = {}
+        #: write-ahead journal hooks (``repro.persist.FlowPersist``):
+        #: ``transform_start(name, invocation)``,
+        #: ``transform_end(name, invocation, ok, kind=None)``,
+        #: ``quarantined(name)``.  None = no journaling.
+        self.recorder = None
+        #: restore the design from the latest *on-disk* snapshot; set
+        #: by persist-enabled scenarios to arm :meth:`call_substrate`
+        self.disk_restore: Optional[Callable[[], None]] = None
 
     # -- execution -----------------------------------------------------
 
@@ -124,7 +179,9 @@ class GuardedRunner:
 
         Returns ``fn``'s result, or ``None`` if the invocation failed
         (the design is then back at its pre-call state) or the
-        transform is quarantined.
+        transform is quarantined.  Transient failures are retried up to
+        ``config.retries`` times (rollback, exponential backoff, run
+        again) before counting as a failure and a quarantine strike.
         """
         health = self.health.setdefault(name, TransformHealth(name))
         if health.quarantined:
@@ -133,7 +190,46 @@ class GuardedRunner:
         invocation = self._invocations.get(name, 0)
         self._invocations[name] = invocation + 1
         cfg = self.config
+        if self.recorder is not None:
+            self.recorder.transform_start(name, invocation)
 
+        health.runs += 1
+        attempts = 1 + max(0, cfg.retries)
+        failure: Optional[GuardError] = None
+        for attempt in range(attempts):
+            result, failure = self._attempt(name, invocation, health, fn)
+            if failure is None:
+                health.consecutive_failures = 0
+                if self.recorder is not None:
+                    self.recorder.transform_end(name, invocation, True)
+                return result
+            if not (failure.transient and attempt + 1 < attempts):
+                break
+            if cfg.retry_backoff_seconds > 0:
+                time.sleep(cfg.retry_backoff_seconds * (2 ** attempt))
+            self._say("retrying %s (attempt %d of %d) after %s"
+                      % (name, attempt + 2, attempts, failure.kind))
+
+        # -- retries exhausted: record, maybe quarantine ---------------
+        health.failures += 1
+        health.consecutive_failures += 1
+        if self.recorder is not None:
+            self.recorder.transform_end(name, invocation, False,
+                                        kind=failure.kind)
+        if health.consecutive_failures >= cfg.quarantine_after:
+            health.quarantined = True
+            if self.recorder is not None:
+                self.recorder.quarantined(name)
+            self._say("%s quarantined after %d consecutive failures"
+                      % (name, health.consecutive_failures))
+        self._say(str(failure))
+        return None
+
+    def _attempt(self, name: str, invocation: int,
+                 health: TransformHealth, fn: Callable[[], T]):
+        """One checkpointed try of ``fn``: (result, None) or
+        (None, failure) with the design rolled back."""
+        cfg = self.config
         guard_t0 = time.perf_counter()
         checkpoint = DesignCheckpoint(self.design)
         health.guard_seconds += time.perf_counter() - guard_t0
@@ -165,16 +261,12 @@ class GuardedRunner:
             failure = TransformError(name, exc,
                                      time.perf_counter() - run_t0)
 
-        health.runs += 1
         if failure is None:
             health.seconds += time.perf_counter() - run_t0
-            health.consecutive_failures = 0
-            return result
+            return result, None
 
-        # -- failure path: roll back, record, maybe quarantine ---------
+        # -- roll back this attempt ------------------------------------
         health.seconds += failure.seconds
-        health.failures += 1
-        health.consecutive_failures += 1
         health.failures_by_kind[failure.kind] = (
             health.failures_by_kind.get(failure.kind, 0) + 1)
         if len(health.errors) < cfg.max_errors_kept:
@@ -189,13 +281,107 @@ class GuardedRunner:
                 # the guard itself is broken: never swallow this
                 raise RestoreMismatch(name, mismatch)
         health.guard_seconds += time.perf_counter() - roll_t0
+        return None, failure
 
-        if health.consecutive_failures >= cfg.quarantine_after:
+    def call_substrate(self, name: str, fn: Callable[[], T]) -> Optional[T]:
+        """Run an unrollbackable *substrate* operation guarded by the
+        on-disk snapshot.
+
+        The partitioner and legalizer re-derive global structures
+        (region geometry, row assignment) that the in-memory diff
+        checkpoint cannot capture mid-operation, so :meth:`call` cannot
+        guard them.  When :attr:`disk_restore` is armed (persist mode),
+        a failure here restores the design from the latest on-disk
+        snapshot instead and the operation is retried; after the retry
+        budget the failure propagates — the run aborts with a coherent,
+        resumable design rather than a half-partitioned one.  Without
+        ``disk_restore`` the operation runs unguarded, exactly as
+        before this layer existed.
+        """
+        if self.disk_restore is None:
+            return fn()
+        health = self.health.setdefault(name, TransformHealth(name))
+        invocation = self._invocations.get(name, 0)
+        self._invocations[name] = invocation + 1
+        cfg = self.config
+        if self.recorder is not None:
+            self.recorder.transform_start(name, invocation)
+
+        health.runs += 1
+        attempts = 1 + max(0, cfg.retries)
+        failure: Optional[GuardError] = None
+        for attempt in range(attempts):
+            run_t0 = time.perf_counter()
+            failure = None
+            result: Optional[T] = None
+            try:
+                if self.injector is not None:
+                    self.injector.before(name, invocation, self.design,
+                                         cfg.budget_seconds)
+                result = fn()
+                if self.injector is not None:
+                    self.injector.after(name, invocation, self.design)
+                if cfg.check_invariants:
+                    found = self.invariants.first_violation(self.design)
+                    if found is not None:
+                        raise InvariantViolation(
+                            name, found[0], found[1],
+                            time.perf_counter() - run_t0)
+            except GuardError as err:
+                failure = err
+            except Exception as exc:
+                failure = TransformError(name, exc,
+                                         time.perf_counter() - run_t0)
+            if failure is None:
+                health.seconds += time.perf_counter() - run_t0
+                health.consecutive_failures = 0
+                if self.recorder is not None:
+                    self.recorder.transform_end(name, invocation, True)
+                return result
+
+            health.seconds += failure.seconds
+            health.failures_by_kind[failure.kind] = (
+                health.failures_by_kind.get(failure.kind, 0) + 1)
+            if len(health.errors) < cfg.max_errors_kept:
+                health.errors.append(failure)
+            roll_t0 = time.perf_counter()
+            self.disk_restore()
+            health.rollbacks += 1
+            health.guard_seconds += time.perf_counter() - roll_t0
+            self._say("%s failed (%s); design restored from disk "
+                      "snapshot" % (name, failure.kind))
+            if attempt + 1 < attempts and cfg.retry_backoff_seconds > 0:
+                time.sleep(cfg.retry_backoff_seconds * (2 ** attempt))
+
+        health.failures += 1
+        health.consecutive_failures += 1
+        if self.recorder is not None:
+            self.recorder.transform_end(name, invocation, False,
+                                        kind=failure.kind)
+        raise failure
+
+    # -- cross-process state -------------------------------------------
+
+    def force_quarantine(self, name: str) -> None:
+        """Quarantine a transform without running it (resume path:
+        the persistent quarantine list carries across processes)."""
+        health = self.health.setdefault(name, TransformHealth(name))
+        if not health.quarantined:
             health.quarantined = True
-            self._say("%s quarantined after %d consecutive failures"
-                      % (name, health.consecutive_failures))
-        self._say(str(failure))
-        return None
+            self._say("%s quarantined from a previous process" % name)
+
+    def state_dict(self) -> dict:
+        """JSON-serializable runner state for on-disk snapshots."""
+        return {
+            "health": [h.to_state()
+                       for _, h in sorted(self.health.items())],
+            "invocations": dict(self._invocations),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.health = {rec["name"]: TransformHealth.from_state(rec)
+                       for rec in state["health"]}
+        self._invocations = dict(state["invocations"])
 
     # -- reporting -----------------------------------------------------
 

@@ -13,6 +13,7 @@ from repro.netlist.cell import Cell, Pin
 from repro.netlist.net import Net
 from repro.netlist.netlist import Netlist, NetlistListener
 from repro.netlist.ports import input_port_type, output_port_type
+from repro.netlist.serialize import netlist_from_state, netlist_to_state
 from repro.netlist import ops
 
 __all__ = [
@@ -23,5 +24,7 @@ __all__ = [
     "NetlistListener",
     "input_port_type",
     "output_port_type",
+    "netlist_from_state",
+    "netlist_to_state",
     "ops",
 ]

@@ -1,0 +1,124 @@
+"""Netlist <-> plain-data state conversion (the persistence hooks).
+
+``netlist_to_state`` flattens a live :class:`~repro.netlist.netlist.Netlist`
+into JSON-serializable primitives; ``netlist_from_state`` rebuilds an
+identical netlist against a :class:`~repro.library.Library`.  The
+round trip is *exact* down to iteration order: cells and nets are
+recorded in dictionary insertion order and net pin membership in pin
+list order, so every traversal a transform can make (and every float
+summation order those traversals imply) is reproduced bit-identically.
+Gate sizes are stored as ``(type name, size multiple)`` and resolved
+from the library ladder on load; primary I/O ports — whose sizes are
+synthesized outside the library — are tagged and rebuilt through
+``add_input_port`` / ``add_output_port``.
+
+Used by :mod:`repro.persist.snapshot` for on-disk design checkpoints.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.geometry import Point
+from repro.library import Library
+from repro.netlist.netlist import Netlist
+
+#: Bump when the state layout changes incompatibly.
+NETLIST_STATE_VERSION = 1
+
+
+def peek_name_counter(netlist: Netlist) -> int:
+    """The next value ``unique_name`` would draw, without consuming it.
+
+    ``itertools.count`` cannot be inspected, so the next value is drawn
+    and the counter re-seated at that value — externally a pure peek.
+    """
+    value = next(netlist._name_counter)
+    netlist._name_counter = itertools.count(value)
+    return value
+
+
+def set_name_counter(netlist: Netlist, value: int) -> None:
+    """Re-seat the unique-name counter (restore counterpart)."""
+    netlist._name_counter = itertools.count(value)
+
+
+def _port_kind(cell) -> Optional[str]:
+    if not cell.is_port:
+        return None
+    return "in" if cell.output_pins() else "out"
+
+
+def netlist_to_state(netlist: Netlist) -> dict:
+    """Flatten a netlist into JSON-serializable primitives."""
+    cells = []
+    for cell in netlist.cells():
+        record = {
+            "name": cell.name,
+            "type": cell.type_name,
+            "x": cell.size.x,
+            "position": (None if cell.position is None
+                         else [cell.position.x, cell.position.y]),
+            "fixed": cell.fixed,
+            "gain": cell.gain,
+            "tags": sorted(cell.tags),
+        }
+        port = _port_kind(cell)
+        if port is not None:
+            record["port"] = port
+        cells.append(record)
+    nets = []
+    for net in netlist.nets():
+        nets.append({
+            "name": net.name,
+            "weight": net.weight,
+            "base_weight": net.base_weight,
+            "clock": net.is_clock,
+            "scan": net.is_scan,
+            "pins": [[p.cell.name, p.name] for p in net.pins()],
+        })
+    return {
+        "version": NETLIST_STATE_VERSION,
+        "name": netlist.name,
+        "name_counter": peek_name_counter(netlist),
+        "cells": cells,
+        "nets": nets,
+    }
+
+
+def populate_netlist(netlist: Netlist, state: dict,
+                     library: Library) -> None:
+    """Fill an *empty* netlist from a state record, in recorded order."""
+    if state.get("version") != NETLIST_STATE_VERSION:
+        raise ValueError("unsupported netlist state version %r"
+                         % state.get("version"))
+    for rec in state["cells"]:
+        position = (None if rec["position"] is None
+                    else Point(rec["position"][0], rec["position"][1]))
+        port = rec.get("port")
+        if port == "in":
+            cell = netlist.add_input_port(rec["name"], position=position)
+        elif port == "out":
+            cell = netlist.add_output_port(rec["name"], position=position)
+        else:
+            size = library.size(rec["type"], rec["x"])
+            cell = netlist.add_cell(rec["name"], size, position=position,
+                                    fixed=rec["fixed"])
+        cell.fixed = rec["fixed"]
+        cell.gain = rec["gain"]
+        cell.tags = set(rec["tags"])
+    for rec in state["nets"]:
+        net = netlist.add_net(rec["name"], weight=rec["weight"],
+                              is_clock=rec["clock"], is_scan=rec["scan"])
+        net.base_weight = rec["base_weight"]
+        for cell_name, pin_name in rec["pins"]:
+            netlist.connect(netlist.cell(cell_name).pin(pin_name), net)
+    set_name_counter(netlist, state["name_counter"])
+
+
+def netlist_from_state(state: dict, library: Library) -> Netlist:
+    """Rebuild a netlist from ``netlist_to_state`` output."""
+    netlist = Netlist(state["name"])
+    populate_netlist(netlist, state, library)
+    return netlist

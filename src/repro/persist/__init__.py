@@ -1,0 +1,50 @@
+"""Durable flow state: on-disk snapshots, journaled runs, resume.
+
+PR 1's ``repro.guard`` made transforms transactional *within* a
+process; this package makes the whole flow durable *across* processes.
+A run owns a directory (``RunDir``) holding a write-ahead journal of
+every guarded invocation plus full design snapshots at cut-status
+milestones; ``python -m repro tps --run-dir DIR --resume`` reloads the
+latest snapshot into a fresh process and continues the scenario from
+the first unfinished phase, with crash-implicated transforms
+quarantined persistently.
+"""
+
+from repro.persist.journal import Journal, JournalError
+from repro.persist.rundir import (
+    DIE_EXIT_CODE,
+    FlowPersist,
+    PersistConfig,
+    RunDir,
+    RunDirError,
+    scan_resume,
+)
+from repro.persist.snapshot import (
+    SNAPSHOT_FORMAT,
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    design_state,
+    read_snapshot,
+    rebuild_design,
+    restore_design,
+    write_snapshot,
+)
+
+__all__ = [
+    "DIE_EXIT_CODE",
+    "FlowPersist",
+    "Journal",
+    "JournalError",
+    "PersistConfig",
+    "RunDir",
+    "RunDirError",
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "SnapshotError",
+    "design_state",
+    "read_snapshot",
+    "rebuild_design",
+    "restore_design",
+    "scan_resume",
+    "write_snapshot",
+]

@@ -1,0 +1,140 @@
+"""The write-ahead run journal: one JSON line per flow event.
+
+Every record is wrapped as ``{"r": <record>, "c": <crc32>}`` where the
+checksum covers the canonical (sorted-key, no-whitespace) JSON encoding
+of the record.  Appends rewrite the whole file to a temp path and
+``os.replace`` it — atomic write-then-rename, so a reader never sees a
+half-written journal and a crash mid-append leaves the previous file
+intact.  Journals are small (hundreds of records), so the quadratic
+rewrite cost is noise next to the transforms being journaled.
+
+``Journal.open`` walks the file line by line; at the first torn or
+corrupt line (bad JSON, bad checksum, non-monotonic sequence) it
+truncates the journal to the last valid record and keeps going — the
+recovery contract from ISSUE: *detect torn/corrupt tails, truncate to
+the last valid entry*.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import Iterable, List, Optional
+
+
+class JournalError(Exception):
+    """The journal file cannot be used at all (not just a torn tail)."""
+
+
+def _canonical(record: dict) -> bytes:
+    return json.dumps(record, sort_keys=True,
+                      separators=(",", ":")).encode()
+
+
+def _crc(record: dict) -> int:
+    return zlib.crc32(_canonical(record)) & 0xFFFFFFFF
+
+
+def _encode_line(record: dict) -> str:
+    return json.dumps({"r": record, "c": _crc(record)},
+                      separators=(",", ":"))
+
+
+def _decode_line(line: str) -> Optional[dict]:
+    """The wrapped record, or ``None`` if the line is torn/corrupt."""
+    try:
+        wrapper = json.loads(line)
+    except ValueError:
+        return None
+    if not isinstance(wrapper, dict) or "r" not in wrapper:
+        return None
+    record = wrapper.get("r")
+    if not isinstance(record, dict) or wrapper.get("c") != _crc(record):
+        return None
+    return record
+
+
+class Journal:
+    """An append-only, checksummed, crash-safe record log."""
+
+    def __init__(self, path: str, records: Optional[List[dict]] = None,
+                 truncated: int = 0) -> None:
+        self.path = path
+        self.records: List[dict] = list(records or [])
+        #: number of torn/corrupt tail lines dropped by :meth:`open`
+        self.truncated_lines = truncated
+
+    # -- lifecycle -----------------------------------------------------
+
+    @classmethod
+    def create(cls, path: str) -> "Journal":
+        """Start a fresh journal (overwrites any existing file)."""
+        journal = cls(path)
+        journal._rewrite()
+        return journal
+
+    @classmethod
+    def open(cls, path: str) -> "Journal":
+        """Load a journal, truncating any torn/corrupt tail.
+
+        Raises :class:`JournalError` if the file does not exist.
+        """
+        try:
+            with open(path, "r") as stream:
+                lines = stream.read().splitlines()
+        except OSError as exc:
+            raise JournalError("cannot open journal %s: %s" % (path, exc))
+        records: List[dict] = []
+        dropped = 0
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            record = _decode_line(line)
+            if record is None or record.get("seq") != len(records):
+                dropped = len(lines) - index
+                break
+            records.append(record)
+        journal = cls(path, records, truncated=dropped)
+        if dropped:
+            journal._rewrite()
+        return journal
+
+    # -- writes --------------------------------------------------------
+
+    def append(self, type_: str, **fields) -> dict:
+        """Durably append one record; returns it (with its seq)."""
+        record = {"seq": len(self.records), "type": type_}
+        record.update(fields)
+        self.records.append(record)
+        self._rewrite()
+        return record
+
+    def _rewrite(self) -> None:
+        tmp = self.path + ".tmp"
+        with open(tmp, "w") as stream:
+            for record in self.records:
+                stream.write(_encode_line(record) + "\n")
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(tmp, self.path)
+
+    # -- queries -------------------------------------------------------
+
+    def of_type(self, type_: str) -> List[dict]:
+        return [r for r in self.records if r["type"] == type_]
+
+    def last_of_type(self, type_: str) -> Optional[dict]:
+        for record in reversed(self.records):
+            if record["type"] == type_:
+                return record
+        return None
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterable[dict]:
+        return iter(self.records)
+
+    def __repr__(self) -> str:
+        return "<Journal %s: %d records>" % (self.path, len(self.records))

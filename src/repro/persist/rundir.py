@@ -1,0 +1,366 @@
+"""Per-run directories and the ``FlowPersist`` driver.
+
+A run directory is the durable identity of one flow invocation::
+
+    RUNDIR/
+      run.json          how to rebuild the run (flow, design recipe,
+                        scenario/guard/chaos configuration)
+      journal.jsonl     write-ahead event log (see repro.persist.journal)
+      snapshots/        full design snapshots, one per milestone
+      quarantine.json   crash strikes + persistently quarantined
+                        transforms, carried across processes
+      report.json       final FlowReport state (written on completion)
+
+``FlowPersist`` is the object a scenario talks to: it journals
+transform invocations (as the :class:`~repro.guard.runner.GuardedRunner`
+recorder), writes milestone snapshots as cut status advances, restores
+the design from the latest snapshot when the substrate fails, and
+simulates a process kill at a chosen milestone for the resume tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.design import Design
+from repro.guard.checkpoint import state_signature
+from repro.persist.journal import Journal, JournalError
+from repro.persist.snapshot import (
+    SnapshotError,
+    read_snapshot,
+    restore_design,
+    write_snapshot,
+)
+
+RUN_FORMAT = "repro-run"
+RUN_VERSION = 1
+
+#: exit code of a run killed by ``die_at_status`` (CI resume smoke)
+DIE_EXIT_CODE = 17
+
+
+@dataclass
+class PersistConfig:
+    """Knobs of the durable flow-state layer."""
+
+    #: write a full snapshot whenever cut status crosses a multiple of
+    #: this value (plus one at init and one before the postlude)
+    snapshot_every: int = 10
+    #: simulate a process kill (SystemExit) right after the first
+    #: milestone snapshot at or past this status.  Never persisted to
+    #: run.json: a resumed process must not re-die.
+    die_at_status: Optional[int] = None
+    #: quarantine a transform after this many cross-process crashes
+    #: attributed to it (in-flight at process death)
+    crash_quarantine_after: int = 1
+
+    def to_state(self) -> dict:
+        return {"snapshot_every": self.snapshot_every,
+                "crash_quarantine_after": self.crash_quarantine_after}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "PersistConfig":
+        return cls(snapshot_every=state.get("snapshot_every", 10),
+                   crash_quarantine_after=state.get(
+                       "crash_quarantine_after", 1))
+
+
+def _write_json(path: str, payload: dict) -> None:
+    tmp = path + ".tmp"
+    with open(tmp, "w") as stream:
+        json.dump(payload, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+        stream.flush()
+        os.fsync(stream.fileno())
+    os.replace(tmp, path)
+
+
+class RunDirError(Exception):
+    """The run directory is missing, incompatible, or unreadable."""
+
+
+class RunDir:
+    """Filesystem layout + metadata of one durable run."""
+
+    def __init__(self, path: str, meta: dict) -> None:
+        self.path = path
+        #: the caller-supplied run recipe (flow, design, configs)
+        self.meta = meta
+
+    # -- lifecycle -----------------------------------------------------
+
+    @classmethod
+    def create(cls, path: str, meta: dict) -> "RunDir":
+        os.makedirs(path, exist_ok=True)
+        os.makedirs(os.path.join(path, "snapshots"), exist_ok=True)
+        rundir = cls(path, meta)
+        _write_json(rundir.run_json_path,
+                    {"format": RUN_FORMAT, "version": RUN_VERSION,
+                     "meta": meta})
+        return rundir
+
+    @classmethod
+    def open(cls, path: str) -> "RunDir":
+        run_json = os.path.join(path, "run.json")
+        try:
+            with open(run_json, "r") as stream:
+                payload = json.load(stream)
+        except (OSError, ValueError) as exc:
+            raise RunDirError("cannot read %s: %s" % (run_json, exc))
+        if payload.get("format") != RUN_FORMAT:
+            raise RunDirError("%s is not a %s directory"
+                              % (path, RUN_FORMAT))
+        if payload.get("version") != RUN_VERSION:
+            raise RunDirError(
+                "run dir %s has version %r; this build reads version %d"
+                % (path, payload.get("version"), RUN_VERSION))
+        return cls(path, payload.get("meta", {}))
+
+    # -- paths ---------------------------------------------------------
+
+    @property
+    def run_json_path(self) -> str:
+        return os.path.join(self.path, "run.json")
+
+    @property
+    def journal_path(self) -> str:
+        return os.path.join(self.path, "journal.jsonl")
+
+    @property
+    def quarantine_path(self) -> str:
+        return os.path.join(self.path, "quarantine.json")
+
+    @property
+    def report_path(self) -> str:
+        return os.path.join(self.path, "report.json")
+
+    def snapshot_path(self, name: str) -> str:
+        return os.path.join(self.path, "snapshots", name + ".snap.gz")
+
+    # -- quarantine persistence ----------------------------------------
+
+    def load_quarantine(self) -> dict:
+        try:
+            with open(self.quarantine_path, "r") as stream:
+                state = json.load(stream)
+        except (OSError, ValueError):
+            return {"strikes": {}, "quarantined": []}
+        state.setdefault("strikes", {})
+        state.setdefault("quarantined", [])
+        return state
+
+    def save_quarantine(self, state: dict) -> None:
+        _write_json(self.quarantine_path, state)
+
+    def note_crashes(self, names: List[str], threshold: int) -> List[str]:
+        """Record crash strikes; returns the updated quarantine list."""
+        state = self.load_quarantine()
+        for name in names:
+            strikes = state["strikes"].get(name, 0) + 1
+            state["strikes"][name] = strikes
+            if (strikes >= threshold
+                    and name not in state["quarantined"]):
+                state["quarantined"].append(name)
+        if names:
+            self.save_quarantine(state)
+        return list(state["quarantined"])
+
+    # -- final report --------------------------------------------------
+
+    def write_report(self, state: dict) -> None:
+        _write_json(self.report_path, state)
+
+    def read_report(self) -> Optional[dict]:
+        try:
+            with open(self.report_path, "r") as stream:
+                return json.load(stream)
+        except (OSError, ValueError):
+            return None
+
+
+def scan_resume(journal: Journal) -> dict:
+    """What a fresh process needs to know to continue a journal.
+
+    Returns ``{"completed": bool, "snapshot": record-or-None,
+    "in_flight": [transform names]}`` where *in_flight* are the
+    transforms with a ``transform_start`` after the last snapshot and
+    no matching ``transform_end`` — i.e. the ones running when the
+    previous process died, which earn a crash strike.
+    """
+    completed = journal.last_of_type("run_end") is not None
+    snapshot = journal.last_of_type("snapshot")
+    horizon = snapshot["seq"] if snapshot else -1
+    open_starts: Dict[tuple, dict] = {}
+    for record in journal:
+        if record["seq"] <= horizon:
+            continue
+        if record["type"] == "transform_start":
+            open_starts[(record["name"], record["invocation"])] = record
+        elif record["type"] == "transform_end":
+            open_starts.pop((record["name"], record["invocation"]), None)
+    in_flight = sorted({name for name, _ in open_starts})
+    return {"completed": completed, "snapshot": snapshot,
+            "in_flight": in_flight}
+
+
+class FlowPersist:
+    """The scenario-facing driver of the durable flow-state layer.
+
+    Also implements the :class:`~repro.guard.runner.GuardedRunner`
+    recorder protocol (``transform_start`` / ``transform_end`` /
+    ``quarantined``), so every guarded invocation is journaled
+    write-ahead: a start record with no end record marks the transform
+    that was in flight when the process died.
+    """
+
+    def __init__(self, rundir: RunDir, journal: Journal,
+                 config: PersistConfig, design: Design,
+                 resumed: bool = False) -> None:
+        self.rundir = rundir
+        self.journal = journal
+        self.config = config
+        self.design = design
+        self.resumed = resumed
+        #: signature/status of the most recent on-disk snapshot
+        self._last_signature: Optional[str] = None
+        self._last_status: Optional[int] = None
+        self._died = False
+
+    # -- journal bookkeeping -------------------------------------------
+
+    def start(self, flow: str, seed: int) -> None:
+        self.journal.append("run_start", flow=flow, seed=seed)
+
+    def note_resumed(self, snapshot_seq: int, status: int,
+                     in_flight: List[str]) -> None:
+        self.journal.append("resumed", snapshot=snapshot_seq,
+                            status=status, in_flight=in_flight)
+
+    def phase(self, status: int, **metrics) -> None:
+        self.journal.append("phase", status=status, **metrics)
+
+    # -- GuardedRunner recorder protocol -------------------------------
+
+    def transform_start(self, name: str, invocation: int) -> None:
+        self.journal.append("transform_start", name=name,
+                            invocation=invocation,
+                            status=self.design.status)
+
+    def transform_end(self, name: str, invocation: int, ok: bool,
+                      kind: Optional[str] = None) -> None:
+        fields = {"name": name, "invocation": invocation, "ok": ok}
+        if kind is not None:
+            fields["kind"] = kind
+        self.journal.append("transform_end", **fields)
+
+    def quarantined(self, name: str) -> None:
+        self.journal.append("quarantine", name=name)
+        state = self.rundir.load_quarantine()
+        if name not in state["quarantined"]:
+            state["quarantined"].append(name)
+            self.rundir.save_quarantine(state)
+
+    # -- snapshots -----------------------------------------------------
+
+    def snapshot(self, tag: str, extras: Optional[dict] = None) -> str:
+        """Write a full design snapshot now; returns its signature.
+
+        Always applies the *staleness barrier* first: virtual resizes
+        leave timing's electrical caches deliberately stale, which a
+        rebuilt process cannot reproduce — so every snapshot point
+        re-times from current state, in this process and equally in
+        the one that will resume from the file.
+        """
+        self.design.timing.invalidate_all()
+        name = "%04d-%s" % (len(self.journal), tag)
+        path = self.rundir.snapshot_path(name)
+        signature = write_snapshot(path, self.design, extras)
+        self._last_signature = signature
+        self._last_status = self.design.status
+        self.journal.append("snapshot", tag=tag,
+                            file=os.path.basename(path),
+                            status=self.design.status,
+                            signature=signature)
+        return signature
+
+    def milestone(self, extras_fn: Callable[[], dict],
+                  force: bool = False, tag: Optional[str] = None) -> bool:
+        """Snapshot if cut status crossed a milestone; maybe die after.
+
+        Returns True if a snapshot was written.
+        """
+        status = self.design.status
+        every = max(1, self.config.snapshot_every)
+        due = force or self._last_status is None \
+            or status // every > self._last_status // every
+        if not due:
+            return False
+        self.snapshot(tag or ("status-%03d" % status), extras_fn())
+        self._maybe_die(status)
+        return True
+
+    def seed_snapshot(self, snapshot_record: dict, status: int) -> None:
+        """Adopt an existing on-disk snapshot as current (resume path)."""
+        self._last_signature = snapshot_record["signature"]
+        self._last_status = status
+
+    def _maybe_die(self, status: int) -> None:
+        target = self.config.die_at_status
+        if target is None or self._died or status < target:
+            return
+        self._died = True
+        raise SystemExit(DIE_EXIT_CODE)
+
+    # -- substrate restore ---------------------------------------------
+
+    def ensure_current(self, extras_fn: Callable[[], dict],
+                       tag: str) -> None:
+        """Guarantee the latest snapshot matches the live design.
+
+        Called before an unrollbackable substrate operation: if the
+        design drifted since the last snapshot, write a fresh one so a
+        failure can restore to *this* state rather than an older one.
+        """
+        if (self._last_signature is not None
+                and state_signature(self.design) == self._last_signature):
+            return
+        self.snapshot(tag, extras_fn())
+
+    def latest_snapshot(self) -> dict:
+        """The payload of the most recent snapshot on disk."""
+        record = self.journal.last_of_type("snapshot")
+        if record is None:
+            raise SnapshotError("no snapshot in journal %s"
+                                % self.journal.path)
+        payload = read_snapshot(self.rundir.snapshot_path(
+            record["file"][:-len(".snap.gz")]))
+        if payload["signature"] != record["signature"]:
+            raise SnapshotError(
+                "snapshot %s does not match its journal record"
+                % record["file"])
+        return payload
+
+    def restore_latest(self) -> dict:
+        """Restore the design in place from the latest snapshot.
+
+        Returns the payload so the caller can re-apply its ``extras``
+        (scenario/transform state captured alongside the design).
+        """
+        payload = self.latest_snapshot()
+        restore_design(self.design, payload)
+        self.journal.append("restore", signature=payload["signature"],
+                            status=self.design.status)
+        return payload
+
+    # -- completion ----------------------------------------------------
+
+    def finish(self, report_state: dict) -> None:
+        self.journal.append("run_end",
+                            signature=state_signature(self.design),
+                            status=self.design.status)
+        report_state = dict(report_state)
+        report_state["state_signature"] = state_signature(self.design)
+        self.rundir.write_report(report_state)

@@ -1,0 +1,249 @@
+"""On-disk design snapshots: serialize a full ``Design``, exactly.
+
+A snapshot is a gzip-compressed JSON document carrying everything a
+flow can observe about a :class:`~repro.design.Design` — netlist
+topology and iteration order, cell geometry/attributes/tags, net
+scalars, die/blockages/constraints, bin-grid resolution, Steiner
+bin-side, timing mode and wire model, the design RNG state and the
+unique-name counter — plus a ``signature`` computed by
+:func:`repro.guard.checkpoint.state_signature`.  Both load paths
+(:func:`rebuild_design` into a fresh object, :func:`restore_design`
+in place through the netlist mutation API) re-verify that signature,
+so a reload is *provably* bit-identical to the serialized state or it
+raises :class:`SnapshotError`.
+
+Files are written to a temp path and ``os.replace``d, so a crash
+mid-write can never leave a torn snapshot; gzip's own CRC plus the
+format/version header reject corrupt or incompatible files on read.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+from typing import Optional
+
+from repro.design import Design
+from repro.geometry import Rect
+from repro.guard.checkpoint import state_signature
+from repro.image import Blockage
+from repro.library import Library, WireParasitics
+from repro.netlist import Netlist
+from repro.netlist.serialize import netlist_to_state, populate_netlist
+from repro.timing import DelayMode, TimingConstraints
+from repro.wirelength.wlm import WireLoadModel
+
+SNAPSHOT_FORMAT = "repro-design-snapshot"
+SNAPSHOT_VERSION = 1
+
+
+class SnapshotError(Exception):
+    """A snapshot file is corrupt, incompatible, or does not verify."""
+
+
+# -- serialization ------------------------------------------------------
+
+
+def _rect_state(rect: Rect) -> list:
+    return [rect.xlo, rect.ylo, rect.xhi, rect.yhi]
+
+
+def _constraints_state(c: TimingConstraints) -> dict:
+    return {
+        "cycle_time": c.cycle_time,
+        "default_input_arrival": c.default_input_arrival,
+        "default_output_required": c.default_output_required,
+        "setup_time": c.setup_time,
+        "hold_time": c.hold_time,
+        "input_arrivals": dict(c.input_arrivals),
+        "output_requireds": dict(c.output_requireds),
+    }
+
+
+def _constraints_from_state(state: dict) -> TimingConstraints:
+    return TimingConstraints(**state)
+
+
+def _wire_model_state(design: Design) -> dict:
+    model = design.timing.wire_model
+    if isinstance(model, WireLoadModel):
+        return {"kind": "wlm", "base_cap": model.base_cap,
+                "cap_per_fanout": model.cap_per_fanout}
+    return {"kind": "steiner"}
+
+
+def design_state(design: Design, extras: Optional[dict] = None) -> dict:
+    """The full snapshot payload for a design (plain JSON data)."""
+    parasitics = design.parasitics
+    return {
+        "format": SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "signature": state_signature(design),
+        "design": {
+            "die": _rect_state(design.die),
+            "target_utilization": design.target_utilization,
+            "blockages": [
+                {"rect": _rect_state(b.rect), "name": b.name,
+                 "wiring_factor": b.wiring_factor}
+                for b in design.blockages
+            ],
+            "parasitics": {
+                "cap_per_track": parasitics.cap_per_track,
+                "res_per_track": parasitics.res_per_track,
+                "rc_threshold": parasitics.rc_threshold,
+            },
+            "constraints": _constraints_state(design.constraints),
+            "grid": [design.grid.nx, design.grid.ny],
+            "steiner_bin_side": design.steiner.bin_side,
+            "timing": {
+                "mode": design.timing.mode.value,
+                "default_gain": design.timing.default_gain,
+                "wire_model": _wire_model_state(design),
+            },
+            "status": design.status,
+            "rng_state": _encode_rng(design.rng.getstate()),
+            "netlist": netlist_to_state(design.netlist),
+        },
+        "extras": extras or {},
+    }
+
+
+def _encode_rng(state: tuple) -> list:
+    version, internal, gauss = state
+    return [version, list(internal), gauss]
+
+
+def _decode_rng(state: list) -> tuple:
+    version, internal, gauss = state
+    return (version, tuple(internal), gauss)
+
+
+# -- file I/O -----------------------------------------------------------
+
+
+def write_snapshot(path: str, design: Design,
+                   extras: Optional[dict] = None) -> str:
+    """Atomically write a snapshot file; returns its signature."""
+    payload = design_state(design, extras)
+    data = json.dumps(payload, separators=(",", ":")).encode()
+    tmp = path + ".tmp"
+    with gzip.open(tmp, "wb") as stream:
+        stream.write(data)
+    with open(tmp, "rb") as stream:
+        os.fsync(stream.fileno())
+    os.replace(tmp, path)
+    return payload["signature"]
+
+
+def read_snapshot(path: str) -> dict:
+    """Load and validate a snapshot payload (raises SnapshotError)."""
+    try:
+        with gzip.open(path, "rb") as stream:
+            payload = json.loads(stream.read().decode())
+    except (OSError, EOFError, ValueError) as exc:
+        raise SnapshotError("unreadable snapshot %s: %s" % (path, exc))
+    if not isinstance(payload, dict) \
+            or payload.get("format") != SNAPSHOT_FORMAT:
+        raise SnapshotError("%s is not a %s file" % (path, SNAPSHOT_FORMAT))
+    if payload.get("version") != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            "snapshot %s has format version %r; this build reads "
+            "version %d" % (path, payload.get("version"),
+                            SNAPSHOT_VERSION))
+    if "signature" not in payload or "design" not in payload:
+        raise SnapshotError("snapshot %s is missing required fields"
+                            % path)
+    return payload
+
+
+# -- reload -------------------------------------------------------------
+
+
+def _apply_scalars(design: Design, state: dict) -> None:
+    """Grid/timing/rng scalars shared by both reload paths."""
+    nx, ny = state["grid"]
+    design.grid.resize(nx, ny)
+    design.steiner.set_bin_side(state["steiner_bin_side"])
+    timing = state["timing"]
+    wire = timing["wire_model"]
+    if wire["kind"] == "wlm":
+        design.timing.set_wire_model(WireLoadModel(
+            design.steiner, design.parasitics,
+            base_cap=wire["base_cap"],
+            cap_per_fanout=wire["cap_per_fanout"]))
+    else:
+        design.timing.set_wire_model(design.wire_model)
+    design.timing.set_mode(DelayMode(timing["mode"]))
+    design.timing.default_gain = timing["default_gain"]
+    design.status = state["status"]
+    design.rng.setstate(_decode_rng(state["rng_state"]))
+
+
+def _verify(design: Design, payload: dict, where: str) -> None:
+    actual = state_signature(design)
+    if actual != payload["signature"]:
+        raise SnapshotError(
+            "%s: reloaded state signature %s does not match the "
+            "snapshot's %s" % (where, actual[:12],
+                               payload["signature"][:12]))
+
+
+def rebuild_design(payload: dict, library: Library) -> Design:
+    """A fresh ``Design`` from a snapshot payload, signature-verified."""
+    state = payload["design"]
+    try:
+        netlist = Netlist(state["netlist"]["name"])
+        populate_netlist(netlist, state["netlist"], library)
+        constraints = _constraints_from_state(state["constraints"])
+        die = Rect(*state["die"])
+        blockages = [
+            Blockage(Rect(*b["rect"]), name=b["name"],
+                     wiring_factor=b["wiring_factor"])
+            for b in state["blockages"]
+        ]
+        parasitics = WireParasitics(**state["parasitics"])
+        design = Design(
+            netlist, library, die, constraints, blockages=blockages,
+            parasitics=parasitics,
+            target_utilization=state["target_utilization"],
+            mode=DelayMode(state["timing"]["mode"]))
+        _apply_scalars(design, state)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SnapshotError("malformed snapshot payload: %s" % exc)
+    _verify(design, payload, "rebuild")
+    return design
+
+
+def restore_design(design: Design, payload: dict) -> None:
+    """Restore a live design *in place* to a snapshot's state.
+
+    Every change flows through the ``Netlist`` mutation API, so the
+    subscribed incremental analyzers track the teardown and rebuild;
+    a final :meth:`~repro.timing.engine.TimingEngine.invalidate_all`
+    then discards any derived caches so the next query re-times from
+    the restored state.  Used by the substrate guard: when the
+    partitioner or legalizer fails mid-operation, the in-memory diff
+    checkpoint cannot be trusted, but the on-disk snapshot can.
+    """
+    state = payload["design"]
+    netlist = design.netlist
+    for net in netlist.nets():
+        netlist.remove_net(net)
+    for cell in netlist.cells():
+        netlist.remove_cell(cell)
+    try:
+        populate_netlist(netlist, state["netlist"], design.library)
+        constraints = _constraints_from_state(state["constraints"])
+        design.constraints = constraints
+        design.timing.constraints = constraints
+        _apply_scalars(design, state)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SnapshotError("malformed snapshot payload: %s" % exc)
+    design.timing.invalidate_all()
+    _verify(design, payload, "restore")
+
+
+def snapshot_signature(design: Design) -> str:
+    """The signature a snapshot of ``design`` would carry right now."""
+    return state_signature(design)

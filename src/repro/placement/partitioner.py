@@ -167,7 +167,8 @@ class Partitioner:
                  lookahead: bool = True, seed: int = 0,
                  total_cuts: Optional[int] = None,
                  cluster_first_cuts: int = 0,
-                 cluster_size: int = 4) -> None:
+                 cluster_size: int = 4,
+                 state: Optional[dict] = None) -> None:
         self.design = design
         self.tolerance = tolerance
         self.lookahead = lookahead
@@ -177,6 +178,12 @@ class Partitioner:
         self.cluster_first_cuts = cluster_first_cuts
         self.cluster_size = cluster_size
         self.regions = RegionGrid(design.die)
+        if state is not None:
+            # Resume path: re-derive region geometry and adopt the
+            # serialized membership without touching cell positions
+            # (seeding would teleport everything to the die center).
+            self.load_state_dict(state)
+            return
         self.regions.seed(design.netlist)
         self.cut_number = 0
         n_movable = max(2, len(design.netlist.movable_cells()))
@@ -242,6 +249,52 @@ class Partitioner:
                 self.regions.assign(self.design.netlist, c, hi)
         self.cut_number += 1
         self._sync_image()
+
+    # -- persistence --------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serializable progress state (geometry is re-derived on load).
+
+        Region *membership* must be recorded explicitly: synthesis
+        transforms place new cells at arbitrary positions between cuts,
+        so a cell's region is not derivable from where it sits.  Cells
+        deleted since the last :meth:`sync` are filtered out — they
+        would be dropped by the next sync anyway and may no longer
+        exist in the netlist a restore rebuilds.
+        """
+        netlist = self.design.netlist
+        return {
+            "cut_number": self.cut_number,
+            "total_cuts": self.total_cuts,
+            "membership": [
+                [r.ix, r.iy,
+                 sorted(c.name for c in r.cells
+                        if c.netlist is netlist and c.is_movable)]
+                for r in self.regions.regions()
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output onto a fresh region grid.
+
+        The split sequence is deterministic in the die shape and cut
+        count, so geometry is replayed rather than stored; cells keep
+        their current (snapshot-restored) positions.
+        """
+        self.cut_number = state["cut_number"]
+        self.total_cuts = state["total_cuts"]
+        self.regions = RegionGrid(self.design.die)
+        for _ in range(self.cut_number):
+            self.regions.split(self._next_axis())
+        netlist = self.design.netlist
+        for ix, iy, names in state["membership"]:
+            region = self.regions.region(ix, iy)
+            for name in names:
+                if not netlist.has_cell(name):
+                    continue  # deleted since the snapshot's last sync
+                cell = netlist.cell(name)
+                region.cells.add(cell)
+                self.regions._owner[name] = region
 
     # -- helpers ------------------------------------------------------------
 

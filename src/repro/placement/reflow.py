@@ -31,6 +31,16 @@ class Reflow:
     def design(self) -> Design:
         return self.partitioner.design
 
+    @property
+    def pass_count(self) -> int:
+        """Completed passes; feeds the per-window seeds, so resumed
+        runs restore it to keep the seed sequence aligned."""
+        return self._pass_count
+
+    @pass_count.setter
+    def pass_count(self, value: int) -> None:
+        self._pass_count = value
+
     def run(self) -> int:
         """One full reflow pass (both axes, both window offsets).
 

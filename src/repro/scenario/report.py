@@ -36,6 +36,10 @@ class FlowReport:
     #: wall-clock spent in the guard machinery (checkpoints, invariant
     #: checks, rollbacks) — the measurable guard overhead
     guard_seconds: float = 0.0
+    #: run directory of a durable (persisted) run, if any
+    run_dir: Optional[str] = None
+    #: whether this run continued from an on-disk snapshot
+    resumed: bool = False
 
     @property
     def total_failures(self) -> int:
@@ -77,7 +81,9 @@ def snapshot(design: Design, flow: str,
              cpu_seconds: float = 0.0,
              iterations: int = 1,
              trace: Optional[List[str]] = None,
-             guard: Optional["GuardedRunner"] = None) -> FlowReport:
+             guard: Optional["GuardedRunner"] = None,
+             run_dir: Optional[str] = None,
+             resumed: bool = False) -> FlowReport:
     """Capture a design's current metrics into a FlowReport."""
     return FlowReport(
         flow=flow,
@@ -96,4 +102,37 @@ def snapshot(design: Design, flow: str,
         health=dict(guard.health) if guard is not None else {},
         quarantined=guard.quarantined if guard is not None else [],
         guard_seconds=guard.guard_seconds if guard is not None else 0.0,
+        run_dir=run_dir,
+        resumed=resumed,
     )
+
+
+def report_state(report: FlowReport) -> dict:
+    """The deterministic, JSON-serializable view of a FlowReport.
+
+    Written to a run directory's ``report.json``; the CI resume smoke
+    job compares these dicts between an interrupted-and-resumed run and
+    an uninterrupted one, so only fields that are functions of the
+    final design state belong here — never wall-clock times.
+    """
+    state = {
+        "flow": report.flow,
+        "design_name": report.design_name,
+        "icells": report.icells,
+        "cell_area": report.cell_area,
+        "worst_slack": report.worst_slack,
+        "total_negative_slack": report.total_negative_slack,
+        "cycle_time": report.cycle_time,
+        "wirelength": report.wirelength,
+        "routable": report.routable,
+        "iterations": report.iterations,
+        "quarantined": list(report.quarantined),
+    }
+    if report.cuts is not None:
+        state["cuts"] = {
+            "horizontal_peak": report.cuts.horizontal_peak,
+            "horizontal_avg": report.cuts.horizontal_avg,
+            "vertical_peak": report.cuts.vertical_peak,
+            "vertical_avg": report.cuts.vertical_avg,
+        }
+    return state

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, TypeVar
+from typing import Callable, List, Optional, TYPE_CHECKING, TypeVar
 
 from repro.design import Design
 from repro.guard.faults import FaultInjector
@@ -26,13 +26,16 @@ from repro.guard.runner import GuardConfig, GuardedRunner
 from repro.netlist import ops
 from repro.placement import QuadraticPlacer, legalize_rows
 from repro.routing import GlobalRouter, cut_metrics
-from repro.scenario.report import FlowReport, snapshot
+from repro.scenario.report import FlowReport, report_state, snapshot
 from repro.timing import DelayMode
 from repro.timing.engine import INF
 from repro.transforms import BufferInsertion, ClockScanOptimizer, PinSwapping
 from repro.transforms.base import TimingProbe
 from repro.transforms.sizing import GateSizing
 from repro.wirelength.wlm import WireLoadModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.persist import FlowPersist
 
 
 @dataclass
@@ -50,6 +53,26 @@ class SPRConfig:
     #: guarded transform execution (None = bare); see ``repro.guard``.
     guard: Optional[GuardConfig] = None
 
+    def to_state(self) -> dict:
+        return {
+            "max_iterations": self.max_iterations,
+            "default_gain": self.default_gain,
+            "seed": self.seed,
+            "wlm_cap_per_fanout": self.wlm_cap_per_fanout,
+            "fanout_buffer_threshold": self.fanout_buffer_threshold,
+            "regs_per_clock_buffer": self.regs_per_clock_buffer,
+            "convergence_ps": self.convergence_ps,
+            "guard": (self.guard.to_state()
+                      if self.guard is not None else None),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SPRConfig":
+        state = dict(state)
+        guard = state.pop("guard")
+        return cls(guard=(GuardConfig.from_state(guard)
+                          if guard is not None else None), **state)
+
 
 T = TypeVar("T")
 
@@ -59,10 +82,19 @@ class SPRFlow:
 
     def __init__(self, design: Design,
                  config: Optional[SPRConfig] = None,
-                 injector: Optional[FaultInjector] = None) -> None:
+                 injector: Optional[FaultInjector] = None,
+                 persist: Optional["FlowPersist"] = None,
+                 resume_state: Optional[dict] = None) -> None:
         self.design = design
         self.config = config or SPRConfig()
         self.injector = injector
+        #: durable flow state: snapshots at iteration granularity
+        self.persist = persist
+        self.resume_state = resume_state
+        # persist wins the default: durable runs retry transient
+        # failures before striking, even when chaos is also injected
+        if persist is not None and self.config.guard is None:
+            self.config.guard = GuardConfig(retries=2)
         if injector is not None and self.config.guard is None:
             self.config.guard = GuardConfig()
         self.trace: List[str] = []
@@ -83,28 +115,19 @@ class SPRFlow:
             self.runner = GuardedRunner(
                 self.design, self.config.guard, injector=self.injector,
                 log=self._log)
+            if self.persist is not None:
+                self.runner.recorder = self.persist
         design = self.design
         cfg = self.config
-        real_model = design.timing.wire_model
+        persist = self.persist
+        resume = self.resume_state
+        # the placement-aware model is the design's own attribute; the
+        # engine may be holding the WLM whenever a snapshot lands, so
+        # never capture "real" from the engine
+        real_model = design.wire_model
         sizing = GateSizing(default_gain=cfg.default_gain)
-
-        # ---- 1. stand-alone synthesis on the wire load model ----------
         wlm = WireLoadModel(design.steiner, design.parasitics,
                             cap_per_fanout=cfg.wlm_cap_per_fanout)
-        design.timing.set_wire_model(wlm)
-        sizing.assign_gains(design)
-        design.timing.set_mode(DelayMode.LOAD)
-        sizing.discretize(design)
-        self._log("synthesis: discretized on WLM")
-        self._guarded("gate_sizing_for_speed",
-                      lambda: sizing.gate_sizing_for_speed(design))
-        self._guarded("fanout_buffering",
-                      lambda: self._fanout_buffering(design))
-        self._log("synthesis: WLM slack %.1f"
-                  % design.timing.worst_slack())
-
-        # net weights frozen from the synthesis sign-off
-        self._freeze_net_weights(design)
 
         clock_scan = ClockScanOptimizer(
             regs_per_buffer=cfg.regs_per_clock_buffer)
@@ -117,45 +140,146 @@ class SPRFlow:
 
         best_slack = -INF
         iterations = 0
-        for iteration in range(cfg.max_iterations):
-            iterations += 1
-            # ---- 2. stand-alone placement --------------------------------
-            QuadraticPlacer(design, seed=cfg.seed + iteration).run()
-            legalize_rows(design)
-            self._log("iter %d: quadratic placement + legalization"
-                      % iteration)
-            if iteration == 0:
-                # ---- 3. late clock tree & scan, no space reservation -----
-                design.timing.set_wire_model(real_model)
-                self._guarded(
-                    "clock_scan",
-                    lambda: (clock_scan.clock_optimization(design),
-                             clock_scan.scan_optimization(design)))
-                legalize_rows(design)  # clean up the disturbance
-                self._log("iter 0: clock/scan inserted post-placement")
-            else:
-                design.timing.set_wire_model(real_model)
+        next_iteration = 0
+        post_loop = False
 
-            # ---- 4. resynthesis against real loads -----------------------
+        def snapshot_extras() -> dict:
+            extras = {
+                "scenario": {
+                    "next_iteration": next_iteration,
+                    "best_slack": best_slack,
+                    "iterations": iterations,
+                    "post_loop": post_loop,
+                    "trace": list(self.trace),
+                },
+                "clock_scan": clock_scan.state_dict(),
+            }
+            if self.runner is not None:
+                extras["guard"] = self.runner.state_dict()
+            if self.injector is not None:
+                extras["injector"] = self.injector.state_dict()
+            return extras
+
+        if persist is not None and self.runner is not None:
+            def disk_restore() -> None:
+                payload = persist.restore_latest()
+                extras = payload.get("extras", {})
+                clock_scan.load_state_dict(extras["clock_scan"],
+                                           design.library)
+
+            self.runner.disk_restore = disk_restore
+
+        def substrate(name: str, fn: Callable[[], T]) -> Optional[T]:
+            if self.runner is None:
+                return fn()
+            if persist is not None:
+                persist.ensure_current(snapshot_extras, "pre-" + name)
+            return self.runner.call_substrate(name, fn)
+
+        if resume is not None:
+            scen = resume["scenario"]
+            next_iteration = scen["next_iteration"]
+            best_slack = scen["best_slack"]
+            iterations = scen["iterations"]
+            post_loop = scen["post_loop"]
+            self.trace = list(scen["trace"])
+            clock_scan.load_state_dict(resume["clock_scan"],
+                                       design.library)
+            if self.runner is not None and resume.get("guard"):
+                self.runner.load_state_dict(resume["guard"])
+            if self.injector is not None and resume.get("injector"):
+                self.injector.load_state_dict(resume["injector"])
+            if self.runner is not None:
+                # persistent quarantine carried across processes
+                for name in resume.get("quarantine", ()):
+                    self.runner.force_quarantine(name)
+            self._log("resumed from on-disk snapshot (iteration %d)"
+                      % next_iteration)
+        else:
+            if persist is not None and not persist.resumed:
+                persist.start("SPR", cfg.seed)
+            # ---- 1. stand-alone synthesis on the wire load model ------
+            design.timing.set_wire_model(wlm)
+            sizing.assign_gains(design)
+            design.timing.set_mode(DelayMode.LOAD)
+            sizing.discretize(design)
+            self._log("synthesis: discretized on WLM")
             self._guarded("gate_sizing_for_speed",
                           lambda: sizing.gate_sizing_for_speed(design))
-            self._guarded("buffer_insertion",
-                          lambda: buffering.run(design))
-            self._guarded("pin_swapping", lambda: pinswap.run(design))
-            self._guarded("gate_sizing_for_area",
-                          lambda: sizing.gate_sizing_for_area(design))
-            legalize_rows(design)
-            slack = design.timing.worst_slack()
-            self._log("iter %d: resynthesis slack %.1f"
-                      % (iteration, slack))
-            if slack <= best_slack + cfg.convergence_ps:
-                best_slack = max(best_slack, slack)
-                break
-            best_slack = slack
-            if iteration + 1 < cfg.max_iterations:
-                # next placement run biases toward the new critical nets
-                self._freeze_net_weights(design)
-                design.timing.set_wire_model(wlm)
+            self._guarded("fanout_buffering",
+                          lambda: self._fanout_buffering(design))
+            self._log("synthesis: WLM slack %.1f"
+                      % design.timing.worst_slack())
+
+            # net weights frozen from the synthesis sign-off
+            self._freeze_net_weights(design)
+            if persist is not None:
+                persist.milestone(snapshot_extras, force=True,
+                                  tag="synth")
+
+        if not post_loop:
+            for iteration in range(next_iteration, cfg.max_iterations):
+                iterations += 1
+                # ---- 2. stand-alone placement ------------------------
+                substrate("quadratic_placer",
+                          lambda: QuadraticPlacer(
+                              design, seed=cfg.seed + iteration).run())
+                substrate("legalizer", lambda: legalize_rows(design))
+                self._log("iter %d: quadratic placement + legalization"
+                          % iteration)
+                if iteration == 0:
+                    # ---- 3. late clock tree & scan, no space
+                    # reservation --------------------------------------
+                    design.timing.set_wire_model(real_model)
+                    self._guarded(
+                        "clock_scan",
+                        lambda: (clock_scan.clock_optimization(design),
+                                 clock_scan.scan_optimization(design)))
+                    # clean up the disturbance
+                    substrate("legalizer", lambda: legalize_rows(design))
+                    self._log("iter 0: clock/scan inserted "
+                              "post-placement")
+                else:
+                    design.timing.set_wire_model(real_model)
+
+                # ---- 4. resynthesis against real loads ---------------
+                self._guarded("gate_sizing_for_speed",
+                              lambda: sizing.gate_sizing_for_speed(
+                                  design))
+                self._guarded("buffer_insertion",
+                              lambda: buffering.run(design))
+                self._guarded("pin_swapping",
+                              lambda: pinswap.run(design))
+                self._guarded("gate_sizing_for_area",
+                              lambda: sizing.gate_sizing_for_area(
+                                  design))
+                substrate("legalizer", lambda: legalize_rows(design))
+                slack = design.timing.worst_slack()
+                self._log("iter %d: resynthesis slack %.1f"
+                          % (iteration, slack))
+                converged = slack <= best_slack + cfg.convergence_ps
+                if converged:
+                    best_slack = max(best_slack, slack)
+                else:
+                    best_slack = slack
+                    if iteration + 1 < cfg.max_iterations:
+                        # next placement run biases toward the new
+                        # critical nets
+                        self._freeze_net_weights(design)
+                        design.timing.set_wire_model(wlm)
+                next_iteration = iteration + 1
+                if persist is not None:
+                    persist.phase(design.status, iteration=iteration,
+                                  slack=slack)
+                    persist.milestone(snapshot_extras, force=True,
+                                      tag="iter-%d" % iteration)
+                if converged:
+                    break
+
+        post_loop = True
+        if persist is not None:
+            # interruption in the routing postlude resumes here
+            persist.milestone(snapshot_extras, force=True, tag="final")
 
         # Route on the same image resolution a TPS run would end at, so
         # the wires-cut metrics of the two flows are comparable.
@@ -171,11 +295,17 @@ class SPRFlow:
             for line in self.runner.health_lines():
                 self._log("health: %s" % line)
 
-        return snapshot(design, "SPR", cuts=cut_metrics(router),
-                        routable=routing.routable,
-                        cpu_seconds=time.perf_counter() - started,
-                        iterations=iterations, trace=list(self.trace),
-                        guard=self.runner)
+        report = snapshot(
+            design, "SPR", cuts=cut_metrics(router),
+            routable=routing.routable,
+            cpu_seconds=time.perf_counter() - started,
+            iterations=iterations, trace=list(self.trace),
+            guard=self.runner,
+            run_dir=persist.rundir.path if persist is not None else None,
+            resumed=persist.resumed if persist is not None else False)
+        if persist is not None:
+            persist.finish(report_state(report))
+        return report
 
     # -- helpers -----------------------------------------------------------
 

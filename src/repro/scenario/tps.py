@@ -21,20 +21,30 @@ transform invocation runs through a
 wall-clock budgeted, invariant-checked, rolled back on failure and
 quarantined after repeated failures — the flow converges even when
 individual transforms crash or corrupt state.
+
+With a :class:`~repro.persist.FlowPersist` attached the run is also
+*durable*: every guarded invocation is journaled write-ahead, a full
+design snapshot lands on disk at every cut-status milestone, the
+partitioner and legalizer run under the snapshot-backed substrate
+guard, and a killed process can be resumed (``--resume``) from the
+last snapshot with bit-identical continuation.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, TypeVar
+from typing import Callable, List, Optional, TYPE_CHECKING, TypeVar
 
 from repro.design import Design
 from repro.guard.faults import FaultInjector
 from repro.guard.runner import GuardConfig, GuardedRunner
 from repro.placement import DetailedPlaceOpt, Partitioner, Reflow, legalize_rows
 from repro.routing import GlobalRouter, cut_metrics
-from repro.scenario.report import FlowReport, snapshot
+from repro.scenario.report import FlowReport, report_state, snapshot
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.persist import FlowPersist
 from repro.transforms import (
     BufferInsertion,
     CircuitMigration,
@@ -88,17 +98,71 @@ class TPSConfig:
     #: seed behaviour); see ``repro.guard``.
     guard: Optional[GuardConfig] = None
 
+    def to_state(self) -> dict:
+        """JSON form for a run directory's run.json (resume rebuilds
+        the exact configuration from this)."""
+        return {
+            "step": self.step,
+            "link_status": self.link_status,
+            "default_gain": self.default_gain,
+            "seed": self.seed,
+            "electrical_window": list(self.electrical_window),
+            "electrical_rounds": self.electrical_rounds,
+            "use_reflow": self.use_reflow,
+            "netweight_mode": (self.netweight_mode.value
+                               if self.netweight_mode is not None
+                               else None),
+            "use_migration": self.use_migration,
+            "use_cloning": self.use_cloning,
+            "use_buffering": self.use_buffering,
+            "use_pin_swapping": self.use_pin_swapping,
+            "use_clock_scan_staging": self.use_clock_scan_staging,
+            "use_detailed_placement": self.use_detailed_placement,
+            "use_in_footprint_sizing": self.use_in_footprint_sizing,
+            "regs_per_clock_buffer": self.regs_per_clock_buffer,
+            "use_power_recovery": self.use_power_recovery,
+            "use_hold_fix": self.use_hold_fix,
+            "cluster_first_cuts": self.cluster_first_cuts,
+            "guard": (self.guard.to_state()
+                      if self.guard is not None else None),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "TPSConfig":
+        state = dict(state)
+        mode = state.pop("netweight_mode")
+        guard = state.pop("guard")
+        return cls(
+            netweight_mode=(WeightMode(mode) if mode is not None
+                            else None),
+            electrical_window=tuple(state.pop("electrical_window")),
+            guard=(GuardConfig.from_state(guard)
+                   if guard is not None else None),
+            **state)
+
 
 class TPSScenario:
     """Run the converging transformational flow on a design."""
 
     def __init__(self, design: Design,
                  config: Optional[TPSConfig] = None,
-                 injector: Optional[FaultInjector] = None) -> None:
+                 injector: Optional[FaultInjector] = None,
+                 persist: Optional["FlowPersist"] = None,
+                 resume_state: Optional[dict] = None) -> None:
         self.design = design
         self.config = config or TPSConfig()
         #: chaos harness: injecting faults implies guarded execution
         self.injector = injector
+        #: durable flow state (journal + milestone snapshots); implies
+        #: guarded execution with transient-failure retries
+        self.persist = persist
+        #: snapshot ``extras`` to continue from (design state itself is
+        #: restored by the caller before constructing the scenario)
+        self.resume_state = resume_state
+        # persist wins the default: durable runs retry transient
+        # failures before striking, even when chaos is also injected
+        if persist is not None and self.config.guard is None:
+            self.config.guard = GuardConfig(retries=2)
         if injector is not None and self.config.guard is None:
             self.config.guard = GuardConfig()
         self.trace: List[str] = []
@@ -118,16 +182,28 @@ class TPSScenario:
         started = time.perf_counter()
         design = self.design
         cfg = self.config
+        persist = self.persist
+        resume = self.resume_state
         if cfg.guard is not None:
             self.runner = GuardedRunner(
                 design, cfg.guard, injector=self.injector,
                 log=lambda m: self._log(self._status, m))
+            if persist is not None:
+                self.runner.recorder = persist
 
         sizing = GateSizing(default_gain=cfg.default_gain)
-        sizing.assign_gains(design)
-        partitioner = Partitioner(
-            design, seed=cfg.seed,
-            cluster_first_cuts=cfg.cluster_first_cuts)
+        if resume is None:
+            # assign_gains and region seeding initialize the design;
+            # a resumed design already carries both in its snapshot
+            sizing.assign_gains(design)
+            partitioner = Partitioner(
+                design, seed=cfg.seed,
+                cluster_first_cuts=cfg.cluster_first_cuts)
+        else:
+            partitioner = Partitioner(
+                design, seed=cfg.seed,
+                cluster_first_cuts=cfg.cluster_first_cuts,
+                state=resume["partitioner"])
         reflow = Reflow(partitioner)
         clock_scan = ClockScanOptimizer(
             regs_per_buffer=cfg.regs_per_clock_buffer)
@@ -140,11 +216,83 @@ class TPSScenario:
 
         linked = False
         status = 0
-        self._log(0, "initialized (gain-based timing, status 0)")
+        if resume is not None:
+            scen = resume["scenario"]
+            status = scen["status"]
+            linked = scen["linked"]
+            self.trace = list(scen["trace"])
+            reflow.pass_count = scen["reflow_passes"]
+            clock_scan.load_state_dict(resume["clock_scan"],
+                                       design.library)
+            if self.runner is not None and resume.get("guard"):
+                self.runner.load_state_dict(resume["guard"])
+            if self.injector is not None and resume.get("injector"):
+                self.injector.load_state_dict(resume["injector"])
+            if self.runner is not None:
+                # persistent quarantine: a transform that crashed the
+                # previous process is skipped, not re-run into the wall
+                for name in resume.get("quarantine", ()):
+                    self.runner.force_quarantine(name)
+            self._status = status
+            self._log(status, "resumed from on-disk snapshot")
+
+        def snapshot_extras() -> dict:
+            """Scenario + harness state stored beside the design in
+            every snapshot (closures see the live loop variables)."""
+            extras = {
+                "scenario": {
+                    "status": status,
+                    "linked": linked,
+                    "trace": list(self.trace),
+                    "reflow_passes": reflow.pass_count,
+                },
+                "partitioner": partitioner.state_dict(),
+                "clock_scan": clock_scan.state_dict(),
+            }
+            if self.runner is not None:
+                extras["guard"] = self.runner.state_dict()
+            if self.injector is not None:
+                extras["injector"] = self.injector.state_dict()
+            return extras
+
+        if persist is not None and self.runner is not None:
+            def disk_restore() -> None:
+                # Re-apply the design and the scenario-owned transform
+                # state.  Guard/injector state deliberately stays with
+                # the *current* process: a substrate retry must draw
+                # fresh faults, not replay the one that just failed.
+                payload = persist.restore_latest()
+                extras = payload.get("extras", {})
+                partitioner.load_state_dict(extras["partitioner"])
+                clock_scan.load_state_dict(extras["clock_scan"],
+                                           design.library)
+                scen_extras = extras.get("scenario", {})
+                reflow.pass_count = scen_extras.get(
+                    "reflow_passes", reflow.pass_count)
+
+            self.runner.disk_restore = disk_restore
+
+        def substrate(name: str, fn: Callable[[], T]) -> Optional[T]:
+            """Partitioner/legalizer calls: unrollbackable, so guarded
+            by the on-disk snapshot (when persist is active)."""
+            if self.runner is None:
+                return fn()
+            if persist is not None:
+                persist.ensure_current(snapshot_extras, "pre-" + name)
+            return self.runner.call_substrate(name, fn)
+
+        if persist is not None and not persist.resumed:
+            persist.start("TPS", cfg.seed)
+        if resume is None:
+            self._log(0, "initialized (gain-based timing, status 0)")
+            if persist is not None:
+                persist.milestone(snapshot_extras, force=True,
+                                  tag="init")
         while status < 100:
             prev = status
             target = status + cfg.step
-            status = partitioner.run_to(target)
+            status = substrate("partitioner",
+                               lambda: partitioner.run_to(target))
             self._status = status
             if status == prev and partitioner.done:
                 break
@@ -233,8 +381,15 @@ class TPSScenario:
                     self._log(status, "late area recovery: %s" % r)
                     if r.accepted == 0:
                         break
+            if persist is not None:
+                persist.phase(status)
+                persist.milestone(snapshot_extras)
 
         self._status = 100
+        if persist is not None:
+            # a snapshot right before the postlude: an interruption in
+            # the output stage resumes here and replays it wholesale
+            persist.milestone(snapshot_extras, force=True, tag="final")
         if not linked:
             sizing.link_cells(design)
             self._log(100, "late link (small design)")
@@ -259,9 +414,10 @@ class TPSScenario:
 
         # Output stage of Figure 5: detailed placement on exact legal
         # locations, then routing.
-        leg = legalize_rows(design)
-        self._log(100, "legalized (%d placed, %d failed)"
-                  % (leg.placed, leg.failed))
+        leg = substrate("legalizer", lambda: legalize_rows(design))
+        if leg is not None:
+            self._log(100, "legalized (%d placed, %d failed)"
+                      % (leg.placed, leg.failed))
         design.check()
         self._log(100, "invariants ok (post-legalization)")
         if cfg.use_detailed_placement:
@@ -327,11 +483,17 @@ class TPSScenario:
             for line in self.runner.health_lines():
                 self._log(100, "health: %s" % line)
 
-        return snapshot(design, "TPS", cuts=cut_metrics(router),
-                        routable=routing.routable,
-                        cpu_seconds=time.perf_counter() - started,
-                        iterations=1, trace=list(self.trace),
-                        guard=self.runner)
+        report = snapshot(
+            design, "TPS", cuts=cut_metrics(router),
+            routable=routing.routable,
+            cpu_seconds=time.perf_counter() - started,
+            iterations=1, trace=list(self.trace),
+            guard=self.runner,
+            run_dir=persist.rundir.path if persist is not None else None,
+            resumed=persist.resumed if persist is not None else False)
+        if persist is not None:
+            persist.finish(report_state(report))
+        return report
 
     @staticmethod
     def _window(prev: int, status: int, lo: int, hi: int) -> bool:

@@ -176,6 +176,16 @@ class TimingEngine(NetlistListener):
             return INF
         return min(self.slack(p) for p in pins)
 
+    def invalidate_all(self) -> None:
+        """Discard every cached timing value and electrical view.
+
+        The next query re-times the whole design from the current
+        netlist state.  Use after out-of-band changes the event bus
+        did not carry — constraint swaps (SDC reload), virtual-resize
+        staleness barriers, or a design state restored from disk.
+        """
+        self._mark_all_dirty()
+
     def set_mode(self, mode: DelayMode) -> None:
         """Switch delay model; dirties every pin (a global re-time)."""
         if mode is self.mode:

@@ -42,6 +42,28 @@ class ClockScanOptimizer:
         self.scan_done = False
         self._saved_sizes: Dict[str, GateSize] = {}
 
+    # -- persistence -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serializable staging state; saved sizes keep their insertion
+        order (``_restore_sizes`` iterates it)."""
+        return {
+            "masked": self.masked,
+            "clock_done": self.clock_done,
+            "scan_done": self.scan_done,
+            "saved_sizes": [[name, size.gate_type.name, size.x]
+                            for name, size in self._saved_sizes.items()],
+        }
+
+    def load_state_dict(self, state: dict, library) -> None:
+        self.masked = state["masked"]
+        self.clock_done = state["clock_done"]
+        self.scan_done = state["scan_done"]
+        self._saved_sizes = {
+            name: library.size(type_name, x)
+            for name, type_name, x in state["saved_sizes"]
+        }
+
     # -- scenario hook -----------------------------------------------------
 
     def apply_for_status(self, design: Design, status: int) -> List[str]:

@@ -127,3 +127,74 @@ class TestGuardedEqualsUnguarded:
         assert guarded.total_failures == 0
         assert guarded.quarantined == []
         assert guarded.guard_seconds > 0.0
+
+
+class TestProcessKillChaos:
+    """FaultKind.PROCESS_KILL: the injected kill escapes the guard like
+    a real SIGINT, and the run directory it leaves behind is resumable
+    with the killed transform quarantined."""
+
+    def test_kill_escapes_guard_and_run_is_resumable(self, library,
+                                                     tmp_path):
+        from repro.guard import DesignCheckpoint
+        from repro.persist import (
+            FlowPersist,
+            Journal,
+            PersistConfig,
+            RunDir,
+            read_snapshot,
+            rebuild_design,
+            scan_resume,
+        )
+
+        config = TPSConfig(seed=1)
+        pconfig = PersistConfig(snapshot_every=10)
+        rundir = RunDir.create(
+            str(tmp_path), {"flow": "TPS", "config": config.to_state(),
+                            "persist": pconfig.to_state()})
+        journal = Journal.create(rundir.journal_path)
+        design = build_design(library)
+        injector = FaultInjector(seed=11)
+        injector.inject("cloning", FaultKind.PROCESS_KILL, invocation=1)
+        persist = FlowPersist(rundir, journal, pconfig, design)
+        scenario = TPSScenario(design, config, injector=injector,
+                               persist=persist)
+        with pytest.raises(KeyboardInterrupt):
+            scenario.run()
+
+        # the run directory is resumable: a snapshot exists and the
+        # journal names the killed transform as in flight
+        journal = Journal.open(rundir.journal_path)
+        state = scan_resume(journal)
+        assert not state["completed"]
+        assert state["snapshot"] is not None
+        assert "cloning" in state["in_flight"]
+
+        # resume in a "fresh process": rebuilt from disk alone
+        record = state["snapshot"]
+        payload = read_snapshot(rundir.snapshot_path(
+            record["file"][:-len(".snap.gz")]))
+        design2 = rebuild_design(payload, library)
+        assert (DesignCheckpoint.state_signature(design2)
+                == record["signature"])
+        quarantined = rundir.note_crashes(
+            state["in_flight"], pconfig.crash_quarantine_after)
+        assert "cloning" in quarantined
+        persist2 = FlowPersist(rundir, journal, pconfig, design2,
+                               resumed=True)
+        persist2.seed_snapshot(record, record["status"])
+        persist2.note_resumed(record["seq"], record["status"],
+                              state["in_flight"])
+        resume_state = dict(payload.get("extras", {}))
+        resume_state["quarantine"] = quarantined
+        injector2 = FaultInjector(seed=11)
+        report = TPSScenario(design2, TPSConfig.from_state(
+            rundir.meta["config"]), injector=injector2,
+            persist=persist2, resume_state=resume_state).run()
+
+        # the killed transform was skipped, not re-run into the kill
+        assert "cloning" in report.quarantined
+        assert report.health["cloning"].skipped > 0
+        assert report.resumed
+        design2.check()
+        assert scan_resume(Journal.open(rundir.journal_path))["completed"]

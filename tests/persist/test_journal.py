@@ -1,0 +1,109 @@
+"""Write-ahead journal: atomic appends, torn-tail recovery."""
+
+import json
+import zlib
+
+import pytest
+
+from repro.persist import Journal, JournalError
+
+
+def _raw_append(path, text):
+    with open(str(path), "a") as stream:
+        stream.write(text)
+
+
+def _line(record):
+    body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return json.dumps(
+        {"r": record, "c": zlib.crc32(body.encode("utf-8"))},
+        sort_keys=True, separators=(",", ":")) + "\n"
+
+
+@pytest.fixture
+def journal(tmp_path):
+    return Journal.create(str(tmp_path / "journal.jsonl"))
+
+
+def test_append_and_reopen(journal):
+    journal.append("run_start", flow="TPS", seed=3)
+    journal.append("phase", status=10)
+    journal.append("phase", status=20)
+    reopened = Journal.open(journal.path)
+    assert len(reopened) == 3
+    assert reopened.truncated_lines == 0
+    assert [r["type"] for r in reopened] == ["run_start", "phase",
+                                             "phase"]
+    assert reopened.last_of_type("phase")["status"] == 20
+    assert [r["seq"] for r in reopened] == [0, 1, 2]
+
+
+def test_torn_tail_truncated(journal):
+    journal.append("run_start", flow="TPS", seed=0)
+    journal.append("phase", status=10)
+    _raw_append(journal.path, '{"r": {"type": "phase", "st')  # torn
+    reopened = Journal.open(journal.path)
+    assert len(reopened) == 2
+    assert reopened.truncated_lines == 1
+    # the rewrite scrubbed the tail: a second open is clean
+    again = Journal.open(journal.path)
+    assert again.truncated_lines == 0
+    assert len(again) == 2
+
+
+def test_bad_crc_truncated(journal):
+    journal.append("run_start", flow="TPS", seed=0)
+    record = {"seq": 1, "type": "phase", "status": 10}
+    body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    _raw_append(journal.path, json.dumps(
+        {"r": record, "c": zlib.crc32(body.encode()) ^ 0xFF}) + "\n")
+    reopened = Journal.open(journal.path)
+    assert len(reopened) == 1
+    assert reopened.truncated_lines == 1
+
+
+def test_everything_after_first_bad_line_dropped(journal):
+    journal.append("run_start", flow="TPS", seed=0)
+    _raw_append(journal.path, "garbage\n")
+    # a structurally valid line *after* the tear is dropped too: the
+    # journal is a prefix log, not a sparse one
+    _raw_append(journal.path, _line({"seq": 1, "type": "phase",
+                                     "status": 10}))
+    reopened = Journal.open(journal.path)
+    assert len(reopened) == 1
+    assert reopened.truncated_lines == 2
+
+
+def test_non_monotonic_seq_truncated(journal):
+    journal.append("run_start", flow="TPS", seed=0)
+    _raw_append(journal.path, _line({"seq": 5, "type": "phase",
+                                     "status": 10}))
+    reopened = Journal.open(journal.path)
+    assert len(reopened) == 1
+    assert reopened.truncated_lines == 1
+
+
+def test_append_after_recovery_continues_sequence(journal):
+    journal.append("run_start", flow="TPS", seed=0)
+    journal.append("phase", status=10)
+    _raw_append(journal.path, "garbage\n")
+    reopened = Journal.open(journal.path)
+    reopened.append("phase", status=20)
+    final = Journal.open(journal.path)
+    assert [r["seq"] for r in final] == [0, 1, 2]
+    assert final.last_of_type("phase")["status"] == 20
+
+
+def test_missing_file_raises(tmp_path):
+    with pytest.raises(JournalError):
+        Journal.open(str(tmp_path / "nope.jsonl"))
+
+
+def test_of_type(journal):
+    journal.append("phase", status=10)
+    journal.append("snapshot", tag="init", file="x", status=0,
+                   signature="s")
+    journal.append("phase", status=20)
+    assert len(journal.of_type("phase")) == 2
+    assert journal.last_of_type("snapshot")["tag"] == "init"
+    assert journal.last_of_type("run_end") is None

@@ -1,0 +1,194 @@
+"""Kill-and-resume determinism and snapshot-backed substrate guarding.
+
+The acceptance contract: a flow interrupted at a snapshot milestone and
+resumed in a fresh process produces the *identical* final
+``state_signature`` and FlowReport metrics as an uninterrupted run; and
+a partitioner/legalizer failure restores the design from the last
+on-disk snapshot with invariants passing.
+
+"Fresh process" is simulated by rebuilding the Design, configs, and
+scenario purely from what is on disk — exactly what
+``python -m repro tps --run-dir DIR --resume`` does.
+"""
+
+import pytest
+
+from repro.guard import DesignCheckpoint, FaultInjector, FaultKind
+from repro.persist import (
+    DIE_EXIT_CODE,
+    FlowPersist,
+    Journal,
+    PersistConfig,
+    RunDir,
+    read_snapshot,
+    rebuild_design,
+    scan_resume,
+)
+from repro.scenario import SPRConfig, SPRFlow, TPSConfig, TPSScenario
+from repro.scenario.report import report_state
+
+from tests.guard.conftest import build_design
+
+
+def small_design(library):
+    return build_design(library, gates=70, regs=6)
+
+
+def fresh_run(path, library, flow="TPS", die_at=None, injector=None,
+              config=None):
+    """A persisted scenario over a newly created run directory."""
+    design = small_design(library)
+    if config is None:
+        config = (TPSConfig(seed=1) if flow == "TPS"
+                  else SPRConfig(seed=1))
+    pconfig = PersistConfig(snapshot_every=10, die_at_status=die_at)
+    meta = {"flow": flow, "config": config.to_state(),
+            "persist": pconfig.to_state()}
+    rundir = RunDir.create(str(path), meta)
+    journal = Journal.create(rundir.journal_path)
+    persist = FlowPersist(rundir, journal, pconfig, design)
+    cls = TPSScenario if flow == "TPS" else SPRFlow
+    return design, cls(design, config, injector=injector,
+                       persist=persist)
+
+
+def resume_run(path, library, injector=None):
+    """Rebuild everything from disk, as a fresh process would."""
+    rundir = RunDir.open(str(path))
+    journal = Journal.open(rundir.journal_path)
+    state = scan_resume(journal)
+    assert not state["completed"]
+    record = state["snapshot"]
+    assert record is not None, "no snapshot to resume from"
+    payload = read_snapshot(rundir.snapshot_path(
+        record["file"][:-len(".snap.gz")]))
+    design = rebuild_design(payload, library)
+    pconfig = PersistConfig.from_state(rundir.meta["persist"])
+    quarantined = rundir.note_crashes(state["in_flight"],
+                                      pconfig.crash_quarantine_after)
+    persist = FlowPersist(rundir, journal, pconfig, design,
+                          resumed=True)
+    persist.seed_snapshot(record, record["status"])
+    persist.note_resumed(record["seq"], record["status"],
+                         state["in_flight"])
+    resume_state = dict(payload.get("extras", {}))
+    resume_state["quarantine"] = quarantined
+    flow = rundir.meta["flow"]
+    if flow == "TPS":
+        config = TPSConfig.from_state(rundir.meta["config"])
+        scenario = TPSScenario(design, config, injector=injector,
+                               persist=persist,
+                               resume_state=resume_state)
+    else:
+        config = SPRConfig.from_state(rundir.meta["config"])
+        scenario = SPRFlow(design, config, injector=injector,
+                           persist=persist, resume_state=resume_state)
+    return design, scenario.run()
+
+
+@pytest.fixture(scope="module")
+def tps_runs(library, tmp_path_factory):
+    """(uninterrupted, resumed) TPS reports plus their run dirs."""
+    dir_a = tmp_path_factory.mktemp("tps-uninterrupted")
+    dir_b = tmp_path_factory.mktemp("tps-killed")
+    design_a, scenario_a = fresh_run(dir_a, library)
+    report_a = scenario_a.run()
+    _, scenario_b = fresh_run(dir_b, library, die_at=50)
+    with pytest.raises(SystemExit) as death:
+        scenario_b.run()
+    assert death.value.code == DIE_EXIT_CODE
+    design_b, report_b = resume_run(dir_b, library)
+    return dir_a, dir_b, design_a, design_b, report_a, report_b
+
+
+class TestKillAndResumeTPS:
+    def test_reports_identical(self, tps_runs):
+        _, _, _, _, report_a, report_b = tps_runs
+        assert report_state(report_a) == report_state(report_b)
+
+    def test_state_signatures_identical(self, tps_runs):
+        _, _, design_a, design_b, _, _ = tps_runs
+        assert (DesignCheckpoint.state_signature(design_a)
+                == DesignCheckpoint.state_signature(design_b))
+
+    def test_stored_reports_identical(self, tps_runs):
+        dir_a, dir_b = tps_runs[0], tps_runs[1]
+        stored_a = RunDir.open(str(dir_a)).read_report()
+        stored_b = RunDir.open(str(dir_b)).read_report()
+        assert stored_a is not None
+        assert stored_a == stored_b
+        assert stored_a["state_signature"] == stored_b["state_signature"]
+
+    def test_resumed_flag_and_journal(self, tps_runs):
+        dir_b, report_b = tps_runs[1], tps_runs[5]
+        assert report_b.resumed
+        journal = Journal.open(
+            RunDir.open(str(dir_b)).journal_path)
+        assert journal.last_of_type("resumed") is not None
+        assert journal.last_of_type("run_end") is not None
+        state = scan_resume(journal)
+        assert state["completed"]
+
+    def test_completed_run_is_detected(self, tps_runs):
+        dir_a = tps_runs[0]
+        journal = Journal.open(RunDir.open(str(dir_a)).journal_path)
+        assert scan_resume(journal)["completed"]
+
+
+def test_kill_and_resume_spr(library, tmp_path):
+    """Same contract for the SPR baseline, killed at the synthesis
+    snapshot (status 0) so the whole iteration loop replays."""
+    dir_a = tmp_path / "a"
+    dir_b = tmp_path / "b"
+    config = SPRConfig(seed=1, max_iterations=2)
+    design_a, flow_a = fresh_run(dir_a, library, flow="SPR",
+                                 config=config)
+    report_a = flow_a.run()
+    _, flow_b = fresh_run(dir_b, library, flow="SPR", die_at=0,
+                          config=SPRConfig(seed=1, max_iterations=2))
+    with pytest.raises(SystemExit) as death:
+        flow_b.run()
+    assert death.value.code == DIE_EXIT_CODE
+    design_b, report_b = resume_run(dir_b, library)
+    assert report_state(report_a) == report_state(report_b)
+    assert (DesignCheckpoint.state_signature(design_a)
+            == DesignCheckpoint.state_signature(design_b))
+    assert report_b.resumed
+
+
+def test_substrate_failure_restores_from_disk(library, tmp_path):
+    """A partitioner crash mid-flow: the design comes back from the
+    last on-disk snapshot, the retry succeeds, invariants pass, and the
+    run completes with the restore journaled."""
+    injector = FaultInjector(seed=5)
+    injector.inject("partitioner", FaultKind.EXCEPTION, invocation=3)
+    design, scenario = fresh_run(tmp_path, library, injector=injector)
+    report = scenario.run()
+    design.check()  # raises on invariant failure
+    health = report.health["partitioner"]
+    assert health.rollbacks >= 1  # restored from disk at least once
+    assert health.failures == 0  # the retry succeeded
+    journal = Journal.open(
+        RunDir.open(str(tmp_path)).journal_path)
+    assert journal.last_of_type("restore") is not None
+    assert scan_resume(journal)["completed"]
+
+
+def test_substrate_retries_exhausted_raises(library, tmp_path):
+    """Persistent substrate failure aborts coherently: the error
+    propagates and the run directory remains resumable."""
+    from repro.guard.errors import GuardError
+
+    injector = FaultInjector(seed=5)
+    for invocation in range(3):  # retries=2 -> 3 attempts, all fail
+        injector.inject("legalizer", FaultKind.EXCEPTION,
+                        invocation=0)
+    design, scenario = fresh_run(tmp_path, library, injector=injector)
+    with pytest.raises(GuardError):
+        scenario.run()
+    # the design was restored to the last snapshot: invariants hold
+    design.check()
+    journal = Journal.open(RunDir.open(str(tmp_path)).journal_path)
+    state = scan_resume(journal)
+    assert not state["completed"]
+    assert state["snapshot"] is not None
