@@ -1,17 +1,31 @@
-"""Guarded-execution overhead: checkpoints must be near-free.
+"""Guarded-execution and persistence overhead: checkpoints must be
+near-free.
 
 The guard wraps every transform invocation in a checkpoint + invariant
 check (see ``repro.guard``).  For the robustness machinery to be
 left on by default it has to stay well inside the noise floor of a
 flow run; the budget here is 15% wall-clock on the processor workload
 preset, with bit-identical results.
+
+The persistence layer additionally writes a snapshot at every
+transform boundary of a durable run.  ``test_persist_snapshot_bytes``
+runs the same TPS flow on the largest DES preset once per snapshot
+mode and reports bytes written and wall time per milestone —
+``BENCH_persist.json`` — with the tentpole acceptance bar inline:
+delta mode must cut snapshot bytes at least 3x while producing a
+bit-identical report.
 """
 
-from conftest import publish, stopwatch
+import json
+
+from conftest import BENCH_SCALE, publish, stopwatch
 
 from repro import GuardConfig, TPSScenario, make_design
+from repro.persist import FlowPersist, Journal, PersistConfig, RunDir
 from repro.scenario import TPSConfig
+from repro.scenario.report import report_state
 from repro.workloads import ProcessorParams, processor_partition
+from repro.workloads.presets import build_des_design
 
 _PARAMS = ProcessorParams(n_stages=2, regs_per_stage=10,
                           gates_per_stage=150, seed=11)
@@ -50,3 +64,61 @@ def test_guard_overhead(benchmark, library):
     assert guarded.total_failures == 0
     assert overhead < 0.15, "guard overhead %.1f%% over budget" % (
         100.0 * overhead)
+
+
+def persisted_run(library, mode, rundir):
+    """One durable TPS run on the largest preset, returning the
+    report, the persistence cost counters, and the wall time."""
+    design = build_des_design("Des3", library, scale=BENCH_SCALE)
+    config = TPSConfig(seed=1)
+    pconfig = PersistConfig(snapshot_every=10, snapshot_mode=mode)
+    rd = RunDir.create(str(rundir), {"flow": "TPS",
+                                     "config": config.to_state(),
+                                     "persist": pconfig.to_state()})
+    journal = Journal.create(rd.journal_path)
+    persist = FlowPersist(rd, journal, pconfig, design)
+    with stopwatch() as sw:
+        report = TPSScenario(design, config, persist=persist).run()
+    return report, dict(persist.stats), sw.seconds
+
+
+def test_persist_snapshot_bytes(benchmark, library, tmp_path):
+    """Full vs delta snapshot mode on an identical durable TPS run."""
+    results = benchmark.pedantic(
+        lambda: {mode: persisted_run(library, mode, tmp_path / mode)
+                 for mode in ("full", "delta")},
+        rounds=1, iterations=1)
+
+    entry = {"preset": "Des3", "scale": BENCH_SCALE, "modes": {}}
+    for mode, (report, stats, seconds) in results.items():
+        written = stats["full_snapshots"] + stats["delta_snapshots"]
+        milestones = written + stats["deduped"]
+        bytes_total = stats["full_bytes"] + stats["delta_bytes"]
+        entry["modes"][mode] = {
+            "icells": report.icells,
+            "run_seconds": round(seconds, 3),
+            "milestones": milestones,
+            "snapshots_written": written,
+            "full_snapshots": stats["full_snapshots"],
+            "delta_snapshots": stats["delta_snapshots"],
+            "deduped": stats["deduped"],
+            "snapshot_bytes": bytes_total,
+            "bytes_per_milestone": round(bytes_total / milestones, 1),
+            "snapshot_seconds": round(stats["snapshot_seconds"], 3),
+            "seconds_per_milestone": round(
+                stats["snapshot_seconds"] / milestones, 4),
+        }
+    full = entry["modes"]["full"]
+    delta = entry["modes"]["delta"]
+    entry["bytes_reduction"] = round(
+        full["snapshot_bytes"] / delta["snapshot_bytes"], 2)
+    publish("BENCH_persist.json",
+            json.dumps(entry, indent=2, sort_keys=True) + "\n")
+
+    # delta mode must not change what the flow computes at all
+    assert report_state(results["delta"][0]) \
+        == report_state(results["full"][0])
+    # the tentpole acceptance bar: >= 3x fewer snapshot bytes per run
+    assert entry["bytes_reduction"] >= 3.0, \
+        "delta mode reduced snapshot bytes only %.2fx" \
+        % entry["bytes_reduction"]

@@ -33,7 +33,7 @@ from repro.persist import (
     RunDir,
     RunDirError,
     SnapshotError,
-    read_snapshot,
+    load_snapshot_payload,
     rebuild_design,
     scan_resume,
 )
@@ -119,7 +119,11 @@ def _persist_create(args, flow, design, config, injector):
     if getattr(args, "run_dir", None) is None:
         return None
     pconfig = PersistConfig(snapshot_every=args.snapshot_every,
-                            die_at_status=args.die_at_status)
+                            snapshot_mode=args.snapshot_mode,
+                            full_every=args.full_every,
+                            compact_every=args.compact_every,
+                            die_at_status=args.die_at_status,
+                            die_at_snapshot=args.die_at_snapshot)
     meta = {
         "flow": flow,
         "design": {"design": args.design, "scale": args.scale,
@@ -165,22 +169,22 @@ def _cmd_resume(args, expected_flow) -> int:
             print("no snapshot to resume from in %s" % args.run_dir,
                   file=sys.stderr)
             return 1
-        payload = read_snapshot(rundir.snapshot_path(
-            record["file"][:-len(".snap.gz")]))
+        payload = load_snapshot_payload(rundir, record)
     except (RunDirError, JournalError, SnapshotError) as exc:
         print("cannot resume: %s" % exc, file=sys.stderr)
         return 1
     design = rebuild_design(payload, library)
     pconfig = PersistConfig.from_state(meta.get("persist", {}))
-    # never persisted; a fresh --die-at-status may be given per process
+    # never persisted; fresh kill points may be given per process
     pconfig.die_at_status = args.die_at_status
+    pconfig.die_at_snapshot = args.die_at_snapshot
     quarantined = rundir.note_crashes(state["in_flight"],
                                       pconfig.crash_quarantine_after)
     if state["in_flight"]:
         print("in flight at previous death: %s"
               % ", ".join(state["in_flight"]))
     persist = FlowPersist(rundir, journal, pconfig, design, resumed=True)
-    persist.seed_snapshot(record, record["status"])
+    persist.seed_snapshot(record, record["status"], payload=payload)
     persist.note_resumed(record["seq"], record["status"],
                          state["in_flight"])
     chaos = meta.get("chaos")
@@ -328,10 +332,28 @@ def _add_persist_args(parser) -> None:
     parser.add_argument("--snapshot-every", type=int, default=10,
                         help="snapshot when cut status crosses a "
                              "multiple of this (default 10)")
+    parser.add_argument("--snapshot-mode", choices=("full", "delta"),
+                        default="full",
+                        help="milestone snapshots: 'full' writes the "
+                             "whole design each time, 'delta' writes "
+                             "only what changed since the chain's "
+                             "base full snapshot (default full)")
+    parser.add_argument("--full-every", type=int, default=8,
+                        help="in delta mode, start a new chain (full "
+                             "snapshot) after this many deltas; 0 "
+                             "keeps one chain (default 8)")
+    parser.add_argument("--compact-every", type=int, default=0,
+                        help="compact the journal once this many "
+                             "records predate the chain-base "
+                             "snapshot; 0 disables (default)")
     parser.add_argument("--die-at-status", type=int, default=None,
                         help="simulate a process kill (exit 17) right "
                              "after the first snapshot at or past this "
                              "status (resume smoke testing)")
+    parser.add_argument("--die-at-snapshot", type=int, default=None,
+                        help="simulate a process kill (exit 17) right "
+                             "after the N-th milestone snapshot of "
+                             "this process (crash-matrix testing)")
 
 
 def main(argv=None) -> int:

@@ -28,7 +28,11 @@ from repro.guard.errors import (
     RestoreMismatch,
     TransformError,
 )
-from repro.guard.checkpoint import DesignCheckpoint, state_signature
+from repro.guard.checkpoint import (
+    DesignCheckpoint,
+    payload_signature,
+    state_signature,
+)
 from repro.guard.invariants import (
     Invariant,
     InvariantSuite,
@@ -58,5 +62,6 @@ __all__ = [
     "TransformError",
     "TransformHealth",
     "default_invariants",
+    "payload_signature",
     "state_signature",
 ]

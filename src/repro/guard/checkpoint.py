@@ -200,3 +200,40 @@ def state_signature(design: Design) -> str:
     put("mode", design.timing.mode.value, design.timing.default_gain)
     put("status", design.status)
     return h.hexdigest()
+
+
+def payload_signature(state: dict) -> str:
+    """:func:`state_signature` computed from a snapshot's plain data.
+
+    ``state`` is the ``"design"`` payload of an on-disk snapshot
+    (:func:`repro.persist.snapshot.design_state`).  The digest is
+    defined to be *identical* to what :func:`state_signature` would
+    return for the design that payload rebuilds, without constructing
+    one — so a delta-snapshot chain can be verified cheaply at
+    application time, before any netlist is built.  Every hashed part
+    mirrors the live-object formula above: JSON round-trips preserve
+    float/int/bool/None identity, positions are re-tupled, gate size
+    names re-derive from ``(type, x)`` the same way
+    ``GateSize.name`` does, and tags/pin names are sorted.
+    """
+    h = hashlib.sha256()
+
+    def put(*parts) -> None:
+        h.update("|".join(repr(p) for p in parts).encode())
+        h.update(b";")
+
+    netlist = state["netlist"]
+    for rec in sorted(netlist["cells"], key=lambda r: r["name"]):
+        pos = (None if rec["position"] is None
+               else (rec["position"][0], rec["position"][1]))
+        put("cell", rec["name"], rec["type"],
+            "%s_X%g" % (rec["type"], rec["x"]),
+            pos, rec["fixed"], rec["gain"], sorted(rec["tags"]))
+    for rec in sorted(netlist["nets"], key=lambda r: r["name"]):
+        put("net", rec["name"], rec["weight"], rec["base_weight"],
+            rec["clock"], rec["scan"],
+            sorted("%s/%s" % (cell, pin) for cell, pin in rec["pins"]))
+    put("grid", state["grid"][0], state["grid"][1])
+    put("mode", state["timing"]["mode"], state["timing"]["default_gain"])
+    put("status", state["status"])
+    return h.hexdigest()

@@ -122,3 +122,18 @@ def netlist_from_state(state: dict, library: Library) -> Netlist:
     netlist = Netlist(state["name"])
     populate_netlist(netlist, state, library)
     return netlist
+
+
+def netlists_equal(a: Netlist, b: Netlist) -> bool:
+    """Structural equality of two live netlists, order included.
+
+    Two netlists are equal when they would serialize identically:
+    same cells (name, size, position, fixed, gain, tags, port kind)
+    and same nets (scalars + pin membership) in the same iteration
+    order, with the same name-counter position.  This is a stricter
+    check than signature equality — it also covers fields the state
+    signature deliberately omits (iteration order, name counter) —
+    and a cheaper-to-diagnose one: the round-trip property test
+    compares the two state dicts directly on failure.
+    """
+    return netlist_to_state(a) == netlist_to_state(b)

@@ -8,8 +8,22 @@ milestones; ``python -m repro tps --run-dir DIR --resume`` reloads the
 latest snapshot into a fresh process and continues the scenario from
 the first unfinished phase, with crash-implicated transforms
 quarantined persistently.
+
+This PR makes persistence *incremental*, the same way the paper makes
+analysis incremental: in delta mode each milestone writes only what
+changed since the chain's base full snapshot
+(:mod:`repro.persist.delta`), and :meth:`Journal.compact` bounds the
+journal tail a resume must replay.
 """
 
+from repro.persist.delta import (
+    DELTA_FORMAT,
+    DELTA_VERSION,
+    apply_delta,
+    make_delta,
+    read_delta,
+    write_delta,
+)
 from repro.persist.journal import Journal, JournalError
 from repro.persist.rundir import (
     DIE_EXIT_CODE,
@@ -17,6 +31,7 @@ from repro.persist.rundir import (
     PersistConfig,
     RunDir,
     RunDirError,
+    load_snapshot_payload,
     scan_resume,
 )
 from repro.persist.snapshot import (
@@ -27,10 +42,13 @@ from repro.persist.snapshot import (
     read_snapshot,
     rebuild_design,
     restore_design,
+    write_payload,
     write_snapshot,
 )
 
 __all__ = [
+    "DELTA_FORMAT",
+    "DELTA_VERSION",
     "DIE_EXIT_CODE",
     "FlowPersist",
     "Journal",
@@ -41,10 +59,16 @@ __all__ = [
     "SNAPSHOT_FORMAT",
     "SNAPSHOT_VERSION",
     "SnapshotError",
+    "apply_delta",
     "design_state",
+    "load_snapshot_payload",
+    "make_delta",
+    "read_delta",
     "read_snapshot",
     "rebuild_design",
     "restore_design",
     "scan_resume",
+    "write_delta",
+    "write_payload",
     "write_snapshot",
 ]

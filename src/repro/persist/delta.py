@@ -1,0 +1,299 @@
+"""Delta snapshots: only what changed since the previous snapshot.
+
+A full design snapshot roots each chain; every later milestone stores
+a *delta* — a structural diff of the full snapshot payload
+(:func:`repro.persist.snapshot.design_state`) against the payload of
+the snapshot written just before it, full or delta.  Chaining keeps
+each delta proportional to what the last transform step dirtied: a
+step that resized thirty gates costs thirty records even when an
+earlier step in the same chain re-placed the whole design.  The diff
+is computed payload-to-payload, so it covers exactly what a snapshot
+covers: cells, nets, placements, scalars, and the scenario
+``extras``, with nothing re-derived and nothing forgotten.  Each
+delta document names its base file, so a chain resolves from the
+files alone — read the chain back to its full root, apply forward.
+
+The diff grammar is a small recursive algebra over JSON values.  Each
+node describes how to turn the base value into the new value:
+
+``{"$set": value}``
+    replace the base value outright (scalars, reshaped lists);
+``{"$dict": {"set": {key: node}, "drop": [key]}}``
+    merge into a dict: recurse per surviving key, drop removed ones;
+``{"$append": [items]}``
+    the new list extends the base list (journal-style traces);
+``{"$keyed": {"upsert": [partial records], "drop": [names],
+  "order": [names]?}}``
+    a name-keyed record list (netlist cells/nets): ``upsert`` carries
+    only the changed fields of changed records (merged over the base
+    record) and full records for new ones; ``drop`` removes by name.
+    Record order is reconstructed as base-order-minus-dropped with new
+    names appended; if the real order differs (a cell was removed and
+    re-added, say), the explicit ``order`` list wins.  A partial
+    record carrying ``"$full": true`` replaces instead of merges (a
+    base record lost a field — cannot happen for netlist records, but
+    the algebra does not assume that).
+
+Unchanged subtrees are simply absent, which is the whole point: the
+bytes written per milestone are proportional to what the transforms
+dirtied, not to the design (the same incrementality argument the
+paper makes for its analyzers, applied to persistence).
+
+A delta document records the signature of its base and of the state
+it reconstructs; :func:`apply_delta` verifies both — the latter via
+:func:`repro.guard.checkpoint.payload_signature`, i.e. without
+building a design — so a mismatched or corrupt chain fails loudly at
+application time, never as silent state divergence.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+
+from repro.guard.checkpoint import payload_signature
+from repro.persist.snapshot import SNAPSHOT_FORMAT, SNAPSHOT_VERSION, SnapshotError
+
+DELTA_FORMAT = "repro-design-delta"
+DELTA_VERSION = 1
+
+#: sentinel: base and new value are identical, emit nothing
+_UNCHANGED = object()
+
+
+# -- diff ---------------------------------------------------------------
+
+
+def _is_keyed_list(value) -> bool:
+    """True for lists of uniquely-named record dicts (cells, nets)."""
+    if not isinstance(value, list) or not value:
+        return False
+    names = set()
+    for item in value:
+        if not isinstance(item, dict):
+            return False
+        name = item.get("name")
+        if not isinstance(name, str) or name in names:
+            return False
+        names.add(name)
+    return True
+
+
+def _diff_record(base: dict, new: dict) -> dict:
+    """Partial record: the name plus only the fields that changed."""
+    if set(base) - set(new):
+        # a field vanished: replace wholesale (merge cannot delete)
+        partial = dict(new)
+        partial["$full"] = True
+        return partial
+    partial = {"name": new["name"]}
+    for key, value in new.items():
+        if key != "name" and (key not in base or base[key] != value):
+            partial[key] = value
+    return partial
+
+
+def _diff_keyed(base: list, new: list):
+    base_map = {rec["name"]: rec for rec in base}
+    new_names = {rec["name"] for rec in new}
+    drop = [rec["name"] for rec in base if rec["name"] not in new_names]
+    upsert = []
+    for rec in new:
+        old = base_map.get(rec["name"])
+        if old is None:
+            upsert.append(rec)
+        elif old != rec:
+            upsert.append(_diff_record(old, rec))
+    node = {"upsert": upsert, "drop": drop}
+    # order check: does the default reconstruction match reality?
+    expected = [rec["name"] for rec in base if rec["name"] in new_names]
+    expected += [rec["name"] for rec in new
+                 if rec["name"] not in base_map]
+    actual = [rec["name"] for rec in new]
+    if expected != actual:
+        node["order"] = actual
+    if not upsert and not drop and "order" not in node:
+        return _UNCHANGED
+    return {"$keyed": node}
+
+
+def _diff_dict(base: dict, new: dict):
+    set_nodes = {}
+    for key, value in new.items():
+        if key in base:
+            node = _diff_value(base[key], value)
+            if node is not _UNCHANGED:
+                set_nodes[key] = node
+        else:
+            set_nodes[key] = {"$set": value}
+    drop = [key for key in base if key not in new]
+    if not set_nodes and not drop:
+        return _UNCHANGED
+    return {"$dict": {"set": set_nodes, "drop": drop}}
+
+
+def _diff_value(base, new):
+    if base == new and type(base) is type(new):
+        return _UNCHANGED
+    if isinstance(base, dict) and isinstance(new, dict):
+        return _diff_dict(base, new)
+    if _is_keyed_list(base) and _is_keyed_list(new):
+        return _diff_keyed(base, new)
+    if (isinstance(base, list) and isinstance(new, list)
+            and len(new) > len(base) and new[:len(base)] == base):
+        return {"$append": new[len(base):]}
+    return {"$set": new}
+
+
+def make_delta(base_payload: dict, new_payload: dict,
+               base_file: str = None) -> dict:
+    """The delta document turning ``base_payload`` into ``new_payload``.
+
+    Both arguments are full snapshot payloads (``design_state``
+    output; the base may itself have been reconstructed from a
+    delta).  The document is self-describing: it names the base it
+    applies to (by signature, and by file when ``base_file`` is
+    given — that link is what lets a chain of deltas resolve without
+    the journal) and the signature of the state it reconstructs.
+    """
+    node = _diff_value(
+        {"design": base_payload["design"],
+         "extras": base_payload.get("extras", {})},
+        {"design": new_payload["design"],
+         "extras": new_payload.get("extras", {})})
+    doc = {
+        "format": DELTA_FORMAT,
+        "version": DELTA_VERSION,
+        "base_signature": base_payload["signature"],
+        "signature": new_payload["signature"],
+        "delta": None if node is _UNCHANGED else node,
+    }
+    if base_file is not None:
+        doc["base"] = base_file
+    return doc
+
+
+# -- apply --------------------------------------------------------------
+
+
+def _apply_keyed(base: list, node: dict) -> list:
+    drop = set(node.get("drop", ()))
+    merged = {rec["name"]: rec for rec in base if rec["name"] not in drop}
+    order = [rec["name"] for rec in base if rec["name"] not in drop]
+    for partial in node.get("upsert", ()):
+        name = partial["name"]
+        if name in merged and not partial.get("$full"):
+            rec = dict(merged[name])
+            rec.update(partial)
+            merged[name] = rec
+        else:
+            merged[name] = partial
+            if name not in set(order):
+                order.append(name)
+        full = dict(merged[name])
+        full.pop("$full", None)
+        merged[name] = full
+    if "order" in node:
+        order = node["order"]
+    try:
+        return [merged[name] for name in order]
+    except KeyError as exc:
+        raise SnapshotError("delta order references unknown record %s"
+                            % exc)
+
+
+def _apply_value(base, node):
+    if not isinstance(node, dict):
+        raise SnapshotError("malformed delta node %r" % (node,))
+    if "$set" in node:
+        return node["$set"]
+    if "$append" in node:
+        if not isinstance(base, list):
+            raise SnapshotError("$append applied to non-list")
+        return list(base) + list(node["$append"])
+    if "$keyed" in node:
+        if not isinstance(base, list):
+            raise SnapshotError("$keyed applied to non-list")
+        return _apply_keyed(base, node["$keyed"])
+    if "$dict" in node:
+        if not isinstance(base, dict):
+            raise SnapshotError("$dict applied to non-dict")
+        spec = node["$dict"]
+        result = {key: value for key, value in base.items()
+                  if key not in set(spec.get("drop", ()))}
+        for key, sub in spec.get("set", {}).items():
+            result[key] = (_apply_value(base[key], sub) if key in base
+                           else _apply_value(None, sub))
+        return result
+    raise SnapshotError("unknown delta node keys %s" % sorted(node))
+
+
+def apply_delta(base_payload: dict, delta_doc: dict) -> dict:
+    """Reconstruct a full snapshot payload from base + delta.
+
+    Verifies the chain both ways: the base must carry the signature
+    the delta was computed against, and the reconstructed design
+    state must hash (via :func:`payload_signature`) to the signature
+    the delta promises.  Either mismatch raises
+    :class:`~repro.persist.snapshot.SnapshotError`.
+    """
+    if delta_doc.get("format") != DELTA_FORMAT:
+        raise SnapshotError("not a %s document" % DELTA_FORMAT)
+    if delta_doc.get("version") != DELTA_VERSION:
+        raise SnapshotError(
+            "delta has format version %r; this build reads version %d"
+            % (delta_doc.get("version"), DELTA_VERSION))
+    if base_payload["signature"] != delta_doc["base_signature"]:
+        raise SnapshotError(
+            "delta applies to base %s but the base snapshot is %s"
+            % (delta_doc["base_signature"][:12],
+               base_payload["signature"][:12]))
+    tree = {"design": base_payload["design"],
+            "extras": base_payload.get("extras", {})}
+    node = delta_doc.get("delta")
+    if node is not None:
+        tree = _apply_value(tree, node)
+    payload = {
+        "format": SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "signature": delta_doc["signature"],
+        "design": tree["design"],
+        "extras": tree["extras"],
+    }
+    actual = payload_signature(payload["design"])
+    if actual != delta_doc["signature"]:
+        raise SnapshotError(
+            "delta application produced state signature %s, expected %s"
+            % (actual[:12], delta_doc["signature"][:12]))
+    return payload
+
+
+# -- file I/O -----------------------------------------------------------
+
+
+def write_delta(path: str, delta_doc: dict) -> None:
+    """Atomically write a delta document (same discipline as
+    :func:`repro.persist.snapshot.write_snapshot`)."""
+    data = json.dumps(delta_doc, separators=(",", ":")).encode()
+    tmp = path + ".tmp"
+    with gzip.open(tmp, "wb") as stream:
+        stream.write(data)
+    with open(tmp, "rb") as stream:
+        os.fsync(stream.fileno())
+    os.replace(tmp, path)
+
+
+def read_delta(path: str) -> dict:
+    """Load and shape-check a delta document (raises SnapshotError)."""
+    try:
+        with gzip.open(path, "rb") as stream:
+            doc = json.loads(stream.read().decode())
+    except (OSError, EOFError, ValueError) as exc:
+        raise SnapshotError("unreadable delta %s: %s" % (path, exc))
+    if not isinstance(doc, dict) or doc.get("format") != DELTA_FORMAT:
+        raise SnapshotError("%s is not a %s file" % (path, DELTA_FORMAT))
+    for key in ("base_signature", "signature"):
+        if key not in doc:
+            raise SnapshotError("delta %s is missing %r" % (path, key))
+    return doc

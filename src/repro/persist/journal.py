@@ -2,17 +2,26 @@
 
 Every record is wrapped as ``{"r": <record>, "c": <crc32>}`` where the
 checksum covers the canonical (sorted-key, no-whitespace) JSON encoding
-of the record.  Appends rewrite the whole file to a temp path and
-``os.replace`` it — atomic write-then-rename, so a reader never sees a
-half-written journal and a crash mid-append leaves the previous file
-intact.  Journals are small (hundreds of records), so the quadratic
-rewrite cost is noise next to the transforms being journaled.
+of the record.  Appends are O(1): one line is written in append mode
+and fsynced, so the journal stays on the hot path of the flow without
+the quadratic rewrite cost of the original write-then-rename scheme.
+A crash mid-append at worst leaves one torn final line, which the
+recovery scan below drops.  Whole-file rewrites (create, tail
+truncation, compaction) still go through a temp path and
+``os.replace`` so a reader never sees a half-written file.
 
 ``Journal.open`` walks the file line by line; at the first torn or
 corrupt line (bad JSON, bad checksum, non-monotonic sequence) it
 truncates the journal to the last valid record and keeps going — the
 recovery contract from ISSUE: *detect torn/corrupt tails, truncate to
 the last valid entry*.
+
+Long runs would otherwise replay (and re-parse) an unbounded tail of
+transform records on every resume; :meth:`Journal.compact` bounds
+that by dropping records older than a caller-chosen sequence number
+(the current delta chain's base snapshot), renumbering the survivors
+from zero behind a leading ``compacted`` record that remembers how
+many records were folded away.
 """
 
 from __future__ import annotations
@@ -103,12 +112,55 @@ class Journal:
     # -- writes --------------------------------------------------------
 
     def append(self, type_: str, **fields) -> dict:
-        """Durably append one record; returns it (with its seq)."""
+        """Durably append one record; returns it (with its seq).
+
+        O(1): a single line is appended and fsynced.  A crash inside
+        the write leaves at most one torn line, which the next
+        :meth:`open` truncates.
+        """
         record = {"seq": len(self.records), "type": type_}
         record.update(fields)
         self.records.append(record)
-        self._rewrite()
+        with open(self.path, "a") as stream:
+            stream.write(_encode_line(record) + "\n")
+            stream.flush()
+            os.fsync(stream.fileno())
         return record
+
+    def compact(self, keep_from_seq: int, **fields) -> Optional[dict]:
+        """Drop records with ``seq < keep_from_seq``; renumber from 0.
+
+        The survivors are written behind a leading ``compacted``
+        record (seq 0) that carries any caller ``fields`` plus
+        ``dropped`` — the cumulative count of records folded away
+        over the journal's lifetime, so repeated compactions keep a
+        truthful total.  Resume logic replays only what survives; the
+        caller is responsible for choosing ``keep_from_seq`` at a
+        self-contained point (the current delta chain's base
+        snapshot).  Returns the new head record, or ``None`` when
+        nothing would be dropped.
+        """
+        if keep_from_seq <= 0:
+            return None
+        kept = [r for r in self.records if r["seq"] >= keep_from_seq]
+        dropped = len(self.records) - len(kept)
+        if dropped <= 0:
+            return None
+        already = 0
+        if self.records and self.records[0]["type"] == "compacted":
+            already = self.records[0].get("dropped", 0)
+            dropped -= 1  # the old head is replaced, not "dropped"
+        head = {"seq": 0, "type": "compacted",
+                "dropped": already + dropped}
+        head.update(fields)
+        renumbered = [head]
+        for record in kept:
+            fresh = dict(record)
+            fresh["seq"] = len(renumbered)
+            renumbered.append(fresh)
+        self.records = renumbered
+        self._rewrite()
+        return head
 
     def _rewrite(self) -> None:
         tmp = self.path + ".tmp"

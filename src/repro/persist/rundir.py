@@ -6,7 +6,10 @@ A run directory is the durable identity of one flow invocation::
       run.json          how to rebuild the run (flow, design recipe,
                         scenario/guard/chaos configuration)
       journal.jsonl     write-ahead event log (see repro.persist.journal)
-      snapshots/        full design snapshots, one per milestone
+      snapshots/        design snapshots, one per milestone: full
+                        ``*.snap.gz`` files and, in delta mode,
+                        ``*.delta.gz`` diffs chained off the previous
+                        snapshot (see repro.persist.delta)
       quarantine.json   crash strikes + persistently quarantined
                         transforms, carried across processes
       report.json       final FlowReport state (written on completion)
@@ -16,23 +19,36 @@ transform invocations (as the :class:`~repro.guard.runner.GuardedRunner`
 recorder), writes milestone snapshots as cut status advances, restores
 the design from the latest snapshot when the substrate fails, and
 simulates a process kill at a chosen milestone for the resume tests.
+
+In ``snapshot_mode="delta"`` each milestone stores only what changed
+since the *previous* snapshot, and restore applies the chain forward
+from its full root; a new full snapshot roots a fresh chain every
+``full_every`` deltas — bounding how many files a resume must read —
+and whenever a delta would not actually be smaller.  With
+``compact_every`` set, the journal is compacted once enough records
+predate the chain root — those records (and the snapshot files only
+they reference) are no longer needed to resume, so long runs stop
+replaying unbounded tails.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.design import Design
 from repro.guard.checkpoint import state_signature
+from repro.persist.delta import apply_delta, make_delta, read_delta, write_delta
 from repro.persist.journal import Journal, JournalError
 from repro.persist.snapshot import (
     SnapshotError,
+    design_state,
     read_snapshot,
     restore_design,
-    write_snapshot,
+    write_payload,
 )
 
 RUN_FORMAT = "repro-run"
@@ -46,24 +62,46 @@ DIE_EXIT_CODE = 17
 class PersistConfig:
     """Knobs of the durable flow-state layer."""
 
-    #: write a full snapshot whenever cut status crosses a multiple of
+    #: write a snapshot whenever cut status crosses a multiple of
     #: this value (plus one at init and one before the postlude)
     snapshot_every: int = 10
+    #: ``"full"`` writes every milestone as a complete snapshot;
+    #: ``"delta"`` writes a diff against the chain's base full
+    #: snapshot (the first milestone of a chain is always full)
+    snapshot_mode: str = "full"
+    #: in delta mode, start a fresh chain (new full snapshot) after
+    #: this many deltas; 0 keeps one chain for the whole run
+    full_every: int = 8
+    #: compact the journal once this many records predate the chain
+    #: base snapshot (0 disables compaction)
+    compact_every: int = 0
     #: simulate a process kill (SystemExit) right after the first
     #: milestone snapshot at or past this status.  Never persisted to
     #: run.json: a resumed process must not re-die.
     die_at_status: Optional[int] = None
+    #: simulate a process kill right after the N-th milestone snapshot
+    #: of this process (1-based).  Counts only :meth:`milestone`
+    #: snapshots — pre-substrate ``ensure_current`` snapshots are not
+    #: safe resume points (the postlude transforms around them are not
+    #: idempotent).  Never persisted, like ``die_at_status``.
+    die_at_snapshot: Optional[int] = None
     #: quarantine a transform after this many cross-process crashes
     #: attributed to it (in-flight at process death)
     crash_quarantine_after: int = 1
 
     def to_state(self) -> dict:
         return {"snapshot_every": self.snapshot_every,
+                "snapshot_mode": self.snapshot_mode,
+                "full_every": self.full_every,
+                "compact_every": self.compact_every,
                 "crash_quarantine_after": self.crash_quarantine_after}
 
     @classmethod
     def from_state(cls, state: dict) -> "PersistConfig":
         return cls(snapshot_every=state.get("snapshot_every", 10),
+                   snapshot_mode=state.get("snapshot_mode", "full"),
+                   full_every=state.get("full_every", 8),
+                   compact_every=state.get("compact_every", 0),
                    crash_quarantine_after=state.get(
                        "crash_quarantine_after", 1))
 
@@ -138,7 +176,13 @@ class RunDir:
         return os.path.join(self.path, "report.json")
 
     def snapshot_path(self, name: str) -> str:
+        """Path of a *full* snapshot by bare name (PR 2 convention)."""
         return os.path.join(self.path, "snapshots", name + ".snap.gz")
+
+    def snapshot_file(self, filename: str) -> str:
+        """Path of a snapshot or delta file by its journaled filename
+        (extension included — ``.snap.gz`` or ``.delta.gz``)."""
+        return os.path.join(self.path, "snapshots", filename)
 
     # -- quarantine persistence ----------------------------------------
 
@@ -206,6 +250,47 @@ def scan_resume(journal: Journal) -> dict:
             "in_flight": in_flight}
 
 
+def load_snapshot_payload(rundir: RunDir, record: dict) -> dict:
+    """The full payload behind a journal ``snapshot`` record.
+
+    A delta record is resolved through its chain: each delta document
+    names its base file, so the chain is walked back to its full-
+    snapshot root and the deltas applied forward — every link
+    verified by the base-signature and result-signature checks of
+    :func:`repro.persist.delta.apply_delta`.  The returned payload is
+    exactly what a full snapshot at that milestone would have carried.
+    """
+    filename = record["file"]
+    docs = []
+    seen = set()
+    while filename.endswith(".delta.gz"):
+        if filename in seen:
+            raise SnapshotError("delta chain cycles at %s" % filename)
+        seen.add(filename)
+        doc = read_delta(rundir.snapshot_file(filename))
+        docs.append(doc)
+        filename = doc.get("base")
+        if not filename:
+            raise SnapshotError(
+                "delta %s names no base snapshot" % record["file"])
+    payload = read_snapshot(rundir.snapshot_file(filename))
+    for doc in reversed(docs):
+        payload = apply_delta(payload, doc)
+    if payload["signature"] != record["signature"]:
+        raise SnapshotError(
+            "snapshot %s does not match its journal record"
+            % record["file"])
+    return payload
+
+
+def _file_ordinal(filename: str) -> int:
+    """The leading ``%04d`` ordinal of a snapshot filename, or -1."""
+    try:
+        return int(filename.split("-", 1)[0])
+    except (ValueError, IndexError):
+        return -1
+
+
 class FlowPersist:
     """The scenario-facing driver of the durable flow-state layer.
 
@@ -227,7 +312,24 @@ class FlowPersist:
         #: signature/status of the most recent on-disk snapshot
         self._last_signature: Optional[str] = None
         self._last_status: Optional[int] = None
+        #: canonical JSON of the last written payload (dedupe check)
+        self._last_canon: Optional[str] = None
+        #: the previous snapshot (the next delta's base): in-memory
+        #: payload + filename, and the current chain's delta depth
+        self._base_payload: Optional[dict] = None
+        self._base_file: Optional[str] = None
+        self._chain_len = 0
+        #: monotonic snapshot-file ordinal — survives compaction, so
+        #: filenames never collide after the journal is renumbered
+        self._ordinal = 0
+        self._milestones = 0
         self._died = False
+        #: persistence-cost accounting (the persist benchmark reads
+        #: this; ``snapshot_seconds`` covers serialize+diff+write)
+        self.stats = {"full_snapshots": 0, "delta_snapshots": 0,
+                      "full_bytes": 0, "delta_bytes": 0,
+                      "deduped": 0, "compactions": 0,
+                      "snapshot_seconds": 0.0}
 
     # -- journal bookkeeping -------------------------------------------
 
@@ -265,32 +367,86 @@ class FlowPersist:
 
     # -- snapshots -----------------------------------------------------
 
-    def snapshot(self, tag: str, extras: Optional[dict] = None) -> str:
-        """Write a full design snapshot now; returns its signature.
+    def snapshot(self, tag: str, extras: Optional[dict] = None,
+                 dedupe: bool = False, milestone: bool = False) -> str:
+        """Write a design snapshot now; returns its signature.
 
         Always applies the *staleness barrier* first: virtual resizes
         leave timing's electrical caches deliberately stale, which a
         rebuilt process cannot reproduce — so every snapshot point
         re-times from current state, in this process and equally in
         the one that will resume from the file.
+
+        In delta mode the snapshot is a diff against the *previous*
+        snapshot's payload unless there is none yet, ``full_every``
+        deltas have chained up (bounding resume read depth), or the
+        diff would not actually be smaller — in those cases a full
+        snapshot roots a new chain.  With ``dedupe=True`` an
+        exactly-identical payload (same design state *including* RNG
+        and name counter, same extras) writes nothing: the previous
+        snapshot file already is this state.
         """
+        started = time.perf_counter()
         self.design.timing.invalidate_all()
-        name = "%04d-%s" % (len(self.journal), tag)
-        path = self.rundir.snapshot_path(name)
-        signature = write_snapshot(path, self.design, extras)
-        self._last_signature = signature
+        payload = design_state(self.design, extras)
+        canon = json.dumps(payload, sort_keys=True,
+                           separators=(",", ":"))
+        if dedupe and canon == self._last_canon:
+            self.stats["deduped"] += 1
+            self.stats["snapshot_seconds"] += \
+                time.perf_counter() - started
+            return payload["signature"]
+        doc = None
+        if (self.config.snapshot_mode == "delta"
+                and self._base_payload is not None
+                and not (self.config.full_every > 0
+                         and self._chain_len >= self.config.full_every)):
+            doc = make_delta(self._base_payload, payload,
+                             base_file=self._base_file)
+            delta_len = len(json.dumps(doc, separators=(",", ":")))
+            if delta_len >= len(canon):
+                doc = None  # a full snapshot is no bigger; chain anew
+        name = "%04d-%s" % (self._ordinal, tag)
+        fields = {"tag": tag, "status": self.design.status,
+                  "signature": payload["signature"],
+                  "ordinal": self._ordinal}
+        if doc is not None:
+            filename = name + ".delta.gz"
+            write_delta(self.rundir.snapshot_file(filename), doc)
+            fields.update(file=filename, kind="delta",
+                          base=self._base_file)
+            self._base_payload = payload
+            self._base_file = filename
+            self._chain_len += 1
+            self.stats["delta_snapshots"] += 1
+            self.stats["delta_bytes"] += os.path.getsize(
+                self.rundir.snapshot_file(filename))
+        else:
+            filename = name + ".snap.gz"
+            write_payload(self.rundir.snapshot_file(filename), payload)
+            fields.update(file=filename, kind="full")
+            self._base_payload = payload
+            self._base_file = filename
+            self._chain_len = 0
+            self.stats["full_snapshots"] += 1
+            self.stats["full_bytes"] += os.path.getsize(
+                self.rundir.snapshot_file(filename))
+        if milestone:
+            fields["milestone"] = True
+        self._ordinal += 1
+        self._last_signature = payload["signature"]
         self._last_status = self.design.status
-        self.journal.append("snapshot", tag=tag,
-                            file=os.path.basename(path),
-                            status=self.design.status,
-                            signature=signature)
-        return signature
+        self._last_canon = canon
+        self.journal.append("snapshot", **fields)
+        self._maybe_compact()
+        self.stats["snapshot_seconds"] += time.perf_counter() - started
+        return payload["signature"]
 
     def milestone(self, extras_fn: Callable[[], dict],
                   force: bool = False, tag: Optional[str] = None) -> bool:
         """Snapshot if cut status crossed a milestone; maybe die after.
 
-        Returns True if a snapshot was written.
+        Returns True if a milestone was due (written or deduped).
         """
         status = self.design.status
         every = max(1, self.config.snapshot_every)
@@ -298,21 +454,90 @@ class FlowPersist:
             or status // every > self._last_status // every
         if not due:
             return False
-        self.snapshot(tag or ("status-%03d" % status), extras_fn())
+        self.snapshot(tag or ("status-%03d" % status), extras_fn(),
+                      dedupe=True, milestone=True)
+        self._milestones += 1
         self._maybe_die(status)
         return True
 
-    def seed_snapshot(self, snapshot_record: dict, status: int) -> None:
-        """Adopt an existing on-disk snapshot as current (resume path)."""
+    def seed_snapshot(self, snapshot_record: dict, status: int,
+                      payload: Optional[dict] = None) -> None:
+        """Adopt an existing on-disk snapshot as current (resume path).
+
+        ``payload`` comes from :func:`load_snapshot_payload`; with it
+        the resumed process dedupes against the dead process's last
+        snapshot and chains its next delta straight off it.  The
+        snapshot ordinal and chain depth are re-derived from the
+        journal so new files never collide.
+        """
         self._last_signature = snapshot_record["signature"]
         self._last_status = status
+        if payload is not None:
+            self._last_canon = json.dumps(payload, sort_keys=True,
+                                          separators=(",", ":"))
+            self._base_payload = payload
+            self._base_file = snapshot_record["file"]
+        top = -1
+        chain_len = 0
+        for record in self.journal:
+            if record["type"] != "snapshot":
+                continue
+            ordinal = record.get("ordinal",
+                                 _file_ordinal(record["file"]))
+            top = max(top, ordinal)
+            if record.get("kind", "full") == "full":
+                chain_len = 0
+            else:
+                chain_len += 1
+        self._ordinal = top + 1
+        self._chain_len = chain_len
 
     def _maybe_die(self, status: int) -> None:
-        target = self.config.die_at_status
-        if target is None or self._died or status < target:
+        if self._died:
             return
-        self._died = True
-        raise SystemExit(DIE_EXIT_CODE)
+        at_snapshot = self.config.die_at_snapshot
+        if at_snapshot is not None and self._milestones >= at_snapshot:
+            self._died = True
+            raise SystemExit(DIE_EXIT_CODE)
+        target = self.config.die_at_status
+        if target is not None and status >= target:
+            self._died = True
+            raise SystemExit(DIE_EXIT_CODE)
+
+    # -- journal compaction --------------------------------------------
+
+    def _chain_base_record(self) -> Optional[dict]:
+        """The journal record of the newest *full* snapshot."""
+        for record in reversed(self.journal.records):
+            if (record["type"] == "snapshot"
+                    and record.get("kind", "full") == "full"):
+                return record
+        return None
+
+    def _maybe_compact(self) -> None:
+        """Compact the journal when the pre-chain tail has grown.
+
+        Everything before the chain-base full snapshot record is
+        unneeded for resume (resume wants the latest snapshot, its
+        chain base, and the transform records after it), so those
+        records are folded away and the snapshot files only they
+        reference are deleted.
+        """
+        every = self.config.compact_every
+        if every <= 0:
+            return
+        base = self._chain_base_record()
+        if base is None or base["seq"] < every:
+            return
+        stale = [r["file"] for r in self.journal.records
+                 if r["type"] == "snapshot" and r["seq"] < base["seq"]]
+        self.journal.compact(base["seq"], base_file=base["file"])
+        self.stats["compactions"] += 1
+        for filename in stale:
+            try:
+                os.remove(self.rundir.snapshot_file(filename))
+            except OSError:
+                pass
 
     # -- substrate restore ---------------------------------------------
 
@@ -330,18 +555,16 @@ class FlowPersist:
         self.snapshot(tag, extras_fn())
 
     def latest_snapshot(self) -> dict:
-        """The payload of the most recent snapshot on disk."""
+        """The payload of the most recent snapshot on disk.
+
+        Delta records are resolved through their chain, so the caller
+        always sees a full payload.
+        """
         record = self.journal.last_of_type("snapshot")
         if record is None:
             raise SnapshotError("no snapshot in journal %s"
                                 % self.journal.path)
-        payload = read_snapshot(self.rundir.snapshot_path(
-            record["file"][:-len(".snap.gz")]))
-        if payload["signature"] != record["signature"]:
-            raise SnapshotError(
-                "snapshot %s does not match its journal record"
-                % record["file"])
-        return payload
+        return load_snapshot_payload(self.rundir, record)
 
     def restore_latest(self) -> dict:
         """Restore the design in place from the latest snapshot.

@@ -122,10 +122,13 @@ def _decode_rng(state: list) -> tuple:
 # -- file I/O -----------------------------------------------------------
 
 
-def write_snapshot(path: str, design: Design,
-                   extras: Optional[dict] = None) -> str:
-    """Atomically write a snapshot file; returns its signature."""
-    payload = design_state(design, extras)
+def write_payload(path: str, payload: dict) -> str:
+    """Atomically write an already-built snapshot payload.
+
+    Split out of :func:`write_snapshot` so callers that need the
+    payload anyway (the delta recorder diffs it against the chain
+    base) serialize the design exactly once.  Returns the signature.
+    """
     data = json.dumps(payload, separators=(",", ":")).encode()
     tmp = path + ".tmp"
     with gzip.open(tmp, "wb") as stream:
@@ -134,6 +137,12 @@ def write_snapshot(path: str, design: Design,
         os.fsync(stream.fileno())
     os.replace(tmp, path)
     return payload["signature"]
+
+
+def write_snapshot(path: str, design: Design,
+                   extras: Optional[dict] = None) -> str:
+    """Atomically write a snapshot file; returns its signature."""
+    return write_payload(path, design_state(design, extras))
 
 
 def read_snapshot(path: str) -> dict:

@@ -141,6 +141,7 @@ class SPRFlow:
         best_slack = -INF
         iterations = 0
         next_iteration = 0
+        iter_step = 0
         post_loop = False
 
         def snapshot_extras() -> dict:
@@ -149,6 +150,7 @@ class SPRFlow:
                     "next_iteration": next_iteration,
                     "best_slack": best_slack,
                     "iterations": iterations,
+                    "iter_step": iter_step,
                     "post_loop": post_loop,
                     "trace": list(self.trace),
                 },
@@ -181,6 +183,7 @@ class SPRFlow:
             next_iteration = scen["next_iteration"]
             best_slack = scen["best_slack"]
             iterations = scen["iterations"]
+            iter_step = scen.get("iter_step", 0)
             post_loop = scen["post_loop"]
             self.trace = list(scen["trace"])
             clock_scan.load_state_dict(resume["clock_scan"],
@@ -193,8 +196,8 @@ class SPRFlow:
                 # persistent quarantine carried across processes
                 for name in resume.get("quarantine", ()):
                     self.runner.force_quarantine(name)
-            self._log("resumed from on-disk snapshot (iteration %d)"
-                      % next_iteration)
+            self._log("resumed from on-disk snapshot (iteration %d, "
+                      "step %d)" % (next_iteration, iter_step))
         else:
             if persist is not None and not persist.resumed:
                 persist.start("SPR", cfg.seed)
@@ -219,15 +222,25 @@ class SPRFlow:
 
         if not post_loop:
             for iteration in range(next_iteration, cfg.max_iterations):
-                iterations += 1
-                # ---- 2. stand-alone placement ------------------------
-                substrate("quadratic_placer",
-                          lambda: QuadraticPlacer(
-                              design, seed=cfg.seed + iteration).run())
-                substrate("legalizer", lambda: legalize_rows(design))
-                self._log("iter %d: quadratic placement + legalization"
-                          % iteration)
-                if iteration == 0:
+                # Every iteration is a list of named transform-boundary
+                # steps; a milestone snapshot lands after each one, and
+                # ``iter_step`` in the snapshot extras records how many
+                # steps of this iteration already ran — so a kill
+                # mid-iteration resumes at the last transform boundary
+                # rather than replaying the whole iteration.
+                def place() -> None:
+                    # ---- 2. stand-alone placement --------------------
+                    substrate("quadratic_placer",
+                              lambda: QuadraticPlacer(
+                                  design,
+                                  seed=cfg.seed + iteration).run())
+
+                def legalize() -> None:
+                    substrate("legalizer", lambda: legalize_rows(design))
+                    self._log("iter %d: quadratic placement + "
+                              "legalization" % iteration)
+
+                def cts() -> None:
                     # ---- 3. late clock tree & scan, no space
                     # reservation --------------------------------------
                     design.timing.set_wire_model(real_model)
@@ -235,25 +248,53 @@ class SPRFlow:
                         "clock_scan",
                         lambda: (clock_scan.clock_optimization(design),
                                  clock_scan.scan_optimization(design)))
+
+                def legalize_cts() -> None:
                     # clean up the disturbance
                     substrate("legalizer", lambda: legalize_rows(design))
                     self._log("iter 0: clock/scan inserted "
                               "post-placement")
-                else:
+
+                def real_loads() -> None:
                     design.timing.set_wire_model(real_model)
 
                 # ---- 4. resynthesis against real loads ---------------
-                self._guarded("gate_sizing_for_speed",
-                              lambda: sizing.gate_sizing_for_speed(
-                                  design))
-                self._guarded("buffer_insertion",
-                              lambda: buffering.run(design))
-                self._guarded("pin_swapping",
-                              lambda: pinswap.run(design))
-                self._guarded("gate_sizing_for_area",
-                              lambda: sizing.gate_sizing_for_area(
-                                  design))
-                substrate("legalizer", lambda: legalize_rows(design))
+                steps = [("place", place), ("legalize", legalize)]
+                if iteration == 0:
+                    steps += [("clock_scan", cts),
+                              ("legalize_cts", legalize_cts)]
+                else:
+                    steps.append(("real_loads", real_loads))
+                steps += [
+                    ("size_speed",
+                     lambda: self._guarded(
+                         "gate_sizing_for_speed",
+                         lambda: sizing.gate_sizing_for_speed(design))),
+                    ("buffer",
+                     lambda: self._guarded(
+                         "buffer_insertion",
+                         lambda: buffering.run(design))),
+                    ("pinswap",
+                     lambda: self._guarded(
+                         "pin_swapping", lambda: pinswap.run(design))),
+                    ("size_area",
+                     lambda: self._guarded(
+                         "gate_sizing_for_area",
+                         lambda: sizing.gate_sizing_for_area(design))),
+                    ("legalize_resynth",
+                     lambda: substrate("legalizer",
+                                       lambda: legalize_rows(design))),
+                ]
+                # iter_step > 0 only on the first resumed iteration
+                for index in range(iter_step, len(steps)):
+                    name, step = steps[index]
+                    step()
+                    iter_step = index + 1
+                    if persist is not None:
+                        persist.milestone(
+                            snapshot_extras, force=True,
+                            tag="iter-%d-%s" % (iteration, name))
+
                 slack = design.timing.worst_slack()
                 self._log("iter %d: resynthesis slack %.1f"
                           % (iteration, slack))
@@ -267,13 +308,20 @@ class SPRFlow:
                         # critical nets
                         self._freeze_net_weights(design)
                         design.timing.set_wire_model(wlm)
+                iterations = iteration + 1
                 next_iteration = iteration + 1
+                iter_step = 0
+                # decide loop exit *before* the iteration-end milestone
+                # so a resume from it agrees with the uninterrupted run
+                # about whether another iteration follows
+                post_loop = (converged
+                             or next_iteration >= cfg.max_iterations)
                 if persist is not None:
                     persist.phase(design.status, iteration=iteration,
                                   slack=slack)
                     persist.milestone(snapshot_extras, force=True,
                                       tag="iter-%d" % iteration)
-                if converged:
+                if post_loop:
                     break
 
         post_loop = True

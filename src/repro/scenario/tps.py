@@ -23,11 +23,15 @@ quarantined after repeated failures — the flow converges even when
 individual transforms crash or corrupt state.
 
 With a :class:`~repro.persist.FlowPersist` attached the run is also
-*durable*: every guarded invocation is journaled write-ahead, a full
-design snapshot lands on disk at every cut-status milestone, the
-partitioner and legalizer run under the snapshot-backed substrate
-guard, and a killed process can be resumed (``--resume``) from the
-last snapshot with bit-identical continuation.
+*durable*: every guarded invocation is journaled write-ahead, a
+design snapshot lands on disk at every transform boundary inside a
+cut level (step-granular milestones — a kill mid-level resumes at the
+last completed transform, not the level start), the partitioner and
+legalizer run under the snapshot-backed substrate guard, and a killed
+process can be resumed (``--resume``) from the last snapshot with
+bit-identical continuation.  In ``snapshot_mode="delta"`` those
+per-step snapshots are diffs against the previous one, so the many
+small steps between partitioner cuts cost little to persist.
 """
 
 from __future__ import annotations
@@ -216,10 +220,20 @@ class TPSScenario:
 
         linked = False
         status = 0
+        #: step-granular resume position within the current cut level:
+        #: 0 = partitioner pending, 1 = partitioner done, k+1 = the
+        #: first k post-partitioner steps done
+        level_step = 0
+        #: status before this level's partitioner ran — the schedule
+        #: windows are functions of (prev, status), so a mid-level
+        #: resume needs both to rebuild the identical step list
+        prev_status = 0
         if resume is not None:
             scen = resume["scenario"]
             status = scen["status"]
             linked = scen["linked"]
+            level_step = scen.get("level_step", 0)
+            prev_status = scen.get("prev_status", status)
             self.trace = list(scen["trace"])
             reflow.pass_count = scen["reflow_passes"]
             clock_scan.load_state_dict(resume["clock_scan"],
@@ -234,7 +248,8 @@ class TPSScenario:
                 for name in resume.get("quarantine", ()):
                     self.runner.force_quarantine(name)
             self._status = status
-            self._log(status, "resumed from on-disk snapshot")
+            self._log(status, "resumed from on-disk snapshot "
+                              "(status %d, step %d)" % (status, level_step))
 
         def snapshot_extras() -> dict:
             """Scenario + harness state stored beside the design in
@@ -243,6 +258,8 @@ class TPSScenario:
                 "scenario": {
                     "status": status,
                     "linked": linked,
+                    "level_step": level_step,
+                    "prev_status": prev_status,
                     "trace": list(self.trace),
                     "reflow_passes": reflow.pass_count,
                 },
@@ -288,32 +305,33 @@ class TPSScenario:
             if persist is not None:
                 persist.milestone(snapshot_extras, force=True,
                                   tag="init")
-        while status < 100:
-            prev = status
-            target = status + cfg.step
-            status = substrate("partitioner",
-                               lambda: partitioner.run_to(target))
-            self._status = status
-            if status == prev and partitioner.done:
-                break
-            self._log(status, "partitioner cut -> status %d" % status)
-            if cfg.use_reflow:
-                moved = self._guarded("reflow", reflow.run)
-                if moved is not None:
-                    self._log(status, "reflow moved %d" % moved)
-            if cfg.use_clock_scan_staging:
-                stages = self._guarded(
-                    "clock_scan",
-                    lambda: list(clock_scan.apply_for_status(design,
-                                                             status)))
-                for stage in stages or ():
-                    self._log(status, "clock/scan stage: %s" % stage)
-            if netweight is not None:
-                r = self._guarded("logical_effort_net_weight",
-                                  lambda: netweight.run(design))
-                if r is not None:
-                    self._log(status, "net weights refreshed")
-            if not linked and status >= cfg.link_status:
+        def do_reflow() -> None:
+            moved = self._guarded("reflow", reflow.run)
+            if moved is not None:
+                self._log(status, "reflow moved %d" % moved)
+
+        def do_clock_scan() -> None:
+            stages = self._guarded(
+                "clock_scan",
+                lambda: list(clock_scan.apply_for_status(design,
+                                                         status)))
+            for stage in stages or ():
+                self._log(status, "clock/scan stage: %s" % stage)
+
+        def do_net_weights() -> None:
+            r = self._guarded("logical_effort_net_weight",
+                              lambda: netweight.run(design))
+            if r is not None:
+                self._log(status, "net weights refreshed")
+
+        def do_discretize() -> None:
+            # the linked flag flips *inside* a level, so this step is
+            # always scheduled and branches internally — the step list
+            # stays identical however far a resume re-enters the level
+            nonlocal linked
+            if linked:
+                return
+            if status >= cfg.link_status:
                 res = self._guarded("discretize_and_link",
                                     lambda: sizing.link_cells(design))
                 if res is not None:
@@ -321,68 +339,130 @@ class TPSScenario:
                     self._log(status,
                               "discretized and linked (%d resized), "
                               "timing -> actual" % res.accepted)
-            elif not linked:
+            else:
                 res = self._guarded("discretize",
                                     lambda: sizing.discretize(design))
                 if res is not None:
                     self._log(status,
                               "virtual discretization (%d resized)"
                               % res.accepted)
-            if self._window(prev, status, 20, 30):
+
+        def do_size_area() -> None:
+            r = self._guarded(
+                "gate_sizing_for_area",
+                lambda: sizing.gate_sizing_for_area(design))
+            if r is not None:
+                self._log(status, "area recovery: %s" % r)
+
+        def do_size_speed() -> None:
+            r = self._guarded(
+                "gate_sizing_for_speed",
+                lambda: sizing.gate_sizing_for_speed(design))
+            if r is not None:
+                self._log(status, "speed sizing: %s" % r)
+
+        def do_electrical() -> None:
+            for _round in range(cfg.electrical_rounds):
+                accepted = 0
+                if cfg.use_migration:
+                    r = self._guarded("circuit_migration",
+                                      lambda: migration.run(design))
+                    if r is not None:
+                        accepted += r.accepted
+                        self._log(status, "migration: %s" % r)
+                if cfg.use_cloning:
+                    r = self._guarded("cloning",
+                                      lambda: cloning.run(design))
+                    if r is not None:
+                        accepted += r.accepted
+                        self._log(status, "cloning: %s" % r)
+                if cfg.use_buffering:
+                    r = self._guarded("buffer_insertion",
+                                      lambda: buffering.run(design))
+                    if r is not None:
+                        accepted += r.accepted
+                        self._log(status, "buffering: %s" % r)
+                if accepted == 0 or design.timing.worst_slack() >= 0:
+                    break
+
+        def do_pinswap() -> None:
+            r = self._guarded("pin_swapping",
+                              lambda: pinswap.run(design))
+            if r is not None:
+                self._log(status, "pin swapping: %s" % r)
+
+        def do_late_area() -> None:
+            for _ in range(5):  # recover until dry
                 r = self._guarded(
                     "gate_sizing_for_area",
-                    lambda: sizing.gate_sizing_for_area(design))
-                if r is not None:
-                    self._log(status, "area recovery: %s" % r)
-            if status > 30:
-                r = self._guarded(
-                    "gate_sizing_for_speed",
-                    lambda: sizing.gate_sizing_for_speed(design))
-                if r is not None:
-                    self._log(status, "speed sizing: %s" % r)
-            if self._window(prev, status, *cfg.electrical_window):
-                for round_no in range(cfg.electrical_rounds):
-                    accepted = 0
-                    if cfg.use_migration:
-                        r = self._guarded(
-                            "circuit_migration",
-                            lambda: migration.run(design))
-                        if r is not None:
-                            accepted += r.accepted
-                            self._log(status, "migration: %s" % r)
-                    if cfg.use_cloning:
-                        r = self._guarded("cloning",
-                                          lambda: cloning.run(design))
-                        if r is not None:
-                            accepted += r.accepted
-                            self._log(status, "cloning: %s" % r)
-                    if cfg.use_buffering:
-                        r = self._guarded(
-                            "buffer_insertion",
-                            lambda: buffering.run(design))
-                        if r is not None:
-                            accepted += r.accepted
-                            self._log(status, "buffering: %s" % r)
-                    if accepted == 0 or design.timing.worst_slack() >= 0:
-                        break
-            if status > 50 and cfg.use_pin_swapping:
-                r = self._guarded("pin_swapping",
-                                  lambda: pinswap.run(design))
-                if r is not None:
-                    self._log(status, "pin swapping: %s" % r)
-            if status > 80:
-                for _ in range(5):  # recover until dry
-                    r = self._guarded(
-                        "gate_sizing_for_area",
-                        lambda: sizing.gate_sizing_for_area(
-                            design, max_cells=2000))
-                    if r is None:
-                        break
-                    self._log(status, "late area recovery: %s" % r)
-                    if r.accepted == 0:
-                        break
+                    lambda: sizing.gate_sizing_for_area(
+                        design, max_cells=2000))
+                if r is None:
+                    break
+                self._log(status, "late area recovery: %s" % r)
+                if r.accepted == 0:
+                    break
+
+        def level_steps(prev: int, now: int) -> list:
+            """The post-partitioner schedule of one cut level.
+
+            Deterministic in ``(prev, now)`` and the config alone, so a
+            mid-level resume rebuilds the identical list from the
+            snapshot's ``prev_status``/``status`` and re-enters at the
+            recorded ``level_step``.
+            """
+            steps = []
+            if cfg.use_reflow:
+                steps.append(("reflow", do_reflow))
+            if cfg.use_clock_scan_staging:
+                steps.append(("clock_scan", do_clock_scan))
+            if netweight is not None:
+                steps.append(("net_weights", do_net_weights))
+            steps.append(("discretize", do_discretize))
+            if self._window(prev, now, 20, 30):
+                steps.append(("size_area", do_size_area))
+            if now > 30:
+                steps.append(("size_speed", do_size_speed))
+            if self._window(prev, now, *cfg.electrical_window):
+                steps.append(("electrical", do_electrical))
+            if now > 50 and cfg.use_pin_swapping:
+                steps.append(("pinswap", do_pinswap))
+            if now > 80:
+                steps.append(("late_area", do_late_area))
+            return steps
+
+        # the guard admits an unfinished level too: the last cut can
+        # reach status 100 and still owe its post-partitioner steps, so
+        # a mid-level resume (level_step != 0) must re-enter the body
+        while status < 100 or level_step != 0:
+            if level_step == 0:
+                prev_status = status
+                target = status + cfg.step
+                status = substrate("partitioner",
+                                   lambda: partitioner.run_to(target))
+                self._status = status
+                if status == prev_status and partitioner.done:
+                    break
+                self._log(status,
+                          "partitioner cut -> status %d" % status)
+                level_step = 1
+                if persist is not None:
+                    persist.milestone(
+                        snapshot_extras, force=True,
+                        tag="level-%03d-partitioner" % status)
+            steps = level_steps(prev_status, status)
+            for index in range(level_step - 1, len(steps)):
+                name, step = steps[index]
+                step()
+                level_step = index + 2
+                if persist is not None:
+                    persist.milestone(snapshot_extras, force=True,
+                                      tag="level-%03d-%s"
+                                      % (status, name))
+            level_step = 0
             if persist is not None:
-                persist.phase(status)
+                persist.phase(status,
+                              worst_slack=design.timing.worst_slack())
                 persist.milestone(snapshot_extras)
 
         self._status = 100

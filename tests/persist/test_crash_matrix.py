@@ -1,0 +1,269 @@
+"""The crash-matrix differential harness.
+
+For each flow (TPS, SPR) and each snapshot mode (full, delta), one
+uninterrupted reference run fixes the expected ``report.json`` fields
+and final state signature.  The matrix then proves that a process
+death at *any* milestone snapshot — for TPS that is every in-level
+transform boundary, for SPR every mid-iteration boundary — resumes to
+a run that matches the reference field-by-field, including the final
+state signature:
+
+* ``test_kill_chain_covers_every_milestone`` kills the same run over
+  and over — die at the first milestone, resume with a kill at the
+  next, repeat — so every milestone in the schedule is a process
+  death exactly once, at O(one run) total cost instead of O(n) runs.
+* ``test_kill_matrix_spot_checks`` re-verifies a spread sample of
+  kill points with independent fresh kill-and-resume pairs, comparing
+  each resumed report field-by-field.
+* ``test_des_presets_delta_resume_matches_full`` closes the tentpole
+  acceptance bar across all five DES presets: a delta-chain resume is
+  bit-identical to an uninterrupted full-snapshot run.
+
+Killed runs additionally enable journal compaction and short delta
+chains, so the matrix also proves that resume works from a compacted
+journal and from any point of a delta chain (base, mid-chain, chain
+roll-over).  The cross-mode test covers the same bar on the matrix
+design: a delta-chain run is bit-identical to a full-snapshot run.
+"""
+
+import pytest
+
+from repro.guard import DesignCheckpoint
+from repro.persist import (
+    DIE_EXIT_CODE,
+    Journal,
+    PersistConfig,
+    RunDir,
+    scan_resume,
+)
+from repro.scenario import SPRConfig, TPSConfig
+from repro.scenario.report import report_state
+from repro.workloads.presets import DES_PRESETS, build_des_design
+
+from tests.guard.conftest import build_design
+from tests.persist.test_resume import fresh_run, resume_run
+
+MODES = ("full", "delta")
+FLOWS = ("TPS", "SPR")
+
+
+def _design(library):
+    # small on purpose: every milestone in the schedule becomes a kill
+    # point, so per-run cost multiplies by the milestone count
+    return build_design(library, gates=30, regs=4)
+
+
+def _config(flow):
+    return (TPSConfig(seed=1) if flow == "TPS"
+            else SPRConfig(seed=1, max_iterations=2))
+
+
+def _pconfig(mode, die_at_snapshot=None, compact_every=0):
+    return PersistConfig(snapshot_every=20, snapshot_mode=mode,
+                         full_every=4, compact_every=compact_every,
+                         die_at_snapshot=die_at_snapshot)
+
+
+@pytest.fixture(scope="module")
+def references(library, tmp_path_factory):
+    """Uninterrupted reference runs per (flow, mode).
+
+    Each entry carries the comparison targets plus the number of
+    milestone kill points (journaled milestone snapshots + deduped
+    milestones, i.e. every point ``--die-at-snapshot`` can hit).
+    """
+    refs = {}
+    for flow in FLOWS:
+        for mode in MODES:
+            path = tmp_path_factory.mktemp("ref-%s-%s" % (flow, mode))
+            design, scenario = fresh_run(
+                path, library, flow=flow, config=_config(flow),
+                pconfig=_pconfig(mode), design=_design(library))
+            report = scenario.run()
+            journal = Journal.open(
+                RunDir.open(str(path)).journal_path)
+            written = [r for r in journal if r["type"] == "snapshot"
+                       and r.get("milestone")]
+            stats = scenario.persist.stats
+            refs[flow, mode] = {
+                "report": report_state(report),
+                "signature": DesignCheckpoint.state_signature(design),
+                "kill_points": len(written) + stats["deduped"],
+                "stats": dict(stats),
+            }
+    return refs
+
+
+class TestCrossMode:
+    """Delta mode must not change what the flow computes at all."""
+
+    @pytest.mark.parametrize("flow", FLOWS)
+    def test_delta_run_matches_full_run(self, references, flow):
+        full = references[flow, "full"]
+        delta = references[flow, "delta"]
+        assert delta["report"] == full["report"]
+        assert delta["signature"] == full["signature"]
+
+    @pytest.mark.parametrize("flow", FLOWS)
+    def test_delta_mode_actually_wrote_deltas(self, references, flow):
+        stats = references[flow, "delta"]["stats"]
+        assert stats["delta_snapshots"] > 0
+        assert references[flow, "full"]["stats"]["delta_snapshots"] == 0
+
+
+def chain_run(path, library, flow, mode, compact_every=6):
+    """Kill one run at every milestone it has, resuming in between.
+
+    The run dies at its first milestone; each resume re-arms
+    ``die_at_snapshot`` for the next milestone, so every milestone in
+    the schedule is a process death exactly once — at O(one run) total
+    flow work.  When the resume point has not advanced — tracked by
+    its snapshot *tag*, i.e. its position in the schedule, because a
+    re-entered milestone may legitimately rewrite a fresh file (the
+    trace gained a "resumed" line) or dedupe into no file at all —
+    the kill is pushed one milestone further instead of replaying
+    into the same death forever.
+
+    Returns ``(design, report, deaths)`` once a leg runs to
+    completion.
+    """
+    _, scenario = fresh_run(
+        path, library, flow=flow, config=_config(flow),
+        pconfig=_pconfig(mode, die_at_snapshot=1,
+                         compact_every=compact_every),
+        design=_design(library))
+    with pytest.raises(SystemExit) as death:
+        scenario.run()
+    assert death.value.code == DIE_EXIT_CODE
+    deaths = 1
+    die_at = 1
+    prev_tag = None
+    while deaths <= 400:  # far above any milestone count
+        journal = Journal.open(RunDir.open(str(path)).journal_path)
+        record = scan_resume(journal)["snapshot"]
+        if record.get("tag") == prev_tag:
+            die_at += 1  # last death re-hit the same schedule point
+        else:
+            die_at = 1
+        prev_tag = record.get("tag")
+        try:
+            design, report = resume_run(path, library,
+                                        die_at_snapshot=die_at)
+            return design, report, deaths
+        except SystemExit as death:
+            assert death.code == DIE_EXIT_CODE
+            deaths += 1
+    pytest.fail("kill chain never completed after %d deaths" % deaths)
+
+
+@pytest.mark.parametrize("flow", FLOWS)
+@pytest.mark.parametrize("mode", MODES)
+def test_kill_chain_covers_every_milestone(references, library,
+                                           tmp_path, flow, mode):
+    """Die at every milestone of one run; the survivor must match."""
+    ref = references[flow, mode]
+    design, report, deaths = chain_run(tmp_path / "chain", library,
+                                       flow, mode)
+    where = "%s/%s after %d deaths" % (flow, mode, deaths)
+    # the chain dies once per milestone, so it can only fall short of
+    # the reference count if milestones vanished from the schedule
+    assert deaths >= ref["kill_points"], where
+    assert report_state(report) == ref["report"], where
+    assert (DesignCheckpoint.state_signature(design)
+            == ref["signature"]), where
+    journal = Journal.open(
+        RunDir.open(str(tmp_path / "chain")).journal_path)
+    assert scan_resume(journal)["completed"], where
+
+
+def _spread(count):
+    """A handful of kill points spread across the schedule."""
+    picks = {1, 2, count // 3, count // 2, (2 * count) // 3,
+             count - 1, count}
+    return sorted(k for k in picks if 1 <= k <= count)
+
+
+@pytest.mark.parametrize("flow", FLOWS)
+@pytest.mark.parametrize("mode", MODES)
+def test_kill_matrix_spot_checks(references, library, tmp_path,
+                                 flow, mode):
+    """Independent fresh kill-and-resume pairs at sampled kill points.
+
+    The chain test covers every milestone; these pairs re-verify a
+    spread sample where each kill starts from a pristine process, so
+    a chain-leg artefact cannot mask a resume bug (and vice versa).
+    """
+    ref = references[flow, mode]
+    assert ref["kill_points"] >= (30 if flow == "TPS" else 10)
+    for kill in _spread(ref["kill_points"]):
+        path = tmp_path / ("kill-%02d" % kill)
+        _, scenario = fresh_run(
+            path, library, flow=flow, config=_config(flow),
+            pconfig=_pconfig(mode, die_at_snapshot=kill,
+                             compact_every=6),
+            design=_design(library))
+        with pytest.raises(SystemExit) as death:
+            scenario.run()
+        assert death.value.code == DIE_EXIT_CODE, "kill point %d" % kill
+        design, report = resume_run(path, library)
+        where = "%s/%s kill point %d" % (flow, mode, kill)
+        assert report_state(report) == ref["report"], where
+        assert (DesignCheckpoint.state_signature(design)
+                == ref["signature"]), where
+        journal = Journal.open(RunDir.open(str(path)).journal_path)
+        assert scan_resume(journal)["completed"], where
+
+
+@pytest.mark.parametrize("preset", sorted(DES_PRESETS))
+def test_des_presets_delta_resume_matches_full(library, tmp_path,
+                                               preset):
+    """Tentpole acceptance bar, per DES preset: a delta-mode TPS run
+    killed mid-chain and resumed is bit-identical to an uninterrupted
+    full-snapshot run — same report fields, same state signature."""
+    scale = 0.05
+    design_full = build_des_design(preset, library, scale=scale)
+    _, scenario = fresh_run(
+        tmp_path / "full", library, config=TPSConfig(seed=1),
+        pconfig=_pconfig("full"), design=design_full)
+    report_full = scenario.run()
+
+    design_killed = build_des_design(preset, library, scale=scale)
+    _, scenario = fresh_run(
+        tmp_path / "delta", library, config=TPSConfig(seed=1),
+        # kill point 11 sits mid-chain with full_every=4, so the
+        # restore walks delta links back to a full root
+        pconfig=_pconfig("delta", die_at_snapshot=11, compact_every=5),
+        design=design_killed)
+    with pytest.raises(SystemExit) as death:
+        scenario.run()
+    assert death.value.code == DIE_EXIT_CODE
+    design_delta, report_delta = resume_run(tmp_path / "delta", library)
+    assert report_state(report_delta) == report_state(report_full)
+    assert (DesignCheckpoint.state_signature(design_delta)
+            == DesignCheckpoint.state_signature(design_full))
+
+
+def test_compaction_bounds_the_journal(references, library, tmp_path):
+    """With compaction on, records before the chain base are folded
+    into a ``compacted`` head record and their snapshot files pruned;
+    the run still completes and matches the uncompacted reference."""
+    import os
+
+    ref = references["TPS", "delta"]
+    path = tmp_path / "compacted"
+    design, scenario = fresh_run(
+        path, library, flow="TPS", config=_config("TPS"),
+        pconfig=_pconfig("delta", compact_every=4),
+        design=_design(library))
+    report = scenario.run()
+    assert report_state(report) == ref["report"]
+    assert scenario.persist.stats["compactions"] >= 1
+    journal = Journal.open(RunDir.open(str(path)).journal_path)
+    head = journal.records[0]
+    assert head["type"] == "compacted"
+    assert head["dropped"] > 0
+    # every snapshot file on disk is referenced by a surviving record
+    referenced = {r["file"] for r in journal if r["type"] == "snapshot"}
+    on_disk = {f for f in os.listdir(str(path / "snapshots"))
+               if not f.endswith(".tmp")}
+    assert on_disk == referenced

@@ -1,0 +1,210 @@
+"""Unit coverage of the delta-snapshot algebra and chain verification.
+
+The crash matrix proves delta chains end-to-end; these tests pin the
+diff/apply node semantics directly — partial keyed records, order
+reconstruction, ``$full`` replacement, appends — and the two signature
+checks that keep a corrupt or mismatched chain from restoring silently
+wrong state.
+"""
+
+import copy
+
+import pytest
+
+from repro.guard import payload_signature, state_signature
+from repro.persist import (
+    DELTA_FORMAT,
+    SnapshotError,
+    apply_delta,
+    design_state,
+    make_delta,
+    read_delta,
+    write_delta,
+)
+from repro.persist.delta import _apply_value, _diff_value, _UNCHANGED
+
+from tests.guard.conftest import build_design
+
+
+def _roundtrip(base, new):
+    node = _diff_value(base, new)
+    if node is _UNCHANGED:
+        assert base == new
+        return base
+    return _apply_value(base, node)
+
+
+class TestDiffApplyAlgebra:
+    def test_identical_values_are_unchanged(self):
+        assert _diff_value({"a": 1}, {"a": 1}) is _UNCHANGED
+        assert _diff_value([1, 2], [1, 2]) is _UNCHANGED
+
+    def test_type_change_is_a_set(self):
+        # bool vs int compare equal in Python; the diff must not
+        # collapse them or a restored payload would change types
+        node = _diff_value(True, 1)
+        assert node == {"$set": 1}
+
+    def test_scalar_replace(self):
+        assert _roundtrip({"x": 1}, {"x": 2}) == {"x": 2}
+
+    def test_dict_add_and_drop(self):
+        base = {"keep": 1, "drop": 2}
+        new = {"keep": 1, "added": 3}
+        assert _roundtrip(base, new) == new
+
+    def test_nested_dict_recursion(self):
+        base = {"outer": {"a": 1, "b": 2}, "same": [1]}
+        new = {"outer": {"a": 9, "b": 2}, "same": [1]}
+        node = _diff_value(base, new)
+        # the unchanged sibling must not appear in the delta
+        assert "same" not in node["$dict"]["set"]
+        assert _apply_value(base, node) == new
+
+    def test_list_append(self):
+        base = {"trace": ["a", "b"]}
+        new = {"trace": ["a", "b", "c", "d"]}
+        node = _diff_value(base, new)
+        assert node["$dict"]["set"]["trace"] == {"$append": ["c", "d"]}
+        assert _apply_value(base, node) == new
+
+    def test_list_rewrite_falls_back_to_set(self):
+        base = [1, 2, 3]
+        new = [3, 2, 1]
+        assert _diff_value(base, new) == {"$set": new}
+
+
+def _cells(*names, **overrides):
+    records = []
+    for name in names:
+        rec = {"name": name, "type": "NAND2", "x": 1.0,
+               "position": [0, 0], "fixed": False, "gain": 1.0,
+               "tags": []}
+        rec.update(overrides.get(name, {}))
+        records.append(rec)
+    return records
+
+
+class TestKeyedRecordLists:
+    def test_partial_upsert_carries_only_changed_fields(self):
+        base = _cells("a", "b", "c")
+        new = copy.deepcopy(base)
+        new[1]["position"] = [5, 7]
+        node = _diff_value(base, new)
+        keyed = node["$keyed"]
+        assert keyed["drop"] == []
+        assert keyed["upsert"] == [{"name": "b", "position": [5, 7]}]
+        assert _apply_value(base, node) == new
+
+    def test_insert_and_drop(self):
+        base = _cells("a", "b")
+        new = _cells("a", "d")
+        result = _roundtrip(base, new)
+        assert result == new
+
+    def test_order_preserved_without_explicit_order(self):
+        base = _cells("a", "b", "c")
+        new = copy.deepcopy(base)[0:1] + copy.deepcopy(base)[2:]
+        new.append(_cells("z")[0])  # drop b, append z
+        node = _diff_value(base, new)
+        assert "order" not in node["$keyed"]
+        assert _apply_value(base, node) == new
+
+    def test_reorder_emits_explicit_order(self):
+        base = _cells("a", "b", "c")
+        new = [copy.deepcopy(base)[i] for i in (2, 0, 1)]
+        node = _diff_value(base, new)
+        assert node["$keyed"]["order"] == ["c", "a", "b"]
+        assert _apply_value(base, node) == new
+
+    def test_removed_field_forces_full_record(self):
+        base = _cells("a")
+        base[0]["port"] = "in"
+        new = _cells("a")  # the "port" key vanished: merge can't drop it
+        node = _diff_value(base, new)
+        assert node["$keyed"]["upsert"][0]["$full"] is True
+        result = _apply_value(base, node)
+        assert result == new
+        assert "$full" not in result[0]
+
+    def test_duplicate_names_disable_keyed_diff(self):
+        dup = _cells("a") + _cells("a")
+        node = _diff_value(dup, _cells("a", "b"))
+        assert "$set" in node
+
+
+class TestDesignDeltas:
+    def test_design_payload_roundtrip(self, library):
+        design = build_design(library, gates=30, regs=4)
+        base = design_state(design, {"phase": 1})
+        # dirty a little of everything a transform can touch
+        cell = next(iter(design.netlist.logic_cells()))
+        design.netlist.move_cell(cell, None)
+        design.status = 40
+        design.rng.random()
+        new = design_state(design, {"phase": 2, "trace": ["x"]})
+        doc = make_delta(base, new)
+        assert doc["format"] == DELTA_FORMAT
+        restored = apply_delta(base, doc)
+        assert restored == new
+
+    def test_payload_signature_matches_live_signature(self, library):
+        design = build_design(library, gates=30, regs=4)
+        payload = design_state(design)
+        assert payload_signature(payload["design"]) \
+            == state_signature(design)
+
+    def test_base_signature_mismatch_raises(self, library):
+        design = build_design(library, gates=30, regs=4)
+        base = design_state(design)
+        design.status = 10
+        new = design_state(design)
+        doc = make_delta(base, new)
+        wrong = dict(base)
+        wrong["signature"] = "0" * 64
+        with pytest.raises(SnapshotError):
+            apply_delta(wrong, doc)
+
+    def test_tampered_result_signature_raises(self, library):
+        design = build_design(library, gates=30, regs=4)
+        base = design_state(design)
+        design.status = 10
+        new = design_state(design)
+        doc = make_delta(base, new)
+        doc["signature"] = "f" * 64
+        with pytest.raises(SnapshotError):
+            apply_delta(base, doc)
+
+    def test_unchanged_design_yields_null_delta(self, library):
+        design = build_design(library, gates=30, regs=4)
+        payload = design_state(design, {"k": 1})
+        doc = make_delta(payload, payload)
+        assert doc["delta"] is None
+        assert apply_delta(payload, doc) == payload
+
+
+class TestDeltaFiles:
+    def test_write_read_roundtrip(self, library, tmp_path):
+        design = build_design(library, gates=30, regs=4)
+        base = design_state(design)
+        design.status = 30
+        doc = make_delta(base, design_state(design))
+        path = str(tmp_path / "0001-x.delta.gz")
+        write_delta(path, doc)
+        assert read_delta(path) == doc
+
+    def test_garbage_file_raises(self, tmp_path):
+        path = str(tmp_path / "bad.delta.gz")
+        with open(path, "wb") as stream:
+            stream.write(b"not gzip at all")
+        with pytest.raises(SnapshotError):
+            read_delta(path)
+
+    def test_full_snapshot_is_not_a_delta(self, library, tmp_path):
+        from repro.persist import write_snapshot
+
+        design = build_design(library, gates=30, regs=4)
+        path = str(tmp_path / "full.snap.gz")
+        write_snapshot(path, design)
+        with pytest.raises(SnapshotError):
+            read_delta(path)

@@ -1,0 +1,118 @@
+"""Unit tests for previously untested PR 2 surface.
+
+Three corners the resume tests exercised only implicitly:
+``TimingEngine.invalidate_all`` (the snapshot staleness barrier),
+quarantine-strike persistence across process boundaries, and the
+``--die-at-status`` contract when the target status is never reached.
+"""
+
+import pytest
+
+from repro.persist import (
+    DIE_EXIT_CODE,
+    Journal,
+    PersistConfig,
+    RunDir,
+    scan_resume,
+)
+
+from tests.guard.conftest import build_design
+from tests.persist.test_resume import fresh_run
+
+
+class TestInvalidateAll:
+    def test_discards_cached_timing(self, library):
+        """An out-of-band change (no netlist event) stays invisible to
+        cached queries until invalidate_all forces a full re-time —
+        exactly the staleness the snapshot barrier exists to flush."""
+        design = build_design(library, gates=30, regs=4)
+        before = design.timing.worst_slack()
+        design.timing.default_gain *= 2  # plain attribute: no event
+        assert design.timing.worst_slack() == before  # stale cache
+        design.timing.invalidate_all()
+        assert design.timing.worst_slack() != before
+
+    def test_idempotent_when_nothing_changed(self, library):
+        design = build_design(library, gates=30, regs=4)
+        before = design.timing.worst_slack()
+        design.timing.invalidate_all()
+        assert design.timing.worst_slack() == before
+        design.timing.invalidate_all()
+        design.timing.invalidate_all()
+        assert design.timing.worst_slack() == before
+
+
+class TestQuarantineStrikePersistence:
+    def test_strikes_accumulate_across_processes(self, tmp_path):
+        """Each process death with a transform in flight adds one
+        strike on disk; the threshold crossing quarantines it for
+        every later process."""
+        rundir = RunDir.create(str(tmp_path), {"flow": "TPS"})
+        assert rundir.note_crashes(["buffer_insertion"], 2) == []
+        # "new process": reopen from disk, strike again
+        reopened = RunDir.open(str(tmp_path))
+        assert reopened.note_crashes(["buffer_insertion"], 2) \
+            == ["buffer_insertion"]
+        state = RunDir.open(str(tmp_path)).load_quarantine()
+        assert state["strikes"]["buffer_insertion"] == 2
+        assert state["quarantined"] == ["buffer_insertion"]
+
+    def test_quarantine_survives_unrelated_strikes(self, tmp_path):
+        rundir = RunDir.create(str(tmp_path), {"flow": "TPS"})
+        rundir.note_crashes(["pin_swapping"], 1)
+        after = RunDir.open(str(tmp_path)).note_crashes(
+            ["clock_scan"], 99)
+        assert after == ["pin_swapping"]  # earlier quarantine kept
+
+    def test_missing_file_means_clean_slate(self, tmp_path):
+        rundir = RunDir.create(str(tmp_path), {"flow": "TPS"})
+        assert rundir.load_quarantine() \
+            == {"strikes": {}, "quarantined": []}
+
+
+class TestDieAtStatusNeverReached:
+    def test_run_completes_when_target_is_past_final_status(
+            self, library, tmp_path):
+        """--die-at-status past every milestone must not kill the run:
+        it completes, writes its report, and would exit 0 — the exit-17
+        path is reserved for an actual simulated death."""
+        design, scenario = fresh_run(
+            tmp_path, library,
+            design=build_design(library, gates=30, regs=4),
+            pconfig=PersistConfig(snapshot_every=50,
+                                  die_at_status=500))
+        report = scenario.run()  # must NOT raise SystemExit
+        assert report.run_dir == str(tmp_path)
+        rundir = RunDir.open(str(tmp_path))
+        stored = rundir.read_report()
+        assert stored is not None
+        assert stored["state_signature"]
+        journal = Journal.open(rundir.journal_path)
+        assert scan_resume(journal)["completed"]
+
+    def test_reached_target_still_dies(self, library, tmp_path):
+        """Control: the same setup with a reachable target does die
+        with the documented exit code."""
+        _, scenario = fresh_run(
+            tmp_path, library,
+            design=build_design(library, gates=30, regs=4),
+            pconfig=PersistConfig(snapshot_every=50,
+                                  die_at_status=50))
+        with pytest.raises(SystemExit) as death:
+            scenario.run()
+        assert death.value.code == DIE_EXIT_CODE
+
+    def test_cli_exit_code_contract(self, library, tmp_path):
+        """The CLI surfaces completion as exit 0 even with an
+        unreachable --die-at-status, and 17 only on a real death."""
+        from repro.__main__ import main
+
+        completed = main(["tps", "Des1", "--scale", "0.05",
+                          "--run-dir", str(tmp_path / "done"),
+                          "--die-at-status", "999"])
+        assert completed == 0
+        with pytest.raises(SystemExit) as death:
+            main(["tps", "Des1", "--scale", "0.05",
+                  "--run-dir", str(tmp_path / "dead"),
+                  "--die-at-status", "0"])
+        assert death.value.code == DIE_EXIT_CODE

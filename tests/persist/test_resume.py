@@ -20,7 +20,7 @@ from repro.persist import (
     Journal,
     PersistConfig,
     RunDir,
-    read_snapshot,
+    load_snapshot_payload,
     rebuild_design,
     scan_resume,
 )
@@ -35,13 +35,15 @@ def small_design(library):
 
 
 def fresh_run(path, library, flow="TPS", die_at=None, injector=None,
-              config=None):
+              config=None, pconfig=None, design=None):
     """A persisted scenario over a newly created run directory."""
-    design = small_design(library)
+    if design is None:
+        design = small_design(library)
     if config is None:
         config = (TPSConfig(seed=1) if flow == "TPS"
                   else SPRConfig(seed=1))
-    pconfig = PersistConfig(snapshot_every=10, die_at_status=die_at)
+    if pconfig is None:
+        pconfig = PersistConfig(snapshot_every=10, die_at_status=die_at)
     meta = {"flow": flow, "config": config.to_state(),
             "persist": pconfig.to_state()}
     rundir = RunDir.create(str(path), meta)
@@ -52,7 +54,7 @@ def fresh_run(path, library, flow="TPS", die_at=None, injector=None,
                        persist=persist)
 
 
-def resume_run(path, library, injector=None):
+def resume_run(path, library, injector=None, die_at_snapshot=None):
     """Rebuild everything from disk, as a fresh process would."""
     rundir = RunDir.open(str(path))
     journal = Journal.open(rundir.journal_path)
@@ -60,15 +62,15 @@ def resume_run(path, library, injector=None):
     assert not state["completed"]
     record = state["snapshot"]
     assert record is not None, "no snapshot to resume from"
-    payload = read_snapshot(rundir.snapshot_path(
-        record["file"][:-len(".snap.gz")]))
+    payload = load_snapshot_payload(rundir, record)
     design = rebuild_design(payload, library)
     pconfig = PersistConfig.from_state(rundir.meta["persist"])
+    pconfig.die_at_snapshot = die_at_snapshot
     quarantined = rundir.note_crashes(state["in_flight"],
                                       pconfig.crash_quarantine_after)
     persist = FlowPersist(rundir, journal, pconfig, design,
                           resumed=True)
-    persist.seed_snapshot(record, record["status"])
+    persist.seed_snapshot(record, record["status"], payload=payload)
     persist.note_resumed(record["seq"], record["status"],
                          state["in_flight"])
     resume_state = dict(payload.get("extras", {}))

@@ -1,0 +1,115 @@
+"""Serialization round-trip property test across the workload presets.
+
+netlist -> snapshot payload -> netlist must be exact for every Des
+preset — including the *unmapped* form straight out of the generator
+(gain-mode, no placement, synthesized port sizes) — and must stay
+exact under seeded random mutation of everything a transform can
+touch.  Exactness is asserted three ways: state-signature equality,
+structural equality of the serialized states (cells/nets/ports in
+order), and pin-membership spot checks on the rebuilt netlist.
+"""
+
+import random
+
+import pytest
+
+from repro.geometry import Point
+from repro.guard import state_signature
+from repro.persist import design_state, rebuild_design
+from repro.workloads.presets import DES_PRESETS, build_des_design
+
+#: keep the biggest preset to a few hundred cells — five presets
+#: round-trip per test run
+SCALE = 0.1
+
+PRESETS = sorted(DES_PRESETS)
+
+
+def _roundtrip(design, library):
+    payload = design_state(design, {"probe": True})
+    rebuilt = rebuild_design(payload, library)
+    return payload, rebuilt
+
+
+def _assert_equal(design, rebuilt, library):
+    from repro.netlist.serialize import netlist_to_state, netlists_equal
+
+    assert state_signature(rebuilt) == state_signature(design)
+    assert netlists_equal(design.netlist, rebuilt.netlist)
+    state_a = netlist_to_state(design.netlist)
+    state_b = netlist_to_state(rebuilt.netlist)
+    assert state_a == state_b  # cells, nets, ports, counter — in order
+    # ports rebuild through the port path, not the library ladder
+    ports_a = [(c.name, c.size.gate_type.name)
+               for c in design.netlist.ports()]
+    ports_b = [(c.name, c.size.gate_type.name)
+               for c in rebuilt.netlist.ports()]
+    assert ports_a == ports_b
+    # pin membership survives with order intact
+    for net in design.netlist.nets():
+        twin = rebuilt.netlist.net(net.name)
+        assert [p.full_name for p in twin.pins()] \
+            == [p.full_name for p in net.pins()]
+
+
+@pytest.mark.parametrize("preset", PRESETS)
+def test_unmapped_preset_roundtrip(preset, library):
+    """The generator's raw output: unplaced, gain-mode, undiscretized."""
+    design = build_des_design(preset, library, scale=SCALE)
+    assert any(c.position is None for c in design.netlist.cells())
+    _, rebuilt = _roundtrip(design, library)
+    _assert_equal(design, rebuilt, library)
+
+
+@pytest.mark.parametrize("preset", PRESETS)
+def test_mutated_preset_roundtrip(preset, library):
+    """Property flavor: a seeded storm of transform-like mutations
+    (moves, fixes, tags, gains, weights, clock/scan marks, resizes,
+    RNG draws) must round-trip exactly."""
+    design = build_des_design(preset, library, scale=SCALE)
+    rng = random.Random(DES_PRESETS[preset]["seed"])
+    cells = list(design.netlist.cells())
+    for cell in rng.sample(cells, min(40, len(cells))):
+        action = rng.randrange(4)
+        if action == 0:
+            design.netlist.move_cell(
+                cell, Point(rng.uniform(0, design.die.width),
+                            rng.uniform(0, design.die.height)))
+        elif action == 1:
+            cell.fixed = rng.random() < 0.5
+        elif action == 2:
+            cell.tags.add(rng.choice(("cts", "scan", "hold", "probe")))
+        else:
+            cell.gain = rng.uniform(1.0, 6.0)
+    nets = list(design.netlist.nets())
+    for net in rng.sample(nets, min(25, len(nets))):
+        net.weight = rng.uniform(0.5, 4.0)
+        if rng.random() < 0.2:
+            net.is_scan = True
+    design.status = rng.randrange(101)
+    design.rng.random()  # advance the design RNG off its seed state
+    _, rebuilt = _roundtrip(design, library)
+    _assert_equal(design, rebuilt, library)
+
+
+def test_discretized_and_placed_roundtrip(library):
+    """The mapped form: discretized against the library ladder, placed
+    and legalized — the state a mid-flow snapshot actually carries."""
+    from repro.placement import QuadraticPlacer, legalize_rows
+    from repro.timing import DelayMode
+    from repro.transforms.sizing import GateSizing
+
+    design = build_des_design("Des1", library, scale=SCALE)
+    sizing = GateSizing(default_gain=3.0)
+    sizing.assign_gains(design)
+    design.timing.set_mode(DelayMode.LOAD)
+    sizing.discretize(design)
+    QuadraticPlacer(design, seed=7).run()
+    legalize_rows(design)
+    assert all(c.position is not None for c in design.netlist.cells())
+    _, rebuilt = _roundtrip(design, library)
+    _assert_equal(design, rebuilt, library)
+    # the rebuilt design times identically (snapshot reload contract)
+    design.timing.invalidate_all()
+    assert rebuilt.timing.worst_slack() \
+        == pytest.approx(design.timing.worst_slack())
