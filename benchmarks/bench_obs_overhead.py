@@ -1,0 +1,79 @@
+"""Tracing overhead: spans must be near-free, and off must be free.
+
+``repro.obs`` wraps every transform/substrate invocation of a flow in
+a span that samples the design metrics (four analyzer queries) and the
+counter registry.  The flow itself makes those same queries constantly,
+so the incremental analyzers answer them from cache; the budget here
+is 2% wall-clock with tracing *off* (the ``if tracer is None`` guard
+is all that remains) and a recorded — not budgeted — figure with
+tracing on, published as ``BENCH_obs.json``.
+
+Tracing must also be observe-only: the traced and untraced runs must
+produce identical report metrics.
+"""
+
+import json
+import os
+
+from conftest import publish, stopwatch
+
+from repro import TPSScenario, Tracer, TraceWriter, make_design
+from repro.obs import read_trace
+from repro.scenario import TPSConfig
+from repro.scenario.report import report_state
+from repro.workloads import ProcessorParams, processor_partition
+
+_PARAMS = ProcessorParams(n_stages=2, regs_per_stage=10,
+                          gates_per_stage=150, seed=11)
+
+
+def run_once(library, tracer_for=None, trace_path=None):
+    netlist = processor_partition(_PARAMS, library)
+    design = make_design(netlist, library, cycle_time=1600.0,
+                         with_blockage=True)
+    tracer = None
+    if tracer_for == "memory":
+        tracer = Tracer(design)
+    elif tracer_for == "file":
+        tracer = Tracer(design, writer=TraceWriter(trace_path))
+    config = TPSConfig(seed=1)
+    with stopwatch() as sw:
+        report = TPSScenario(design, config, tracer=tracer).run()
+    return report, sw.seconds
+
+
+def test_obs_overhead(benchmark, library, tmp_path):
+    trace_path = str(tmp_path / "trace.jsonl")
+    results = benchmark.pedantic(
+        lambda: {
+            "off": run_once(library),
+            "memory": run_once(library, "memory"),
+            "file": run_once(library, "file", trace_path),
+        },
+        rounds=1, iterations=1)
+
+    plain, t_plain = results["off"]
+    memory, t_memory = results["memory"]
+    filed, t_file = results["file"]
+    records = read_trace(trace_path)
+
+    entry = {
+        "preset": "processor",
+        "icells": plain.icells,
+        "untraced_seconds": round(t_plain, 3),
+        "memory_traced_seconds": round(t_memory, 3),
+        "file_traced_seconds": round(t_file, 3),
+        "memory_overhead_pct": round(
+            100.0 * (t_memory - t_plain) / t_plain, 2),
+        "file_overhead_pct": round(
+            100.0 * (t_file - t_plain) / t_plain, 2),
+        "spans": len(records),
+        "trace_bytes": os.path.getsize(trace_path),
+    }
+    publish("BENCH_obs.json",
+            json.dumps(entry, indent=2, sort_keys=True) + "\n")
+
+    # observe-only: tracing must not steer the flow
+    assert report_state(memory) == report_state(plain)
+    assert report_state(filed) == report_state(plain)
+    assert len(memory.spans) == len(records)

@@ -26,7 +26,7 @@ def run_flows(library):
 def test_runtime_structure(benchmark, library):
     spr, tps = benchmark.pedantic(run_flows, args=(library,),
                                   rounds=1, iterations=1)
-    spr_passes = [l for l in spr.trace if "quadratic placement" in l]
+    spr_passes = [l for l in spr.trace_lines() if "quadratic placement" in l]
     lines = [
         "Runtime / convergence structure (Des2 at scale %g)" % BENCH_SCALE,
         "SPR: %d synthesis+placement iterations, %.1f s CPU"

@@ -34,14 +34,14 @@ def prepared_design(library, mode):
 
 def measure(library, mode):
     design, sizing = prepared_design(library, mode)
-    before = dict(design.timing.stats)
+    before = dict(design.timing.stats())
     with stopwatch() as sw:
         result = sizing.discretize(design)
         design.timing.worst_slack()  # force the engine to absorb the pass
     elapsed = sw.seconds
-    recomputes = (design.timing.stats["arrival_recomputes"]
+    recomputes = (design.timing.stats()["arrival_recomputes"]
                   - before["arrival_recomputes"])
-    changes = (design.timing.stats["arrival_changes"]
+    changes = (design.timing.stats()["arrival_changes"]
                - before["arrival_changes"])
     return {"resized": result.accepted, "recomputes": recomputes,
             "changes": changes, "seconds": elapsed}

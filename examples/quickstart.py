@@ -33,7 +33,7 @@ def main() -> None:
     print("  routable    : %s" % report.routable)
     print()
     print("last flow steps:")
-    for line in report.trace[-8:]:
+    for line in report.trace_lines()[-8:]:
         print("   ", line)
 
 

@@ -39,6 +39,7 @@ from repro.guard import (
 )
 from repro.library import Library, analyze_library, default_library
 from repro.netlist import Netlist
+from repro.obs import CutTimeline, Span, Tracer, TraceWriter, read_trace
 from repro.persist import FlowPersist, PersistConfig, RunDir
 from repro.scenario import FlowReport, SPRConfig, SPRFlow, TPSConfig, TPSScenario
 from repro.synth import Aig, MapperOptions, synthesize
@@ -67,6 +68,11 @@ __all__ = [
     "analyze_library",
     "default_library",
     "Netlist",
+    "CutTimeline",
+    "Span",
+    "Tracer",
+    "TraceWriter",
+    "read_trace",
     "FlowPersist",
     "PersistConfig",
     "RunDir",

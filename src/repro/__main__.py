@@ -7,6 +7,8 @@ Commands:
 * ``compare``  — run both flows on the same design (one Table 1 row)
 * ``synth``    — technology-map an ASCII AIGER (.aag) file to Verilog
 * ``info``     — print design statistics without running a flow
+* ``trace-export`` — convert a run's ``trace.jsonl`` span stream to
+  Chrome trace-event JSON (load in ``chrome://tracing`` / Perfetto)
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ from repro import (
 )
 from repro.guard import FaultInjector, GuardConfig
 from repro.netlist.verilog import read_verilog, write_placement, write_verilog
+from repro.obs import CutTimeline, Tracer, TraceWriter, read_trace, write_chrome_trace
 from repro.persist import (
     FlowPersist,
     Journal,
@@ -95,6 +98,39 @@ def _print_report(report) -> None:
     if report.run_dir:
         print("  run dir     %s%s"
               % (report.run_dir, " (resumed)" if report.resumed else ""))
+
+
+def _tracer_setup(args, design, persist):
+    """A Tracer from the --trace/--trace-file flags, or None.
+
+    Durable runs (``--run-dir``) need no explicit tracer: the scenario
+    streams spans to the run directory's ``trace.jsonl`` by itself.
+    ``--trace-file`` redirects the stream to a chosen path; a bare
+    ``--trace`` on a non-durable run records spans in memory only.
+    """
+    trace_file = getattr(args, "trace_file", None)
+    if trace_file:
+        resumed = persist.resumed if persist is not None else False
+        return Tracer(design,
+                      writer=TraceWriter(trace_file, resume=resumed))
+    if persist is not None:
+        return None  # scenario default: RUNDIR/trace.jsonl
+    if getattr(args, "trace", False):
+        return Tracer(design)
+    return None
+
+
+def _print_trace(args, report) -> None:
+    """The --trace tail of a flow command: events, then the Figure-5
+    style cut-status timeline aggregated from the run's spans."""
+    if not getattr(args, "trace", False):
+        return
+    for line in report.trace_lines():
+        print("   ", line)
+    if report.spans:
+        print()
+        for line in report.timeline().lines():
+            print("   ", line)
 
 
 def _guard_setup(args):
@@ -192,21 +228,20 @@ def _cmd_resume(args, expected_flow) -> int:
                 if chaos else None)
     resume_state = dict(payload.get("extras", {}))
     resume_state["quarantine"] = quarantined
+    tracer = _tracer_setup(args, design, persist)
     if flow == "TPS":
         scenario = TPSScenario(design,
                                config=TPSConfig.from_state(meta["config"]),
                                injector=injector, persist=persist,
-                               resume_state=resume_state)
+                               resume_state=resume_state, tracer=tracer)
     else:
         scenario = SPRFlow(design,
                            config=SPRConfig.from_state(meta["config"]),
                            injector=injector, persist=persist,
-                           resume_state=resume_state)
+                           resume_state=resume_state, tracer=tracer)
     report = scenario.run()
     _print_report(report)
-    if getattr(args, "trace", False):
-        for line in report.trace:
-            print("   ", line)
+    _print_trace(args, report)
     _write_outputs(design, args)
     return 0
 
@@ -220,16 +255,15 @@ def cmd_tps(args) -> int:
     config = TPSConfig(guard=guard)
     persist = _persist_create(args, "TPS", design, config, injector)
     scenario = TPSScenario(design, config=config, injector=injector,
-                           persist=persist)
+                           persist=persist,
+                           tracer=_tracer_setup(args, design, persist))
     report = scenario.run()
     _print_report(report)
     if injector is not None:
         fired = injector.fired()
         print("  chaos       %d faults fired: %s"
               % (len(fired), ", ".join(str(f) for f in fired) or "-"))
-    if args.trace:
-        for line in report.trace:
-            print("   ", line)
+    _print_trace(args, report)
     _write_outputs(design, args)
     return 0
 
@@ -243,9 +277,11 @@ def cmd_spr(args) -> int:
     config = SPRConfig(guard=guard)
     persist = _persist_create(args, "SPR", design, config, injector)
     flow = SPRFlow(design, config=config, injector=injector,
-                   persist=persist)
+                   persist=persist,
+                   tracer=_tracer_setup(args, design, persist))
     report = flow.run()
     _print_report(report)
+    _print_trace(args, report)
     _write_outputs(design, args)
     return 0
 
@@ -276,6 +312,28 @@ def cmd_synth(args) -> int:
     with open(args.out, "w") as stream:
         write_verilog(netlist, stream)
     print("wrote %s" % args.out)
+    return 0
+
+
+def cmd_trace_export(args) -> int:
+    """Convert a span stream to Chrome trace-event JSON."""
+    import os
+    source = args.source
+    if os.path.isdir(source):  # a run directory: use its trace.jsonl
+        source = RunDir.open(source).trace_path
+    if not os.path.exists(source):
+        print("no trace at %s" % source, file=sys.stderr)
+        return 1
+    records = read_trace(source)
+    if not records:
+        print("no valid span records in %s" % source, file=sys.stderr)
+        return 1
+    count = write_chrome_trace(records, args.out)
+    print("wrote %s: %d events from %d spans"
+          % (args.out, count, len(records)))
+    if args.timeline:
+        for line in CutTimeline.from_records(records).lines():
+            print("   ", line)
     return 0
 
 
@@ -319,6 +377,16 @@ def _add_design_args(parser) -> None:
     parser.add_argument("--chaos-rate", type=float, default=0.05,
                         help="per-invocation fault probability for "
                              "--chaos-seed (default 0.05)")
+
+
+def _add_trace_args(parser) -> None:
+    parser.add_argument("--trace", action="store_true",
+                        help="record per-transform spans and print the "
+                             "flow trace + cut-status timeline")
+    parser.add_argument("--trace-file", default=None,
+                        help="stream spans to this jsonl file "
+                             "(durable runs default to "
+                             "RUNDIR/trace.jsonl; implies recording)")
 
 
 def _add_persist_args(parser) -> None:
@@ -366,8 +434,7 @@ def main(argv=None) -> int:
     p = sub.add_parser("tps", help="run the TPS scenario")
     _add_design_args(p)
     _add_persist_args(p)
-    p.add_argument("--trace", action="store_true",
-                   help="print the flow trace")
+    _add_trace_args(p)
     p.add_argument("--out-verilog")
     p.add_argument("--out-placement")
     p.set_defaults(func=cmd_tps)
@@ -375,9 +442,20 @@ def main(argv=None) -> int:
     p = sub.add_parser("spr", help="run the SPR baseline")
     _add_design_args(p)
     _add_persist_args(p)
+    _add_trace_args(p)
     p.add_argument("--out-verilog")
     p.add_argument("--out-placement")
     p.set_defaults(func=cmd_spr)
+
+    p = sub.add_parser("trace-export",
+                       help="convert trace.jsonl to Chrome trace JSON")
+    p.add_argument("source",
+                   help="a trace.jsonl file or a run directory")
+    p.add_argument("-o", "--out", default="trace-chrome.json",
+                   help="output file (default trace-chrome.json)")
+    p.add_argument("--timeline", action="store_true",
+                   help="also print the cut-status timeline table")
+    p.set_defaults(func=cmd_trace_export)
 
     p = sub.add_parser("compare", help="SPR vs TPS on one design")
     _add_design_args(p)

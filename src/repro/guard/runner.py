@@ -171,6 +171,7 @@ class GuardedRunner:
         #: restore the design from the latest *on-disk* snapshot; set
         #: by persist-enabled scenarios to arm :meth:`call_substrate`
         self.disk_restore: Optional[Callable[[], None]] = None
+        self._checkpoints = 0
 
     # -- execution -----------------------------------------------------
 
@@ -232,6 +233,7 @@ class GuardedRunner:
         cfg = self.config
         guard_t0 = time.perf_counter()
         checkpoint = DesignCheckpoint(self.design)
+        self._checkpoints += 1
         health.guard_seconds += time.perf_counter() - guard_t0
 
         run_t0 = time.perf_counter()
@@ -402,6 +404,16 @@ class GuardedRunner:
     def guard_seconds(self) -> float:
         """Total wall-clock spent in the guard machinery itself."""
         return sum(h.guard_seconds for h in self.health.values())
+
+    def counters(self) -> Dict[str, int]:
+        """Guard activity for ``repro.obs``: in-memory checkpoints
+        taken, failures, rollbacks, quarantined transforms."""
+        return {
+            "checkpoints": self._checkpoints,
+            "failures": self.total_failures,
+            "rollbacks": self.total_rollbacks,
+            "quarantined": len(self.quarantined),
+        }
 
     def health_lines(self) -> List[str]:
         """One summary line per guarded transform, name-sorted."""

@@ -1,0 +1,35 @@
+"""Flow telemetry: spans, counters, timelines, Chrome export.
+
+The observability layer of the reproduction — see
+``docs/internals.md`` §8.  Everything here observes the flow without
+steering it: a run with tracing on computes bit-identical results to
+the same run with tracing off.
+"""
+
+from repro.obs.chrome import chrome_events, write_chrome_trace
+from repro.obs.timeline import CutTimeline, StatusRow
+from repro.obs.tracer import (
+    METRIC_KEYS,
+    CounterRegistry,
+    Span,
+    TraceWriter,
+    Tracer,
+    comparable,
+    design_metrics,
+    read_trace,
+)
+
+__all__ = [
+    "METRIC_KEYS",
+    "CounterRegistry",
+    "CutTimeline",
+    "Span",
+    "StatusRow",
+    "TraceWriter",
+    "Tracer",
+    "chrome_events",
+    "comparable",
+    "design_metrics",
+    "read_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,121 @@
+"""Cut-status timeline: the data behind the paper's Figure 5.
+
+Aggregates a span stream by cut status: for each status at which at
+least one span ran, how many invocations fired, how long they took,
+where the trajectory metrics stood before the first and after the last
+of them, and how much analyzer work (timer recomputes, Steiner
+rebuilds, guard rollbacks) they cost.  The result is the per-status
+table the TPS narrative describes — transforms interleaved with
+placement refinement as the cut status sweeps 0→100 — printable from
+the CLI with ``--trace``.
+
+Pure: operates on span record dicts (see :mod:`repro.obs.tracer`),
+never touches the design or the filesystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: counters surfaced as timeline columns (full registry stays in spans)
+COLUMN_COUNTERS = (
+    ("timing.arrival_recomputes", "arrivals"),
+    ("steiner.misses", "steiner"),
+    ("guard.rollbacks", "rollbacks"),
+)
+
+
+@dataclass
+class StatusRow:
+    """All spans that ran at one cut status, folded together."""
+
+    status: int
+    spans: int = 0
+    seconds: float = 0.0
+    failures: int = 0
+    before: Dict[str, float] = field(default_factory=dict)
+    after: Dict[str, float] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def fold(self, record: dict) -> None:
+        if not self.spans:
+            self.before = dict(record["before"])
+        self.after = dict(record["after"])
+        self.spans += 1
+        self.seconds += record["dt"]
+        if not record["ok"]:
+            self.failures += 1
+        for key, value in record["counters"].items():
+            self.counters[key] = self.counters.get(key, 0) + value
+
+
+@dataclass
+class CutTimeline:
+    """Per-status aggregation of one run's span stream."""
+
+    rows: List[StatusRow] = field(default_factory=list)
+    #: metrics after the outermost span — the FlowReport endpoint
+    final: Dict[str, float] = field(default_factory=dict)
+    total_spans: int = 0
+    total_seconds: float = 0.0
+
+    @classmethod
+    def from_records(cls, records: List[dict]) -> "CutTimeline":
+        """Aggregate span records (file order) into status rows.
+
+        Flow-level spans wrap the whole run, so they set ``final`` but
+        are excluded from the per-status rows; everything else folds
+        into the row of the status it ran at.  On a resumed run the
+        merged trace holds one flow span (only the finishing process
+        writes one) whose "after" is the run's true endpoint.
+        """
+        timeline = cls()
+        by_status: Dict[int, StatusRow] = {}
+        for record in records:
+            if record["kind"] == "flow":
+                timeline.final = dict(record["after"])
+                continue
+            timeline.total_spans += 1
+            timeline.total_seconds += record["dt"]
+            row = by_status.get(record["status"])
+            if row is None:
+                row = by_status[record["status"]] = StatusRow(
+                    status=record["status"])
+            row.fold(record)
+        timeline.rows = [by_status[s] for s in sorted(by_status)]
+        if not timeline.final and timeline.rows:
+            timeline.final = dict(timeline.rows[-1].after)
+        return timeline
+
+    def row(self, status: int) -> Optional[StatusRow]:
+        for candidate in self.rows:
+            if candidate.status == status:
+                return candidate
+        return None
+
+    def lines(self) -> List[str]:
+        """The Figure-5-style table, one line per cut status."""
+        header = ("status  spans      sec        wns     wirelen"
+                  "   cells   arrivals    steiner  rollbacks")
+        out = [header, "-" * len(header)]
+        for row in self.rows:
+            cells = ["%6d" % row.status,
+                     "%6d" % row.spans,
+                     "%8.3f" % row.seconds,
+                     "%10.3f" % row.after.get("wns", 0.0),
+                     "%11.1f" % row.after.get("wirelength", 0.0),
+                     "%7d" % int(row.after.get("cells", 0))]
+            for key, _ in COLUMN_COUNTERS:
+                cells.append("%10d" % row.counters.get(key, 0))
+            line = " ".join(cells)
+            if row.failures:
+                line += "  (%d failed)" % row.failures
+            out.append(line)
+        out.append("%6s %6d %8.3f   final wns %.3f  wirelen %.1f"
+                   "  cells %d" % (
+                       "total", self.total_spans, self.total_seconds,
+                       self.final.get("wns", 0.0),
+                       self.final.get("wirelength", 0.0),
+                       int(self.final.get("cells", 0))))
+        return out

@@ -1,0 +1,291 @@
+"""Per-invocation spans: who ran, what it cost, what it moved.
+
+A :class:`Span` is one transform/analyzer invocation seen from the
+outside: name, kind, the cut status it ran at, wall time, the design
+metrics (WNS/TNS/wirelength/cell count) immediately before and after,
+and the *deltas* of every registered analyzer counter — how many
+arrival recomputes the timer did, how many Steiner trees were rebuilt,
+how many checkpoints/rollbacks the guard took, how many bytes persist
+wrote — attributable to exactly this invocation.
+
+The :class:`Tracer` is deliberately zero-dependency and observe-only:
+it queries the design's own incremental analyzers (the same queries
+the flow itself makes constantly), so an identical run with tracing
+off computes exactly the same result.  Spans stream to
+``trace.jsonl`` through :class:`TraceWriter`, which reuses the
+CRC-wrapped line format of :mod:`repro.persist.journal` — a killed
+process leaves at most one torn line, and a resumed process appends
+to the same file, yielding one merged trace for the whole run.
+
+Determinism contract (pinned by ``tests/obs``): everything in a span
+except the two timestamp fields (``t0``, ``dt``) is a deterministic
+function of the design, the seed, and the schedule.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.persist.journal import decode_line, encode_line
+
+#: the metric keys captured before/after every span
+METRIC_KEYS = ("wns", "tns", "wirelength", "cells")
+
+#: span-record fields that are wall-clock, not deterministic
+TIMESTAMP_KEYS = ("t0", "dt")
+
+
+def design_metrics(design) -> Dict[str, float]:
+    """The Table 1 trajectory metrics at the design's current state."""
+    return {
+        "wns": design.timing.worst_slack(),
+        "tns": design.timing.total_negative_slack(),
+        "wirelength": design.total_wirelength(),
+        "cells": design.icell_count(),
+    }
+
+
+def comparable(record: dict) -> dict:
+    """A span record with its wall-clock fields stripped.
+
+    Two seeded runs of the same flow produce identical ``comparable``
+    sequences; only ``t0``/``dt`` may differ between them.
+    """
+    return {k: v for k, v in record.items() if k not in TIMESTAMP_KEYS}
+
+
+class CounterRegistry:
+    """Named providers of monotonic integer counters.
+
+    A provider is any zero-argument callable returning a mapping; only
+    integer values are kept (floats are wall-clock accumulators, which
+    would break the determinism contract).  The registry flattens all
+    providers into one ``prefix.key`` namespace.
+    """
+
+    def __init__(self) -> None:
+        self._providers: List[Tuple[str, Callable[[], Mapping]]] = []
+
+    def add(self, prefix: str, provider: Callable[[], Mapping]) -> None:
+        self._providers.append((prefix, provider))
+
+    def snapshot(self) -> Dict[str, int]:
+        flat: Dict[str, int] = {}
+        for prefix, provider in self._providers:
+            for key, value in provider().items():
+                if isinstance(value, bool) or not isinstance(value, int):
+                    continue
+                flat["%s.%s" % (prefix, key)] = value
+        return flat
+
+    @staticmethod
+    def delta(before: Dict[str, int],
+              after: Dict[str, int]) -> Dict[str, int]:
+        """Non-zero counter movement between two snapshots."""
+        return {key: value - before.get(key, 0)
+                for key, value in after.items()
+                if value != before.get(key, 0)}
+
+
+@dataclass
+class Span:
+    """One traced invocation (see module docstring for the contract)."""
+
+    seq: int
+    name: str
+    kind: str  # "transform" | "substrate" | "analyzer" | "flow"
+    status: int
+    t0: float
+    dt: float = 0.0
+    ok: bool = True
+    before: Dict[str, float] = field(default_factory=dict)
+    after: Dict[str, float] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+    error: Optional[str] = None
+
+    def to_record(self) -> dict:
+        record = {
+            "seq": self.seq, "name": self.name, "kind": self.kind,
+            "status": self.status, "t0": self.t0, "dt": self.dt,
+            "ok": self.ok, "before": self.before, "after": self.after,
+            "counters": self.counters,
+        }
+        if self.error is not None:
+            record["error"] = self.error
+        return record
+
+    @classmethod
+    def from_record(cls, record: dict) -> "Span":
+        return cls(seq=record["seq"], name=record["name"],
+                   kind=record["kind"], status=record["status"],
+                   t0=record["t0"], dt=record["dt"], ok=record["ok"],
+                   before=dict(record["before"]),
+                   after=dict(record["after"]),
+                   counters=dict(record["counters"]),
+                   error=record.get("error"))
+
+    def delta(self, key: str) -> float:
+        """After-minus-before movement of one metric."""
+        return self.after.get(key, 0.0) - self.before.get(key, 0.0)
+
+
+class TraceWriter:
+    """Append-only ``trace.jsonl`` stream in the journal line format.
+
+    Spans are telemetry, not recovery state, so appends flush but do
+    not fsync — a kill loses at most the spans of the final buffered
+    write, and a torn last line is dropped by :func:`read_trace`.
+    With ``resume=True`` the writer continues an existing file: new
+    sequence numbers start past the recorded spans and new timestamps
+    are offset past the last recorded end time, so the merged file
+    reads as one run.
+    """
+
+    def __init__(self, path: str, resume: bool = False) -> None:
+        self.path = path
+        self.count = 0
+        self.t_base = 0.0
+        if resume and os.path.exists(path):
+            records, torn = _scan(path)
+            self.count = len(records)
+            self.t_base = max((r["t0"] + r["dt"] for r in records),
+                              default=0.0)
+            if torn:
+                # drop the torn tail so appends stay parseable
+                self._rewrite(records)
+        else:
+            with open(path, "w"):
+                pass
+
+    def append(self, record: dict) -> None:
+        with open(self.path, "a") as stream:
+            stream.write(encode_line(record) + "\n")
+            stream.flush()
+        self.count += 1
+
+    def _rewrite(self, records: List[dict]) -> None:
+        tmp = self.path + ".tmp"
+        with open(tmp, "w") as stream:
+            for record in records:
+                stream.write(encode_line(record) + "\n")
+        os.replace(tmp, self.path)
+
+
+def _scan(path: str) -> Tuple[List[dict], int]:
+    with open(path, "r") as stream:
+        lines = stream.read().splitlines()
+    records, torn = [], 0
+    for line in lines:
+        if not line.strip():
+            continue
+        record = decode_line(line)
+        if record is None:
+            torn += 1
+            continue
+        records.append(record)
+    return records, torn
+
+
+def read_trace(path: str) -> List[dict]:
+    """All valid span records of a ``trace.jsonl``, in file order.
+
+    Torn or corrupt lines (a killed process's final write) are
+    silently dropped — the CRC wrapper makes them detectable.
+    """
+    return _scan(path)[0]
+
+
+class Tracer:
+    """Record a span around every transform/analyzer invocation.
+
+    The tracer holds the design (to sample metrics), a
+    :class:`CounterRegistry` (the design's own timing and Steiner
+    counters are pre-registered; scenarios add guard and persist
+    providers), an in-memory span list, and an optional
+    :class:`TraceWriter`.  Spans are appended — to both the list and
+    the file — at span *end*, so a process killed mid-invocation
+    records nothing for it, and the enclosing flow-level span of an
+    interrupted run is written only by the process that finishes.
+    """
+
+    def __init__(self, design, writer: Optional[TraceWriter] = None,
+                 registry: Optional[CounterRegistry] = None) -> None:
+        self.design = design
+        self.writer = writer
+        self.counters = registry or CounterRegistry()
+        self.counters.add("timing", design.timing.stats)
+        self.counters.add("steiner", lambda: design.steiner.stats)
+        self.spans: List[Span] = []
+        self._seq = writer.count if writer is not None else 0
+        self._t_base = writer.t_base if writer is not None else 0.0
+        self._clock0 = time.perf_counter()
+
+    def _now(self) -> float:
+        return self._t_base + time.perf_counter() - self._clock0
+
+    # -- span lifecycle ------------------------------------------------
+
+    def begin(self, name: str, kind: str = "transform",
+              status: Optional[int] = None) -> Span:
+        return Span(
+            seq=-1, name=name, kind=kind,
+            status=self.design.status if status is None else status,
+            t0=self._now(),
+            before=design_metrics(self.design),
+            counters=self.counters.snapshot())
+
+    def end(self, span: Span, ok: bool = True,
+            error: Optional[str] = None) -> Span:
+        # seq is allocated at *end* — the moment the span is recorded —
+        # so file order equals seq order and a resumed process's spans
+        # continue the dead segments' numbering without holes (a killed
+        # process's in-flight spans never consumed a number).
+        span.seq = self._seq
+        self._seq += 1
+        span.dt = self._now() - span.t0
+        span.after = design_metrics(self.design)
+        span.counters = CounterRegistry.delta(
+            span.counters, self.counters.snapshot())
+        span.ok = ok
+        if error is not None:
+            span.error = error
+        self.spans.append(span)
+        if self.writer is not None:
+            self.writer.append(span.to_record())
+        return span
+
+    @contextmanager
+    def span(self, name: str, kind: str = "transform",
+             status: Optional[int] = None):
+        """Context manager form; set ``sp.ok = False`` inside to mark
+        a failed invocation.  Exceptions are recorded and re-raised."""
+        span = self.begin(name, kind, status)
+        try:
+            yield span
+        except BaseException as exc:
+            self.end(span, ok=False, error=type(exc).__name__)
+            raise
+        else:
+            self.end(span, ok=span.ok, error=span.error)
+
+    # -- views ---------------------------------------------------------
+
+    def records(self) -> List[dict]:
+        """Every span record of the run, in order.
+
+        With a writer, this is the merged on-disk stream — a resumed
+        process sees the dead segments' spans ahead of its own; in
+        memory-only mode it is just this process's spans.
+        """
+        if self.writer is not None:
+            return read_trace(self.writer.path)
+        return [span.to_record() for span in self.spans]
+
+    def __repr__(self) -> str:
+        return "<Tracer %d spans%s>" % (
+            len(self.spans),
+            " -> " + self.writer.path if self.writer is not None else "")

@@ -45,12 +45,17 @@ def _crc(record: dict) -> int:
     return zlib.crc32(_canonical(record)) & 0xFFFFFFFF
 
 
-def _encode_line(record: dict) -> str:
+def encode_line(record: dict) -> str:
+    """One CRC-wrapped journal line for ``record`` (no newline).
+
+    Shared with ``repro.obs``'s trace stream: any append-only jsonl
+    file in a run directory uses the same torn-tail-detectable format.
+    """
     return json.dumps({"r": record, "c": _crc(record)},
                       separators=(",", ":"))
 
 
-def _decode_line(line: str) -> Optional[dict]:
+def decode_line(line: str) -> Optional[dict]:
     """The wrapped record, or ``None`` if the line is torn/corrupt."""
     try:
         wrapper = json.loads(line)
@@ -99,7 +104,7 @@ class Journal:
         for index, line in enumerate(lines):
             if not line.strip():
                 continue
-            record = _decode_line(line)
+            record = decode_line(line)
             if record is None or record.get("seq") != len(records):
                 dropped = len(lines) - index
                 break
@@ -122,7 +127,7 @@ class Journal:
         record.update(fields)
         self.records.append(record)
         with open(self.path, "a") as stream:
-            stream.write(_encode_line(record) + "\n")
+            stream.write(encode_line(record) + "\n")
             stream.flush()
             os.fsync(stream.fileno())
         return record
@@ -166,7 +171,7 @@ class Journal:
         tmp = self.path + ".tmp"
         with open(tmp, "w") as stream:
             for record in self.records:
-                stream.write(_encode_line(record) + "\n")
+                stream.write(encode_line(record) + "\n")
             stream.flush()
             os.fsync(stream.fileno())
         os.replace(tmp, self.path)

@@ -175,6 +175,30 @@ class RunDir:
     def report_path(self) -> str:
         return os.path.join(self.path, "report.json")
 
+    @property
+    def trace_path(self) -> str:
+        """The ``repro.obs`` span stream of this run."""
+        return os.path.join(self.path, "trace.jsonl")
+
+    @property
+    def elapsed_path(self) -> str:
+        return os.path.join(self.path, "elapsed.json")
+
+    # -- cumulative wall clock -----------------------------------------
+
+    def save_elapsed(self, seconds: float) -> None:
+        """Persist the run's cumulative wall-clock seconds so a
+        resumed process reports whole-run ``cpu_seconds``, not just
+        its own segment."""
+        _write_json(self.elapsed_path, {"seconds": seconds})
+
+    def load_elapsed(self) -> float:
+        try:
+            with open(self.elapsed_path, "r") as stream:
+                return float(json.load(stream)["seconds"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return 0.0
+
     def snapshot_path(self, name: str) -> str:
         """Path of a *full* snapshot by bare name (PR 2 convention)."""
         return os.path.join(self.path, "snapshots", name + ".snap.gz")
@@ -324,6 +348,10 @@ class FlowPersist:
         self._ordinal = 0
         self._milestones = 0
         self._died = False
+        #: cumulative wall clock: segments of dead processes (from
+        #: elapsed.json) plus this process's own running time
+        self._wall_t0 = time.perf_counter()
+        self.prior_seconds = rundir.load_elapsed() if resumed else 0.0
         #: persistence-cost accounting (the persist benchmark reads
         #: this; ``snapshot_seconds`` covers serialize+diff+write)
         self.stats = {"full_snapshots": 0, "delta_snapshots": 0,
@@ -457,6 +485,9 @@ class FlowPersist:
         self.snapshot(tag or ("status-%03d" % status), extras_fn(),
                       dedupe=True, milestone=True)
         self._milestones += 1
+        # before _maybe_die: a killed process must leave its segment's
+        # wall clock behind for the resumed report's cpu_seconds
+        self.rundir.save_elapsed(self.elapsed_seconds())
         self._maybe_die(status)
         return True
 
@@ -578,9 +609,25 @@ class FlowPersist:
                             status=self.design.status)
         return payload
 
+    # -- reporting -----------------------------------------------------
+
+    def elapsed_seconds(self) -> float:
+        """Whole-run wall clock: every dead segment plus this one."""
+        return (self.prior_seconds
+                + time.perf_counter() - self._wall_t0)
+
+    def counters(self) -> Dict[str, int]:
+        """Persistence activity for ``repro.obs``: snapshot/delta
+        counts and bytes, dedupes, compactions, journal records."""
+        flat = {key: value for key, value in self.stats.items()
+                if isinstance(value, int)}
+        flat["journal_records"] = len(self.journal)
+        return flat
+
     # -- completion ----------------------------------------------------
 
     def finish(self, report_state: dict) -> None:
+        self.rundir.save_elapsed(self.elapsed_seconds())
         self.journal.append("run_end",
                             signature=state_signature(self.design),
                             status=self.design.status)

@@ -8,12 +8,13 @@ wire-load model, a stand-alone quadratic placement, then
 resynthesis — iterated.
 """
 
-from repro.scenario.report import FlowReport
+from repro.scenario.report import FlowReport, TraceEvent
 from repro.scenario.tps import TPSConfig, TPSScenario
 from repro.scenario.spr import SPRConfig, SPRFlow
 
 __all__ = [
     "FlowReport",
+    "TraceEvent",
     "TPSConfig",
     "TPSScenario",
     "SPRConfig",

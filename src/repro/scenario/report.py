@@ -10,6 +10,35 @@ from repro.routing import CutMetrics
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.guard.runner import GuardedRunner, TransformHealth
+    from repro.obs import CutTimeline, Tracer
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured flow-narration event.
+
+    ``status`` is the cut status the event happened at (None for
+    flows, like SPR, that have no cut status).  :meth:`render` is the
+    historical string form, so anything that printed the old
+    ``List[str]`` trace keeps working through ``trace_lines()``.
+    """
+
+    message: str
+    status: Optional[int] = None
+
+    def render(self) -> str:
+        if self.status is None:
+            return self.message
+        return "status %3d: %s" % (self.status, self.message)
+
+    def to_state(self) -> list:
+        return [self.status, self.message]
+
+    @classmethod
+    def from_state(cls, state) -> "TraceEvent":
+        if isinstance(state, str):  # pre-obs snapshots stored strings
+            return cls(message=state)
+        return cls(status=state[0], message=state[1])
 
 
 @dataclass
@@ -28,7 +57,9 @@ class FlowReport:
     routable: bool = False
     cpu_seconds: float = 0.0
     iterations: int = 1
-    trace: List[str] = field(default_factory=list)
+    trace: List[TraceEvent] = field(default_factory=list)
+    #: span records of the run (``repro.obs``), when tracing was on
+    spans: List[dict] = field(default_factory=list)
     #: per-transform guarded-execution health (empty when unguarded)
     health: Dict[str, "TransformHealth"] = field(default_factory=dict)
     #: transforms quarantined during the run
@@ -53,6 +84,15 @@ class FlowReport:
         """One guarded-execution summary line per transform."""
         return [self.health[name].summary()
                 for name in sorted(self.health)]
+
+    def trace_lines(self) -> List[str]:
+        """The trace rendered as the historical string lines."""
+        return [event.render() for event in self.trace]
+
+    def timeline(self) -> "CutTimeline":
+        """The per-cut-status aggregation of this run's spans."""
+        from repro.obs import CutTimeline
+        return CutTimeline.from_records(self.spans)
 
     @property
     def slack_fraction_of_cycle(self) -> float:
@@ -80,8 +120,9 @@ def snapshot(design: Design, flow: str,
              routable: bool = False,
              cpu_seconds: float = 0.0,
              iterations: int = 1,
-             trace: Optional[List[str]] = None,
+             trace: Optional[List[TraceEvent]] = None,
              guard: Optional["GuardedRunner"] = None,
+             tracer: Optional["Tracer"] = None,
              run_dir: Optional[str] = None,
              resumed: bool = False) -> FlowReport:
     """Capture a design's current metrics into a FlowReport."""
@@ -99,6 +140,7 @@ def snapshot(design: Design, flow: str,
         cpu_seconds=cpu_seconds,
         iterations=iterations,
         trace=trace or [],
+        spans=tracer.records() if tracer is not None else [],
         health=dict(guard.health) if guard is not None else {},
         quarantined=guard.quarantined if guard is not None else [],
         guard_seconds=guard.guard_seconds if guard is not None else 0.0,

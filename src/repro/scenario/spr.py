@@ -24,9 +24,10 @@ from repro.design import Design
 from repro.guard.faults import FaultInjector
 from repro.guard.runner import GuardConfig, GuardedRunner
 from repro.netlist import ops
+from repro.obs import Tracer, TraceWriter
 from repro.placement import QuadraticPlacer, legalize_rows
 from repro.routing import GlobalRouter, cut_metrics
-from repro.scenario.report import FlowReport, report_state, snapshot
+from repro.scenario.report import FlowReport, TraceEvent, report_state, snapshot
 from repro.timing import DelayMode
 from repro.timing.engine import INF
 from repro.transforms import BufferInsertion, ClockScanOptimizer, PinSwapping
@@ -84,7 +85,8 @@ class SPRFlow:
                  config: Optional[SPRConfig] = None,
                  injector: Optional[FaultInjector] = None,
                  persist: Optional["FlowPersist"] = None,
-                 resume_state: Optional[dict] = None) -> None:
+                 resume_state: Optional[dict] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         self.design = design
         self.config = config or SPRConfig()
         self.injector = injector
@@ -97,17 +99,34 @@ class SPRFlow:
             self.config.guard = GuardConfig(retries=2)
         if injector is not None and self.config.guard is None:
             self.config.guard = GuardConfig()
-        self.trace: List[str] = []
+        # durable runs get telemetry for free (see TPSScenario)
+        if tracer is None and persist is not None:
+            tracer = Tracer(design, writer=TraceWriter(
+                persist.rundir.trace_path, resume=persist.resumed))
+        self.tracer = tracer
+        self.trace: List[TraceEvent] = []
         self.runner: Optional[GuardedRunner] = None
 
     def _log(self, what: str) -> None:
-        self.trace.append(what)
+        self.trace.append(TraceEvent(message=what))
+
+    def _traced(self, name: str, kind: str,
+                fn: Callable[[], T]) -> Optional[T]:
+        """Run ``fn`` inside an obs span (when tracing is on)."""
+        if self.tracer is None:
+            return fn()
+        with self.tracer.span(name, kind) as span:
+            result = fn()
+            if self.runner is not None and result is None:
+                span.ok = False  # guarded call failed or quarantined
+            return result
 
     def _guarded(self, name: str, fn: Callable[[], T]) -> Optional[T]:
         """Run one transform invocation, transactionally if guarded."""
         if self.runner is None:
-            return fn()
-        return self.runner.call(name, fn)
+            return self._traced(name, "transform", fn)
+        return self._traced(name, "transform",
+                            lambda: self.runner.call(name, fn))
 
     def run(self) -> FlowReport:
         started = time.perf_counter()
@@ -121,6 +140,14 @@ class SPRFlow:
         cfg = self.config
         persist = self.persist
         resume = self.resume_state
+        tracer = self.tracer
+        if tracer is not None:
+            if self.runner is not None:
+                tracer.counters.add("guard", self.runner.counters)
+            if persist is not None:
+                tracer.counters.add("persist", persist.counters)
+            # ended just before the report: its "after" == the report
+            flow_span = tracer.begin("SPR", kind="flow")
         # the placement-aware model is the design's own attribute; the
         # engine may be holding the WLM whenever a snapshot lands, so
         # never capture "real" from the engine
@@ -152,7 +179,7 @@ class SPRFlow:
                     "iterations": iterations,
                     "iter_step": iter_step,
                     "post_loop": post_loop,
-                    "trace": list(self.trace),
+                    "trace": [e.to_state() for e in self.trace],
                 },
                 "clock_scan": clock_scan.state_dict(),
             }
@@ -173,10 +200,12 @@ class SPRFlow:
 
         def substrate(name: str, fn: Callable[[], T]) -> Optional[T]:
             if self.runner is None:
-                return fn()
+                return self._traced(name, "substrate", fn)
             if persist is not None:
                 persist.ensure_current(snapshot_extras, "pre-" + name)
-            return self.runner.call_substrate(name, fn)
+            return self._traced(
+                name, "substrate",
+                lambda: self.runner.call_substrate(name, fn))
 
         if resume is not None:
             scen = resume["scenario"]
@@ -185,7 +214,8 @@ class SPRFlow:
             iterations = scen["iterations"]
             iter_step = scen.get("iter_step", 0)
             post_loop = scen["post_loop"]
-            self.trace = list(scen["trace"])
+            self.trace = [TraceEvent.from_state(s)
+                          for s in scen["trace"]]
             clock_scan.load_state_dict(resume["clock_scan"],
                                        design.library)
             if self.runner is not None and resume.get("guard"):
@@ -335,7 +365,7 @@ class SPRFlow:
         nx, ny = standard_grid_dims(design)
         design.grid.resize(nx, ny)
         router = GlobalRouter(design)
-        routing = router.route()
+        routing = self._traced("routing", "substrate", router.route)
         self._guarded("in_footprint_sizing",
                       lambda: sizing.in_footprint_sizing(design))
         self._log("routed: overflow %.1f" % routing.total_overflow)
@@ -343,12 +373,17 @@ class SPRFlow:
             for line in self.runner.health_lines():
                 self._log("health: %s" % line)
 
+        if tracer is not None:
+            tracer.end(flow_span)
         report = snapshot(
             design, "SPR", cuts=cut_metrics(router),
             routable=routing.routable,
-            cpu_seconds=time.perf_counter() - started,
+            # whole-run wall clock, dead process segments included
+            cpu_seconds=(persist.elapsed_seconds()
+                         if persist is not None
+                         else time.perf_counter() - started),
             iterations=iterations, trace=list(self.trace),
-            guard=self.runner,
+            guard=self.runner, tracer=tracer,
             run_dir=persist.rundir.path if persist is not None else None,
             resumed=persist.resumed if persist is not None else False)
         if persist is not None:

@@ -43,9 +43,10 @@ from typing import Callable, List, Optional, TYPE_CHECKING, TypeVar
 from repro.design import Design
 from repro.guard.faults import FaultInjector
 from repro.guard.runner import GuardConfig, GuardedRunner
+from repro.obs import Tracer, TraceWriter
 from repro.placement import DetailedPlaceOpt, Partitioner, Reflow, legalize_rows
 from repro.routing import GlobalRouter, cut_metrics
-from repro.scenario.report import FlowReport, report_state, snapshot
+from repro.scenario.report import FlowReport, TraceEvent, report_state, snapshot
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.persist import FlowPersist
@@ -152,7 +153,8 @@ class TPSScenario:
                  config: Optional[TPSConfig] = None,
                  injector: Optional[FaultInjector] = None,
                  persist: Optional["FlowPersist"] = None,
-                 resume_state: Optional[dict] = None) -> None:
+                 resume_state: Optional[dict] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         self.design = design
         self.config = config or TPSConfig()
         #: chaos harness: injecting faults implies guarded execution
@@ -169,18 +171,36 @@ class TPSScenario:
             self.config.guard = GuardConfig(retries=2)
         if injector is not None and self.config.guard is None:
             self.config.guard = GuardConfig()
-        self.trace: List[str] = []
+        # durable runs get telemetry for free: spans stream to the run
+        # directory's trace.jsonl (appending across resumed processes)
+        if tracer is None and persist is not None:
+            tracer = Tracer(design, writer=TraceWriter(
+                persist.rundir.trace_path, resume=persist.resumed))
+        self.tracer = tracer
+        self.trace: List[TraceEvent] = []
         self.runner: Optional[GuardedRunner] = None
         self._status = 0
 
     def _log(self, status: int, what: str) -> None:
-        self.trace.append("status %3d: %s" % (status, what))
+        self.trace.append(TraceEvent(message=what, status=status))
+
+    def _traced(self, name: str, kind: str,
+                fn: Callable[[], T]) -> Optional[T]:
+        """Run ``fn`` inside an obs span (when tracing is on)."""
+        if self.tracer is None:
+            return fn()
+        with self.tracer.span(name, kind) as span:
+            result = fn()
+            if self.runner is not None and result is None:
+                span.ok = False  # guarded call failed or quarantined
+            return result
 
     def _guarded(self, name: str, fn: Callable[[], T]) -> Optional[T]:
         """Run one transform invocation, transactionally if guarded."""
         if self.runner is None:
-            return fn()
-        return self.runner.call(name, fn)
+            return self._traced(name, "transform", fn)
+        return self._traced(name, "transform",
+                            lambda: self.runner.call(name, fn))
 
     def run(self) -> FlowReport:
         started = time.perf_counter()
@@ -194,6 +214,15 @@ class TPSScenario:
                 log=lambda m: self._log(self._status, m))
             if persist is not None:
                 self.runner.recorder = persist
+        tracer = self.tracer
+        if tracer is not None:
+            if self.runner is not None:
+                tracer.counters.add("guard", self.runner.counters)
+            if persist is not None:
+                tracer.counters.add("persist", persist.counters)
+            # the whole-run span: ended just before the report is
+            # built, so its "after" metrics equal the report's exactly
+            flow_span = tracer.begin("TPS", kind="flow")
 
         sizing = GateSizing(default_gain=cfg.default_gain)
         if resume is None:
@@ -234,7 +263,8 @@ class TPSScenario:
             linked = scen["linked"]
             level_step = scen.get("level_step", 0)
             prev_status = scen.get("prev_status", status)
-            self.trace = list(scen["trace"])
+            self.trace = [TraceEvent.from_state(s)
+                          for s in scen["trace"]]
             reflow.pass_count = scen["reflow_passes"]
             clock_scan.load_state_dict(resume["clock_scan"],
                                        design.library)
@@ -260,7 +290,7 @@ class TPSScenario:
                     "linked": linked,
                     "level_step": level_step,
                     "prev_status": prev_status,
-                    "trace": list(self.trace),
+                    "trace": [e.to_state() for e in self.trace],
                     "reflow_passes": reflow.pass_count,
                 },
                 "partitioner": partitioner.state_dict(),
@@ -293,10 +323,12 @@ class TPSScenario:
             """Partitioner/legalizer calls: unrollbackable, so guarded
             by the on-disk snapshot (when persist is active)."""
             if self.runner is None:
-                return fn()
+                return self._traced(name, "substrate", fn)
             if persist is not None:
                 persist.ensure_current(snapshot_extras, "pre-" + name)
-            return self.runner.call_substrate(name, fn)
+            return self._traced(
+                name, "substrate",
+                lambda: self.runner.call_substrate(name, fn))
 
         if persist is not None and not persist.resumed:
             persist.start("TPS", cfg.seed)
@@ -538,7 +570,7 @@ class TPSScenario:
             design.check()
             self._log(100, "invariants ok (post-legalization buffering)")
         router = GlobalRouter(design)
-        routing = router.route()
+        routing = self._traced("routing", "substrate", router.route)
         self._log(100, "routed: overflow %.1f" % routing.total_overflow)
         if cfg.use_in_footprint_sizing:
             r = self._guarded(
@@ -563,12 +595,18 @@ class TPSScenario:
             for line in self.runner.health_lines():
                 self._log(100, "health: %s" % line)
 
+        if tracer is not None:
+            tracer.end(flow_span)
         report = snapshot(
             design, "TPS", cuts=cut_metrics(router),
             routable=routing.routable,
-            cpu_seconds=time.perf_counter() - started,
+            # a resumed run's cpu_seconds covers every process segment,
+            # not just this one (elapsed.json carries the dead ones)
+            cpu_seconds=(persist.elapsed_seconds()
+                         if persist is not None
+                         else time.perf_counter() - started),
             iterations=1, trace=list(self.trace),
-            guard=self.runner,
+            guard=self.runner, tracer=tracer,
             run_dir=persist.rundir.path if persist is not None else None,
             resumed=persist.resumed if persist is not None else False)
         if persist is not None:

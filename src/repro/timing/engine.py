@@ -68,7 +68,7 @@ class TimingEngine(NetlistListener):
         self._net_elec: Dict[str, NetElectrical] = {}
         self._counter = itertools.count()
 
-        self.stats = {
+        self._stats = {
             "arrival_recomputes": 0,
             "arrival_changes": 0,
             "required_recomputes": 0,
@@ -82,6 +82,33 @@ class TimingEngine(NetlistListener):
     # ------------------------------------------------------------------
     # Public queries
     # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """A copy of the engine's incremental-work counters.
+
+        * ``arrival_recomputes`` — pins whose (late and early) arrival
+          times were recomputed during flushes; the honest unit of
+          forward-propagation work.
+        * ``arrival_changes`` — the subset of recomputes whose value
+          actually moved past tolerance, forcing fanout to go dirty;
+          recomputes minus changes is damping won by the dirty-set cut.
+        * ``required_recomputes`` — pins whose required time was
+          recomputed during backward propagation.
+        * ``levelizations`` — full topological re-levelizations of the
+          timing graph (structural edits invalidate the graph).
+        * ``flushes`` — dirty-set flushes, i.e. how many times a
+          timing query actually found pending work.
+
+        All counters are monotonic within a process and deterministic
+        for a fixed seed and schedule; ``repro.obs`` spans report their
+        per-invocation deltas.
+        """
+        return dict(self._stats)
+
+    def reset_stats(self) -> None:
+        """Zero every counter (the engine's caches are untouched)."""
+        for key in self._stats:
+            self._stats[key] = 0
 
     def arrival(self, pin: Pin) -> float:
         """Latest arrival time at ``pin`` (ps)."""
@@ -220,6 +247,14 @@ class TimingEngine(NetlistListener):
     def _mark_all_dirty(self) -> None:
         self._graph = None
         self._net_elec.clear()
+        # Drop the cached values too, not just the dirty marks: the
+        # flush damping keeps an old value when the recomputed one is
+        # within tolerance, so surviving caches would make the global
+        # re-time depend on flush history.  A barrier must leave the
+        # engine bit-identical to a freshly restored process.
+        self._arrival.clear()
+        self._arrival_min.clear()
+        self._required.clear()
         self._dirty_arr = set()
         self._dirty_req = set()
         for cell in self.netlist.cells():
@@ -301,13 +336,13 @@ class TimingEngine(NetlistListener):
     def graph(self) -> TimingGraph:
         if self._graph is None:
             self._graph = TimingGraph(self.netlist)
-            self.stats["levelizations"] += 1
+            self._stats["levelizations"] += 1
         return self._graph
 
     def _flush(self) -> None:
         if not self._dirty_arr and not self._dirty_req:
             return
-        self.stats["flushes"] += 1
+        self._stats["flushes"] += 1
         graph = self.graph()
         self._flush_arrivals(graph)
         self._flush_requireds(graph)
@@ -325,14 +360,14 @@ class TimingEngine(NetlistListener):
             self._dirty_arr.discard(pin)
             new = self._compute_arrival(pin)
             new_min = self._compute_arrival(pin, early=True)
-            self.stats["arrival_recomputes"] += 1
+            self._stats["arrival_recomputes"] += 1
             old = self._arrival.get(pin)
             old_min = self._arrival_min.get(pin)
             if (old is not None and abs(new - old) <= _EPS
                     and old_min is not None
                     and abs(new_min - old_min) <= _EPS):
                 continue
-            self.stats["arrival_changes"] += 1
+            self._stats["arrival_changes"] += 1
             self._arrival[pin] = new
             self._arrival_min[pin] = new_min
             for dst, _kind in graph.fanout_arcs(pin):
@@ -358,7 +393,7 @@ class TimingEngine(NetlistListener):
                 continue
             self._dirty_req.discard(pin)
             new = self._compute_required(pin)
-            self.stats["required_recomputes"] += 1
+            self._stats["required_recomputes"] += 1
             old = self._required.get(pin)
             if old is not None and (
                 (math.isinf(new) and math.isinf(old) and new == old)

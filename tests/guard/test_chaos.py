@@ -88,7 +88,7 @@ class TestTPSChaos:
         assert by_kind.get("budget") == 1
         assert by_kind.get("invariant") == 3
         assert report.guard_seconds > 0.0
-        assert any("health:" in line for line in report.trace)
+        assert any("health:" in line for line in report.trace_lines())
 
     def test_design_consistent_after_chaos(self, chaos_run):
         design, _, _ = chaos_run

@@ -1,0 +1,58 @@
+"""Chrome trace-event export: structure and file round-trip."""
+
+import json
+
+from repro.obs import chrome_events, write_chrome_trace
+from repro.obs.chrome import COUNTER_TRACKS
+
+
+def record(seq, **over):
+    base = {"seq": seq, "name": "sizing", "kind": "transform",
+            "status": 35, "t0": 1.5, "dt": 0.25, "ok": True,
+            "before": {"wns": -20.0, "wirelength": 100.0},
+            "after": {"wns": -15.0, "wirelength": 90.0},
+            "counters": {"timing.flushes": 2}}
+    base.update(over)
+    return base
+
+
+class TestChromeEvents:
+    def test_metadata_complete_and_counter_events(self):
+        events = chrome_events([record(0)])
+        phases = [e["ph"] for e in events]
+        assert phases == ["M", "X"] + ["C"] * len(COUNTER_TRACKS)
+
+    def test_complete_event_fields(self):
+        event = next(e for e in chrome_events([record(0)])
+                     if e["ph"] == "X")
+        assert event["name"] == "sizing"
+        assert event["cat"] == "transform"
+        assert event["ts"] == 1.5e6       # seconds -> microseconds
+        assert event["dur"] == 0.25e6
+        assert event["args"]["status"] == 35
+        assert event["args"]["after"]["wns"] == -15.0
+
+    def test_counter_events_sample_span_end(self):
+        counters = [e for e in chrome_events([record(0)])
+                    if e["ph"] == "C"]
+        assert {e["name"] for e in counters} == set(COUNTER_TRACKS)
+        for event in counters:
+            assert event["ts"] == (1.5 + 0.25) * 1e6
+
+    def test_missing_metric_emits_no_track(self):
+        rec = record(0, after={"cells": 5})
+        counters = [e for e in chrome_events([rec]) if e["ph"] == "C"]
+        assert counters == []
+
+
+class TestWriteChromeTrace:
+    def test_file_parses_and_count_matches(self, tmp_path):
+        path = str(tmp_path / "chrome.json")
+        count = write_chrome_trace([record(0), record(1)], path)
+        with open(path) as stream:
+            payload = json.load(stream)
+        assert payload["displayTimeUnit"] == "ms"
+        assert len(payload["traceEvents"]) == count
+        names = [e["name"] for e in payload["traceEvents"]
+                 if e["ph"] == "X"]
+        assert names == ["sizing", "sizing"]

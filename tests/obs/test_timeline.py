@@ -1,0 +1,87 @@
+"""CutTimeline aggregation and rendering over synthetic span streams."""
+
+from repro.obs import CutTimeline
+
+
+def record(seq, name="t", kind="transform", status=10, dt=0.5, ok=True,
+           before=None, after=None, counters=None):
+    return {"seq": seq, "name": name, "kind": kind, "status": status,
+            "t0": seq * 1.0, "dt": dt, "ok": ok,
+            "before": before or {"wns": -20.0, "wirelength": 100.0,
+                                 "cells": 10},
+            "after": after or {"wns": -15.0, "wirelength": 90.0,
+                               "cells": 10},
+            "counters": counters or {}}
+
+
+class TestAggregation:
+    def test_rows_grouped_and_sorted_by_status(self):
+        timeline = CutTimeline.from_records([
+            record(0, status=35),
+            record(1, status=10),
+            record(2, status=10),
+        ])
+        assert [row.status for row in timeline.rows] == [10, 35]
+        assert timeline.row(10).spans == 2
+        assert timeline.row(35).spans == 1
+        assert timeline.row(99) is None
+        assert timeline.total_spans == 3
+
+    def test_row_folds_before_first_after_last(self):
+        timeline = CutTimeline.from_records([
+            record(0, status=10, before={"wns": -30.0},
+                   after={"wns": -25.0}),
+            record(1, status=10, before={"wns": -25.0},
+                   after={"wns": -20.0}),
+        ])
+        row = timeline.row(10)
+        assert row.before == {"wns": -30.0}
+        assert row.after == {"wns": -20.0}
+
+    def test_counters_sum_within_row(self):
+        timeline = CutTimeline.from_records([
+            record(0, counters={"timing.arrival_recomputes": 5}),
+            record(1, counters={"timing.arrival_recomputes": 7,
+                                "guard.rollbacks": 1}),
+        ])
+        row = timeline.row(10)
+        assert row.counters == {"timing.arrival_recomputes": 12,
+                                "guard.rollbacks": 1}
+
+    def test_flow_span_sets_final_but_no_row(self):
+        timeline = CutTimeline.from_records([
+            record(0, status=10),
+            record(1, name="TPS", kind="flow", status=0,
+                   after={"wns": -1.0, "wirelength": 50.0, "cells": 9}),
+        ])
+        assert [row.status for row in timeline.rows] == [10]
+        assert timeline.final["wns"] == -1.0
+        assert timeline.total_spans == 1
+
+    def test_final_falls_back_to_last_row(self):
+        timeline = CutTimeline.from_records([record(0)])
+        assert timeline.final == record(0)["after"]
+
+    def test_failures_counted(self):
+        timeline = CutTimeline.from_records([
+            record(0, ok=False), record(1)])
+        assert timeline.row(10).failures == 1
+
+
+class TestRendering:
+    def test_lines_have_header_rows_and_total(self):
+        timeline = CutTimeline.from_records([
+            record(0, status=10), record(1, status=35, ok=False)])
+        lines = timeline.lines()
+        assert lines[0].startswith("status")
+        body = lines[2:-1]
+        assert len(body) == 2
+        assert body[0].lstrip().startswith("10")
+        assert "(1 failed)" in body[1]
+        assert lines[-1].lstrip().startswith("total")
+        assert "final wns" in lines[-1]
+
+    def test_empty_stream_renders(self):
+        lines = CutTimeline.from_records([]).lines()
+        assert lines[0].startswith("status")
+        assert lines[-1].lstrip().startswith("total")

@@ -1,0 +1,184 @@
+"""Unit behaviour of spans, counters, and the trace writer.
+
+The module contract under test: a span captures before/after design
+metrics and per-invocation counter deltas; the writer is kill-safe
+(torn tails are detected and dropped) and resume-aware (sequence
+numbers and timestamps continue across process boundaries).
+"""
+
+import pytest
+
+from repro.obs import (
+    CounterRegistry,
+    Span,
+    Tracer,
+    TraceWriter,
+    comparable,
+    design_metrics,
+    read_trace,
+)
+from repro.obs.tracer import METRIC_KEYS, TIMESTAMP_KEYS
+
+from tests.guard.conftest import build_design
+
+
+@pytest.fixture
+def design(library):
+    return build_design(library, gates=40, regs=4)
+
+
+class TestDesignMetrics:
+    def test_keys_and_values(self, design):
+        metrics = design_metrics(design)
+        assert tuple(metrics) == METRIC_KEYS
+        assert metrics["wns"] == design.timing.worst_slack()
+        assert metrics["cells"] == design.icell_count()
+
+    def test_comparable_strips_only_timestamps(self):
+        record = {"seq": 0, "name": "x", "t0": 1.5, "dt": 0.25, "ok": True}
+        stripped = comparable(record)
+        assert "t0" not in stripped and "dt" not in stripped
+        assert stripped == {"seq": 0, "name": "x", "ok": True}
+        for key in TIMESTAMP_KEYS:
+            assert key not in stripped
+
+
+class TestCounterRegistry:
+    def test_flattens_with_prefix_and_skips_non_ints(self):
+        registry = CounterRegistry()
+        registry.add("a", lambda: {"n": 3, "wall": 1.5, "flag": True})
+        registry.add("b", lambda: {"n": 7})
+        snap = registry.snapshot()
+        assert snap == {"a.n": 3, "b.n": 7}
+
+    def test_delta_keeps_only_movement(self):
+        before = {"a.n": 3, "b.n": 7}
+        after = {"a.n": 5, "b.n": 7, "c.n": 2}
+        assert CounterRegistry.delta(before, after) == {"a.n": 2, "c.n": 2}
+
+
+class TestSpanRoundTrip:
+    def test_to_from_record(self):
+        span = Span(seq=4, name="sizing", kind="transform", status=35,
+                    t0=1.0, dt=0.5, ok=False,
+                    before={"wns": -10.0}, after={"wns": -8.0},
+                    counters={"timing.flushes": 2}, error="ValueError")
+        back = Span.from_record(span.to_record())
+        assert back == span
+        assert back.delta("wns") == pytest.approx(2.0)
+
+    def test_error_absent_when_ok(self):
+        span = Span(seq=0, name="x", kind="flow", status=0, t0=0.0)
+        assert "error" not in span.to_record()
+
+
+class TestTracerLifecycle:
+    def test_span_captures_metric_movement(self, design):
+        tracer = Tracer(design)
+        cell = next(iter(design.netlist.movable_cells()))
+        with tracer.span("nudge") as span:
+            from repro.geometry import Point
+            design.netlist.move_cell(cell, Point(design.die.xlo + 10.0,
+                                                 design.die.ylo + 10.0))
+        assert len(tracer.spans) == 1
+        record = tracer.records()[0]
+        assert record["name"] == "nudge"
+        assert record["kind"] == "transform"
+        assert record["ok"] is True
+        assert record["before"]["cells"] == record["after"]["cells"]
+        # the move dirtied timing; the end-of-span metric query flushed
+        assert record["counters"].get("timing.flushes", 0) >= 1
+
+    def test_sequence_numbers_increment(self, design):
+        tracer = Tracer(design)
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [r["seq"] for r in tracer.records()] == [0, 1]
+
+    def test_exception_recorded_and_reraised(self, design):
+        tracer = Tracer(design)
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("no")
+        record = tracer.records()[0]
+        assert record["ok"] is False
+        assert record["error"] == "ValueError"
+
+    def test_explicit_status_overrides_design(self, design):
+        tracer = Tracer(design)
+        with tracer.span("x", status=42):
+            pass
+        assert tracer.records()[0]["status"] == 42
+
+    def test_kill_during_span_writes_nothing(self, design, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer(design, writer=TraceWriter(path))
+        tracer.begin("doomed")  # never ended: process died inside
+        assert read_trace(path) == []
+
+
+class TestTraceWriter:
+    def _record(self, seq, t0=0.0, dt=0.1):
+        return Span(seq=seq, name="s%d" % seq, kind="transform",
+                    status=10, t0=t0, dt=dt).to_record()
+
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        writer = TraceWriter(path)
+        for i in range(3):
+            writer.append(self._record(i))
+        assert [r["seq"] for r in read_trace(path)] == [0, 1, 2]
+
+    def test_torn_tail_dropped_on_read(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        writer = TraceWriter(path)
+        writer.append(self._record(0))
+        writer.append(self._record(1))
+        with open(path, "a") as stream:
+            stream.write('{"r": {"seq": 2}, "c": ')  # kill mid-write
+        assert [r["seq"] for r in read_trace(path)] == [0, 1]
+
+    def test_resume_continues_seq_and_time(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        writer = TraceWriter(path)
+        writer.append(self._record(0, t0=0.0, dt=0.5))
+        writer.append(self._record(1, t0=0.5, dt=1.0))
+        resumed = TraceWriter(path, resume=True)
+        assert resumed.count == 2
+        assert resumed.t_base == pytest.approx(1.5)
+
+    def test_resume_rewrites_away_torn_tail(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        writer = TraceWriter(path)
+        writer.append(self._record(0))
+        with open(path, "a") as stream:
+            stream.write("garbage not json\n")
+        resumed = TraceWriter(path, resume=True)
+        assert resumed.count == 1
+        resumed.append(self._record(1))
+        # the torn line is gone from the file itself, not just skipped
+        assert [r["seq"] for r in read_trace(path)] == [0, 1]
+        with open(path) as stream:
+            assert "garbage" not in stream.read()
+
+    def test_fresh_writer_truncates(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        TraceWriter(path).append(self._record(0))
+        TraceWriter(path)  # resume=False: a new run owns the file
+        assert read_trace(path) == []
+
+    def test_resumed_tracer_offsets_new_spans(self, design, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        first = Tracer(design, writer=TraceWriter(path))
+        with first.span("a"):
+            pass
+        second = Tracer(design, writer=TraceWriter(path, resume=True))
+        with second.span("b"):
+            pass
+        records = read_trace(path)
+        assert [r["name"] for r in records] == ["a", "b"]
+        assert [r["seq"] for r in records] == [0, 1]
+        # merged timeline is monotonic across the process boundary
+        assert records[1]["t0"] >= records[0]["t0"] + records[0]["dt"]

@@ -42,8 +42,7 @@ class TestTPSScenario:
 
     def test_status_monotonic(self, tps_run):
         _design, report = tps_run
-        statuses = [int(line.split(":")[0].split()[1])
-                    for line in report.trace]
+        statuses = [event.status for event in report.trace]
         assert statuses == sorted(statuses)
         assert statuses[-1] == 100
 
@@ -57,8 +56,8 @@ class TestTPSScenario:
         _design, report = tps_run
         prev = 0
         last_status = 0
-        for line in report.trace:
-            status = int(line.split(":")[0].split()[1])
+        for event in report.trace:
+            status, line = event.status, event.render()
             if status != last_status:
                 prev, last_status = last_status, status
             if "area recovery" in line and "late" not in line \
@@ -92,7 +91,7 @@ class TestTPSScenario:
                            netweight_mode=None,
                            use_detailed_placement=False)
         report = TPSScenario(design, config).run()
-        text = "\n".join(report.trace)
+        text = "\n".join(report.trace_lines())
         assert "migration" not in text
         assert "cloning" not in text
         assert "buffering" not in text
@@ -107,8 +106,8 @@ class TestTPSScenario:
         report = TPSScenario(design, config).run()
         prev = 0
         last_status = 0
-        for line in report.trace:
-            status = int(line.split(":")[0].split()[1])
+        for event in report.trace:
+            status, line = event.status, event.render()
             if status != last_status:
                 prev, last_status = last_status, status
             if ("migration" in line or "cloning" in line
@@ -172,7 +171,7 @@ class TestExtensionFlags:
         config = TPSConfig(seed=3, use_power_recovery=True,
                            use_hold_fix=True, cluster_first_cuts=2)
         report = TPSScenario(design, config).run()
-        text = "\n".join(report.trace)
+        text = "\n".join(report.trace_lines())
         assert "power recovery" in text
         assert "hold fixing" in text
         # hold fixing leaves no violations it could fix

@@ -67,7 +67,7 @@ class TestWindowBoundaries:
 
 def electrical_lines(report):
     """Trace lines from the migration/cloning/buffering rounds."""
-    return [line for line in report.trace
+    return [line for line in report.trace_lines()
             if ("migration:" in line or "cloning:" in line
                 or "buffering:" in line)
             and "post-legalization" not in line]

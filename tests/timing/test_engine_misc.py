@@ -65,10 +65,10 @@ class TestEngineMisc:
     def test_set_mode_noop_keeps_values(self, simple):
         eng = engine_for(simple)
         eng.worst_slack()
-        flushes = eng.stats["flushes"]
+        flushes = eng.stats()["flushes"]
         eng.set_mode(DelayMode.LOAD)  # already LOAD
         eng.worst_slack()
-        assert eng.stats["flushes"] == flushes
+        assert eng.stats()["flushes"] == flushes
 
     def test_gate_delay_gain_vs_load(self, simple, library):
         eng = engine_for(simple)

@@ -117,11 +117,11 @@ class TestVirtualDiscretization:
         GateSizing().assign_gains(d)
         Partitioner(d, seed=1).run_to(30)
         d.timing.worst_slack()  # settle
-        before = dict(d.timing.stats)
+        before = dict(d.timing.stats())
         result = GateSizing().discretize(d)  # GAIN mode -> virtual
         d.timing.worst_slack()
         assert result.accepted > 0
-        assert d.timing.stats["arrival_recomputes"] == \
+        assert d.timing.stats()["arrival_recomputes"] == \
             before["arrival_recomputes"]
 
     def test_image_sees_virtual_sizes(self, library):
