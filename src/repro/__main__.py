@@ -9,6 +9,10 @@ Commands:
 * ``info``     — print design statistics without running a flow
 * ``trace-export`` — convert a run's ``trace.jsonl`` span stream to
   Chrome trace-event JSON (load in ``chrome://tracing`` / Perfetto)
+* ``serve``    — long-running flow job server (worker pool, HTTP API,
+  live ``/metrics``; see ``docs/operations.md``)
+* ``submit``   — submit a job to a running server, optionally waiting
+  for its report
 """
 
 from __future__ import annotations
@@ -36,9 +40,7 @@ from repro.persist import (
     RunDir,
     RunDirError,
     SnapshotError,
-    load_snapshot_payload,
-    rebuild_design,
-    scan_resume,
+    load_resume,
 )
 from repro.scenario.spr import SPRConfig
 from repro.scenario.tps import TPSConfig
@@ -182,63 +184,45 @@ def _cmd_resume(args, expected_flow) -> int:
         return 2
     library = default_library()
     try:
-        rundir = RunDir.open(args.run_dir)
-        meta = rundir.meta
-        flow = meta.get("flow")
-        if flow != expected_flow:
-            print("run dir %s holds a %s run, not %s"
-                  % (args.run_dir, flow, expected_flow), file=sys.stderr)
-            return 2
-        journal = Journal.open(rundir.journal_path)
-        if journal.truncated_lines:
-            print("journal: dropped %d torn trailing line(s)"
-                  % journal.truncated_lines)
-        state = scan_resume(journal)
-        if state["completed"]:
-            print("run in %s already completed; stored report:"
-                  % args.run_dir)
-            print(json.dumps(rundir.read_report(), indent=2,
-                             sort_keys=True))
-            return 0
-        record = state["snapshot"]
-        if record is None:
-            print("no snapshot to resume from in %s" % args.run_dir,
-                  file=sys.stderr)
-            return 1
-        payload = load_snapshot_payload(rundir, record)
+        run = load_resume(args.run_dir, library,
+                          die_at_status=args.die_at_status,
+                          die_at_snapshot=args.die_at_snapshot)
     except (RunDirError, JournalError, SnapshotError) as exc:
         print("cannot resume: %s" % exc, file=sys.stderr)
         return 1
-    design = rebuild_design(payload, library)
-    pconfig = PersistConfig.from_state(meta.get("persist", {}))
-    # never persisted; fresh kill points may be given per process
-    pconfig.die_at_status = args.die_at_status
-    pconfig.die_at_snapshot = args.die_at_snapshot
-    quarantined = rundir.note_crashes(state["in_flight"],
-                                      pconfig.crash_quarantine_after)
-    if state["in_flight"]:
+    if run.flow != expected_flow:
+        print("run dir %s holds a %s run, not %s"
+              % (args.run_dir, run.flow, expected_flow), file=sys.stderr)
+        return 2
+    if run.truncated_lines:
+        print("journal: dropped %d torn trailing line(s)"
+              % run.truncated_lines)
+    if run.completed:
+        print("run in %s already completed; stored report:"
+              % args.run_dir)
+        print(json.dumps(run.rundir.read_report(), indent=2,
+                         sort_keys=True))
+        return 0
+    if run.in_flight:
         print("in flight at previous death: %s"
-              % ", ".join(state["in_flight"]))
-    persist = FlowPersist(rundir, journal, pconfig, design, resumed=True)
-    persist.seed_snapshot(record, record["status"], payload=payload)
-    persist.note_resumed(record["seq"], record["status"],
-                         state["in_flight"])
+              % ", ".join(run.in_flight))
+    meta = run.meta
+    design = run.design
     chaos = meta.get("chaos")
     injector = (FaultInjector(seed=chaos["seed"], rate=chaos["rate"])
                 if chaos else None)
-    resume_state = dict(payload.get("extras", {}))
-    resume_state["quarantine"] = quarantined
-    tracer = _tracer_setup(args, design, persist)
-    if flow == "TPS":
+    tracer = _tracer_setup(args, design, run.persist)
+    if run.flow == "TPS":
         scenario = TPSScenario(design,
                                config=TPSConfig.from_state(meta["config"]),
-                               injector=injector, persist=persist,
-                               resume_state=resume_state, tracer=tracer)
+                               injector=injector, persist=run.persist,
+                               resume_state=run.resume_state,
+                               tracer=tracer)
     else:
         scenario = SPRFlow(design,
                            config=SPRConfig.from_state(meta["config"]),
-                           injector=injector, persist=persist,
-                           resume_state=resume_state, tracer=tracer)
+                           injector=injector, persist=run.persist,
+                           resume_state=run.resume_state, tracer=tracer)
     report = scenario.run()
     _print_report(report)
     _print_trace(args, report)
@@ -320,10 +304,15 @@ def cmd_trace_export(args) -> int:
     import os
     source = args.source
     if os.path.isdir(source):  # a run directory: use its trace.jsonl
-        source = RunDir.open(source).trace_path
+        try:
+            source = RunDir.open(source).trace_path
+        except RunDirError as exc:
+            print("not a run directory: %s" % exc, file=sys.stderr)
+            return 2
     if not os.path.exists(source):
-        print("no trace at %s" % source, file=sys.stderr)
-        return 1
+        print("no trace at %s (the run was not traced, or the path "
+              "is wrong)" % source, file=sys.stderr)
+        return 2
     records = read_trace(source)
     if not records:
         print("no valid span records in %s" % source, file=sys.stderr)
@@ -334,6 +323,115 @@ def cmd_trace_export(args) -> int:
     if args.timeline:
         for line in CutTimeline.from_records(records).lines():
             print("   ", line)
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the long-running flow job server (see docs/operations.md)."""
+    import signal
+
+    from repro.serve import FlowServer
+
+    server = FlowServer(args.state_dir, host=args.host, port=args.port,
+                        workers=args.workers,
+                        max_attempts=args.max_attempts)
+
+    def _signalled(signum, frame):
+        print("\nsignal %d: shutting down (%s)"
+              % (signum, "draining" if args.drain else "interrupting"))
+        import threading
+        threading.Thread(target=server.shutdown,
+                         kwargs={"drain": args.drain},
+                         daemon=True).start()
+
+    signal.signal(signal.SIGINT, _signalled)
+    signal.signal(signal.SIGTERM, _signalled)
+    server.start()
+    pending = server.store.in_state("queued")
+    print("repro flow server listening on %s" % server.url)
+    print("  state dir   %s" % args.state_dir)
+    print("  workers     %d (max %d attempts per job)"
+          % (args.workers, args.max_attempts))
+    if pending:
+        print("  recovered   %d pending job(s) from the journal: %s"
+              % (len(pending), ", ".join(j.job_id for j in pending)))
+    print("  endpoints   POST /jobs · GET /jobs[/<id>[/result]] · "
+          "POST /jobs/<id>/cancel · GET /metrics · POST /shutdown")
+    server.wait()
+    print("server stopped; state journaled in %s" % args.state_dir)
+    return 0
+
+
+def _submit_spec(args) -> dict:
+    """A job spec from the submit command's flags (or --spec FILE)."""
+    if args.spec:
+        with open(args.spec) as stream:
+            return json.load(stream)
+    if args.design is None:
+        raise SystemExit("submit needs a design (preset name or "
+                         "Verilog file) or --spec FILE")
+    if args.design in DES_PRESETS:
+        design = {"kind": "preset", "name": args.design,
+                  "scale": args.scale}
+        if args.cycle:
+            design["cycle"] = args.cycle
+    else:
+        design = {"kind": "verilog", "path": args.design}
+        if args.cycle:
+            design["cycle"] = args.cycle
+        if args.sdc:
+            design["sdc"] = args.sdc
+    spec = {"flow": args.flow.upper(), "design": design}
+    if args.seed is not None:
+        spec["config"] = {"seed": args.seed}
+    if args.chaos_seed is not None:
+        spec["chaos"] = {"seed": args.chaos_seed,
+                         "rate": args.chaos_rate}
+    persist = {}
+    if args.snapshot_mode:
+        persist["snapshot_mode"] = args.snapshot_mode
+    if args.snapshot_every is not None:
+        persist["snapshot_every"] = args.snapshot_every
+    if persist:
+        spec["persist"] = persist
+    if args.die_at_status is not None:
+        spec["die_at_status"] = args.die_at_status
+    return spec
+
+
+def cmd_submit(args) -> int:
+    """Submit a job to a running flow server; optionally wait."""
+    from repro.serve import client
+
+    spec = _submit_spec(args)
+    try:
+        job_id = client.submit(args.server, spec)
+    except client.ServiceError as exc:
+        print("submit failed: %s" % exc, file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print("cannot reach %s: %s" % (args.server, exc),
+              file=sys.stderr)
+        return 1
+    print("submitted %s" % job_id)
+    if not args.wait:
+        print("poll with: curl %s/jobs/%s" % (args.server, job_id))
+        return 0
+    try:
+        status = client.wait(args.server, job_id,
+                             timeout=args.timeout, poll=args.poll)
+    except TimeoutError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print("job %s: %s (%d attempt(s), %d resume(s))"
+          % (job_id, status["state"], status["attempts"],
+             status["resumes"]))
+    if status["state"] != "done":
+        if status.get("error"):
+            print("  error: %s" % status["error"], file=sys.stderr)
+        return 1
+    report = client.result(args.server, job_id)
+    print(json.dumps(report, indent=2, sort_keys=True))
     return 0
 
 
@@ -467,6 +565,58 @@ def main(argv=None) -> int:
     p.add_argument("--mode", choices=("delay", "area"),
                    default="delay")
     p.set_defaults(func=cmd_synth)
+
+    p = sub.add_parser("serve",
+                       help="run the long-running flow job server")
+    p.add_argument("--state-dir", required=True,
+                   help="durable server state: job journal + one run "
+                        "directory per job")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8137)
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker processes (default 2)")
+    p.add_argument("--max-attempts", type=int, default=3,
+                   help="worker deaths before a job is failed "
+                        "instead of resumed (default 3)")
+    p.add_argument("--drain", action="store_true",
+                   help="on SIGINT/SIGTERM, let running jobs finish "
+                        "instead of interrupting them")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("submit",
+                       help="submit a job to a running flow server")
+    p.add_argument("--server", default="http://127.0.0.1:8137",
+                   help="server base URL "
+                        "(default http://127.0.0.1:8137)")
+    p.add_argument("flow", nargs="?", default="tps",
+                   choices=("tps", "spr"),
+                   help="flow to run (default tps)")
+    p.add_argument("design", nargs="?", default=None,
+                   help="Des1..Des5 preset or a Verilog file on the "
+                        "server's filesystem")
+    p.add_argument("--spec", default=None,
+                   help="submit this JSON job-spec file instead of "
+                        "building one from flags")
+    p.add_argument("--scale", type=float, default=0.2)
+    p.add_argument("--cycle", type=float, default=None)
+    p.add_argument("--sdc", default=None)
+    p.add_argument("--seed", type=int, default=None,
+                   help="flow config seed")
+    p.add_argument("--chaos-seed", type=int, default=None)
+    p.add_argument("--chaos-rate", type=float, default=0.05)
+    p.add_argument("--snapshot-mode", choices=("full", "delta"),
+                   default=None)
+    p.add_argument("--snapshot-every", type=int, default=None)
+    p.add_argument("--die-at-status", type=int, default=None,
+                   help="chaos-test the server: the first worker "
+                        "exits 17 at this cut status and the job "
+                        "must resume")
+    p.add_argument("--wait", action="store_true",
+                   help="poll until the job finishes and print its "
+                        "report")
+    p.add_argument("--timeout", type=float, default=600.0)
+    p.add_argument("--poll", type=float, default=0.5)
+    p.set_defaults(func=cmd_submit)
 
     p = sub.add_parser("info", help="design statistics only")
     _add_design_args(p)

@@ -7,6 +7,7 @@ the same run with tracing off.
 """
 
 from repro.obs.chrome import chrome_events, write_chrome_trace
+from repro.obs.sink import CounterSink, read_sink, sum_counters
 from repro.obs.timeline import CutTimeline, StatusRow
 from repro.obs.tracer import (
     METRIC_KEYS,
@@ -22,6 +23,7 @@ from repro.obs.tracer import (
 __all__ = [
     "METRIC_KEYS",
     "CounterRegistry",
+    "CounterSink",
     "CutTimeline",
     "Span",
     "StatusRow",
@@ -30,6 +32,8 @@ __all__ = [
     "chrome_events",
     "comparable",
     "design_metrics",
+    "read_sink",
     "read_trace",
+    "sum_counters",
     "write_chrome_trace",
 ]

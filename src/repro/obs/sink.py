@@ -1,0 +1,124 @@
+"""A file-backed live-counter sink for cross-process aggregation.
+
+A flow runs in one process; whoever wants to watch it — the
+``repro.serve`` supervisor rendering ``/metrics``, or a human with
+``cat`` — runs in another.  :class:`CounterSink` bridges the two with
+the simplest durable channel available: a single small JSON file,
+rewritten atomically (temp file + ``os.replace``) on every publish, so
+a reader never sees a torn document and a crashed writer leaves the
+last complete publish behind.
+
+The sink document carries the cumulative :class:`CounterRegistry`
+snapshot, a summary of the spans recorded so far (count, wall seconds,
+per-kind breakdown, the last span's name and ``after`` metrics), and
+the design's cut status — everything the server needs to render live
+per-worker metrics without touching the worker's memory.
+
+Publishing is observe-only telemetry, exactly like spans: the sink
+file plays no part in resume, and a run with a sink attached computes
+bit-identical results to one without.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional
+
+#: format tag of the sink document (bump on incompatible change)
+SINK_FORMAT = "repro-counter-sink"
+SINK_VERSION = 1
+
+
+class CounterSink:
+    """Publish live counters + span summaries to one JSON file.
+
+    ``min_interval`` rate-limits rewrites: publishes closer together
+    than this many seconds are dropped (except ``final=True``, which
+    always lands) so a flurry of sub-millisecond spans does not turn
+    the sink into a write amplifier.
+    """
+
+    def __init__(self, path: str, labels: Optional[Dict[str, str]] = None,
+                 min_interval: float = 0.0) -> None:
+        self.path = path
+        #: static identity of the publishing process (job id, flow...)
+        self.labels = dict(labels or {})
+        self.min_interval = min_interval
+        self._last_publish = 0.0
+        self._spans = 0
+        self._span_seconds = 0.0
+        self._by_kind: Dict[str, int] = {}
+        self._last_span: Optional[dict] = None
+
+    # -- span accounting (fed by Tracer.end) ---------------------------
+
+    def note_span(self, record: dict) -> None:
+        """Fold one finished span record into the running summary."""
+        self._spans += 1
+        self._span_seconds += record.get("dt", 0.0)
+        kind = record.get("kind", "?")
+        self._by_kind[kind] = self._by_kind.get(kind, 0) + 1
+        self._last_span = {"name": record.get("name"),
+                           "kind": kind,
+                           "status": record.get("status"),
+                           "after": record.get("after", {})}
+
+    # -- publishing ----------------------------------------------------
+
+    def publish(self, counters: Dict[str, int], status: int = 0,
+                final: bool = False) -> bool:
+        """Atomically rewrite the sink file; returns True if written."""
+        now = time.monotonic()
+        if (not final and self.min_interval > 0.0
+                and now - self._last_publish < self.min_interval):
+            return False
+        self._last_publish = now
+        document = {
+            "format": SINK_FORMAT,
+            "version": SINK_VERSION,
+            "labels": self.labels,
+            "status": status,
+            "final": final,
+            "counters": dict(counters),
+            "spans": {"total": self._spans,
+                      "seconds": self._span_seconds,
+                      "by_kind": dict(self._by_kind),
+                      "last": self._last_span},
+            "updated": time.time(),
+        }
+        tmp = "%s.%d.tmp" % (self.path, os.getpid())
+        with open(tmp, "w") as stream:
+            json.dump(document, stream, sort_keys=True)
+            stream.write("\n")
+        os.replace(tmp, self.path)
+        return True
+
+
+def read_sink(path: str) -> Optional[dict]:
+    """The last complete sink document at ``path``, or None.
+
+    Missing, partial, or foreign files read as None — a watcher must
+    tolerate a worker that has not published yet.
+    """
+    try:
+        with open(path, "r") as stream:
+            document = json.load(stream)
+    except (OSError, ValueError):
+        return None
+    if (not isinstance(document, dict)
+            or document.get("format") != SINK_FORMAT):
+        return None
+    return document
+
+
+def sum_counters(documents: List[dict]) -> Dict[str, int]:
+    """Pointwise sum of the ``counters`` maps of many sink documents."""
+    total: Dict[str, int] = {}
+    for document in documents:
+        for key, value in document.get("counters", {}).items():
+            if isinstance(value, bool) or not isinstance(value, int):
+                continue
+            total[key] = total.get(key, 0) + value
+    return total

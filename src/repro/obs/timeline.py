@@ -39,6 +39,7 @@ class StatusRow:
     counters: Dict[str, int] = field(default_factory=dict)
 
     def fold(self, record: dict) -> None:
+        """Accumulate one span record into this status row."""
         if not self.spans:
             self.before = dict(record["before"])
         self.after = dict(record["after"])
@@ -89,6 +90,7 @@ class CutTimeline:
         return timeline
 
     def row(self, status: int) -> Optional[StatusRow]:
+        """The row of one cut status, or None if never visited."""
         for candidate in self.rows:
             if candidate.status == status:
                 return candidate

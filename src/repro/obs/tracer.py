@@ -71,9 +71,11 @@ class CounterRegistry:
         self._providers: List[Tuple[str, Callable[[], Mapping]]] = []
 
     def add(self, prefix: str, provider: Callable[[], Mapping]) -> None:
+        """Register a counter provider under ``prefix.``."""
         self._providers.append((prefix, provider))
 
     def snapshot(self) -> Dict[str, int]:
+        """All providers flattened to one ``prefix.key`` → int map."""
         flat: Dict[str, int] = {}
         for prefix, provider in self._providers:
             for key, value in provider().items():
@@ -108,6 +110,7 @@ class Span:
     error: Optional[str] = None
 
     def to_record(self) -> dict:
+        """The span as a plain-JSON trace record."""
         record = {
             "seq": self.seq, "name": self.name, "kind": self.kind,
             "status": self.status, "t0": self.t0, "dt": self.dt,
@@ -120,6 +123,8 @@ class Span:
 
     @classmethod
     def from_record(cls, record: dict) -> "Span":
+        """Rebuild a span from its trace record (inverse of
+        :meth:`to_record`)."""
         return cls(seq=record["seq"], name=record["name"],
                    kind=record["kind"], status=record["status"],
                    t0=record["t0"], dt=record["dt"], ok=record["ok"],
@@ -162,6 +167,7 @@ class TraceWriter:
                 pass
 
     def append(self, record: dict) -> None:
+        """Append one CRC-wrapped record and flush it to disk."""
         with open(self.path, "a") as stream:
             stream.write(encode_line(record) + "\n")
             stream.flush()
@@ -213,12 +219,16 @@ class Tracer:
     """
 
     def __init__(self, design, writer: Optional[TraceWriter] = None,
-                 registry: Optional[CounterRegistry] = None) -> None:
+                 registry: Optional[CounterRegistry] = None,
+                 sink=None) -> None:
         self.design = design
         self.writer = writer
         self.counters = registry or CounterRegistry()
         self.counters.add("timing", design.timing.stats)
         self.counters.add("steiner", lambda: design.steiner.stats)
+        #: optional :class:`repro.obs.sink.CounterSink` — the live
+        #: cross-process metrics channel; published at every span end
+        self.sink = sink
         self.spans: List[Span] = []
         self._seq = writer.count if writer is not None else 0
         self._t_base = writer.t_base if writer is not None else 0.0
@@ -231,6 +241,7 @@ class Tracer:
 
     def begin(self, name: str, kind: str = "transform",
               status: Optional[int] = None) -> Span:
+        """Open a span: capture before-metrics and the counter base."""
         return Span(
             seq=-1, name=name, kind=kind,
             status=self.design.status if status is None else status,
@@ -240,6 +251,7 @@ class Tracer:
 
     def end(self, span: Span, ok: bool = True,
             error: Optional[str] = None) -> Span:
+        """Close a span: record deltas, stream it, feed the sink."""
         # seq is allocated at *end* — the moment the span is recorded —
         # so file order equals seq order and a resumed process's spans
         # continue the dead segments' numbering without holes (a killed
@@ -254,8 +266,14 @@ class Tracer:
         if error is not None:
             span.error = error
         self.spans.append(span)
+        record = span.to_record()
         if self.writer is not None:
-            self.writer.append(span.to_record())
+            self.writer.append(record)
+        if self.sink is not None:
+            self.sink.note_span(record)
+            self.sink.publish(self.counters.snapshot(),
+                              status=self.design.status,
+                              final=(span.kind == "flow"))
         return span
 
     @contextmanager

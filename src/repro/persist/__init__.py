@@ -25,6 +25,7 @@ from repro.persist.delta import (
     write_delta,
 )
 from repro.persist.journal import Journal, JournalError
+from repro.persist.resume import ResumedRun, load_resume
 from repro.persist.rundir import (
     DIE_EXIT_CODE,
     FlowPersist,
@@ -54,6 +55,7 @@ __all__ = [
     "Journal",
     "JournalError",
     "PersistConfig",
+    "ResumedRun",
     "RunDir",
     "RunDirError",
     "SNAPSHOT_FORMAT",
@@ -61,6 +63,7 @@ __all__ = [
     "SnapshotError",
     "apply_delta",
     "design_state",
+    "load_resume",
     "load_snapshot_payload",
     "make_delta",
     "read_delta",

@@ -179,9 +179,11 @@ class Journal:
     # -- queries -------------------------------------------------------
 
     def of_type(self, type_: str) -> List[dict]:
+        """All records of one type, in journal order."""
         return [r for r in self.records if r["type"] == type_]
 
     def last_of_type(self, type_: str) -> Optional[dict]:
+        """The most recent record of one type, or None."""
         for record in reversed(self.records):
             if record["type"] == type_:
                 return record

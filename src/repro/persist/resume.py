@@ -1,0 +1,106 @@
+"""Rebuilding an interrupted run from its directory alone.
+
+Everything a fresh process needs to continue a durable run lives on
+disk (see :mod:`repro.persist.rundir`); this module packages the
+assembly sequence — open the directory, recover the journal, classify
+it with :func:`~repro.persist.rundir.scan_resume`, resolve the latest
+snapshot through its delta chain, rebuild the design, award crash
+strikes to in-flight transforms, and seed a resumed
+:class:`~repro.persist.rundir.FlowPersist` — into one call shared by
+the CLI ``--resume`` path and the ``repro.serve`` worker pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.design import Design
+from repro.persist.journal import Journal
+from repro.persist.rundir import (
+    FlowPersist,
+    PersistConfig,
+    RunDir,
+    load_snapshot_payload,
+    scan_resume,
+)
+from repro.persist.snapshot import SnapshotError, rebuild_design
+
+
+@dataclass
+class ResumedRun:
+    """One interrupted run, rebuilt from disk and ready to continue.
+
+    ``completed`` runs carry only ``rundir`` (and its stored report);
+    everything else is populated for runs that still have work to do.
+    The caller hands ``design``/``persist``/``resume_state`` to the
+    scenario constructor exactly as the original process did.
+    """
+
+    rundir: RunDir
+    completed: bool = False
+    journal: Optional[Journal] = None
+    design: Optional[Design] = None
+    persist: Optional[FlowPersist] = None
+    #: snapshot ``extras`` plus the persistent quarantine list
+    resume_state: dict = field(default_factory=dict)
+    #: transforms in flight when the previous process died
+    in_flight: List[str] = field(default_factory=list)
+    #: torn/corrupt journal tail lines dropped during recovery
+    truncated_lines: int = 0
+
+    @property
+    def flow(self) -> Optional[str]:
+        """The run's flow name ("TPS"/"SPR") from its metadata."""
+        return self.rundir.meta.get("flow")
+
+    @property
+    def meta(self) -> dict:
+        """The run's stored metadata (flow, config, spec...)."""
+        return self.rundir.meta
+
+
+def load_resume(path: str, library,
+                die_at_status: Optional[int] = None,
+                die_at_snapshot: Optional[int] = None) -> ResumedRun:
+    """Rebuild an interrupted run in ``path`` from disk alone.
+
+    Raises :class:`~repro.persist.rundir.RunDirError`,
+    :class:`~repro.persist.journal.JournalError`, or
+    :class:`~repro.persist.snapshot.SnapshotError` when the directory
+    is unusable; raises :class:`SnapshotError` when there is no
+    snapshot to resume from (the run died before its init snapshot —
+    the caller may start it over instead).
+
+    ``die_at_status`` / ``die_at_snapshot`` arm fresh kill points for
+    *this* process; they are never read from ``run.json``, so a
+    resumed run does not re-die at the original kill point.
+    """
+    rundir = RunDir.open(path)
+    journal = Journal.open(rundir.journal_path)
+    state = scan_resume(journal)
+    if state["completed"]:
+        return ResumedRun(rundir=rundir, journal=journal,
+                          completed=True,
+                          truncated_lines=journal.truncated_lines)
+    record = state["snapshot"]
+    if record is None:
+        raise SnapshotError("no snapshot to resume from in %s" % path)
+    payload = load_snapshot_payload(rundir, record)
+    design = rebuild_design(payload, library)
+    pconfig = PersistConfig.from_state(rundir.meta.get("persist", {}))
+    pconfig.die_at_status = die_at_status
+    pconfig.die_at_snapshot = die_at_snapshot
+    quarantined = rundir.note_crashes(state["in_flight"],
+                                      pconfig.crash_quarantine_after)
+    persist = FlowPersist(rundir, journal, pconfig, design,
+                          resumed=True)
+    persist.seed_snapshot(record, record["status"], payload=payload)
+    persist.note_resumed(record["seq"], record["status"],
+                         state["in_flight"])
+    resume_state = dict(payload.get("extras", {}))
+    resume_state["quarantine"] = quarantined
+    return ResumedRun(rundir=rundir, journal=journal, design=design,
+                      persist=persist, resume_state=resume_state,
+                      in_flight=state["in_flight"],
+                      truncated_lines=journal.truncated_lines)

@@ -90,6 +90,7 @@ class PersistConfig:
     crash_quarantine_after: int = 1
 
     def to_state(self) -> dict:
+        """The config as a plain-JSON dict (journal metadata)."""
         return {"snapshot_every": self.snapshot_every,
                 "snapshot_mode": self.snapshot_mode,
                 "full_every": self.full_every,
@@ -98,6 +99,8 @@ class PersistConfig:
 
     @classmethod
     def from_state(cls, state: dict) -> "PersistConfig":
+        """Rebuild a config from :meth:`to_state` output; missing
+        keys take their defaults."""
         return cls(snapshot_every=state.get("snapshot_every", 10),
                    snapshot_mode=state.get("snapshot_mode", "full"),
                    full_every=state.get("full_every", 8),
@@ -132,6 +135,7 @@ class RunDir:
 
     @classmethod
     def create(cls, path: str, meta: dict) -> "RunDir":
+        """Create a new run directory and write its ``run.json``."""
         os.makedirs(path, exist_ok=True)
         os.makedirs(os.path.join(path, "snapshots"), exist_ok=True)
         rundir = cls(path, meta)
@@ -142,6 +146,8 @@ class RunDir:
 
     @classmethod
     def open(cls, path: str) -> "RunDir":
+        """Open an existing run directory, validating format and
+        version; raises :class:`RunDirError` if unusable."""
         run_json = os.path.join(path, "run.json")
         try:
             with open(run_json, "r") as stream:
@@ -161,18 +167,22 @@ class RunDir:
 
     @property
     def run_json_path(self) -> str:
+        """Run metadata: format tag, version, meta dict."""
         return os.path.join(self.path, "run.json")
 
     @property
     def journal_path(self) -> str:
+        """The run's write-ahead event journal."""
         return os.path.join(self.path, "journal.jsonl")
 
     @property
     def quarantine_path(self) -> str:
+        """Cross-process crash strikes and quarantined transforms."""
         return os.path.join(self.path, "quarantine.json")
 
     @property
     def report_path(self) -> str:
+        """The final FlowReport state (written at ``run_end``)."""
         return os.path.join(self.path, "report.json")
 
     @property
@@ -182,6 +192,7 @@ class RunDir:
 
     @property
     def elapsed_path(self) -> str:
+        """Cumulative wall-clock seconds across all attempts."""
         return os.path.join(self.path, "elapsed.json")
 
     # -- cumulative wall clock -----------------------------------------
@@ -193,6 +204,7 @@ class RunDir:
         _write_json(self.elapsed_path, {"seconds": seconds})
 
     def load_elapsed(self) -> float:
+        """Prior attempts' wall-clock seconds (0.0 if none)."""
         try:
             with open(self.elapsed_path, "r") as stream:
                 return float(json.load(stream)["seconds"])
@@ -211,6 +223,7 @@ class RunDir:
     # -- quarantine persistence ----------------------------------------
 
     def load_quarantine(self) -> dict:
+        """The quarantine state; a missing file reads as empty."""
         try:
             with open(self.quarantine_path, "r") as stream:
                 state = json.load(stream)
@@ -221,6 +234,7 @@ class RunDir:
         return state
 
     def save_quarantine(self, state: dict) -> None:
+        """Atomically rewrite the quarantine state."""
         _write_json(self.quarantine_path, state)
 
     def note_crashes(self, names: List[str], threshold: int) -> List[str]:
@@ -239,9 +253,11 @@ class RunDir:
     # -- final report --------------------------------------------------
 
     def write_report(self, state: dict) -> None:
+        """Atomically write the final report JSON."""
         _write_json(self.report_path, state)
 
     def read_report(self) -> Optional[dict]:
+        """The stored report, or None if the run never finished."""
         try:
             with open(self.report_path, "r") as stream:
                 return json.load(stream)
@@ -362,31 +378,37 @@ class FlowPersist:
     # -- journal bookkeeping -------------------------------------------
 
     def start(self, flow: str, seed: int) -> None:
+        """Journal the start of a fresh run."""
         self.journal.append("run_start", flow=flow, seed=seed)
 
     def note_resumed(self, snapshot_seq: int, status: int,
                      in_flight: List[str]) -> None:
+        """Journal that this process resumed from a snapshot."""
         self.journal.append("resumed", snapshot=snapshot_seq,
                             status=status, in_flight=in_flight)
 
     def phase(self, status: int, **metrics) -> None:
+        """Journal a cut-status milestone and its metrics."""
         self.journal.append("phase", status=status, **metrics)
 
     # -- GuardedRunner recorder protocol -------------------------------
 
     def transform_start(self, name: str, invocation: int) -> None:
+        """Journal a transform entering execution (write-ahead)."""
         self.journal.append("transform_start", name=name,
                             invocation=invocation,
                             status=self.design.status)
 
     def transform_end(self, name: str, invocation: int, ok: bool,
                       kind: Optional[str] = None) -> None:
+        """Journal a transform's completion (or guarded failure)."""
         fields = {"name": name, "invocation": invocation, "ok": ok}
         if kind is not None:
             fields["kind"] = kind
         self.journal.append("transform_end", **fields)
 
     def quarantined(self, name: str) -> None:
+        """Journal a quarantine and persist it for later attempts."""
         self.journal.append("quarantine", name=name)
         state = self.rundir.load_quarantine()
         if name not in state["quarantined"]:
@@ -627,6 +649,7 @@ class FlowPersist:
     # -- completion ----------------------------------------------------
 
     def finish(self, report_state: dict) -> None:
+        """Seal the run: elapsed, ``run_end``, signed report."""
         self.rundir.save_elapsed(self.elapsed_seconds())
         self.journal.append("run_end",
                             signature=state_signature(self.design),

@@ -1,0 +1,56 @@
+"""Flow service mode: a long-running job server over the TPS flows.
+
+``python -m repro serve`` turns the batch reproduction into an
+operable service (see ``docs/operations.md``): an ``http.server``
+front end accepts flow jobs (a design recipe plus flow, guard, chaos,
+and persistence options), a supervisor schedules them onto a pool of
+worker *processes*, and every job runs inside the ``repro.persist``
+machinery — its own run directory with a write-ahead journal and
+milestone snapshots — so a worker that crashes or is killed is
+detected by the supervisor and the job is *resumed* from its last
+snapshot on a fresh worker, never restarted from scratch, with guard
+quarantine honored across the retries.
+
+Live observability crosses the process boundary through the
+``repro.obs`` counter sink: each worker publishes its cumulative
+counter registry and span summary to a small JSON file at every span
+end, and the server's ``/metrics`` endpoint renders the fleet in
+Prometheus text format.
+
+Everything is standard library only: ``http.server``,
+``multiprocessing``, ``threading``, ``json``.
+"""
+
+from repro.serve.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    Job,
+    JobSpecError,
+    JobStore,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+)
+from repro.serve.metrics import prometheus_metrics
+from repro.serve.pool import WorkerPool
+from repro.serve.server import FlowServer
+from repro.serve.spec import build_job_design, job_flow_config, normalize_spec
+
+__all__ = [
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "FlowServer",
+    "Job",
+    "JobSpecError",
+    "JobStore",
+    "QUEUED",
+    "RUNNING",
+    "TERMINAL_STATES",
+    "WorkerPool",
+    "build_job_design",
+    "job_flow_config",
+    "normalize_spec",
+    "prometheus_metrics",
+]

@@ -1,0 +1,89 @@
+"""A minimal stdlib client for the flow service HTTP API.
+
+Used by ``python -m repro submit`` and the server test suite; thin on
+purpose — every call is one HTTP request, JSON in, JSON out, no
+retries or sessions.  Any non-2xx response raises
+:class:`ServiceError` carrying the server's ``error`` message.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Optional
+
+from repro.serve.jobs import TERMINAL_STATES
+
+
+class ServiceError(Exception):
+    """The server answered with an error status."""
+
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__("HTTP %d: %s" % (code, message))
+        self.code = code
+        self.message = message
+
+
+def request(base_url: str, path: str, payload: Optional[dict] = None,
+            method: Optional[str] = None, timeout: float = 30.0):
+    """One JSON request; returns the decoded body (str for text)."""
+    url = base_url.rstrip("/") + path
+    data = None
+    headers = {"Accept": "application/json"}
+    if payload is not None:
+        data = json.dumps(payload).encode()
+        headers["Content-Type"] = "application/json"
+    req = urllib.request.Request(
+        url, data=data, headers=headers,
+        method=method or ("POST" if payload is not None else "GET"))
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as response:
+            body = response.read().decode()
+            kind = response.headers.get("Content-Type", "")
+    except urllib.error.HTTPError as exc:
+        detail = exc.read().decode(errors="replace")
+        try:
+            detail = json.loads(detail).get("error", detail)
+        except ValueError:
+            pass
+        raise ServiceError(exc.code, detail)
+    if kind.startswith("application/json"):
+        return json.loads(body)
+    return body
+
+
+def submit(base_url: str, spec: dict) -> str:
+    """Submit a job spec; returns the assigned job id."""
+    return request(base_url, "/jobs", payload=spec)["job_id"]
+
+
+def status(base_url: str, job_id: str) -> dict:
+    """One job's status summary (``GET /jobs/<id>``)."""
+    return request(base_url, "/jobs/%s" % job_id)
+
+
+def result(base_url: str, job_id: str) -> dict:
+    """A finished job's report (``GET /jobs/<id>/result``)."""
+    return request(base_url, "/jobs/%s/result" % job_id)
+
+
+def metrics(base_url: str) -> str:
+    """The Prometheus text payload of ``GET /metrics``."""
+    return request(base_url, "/metrics")
+
+
+def wait(base_url: str, job_id: str, timeout: float = 600.0,
+         poll: float = 0.5) -> dict:
+    """Poll until the job reaches a terminal state; returns its
+    status.  Raises TimeoutError if it does not settle in time."""
+    deadline = time.monotonic() + timeout
+    while True:
+        state = status(base_url, job_id)
+        if state["state"] in TERMINAL_STATES:
+            return state
+        if time.monotonic() >= deadline:
+            raise TimeoutError("job %s still %s after %.0fs"
+                               % (job_id, state["state"], timeout))
+        time.sleep(poll)

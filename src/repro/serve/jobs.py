@@ -1,0 +1,273 @@
+"""The server's job table, journaled for restart survival.
+
+Every state change of every job is one record in
+``STATE_DIR/jobs.jsonl``, written through the same CRC-wrapped,
+torn-tail-recovering :class:`repro.persist.journal.Journal` the flow
+run directories use.  A restarted server replays the journal and gets
+its job table back: terminal jobs keep their outcome, and anything
+that was queued or running when the previous server died is requeued
+— a running job's run directory is still on disk, so its next worker
+*resumes* it from the last milestone snapshot rather than starting
+over.
+
+Record types: ``submit`` (job id + canonical spec), ``start`` (a
+worker process was spawned, with its attempt ordinal), ``requeue``
+(the worker died; the job goes back in line), ``finish`` (terminal:
+``done`` / ``failed`` / ``cancelled``).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.persist.journal import Journal, JournalError
+from repro.serve.spec import JobSpecError, normalize_spec
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: states a job never leaves
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+
+@dataclass
+class Job:
+    """One submitted flow run and its scheduling history."""
+
+    job_id: str
+    spec: dict
+    state: str = QUEUED
+    #: worker processes spawned for this job (1 = never crashed)
+    attempts: int = 0
+    #: crash/kill recoveries (attempts that were resumes)
+    resumes: int = 0
+    error: Optional[str] = None
+    submitted_at: float = field(default_factory=time.time)
+    finished_at: Optional[float] = None
+    #: exit code of the last finished worker process
+    last_exit: Optional[int] = None
+
+    def summary(self) -> dict:
+        """The JSON the status endpoints serve."""
+        return {
+            "job_id": self.job_id,
+            "state": self.state,
+            "flow": self.spec.get("flow"),
+            "design": self.spec.get("design"),
+            "attempts": self.attempts,
+            "resumes": self.resumes,
+            "error": self.error,
+            "submitted_at": self.submitted_at,
+            "finished_at": self.finished_at,
+        }
+
+
+class JobStore:
+    """Thread-safe job table backed by the server journal.
+
+    ``state_dir`` is the server's durable identity::
+
+        STATE_DIR/
+          jobs.jsonl    journal of every job state change
+          runs/<id>/    one repro.persist run directory per job
+
+    All mutation goes through methods that journal first, then update
+    the in-memory table under the lock — the same write-ahead
+    discipline the flows themselves follow.
+    """
+
+    def __init__(self, state_dir: str) -> None:
+        self.state_dir = state_dir
+        os.makedirs(self.runs_dir, exist_ok=True)
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []
+        self._next_id = 1
+        #: monotonically increasing totals (never decremented)
+        self._totals = {"submitted": 0, "done": 0, "failed": 0,
+                        "cancelled": 0, "resumes": 0, "rejected": 0}
+        try:
+            self.journal = Journal.open(self.journal_path)
+            self._replay()
+        except JournalError:
+            self.journal = Journal.create(self.journal_path)
+
+    # -- paths ---------------------------------------------------------
+
+    @property
+    def journal_path(self) -> str:
+        """The server's job-state journal file."""
+        return os.path.join(self.state_dir, "jobs.jsonl")
+
+    @property
+    def runs_dir(self) -> str:
+        """Parent directory of all per-job run directories."""
+        return os.path.join(self.state_dir, "runs")
+
+    def run_path(self, job_id: str) -> str:
+        """The repro.persist run directory of one job."""
+        return os.path.join(self.runs_dir, job_id)
+
+    # -- journal replay ------------------------------------------------
+
+    def _replay(self) -> None:
+        """Rebuild the job table from the journal (server restart)."""
+        for record in self.journal:
+            kind = record["type"]
+            if kind == "submit":
+                job = Job(job_id=record["job_id"],
+                          spec=record["spec"],
+                          submitted_at=record.get("at", 0.0))
+                self._jobs[job.job_id] = job
+                self._order.append(job.job_id)
+                self._totals["submitted"] += 1
+                ordinal = _job_ordinal(job.job_id)
+                self._next_id = max(self._next_id, ordinal + 1)
+            elif kind == "start":
+                job = self._jobs.get(record["job_id"])
+                if job is not None:
+                    job.state = RUNNING
+                    job.attempts = record.get("attempt", job.attempts + 1)
+            elif kind == "requeue":
+                job = self._jobs.get(record["job_id"])
+                if job is not None:
+                    job.state = QUEUED
+                    # exit=None marks a shutdown release, not a crash
+                    if record.get("exit") is not None:
+                        job.resumes += 1
+                        self._totals["resumes"] += 1
+            elif kind == "finish":
+                job = self._jobs.get(record["job_id"])
+                if job is not None:
+                    job.state = record["state"]
+                    job.error = record.get("error")
+                    job.finished_at = record.get("at")
+                    self._totals[record["state"]] += 1
+        # a job mid-flight when the server died goes back in line; its
+        # run dir (if any) makes the next attempt a resume
+        for job in self._jobs.values():
+            if job.state == RUNNING:
+                job.state = QUEUED
+
+    # -- submission ----------------------------------------------------
+
+    def submit(self, raw_spec: dict) -> Job:
+        """Validate, journal, and enqueue one job.
+
+        Raises :class:`~repro.serve.spec.JobSpecError` on a malformed
+        spec (counted in ``jobs_rejected``).
+        """
+        try:
+            spec = normalize_spec(raw_spec)
+        except JobSpecError:
+            with self._lock:
+                self._totals["rejected"] += 1
+            raise
+        with self._lock:
+            job_id = "job-%04d" % self._next_id
+            self._next_id += 1
+            job = Job(job_id=job_id, spec=spec)
+            self.journal.append("submit", job_id=job_id, spec=spec,
+                                at=job.submitted_at)
+            self._jobs[job_id] = job
+            self._order.append(job_id)
+            self._totals["submitted"] += 1
+            return job
+
+    # -- scheduling hooks (called by the pool) -------------------------
+
+    def claim_next(self) -> Optional[Job]:
+        """Pop the oldest queued job and mark it running (journaled)."""
+        with self._lock:
+            for job_id in self._order:
+                job = self._jobs[job_id]
+                if job.state == QUEUED:
+                    job.state = RUNNING
+                    job.attempts += 1
+                    self.journal.append("start", job_id=job_id,
+                                        attempt=job.attempts)
+                    return job
+            return None
+
+    def requeue(self, job: Job, exit_code: Optional[int]) -> None:
+        """Put a crashed job back in line for a resume attempt."""
+        with self._lock:
+            self.journal.append("requeue", job_id=job.job_id,
+                                exit=exit_code)
+            job.state = QUEUED
+            job.last_exit = exit_code
+            job.resumes += 1
+            self._totals["resumes"] += 1
+
+    def release(self, job: Job) -> None:
+        """Return a claimed-but-never-run job to the queue, without
+        counting a resume (graceful shutdown path)."""
+        with self._lock:
+            self.journal.append("requeue", job_id=job.job_id, exit=None)
+            job.state = QUEUED
+
+    def finish(self, job: Job, state: str,
+               error: Optional[str] = None,
+               exit_code: Optional[int] = None) -> None:
+        """Move a job to a terminal state (journaled)."""
+        assert state in TERMINAL_STATES, state
+        with self._lock:
+            job.finished_at = time.time()
+            self.journal.append("finish", job_id=job.job_id,
+                                state=state, error=error,
+                                at=job.finished_at)
+            job.state = state
+            job.error = error
+            job.last_exit = exit_code
+            self._totals[state] += 1
+
+    # -- queries -------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[Job]:
+        """The job with this id, or None."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        """All jobs, oldest first."""
+        with self._lock:
+            return [self._jobs[job_id] for job_id in self._order]
+
+    def in_state(self, *states: str) -> List[Job]:
+        """All jobs currently in any of the given states."""
+        with self._lock:
+            return [self._jobs[job_id] for job_id in self._order
+                    if self._jobs[job_id].state in states]
+
+    def counters(self) -> Dict[str, int]:
+        """Job accounting for the server's CounterRegistry and
+        ``/metrics``: lifetime totals plus current queue gauges."""
+        with self._lock:
+            by_state: Dict[str, int] = {}
+            for job in self._jobs.values():
+                by_state[job.state] = by_state.get(job.state, 0) + 1
+            return {
+                "jobs_submitted": self._totals["submitted"],
+                "jobs_done": self._totals["done"],
+                "jobs_failed": self._totals["failed"],
+                "jobs_cancelled": self._totals["cancelled"],
+                "jobs_rejected": self._totals["rejected"],
+                "job_resumes": self._totals["resumes"],
+                "jobs_queued": by_state.get(QUEUED, 0),
+                "jobs_running": by_state.get(RUNNING, 0),
+            }
+
+
+def _job_ordinal(job_id: str) -> int:
+    """The numeric tail of a ``job-NNNN`` id (0 if foreign)."""
+    try:
+        return int(job_id.rsplit("-", 1)[1])
+    except (IndexError, ValueError):
+        return 0

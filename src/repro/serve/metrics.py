@@ -1,0 +1,132 @@
+"""Rendering the live counter registry as Prometheus text format.
+
+Two sources feed ``/metrics``:
+
+* the **server registry** — a :class:`repro.obs.CounterRegistry` over
+  the job store and the worker pool, rendered as unlabeled
+  ``repro_server_*`` / ``repro_pool_*`` series;
+* the **worker sinks** — each job's ``metrics.json``
+  (:mod:`repro.obs.sink`), rendered as per-job labeled series:
+  the flow's own analyzer counters as
+  ``repro_flow_<counter>{job=...,flow=...}`` plus span summaries
+  (``repro_flow_spans_total``, ``repro_flow_span_seconds_total``,
+  ``repro_flow_cut_status``).
+
+Only the `Prometheus text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ is
+produced — one ``# TYPE`` header per metric family, label values
+escaped, no client library required.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Tuple
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def metric_name(raw: str) -> str:
+    """A legal Prometheus metric-name fragment from a counter key."""
+    name = _NAME_RE.sub("_", raw)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def escape_label(value: str) -> str:
+    """Escape a label value per the text exposition format."""
+    return (str(value).replace("\\", r"\\")
+            .replace('"', r'\"').replace("\n", r"\n"))
+
+
+def _labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join('%s="%s"' % (metric_name(k), escape_label(v))
+                     for k, v in sorted(labels.items()))
+    return "{%s}" % inner
+
+
+class _Family:
+    """One metric family: a TYPE header plus its sample lines."""
+
+    def __init__(self, name: str, kind: str) -> None:
+        self.name = name
+        self.kind = kind
+        self.samples: List[Tuple[str, float]] = []
+
+    def add(self, labels: Dict[str, str], value) -> None:
+        self.samples.append((_labels(labels), value))
+
+    def lines(self) -> List[str]:
+        out = ["# TYPE %s %s" % (self.name, self.kind)]
+        for labels, value in self.samples:
+            out.append("%s%s %s" % (self.name, labels, _format(value)))
+        return out
+
+
+def _format(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def prometheus_metrics(server_counters: Dict[str, int],
+                       sink_documents: Iterable[dict]) -> str:
+    """The full ``/metrics`` payload as one text blob.
+
+    ``server_counters`` is the registry snapshot (already flattened to
+    ``prefix.key``); ``sink_documents`` are the per-job counter-sink
+    documents (see :func:`repro.obs.read_sink`), whose ``labels``
+    become Prometheus labels.
+    """
+    families: Dict[str, _Family] = {}
+
+    def family(name: str, kind: str) -> _Family:
+        if name not in families:
+            families[name] = _Family(name, kind)
+        return families[name]
+
+    # registry keys arrive as "prefix.key" (server.jobs_done,
+    # pool.workers_busy) and keep their prefix in the metric name
+    for key in sorted(server_counters):
+        name = "repro_%s" % metric_name(key)
+        # lifetime totals are counters; the rest are point-in-time
+        kind = ("counter" if key.split(".")[-1].endswith(
+            ("_total", "spawned", "crashes", "kills", "submitted",
+             "done", "failed", "cancelled", "rejected", "resumes"))
+            else "gauge")
+        family(name, kind).add({}, server_counters[key])
+
+    for document in sink_documents:
+        if not document:
+            continue
+        labels = dict(document.get("labels", {}))
+        for key, value in sorted(document.get("counters", {}).items()):
+            if isinstance(value, bool) or not isinstance(value, int):
+                continue
+            name = "repro_flow_%s" % metric_name(key)
+            family(name, "counter").add(labels, value)
+        spans = document.get("spans", {})
+        family("repro_flow_spans_total", "counter").add(
+            labels, spans.get("total", 0))
+        family("repro_flow_span_seconds_total", "counter").add(
+            labels, spans.get("seconds", 0.0))
+        for kind_name, count in sorted(
+                spans.get("by_kind", {}).items()):
+            kind_labels = dict(labels)
+            kind_labels["kind"] = kind_name
+            family("repro_flow_spans_by_kind", "counter").add(
+                kind_labels, count)
+        family("repro_flow_cut_status", "gauge").add(
+            labels, document.get("status", 0))
+        family("repro_flow_finished", "gauge").add(
+            labels, 1 if document.get("final") else 0)
+
+    lines: List[str] = []
+    for name in sorted(families):
+        lines.extend(families[name].lines())
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,209 @@
+"""The supervisor: a bounded pool of single-job worker processes.
+
+One scheduler thread owns the whole lifecycle: it claims queued jobs
+from the :class:`~repro.serve.jobs.JobStore`, spawns one
+``multiprocessing`` (spawn-context) process per job up to the worker
+limit, and reaps the dead.  A worker that exits 0 completes its job; a
+worker that dies any other way — a crash, a ``die_at_*`` simulated
+kill (exit 17), an OOM kill — gets its job *requeued*, and because the
+job's run directory survived, the next attempt resumes from the last
+milestone snapshot with crash-implicated transforms quarantined
+(``repro.persist``'s standard resume semantics).  After
+``max_attempts`` worker deaths the job is failed rather than retried
+forever.
+
+Cancellation terminates the worker (SIGTERM); a graceful stop
+terminates the running workers too but leaves their jobs non-terminal
+in the journal, so the next server picks them up as resumes — the
+difference is only who asked.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from typing import Dict, Optional
+
+from repro.persist import DIE_EXIT_CODE
+from repro.serve.jobs import CANCELLED, DONE, FAILED, Job, JobStore
+from repro.serve.worker import BAD_JOB_EXIT_CODE, worker_entry
+
+#: scheduler poll period (seconds); latency floor for job pickup
+TICK = 0.05
+
+
+class WorkerPool:
+    """Schedule store jobs onto at most ``workers`` child processes."""
+
+    def __init__(self, store: JobStore, workers: int = 2,
+                 max_attempts: int = 3) -> None:
+        self.store = store
+        self.workers = max(1, workers)
+        #: worker deaths after which a job is failed, not requeued
+        self.max_attempts = max(1, max_attempts)
+        self._ctx = multiprocessing.get_context("spawn")
+        self._procs: Dict[str, multiprocessing.Process] = {}
+        self._cancelling: set = set()
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._accepting = threading.Event()
+        self._accepting.set()
+        self._thread: Optional[threading.Thread] = None
+        self._totals = {"spawned": 0, "crashes": 0, "kills": 0}
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> None:
+        """Start the scheduler thread."""
+        self._thread = threading.Thread(target=self._loop,
+                                        name="repro-serve-pool",
+                                        daemon=True)
+        self._thread.start()
+
+    def stop(self, drain: bool = False,
+             timeout: Optional[float] = None) -> None:
+        """Stop scheduling; optionally wait for running jobs.
+
+        ``drain=True`` lets already-running workers finish (bounded by
+        ``timeout``); queued jobs stay journaled for the next server.
+        ``drain=False`` terminates running workers immediately — their
+        run directories make the interruption recoverable.
+        """
+        self._accepting.clear()
+        if drain:
+            deadline = (time.monotonic() + timeout
+                        if timeout is not None else None)
+            while self.busy() and (deadline is None
+                                   or time.monotonic() < deadline):
+                time.sleep(TICK)
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        # anything still alive is interrupted, not finished: terminate
+        # and put the job back in line for the next server
+        with self._lock:
+            leftovers = dict(self._procs)
+        for job_id, proc in leftovers.items():
+            proc.terminate()
+            proc.join(timeout=10.0)
+            job = self.store.get(job_id)
+            if job is not None and job.state not in (DONE, FAILED,
+                                                     CANCELLED):
+                self.store.release(job)
+        with self._lock:
+            self._procs.clear()
+
+    # -- scheduling loop -----------------------------------------------
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            self._reap()
+            while self._accepting.is_set() and self.busy() < self.workers:
+                job = self.store.claim_next()
+                if job is None:
+                    break
+                self._spawn(job)
+            time.sleep(TICK)
+        self._reap()
+
+    def _spawn(self, job: Job) -> None:
+        proc = self._ctx.Process(
+            target=worker_entry,
+            args=(job.job_id, job.spec, self.store.run_path(job.job_id)),
+            name="repro-worker-%s" % job.job_id,
+            daemon=True)
+        try:
+            proc.start()
+        except Exception as exc:  # spawn failed: keep scheduling alive
+            self.store.finish(job, FAILED,
+                              error="cannot start worker: %s" % exc)
+            return
+        with self._lock:
+            self._procs[job.job_id] = proc
+            self._totals["spawned"] += 1
+
+    def _reap(self) -> None:
+        with self._lock:
+            finished = [(job_id, proc)
+                        for job_id, proc in self._procs.items()
+                        if proc.exitcode is not None]
+            for job_id, _ in finished:
+                del self._procs[job_id]
+        for job_id, proc in finished:
+            proc.join()
+            self._settle(job_id, proc.exitcode)
+
+    def _settle(self, job_id: str, exit_code: int) -> None:
+        """Translate one worker exit into the job's next state."""
+        job = self.store.get(job_id)
+        if job is None:
+            return
+        cancelled = job_id in self._cancelling
+        self._cancelling.discard(job_id)
+        if cancelled:
+            self.store.finish(job, CANCELLED, exit_code=exit_code)
+        elif exit_code == 0:
+            self.store.finish(job, DONE, exit_code=0)
+        elif exit_code == BAD_JOB_EXIT_CODE:
+            self.store.finish(job, FAILED, exit_code=exit_code,
+                              error="worker rejected the job "
+                                    "(exit %d)" % exit_code)
+        elif job.attempts >= self.max_attempts:
+            self._totals["crashes"] += 1
+            self.store.finish(job, FAILED, exit_code=exit_code,
+                              error="worker died (exit %d) on final "
+                                    "attempt %d/%d"
+                                    % (exit_code, job.attempts,
+                                       self.max_attempts))
+        else:
+            # the run dir survived the death: requeue for a resume
+            self._totals["crashes"] += 1
+            self.store.requeue(job, exit_code)
+
+    # -- controls ------------------------------------------------------
+
+    def cancel(self, job: Job) -> bool:
+        """Cancel a queued or running job; returns True if acted."""
+        with self._lock:
+            proc = self._procs.get(job.job_id)
+            if proc is not None and proc.exitcode is None:
+                self._cancelling.add(job.job_id)
+                self._totals["kills"] += 1
+                proc.terminate()
+                return True
+        if job.state == "queued":
+            self.store.finish(job, CANCELLED)
+            return True
+        return False
+
+    # -- introspection -------------------------------------------------
+
+    def busy(self) -> int:
+        """Worker processes currently alive."""
+        with self._lock:
+            return sum(1 for proc in self._procs.values()
+                       if proc.exitcode is None)
+
+    def running_job_ids(self):
+        """Job ids with a live or unreaped worker process."""
+        with self._lock:
+            return sorted(self._procs)
+
+    def counters(self) -> Dict[str, int]:
+        """Pool accounting for the server registry / ``/metrics``."""
+        with self._lock:
+            alive = sum(1 for proc in self._procs.values()
+                        if proc.exitcode is None)
+        return {
+            "workers": self.workers,
+            "workers_busy": alive,
+            "workers_spawned": self._totals["spawned"],
+            "worker_crashes": self._totals["crashes"],
+            "worker_kills": self._totals["kills"],
+            "max_attempts": self.max_attempts,
+        }
+
+
+#: re-export: the simulated-kill exit code workers die with
+__all__ = ["WorkerPool", "DIE_EXIT_CODE", "TICK"]

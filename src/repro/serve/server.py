@@ -1,0 +1,276 @@
+"""The HTTP front end: ``http.server`` over the store and the pool.
+
+The operator surface (documented end to end in
+``docs/operations.md``):
+
+====== ======================== =======================================
+Verb   Path                     Meaning
+====== ======================== =======================================
+GET    /healthz                 liveness + worker/queue gauges
+POST   /jobs                    submit a job (JSON spec) → 202 + id
+GET    /jobs                    list all jobs, oldest first
+GET    /jobs/<id>               one job's status
+GET    /jobs/<id>/result        the finished job's ``report.json``
+POST   /jobs/<id>/cancel        cancel a queued or running job
+GET    /metrics                 Prometheus text format
+POST   /shutdown                graceful shutdown (``{"drain": bool}``)
+====== ======================== =======================================
+
+Errors are JSON ``{"error": ...}`` with conventional status codes
+(400 malformed spec, 404 unknown job/path, 409 result not ready,
+503 shutting down).  The server itself is a
+:class:`http.server.ThreadingHTTPServer` — one OS thread per in-flight
+request, which is plenty for an operator surface; the actual flow work
+happens in the pool's worker *processes*.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.obs import CounterRegistry, read_sink
+from repro.persist import RunDir, RunDirError
+from repro.serve.jobs import DONE, JobSpecError, JobStore, RUNNING
+from repro.serve.metrics import prometheus_metrics
+from repro.serve.pool import WorkerPool
+from repro.serve.worker import SINK_FILE
+
+_JOB_PATH = re.compile(r"^/jobs/([A-Za-z0-9_-]+)(/result|/cancel)?$")
+
+
+class FlowServer:
+    """One service instance: store + pool + HTTP listener.
+
+    ``port=0`` binds an ephemeral port (tests); read ``address`` after
+    construction for the actual endpoint.
+    """
+
+    def __init__(self, state_dir: str, host: str = "127.0.0.1",
+                 port: int = 0, workers: int = 2,
+                 max_attempts: int = 3) -> None:
+        self.state_dir = state_dir
+        self.store = JobStore(state_dir)
+        self.pool = WorkerPool(self.store, workers=workers,
+                               max_attempts=max_attempts)
+        self.registry = CounterRegistry()
+        self.registry.add("server", self.store.counters)
+        self.registry.add("pool", self.pool.counters)
+        self._shutting_down = threading.Event()
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.flow_server = self  # handler back-pointer
+        self._http_thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port)."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        """The service base URL (``http://host:port``)."""
+        host, port = self.address
+        return "http://%s:%d" % (host, port)
+
+    def start(self) -> None:
+        """Start the pool scheduler and the HTTP listener."""
+        self.pool.start()
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-serve-http", daemon=True)
+        self._http_thread.start()
+
+    def shutdown(self, drain: bool = False,
+                 timeout: Optional[float] = None) -> None:
+        """Stop gracefully: refuse new jobs, stop the pool, close HTTP.
+
+        Queued jobs stay journaled; interrupted running jobs are
+        released back to the queue — a server restarted on the same
+        state dir resumes them (see ``docs/operations.md``).
+        """
+        if self._shutting_down.is_set():
+            return
+        self._shutting_down.set()
+        self.pool.stop(drain=drain, timeout=timeout)
+        self._httpd.shutdown()
+        if self._http_thread is not None:
+            self._http_thread.join(timeout=10.0)
+        self._httpd.server_close()
+
+    def wait(self) -> None:
+        """Block until the HTTP listener stops (CLI foreground mode)."""
+        if self._http_thread is not None:
+            while self._http_thread.is_alive():
+                self._http_thread.join(timeout=0.5)
+
+    # -- request logic (called by the handler) -------------------------
+
+    def job_status(self, job) -> dict:
+        """A job summary enriched with live run-dir telemetry."""
+        payload = job.summary()
+        sink = read_sink("%s/%s" % (self.store.run_path(job.job_id),
+                                    SINK_FILE))
+        if sink is not None:
+            payload["cut_status"] = sink.get("status")
+            payload["spans"] = sink.get("spans", {}).get("total")
+            payload["metrics_updated"] = sink.get("updated")
+        return payload
+
+    def job_result(self, job) -> Optional[dict]:
+        """The stored ``report.json`` of a completed job, or None."""
+        try:
+            return RunDir.open(self.store.run_path(job.job_id)) \
+                .read_report()
+        except RunDirError:
+            return None
+
+    def metrics_text(self) -> str:
+        """The full Prometheus payload: registry + live job sinks."""
+        documents = []
+        for job in self.store.in_state(RUNNING, DONE):
+            document = read_sink("%s/%s"
+                                 % (self.store.run_path(job.job_id),
+                                    SINK_FILE))
+            if document is not None:
+                documents.append(document)
+        return prometheus_metrics(self.registry.snapshot(), documents)
+
+    @property
+    def shutting_down(self) -> bool:
+        """True once shutdown began (new submissions are refused)."""
+        return self._shutting_down.is_set()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the owning :class:`FlowServer`."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+
+    @property
+    def flow(self) -> FlowServer:
+        return self.server.flow_server
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib name
+        pass  # the operator surface is /metrics, not an access log
+
+    def _send(self, code: int, payload, content_type="application/json"):
+        if isinstance(payload, (dict, list)):
+            body = (json.dumps(payload, indent=2, sort_keys=True)
+                    + "\n").encode()
+        else:
+            body = payload if isinstance(payload, bytes) \
+                else str(payload).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, code: int, message: str) -> None:
+        self._send(code, {"error": message})
+
+    def _body(self) -> Optional[dict]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return {}
+        try:
+            return json.loads(self.rfile.read(length) or b"{}")
+        except ValueError:
+            return None
+
+    # -- GET -----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path == "/healthz":
+            counters = self.flow.registry.snapshot()
+            self._send(200, {
+                "ok": True,
+                "shutting_down": self.flow.shutting_down,
+                "workers_busy": counters.get("pool.workers_busy", 0),
+                "jobs_queued": counters.get("server.jobs_queued", 0),
+                "jobs_running": counters.get("server.jobs_running", 0),
+            })
+        elif self.path == "/metrics":
+            self._send(200, self.flow.metrics_text().encode(),
+                       content_type="text/plain; version=0.0.4; "
+                                    "charset=utf-8")
+        elif self.path == "/jobs":
+            self._send(200, {"jobs": [self.flow.job_status(job)
+                                      for job in self.flow.store.jobs()]})
+        else:
+            match = _JOB_PATH.match(self.path)
+            if match is None or match.group(2) == "/cancel":
+                self._error(404, "no such path: %s" % self.path)
+                return
+            job = self.flow.store.get(match.group(1))
+            if job is None:
+                self._error(404, "no such job: %s" % match.group(1))
+                return
+            if match.group(2) == "/result":
+                if job.state != DONE:
+                    self._error(409, "job %s is %s, not done"
+                                % (job.job_id, job.state))
+                    return
+                report = self.flow.job_result(job)
+                if report is None:
+                    self._error(409, "job %s has no stored report"
+                                % job.job_id)
+                    return
+                self._send(200, report)
+            else:
+                self._send(200, self.flow.job_status(job))
+
+    # -- POST ----------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path == "/jobs":
+            if self.flow.shutting_down:
+                self._error(503, "server is shutting down")
+                return
+            body = self._body()
+            if body is None:
+                self._error(400, "request body is not valid JSON")
+                return
+            try:
+                job = self.flow.store.submit(body)
+            except JobSpecError as exc:
+                self._error(400, str(exc))
+                return
+            self._send(202, {"job_id": job.job_id,
+                             "state": job.state})
+        elif self.path == "/shutdown":
+            body = self._body() or {}
+            drain = bool(body.get("drain", False))
+            self._send(202, {"shutting_down": True, "drain": drain})
+            # shut down off-thread: this handler must finish first
+            threading.Thread(
+                target=self.flow.shutdown,
+                kwargs={"drain": drain,
+                        "timeout": body.get("timeout")},
+                daemon=True).start()
+        else:
+            match = _JOB_PATH.match(self.path)
+            if match is None or match.group(2) != "/cancel":
+                self._error(404, "no such path: %s" % self.path)
+                return
+            job = self.flow.store.get(match.group(1))
+            if job is None:
+                self._error(404, "no such job: %s" % match.group(1))
+                return
+            if job.state in ("done", "failed", "cancelled"):
+                self._error(409, "job %s already %s"
+                            % (job.job_id, job.state))
+                return
+            acted = self.flow.pool.cancel(job)
+            self._send(202, {"job_id": job.job_id,
+                             "cancelling": acted,
+                             "state": job.state})

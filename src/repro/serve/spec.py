@@ -1,0 +1,192 @@
+"""Job specifications: what a client submits, validated and built.
+
+A job spec is one JSON object describing a complete flow run::
+
+    {
+      "flow": "TPS",                      // or "SPR"
+      "design": {"kind": "preset", "name": "Des1", "scale": 0.2},
+      "config": {"seed": 1},              // flow-config overrides
+      "chaos":  {"seed": 7, "rate": 0.05},// optional fault injection
+      "persist": {"snapshot_mode": "delta"},
+      "die_at_status": 50                 // first-attempt kill point
+    }
+
+Design kinds:
+
+``preset``
+    One of the Table 1 ``Des1..Des5`` processor partitions
+    (``name``, optional ``scale``, ``cycle``).
+``processor``
+    A parametric synthetic partition (``stages``, ``regs``, ``gates``,
+    ``seed``, ``cycle``) — small ones make cheap smoke jobs.
+``verilog``
+    A structural Verilog file on the *server's* filesystem (``path``,
+    optional ``cycle``, ``sdc``).
+
+``config`` and ``persist`` are validated against the corresponding
+dataclass state (unknown keys are rejected up front, at submit time,
+not hours later in a worker).  ``die_at_status``/``die_at_snapshot``
+arm the ``repro.persist`` kill points on the job's *first* attempt
+only — the supervisor must see the worker die and resume it, which is
+exactly how the service chaos-tests itself (see
+``tests/serve/test_server.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.scenario.spr import SPRConfig
+from repro.scenario.tps import TPSConfig
+from repro.workloads import (
+    DES_PRESETS,
+    ProcessorParams,
+    build_des_design,
+    make_design,
+    processor_partition,
+)
+
+FLOWS = ("TPS", "SPR")
+DESIGN_KINDS = ("preset", "processor", "verilog")
+
+#: keys of PersistConfig state a job may override
+PERSIST_KEYS = ("snapshot_every", "snapshot_mode", "full_every",
+                "compact_every", "crash_quarantine_after")
+
+
+class JobSpecError(ValueError):
+    """The submitted job specification is malformed."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise JobSpecError(message)
+
+
+def _check_design(design) -> dict:
+    _require(isinstance(design, dict), "design must be an object")
+    kind = design.get("kind", "preset")
+    _require(kind in DESIGN_KINDS,
+             "design.kind must be one of %s" % (DESIGN_KINDS,))
+    out = {"kind": kind}
+    if kind == "preset":
+        name = design.get("name")
+        _require(name in DES_PRESETS,
+                 "design.name must be one of %s"
+                 % sorted(DES_PRESETS))
+        out["name"] = name
+        out["scale"] = float(design.get("scale", 0.2))
+        _require(out["scale"] > 0, "design.scale must be positive")
+        if design.get("cycle") is not None:
+            out["cycle"] = float(design["cycle"])
+    elif kind == "processor":
+        out["stages"] = int(design.get("stages", 2))
+        out["regs"] = int(design.get("regs", 8))
+        out["gates"] = int(design.get("gates", 110))
+        out["seed"] = int(design.get("seed", 5))
+        out["cycle"] = float(design.get("cycle", 1500.0))
+        _require(out["stages"] > 0 and out["regs"] > 0
+                 and out["gates"] > 0,
+                 "processor dimensions must be positive")
+    else:  # verilog
+        path = design.get("path")
+        _require(isinstance(path, str) and path,
+                 "design.path is required for kind 'verilog'")
+        out["path"] = path
+        out["cycle"] = float(design.get("cycle", 1000.0))
+        if design.get("sdc") is not None:
+            out["sdc"] = str(design["sdc"])
+    return out
+
+
+def _check_overrides(overrides, allowed, what: str) -> dict:
+    if overrides is None:
+        return {}
+    _require(isinstance(overrides, dict), "%s must be an object" % what)
+    unknown = sorted(set(overrides) - set(allowed))
+    _require(not unknown,
+             "unknown %s key(s): %s" % (what, ", ".join(unknown)))
+    return dict(overrides)
+
+
+def normalize_spec(spec: dict) -> dict:
+    """Validate a submitted spec; returns its canonical form.
+
+    Raises :class:`JobSpecError` on anything malformed.  The
+    canonical form is what the store journals and the worker
+    executes, so validation happens exactly once, server-side.
+    """
+    _require(isinstance(spec, dict), "job spec must be a JSON object")
+    flow = spec.get("flow", "TPS")
+    _require(flow in FLOWS, "flow must be one of %s" % (FLOWS,))
+    config_cls = TPSConfig if flow == "TPS" else SPRConfig
+    out = {
+        "flow": flow,
+        "design": _check_design(spec.get("design")),
+        "config": _check_overrides(spec.get("config"),
+                                   config_cls().to_state(), "config"),
+        "persist": _check_overrides(spec.get("persist"),
+                                    PERSIST_KEYS, "persist"),
+    }
+    chaos = spec.get("chaos")
+    if chaos is not None:
+        _require(isinstance(chaos, dict) and "seed" in chaos,
+                 "chaos must be an object with a 'seed'")
+        out["chaos"] = {"seed": int(chaos["seed"]),
+                        "rate": float(chaos.get("rate", 0.05))}
+    for key in ("die_at_status", "die_at_snapshot"):
+        if spec.get(key) is not None:
+            out[key] = int(spec[key])
+    if spec.get("guard_budget") is not None:
+        out["guard_budget"] = float(spec["guard_budget"])
+    unknown = sorted(set(spec) - {
+        "flow", "design", "config", "persist", "chaos",
+        "die_at_status", "die_at_snapshot", "guard_budget"})
+    _require(not unknown,
+             "unknown job spec key(s): %s" % ", ".join(unknown))
+    return out
+
+
+def build_job_design(spec: dict, library):
+    """A fresh Design from a canonical job spec (first attempt)."""
+    design = spec["design"]
+    kind = design["kind"]
+    if kind == "preset":
+        return build_des_design(design["name"], library,
+                                scale=design["scale"],
+                                cycle_time=design.get("cycle"))
+    if kind == "processor":
+        params = ProcessorParams(n_stages=design["stages"],
+                                 regs_per_stage=design["regs"],
+                                 gates_per_stage=design["gates"],
+                                 seed=design["seed"])
+        netlist = processor_partition(params, library)
+        return make_design(netlist, library,
+                           cycle_time=design["cycle"],
+                           with_blockage=True)
+    # verilog
+    from repro.netlist.verilog import read_verilog
+    with open(design["path"]) as stream:
+        netlist = read_verilog(stream, library)
+    built = make_design(netlist, library, cycle_time=design["cycle"])
+    if design.get("sdc"):
+        from repro.timing.sdc import read_sdc
+        with open(design["sdc"]) as stream:
+            built.constraints = read_sdc(stream)
+        built.timing.constraints = built.constraints
+        built.timing.invalidate_all()
+    return built
+
+
+def job_flow_config(spec: dict):
+    """The TPSConfig/SPRConfig of a canonical spec (overrides applied
+    over the flow's defaults, via the dataclass state codec)."""
+    config_cls = TPSConfig if spec["flow"] == "TPS" else SPRConfig
+    state = config_cls().to_state()
+    state.update(spec.get("config", {}))
+    return config_cls.from_state(state)
+
+
+def job_guard_budget(spec: dict) -> Optional[float]:
+    """The per-transform wall budget a job asked for, or None."""
+    return spec.get("guard_budget")

@@ -1,0 +1,171 @@
+"""The job worker: one process, one flow run, durable by construction.
+
+``worker_entry`` is the target of every worker process the
+supervisor spawns (``multiprocessing`` spawn context, so each attempt
+is a genuinely fresh interpreter — the same isolation the CLI resume
+path assumes).  The decision fresh-vs-resume is made from the run
+directory alone, never from scheduler state:
+
+* no usable run directory → build the design from the job spec,
+  create the run dir, arm any first-attempt kill points
+  (``die_at_status`` / ``die_at_snapshot``), run;
+* run directory with a milestone snapshot → ``repro.persist``'s
+  :func:`~repro.persist.resume.load_resume` rebuilds the design,
+  quarantines crash-implicated transforms, and the scenario continues
+  mid-flow (kill points are deliberately *not* re-armed: a resumed
+  attempt must be allowed to finish);
+* run directory with a ``run_end`` → the work already happened;
+  exit 0 idempotently.
+
+The worker's tracer streams spans to the run dir's ``trace.jsonl``
+(as any durable run does) *and* publishes live counters to
+``metrics.json`` through a :class:`repro.obs.CounterSink`, which is
+what the server's ``/metrics`` endpoint aggregates.
+
+Exit codes: 0 success, ``DIE_EXIT_CODE`` (17) simulated kill, 3 bad
+job input, anything else a genuine crash.  Every nonzero exit leaves
+a resumable run directory behind.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro import default_library
+from repro.guard import FaultInjector, GuardConfig
+from repro.obs import CounterSink, Tracer, TraceWriter
+from repro.persist import (
+    FlowPersist,
+    Journal,
+    JournalError,
+    PersistConfig,
+    RunDir,
+    RunDirError,
+    SnapshotError,
+    load_resume,
+)
+from repro.scenario import SPRFlow, TPSScenario
+from repro.serve.spec import (
+    JobSpecError,
+    build_job_design,
+    job_flow_config,
+    normalize_spec,
+)
+
+#: worker exit code for a job that cannot even be constructed
+BAD_JOB_EXIT_CODE = 3
+
+SINK_FILE = "metrics.json"
+
+
+def _injector(spec: dict):
+    chaos = spec.get("chaos")
+    if chaos is None:
+        return None
+    return FaultInjector(seed=chaos["seed"], rate=chaos["rate"])
+
+
+def _scenario_cls(flow: str):
+    return TPSScenario if flow == "TPS" else SPRFlow
+
+
+def _tracer(design, run_path: str, job_id: str, flow: str,
+            resumed: bool) -> Tracer:
+    sink = CounterSink(os.path.join(run_path, SINK_FILE),
+                       labels={"job": job_id, "flow": flow})
+    writer = TraceWriter(os.path.join(run_path, "trace.jsonl"),
+                         resume=resumed)
+    return Tracer(design, writer=writer, sink=sink)
+
+
+def _resumable(run_path: str) -> bool:
+    """Does ``run_path`` hold a run a fresh process could continue?"""
+    return (os.path.isfile(os.path.join(run_path, "run.json"))
+            and os.path.isfile(os.path.join(run_path, "journal.jsonl")))
+
+
+def run_job(job_id: str, raw_spec: dict, run_path: str) -> int:
+    """Execute one job to completion (or death); returns an exit code.
+
+    Importable and callable in-process for unit tests; the server
+    always runs it behind :func:`worker_entry` in a child process.
+    """
+    library = default_library()
+    try:
+        spec = normalize_spec(raw_spec)
+    except JobSpecError as exc:
+        print("bad job spec: %s" % exc, file=sys.stderr)
+        return BAD_JOB_EXIT_CODE
+
+    if _resumable(run_path):
+        try:
+            return _resume_job(job_id, spec, run_path, library)
+        except (RunDirError, JournalError) as exc:
+            print("unusable run dir %s: %s" % (run_path, exc),
+                  file=sys.stderr)
+            return BAD_JOB_EXIT_CODE
+        except SnapshotError:
+            # died before the init snapshot: nothing to continue from,
+            # so fall through and start the run over
+            pass
+    return _fresh_job(job_id, spec, run_path, library)
+
+
+def _fresh_job(job_id: str, spec: dict, run_path: str, library) -> int:
+    try:
+        design = build_job_design(spec, library)
+    except (OSError, ValueError) as exc:
+        print("cannot build design: %s" % exc, file=sys.stderr)
+        return BAD_JOB_EXIT_CODE
+    config = job_flow_config(spec)
+    if spec.get("guard_budget") is not None:
+        if config.guard is None:
+            # durable default (retries before striking) + the budget
+            config.guard = GuardConfig(retries=2)
+        config.guard.budget_seconds = spec["guard_budget"]
+    pconfig = PersistConfig.from_state(spec.get("persist", {}))
+    # first-attempt kill points: the server chaos-tests itself with
+    # these, and the resume attempt must not inherit them
+    pconfig.die_at_status = spec.get("die_at_status")
+    pconfig.die_at_snapshot = spec.get("die_at_snapshot")
+    meta = {
+        "flow": spec["flow"],
+        "job_id": job_id,
+        "spec": spec,
+        "config": config.to_state(),
+        "chaos": spec.get("chaos"),
+        "persist": pconfig.to_state(),
+    }
+    rundir = RunDir.create(run_path, meta)
+    journal = Journal.create(rundir.journal_path)
+    persist = FlowPersist(rundir, journal, pconfig, design)
+    scenario = _scenario_cls(spec["flow"])(
+        design, config=config, injector=_injector(spec),
+        persist=persist,
+        tracer=_tracer(design, run_path, job_id, spec["flow"],
+                       resumed=False))
+    scenario.run()
+    return 0
+
+
+def _resume_job(job_id: str, spec: dict, run_path: str, library) -> int:
+    run = load_resume(run_path, library)
+    if run.completed:
+        return 0  # the previous worker finished; exit idempotently
+    config_cls = type(job_flow_config(spec))
+    config = config_cls.from_state(run.meta["config"])
+    scenario = _scenario_cls(spec["flow"])(
+        run.design, config=config, injector=_injector(spec),
+        persist=run.persist, resume_state=run.resume_state,
+        tracer=_tracer(run.design, run_path, job_id, spec["flow"],
+                       resumed=True))
+    scenario.run()
+    return 0
+
+
+def worker_entry(job_id: str, spec: dict, run_path: str) -> None:
+    """Process target: run the job, exit with its code."""
+    code = run_job(job_id, spec, run_path)
+    if code:
+        raise SystemExit(code)

@@ -1,0 +1,27 @@
+"""trace-export must fail cleanly — a message and exit 2, never a
+traceback — on directories that are not (traced) run dirs."""
+
+from repro.__main__ import main
+from repro.persist import RunDir
+
+
+class TestTraceExportErrors:
+    def test_untraced_run_dir_exits_2(self, tmp_path, capsys):
+        RunDir.create(str(tmp_path / "run"), {"flow": "TPS"})
+        code = main(["trace-export", str(tmp_path / "run"),
+                     "-o", str(tmp_path / "out.json")])
+        assert code == 2
+        assert "no trace at" in capsys.readouterr().err
+
+    def test_not_a_run_dir_exits_2(self, tmp_path, capsys):
+        (tmp_path / "junk").mkdir()
+        code = main(["trace-export", str(tmp_path / "junk"),
+                     "-o", str(tmp_path / "out.json")])
+        assert code == 2
+        assert "not a run directory" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        code = main(["trace-export", str(tmp_path / "nope.jsonl"),
+                     "-o", str(tmp_path / "out.json")])
+        assert code == 2
+        assert "no trace at" in capsys.readouterr().err

@@ -1,0 +1,40 @@
+"""Fixtures for the flow-service tests.
+
+The integration tests run real (tiny) flows through real worker
+processes, so the design here is deliberately small: a 2-stage
+processor partition with 30 gates finishes a full TPS run in a few
+seconds, which keeps the crash/resume scenarios affordable.
+"""
+
+import pytest
+
+from repro.serve import FlowServer
+
+#: the cheapest design that still exercises a full TPS flow
+SMALL_DESIGN = {"kind": "processor", "stages": 2, "regs": 4,
+                "gates": 30, "seed": 5, "cycle": 1500.0}
+
+
+def small_spec(**overrides):
+    """A fast TPS job spec; keyword arguments override top-level keys."""
+    spec = {"flow": "TPS", "design": dict(SMALL_DESIGN),
+            "config": {"seed": 1}}
+    spec.update(overrides)
+    return spec
+
+
+@pytest.fixture
+def serve_factory(tmp_path):
+    """Start FlowServers on subdirectories of tmp_path; shut all down
+    at teardown (idempotent, so tests may shut down early)."""
+    servers = []
+
+    def make(subdir="state", **kwargs):
+        server = FlowServer(str(tmp_path / subdir), **kwargs)
+        server.start()
+        servers.append(server)
+        return server
+
+    yield make
+    for server in servers:
+        server.shutdown()

@@ -1,0 +1,108 @@
+"""Unit tests for the journaled job store and the worker pool's
+settlement logic (no HTTP, no real flows)."""
+
+import pytest
+
+from repro.serve import CANCELLED, DONE, FAILED, JobStore, QUEUED, RUNNING
+from repro.serve.jobs import JobSpecError
+from repro.serve.pool import WorkerPool
+
+from tests.serve.conftest import small_spec
+
+
+class TestStore:
+    def test_submit_assigns_sequential_ids(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        first = store.submit(small_spec())
+        second = store.submit(small_spec())
+        assert [first.job_id, second.job_id] == ["job-0001", "job-0002"]
+        assert first.state == QUEUED
+
+    def test_submit_rejects_bad_spec_and_counts_it(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        with pytest.raises(JobSpecError):
+            store.submit({"design": {"kind": "nope"}})
+        assert store.counters()["jobs_rejected"] == 1
+        assert store.counters()["jobs_submitted"] == 0
+
+    def test_claim_next_is_fifo(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        store.submit(small_spec())
+        store.submit(small_spec())
+        assert store.claim_next().job_id == "job-0001"
+        assert store.claim_next().job_id == "job-0002"
+        assert store.claim_next() is None
+
+    def test_requeue_counts_resume_release_does_not(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        store.submit(small_spec())
+        job = store.claim_next()
+        store.requeue(job, exit_code=17)     # crash → resume
+        assert (job.state, job.resumes) == (QUEUED, 1)
+        job = store.claim_next()
+        store.release(job)                   # graceful shutdown
+        assert (job.state, job.resumes) == (QUEUED, 1)
+        assert store.counters()["job_resumes"] == 1
+
+    def test_replay_restores_table_and_requeues_running(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        store.submit(small_spec())           # stays queued
+        done = store.claim_next()
+        store.finish(done, DONE, exit_code=0)
+        store.submit(small_spec())
+        crashed = store.claim_next()
+        store.requeue(crashed, exit_code=17)
+        running = store.claim_next()
+        assert running.state == RUNNING      # server "dies" here
+
+        replayed = JobStore(str(tmp_path))
+        jobs = {job.job_id: job for job in replayed.jobs()}
+        assert jobs["job-0001"].state == DONE
+        # the job that was mid-flight goes back in line on replay
+        assert jobs["job-0002"].state == QUEUED
+        assert jobs["job-0002"].resumes == 1
+        assert replayed.counters()["jobs_done"] == 1
+        # new submissions continue the id sequence
+        assert replayed.submit(small_spec()).job_id == "job-0003"
+
+
+class TestPoolSettlement:
+    """Exercise the exit-code → job-state translation without
+    spawning processes (the pool thread is never started)."""
+
+    def make(self, tmp_path, **kwargs):
+        store = JobStore(str(tmp_path))
+        return store, WorkerPool(store, **kwargs)
+
+    def test_exit_zero_is_done(self, tmp_path):
+        store, pool = self.make(tmp_path)
+        store.submit(small_spec())
+        job = store.claim_next()
+        pool._settle(job.job_id, 0)
+        assert store.get(job.job_id).state == DONE
+
+    def test_crash_requeues_until_max_attempts(self, tmp_path):
+        store, pool = self.make(tmp_path, max_attempts=2)
+        store.submit(small_spec())
+        job = store.claim_next()
+        pool._settle(job.job_id, 17)
+        assert store.get(job.job_id).state == QUEUED
+        job = store.claim_next()
+        assert job.attempts == 2
+        pool._settle(job.job_id, 17)
+        assert store.get(job.job_id).state == FAILED
+        assert "final attempt" in store.get(job.job_id).error
+
+    def test_bad_job_exit_fails_without_retry(self, tmp_path):
+        store, pool = self.make(tmp_path)
+        store.submit(small_spec())
+        job = store.claim_next()
+        pool._settle(job.job_id, 3)
+        assert store.get(job.job_id).state == FAILED
+        assert store.get(job.job_id).resumes == 0
+
+    def test_cancel_queued_job(self, tmp_path):
+        store, pool = self.make(tmp_path)
+        job = store.submit(small_spec())
+        assert pool.cancel(job) is True
+        assert store.get(job.job_id).state == CANCELLED

@@ -1,0 +1,67 @@
+"""Unit tests for the Prometheus text rendering of /metrics."""
+
+from repro.serve import prometheus_metrics
+from repro.serve.metrics import escape_label, metric_name
+
+
+def sink_doc(job="job-0001", status=70, final=False):
+    return {
+        "format": "repro-counter-sink",
+        "labels": {"job": job, "flow": "TPS"},
+        "status": status,
+        "final": final,
+        "counters": {"timing.arrival_recomputes": 12,
+                     "guard.faults": 0,
+                     "not_an_int": "skipped"},
+        "spans": {"total": 9, "seconds": 1.5,
+                  "by_kind": {"transform": 7, "snapshot": 2}},
+    }
+
+
+class TestNames:
+    def test_metric_name_sanitises(self):
+        assert metric_name("timing.arrival-recomputes") \
+            == "timing_arrival_recomputes"
+        assert metric_name("0weird") == "_0weird"
+
+    def test_escape_label(self):
+        assert escape_label('a"b\nc\\d') == 'a\\"b\\nc\\\\d'
+
+
+class TestRendering:
+    def test_server_counters_keep_their_prefix(self):
+        text = prometheus_metrics(
+            {"server.jobs_done": 2, "pool.workers_busy": 1}, [])
+        assert "repro_server_jobs_done 2" in text
+        assert "repro_pool_workers_busy 1" in text
+        assert "# TYPE repro_server_jobs_done counter" in text
+        assert "# TYPE repro_pool_workers_busy gauge" in text
+
+    def test_sink_counters_are_labeled(self):
+        text = prometheus_metrics({}, [sink_doc()])
+        assert ('repro_flow_timing_arrival_recomputes'
+                '{flow="TPS",job="job-0001"} 12') in text
+        assert 'repro_flow_spans_total{flow="TPS",job="job-0001"} 9' \
+            in text
+        assert ('repro_flow_spans_by_kind'
+                '{flow="TPS",job="job-0001",kind="transform"} 7') in text
+        assert 'repro_flow_cut_status{flow="TPS",job="job-0001"} 70' \
+            in text
+        assert "not_an_int" not in text
+
+    def test_one_type_header_per_family(self):
+        text = prometheus_metrics({}, [sink_doc("job-0001"),
+                                       sink_doc("job-0002")])
+        headers = [line for line in text.splitlines()
+                   if line.startswith("# TYPE repro_flow_spans_total")]
+        assert len(headers) == 1
+        samples = [line for line in text.splitlines()
+                   if line.startswith("repro_flow_spans_total{")]
+        assert len(samples) == 2
+
+    def test_empty_inputs_render_empty(self):
+        assert prometheus_metrics({}, []) == "\n"
+
+    def test_none_documents_are_skipped(self):
+        text = prometheus_metrics({"server.jobs_done": 0}, [None, {}])
+        assert "repro_server_jobs_done 0" in text

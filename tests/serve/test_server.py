@@ -1,0 +1,182 @@
+"""Integration tests: real FlowServer, real worker processes, tiny
+real flows.
+
+These are the service-level acceptance scenarios:
+
+* submit → complete, with the stored report served over HTTP;
+* a worker killed mid-job (``die_at_status``) is detected and the job
+  *resumed* — the final report is identical to an uninterrupted run;
+* graceful shutdown leaves queued/interrupted jobs journaled, and a
+  new server on the same state dir finishes them;
+* ``/metrics`` carries live per-job flow counters while a worker runs.
+"""
+
+import time
+
+import pytest
+
+from repro.serve import client
+from repro.serve.client import ServiceError
+
+from tests.serve.conftest import small_spec
+
+#: generous bound for one tiny flow run inside a spawned worker
+JOB_TIMEOUT = 180.0
+
+
+class TestLifecycle:
+    def test_submit_complete_result_and_errors(self, serve_factory):
+        server = serve_factory(workers=1)
+        url = server.url
+
+        health = client.request(url, "/healthz")
+        assert health["ok"] is True
+
+        # errors first: unknown job, malformed spec
+        with pytest.raises(ServiceError) as exc:
+            client.status(url, "job-9999")
+        assert exc.value.code == 404
+        with pytest.raises(ServiceError) as exc:
+            client.submit(url, {"design": {"kind": "nope"}})
+        assert exc.value.code == 400
+
+        job_id = client.submit(url, small_spec())
+        assert job_id == "job-0001"
+
+        # result before completion is a 409, not an empty body
+        state = client.status(url, job_id)
+        if state["state"] in ("queued", "running"):
+            with pytest.raises(ServiceError) as exc:
+                client.result(url, job_id)
+            assert exc.value.code == 409
+
+        # watch the run: the worker's counter sink must surface live
+        # flow metrics through /metrics while the job is running
+        live_metrics = None
+        deadline = time.monotonic() + JOB_TIMEOUT
+        while time.monotonic() < deadline:
+            state = client.status(url, job_id)
+            if (state["state"] == "running"
+                    and state.get("cut_status") is not None):
+                live_metrics = client.metrics(url)
+                break
+            if state["state"] in ("done", "failed", "cancelled"):
+                break
+            time.sleep(0.05)
+        if live_metrics is not None:
+            assert "repro_flow_spans_total{" in live_metrics
+            assert 'job="job-0001"' in live_metrics
+
+        state = client.wait(url, job_id, timeout=JOB_TIMEOUT)
+        assert state["state"] == "done"
+        assert state["attempts"] == 1
+        assert state["resumes"] == 0
+
+        report = client.result(url, job_id)
+        assert report["flow"] == "TPS"
+        assert "worst_slack" in report
+
+        listing = client.request(url, "/jobs")
+        assert [job["job_id"] for job in listing["jobs"]] == [job_id]
+
+        text = client.metrics(url)
+        assert "# TYPE repro_server_jobs_done counter" in text
+        assert "repro_server_jobs_done 1" in text
+        assert "repro_pool_workers_spawned 1" in text
+        # finished jobs keep their labeled flow series
+        assert 'repro_flow_spans_total{flow="TPS",job="job-0001"}' \
+            in text
+        assert 'repro_flow_cut_status{flow="TPS",job="job-0001"} 100' \
+            in text
+
+
+class TestCrashResume:
+    def test_killed_worker_resumes_with_identical_report(
+            self, serve_factory):
+        """The acceptance bar: a die_at_status kill mid-flow must end
+        in a *resumed* (not restarted) job whose FlowReport is
+        field-identical to an uninterrupted run of the same spec."""
+        server = serve_factory(workers=2)
+        persist = {"snapshot_mode": "delta", "compact_every": 8}
+        reference = client.submit(
+            server.url, small_spec(persist=persist))
+        killed = client.submit(
+            server.url, small_spec(persist=persist, die_at_status=50))
+
+        ref_state = client.wait(server.url, reference,
+                                timeout=JOB_TIMEOUT)
+        kill_state = client.wait(server.url, killed,
+                                 timeout=JOB_TIMEOUT)
+
+        assert ref_state["state"] == "done"
+        assert ref_state["attempts"] == 1
+
+        assert kill_state["state"] == "done"
+        assert kill_state["attempts"] == 2, \
+            "the kill point must have fired and cost one attempt"
+        assert kill_state["resumes"] == 1
+
+        ref_report = client.result(server.url, reference)
+        kill_report = client.result(server.url, killed)
+        different = [key for key in ref_report
+                     if ref_report[key] != kill_report.get(key)]
+        assert different == [], \
+            "resumed report diverges in %s" % different
+        assert ref_report["state_signature"] \
+            == kill_report["state_signature"]
+
+        text = client.metrics(server.url)
+        assert "repro_pool_worker_crashes 1" in text
+        assert "repro_server_job_resumes 1" in text
+
+
+class TestRestart:
+    def test_shutdown_requeues_and_restart_finishes(self, serve_factory):
+        """Stopping a server with work in flight must lose nothing: the
+        interrupted job and the still-queued job both complete on a new
+        server pointed at the same state dir."""
+        first = serve_factory("state", workers=1)
+        running = client.submit(first.url, small_spec())
+        queued = client.submit(first.url, small_spec(
+            config={"seed": 2}))
+
+        # let the first worker actually start before pulling the plug
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if client.status(first.url, running)["state"] == "running":
+                break
+            time.sleep(0.05)
+        first.shutdown()
+
+        # a post-shutdown submit must be refused, not silently dropped
+        with pytest.raises((ServiceError, OSError)):
+            client.submit(first.url, small_spec())
+
+        second = serve_factory("state", workers=2)
+        for job_id in (running, queued):
+            state = client.wait(second.url, job_id, timeout=JOB_TIMEOUT)
+            assert state["state"] == "done", \
+                "%s did not survive the restart: %s" % (job_id, state)
+        # the interrupted job needed a second worker process
+        assert client.status(second.url, running)["attempts"] == 2
+
+
+class TestCancel:
+    def test_cancel_running_job(self, serve_factory):
+        server = serve_factory(workers=1)
+        job_id = client.submit(server.url, small_spec())
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if client.status(server.url, job_id)["state"] == "running":
+                break
+            time.sleep(0.05)
+        answer = client.request(server.url,
+                                "/jobs/%s/cancel" % job_id, payload={})
+        assert answer["cancelling"] is True
+        state = client.wait(server.url, job_id, timeout=60.0)
+        assert state["state"] == "cancelled"
+        # cancelling a terminal job is a conflict
+        with pytest.raises(ServiceError) as exc:
+            client.request(server.url, "/jobs/%s/cancel" % job_id,
+                           payload={})
+        assert exc.value.code == 409

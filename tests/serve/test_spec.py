@@ -1,0 +1,74 @@
+"""Unit tests for job-spec validation and canonicalisation."""
+
+import pytest
+
+from repro.serve import JobSpecError, build_job_design, job_flow_config, normalize_spec
+
+from tests.serve.conftest import small_spec
+
+
+class TestNormalize:
+    def test_minimal_preset_defaults(self):
+        spec = normalize_spec({"design": {"name": "Des1"}})
+        assert spec["flow"] == "TPS"
+        assert spec["design"] == {"kind": "preset", "name": "Des1",
+                                  "scale": 0.2}
+        assert spec["config"] == {}
+        assert spec["persist"] == {}
+
+    def test_processor_design_canonicalised(self):
+        spec = normalize_spec(small_spec())
+        design = spec["design"]
+        assert design["kind"] == "processor"
+        assert design["gates"] == 30
+        assert design["cycle"] == 1500.0
+
+    def test_chaos_and_kill_points(self):
+        spec = normalize_spec(small_spec(
+            chaos={"seed": 7}, die_at_status=50))
+        assert spec["chaos"] == {"seed": 7, "rate": 0.05}
+        assert spec["die_at_status"] == 50
+
+    def test_config_overrides_validated(self):
+        spec = normalize_spec(small_spec(config={"seed": 3}))
+        assert spec["config"] == {"seed": 3}
+        with pytest.raises(JobSpecError, match="unknown config"):
+            normalize_spec(small_spec(config={"no_such_knob": 1}))
+
+    def test_persist_overrides_validated(self):
+        spec = normalize_spec(small_spec(
+            persist={"snapshot_mode": "delta", "compact_every": 8}))
+        assert spec["persist"]["snapshot_mode"] == "delta"
+        with pytest.raises(JobSpecError, match="unknown persist"):
+            normalize_spec(small_spec(persist={"die_at_status": 50}))
+
+    @pytest.mark.parametrize("bad", [
+        "not an object",
+        {"flow": "XYZ", "design": {"name": "Des1"}},
+        {"design": {"kind": "nope"}},
+        {"design": {"name": "Des99"}},
+        {"design": {"kind": "verilog"}},
+        {"design": {"name": "Des1"}, "mystery": 1},
+        {"design": {"name": "Des1"}, "chaos": {"rate": 0.5}},
+    ])
+    def test_malformed_specs_rejected(self, bad):
+        with pytest.raises(JobSpecError):
+            normalize_spec(bad)
+
+
+class TestBuild:
+    def test_processor_design_builds(self, library):
+        spec = normalize_spec(small_spec())
+        design = build_job_design(spec, library)
+        assert design.constraints.cycle_time == 1500.0
+        assert design.netlist.num_cells > 0
+
+    def test_flow_config_applies_overrides(self):
+        config = job_flow_config(normalize_spec(small_spec(
+            config={"seed": 42})))
+        assert config.seed == 42
+
+    def test_spr_flow_config(self):
+        config = job_flow_config(normalize_spec(
+            {"flow": "SPR", "design": {"name": "Des1"}}))
+        assert type(config).__name__ == "SPRConfig"

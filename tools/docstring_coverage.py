@@ -1,0 +1,171 @@
+"""Docstring coverage report for the repro source tree.
+
+Walks Python sources with :mod:`ast` (no imports, so it works on any
+tree regardless of dependency state) and counts docstrings on every
+*public* definition: modules, classes, functions, and methods.  Names
+with a leading underscore, ``__init__``/dunders, and test files are
+exempt — the target is the API surface a reader meets first.
+
+Usage::
+
+    python tools/docstring_coverage.py [--missing] [--fail-under PCT]
+                                       [paths...]
+
+Default paths: ``src/repro``.  ``--missing`` lists every undocumented
+definition as ``path:line kind name``.  ``--fail-under`` turns the
+report into a gate (exit 1 below the threshold); CI runs it without
+one, as a non-blocking report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+from typing import Iterator, List, NamedTuple, Tuple
+
+DEFAULT_PATHS = ("src/repro",)
+
+KIND_MODULE = "module"
+KIND_CLASS = "class"
+KIND_FUNCTION = "function"
+KIND_METHOD = "method"
+
+
+class Definition(NamedTuple):
+    """One public definition that ought to carry a docstring."""
+
+    path: str
+    line: int
+    kind: str
+    name: str
+    documented: bool
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def iter_definitions(path: str, tree: ast.Module) -> Iterator[Definition]:
+    """Every public definition in one parsed module, module included."""
+    module_name = os.path.splitext(os.path.basename(path))[0]
+    yield Definition(path, 1, KIND_MODULE, module_name,
+                     ast.get_docstring(tree) is not None)
+    yield from _walk_body(path, tree.body, prefix="", in_class=False)
+
+
+def _walk_body(path: str, body, prefix: str,
+               in_class: bool) -> Iterator[Definition]:
+    for node in body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not _is_public(node.name):
+                continue
+            kind = KIND_METHOD if in_class else KIND_FUNCTION
+            yield Definition(path, node.lineno, kind,
+                             prefix + node.name,
+                             ast.get_docstring(node) is not None)
+            # nested defs are implementation detail: skip
+        elif isinstance(node, ast.ClassDef):
+            if not _is_public(node.name):
+                continue
+            yield Definition(path, node.lineno, KIND_CLASS, node.name,
+                             ast.get_docstring(node) is not None)
+            yield from _walk_body(path, node.body,
+                                  prefix=node.name + ".",
+                                  in_class=True)
+
+
+def python_files(paths) -> List[str]:
+    """All .py files under the given files/directories, sorted."""
+    found = []
+    for path in paths:
+        if os.path.isfile(path):
+            found.append(path)
+            continue
+        for root, dirs, files in os.walk(path):
+            dirs[:] = sorted(d for d in dirs
+                             if d not in ("__pycache__",))
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    found.append(os.path.join(root, name))
+    return found
+
+
+def scan(paths) -> Tuple[List[Definition], List[str]]:
+    """Collect definitions from all files; returns (defs, errors)."""
+    definitions: List[Definition] = []
+    errors: List[str] = []
+    for path in python_files(paths):
+        try:
+            with open(path, "r") as stream:
+                tree = ast.parse(stream.read(), filename=path)
+        except (OSError, SyntaxError) as exc:
+            errors.append("%s: %s" % (path, exc))
+            continue
+        definitions.extend(iter_definitions(path, tree))
+    return definitions, errors
+
+
+def group_key(definition: Definition) -> str:
+    """The reporting bucket of one definition: its package dir."""
+    return os.path.dirname(definition.path) or "."
+
+
+def report(definitions: List[Definition], show_missing: bool) -> float:
+    """Print the per-package table; returns overall coverage in %."""
+    by_group = {}
+    for definition in definitions:
+        by_group.setdefault(group_key(definition), []).append(definition)
+
+    width = max(len(group) for group in by_group) if by_group else 10
+    print("%-*s  %9s  %8s" % (width, "package", "have/want", "coverage"))
+    total = done = 0
+    for group in sorted(by_group):
+        defs = by_group[group]
+        have = sum(1 for d in defs if d.documented)
+        total += len(defs)
+        done += have
+        print("%-*s  %4d/%-4d  %7.1f%%"
+              % (width, group, have, len(defs),
+                 100.0 * have / len(defs)))
+    overall = 100.0 * done / total if total else 100.0
+    print("%-*s  %4d/%-4d  %7.1f%%"
+          % (width, "TOTAL", done, total, overall))
+
+    if show_missing:
+        missing = [d for d in definitions if not d.documented]
+        if missing:
+            print("\nundocumented definitions:")
+        for definition in missing:
+            print("%s:%d %s %s" % (definition.path, definition.line,
+                                   definition.kind, definition.name))
+    return overall
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="AST-based docstring coverage report")
+    parser.add_argument("paths", nargs="*", default=list(DEFAULT_PATHS),
+                        help="files or directories to scan "
+                             "(default: %s)" % (DEFAULT_PATHS,))
+    parser.add_argument("--missing", action="store_true",
+                        help="list every undocumented definition")
+    parser.add_argument("--fail-under", type=float, default=None,
+                        metavar="PCT",
+                        help="exit 1 if overall coverage is below PCT")
+    args = parser.parse_args(argv)
+
+    definitions, errors = scan(args.paths)
+    for error in errors:
+        print("unparseable: %s" % error, file=sys.stderr)
+    overall = report(definitions, show_missing=args.missing)
+    if args.fail_under is not None and overall < args.fail_under:
+        print("coverage %.1f%% is below --fail-under %.1f%%"
+              % (overall, args.fail_under), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
