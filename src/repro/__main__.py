@@ -11,6 +11,9 @@ Commands:
   Chrome trace-event JSON (load in ``chrome://tracing`` / Perfetto)
 * ``serve``    — long-running flow job server (worker pool, HTTP API,
   live ``/metrics``; see ``docs/operations.md``)
+* ``worker``   — standalone worker agent: lease jobs from a shared
+  state dir (no HTTP server required), heartbeat, run, settle — the
+  unit of a multi-host fleet
 * ``submit``   — submit a job to a running server, optionally waiting
   for its report
 """
@@ -334,7 +337,9 @@ def cmd_serve(args) -> int:
 
     server = FlowServer(args.state_dir, host=args.host, port=args.port,
                         workers=args.workers,
-                        max_attempts=args.max_attempts)
+                        max_attempts=args.max_attempts,
+                        queue_cap=args.queue_cap,
+                        lease_ttl=args.lease_ttl)
 
     def _signalled(signum, frame):
         print("\nsignal %d: shutting down (%s)"
@@ -356,10 +361,35 @@ def cmd_serve(args) -> int:
         print("  recovered   %d pending job(s) from the journal: %s"
               % (len(pending), ", ".join(j.job_id for j in pending)))
     print("  endpoints   POST /jobs · GET /jobs[/<id>[/result]] · "
-          "POST /jobs/<id>/cancel · GET /metrics · POST /shutdown")
+          "POST /jobs/<id>/cancel · GET /metrics · POST /drain · "
+          "POST /shutdown")
     server.wait()
     print("server stopped; state journaled in %s" % args.state_dir)
     return 0
+
+
+def cmd_worker(args) -> int:
+    """Run one standalone worker agent against a shared state dir."""
+    from repro.serve.agent import WorkerAgent, install_drain_signals
+
+    agent = WorkerAgent(args.state_dir,
+                        worker_id=args.worker_id,
+                        queues=(set(args.queues.split(","))
+                                if args.queues else None),
+                        lease_ttl=args.lease_ttl,
+                        max_attempts=args.max_attempts,
+                        max_jobs=args.max_jobs)
+    install_drain_signals(agent)
+    print("repro worker %s leasing from %s"
+          % (agent.worker_id, args.state_dir))
+    print("  lease ttl   %.1fs (heartbeat every %.1fs)"
+          % (agent.store.lease_ttl, agent.heartbeat.interval))
+    if agent.queues:
+        print("  queues      %s" % ", ".join(sorted(agent.queues)))
+    code = agent.run_forever()
+    print("worker %s drained after %d job(s)"
+          % (agent.worker_id, agent.jobs_run))
+    return code
 
 
 def _submit_spec(args) -> dict:
@@ -396,6 +426,12 @@ def _submit_spec(args) -> dict:
         spec["persist"] = persist
     if args.die_at_status is not None:
         spec["die_at_status"] = args.die_at_status
+    if args.priority is not None:
+        spec["priority"] = args.priority
+    if args.queue is not None:
+        spec["queue"] = args.queue
+    if args.retries is not None:
+        spec["retries"] = args.retries
     return spec
 
 
@@ -419,7 +455,8 @@ def cmd_submit(args) -> int:
         return 0
     try:
         status = client.wait(args.server, job_id,
-                             timeout=args.timeout, poll=args.poll)
+                             timeout=args.timeout, poll=args.poll,
+                             poll_cap=args.poll_cap)
     except TimeoutError as exc:
         print(str(exc), file=sys.stderr)
         return 1
@@ -578,10 +615,40 @@ def main(argv=None) -> int:
     p.add_argument("--max-attempts", type=int, default=3,
                    help="worker deaths before a job is failed "
                         "instead of resumed (default 3)")
+    p.add_argument("--queue-cap", type=int, default=0,
+                   help="queued jobs admitted before POST /jobs "
+                        "returns 429 + Retry-After (0 = unlimited)")
+    p.add_argument("--lease-ttl", type=float, default=None,
+                   help="seconds a job lease survives without a "
+                        "worker heartbeat (default 30)")
     p.add_argument("--drain", action="store_true",
                    help="on SIGINT/SIGTERM, let running jobs finish "
                         "instead of interrupting them")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("worker",
+                       help="standalone worker agent on a shared "
+                            "state dir (no HTTP server needed)")
+    p.add_argument("--state-dir", required=True,
+                   help="the fleet's shared state dir (same as the "
+                        "server's --state-dir)")
+    p.add_argument("--worker-id", default=None,
+                   help="fleet-unique worker id (default "
+                        "agent@<host>:<pid>)")
+    p.add_argument("--queues", default=None,
+                   help="comma-separated queue classes to lease from "
+                        "(default: all)")
+    p.add_argument("--lease-ttl", type=float, default=None,
+                   help="seconds a lease survives without a "
+                        "heartbeat (default 30; must match the "
+                        "fleet's setting)")
+    p.add_argument("--max-attempts", type=int, default=None,
+                   help="default lease ceiling for jobs without "
+                        "their own 'retries' budget")
+    p.add_argument("--max-jobs", type=int, default=None,
+                   help="exit after settling this many jobs "
+                        "(default: run until signalled)")
+    p.set_defaults(func=cmd_worker)
 
     p = sub.add_parser("submit",
                        help="submit a job to a running flow server")
@@ -611,11 +678,22 @@ def main(argv=None) -> int:
                    help="chaos-test the server: the first worker "
                         "exits 17 at this cut status and the job "
                         "must resume")
+    p.add_argument("--priority", type=int, default=None,
+                   help="scheduling priority (higher leases first)")
+    p.add_argument("--queue", default=None,
+                   help="queue class (workers filter on it)")
+    p.add_argument("--retries", type=int, default=None,
+                   help="transient-crash retry budget for this job")
     p.add_argument("--wait", action="store_true",
                    help="poll until the job finishes and print its "
                         "report")
     p.add_argument("--timeout", type=float, default=600.0)
-    p.add_argument("--poll", type=float, default=0.5)
+    p.add_argument("--poll", type=float, default=0.25,
+                   help="initial poll interval; doubles up to "
+                        "--poll-cap (default 0.25)")
+    p.add_argument("--poll-cap", type=float, default=5.0,
+                   help="poll interval ceiling for --wait "
+                        "(default 5)")
     p.set_defaults(func=cmd_submit)
 
     p = sub.add_parser("info", help="design statistics only")

@@ -114,6 +114,37 @@ class Journal:
             journal._rewrite()
         return journal
 
+    def refresh(self) -> List[dict]:
+        """Fold in records other processes appended since we last read.
+
+        The multi-writer contract of the serve job journal: every
+        writer holds an exclusive file lock while it appends, and
+        calls ``refresh`` (under that same lock) first, so its next
+        ``seq`` continues the on-disk sequence rather than its stale
+        in-memory one.  Lines are consumed in order; the scan stops at
+        the first torn/corrupt/misnumbered line *without* truncating —
+        under the lock discipline a torn tail can only be a crashed
+        writer's final append, which the next exclusive
+        :meth:`Journal.open` cleans up.  Returns the new records.
+        """
+        try:
+            with open(self.path, "r") as stream:
+                lines = stream.read().splitlines()
+        except OSError as exc:
+            raise JournalError("cannot refresh journal %s: %s"
+                               % (self.path, exc))
+        fresh: List[dict] = []
+        for line in lines[len(self.records):]:
+            if not line.strip():
+                continue
+            record = decode_line(line)
+            if (record is None
+                    or record.get("seq") != len(self.records) + len(fresh)):
+                break
+            fresh.append(record)
+        self.records.extend(fresh)
+        return fresh
+
     # -- writes --------------------------------------------------------
 
     def append(self, type_: str, **fields) -> dict:

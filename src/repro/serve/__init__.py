@@ -1,15 +1,24 @@
-"""Flow service mode: a long-running job server over the TPS flows.
+"""Flow service mode: a crash-tolerant, multi-worker flow fleet.
 
 ``python -m repro serve`` turns the batch reproduction into an
 operable service (see ``docs/operations.md``): an ``http.server``
 front end accepts flow jobs (a design recipe plus flow, guard, chaos,
-and persistence options), a supervisor schedules them onto a pool of
-worker *processes*, and every job runs inside the ``repro.persist``
-machinery — its own run directory with a write-ahead journal and
-milestone snapshots — so a worker that crashes or is killed is
-detected by the supervisor and the job is *resumed* from its last
-snapshot on a fresh worker, never restarted from scratch, with guard
-quarantine honored across the retries.
+and persistence options), and every job runs inside the
+``repro.persist`` machinery — its own run directory with a
+write-ahead journal and milestone snapshots.
+
+Scheduling is a **multi-host contract** over the shared state dir:
+the server's in-process pool and any number of standalone
+``python -m repro worker`` agents (separate processes, separate
+hosts) lease jobs from one journaled :class:`JobStore`, heartbeat
+while they run, and settle with per-lease **fencing tokens**.  A
+worker that crashes or is killed goes silent; its lease expires, the
+reaper requeues the job (exponential backoff, per-job retry budget),
+and the next lease *resumes* from the last snapshot — never restarts
+from scratch, with guard quarantine honored across retries.  A zombie
+worker revived after its lease moved on has its late writes rejected
+and the rejection journaled.  Admission control caps the queue with
+HTTP 429 + ``Retry-After``.
 
 Live observability crosses the process boundary through the
 ``repro.obs`` counter sink: each worker publishes its cumulative
@@ -21,6 +30,7 @@ Everything is standard library only: ``http.server``,
 ``multiprocessing``, ``threading``, ``json``.
 """
 
+from repro.serve.agent import WorkerAgent
 from repro.serve.jobs import (
     CANCELLED,
     DONE,
@@ -29,8 +39,16 @@ from repro.serve.jobs import (
     JobSpecError,
     JobStore,
     QUEUED,
+    QueueFull,
     RUNNING,
     TERMINAL_STATES,
+)
+from repro.serve.lease import (
+    Heartbeat,
+    backoff_delay,
+    live_workers,
+    read_heartbeats,
+    worker_identity,
 )
 from repro.serve.metrics import prometheus_metrics
 from repro.serve.pool import WorkerPool
@@ -42,15 +60,22 @@ __all__ = [
     "DONE",
     "FAILED",
     "FlowServer",
+    "Heartbeat",
     "Job",
     "JobSpecError",
     "JobStore",
     "QUEUED",
+    "QueueFull",
     "RUNNING",
     "TERMINAL_STATES",
+    "WorkerAgent",
     "WorkerPool",
+    "backoff_delay",
     "build_job_design",
     "job_flow_config",
+    "live_workers",
     "normalize_spec",
     "prometheus_metrics",
+    "read_heartbeats",
+    "worker_identity",
 ]

@@ -1,0 +1,195 @@
+"""The standalone worker agent: one process, leasing from a state dir.
+
+``python -m repro worker --state-dir DIR`` attaches to the same
+shared state directory the HTTP server uses — or to one with no
+server at all — and participates in the fleet purely through the
+:class:`~repro.serve.jobs.JobStore` contract: heartbeat, reap expired
+leases, lease a job, run it, settle it with the lease's fencing
+token.  Workers on N hosts against one (shared-filesystem) state dir
+are exactly N of these agents; the HTTP front end is only the
+submission surface, never the scheduler of record.
+
+The agent runs each flow **in-process** (unlike the server pool's
+child-per-job): the agent process *is* the worker, so killing it —
+``kill -9``, OOM, power loss — is the crash model the lease layer is
+built for.  Its heartbeat thread dies with it, the lease goes silent,
+any other agent's reaper requeues the job, and the next lease resumes
+from the run directory's last milestone snapshot.  A *suspended*
+agent (SIGSTOP, VM pause) whose lease expires becomes a zombie on
+revival: its flow may finish, but its ``finish``/``requeue`` carries
+a stale fencing token and is journaled as ``fenced``, never applied.
+
+Failure taxonomy inside a live agent mirrors the pool's: exit-0 →
+done; ``BAD_JOB_EXIT_CODE`` → failed fast; a raised exception or a
+simulated-kill ``SystemExit`` → transient crash, requeued with
+backoff against the job's retry budget.
+
+SIGTERM/SIGINT drain gracefully: the current job finishes (it holds a
+live lease), then the agent retires its heartbeat and exits.
+"""
+
+from __future__ import annotations
+
+import signal
+import sys
+import threading
+import time
+import traceback
+from typing import Optional, Set
+
+from repro.persist import DIE_EXIT_CODE
+from repro.serve.jobs import DONE, FAILED, Job, JobStore
+from repro.serve.lease import Heartbeat, worker_identity
+from repro.serve.worker import BAD_JOB_EXIT_CODE, run_job
+
+#: idle poll period between claim attempts (seconds)
+IDLE_POLL = 0.25
+
+
+class WorkerAgent:
+    """Lease → run → settle, forever (or for ``max_jobs`` jobs)."""
+
+    def __init__(self, state_dir: str,
+                 worker_id: Optional[str] = None,
+                 queues: Optional[Set[str]] = None,
+                 lease_ttl: Optional[float] = None,
+                 max_attempts: Optional[int] = None,
+                 poll: float = IDLE_POLL,
+                 max_jobs: Optional[int] = None) -> None:
+        self.store = JobStore(state_dir)
+        if lease_ttl is not None:
+            self.store.lease_ttl = lease_ttl
+        if max_attempts is not None:
+            self.store.default_max_attempts = max(1, max_attempts)
+        self.queues = set(queues) if queues else None
+        self.worker_id = worker_id or worker_identity("agent")
+        self.heartbeat = Heartbeat(state_dir, self.worker_id,
+                                   interval=self.store.lease_ttl / 4.0)
+        self.poll = poll
+        #: stop after this many settled jobs (None = run forever)
+        self.max_jobs = max_jobs
+        self.jobs_run = 0
+        self._stop = threading.Event()
+        self._current: Optional[str] = None
+        self._hb_thread: Optional[threading.Thread] = None
+        self._last_reap = 0.0
+
+    # -- liveness -------------------------------------------------------
+
+    def _heartbeat_loop(self) -> None:
+        """Publish liveness on a cadence, including mid-flow.
+
+        This thread is the agent's pulse: it must keep beating while
+        the main thread is deep inside a transform, because that is
+        precisely when a lease would otherwise look dead.  It dies
+        with the process — which is the point.
+        """
+        while not self._stop.is_set():
+            jobs = [self._current] if self._current else []
+            self.heartbeat.write(jobs=jobs, force=True)
+            self._stop.wait(self.heartbeat.interval)
+
+    def _reap(self) -> None:
+        """Run the failure detector every TTL/4 seconds."""
+        now = time.monotonic()
+        if now - self._last_reap < self.store.lease_ttl / 4.0:
+            return
+        self._last_reap = now
+        for job in self.store.reap_expired():
+            print("reaped silent lease: %s (worker %s, attempt %d)"
+                  % (job.job_id, job.worker or "?", job.attempts),
+                  file=sys.stderr)
+
+    # -- the work loop ---------------------------------------------------
+
+    def stop(self) -> None:
+        """Ask the agent to drain: finish the current job, then exit."""
+        self._stop.set()
+
+    def run_forever(self) -> int:
+        """The agent main loop; returns a process exit code."""
+        self.heartbeat.write(force=True)
+        self._hb_thread = threading.Thread(target=self._heartbeat_loop,
+                                           name="repro-agent-heartbeat",
+                                           daemon=True)
+        self._hb_thread.start()
+        try:
+            while not self._stop.is_set():
+                self._reap()
+                job = self.store.claim_next(worker=self.worker_id,
+                                            queues=self.queues)
+                if job is None:
+                    self._stop.wait(self.poll)
+                    continue
+                self._run_one(job)
+                self.jobs_run += 1
+                if (self.max_jobs is not None
+                        and self.jobs_run >= self.max_jobs):
+                    break
+        finally:
+            self._stop.set()
+            self.heartbeat.remove()
+        return 0
+
+    def _run_one(self, job: Job) -> None:
+        """Execute one leased job in-process and settle it."""
+        self._current = job.job_id
+        self.heartbeat.write(jobs=[job.job_id], force=True)
+        token = job.token
+        try:
+            code = run_job(job.job_id, job.spec,
+                           self.store.run_path(job.job_id))
+        except SystemExit as exc:  # simulated kill points (exit 17)
+            code = exc.code if isinstance(exc.code, int) else 1
+        except Exception:
+            traceback.print_exc()
+            code = 1
+        finally:
+            self._current = None
+        self._settle(job, code, token)
+
+    def _settle(self, job: Job, exit_code: int, token: int) -> None:
+        """The pool's exit taxonomy, fenced by this lease's token."""
+        if exit_code == 0:
+            applied = self.store.finish(job, DONE, exit_code=0,
+                                        token=token,
+                                        worker=self.worker_id)
+        elif exit_code == BAD_JOB_EXIT_CODE:
+            applied = self.store.finish(
+                job, FAILED, exit_code=exit_code, token=token,
+                worker=self.worker_id,
+                error="worker rejected the job (exit %d)" % exit_code)
+        elif job.attempts >= job.max_attempts(
+                self.store.default_max_attempts):
+            applied = self.store.finish(
+                job, FAILED, exit_code=exit_code, token=token,
+                worker=self.worker_id,
+                error="worker died (exit %d) on final attempt %d/%d"
+                      % (exit_code, job.attempts,
+                         job.max_attempts(
+                             self.store.default_max_attempts)))
+        else:
+            applied = self.store.requeue(job, exit_code, token=token,
+                                         cause="crash",
+                                         worker=self.worker_id)
+        if not applied:
+            print("fenced: stale token %d for %s (lease moved on "
+                  "while this agent was out)" % (token, job.job_id),
+                  file=sys.stderr)
+
+
+def install_drain_signals(agent: WorkerAgent) -> None:
+    """SIGTERM/SIGINT → drain: finish the current job, then exit."""
+
+    def _signalled(signum, frame):
+        print("\nsignal %d: draining (current job finishes, no new "
+              "leases)" % signum, file=sys.stderr)
+        agent.stop()
+
+    signal.signal(signal.SIGINT, _signalled)
+    signal.signal(signal.SIGTERM, _signalled)
+
+
+#: re-export for callers simulating kills
+__all__ = ["WorkerAgent", "install_drain_signals", "DIE_EXIT_CODE",
+           "IDLE_POLL"]

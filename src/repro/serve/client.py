@@ -1,14 +1,27 @@
 """A minimal stdlib client for the flow service HTTP API.
 
 Used by ``python -m repro submit`` and the server test suite; thin on
-purpose — every call is one HTTP request, JSON in, JSON out, no
-retries or sessions.  Any non-2xx response raises
-:class:`ServiceError` carrying the server's ``error`` message.
+purpose — every call is one HTTP request, JSON in, JSON out.  Two
+classes of trouble are absorbed instead of raised immediately:
+
+* **Transient connection errors** (refused, reset) retry with
+  jittered exponential backoff.  Non-idempotent requests (anything
+  with a body) retry only on *refused* — a refused connection never
+  reached the server, so a duplicate submit is impossible; a reset
+  mid-flight might have landed, so POSTs surface it.
+* **429 (queue full)** honors the server's ``Retry-After`` header and
+  retries within the same budget before raising; the final
+  :class:`ServiceError` carries ``retry_after`` so callers can keep
+  backing off on their own schedule.
+
+Any other non-2xx response raises :class:`ServiceError` carrying the
+server's ``error`` message.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -16,47 +29,117 @@ from typing import Optional
 
 from repro.serve.jobs import TERMINAL_STATES
 
+#: default connection-retry budget (attempts beyond the first)
+DEFAULT_RETRIES = 3
+#: first backoff step (seconds); doubles per retry, jittered ±50%
+DEFAULT_BACKOFF = 0.2
+
 
 class ServiceError(Exception):
-    """The server answered with an error status."""
+    """The server answered with an error status.
 
-    def __init__(self, code: int, message: str) -> None:
+    ``retry_after`` is set (seconds) on 429 responses so callers can
+    schedule their own resubmission.
+    """
+
+    def __init__(self, code: int, message: str,
+                 retry_after: Optional[float] = None) -> None:
         super().__init__("HTTP %d: %s" % (code, message))
         self.code = code
         self.message = message
+        self.retry_after = retry_after
+
+
+def _jittered(delay: float) -> float:
+    """±50% full jitter so a fleet of clients does not thunder."""
+    return delay * (0.5 + random.random())
 
 
 def request(base_url: str, path: str, payload: Optional[dict] = None,
-            method: Optional[str] = None, timeout: float = 30.0):
-    """One JSON request; returns the decoded body (str for text)."""
+            method: Optional[str] = None, timeout: float = 30.0,
+            retries: int = DEFAULT_RETRIES,
+            backoff: float = DEFAULT_BACKOFF):
+    """One JSON request; returns the decoded body (str for text).
+
+    ``retries`` bounds the extra attempts spent on refused/reset
+    connections and on 429 backpressure; 0 fails fast.
+    """
     url = base_url.rstrip("/") + path
     data = None
     headers = {"Accept": "application/json"}
     if payload is not None:
         data = json.dumps(payload).encode()
         headers["Content-Type"] = "application/json"
-    req = urllib.request.Request(
-        url, data=data, headers=headers,
-        method=method or ("POST" if payload is not None else "GET"))
-    try:
-        with urllib.request.urlopen(req, timeout=timeout) as response:
-            body = response.read().decode()
-            kind = response.headers.get("Content-Type", "")
-    except urllib.error.HTTPError as exc:
-        detail = exc.read().decode(errors="replace")
+    attempt = 0
+    while True:
+        req = urllib.request.Request(
+            url, data=data, headers=headers,
+            method=method or ("POST" if payload is not None else "GET"))
         try:
-            detail = json.loads(detail).get("error", detail)
-        except ValueError:
-            pass
-        raise ServiceError(exc.code, detail)
-    if kind.startswith("application/json"):
-        return json.loads(body)
-    return body
+            with urllib.request.urlopen(req, timeout=timeout) as response:
+                body = response.read().decode()
+                kind = response.headers.get("Content-Type", "")
+        except urllib.error.HTTPError as exc:
+            retry_after = _retry_after_seconds(exc)
+            detail = exc.read().decode(errors="replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except ValueError:
+                pass
+            if exc.code == 429 and attempt < retries:
+                # honor the server's pacing, not our own schedule
+                attempt += 1
+                time.sleep(retry_after if retry_after is not None
+                           else _jittered(backoff * 2 ** attempt))
+                continue
+            raise ServiceError(exc.code, detail,
+                               retry_after=retry_after)
+        except urllib.error.URLError as exc:
+            if not _retryable(exc.reason, idempotent=data is None) \
+                    or attempt >= retries:
+                raise
+            attempt += 1
+            time.sleep(_jittered(backoff * 2 ** attempt))
+            continue
+        except ConnectionError as exc:
+            if not _retryable(exc, idempotent=data is None) \
+                    or attempt >= retries:
+                raise
+            attempt += 1
+            time.sleep(_jittered(backoff * 2 ** attempt))
+            continue
+        if kind.startswith("application/json"):
+            return json.loads(body)
+        return body
 
 
-def submit(base_url: str, spec: dict) -> str:
+def _retry_after_seconds(exc) -> Optional[float]:
+    """The Retry-After header of an HTTP error, as seconds."""
+    value = exc.headers.get("Retry-After") if exc.headers else None
+    try:
+        return float(value) if value is not None else None
+    except ValueError:
+        return None
+
+
+def _retryable(reason, idempotent: bool) -> bool:
+    """May this connection failure be retried safely?
+
+    A refused connection never reached a server, so even a POST may
+    retry.  A reset (or anything mid-flight) may have landed: only
+    idempotent (body-less) requests retry those.
+    """
+    if isinstance(reason, ConnectionRefusedError):
+        return True
+    return idempotent and isinstance(reason, (ConnectionResetError,
+                                              ConnectionError))
+
+
+def submit(base_url: str, spec: dict,
+           retries: int = DEFAULT_RETRIES) -> str:
     """Submit a job spec; returns the assigned job id."""
-    return request(base_url, "/jobs", payload=spec)["job_id"]
+    return request(base_url, "/jobs", payload=spec,
+                   retries=retries)["job_id"]
 
 
 def status(base_url: str, job_id: str) -> dict:
@@ -75,10 +158,14 @@ def metrics(base_url: str) -> str:
 
 
 def wait(base_url: str, job_id: str, timeout: float = 600.0,
-         poll: float = 0.5) -> dict:
+         poll: float = 0.25, poll_cap: float = 5.0) -> dict:
     """Poll until the job reaches a terminal state; returns its
-    status.  Raises TimeoutError if it does not settle in time."""
+    status.  The poll interval starts at ``poll`` and doubles up to
+    ``poll_cap`` — long jobs cost a handful of requests per minute,
+    not a constant hammering.  Raises TimeoutError if the job does
+    not settle in time."""
     deadline = time.monotonic() + timeout
+    interval = max(0.01, poll)
     while True:
         state = status(base_url, job_id)
         if state["state"] in TERMINAL_STATES:
@@ -86,4 +173,6 @@ def wait(base_url: str, job_id: str, timeout: float = 600.0,
         if time.monotonic() >= deadline:
             raise TimeoutError("job %s still %s after %.0fs"
                                % (job_id, state["state"], timeout))
-        time.sleep(poll)
+        time.sleep(min(interval, max(0.0,
+                                     deadline - time.monotonic())))
+        interval = min(poll_cap, interval * 2.0)

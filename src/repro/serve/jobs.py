@@ -1,30 +1,59 @@
-"""The server's job table, journaled for restart survival.
+"""The fleet's job table: a journaled, lease-fenced, multi-process store.
 
 Every state change of every job is one record in
 ``STATE_DIR/jobs.jsonl``, written through the same CRC-wrapped,
 torn-tail-recovering :class:`repro.persist.journal.Journal` the flow
-run directories use.  A restarted server replays the journal and gets
-its job table back: terminal jobs keep their outcome, and anything
-that was queued or running when the previous server died is requeued
-— a running job's run directory is still on disk, so its next worker
-*resumes* it from the last milestone snapshot rather than starting
-over.
+run directories use.  What PR 5 kept as one server's private table is
+now a **multi-host contract**: any number of processes — the HTTP
+server's pool, standalone ``python -m repro worker`` agents on other
+hosts — attach to the same state dir, serialize their writes through
+an ``fcntl`` file lock, and refresh their in-memory view from the
+journal tail before every mutation.  The journal is the single source
+of truth; the lock makes its sequence numbers a total order.
 
-Record types: ``submit`` (job id + canonical spec), ``start`` (a
-worker process was spawned, with its attempt ordinal), ``requeue``
-(the worker died; the job goes back in line), ``finish`` (terminal:
-``done`` / ``failed`` / ``cancelled``).
+Scheduling is built on **leases with fencing tokens**:
+
+* ``claim_next`` journals a ``lease`` record carrying a per-job,
+  monotonically increasing token.  The lease is time-bounded: it stays
+  live only while the holder's heartbeat file
+  (:mod:`repro.serve.lease`) is younger than the TTL.
+* ``finish`` and ``requeue`` must present the job's *current* token.
+  A stale token — a zombie worker revived after its lease expired and
+  its job moved on — is rejected, and the rejection itself is
+  journaled as a ``fenced`` record, so a double-commit is structurally
+  impossible and auditable.
+* ``reap_expired`` is the fleet's failure detector: any process may
+  run it; it requeues jobs whose holder went silent (with exponential
+  backoff and a per-job retry budget) or fails them once the budget
+  is spent.
+
+Record types: ``submit`` (job id + canonical spec), ``lease`` (claim
+with token/attempt/ttl), ``requeue`` (back in line, with cause:
+``crash`` / ``lease-expired`` / ``release``), ``finish`` (terminal),
+``fenced`` (a rejected stale write).  All counting happens while
+*applying* records, so a replayed table is indistinguishable from a
+live one.
 """
 
 from __future__ import annotations
 
+import fcntl
 import os
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro.persist.journal import Journal, JournalError
+from repro.serve.lease import (
+    DEFAULT_BACKOFF_BASE,
+    DEFAULT_BACKOFF_CAP,
+    DEFAULT_LEASE_TTL,
+    backoff_delay,
+    live_workers,
+    read_heartbeats,
+)
 from repro.serve.spec import JobSpecError, normalize_spec
 
 QUEUED = "queued"
@@ -36,6 +65,25 @@ CANCELLED = "cancelled"
 #: states a job never leaves
 TERMINAL_STATES = (DONE, FAILED, CANCELLED)
 
+#: requeue causes that count as a resume (a worker died holding it)
+CRASH_CAUSES = ("crash", "lease-expired")
+
+
+class QueueFull(Exception):
+    """Admission control refused the job: the queue is at capacity.
+
+    ``retry_after`` is the client hint (seconds) the HTTP layer turns
+    into a ``Retry-After`` header on its 429 response.
+    """
+
+    def __init__(self, depth: int, cap: int,
+                 retry_after: float = 2.0) -> None:
+        super().__init__("queue is full (%d/%d queued); retry in %.0fs"
+                         % (depth, cap, retry_after))
+        self.depth = depth
+        self.cap = cap
+        self.retry_after = retry_after
+
 
 @dataclass
 class Job:
@@ -44,7 +92,7 @@ class Job:
     job_id: str
     spec: dict
     state: str = QUEUED
-    #: worker processes spawned for this job (1 = never crashed)
+    #: leases granted for this job (1 = never crashed)
     attempts: int = 0
     #: crash/kill recoveries (attempts that were resumes)
     resumes: int = 0
@@ -53,6 +101,39 @@ class Job:
     finished_at: Optional[float] = None
     #: exit code of the last finished worker process
     last_exit: Optional[int] = None
+    #: fencing token of the newest lease (0 = never leased)
+    token: int = 0
+    #: holder of the current/last lease
+    worker: Optional[str] = None
+    #: wall time the current lease was granted
+    leased_at: float = 0.0
+    #: seconds the current lease survives without a heartbeat
+    lease_ttl: float = DEFAULT_LEASE_TTL
+    #: earliest wall time the job may be leased again (retry backoff)
+    not_before: float = 0.0
+
+    @property
+    def priority(self) -> int:
+        """Higher runs first; FIFO within a priority (spec key)."""
+        return int(self.spec.get("priority", 0))
+
+    @property
+    def queue(self) -> str:
+        """The queue class workers filter on (spec key)."""
+        return str(self.spec.get("queue", "default"))
+
+    def max_attempts(self, default: int) -> int:
+        """Leases allowed before the job fails instead of retrying.
+
+        The spec's ``retries`` is the *transient-crash retry budget* —
+        re-attempts after worker deaths — so the ceiling is one fresh
+        attempt plus that many retries.  Without it, the store-wide
+        default applies.
+        """
+        retries = self.spec.get("retries")
+        if retries is None:
+            return default
+        return int(retries) + 1
 
     def summary(self) -> dict:
         """The JSON the status endpoints serve."""
@@ -61,8 +142,11 @@ class Job:
             "state": self.state,
             "flow": self.spec.get("flow"),
             "design": self.spec.get("design"),
+            "queue": self.queue,
+            "priority": self.priority,
             "attempts": self.attempts,
             "resumes": self.resumes,
+            "worker": self.worker if self.state == RUNNING else None,
             "error": self.error,
             "submitted_at": self.submitted_at,
             "finished_at": self.finished_at,
@@ -70,41 +154,71 @@ class Job:
 
 
 class JobStore:
-    """Thread-safe job table backed by the server journal.
+    """The shared job table: journal + file lock on one state dir.
 
-    ``state_dir`` is the server's durable identity::
+    ``state_dir`` is the fleet's durable identity::
 
         STATE_DIR/
-          jobs.jsonl    journal of every job state change
-          runs/<id>/    one repro.persist run directory per job
+          jobs.jsonl      journal of every job state change
+          jobs.lock       fcntl lock serializing journal writers
+          workers/        one heartbeat file per live worker
+          runs/<id>/      one repro.persist run directory per job
 
-    All mutation goes through methods that journal first, then update
-    the in-memory table under the lock — the same write-ahead
-    discipline the flows themselves follow.
+    Every mutation (and every query) runs under :meth:`_locked`:
+    exclusive ``fcntl`` lock, refresh the journal tail (folding in
+    records other processes appended), then act.  Appending a record
+    and *applying* it are one unit — the apply path is exactly the
+    replay path, so restart, refresh, and live operation cannot
+    disagree.
     """
 
-    def __init__(self, state_dir: str) -> None:
+    def __init__(self, state_dir: str,
+                 lease_ttl: float = DEFAULT_LEASE_TTL,
+                 default_max_attempts: int = 3,
+                 queue_cap: int = 0,
+                 backoff_base: float = DEFAULT_BACKOFF_BASE,
+                 backoff_cap: float = DEFAULT_BACKOFF_CAP) -> None:
         self.state_dir = state_dir
+        #: seconds a lease survives without a heartbeat renewal
+        self.lease_ttl = lease_ttl
+        #: lease ceiling for jobs whose spec sets no ``retries``
+        self.default_max_attempts = max(1, default_max_attempts)
+        #: queued jobs admitted before submit returns 429 (0 = no cap)
+        self.queue_cap = max(0, queue_cap)
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
         os.makedirs(self.runs_dir, exist_ok=True)
         self._lock = threading.Lock()
+        self._lockfile = open(self.lock_path, "a+")
         self._jobs: Dict[str, Job] = {}
         self._order: List[str] = []
         self._next_id = 1
         #: monotonically increasing totals (never decremented)
         self._totals = {"submitted": 0, "done": 0, "failed": 0,
-                        "cancelled": 0, "resumes": 0, "rejected": 0}
+                        "cancelled": 0, "resumes": 0, "rejected": 0,
+                        "throttled": 0, "expired": 0, "fenced": 0}
+        fcntl.flock(self._lockfile, fcntl.LOCK_EX)
         try:
-            self.journal = Journal.open(self.journal_path)
-            self._replay()
-        except JournalError:
-            self.journal = Journal.create(self.journal_path)
+            try:
+                self.journal = Journal.open(self.journal_path)
+            except JournalError:
+                self.journal = Journal.create(self.journal_path)
+            for record in self.journal:
+                self._apply(record)
+        finally:
+            fcntl.flock(self._lockfile, fcntl.LOCK_UN)
 
     # -- paths ---------------------------------------------------------
 
     @property
     def journal_path(self) -> str:
-        """The server's job-state journal file."""
+        """The fleet's job-state journal file."""
         return os.path.join(self.state_dir, "jobs.jsonl")
+
+    @property
+    def lock_path(self) -> str:
+        """The fcntl lock file serializing journal writers."""
+        return os.path.join(self.state_dir, "jobs.lock")
 
     @property
     def runs_dir(self) -> str:
@@ -115,141 +229,273 @@ class JobStore:
         """The repro.persist run directory of one job."""
         return os.path.join(self.runs_dir, job_id)
 
-    # -- journal replay ------------------------------------------------
+    # -- the multi-process critical section ----------------------------
 
-    def _replay(self) -> None:
-        """Rebuild the job table from the journal (server restart)."""
-        for record in self.journal:
-            kind = record["type"]
-            if kind == "submit":
-                job = Job(job_id=record["job_id"],
-                          spec=record["spec"],
-                          submitted_at=record.get("at", 0.0))
-                self._jobs[job.job_id] = job
-                self._order.append(job.job_id)
-                self._totals["submitted"] += 1
-                ordinal = _job_ordinal(job.job_id)
-                self._next_id = max(self._next_id, ordinal + 1)
-            elif kind == "start":
-                job = self._jobs.get(record["job_id"])
-                if job is not None:
-                    job.state = RUNNING
-                    job.attempts = record.get("attempt", job.attempts + 1)
-            elif kind == "requeue":
-                job = self._jobs.get(record["job_id"])
-                if job is not None:
-                    job.state = QUEUED
-                    # exit=None marks a shutdown release, not a crash
-                    if record.get("exit") is not None:
-                        job.resumes += 1
-                        self._totals["resumes"] += 1
-            elif kind == "finish":
-                job = self._jobs.get(record["job_id"])
-                if job is not None:
-                    job.state = record["state"]
-                    job.error = record.get("error")
-                    job.finished_at = record.get("at")
-                    self._totals[record["state"]] += 1
-        # a job mid-flight when the server died goes back in line; its
-        # run dir (if any) makes the next attempt a resume
-        for job in self._jobs.values():
-            if job.state == RUNNING:
-                job.state = QUEUED
+    @contextmanager
+    def _locked(self):
+        """Exclusive fleet-wide section, view refreshed on entry."""
+        with self._lock:
+            fcntl.flock(self._lockfile, fcntl.LOCK_EX)
+            try:
+                for record in self.journal.refresh():
+                    self._apply(record)
+                yield
+            finally:
+                fcntl.flock(self._lockfile, fcntl.LOCK_UN)
+
+    def _append(self, type_: str, **fields) -> dict:
+        """Journal one record and apply it (callers hold the lock)."""
+        record = self.journal.append(type_, **fields)
+        self._apply(record)
+        return record
+
+    def _apply(self, record: dict) -> None:
+        """Fold one journal record into the table (replay == live)."""
+        kind = record["type"]
+        if kind == "submit":
+            job = Job(job_id=record["job_id"],
+                      spec=record["spec"],
+                      submitted_at=record.get("at", 0.0))
+            self._jobs[job.job_id] = job
+            self._order.append(job.job_id)
+            self._totals["submitted"] += 1
+            ordinal = _job_ordinal(job.job_id)
+            self._next_id = max(self._next_id, ordinal + 1)
+            return
+        job = self._jobs.get(record.get("job_id"))
+        if job is None:
+            return
+        if kind == "lease":
+            job.state = RUNNING
+            job.worker = record.get("worker")
+            job.token = record.get("token", job.token + 1)
+            job.attempts = record.get("attempt", job.attempts + 1)
+            job.leased_at = record.get("at", 0.0)
+            job.lease_ttl = record.get("ttl", self.lease_ttl)
+        elif kind == "requeue":
+            job.state = QUEUED
+            job.worker = None
+            job.last_exit = record.get("exit")
+            job.not_before = record.get("not_before", 0.0)
+            cause = record.get("cause")
+            if cause is None:  # PR-5 records: exit None marked release
+                cause = ("release" if record.get("exit") is None
+                         else "crash")
+            if cause in CRASH_CAUSES:
+                job.resumes += 1
+                self._totals["resumes"] += 1
+            if cause == "lease-expired":
+                self._totals["expired"] += 1
+        elif kind == "finish":
+            job.state = record["state"]
+            job.error = record.get("error")
+            job.finished_at = record.get("at")
+            self._totals[record["state"]] += 1
+        elif kind == "fenced":
+            self._totals["fenced"] += 1
 
     # -- submission ----------------------------------------------------
 
     def submit(self, raw_spec: dict) -> Job:
-        """Validate, journal, and enqueue one job.
+        """Validate, admit, journal, and enqueue one job.
 
         Raises :class:`~repro.serve.spec.JobSpecError` on a malformed
-        spec (counted in ``jobs_rejected``).
+        spec (counted in ``jobs_rejected``) and :class:`QueueFull`
+        when admission control turns it away (``jobs_throttled``).
         """
         try:
             spec = normalize_spec(raw_spec)
         except JobSpecError:
-            with self._lock:
+            with self._locked():
                 self._totals["rejected"] += 1
             raise
-        with self._lock:
+        with self._locked():
+            if self.queue_cap:
+                depth = sum(1 for job in self._jobs.values()
+                            if job.state == QUEUED)
+                if depth >= self.queue_cap:
+                    self._totals["throttled"] += 1
+                    raise QueueFull(depth, self.queue_cap)
             job_id = "job-%04d" % self._next_id
             self._next_id += 1
-            job = Job(job_id=job_id, spec=spec)
-            self.journal.append("submit", job_id=job_id, spec=spec,
-                                at=job.submitted_at)
-            self._jobs[job_id] = job
-            self._order.append(job_id)
-            self._totals["submitted"] += 1
-            return job
+            self._append("submit", job_id=job_id, spec=spec,
+                         at=time.time())
+            return self._jobs[job_id]
 
-    # -- scheduling hooks (called by the pool) -------------------------
+    # -- leasing (called by pools and worker agents) --------------------
 
-    def claim_next(self) -> Optional[Job]:
-        """Pop the oldest queued job and mark it running (journaled)."""
-        with self._lock:
+    def claim_next(self, worker: str = "local",
+                   queues: Optional[Set[str]] = None,
+                   now: Optional[float] = None) -> Optional[Job]:
+        """Lease the best eligible queued job to ``worker``.
+
+        Eligible: queued, in one of ``queues`` (None = any), and past
+        its retry-backoff gate.  Highest priority wins; FIFO within a
+        priority.  The journaled ``lease`` record carries the job's
+        next fencing token, which the returned job exposes as
+        ``job.token`` — the worker must present it to
+        :meth:`finish`/:meth:`requeue`.
+        """
+        with self._locked():
+            moment = time.time() if now is None else now
+            best: Optional[Job] = None
             for job_id in self._order:
                 job = self._jobs[job_id]
-                if job.state == QUEUED:
-                    job.state = RUNNING
-                    job.attempts += 1
-                    self.journal.append("start", job_id=job_id,
-                                        attempt=job.attempts)
-                    return job
-            return None
+                if job.state != QUEUED:
+                    continue
+                if queues is not None and job.queue not in queues:
+                    continue
+                if job.not_before > moment:
+                    continue
+                if best is None or job.priority > best.priority:
+                    best = job
+            if best is None:
+                return None
+            self._append("lease", job_id=best.job_id, worker=worker,
+                         token=best.token + 1,
+                         attempt=best.attempts + 1,
+                         ttl=self.lease_ttl, at=moment)
+            return best
 
-    def requeue(self, job: Job, exit_code: Optional[int]) -> None:
-        """Put a crashed job back in line for a resume attempt."""
-        with self._lock:
-            self.journal.append("requeue", job_id=job.job_id,
-                                exit=exit_code)
-            job.state = QUEUED
-            job.last_exit = exit_code
-            job.resumes += 1
-            self._totals["resumes"] += 1
+    def _fenced(self, job: Job, op: str, token: Optional[int],
+                worker: Optional[str]) -> bool:
+        """Validate a finish/requeue write; journal a rejection.
 
-    def release(self, job: Job) -> None:
-        """Return a claimed-but-never-run job to the queue, without
-        counting a resume (graceful shutdown path)."""
-        with self._lock:
-            self.journal.append("requeue", job_id=job.job_id, exit=None)
-            job.state = QUEUED
+        A write is valid while the job is RUNNING and the presented
+        token is its current lease's (or the write is administrative —
+        ``token=None`` — against a job that holds no lease).  Anything
+        else is a zombie: journaled as ``fenced``, never applied.
+        """
+        if job.state == RUNNING and token == job.token:
+            return False
+        if job.state == QUEUED and token is None:
+            return False  # e.g. cancelling a job nobody holds
+        self._append("fenced", job_id=job.job_id, op=op, token=token,
+                     current=job.token, state=job.state,
+                     worker=worker, at=time.time())
+        return True
+
+    def requeue(self, job: Job, exit_code: Optional[int] = None,
+                token: Optional[int] = None, cause: str = "crash",
+                worker: Optional[str] = None,
+                now: Optional[float] = None) -> bool:
+        """Put a job back in line; returns False if fenced off.
+
+        Crash-class causes gate the next lease behind exponential
+        backoff (``backoff_base * 2**resumes``, capped) and count a
+        resume; ``release`` (graceful shutdown) does neither.
+        """
+        with self._locked():
+            job = self._jobs[job.job_id]
+            if self._fenced(job, "requeue", token, worker):
+                return False
+            moment = time.time() if now is None else now
+            delay = (backoff_delay(job.resumes, self.backoff_base,
+                                   self.backoff_cap)
+                     if cause in CRASH_CAUSES else 0.0)
+            self._append("requeue", job_id=job.job_id, exit=exit_code,
+                         token=token, cause=cause,
+                         not_before=moment + delay, at=moment)
+            return True
+
+    def release(self, job: Job, token: Optional[int] = None) -> bool:
+        """Return a claimed job to the queue without counting a
+        resume or a backoff gate (graceful shutdown path)."""
+        return self.requeue(job, exit_code=None, token=token,
+                            cause="release")
 
     def finish(self, job: Job, state: str,
                error: Optional[str] = None,
-               exit_code: Optional[int] = None) -> None:
-        """Move a job to a terminal state (journaled)."""
+               exit_code: Optional[int] = None,
+               token: Optional[int] = None,
+               worker: Optional[str] = None) -> bool:
+        """Move a job to a terminal state; returns False if fenced."""
         assert state in TERMINAL_STATES, state
-        with self._lock:
-            job.finished_at = time.time()
-            self.journal.append("finish", job_id=job.job_id,
-                                state=state, error=error,
-                                at=job.finished_at)
-            job.state = state
-            job.error = error
+        with self._locked():
+            job = self._jobs[job.job_id]
+            if job.state in TERMINAL_STATES:
+                # terminal is forever: a late double-commit is fenced
+                self._append("fenced", job_id=job.job_id, op="finish",
+                             token=token, current=job.token,
+                             state=job.state, worker=worker,
+                             at=time.time())
+                return False
+            if self._fenced(job, "finish", token, worker):
+                return False
+            self._append("finish", job_id=job.job_id, state=state,
+                         error=error, token=token, at=time.time())
             job.last_exit = exit_code
-            self._totals[state] += 1
+            return True
+
+    # -- the failure detector -------------------------------------------
+
+    def reap_expired(self, now: Optional[float] = None) -> List[Job]:
+        """Requeue (or fail) every job whose lease went silent.
+
+        A lease is silent once both its grant time and its holder's
+        last heartbeat are older than the lease TTL.  Any process may
+        reap — the journal's total order makes it idempotent: whoever
+        appends first wins, and the loser's view refreshes before it
+        acts.  Jobs past their retry budget are failed instead of
+        requeued; the run directory still holds their snapshots for a
+        post-mortem.  Returns the jobs acted on.
+        """
+        with self._locked():
+            moment = time.time() if now is None else now
+            beats = read_heartbeats(self.state_dir)
+            reaped: List[Job] = []
+            for job_id in self._order:
+                job = self._jobs[job_id]
+                if job.state != RUNNING:
+                    continue
+                alive_at = max(job.leased_at,
+                               beats.get(job.worker or "", 0.0))
+                if moment - alive_at <= job.lease_ttl:
+                    continue
+                reaped.append(job)
+                if job.attempts >= job.max_attempts(
+                        self.default_max_attempts):
+                    self._append(
+                        "finish", job_id=job.job_id, state=FAILED,
+                        token=job.token, at=moment,
+                        error="lease expired on final attempt %d/%d "
+                              "(worker %s went silent)"
+                              % (job.attempts,
+                                 job.max_attempts(
+                                     self.default_max_attempts),
+                                 job.worker))
+                else:
+                    delay = backoff_delay(job.resumes,
+                                          self.backoff_base,
+                                          self.backoff_cap)
+                    self._append("requeue", job_id=job.job_id,
+                                 exit=None, token=job.token,
+                                 cause="lease-expired",
+                                 not_before=moment + delay, at=moment)
+            return reaped
 
     # -- queries -------------------------------------------------------
 
     def get(self, job_id: str) -> Optional[Job]:
-        """The job with this id, or None."""
-        with self._lock:
+        """The job with this id, or None (view refreshed)."""
+        with self._locked():
             return self._jobs.get(job_id)
 
     def jobs(self) -> List[Job]:
-        """All jobs, oldest first."""
-        with self._lock:
+        """All jobs, oldest first (view refreshed)."""
+        with self._locked():
             return [self._jobs[job_id] for job_id in self._order]
 
     def in_state(self, *states: str) -> List[Job]:
         """All jobs currently in any of the given states."""
-        with self._lock:
+        with self._locked():
             return [self._jobs[job_id] for job_id in self._order
                     if self._jobs[job_id].state in states]
 
     def counters(self) -> Dict[str, int]:
         """Job accounting for the server's CounterRegistry and
-        ``/metrics``: lifetime totals plus current queue gauges."""
-        with self._lock:
+        ``/metrics``: lifetime totals plus current fleet gauges."""
+        with self._locked():
             by_state: Dict[str, int] = {}
             for job in self._jobs.values():
                 by_state[job.state] = by_state.get(job.state, 0) + 1
@@ -259,10 +505,24 @@ class JobStore:
                 "jobs_failed": self._totals["failed"],
                 "jobs_cancelled": self._totals["cancelled"],
                 "jobs_rejected": self._totals["rejected"],
+                "jobs_throttled": self._totals["throttled"],
                 "job_resumes": self._totals["resumes"],
+                "leases_expired": self._totals["expired"],
+                "writes_fenced": self._totals["fenced"],
                 "jobs_queued": by_state.get(QUEUED, 0),
                 "jobs_running": by_state.get(RUNNING, 0),
+                "leases_active": by_state.get(RUNNING, 0),
+                "queue_cap": self.queue_cap,
+                "workers_live": len(live_workers(self.state_dir,
+                                                 self.lease_ttl)),
             }
+
+    def close(self) -> None:
+        """Release the lock file handle (tests on Windows-ish FS)."""
+        try:
+            self._lockfile.close()
+        except OSError:
+            pass
 
 
 def _job_ordinal(job_id: str) -> int:

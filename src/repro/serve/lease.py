@@ -1,0 +1,156 @@
+"""Fleet primitives: worker identity, heartbeats, and retry backoff.
+
+The multi-host contract of ``repro.serve`` (see ``docs/operations.md``
+§9) is built from three small pieces, all living on the shared state
+directory:
+
+* **Leases** — time-bounded claims on jobs, journaled in
+  ``jobs.jsonl`` with a monotonically increasing *fencing token* per
+  job (see :class:`repro.serve.jobs.JobStore`).  A worker may only
+  finish or requeue a job while it holds the job's current token; a
+  zombie worker — one whose lease expired and whose job moved on —
+  gets its late writes rejected, and the rejection is journaled.
+* **Heartbeats** — each worker (the in-server pool and every
+  standalone ``python -m repro worker`` agent) atomically rewrites one
+  small JSON file under ``STATE_DIR/workers/`` every fraction of the
+  lease TTL.  A lease is *live* while its holder's heartbeat is fresh;
+  a worker that is SIGKILLed, loses power, or is swapped out past the
+  TTL simply stops writing, and the reaper requeues its jobs for
+  resume elsewhere.  Heartbeats are deliberately **not** journaled —
+  they are high-frequency liveness, not state transitions.
+* **Backoff** — a transiently crashed job is requeued with a
+  ``not_before`` gate that grows exponentially with its resume count,
+  so a job that keeps killing workers cannot monopolize the fleet
+  while its retry budget drains toward quarantine.
+
+Everything here is standard library only (``os``, ``json``,
+``socket``); the cross-process mutual exclusion lives in the job
+store's ``fcntl`` file lock, not here.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from typing import Dict, List, Optional
+
+#: default seconds a lease survives without a heartbeat renewal
+DEFAULT_LEASE_TTL = 30.0
+
+#: default requeue backoff: base * 2**resumes, capped
+DEFAULT_BACKOFF_BASE = 0.5
+DEFAULT_BACKOFF_CAP = 30.0
+
+WORKERS_DIR = "workers"
+
+
+def worker_identity(kind: str) -> str:
+    """A fleet-unique worker id: ``<kind>@<host>:<pid>``.
+
+    Host + pid is unique across a fleet of machines sharing one state
+    directory (two live processes on one host cannot share a pid);
+    ``kind`` distinguishes the in-server pool from standalone agents
+    in journals and heartbeat listings.
+    """
+    return "%s@%s:%d" % (kind, socket.gethostname(), os.getpid())
+
+
+def backoff_delay(resumes: int, base: float = DEFAULT_BACKOFF_BASE,
+                  cap: float = DEFAULT_BACKOFF_CAP) -> float:
+    """Exponential requeue delay for a job's next attempt."""
+    if base <= 0.0:
+        return 0.0
+    return min(cap, base * (2.0 ** max(0, resumes)))
+
+
+def _safe_name(worker: str) -> str:
+    """A filesystem-safe heartbeat filename for a worker id."""
+    return "".join(ch if (ch.isalnum() or ch in "._-") else "_"
+                   for ch in worker)
+
+
+class Heartbeat:
+    """One worker's liveness file, atomically rewritten on a cadence.
+
+    The document is ``{"worker", "at", "pid", "host", "jobs"}`` —
+    enough for the reaper to judge lease liveness and for ``/metrics``
+    to gauge the live fleet.  ``write`` rate-limits itself to
+    ``interval`` seconds unless forced, so callers may invoke it every
+    scheduler tick.
+    """
+
+    def __init__(self, state_dir: str, worker: str,
+                 interval: float = DEFAULT_LEASE_TTL / 4.0) -> None:
+        self.worker = worker
+        self.interval = interval
+        self.path = os.path.join(state_dir, WORKERS_DIR,
+                                 _safe_name(worker) + ".json")
+        os.makedirs(os.path.dirname(self.path), exist_ok=True)
+        self._last = 0.0
+
+    def write(self, jobs: Optional[List[str]] = None,
+              force: bool = False) -> bool:
+        """Publish liveness; returns True if the file was rewritten."""
+        now = time.monotonic()
+        if not force and now - self._last < self.interval:
+            return False
+        self._last = now
+        document = {
+            "worker": self.worker,
+            "at": time.time(),
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+            "jobs": list(jobs or []),
+        }
+        tmp = "%s.%d.tmp" % (self.path, os.getpid())
+        with open(tmp, "w") as stream:
+            json.dump(document, stream, sort_keys=True)
+            stream.write("\n")
+        os.replace(tmp, self.path)
+        return True
+
+    def remove(self) -> None:
+        """Retire the worker: drop its heartbeat file (graceful exit)."""
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+
+def read_heartbeats(state_dir: str) -> Dict[str, float]:
+    """All workers' last-heartbeat wall times, by worker id.
+
+    Partial or foreign files are skipped — a reader must tolerate a
+    worker mid-rewrite (rewrites are atomic, but the directory may
+    hold stray tmp files from a killed worker).
+    """
+    directory = os.path.join(state_dir, WORKERS_DIR)
+    beats: Dict[str, float] = {}
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return beats
+    for name in names:
+        if not name.endswith(".json"):
+            continue
+        try:
+            with open(os.path.join(directory, name)) as stream:
+                document = json.load(stream)
+        except (OSError, ValueError):
+            continue
+        worker = document.get("worker")
+        at = document.get("at")
+        if isinstance(worker, str) and isinstance(at, (int, float)):
+            beats[worker] = float(at)
+    return beats
+
+
+def live_workers(state_dir: str, ttl: float,
+                 now: Optional[float] = None) -> List[str]:
+    """Worker ids whose heartbeat is younger than ``ttl`` seconds."""
+    moment = time.time() if now is None else now
+    return sorted(worker
+                  for worker, at in read_heartbeats(state_dir).items()
+                  if moment - at <= ttl)

@@ -97,7 +97,8 @@ def prometheus_metrics(server_counters: Dict[str, int],
         # lifetime totals are counters; the rest are point-in-time
         kind = ("counter" if key.split(".")[-1].endswith(
             ("_total", "spawned", "crashes", "kills", "submitted",
-             "done", "failed", "cancelled", "rejected", "resumes"))
+             "done", "failed", "cancelled", "rejected", "resumes",
+             "throttled", "expired", "fenced"))
             else "gauge")
         family(name, kind).add({}, server_counters[key])
 

@@ -1,21 +1,31 @@
-"""The supervisor: a bounded pool of single-job worker processes.
+"""The in-server supervisor: a lease-holding pool of worker processes.
 
-One scheduler thread owns the whole lifecycle: it claims queued jobs
-from the :class:`~repro.serve.jobs.JobStore`, spawns one
+One scheduler thread owns the whole lifecycle: it heartbeats the
+pool's worker identity, runs the fleet's failure detector
+(:meth:`~repro.serve.jobs.JobStore.reap_expired`), leases queued jobs
+from the shared :class:`~repro.serve.jobs.JobStore`, spawns one
 ``multiprocessing`` (spawn-context) process per job up to the worker
-limit, and reaps the dead.  A worker that exits 0 completes its job; a
-worker that dies any other way — a crash, a ``die_at_*`` simulated
-kill (exit 17), an OOM kill — gets its job *requeued*, and because the
-job's run directory survived, the next attempt resumes from the last
-milestone snapshot with crash-implicated transforms quarantined
-(``repro.persist``'s standard resume semantics).  After
-``max_attempts`` worker deaths the job is failed rather than retried
-forever.
+limit, and reaps the dead.  Every lease's fencing token is carried to
+the settle step, so even the server's own writes obey the fleet's
+fencing discipline — a pool that stalls long enough for its lease to
+expire and its job to move elsewhere will have its late finish
+rejected exactly like any other zombie.
 
-Cancellation terminates the worker (SIGTERM); a graceful stop
-terminates the running workers too but leaves their jobs non-terminal
-in the journal, so the next server picks them up as resumes — the
-difference is only who asked.
+Worker-exit taxonomy (the retry policy):
+
+* exit 0 — job done;
+* ``BAD_JOB_EXIT_CODE`` (3) — the job itself is bad (unbuildable
+  design, unreadable run dir): fail fast, no retry;
+* anything else — a transient crash: requeue with exponential backoff
+  until the job's retry budget (spec ``retries``, default
+  ``max_attempts - 1``) is spent, then fail.  The run directory
+  survives every death, so each retry is a *resume* with
+  crash-implicated transforms quarantined (``repro.persist``'s
+  standard semantics).
+
+``workers=0`` runs the pool as a pure front end: no leases are taken,
+but the heartbeat/reap loop still runs so a server with only external
+``python -m repro worker`` agents keeps a failure detector alive.
 """
 
 from __future__ import annotations
@@ -23,10 +33,11 @@ from __future__ import annotations
 import multiprocessing
 import threading
 import time
-from typing import Dict, Optional
+from typing import Dict, Optional, Set, Tuple
 
 from repro.persist import DIE_EXIT_CODE
 from repro.serve.jobs import CANCELLED, DONE, FAILED, Job, JobStore
+from repro.serve.lease import Heartbeat, worker_identity
 from repro.serve.worker import BAD_JOB_EXIT_CODE, worker_entry
 
 #: scheduler poll period (seconds); latency floor for job pickup
@@ -37,19 +48,29 @@ class WorkerPool:
     """Schedule store jobs onto at most ``workers`` child processes."""
 
     def __init__(self, store: JobStore, workers: int = 2,
-                 max_attempts: int = 3) -> None:
+                 max_attempts: Optional[int] = None,
+                 queues: Optional[Set[str]] = None) -> None:
         self.store = store
-        self.workers = max(1, workers)
-        #: worker deaths after which a job is failed, not requeued
-        self.max_attempts = max(1, max_attempts)
+        self.workers = max(0, workers)
+        #: lease ceiling for jobs without their own retry budget
+        if max_attempts is not None:
+            store.default_max_attempts = max(1, max_attempts)
+        self.max_attempts = store.default_max_attempts
+        #: queue classes this pool leases from (None = all)
+        self.queues = set(queues) if queues else None
+        self.worker_id = worker_identity("pool")
+        self.heartbeat = Heartbeat(store.state_dir, self.worker_id,
+                                   interval=store.lease_ttl / 4.0)
         self._ctx = multiprocessing.get_context("spawn")
-        self._procs: Dict[str, multiprocessing.Process] = {}
+        #: job_id → (process, fencing token of its lease)
+        self._procs: Dict[str, Tuple[multiprocessing.Process, int]] = {}
         self._cancelling: set = set()
         self._lock = threading.Lock()
         self._stop = threading.Event()
         self._accepting = threading.Event()
         self._accepting.set()
         self._thread: Optional[threading.Thread] = None
+        self._last_reap = 0.0
         self._totals = {"spawned": 0, "crashes": 0, "kills": 0}
 
     # -- lifecycle -----------------------------------------------------
@@ -60,6 +81,15 @@ class WorkerPool:
                                         name="repro-serve-pool",
                                         daemon=True)
         self._thread.start()
+
+    def drain(self) -> None:
+        """Stop leasing new jobs; in-flight workers keep running."""
+        self._accepting.clear()
+
+    @property
+    def draining(self) -> bool:
+        """True once the pool stopped leasing (drain or shutdown)."""
+        return not self._accepting.is_set()
 
     def stop(self, drain: bool = False,
              timeout: Optional[float] = None) -> None:
@@ -84,28 +114,41 @@ class WorkerPool:
         # and put the job back in line for the next server
         with self._lock:
             leftovers = dict(self._procs)
-        for job_id, proc in leftovers.items():
+        for job_id, (proc, token) in leftovers.items():
             proc.terminate()
             proc.join(timeout=10.0)
             job = self.store.get(job_id)
             if job is not None and job.state not in (DONE, FAILED,
                                                      CANCELLED):
-                self.store.release(job)
+                self.store.release(job, token=token)
         with self._lock:
             self._procs.clear()
+        self.heartbeat.remove()
 
     # -- scheduling loop -----------------------------------------------
 
     def _loop(self) -> None:
         while not self._stop.is_set():
+            self.heartbeat.write(jobs=self.running_job_ids())
+            self._reap_leases()
             self._reap()
-            while self._accepting.is_set() and self.busy() < self.workers:
-                job = self.store.claim_next()
+            while (self._accepting.is_set()
+                   and self.busy() < self.workers):
+                job = self.store.claim_next(worker=self.worker_id,
+                                            queues=self.queues)
                 if job is None:
                     break
                 self._spawn(job)
             time.sleep(TICK)
         self._reap()
+
+    def _reap_leases(self) -> None:
+        """Run the fleet failure detector every TTL/4 seconds."""
+        now = time.monotonic()
+        if now - self._last_reap < self.store.lease_ttl / 4.0:
+            return
+        self._last_reap = now
+        self.store.reap_expired()
 
     def _spawn(self, job: Job) -> None:
         proc = self._ctx.Process(
@@ -116,25 +159,26 @@ class WorkerPool:
         try:
             proc.start()
         except Exception as exc:  # spawn failed: keep scheduling alive
-            self.store.finish(job, FAILED,
+            self.store.finish(job, FAILED, token=job.token,
+                              worker=self.worker_id,
                               error="cannot start worker: %s" % exc)
             return
         with self._lock:
-            self._procs[job.job_id] = proc
+            self._procs[job.job_id] = (proc, job.token)
             self._totals["spawned"] += 1
 
     def _reap(self) -> None:
         with self._lock:
-            finished = [(job_id, proc)
-                        for job_id, proc in self._procs.items()
+            finished = [(job_id, proc, token)
+                        for job_id, (proc, token) in self._procs.items()
                         if proc.exitcode is not None]
-            for job_id, _ in finished:
+            for job_id, _, _ in finished:
                 del self._procs[job_id]
-        for job_id, proc in finished:
+        for job_id, proc, token in finished:
             proc.join()
-            self._settle(job_id, proc.exitcode)
+            self._settle(job_id, proc.exitcode, token)
 
-    def _settle(self, job_id: str, exit_code: int) -> None:
+    def _settle(self, job_id: str, exit_code: int, token: int) -> None:
         """Translate one worker exit into the job's next state."""
         job = self.store.get(job_id)
         if job is None:
@@ -142,39 +186,45 @@ class WorkerPool:
         cancelled = job_id in self._cancelling
         self._cancelling.discard(job_id)
         if cancelled:
-            self.store.finish(job, CANCELLED, exit_code=exit_code)
+            self.store.finish(job, CANCELLED, exit_code=exit_code,
+                              token=token, worker=self.worker_id)
         elif exit_code == 0:
-            self.store.finish(job, DONE, exit_code=0)
+            self.store.finish(job, DONE, exit_code=0, token=token,
+                              worker=self.worker_id)
         elif exit_code == BAD_JOB_EXIT_CODE:
             self.store.finish(job, FAILED, exit_code=exit_code,
+                              token=token, worker=self.worker_id,
                               error="worker rejected the job "
                                     "(exit %d)" % exit_code)
-        elif job.attempts >= self.max_attempts:
+        elif job.attempts >= job.max_attempts(self.max_attempts):
             self._totals["crashes"] += 1
             self.store.finish(job, FAILED, exit_code=exit_code,
+                              token=token, worker=self.worker_id,
                               error="worker died (exit %d) on final "
                                     "attempt %d/%d"
                                     % (exit_code, job.attempts,
-                                       self.max_attempts))
+                                       job.max_attempts(
+                                           self.max_attempts)))
         else:
-            # the run dir survived the death: requeue for a resume
+            # the run dir survived the death: requeue for a resume,
+            # gated behind the store's exponential backoff
             self._totals["crashes"] += 1
-            self.store.requeue(job, exit_code)
+            self.store.requeue(job, exit_code, token=token,
+                               cause="crash", worker=self.worker_id)
 
     # -- controls ------------------------------------------------------
 
     def cancel(self, job: Job) -> bool:
         """Cancel a queued or running job; returns True if acted."""
         with self._lock:
-            proc = self._procs.get(job.job_id)
-            if proc is not None and proc.exitcode is None:
+            entry = self._procs.get(job.job_id)
+            if entry is not None and entry[0].exitcode is None:
                 self._cancelling.add(job.job_id)
                 self._totals["kills"] += 1
-                proc.terminate()
+                entry[0].terminate()
                 return True
         if job.state == "queued":
-            self.store.finish(job, CANCELLED)
-            return True
+            return self.store.finish(job, CANCELLED)
         return False
 
     # -- introspection -------------------------------------------------
@@ -182,7 +232,7 @@ class WorkerPool:
     def busy(self) -> int:
         """Worker processes currently alive."""
         with self._lock:
-            return sum(1 for proc in self._procs.values()
+            return sum(1 for proc, _ in self._procs.values()
                        if proc.exitcode is None)
 
     def running_job_ids(self):
@@ -193,7 +243,7 @@ class WorkerPool:
     def counters(self) -> Dict[str, int]:
         """Pool accounting for the server registry / ``/metrics``."""
         with self._lock:
-            alive = sum(1 for proc in self._procs.values()
+            alive = sum(1 for proc, _ in self._procs.values()
                         if proc.exitcode is None)
         return {
             "workers": self.workers,

@@ -6,18 +6,21 @@ The operator surface (documented end to end in
 ====== ======================== =======================================
 Verb   Path                     Meaning
 ====== ======================== =======================================
-GET    /healthz                 liveness + worker/queue gauges
+GET    /healthz                 liveness + fleet gauges (queue depth,
+                                active leases, live workers)
 POST   /jobs                    submit a job (JSON spec) → 202 + id
 GET    /jobs                    list all jobs, oldest first
 GET    /jobs/<id>               one job's status
 GET    /jobs/<id>/result        the finished job's ``report.json``
 POST   /jobs/<id>/cancel        cancel a queued or running job
 GET    /metrics                 Prometheus text format
+POST   /drain                   stop leasing; in-flight jobs finish
 POST   /shutdown                graceful shutdown (``{"drain": bool}``)
 ====== ======================== =======================================
 
 Errors are JSON ``{"error": ...}`` with conventional status codes
 (400 malformed spec, 404 unknown job/path, 409 result not ready,
+429 queue full — with a ``Retry-After`` header clients should honor —
 503 shutting down).  The server itself is a
 :class:`http.server.ThreadingHTTPServer` — one OS thread per in-flight
 request, which is plenty for an operator surface; the actual flow work
@@ -34,7 +37,13 @@ from typing import Optional, Tuple
 
 from repro.obs import CounterRegistry, read_sink
 from repro.persist import RunDir, RunDirError
-from repro.serve.jobs import DONE, JobSpecError, JobStore, RUNNING
+from repro.serve.jobs import (
+    DONE,
+    JobSpecError,
+    JobStore,
+    QueueFull,
+    RUNNING,
+)
 from repro.serve.metrics import prometheus_metrics
 from repro.serve.pool import WorkerPool
 from repro.serve.worker import SINK_FILE
@@ -51,11 +60,14 @@ class FlowServer:
 
     def __init__(self, state_dir: str, host: str = "127.0.0.1",
                  port: int = 0, workers: int = 2,
-                 max_attempts: int = 3) -> None:
+                 max_attempts: int = 3, queue_cap: int = 0,
+                 lease_ttl: Optional[float] = None) -> None:
         self.state_dir = state_dir
-        self.store = JobStore(state_dir)
-        self.pool = WorkerPool(self.store, workers=workers,
-                               max_attempts=max_attempts)
+        self.store = JobStore(state_dir, queue_cap=queue_cap,
+                              default_max_attempts=max_attempts)
+        if lease_ttl is not None:
+            self.store.lease_ttl = lease_ttl
+        self.pool = WorkerPool(self.store, workers=workers)
         self.registry = CounterRegistry()
         self.registry.add("server", self.store.counters)
         self.registry.add("pool", self.pool.counters)
@@ -162,7 +174,8 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 - stdlib name
         pass  # the operator surface is /metrics, not an access log
 
-    def _send(self, code: int, payload, content_type="application/json"):
+    def _send(self, code: int, payload, content_type="application/json",
+              headers=None):
         if isinstance(payload, (dict, list)):
             body = (json.dumps(payload, indent=2, sort_keys=True)
                     + "\n").encode()
@@ -172,6 +185,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -195,9 +210,15 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(200, {
                 "ok": True,
                 "shutting_down": self.flow.shutting_down,
+                "draining": self.flow.pool.draining,
                 "workers_busy": counters.get("pool.workers_busy", 0),
                 "jobs_queued": counters.get("server.jobs_queued", 0),
                 "jobs_running": counters.get("server.jobs_running", 0),
+                "queue_depth": counters.get("server.jobs_queued", 0),
+                "queue_cap": counters.get("server.queue_cap", 0),
+                "leases_active": counters.get("server.leases_active",
+                                              0),
+                "workers_live": counters.get("server.workers_live", 0),
             })
         elif self.path == "/metrics":
             self._send(200, self.flow.metrics_text().encode(),
@@ -245,8 +266,23 @@ class _Handler(BaseHTTPRequestHandler):
             except JobSpecError as exc:
                 self._error(400, str(exc))
                 return
+            except QueueFull as exc:
+                # backpressure: tell the client when to come back
+                self._send(429, {"error": str(exc),
+                                 "retry_after": exc.retry_after,
+                                 "queue_depth": exc.depth,
+                                 "queue_cap": exc.cap},
+                           headers={"Retry-After":
+                                    "%d" % max(1, round(
+                                        exc.retry_after))})
+                return
             self._send(202, {"job_id": job.job_id,
                              "state": job.state})
+        elif self.path == "/drain":
+            # graceful drain: stop leasing, keep serving; in-flight
+            # jobs finish, queued jobs wait for workers elsewhere
+            self.flow.pool.drain()
+            self._send(202, {"draining": True})
         elif self.path == "/shutdown":
             body = self._body() or {}
             drain = bool(body.get("drain", False))

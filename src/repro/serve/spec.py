@@ -8,7 +8,10 @@ A job spec is one JSON object describing a complete flow run::
       "config": {"seed": 1},              // flow-config overrides
       "chaos":  {"seed": 7, "rate": 0.05},// optional fault injection
       "persist": {"snapshot_mode": "delta"},
-      "die_at_status": 50                 // first-attempt kill point
+      "die_at_status": 50,                // first-attempt kill point
+      "priority": 5,                      // higher leases first
+      "queue": "bulk",                    // workers filter on class
+      "retries": 2                        // transient-crash budget
     }
 
 Design kinds:
@@ -139,9 +142,27 @@ def normalize_spec(spec: dict) -> dict:
             out[key] = int(spec[key])
     if spec.get("guard_budget") is not None:
         out["guard_budget"] = float(spec["guard_budget"])
+    # fleet scheduling: priority (higher first), queue class (workers
+    # lease only from their classes), transient-crash retry budget
+    if spec.get("priority") is not None:
+        _require(isinstance(spec["priority"], int)
+                 and not isinstance(spec["priority"], bool),
+                 "priority must be an integer")
+        out["priority"] = spec["priority"]
+    if spec.get("queue") is not None:
+        _require(isinstance(spec["queue"], str) and spec["queue"],
+                 "queue must be a non-empty string")
+        out["queue"] = spec["queue"]
+    if spec.get("retries") is not None:
+        _require(isinstance(spec["retries"], int)
+                 and not isinstance(spec["retries"], bool)
+                 and spec["retries"] >= 0,
+                 "retries must be a non-negative integer")
+        out["retries"] = spec["retries"]
     unknown = sorted(set(spec) - {
         "flow", "design", "config", "persist", "chaos",
-        "die_at_status", "die_at_snapshot", "guard_budget"})
+        "die_at_status", "die_at_snapshot", "guard_budget",
+        "priority", "queue", "retries"})
     _require(not unknown,
              "unknown job spec key(s): %s" % ", ".join(unknown))
     return out

@@ -1,0 +1,222 @@
+"""Fleet chaos tests: real ``python -m repro worker`` agent
+processes on one shared state dir, killed and suspended for real.
+
+These are the fleet-level acceptance scenarios:
+
+* two agents, ``kill -9`` the one holding a job mid-transform — the
+  survivor's reaper expires the lease and the job *resumes* on the
+  survivor, ending with a report field-identical to an uninterrupted
+  run of the same spec;
+* an agent suspended past its lease (SIGSTOP) becomes a zombie: the
+  job finishes elsewhere, and on revival (SIGCONT) the zombie's late
+  settle carries a superseded fencing token — rejected and journaled,
+  never applied.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import repro
+from repro.persist import RunDir
+from repro.serve import DONE, JobStore, RUNNING
+
+from tests.serve.conftest import small_spec
+
+#: generous bound for one tiny flow run (matches test_server.py)
+JOB_TIMEOUT = 180.0
+
+#: short enough that chaos tests converge fast, long enough that a
+#: healthy agent (heartbeating at TTL/4) never looks dead under load
+LEASE_TTL = 2.0
+
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(
+    repro.__file__)))
+
+
+def spawn_agent(state_dir, worker_id, log_path):
+    """One standalone worker agent process attached to ``state_dir``."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep \
+        + env.get("PYTHONPATH", "")
+    log = open(log_path, "wb")
+    proc = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro", "worker",
+         "--state-dir", str(state_dir),
+         "--worker-id", worker_id,
+         "--lease-ttl", str(LEASE_TTL)],
+        env=env, stdout=log, stderr=subprocess.STDOUT)
+    proc._log = log  # keep the handle alive with the process
+    return proc
+
+
+def kill_all(*procs):
+    for proc in procs:
+        if proc.poll() is None:
+            try:
+                os.kill(proc.pid, signal.SIGCONT)  # in case suspended
+            except OSError:
+                pass
+            proc.kill()
+        proc.wait()
+        proc._log.close()
+
+
+def read_sink(state_dir, job_id):
+    path = os.path.join(str(state_dir), "runs", job_id, "metrics.json")
+    try:
+        with open(path) as stream:
+            return json.load(stream)
+    except (OSError, ValueError):
+        return None
+
+
+def wait_for(predicate, timeout, message, poll=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(poll)
+    raise AssertionError("timed out: %s" % message)
+
+
+def read_report(store, job_id):
+    return RunDir.open(store.run_path(job_id)).read_report()
+
+
+class TestKillNine:
+    def test_killed_agent_job_resumes_on_survivor(self, tmp_path):
+        """kill -9 mid-transform → the other agent resumes the job
+        from its last snapshot and the report is bit-identical."""
+        state = tmp_path / "state"
+        store = JobStore(str(state), lease_ttl=LEASE_TTL)
+        persist = {"snapshot_mode": "delta", "compact_every": 8}
+        reference = store.submit(small_spec(persist=persist)).job_id
+        victim = store.submit(small_spec(persist=persist)).job_id
+
+        agents = {
+            "agent-a@chaos:1": spawn_agent(state, "agent-a@chaos:1",
+                                           tmp_path / "agent-a.log"),
+            "agent-b@chaos:2": spawn_agent(state, "agent-b@chaos:2",
+                                           tmp_path / "agent-b.log"),
+        }
+        try:
+            # wait for the victim job to be leased AND visibly inside
+            # the flow (its counter sink reports a live cut status)
+            def mid_transform():
+                job = store.get(victim)
+                if job.state != RUNNING:
+                    return None
+                sink = read_sink(state, victim)
+                if sink is None or sink.get("status") is None:
+                    return None
+                if sink.get("final") or sink["status"] >= 100:
+                    return None
+                return job
+
+            job = wait_for(mid_transform, JOB_TIMEOUT,
+                           "victim job never reached mid-transform")
+            holder = job.worker
+            assert holder in agents, "unexpected worker %r" % holder
+            os.kill(agents[holder].pid, signal.SIGKILL)
+            agents[holder].wait()
+
+            # the survivor reaps the silent lease and resumes the job;
+            # both jobs must complete fleet-wide
+            for job_id in (reference, victim):
+                wait_for(lambda j=job_id:
+                         store.get(j).state == DONE,
+                         JOB_TIMEOUT,
+                         "%s did not complete after the kill" % job_id,
+                         poll=0.05)
+
+            final = store.get(victim)
+            assert final.attempts >= 2, \
+                "the kill must have cost the victim an attempt"
+            assert final.resumes >= 1
+            assert final.worker != holder, \
+                "the job must have finished on the *other* agent"
+            assert store.counters()["leases_expired"] >= 1
+
+            ref_report = read_report(store, reference)
+            kill_report = read_report(store, victim)
+            different = [key for key in ref_report
+                         if ref_report[key] != kill_report.get(key)]
+            assert different == [], \
+                "resumed report diverges in %s" % different
+            assert ref_report["state_signature"] \
+                == kill_report["state_signature"]
+
+            # graceful drain: SIGTERM the survivor, it must exit 0
+            survivor = [p for wid, p in agents.items()
+                        if wid != holder][0]
+            survivor.terminate()
+            assert survivor.wait(timeout=30.0) == 0
+        finally:
+            kill_all(*agents.values())
+
+
+class TestZombieFencing:
+    def test_revived_zombie_write_is_fenced(self, tmp_path):
+        """SIGSTOP an agent past its lease; the job finishes elsewhere;
+        on SIGCONT the zombie's late settle is rejected and the
+        rejection is journaled."""
+        state = tmp_path / "state"
+        store = JobStore(str(state), lease_ttl=LEASE_TTL)
+        job_id = store.submit(small_spec()).job_id
+
+        zombie = spawn_agent(state, "zombie@chaos:1",
+                             tmp_path / "zombie.log")
+        try:
+            def leased_and_running():
+                job = store.get(job_id)
+                sink = read_sink(state, job_id)
+                return (job.state == RUNNING and sink is not None
+                        and sink.get("status") is not None)
+
+            wait_for(leased_and_running, JOB_TIMEOUT,
+                     "zombie never started the job")
+            stale_token = store.get(job_id).token
+            os.kill(zombie.pid, signal.SIGSTOP)
+
+            # a healthy in-process agent takes over: its reaper expires
+            # the silent lease, re-leases, and finishes the flow
+            from repro.serve import WorkerAgent
+            healthy = WorkerAgent(str(state),
+                                  worker_id="healthy@chaos:2",
+                                  lease_ttl=LEASE_TTL, poll=0.05,
+                                  max_jobs=1)
+            assert healthy.run_forever() == 0
+            finished = store.get(job_id)
+            assert finished.state == DONE
+            assert finished.worker == "healthy@chaos:2"
+            assert finished.token > stale_token
+            report_before = read_report(store, job_id)
+
+            # revive the zombie: its flow run ends (or dies on the
+            # mutated run dir) and its settle carries the stale token
+            os.kill(zombie.pid, signal.SIGCONT)
+            wait_for(lambda: store.counters()["writes_fenced"] >= 1,
+                     JOB_TIMEOUT, "the zombie's late write was never "
+                     "fenced", poll=0.1)
+
+            fenced = store.journal.last_of_type("fenced")
+            assert fenced["job_id"] == job_id
+            assert fenced["token"] == stale_token
+            assert fenced["worker"] == "zombie@chaos:1"
+            # the fenced write changed nothing
+            final = store.get(job_id)
+            assert (final.state, final.worker) \
+                == (DONE, "healthy@chaos:2")
+            assert read_report(store, job_id) == report_before
+
+            zombie.terminate()
+            assert zombie.wait(timeout=30.0) == 0
+            with open(tmp_path / "zombie.log") as log:
+                assert "fenced: stale token" in log.read()
+        finally:
+            kill_all(zombie)

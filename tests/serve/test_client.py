@@ -1,0 +1,157 @@
+"""Unit tests for the client's resilience: connection retries, 429
+``Retry-After`` honoring, and the capped-backoff ``wait`` poll — all
+against a scripted stdlib HTTP stub, no FlowServer."""
+
+import http.server
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.serve import client
+from repro.serve.client import ServiceError, _retryable
+
+
+class ScriptedServer:
+    """An HTTP server that plays back a list of (status, headers,
+    body) responses in order, repeating the last one forever."""
+
+    def __init__(self, responses, port=0):
+        self.responses = list(responses)
+        self.requests = []
+        outer = self
+
+        class Handler(http.server.BaseHTTPRequestHandler):
+            def _play(self):
+                outer.requests.append((self.command, self.path))
+                index = min(len(outer.requests) - 1,
+                            len(outer.responses) - 1)
+                status, headers, body = outer.responses[index]
+                payload = json.dumps(body).encode()
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                for name, value in headers.items():
+                    self.send_header(name, value)
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            do_GET = do_POST = _play
+
+            def log_message(self, *args):
+                pass
+
+        self.httpd = http.server.ThreadingHTTPServer(
+            ("127.0.0.1", port), Handler)
+        self.url = "http://127.0.0.1:%d" % self.httpd.server_port
+        self.thread = threading.Thread(
+            target=self.httpd.serve_forever, daemon=True)
+        self.thread.start()
+
+    def close(self):
+        self.httpd.shutdown()
+        self.httpd.server_close()
+
+
+@pytest.fixture
+def scripted():
+    servers = []
+
+    def make(responses):
+        server = ScriptedServer(responses)
+        servers.append(server)
+        return server
+
+    yield make
+    for server in servers:
+        server.close()
+
+
+class TestBackpressureRetry:
+    def test_429_retry_after_is_honored(self, scripted):
+        server = scripted([
+            (429, {"Retry-After": "0"}, {"error": "queue full"}),
+            (200, {}, {"job_id": "job-0001"}),
+        ])
+        job_id = client.submit(server.url, {"design": {"name": "D"}})
+        assert job_id == "job-0001"
+        assert [method for method, _ in server.requests] \
+            == ["POST", "POST"]
+
+    def test_429_exhaustion_raises_with_retry_after(self, scripted):
+        server = scripted([
+            (429, {"Retry-After": "7"}, {"error": "queue full"}),
+        ])
+        with pytest.raises(ServiceError) as exc:
+            client.submit(server.url, {"design": {"name": "D"}},
+                          retries=0)
+        assert exc.value.code == 429
+        assert exc.value.retry_after == 7.0
+        assert exc.value.message == "queue full"
+        assert len(server.requests) == 1
+
+    def test_429_budget_bounds_the_retries(self, scripted):
+        server = scripted([
+            (429, {"Retry-After": "0"}, {"error": "queue full"}),
+        ])
+        with pytest.raises(ServiceError):
+            client.request(server.url, "/jobs", payload={},
+                           retries=2)
+        assert len(server.requests) == 3  # first try + 2 retries
+
+
+class TestConnectionRetry:
+    def test_refused_post_retries_until_server_appears(self):
+        # reserve a port, listen on it only after a beat — the first
+        # attempts are genuinely refused
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        url = "http://127.0.0.1:%d" % port
+        server_box = {}
+
+        def come_up_late():
+            time.sleep(0.4)
+            server_box["server"] = ScriptedServer(
+                [(200, {}, {"job_id": "job-0001"})], port=port)
+
+        threading.Thread(target=come_up_late, daemon=True).start()
+        try:
+            answer = client.request(url, "/jobs", payload={},
+                                    retries=6, backoff=0.1)
+            assert answer["job_id"] == "job-0001"
+        finally:
+            server = server_box.get("server")
+            if server is not None:
+                server.close()
+
+    def test_retryable_classification(self):
+        refused = ConnectionRefusedError()
+        reset = ConnectionResetError()
+        # refused never reached a server: always safe
+        assert _retryable(refused, idempotent=False)
+        assert _retryable(refused, idempotent=True)
+        # reset may have landed: only body-less requests retry
+        assert not _retryable(reset, idempotent=False)
+        assert _retryable(reset, idempotent=True)
+        assert not _retryable(OSError("weird"), idempotent=True)
+
+
+class TestWaitBackoff:
+    def test_wait_polls_until_terminal(self, scripted):
+        running = (200, {}, {"state": "running"})
+        server = scripted([running, running, running,
+                           (200, {}, {"state": "done"})])
+        state = client.wait(server.url, "job-0001", timeout=30.0,
+                            poll=0.01, poll_cap=0.05)
+        assert state["state"] == "done"
+        assert len(server.requests) == 4
+
+    def test_wait_times_out(self, scripted):
+        server = scripted([(200, {}, {"state": "running"})])
+        with pytest.raises(TimeoutError):
+            client.wait(server.url, "job-0001", timeout=0.2,
+                        poll=0.01, poll_cap=0.05)

@@ -1,69 +1,102 @@
 """Unit tests for the journaled job store and the worker pool's
 settlement logic (no HTTP, no real flows)."""
 
+import time
+
 import pytest
 
 from repro.serve import CANCELLED, DONE, FAILED, JobStore, QUEUED, RUNNING
 from repro.serve.jobs import JobSpecError
+from repro.serve.lease import Heartbeat
 from repro.serve.pool import WorkerPool
 
 from tests.serve.conftest import small_spec
 
 
+def fast_store(tmp_path, **kwargs):
+    """A store with no retry backoff, so requeued jobs are instantly
+    claimable again (the unit tests exercise transitions, not time)."""
+    kwargs.setdefault("backoff_base", 0.0)
+    return JobStore(str(tmp_path), **kwargs)
+
+
 class TestStore:
     def test_submit_assigns_sequential_ids(self, tmp_path):
-        store = JobStore(str(tmp_path))
+        store = fast_store(tmp_path)
         first = store.submit(small_spec())
         second = store.submit(small_spec())
         assert [first.job_id, second.job_id] == ["job-0001", "job-0002"]
         assert first.state == QUEUED
 
     def test_submit_rejects_bad_spec_and_counts_it(self, tmp_path):
-        store = JobStore(str(tmp_path))
+        store = fast_store(tmp_path)
         with pytest.raises(JobSpecError):
             store.submit({"design": {"kind": "nope"}})
         assert store.counters()["jobs_rejected"] == 1
         assert store.counters()["jobs_submitted"] == 0
 
-    def test_claim_next_is_fifo(self, tmp_path):
-        store = JobStore(str(tmp_path))
+    def test_claim_next_is_fifo_and_leases(self, tmp_path):
+        store = fast_store(tmp_path)
         store.submit(small_spec())
         store.submit(small_spec())
-        assert store.claim_next().job_id == "job-0001"
-        assert store.claim_next().job_id == "job-0002"
-        assert store.claim_next() is None
+        first = store.claim_next(worker="w1")
+        assert first.job_id == "job-0001"
+        assert (first.state, first.worker, first.token) \
+            == (RUNNING, "w1", 1)
+        assert store.claim_next(worker="w1").job_id == "job-0002"
+        assert store.claim_next(worker="w1") is None
 
     def test_requeue_counts_resume_release_does_not(self, tmp_path):
-        store = JobStore(str(tmp_path))
+        store = fast_store(tmp_path)
         store.submit(small_spec())
-        job = store.claim_next()
-        store.requeue(job, exit_code=17)     # crash → resume
+        job = store.claim_next(worker="w1")
+        assert store.requeue(job, exit_code=17, token=job.token)
         assert (job.state, job.resumes) == (QUEUED, 1)
-        job = store.claim_next()
-        store.release(job)                   # graceful shutdown
+        job = store.claim_next(worker="w1")
+        assert job.token == 2  # every lease advances the fence
+        assert store.release(job, token=job.token)
         assert (job.state, job.resumes) == (QUEUED, 1)
         assert store.counters()["job_resumes"] == 1
 
-    def test_replay_restores_table_and_requeues_running(self, tmp_path):
-        store = JobStore(str(tmp_path))
+    def test_replay_restores_table_and_leases(self, tmp_path):
+        store = fast_store(tmp_path)
         store.submit(small_spec())           # stays queued
-        done = store.claim_next()
-        store.finish(done, DONE, exit_code=0)
+        done = store.claim_next(worker="w1")
+        store.finish(done, DONE, exit_code=0, token=done.token)
         store.submit(small_spec())
-        crashed = store.claim_next()
-        store.requeue(crashed, exit_code=17)
-        running = store.claim_next()
-        assert running.state == RUNNING      # server "dies" here
+        crashed = store.claim_next(worker="w1")
+        store.requeue(crashed, exit_code=17, token=crashed.token)
+        running = store.claim_next(worker="w1")
+        assert running.state == RUNNING      # the worker "dies" here
 
-        replayed = JobStore(str(tmp_path))
+        replayed = fast_store(tmp_path)
         jobs = {job.job_id: job for job in replayed.jobs()}
         assert jobs["job-0001"].state == DONE
-        # the job that was mid-flight goes back in line on replay
-        assert jobs["job-0002"].state == QUEUED
-        assert jobs["job-0002"].resumes == 1
+        # the mid-flight lease survives replay — a worker elsewhere
+        # may still legitimately hold it; only the reaper may decide
+        assert jobs["job-0002"].state == RUNNING
+        assert jobs["job-0002"].token == running.token
         assert replayed.counters()["jobs_done"] == 1
+        # ...and with its heartbeat long silent, the reaper requeues
+        replayed.reap_expired(now=time.time()
+                              + replayed.lease_ttl + 1.0)
+        assert replayed.get("job-0002").state == QUEUED
+        assert replayed.get("job-0002").resumes == 2
         # new submissions continue the id sequence
         assert replayed.submit(small_spec()).job_id == "job-0003"
+
+    def test_fresh_heartbeat_blocks_replay_reap(self, tmp_path):
+        """A restarted server must not steal a job a live worker on
+        another host is still running."""
+        store = fast_store(tmp_path)
+        store.submit(small_spec())
+        job = store.claim_next(worker="agent@other:1")
+        Heartbeat(str(tmp_path), "agent@other:1",
+                  interval=0.0).write(jobs=[job.job_id], force=True)
+        replayed = fast_store(tmp_path)
+        assert replayed.get(job.job_id).state == RUNNING
+        assert replayed.reap_expired() == []
+        assert replayed.get(job.job_id).state == RUNNING
 
 
 class TestPoolSettlement:
@@ -71,35 +104,61 @@ class TestPoolSettlement:
     spawning processes (the pool thread is never started)."""
 
     def make(self, tmp_path, **kwargs):
-        store = JobStore(str(tmp_path))
+        store = fast_store(tmp_path,
+                           default_max_attempts=kwargs.pop(
+                               "max_attempts", 3))
         return store, WorkerPool(store, **kwargs)
 
     def test_exit_zero_is_done(self, tmp_path):
         store, pool = self.make(tmp_path)
         store.submit(small_spec())
-        job = store.claim_next()
-        pool._settle(job.job_id, 0)
+        job = store.claim_next(worker=pool.worker_id)
+        pool._settle(job.job_id, 0, job.token)
         assert store.get(job.job_id).state == DONE
 
     def test_crash_requeues_until_max_attempts(self, tmp_path):
         store, pool = self.make(tmp_path, max_attempts=2)
         store.submit(small_spec())
-        job = store.claim_next()
-        pool._settle(job.job_id, 17)
+        job = store.claim_next(worker=pool.worker_id)
+        pool._settle(job.job_id, 17, job.token)
         assert store.get(job.job_id).state == QUEUED
-        job = store.claim_next()
+        job = store.claim_next(worker=pool.worker_id)
         assert job.attempts == 2
-        pool._settle(job.job_id, 17)
+        pool._settle(job.job_id, 17, job.token)
         assert store.get(job.job_id).state == FAILED
         assert "final attempt" in store.get(job.job_id).error
+
+    def test_spec_retries_override_pool_default(self, tmp_path):
+        store, pool = self.make(tmp_path, max_attempts=3)
+        store.submit(small_spec(retries=0))
+        job = store.claim_next(worker=pool.worker_id)
+        pool._settle(job.job_id, 17, job.token)
+        assert store.get(job.job_id).state == FAILED
 
     def test_bad_job_exit_fails_without_retry(self, tmp_path):
         store, pool = self.make(tmp_path)
         store.submit(small_spec())
-        job = store.claim_next()
-        pool._settle(job.job_id, 3)
+        job = store.claim_next(worker=pool.worker_id)
+        pool._settle(job.job_id, 3, job.token)
         assert store.get(job.job_id).state == FAILED
         assert store.get(job.job_id).resumes == 0
+
+    def test_stale_settle_is_fenced(self, tmp_path):
+        """A pool that stalls past its lease cannot double-commit:
+        its late settle carries a superseded token."""
+        store, pool = self.make(tmp_path)
+        store.submit(small_spec())
+        job = store.claim_next(worker=pool.worker_id)
+        stale_token = job.token
+        future = time.time() + store.lease_ttl + 1.0
+        store.reap_expired(now=future)
+        fresh = store.claim_next(worker="agent@other:1",
+                                 now=future + 0.1)
+        pool._settle(job.job_id, 0, stale_token)
+        assert store.get(job.job_id).state == RUNNING
+        assert store.get(job.job_id).worker == "agent@other:1"
+        assert store.counters()["writes_fenced"] == 1
+        assert store.finish(fresh, DONE, token=fresh.token)
 
     def test_cancel_queued_job(self, tmp_path):
         store, pool = self.make(tmp_path)

@@ -1,0 +1,271 @@
+"""Unit tests for the fleet contract: leases, heartbeats, fencing
+tokens, retry budgets, priorities, and admission control — all
+against real journals on disk, no HTTP, no real flows."""
+
+import time
+
+import pytest
+
+from repro.serve import DONE, FAILED, JobStore, QUEUED, QueueFull, RUNNING
+from repro.serve.lease import (
+    Heartbeat,
+    backoff_delay,
+    live_workers,
+    read_heartbeats,
+    worker_identity,
+)
+
+from tests.serve.conftest import small_spec
+
+
+def store_at(tmp_path, **kwargs):
+    kwargs.setdefault("lease_ttl", 5.0)
+    return JobStore(str(tmp_path), **kwargs)
+
+
+class TestLeasePrimitives:
+    def test_worker_identity_is_kind_host_pid(self):
+        ident = worker_identity("agent")
+        assert ident.startswith("agent@")
+        assert ident.rsplit(":", 1)[1].isdigit()
+
+    def test_backoff_is_exponential_and_capped(self):
+        assert backoff_delay(0, base=0.5, cap=30.0) == 0.5
+        assert backoff_delay(2, base=0.5, cap=30.0) == 2.0
+        assert backoff_delay(10, base=0.5, cap=30.0) == 30.0
+        assert backoff_delay(3, base=0.0) == 0.0
+
+    def test_heartbeat_roundtrip_and_liveness(self, tmp_path):
+        hb = Heartbeat(str(tmp_path), "agent@host:7", interval=0.0)
+        assert hb.write(jobs=["job-0001"], force=True)
+        beats = read_heartbeats(str(tmp_path))
+        assert "agent@host:7" in beats
+        assert live_workers(str(tmp_path), ttl=60.0) \
+            == ["agent@host:7"]
+        assert live_workers(str(tmp_path), ttl=60.0,
+                            now=time.time() + 120.0) == []
+        hb.remove()
+        assert read_heartbeats(str(tmp_path)) == {}
+
+    def test_heartbeat_rate_limits_itself(self, tmp_path):
+        hb = Heartbeat(str(tmp_path), "w", interval=3600.0)
+        assert hb.write(force=True)
+        assert not hb.write()
+        assert hb.write(force=True)
+
+    def test_foreign_files_are_ignored(self, tmp_path):
+        workers = tmp_path / "workers"
+        workers.mkdir()
+        (workers / "junk.json").write_text("{not json")
+        (workers / "alien.json").write_text('{"no": "worker"}')
+        assert read_heartbeats(str(tmp_path)) == {}
+
+
+class TestLeasing:
+    def test_tokens_increase_monotonically_per_job(self, tmp_path):
+        store = store_at(tmp_path, backoff_base=0.0)
+        store.submit(small_spec())
+        tokens = []
+        for _ in range(3):
+            job = store.claim_next(worker="w")
+            tokens.append(job.token)
+            store.requeue(job, exit_code=1, token=job.token)
+        assert tokens == [1, 2, 3]
+
+    def test_expired_lease_is_reaped_and_resumed(self, tmp_path):
+        store = store_at(tmp_path, backoff_base=0.0)
+        store.submit(small_spec())
+        job = store.claim_next(worker="dead@host:1")
+        # within the TTL nothing happens...
+        assert store.reap_expired(now=job.leased_at + 1.0) == []
+        assert store.get(job.job_id).state == RUNNING
+        # ...past it (and with no heartbeat) the job goes back in line
+        future = job.leased_at + store.lease_ttl + 0.1
+        reaped = store.reap_expired(now=future)
+        assert [j.job_id for j in reaped] == [job.job_id]
+        fresh = store.get(job.job_id)
+        assert (fresh.state, fresh.resumes) == (QUEUED, 1)
+        assert store.counters()["leases_expired"] == 1
+
+    def test_heartbeat_keeps_a_slow_lease_alive(self, tmp_path):
+        store = store_at(tmp_path)
+        store.submit(small_spec())
+        job = store.claim_next(worker="slow@host:1")
+        hb = Heartbeat(str(tmp_path), "slow@host:1", interval=0.0)
+        hb.write(jobs=[job.job_id], force=True)
+        # grant time is ancient, but the heartbeat is fresh
+        future = job.leased_at + 3 * store.lease_ttl
+        beat_at = time.time()
+        assert store.reap_expired(
+            now=min(future, beat_at + store.lease_ttl - 0.5)) == []
+        assert store.get(job.job_id).state == RUNNING
+
+    def test_requeue_gates_the_next_claim_behind_backoff(self, tmp_path):
+        store = store_at(tmp_path, backoff_base=10.0, backoff_cap=60.0)
+        store.submit(small_spec())
+        job = store.claim_next(worker="w")
+        moment = time.time()
+        store.requeue(job, exit_code=9, token=job.token, now=moment)
+        assert store.get(job.job_id).not_before \
+            == pytest.approx(moment + 10.0)
+        assert store.claim_next(worker="w", now=moment + 5.0) is None
+        assert store.claim_next(worker="w", now=moment + 10.5) \
+            .job_id == job.job_id
+
+    def test_release_skips_backoff_and_resume_count(self, tmp_path):
+        store = store_at(tmp_path, backoff_base=10.0)
+        store.submit(small_spec())
+        job = store.claim_next(worker="w")
+        store.release(job, token=job.token)
+        fresh = store.get(job.job_id)
+        assert (fresh.resumes, fresh.not_before) == (0, time.time()
+                                                     + 0.0) \
+            or fresh.not_before <= time.time()
+        assert store.claim_next(worker="w") is not None
+
+
+class TestFencing:
+    def test_stale_finish_is_rejected_and_journaled(self, tmp_path):
+        store = store_at(tmp_path, backoff_base=0.0)
+        store.submit(small_spec())
+        zombie = store.claim_next(worker="zombie@host:1")
+        stale = zombie.token
+        future = time.time() + store.lease_ttl + 1.0
+        store.reap_expired(now=future)
+        healthy = store.claim_next(worker="healthy@host:2",
+                                   now=future + 0.1)
+        assert healthy.token == stale + 1
+        # the zombie revives and tries to double-commit
+        assert store.finish(zombie, DONE, token=stale,
+                            worker="zombie@host:1") is False
+        assert store.get(zombie.job_id).state == RUNNING
+        assert store.get(zombie.job_id).worker == "healthy@host:2"
+        fenced = store.journal.last_of_type("fenced")
+        assert fenced is not None
+        assert (fenced["op"], fenced["token"], fenced["current"]) \
+            == ("finish", stale, stale + 1)
+        assert fenced["worker"] == "zombie@host:1"
+        assert store.counters()["writes_fenced"] == 1
+
+    def test_stale_requeue_is_rejected(self, tmp_path):
+        store = store_at(tmp_path, backoff_base=0.0)
+        store.submit(small_spec())
+        zombie = store.claim_next(worker="z")
+        stale = zombie.token
+        future = time.time() + store.lease_ttl + 1.0
+        store.reap_expired(now=future)
+        store.claim_next(worker="h", now=future + 0.1)
+        assert store.requeue(zombie, exit_code=1, token=stale,
+                             worker="z") is False
+        assert store.get(zombie.job_id).state == RUNNING
+
+    def test_late_write_after_terminal_is_fenced(self, tmp_path):
+        store = store_at(tmp_path, backoff_base=0.0)
+        store.submit(small_spec())
+        job = store.claim_next(worker="w")
+        assert store.finish(job, DONE, token=job.token)
+        assert store.finish(job, FAILED, token=job.token) is False
+        assert store.get(job.job_id).state == DONE
+        assert store.counters()["writes_fenced"] == 1
+
+    def test_fence_counts_survive_replay(self, tmp_path):
+        store = store_at(tmp_path, backoff_base=0.0)
+        store.submit(small_spec())
+        job = store.claim_next(worker="w")
+        store.finish(job, DONE, token=job.token)
+        store.finish(job, DONE, token=job.token)  # fenced
+        replayed = store_at(tmp_path)
+        assert replayed.counters()["writes_fenced"] == 1
+        assert replayed.counters()["jobs_done"] == 1
+
+
+class TestRetryBudget:
+    def test_expiry_past_budget_fails_the_job(self, tmp_path):
+        store = store_at(tmp_path, backoff_base=0.0,
+                         default_max_attempts=2)
+        store.submit(small_spec())
+        moment = time.time()
+        store.claim_next(worker="w1", now=moment)
+        store.reap_expired(now=moment + store.lease_ttl + 1.0)
+        job = store.claim_next(worker="w2",
+                               now=moment + store.lease_ttl + 2.0)
+        assert job.attempts == 2
+        store.reap_expired(now=moment + 2 * store.lease_ttl + 3.0)
+        final = store.get(job.job_id)
+        assert final.state == FAILED
+        assert "final attempt 2/2" in final.error
+
+    def test_spec_retries_beats_store_default(self, tmp_path):
+        store = store_at(tmp_path, backoff_base=0.0,
+                         default_max_attempts=5)
+        store.submit(small_spec(retries=0))
+        moment = time.time()
+        store.claim_next(worker="w", now=moment)
+        store.reap_expired(now=moment + store.lease_ttl + 1.0)
+        assert store.get("job-0001").state == FAILED
+
+
+class TestSchedulingPolicy:
+    def test_priority_beats_fifo(self, tmp_path):
+        store = store_at(tmp_path)
+        store.submit(small_spec())
+        store.submit(small_spec(priority=10))
+        store.submit(small_spec(priority=10))
+        order = [store.claim_next(worker="w").job_id for _ in range(3)]
+        # highest priority first, FIFO within a priority
+        assert order == ["job-0002", "job-0003", "job-0001"]
+
+    def test_queue_classes_filter_claims(self, tmp_path):
+        store = store_at(tmp_path)
+        store.submit(small_spec(queue="bulk"))
+        store.submit(small_spec(queue="fast"))
+        fast_only = store.claim_next(worker="w", queues={"fast"})
+        assert fast_only.job_id == "job-0002"
+        assert store.claim_next(worker="w", queues={"fast"}) is None
+        assert store.claim_next(worker="w").job_id == "job-0001"
+
+
+class TestAdmissionControl:
+    def test_queue_cap_throttles_submissions(self, tmp_path):
+        store = store_at(tmp_path, queue_cap=2)
+        store.submit(small_spec())
+        store.submit(small_spec())
+        with pytest.raises(QueueFull) as exc:
+            store.submit(small_spec())
+        assert exc.value.retry_after > 0
+        assert store.counters()["jobs_throttled"] == 1
+        assert store.counters()["jobs_submitted"] == 2
+        # leasing one out makes room again
+        store.claim_next(worker="w")
+        assert store.submit(small_spec()).job_id == "job-0003"
+
+
+class TestCrossProcessView:
+    """Two JobStore instances on one state dir — the same contract
+    the server pool and a remote agent share."""
+
+    def test_second_store_sees_submissions_and_finishes(self, tmp_path):
+        a = store_at(tmp_path)
+        b = store_at(tmp_path, backoff_base=0.0)
+        a.submit(small_spec())
+        job = b.claim_next(worker="b")   # b refreshed and leased
+        assert job is not None
+        assert a.get(job.job_id).state == RUNNING
+        assert b.finish(job, DONE, token=job.token)
+        assert a.get(job.job_id).state == DONE
+        assert a.counters()["jobs_done"] == 1
+
+    def test_id_sequence_is_shared(self, tmp_path):
+        a = store_at(tmp_path)
+        b = store_at(tmp_path)
+        assert a.submit(small_spec()).job_id == "job-0001"
+        assert b.submit(small_spec()).job_id == "job-0002"
+        assert a.submit(small_spec()).job_id == "job-0003"
+
+    def test_double_claim_is_impossible(self, tmp_path):
+        a = store_at(tmp_path)
+        b = store_at(tmp_path)
+        a.submit(small_spec())
+        first = a.claim_next(worker="a")
+        second = b.claim_next(worker="b")
+        assert first is not None and second is None

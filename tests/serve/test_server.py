@@ -161,6 +161,41 @@ class TestRestart:
         assert client.status(second.url, running)["attempts"] == 2
 
 
+class TestBackpressure:
+    def test_queue_cap_429_health_and_drain(self, serve_factory):
+        """A full queue answers 429 + Retry-After; /healthz exposes
+        the fleet gauges; /drain stops the pool claiming."""
+        server = serve_factory(workers=0, queue_cap=1)
+        url = server.url
+
+        client.submit(url, small_spec())   # fills the only slot
+        with pytest.raises(ServiceError) as exc:
+            client.submit(url, small_spec(), retries=0)
+        assert exc.value.code == 429
+        assert exc.value.retry_after is not None
+        assert exc.value.retry_after >= 1.0
+
+        health = client.request(url, "/healthz")
+        assert health["ok"] is True
+        assert health["queue_depth"] == 1
+        assert health["queue_cap"] == 1
+        assert health["leases_active"] == 0
+        assert health["draining"] is False
+        # the pool front end heartbeats even with zero workers
+        assert health["workers_live"] >= 1
+
+        text = client.metrics(url)
+        assert "repro_server_jobs_throttled 1" in text
+        assert "# TYPE repro_server_jobs_queued gauge" in text
+        assert "repro_server_jobs_queued 1" in text
+        assert "repro_server_queue_cap 1" in text
+        assert "repro_server_workers_live" in text
+
+        answer = client.request(url, "/drain", payload={})
+        assert answer["draining"] is True
+        assert client.request(url, "/healthz")["draining"] is True
+
+
 class TestCancel:
     def test_cancel_running_job(self, serve_factory):
         server = serve_factory(workers=1)

@@ -42,6 +42,19 @@ class TestNormalize:
         with pytest.raises(JobSpecError, match="unknown persist"):
             normalize_spec(small_spec(persist={"die_at_status": 50}))
 
+    def test_scheduling_keys_canonicalised(self):
+        spec = normalize_spec(small_spec(priority=5, queue="bulk",
+                                         retries=2))
+        assert spec["priority"] == 5
+        assert spec["queue"] == "bulk"
+        assert spec["retries"] == 2
+
+    def test_scheduling_keys_default_to_absent(self):
+        spec = normalize_spec(small_spec())
+        assert "priority" not in spec
+        assert "queue" not in spec
+        assert "retries" not in spec
+
     @pytest.mark.parametrize("bad", [
         "not an object",
         {"flow": "XYZ", "design": {"name": "Des1"}},
@@ -50,6 +63,12 @@ class TestNormalize:
         {"design": {"kind": "verilog"}},
         {"design": {"name": "Des1"}, "mystery": 1},
         {"design": {"name": "Des1"}, "chaos": {"rate": 0.5}},
+        {"design": {"name": "Des1"}, "priority": True},
+        {"design": {"name": "Des1"}, "priority": "high"},
+        {"design": {"name": "Des1"}, "queue": ""},
+        {"design": {"name": "Des1"}, "queue": 3},
+        {"design": {"name": "Des1"}, "retries": -1},
+        {"design": {"name": "Des1"}, "retries": True},
     ])
     def test_malformed_specs_rejected(self, bad):
         with pytest.raises(JobSpecError):
