@@ -32,6 +32,7 @@ from repro.persist.rundir import (
     PersistConfig,
     RunDir,
     RunDirError,
+    RunFencedError,
     load_snapshot_payload,
     scan_resume,
 )
@@ -58,6 +59,7 @@ __all__ = [
     "ResumedRun",
     "RunDir",
     "RunDirError",
+    "RunFencedError",
     "SNAPSHOT_FORMAT",
     "SNAPSHOT_VERSION",
     "SnapshotError",

@@ -11,10 +11,19 @@ truncation, compaction) still go through a temp path and
 ``os.replace`` so a reader never sees a half-written file.
 
 ``Journal.open`` walks the file line by line; at the first torn or
-corrupt line (bad JSON, bad checksum, non-monotonic sequence) it
-truncates the journal to the last valid record and keeps going — the
-recovery contract from ISSUE: *detect torn/corrupt tails, truncate to
-the last valid entry*.
+corrupt line (bad JSON, bad checksum, missing final newline,
+non-monotonic sequence) it truncates the journal to the last valid
+record and keeps going — the recovery contract from ISSUE: *detect
+torn/corrupt tails, truncate to the last valid entry*.
+
+Multi-writer journals (the serve job store) additionally rely on
+:meth:`Journal.refresh`: every writer appends under an exclusive file
+lock and refreshes first, and the journal tracks the byte offset of
+the end of valid data, so when a writer crashes mid-append the *next*
+refresher repairs the torn tail in place — truncating the file back to
+the last valid byte — before anyone appends past it.  Without that
+repair, live writers would concatenate onto the newline-less torn line
+and fork the sequence.
 
 Long runs would otherwise replay (and re-parse) an unbounded tail of
 transform records on every resume; :meth:`Journal.compact` bounds
@@ -69,6 +78,36 @@ def decode_line(line: str) -> Optional[dict]:
     return record
 
 
+def _scan_lines(data: bytes, start_seq: int):
+    """Parse journal bytes into ``(records, valid_bytes, bad_lines)``.
+
+    ``valid_bytes`` is the offset just past the last fully valid,
+    newline-terminated record (a record without its final newline is a
+    torn append and does not count); ``bad_lines`` counts the lines at
+    and after the first torn/corrupt/misnumbered one (0 = clean).
+    Recovery and append agree on ``valid_bytes`` as the true end of
+    the journal's data.
+    """
+    records: List[dict] = []
+    valid = 0
+    position = 0
+    lines = data.splitlines(keepends=True)
+    for index, raw in enumerate(lines):
+        position += len(raw)
+        if not raw.endswith(b"\n"):
+            return records, valid, len(lines) - index
+        text = raw.decode("utf-8", "replace").strip()
+        if not text:
+            valid = position
+            continue
+        record = decode_line(text)
+        if record is None or record.get("seq") != start_seq + len(records):
+            return records, valid, len(lines) - index
+        records.append(record)
+        valid = position
+    return records, valid, 0
+
+
 class Journal:
     """An append-only, checksummed, crash-safe record log."""
 
@@ -78,6 +117,11 @@ class Journal:
         self.records: List[dict] = list(records or [])
         #: number of torn/corrupt tail lines dropped by :meth:`open`
         self.truncated_lines = truncated
+        #: torn tail lines repaired in place by :meth:`refresh`
+        self.repaired_lines = 0
+        #: byte offset of the end of valid data — where the next
+        #: append lands, and where recovery truncates back to
+        self._valid_bytes = 0
 
     # -- lifecycle -----------------------------------------------------
 
@@ -95,23 +139,16 @@ class Journal:
         Raises :class:`JournalError` if the file does not exist.
         """
         try:
-            with open(path, "r") as stream:
-                lines = stream.read().splitlines()
+            with open(path, "rb") as stream:
+                data = stream.read()
         except OSError as exc:
             raise JournalError("cannot open journal %s: %s" % (path, exc))
-        records: List[dict] = []
-        dropped = 0
-        for index, line in enumerate(lines):
-            if not line.strip():
-                continue
-            record = decode_line(line)
-            if record is None or record.get("seq") != len(records):
-                dropped = len(lines) - index
-                break
-            records.append(record)
+        records, valid, dropped = _scan_lines(data, 0)
         journal = cls(path, records, truncated=dropped)
         if dropped:
             journal._rewrite()
+        else:
+            journal._valid_bytes = valid
         return journal
 
     def refresh(self) -> List[dict]:
@@ -121,27 +158,29 @@ class Journal:
         writer holds an exclusive file lock while it appends, and
         calls ``refresh`` (under that same lock) first, so its next
         ``seq`` continues the on-disk sequence rather than its stale
-        in-memory one.  Lines are consumed in order; the scan stops at
-        the first torn/corrupt/misnumbered line *without* truncating —
-        under the lock discipline a torn tail can only be a crashed
-        writer's final append, which the next exclusive
-        :meth:`Journal.open` cleans up.  Returns the new records.
+        in-memory one.  The scan starts at this journal's end-of-valid
+        byte offset; if it hits a torn/corrupt/misnumbered line — a
+        writer crashed mid-append — the file is **repaired in place**,
+        truncated back to the last valid byte *under the caller's
+        exclusive lock*, before this writer (or any other refresher)
+        can append past the tear and fork the sequence.  Returns the
+        new records.
         """
         try:
-            with open(self.path, "r") as stream:
-                lines = stream.read().splitlines()
+            with open(self.path, "rb") as stream:
+                stream.seek(self._valid_bytes)
+                data = stream.read()
         except OSError as exc:
             raise JournalError("cannot refresh journal %s: %s"
                                % (self.path, exc))
-        fresh: List[dict] = []
-        for line in lines[len(self.records):]:
-            if not line.strip():
-                continue
-            record = decode_line(line)
-            if (record is None
-                    or record.get("seq") != len(self.records) + len(fresh)):
-                break
-            fresh.append(record)
+        fresh, valid, torn = _scan_lines(data, len(self.records))
+        self._valid_bytes += valid
+        if torn:
+            with open(self.path, "r+b") as stream:
+                stream.truncate(self._valid_bytes)
+                stream.flush()
+                os.fsync(stream.fileno())
+            self.repaired_lines += torn
         self.records.extend(fresh)
         return fresh
 
@@ -152,15 +191,20 @@ class Journal:
 
         O(1): a single line is appended and fsynced.  A crash inside
         the write leaves at most one torn line, which the next
-        :meth:`open` truncates.
+        :meth:`open` truncates — or, for a multi-writer journal, the
+        next writer's :meth:`refresh` repairs in place.  Multi-writer
+        callers must hold the exclusive lock and have refreshed, so
+        the file's end *is* this journal's end-of-valid offset.
         """
         record = {"seq": len(self.records), "type": type_}
         record.update(fields)
         self.records.append(record)
+        line = encode_line(record) + "\n"
         with open(self.path, "a") as stream:
-            stream.write(encode_line(record) + "\n")
+            stream.write(line)
             stream.flush()
             os.fsync(stream.fileno())
+        self._valid_bytes += len(line.encode("utf-8"))
         return record
 
     def compact(self, keep_from_seq: int, **fields) -> Optional[dict]:
@@ -200,12 +244,16 @@ class Journal:
 
     def _rewrite(self) -> None:
         tmp = self.path + ".tmp"
+        total = 0
         with open(tmp, "w") as stream:
             for record in self.records:
-                stream.write(encode_line(record) + "\n")
+                line = encode_line(record) + "\n"
+                stream.write(line)
+                total += len(line.encode("utf-8"))
             stream.flush()
             os.fsync(stream.fileno())
         os.replace(tmp, self.path)
+        self._valid_bytes = total
 
     # -- queries -------------------------------------------------------
 

@@ -13,7 +13,7 @@ the CLI ``--resume`` path and the ``repro.serve`` worker pool.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.design import Design
 from repro.persist.journal import Journal
@@ -62,7 +62,8 @@ class ResumedRun:
 
 def load_resume(path: str, library,
                 die_at_status: Optional[int] = None,
-                die_at_snapshot: Optional[int] = None) -> ResumedRun:
+                die_at_snapshot: Optional[int] = None,
+                fence: Optional[Callable[[], None]] = None) -> ResumedRun:
     """Rebuild an interrupted run in ``path`` from disk alone.
 
     Raises :class:`~repro.persist.rundir.RunDirError`,
@@ -75,6 +76,12 @@ def load_resume(path: str, library,
     ``die_at_status`` / ``die_at_snapshot`` arm fresh kill points for
     *this* process; they are never read from ``run.json``, so a
     resumed run does not re-die at the original kill point.
+
+    ``fence`` (a callable raising
+    :class:`~repro.persist.rundir.RunFencedError`) is installed as the
+    resumed ``FlowPersist``'s durable-write guard — the serve worker
+    passes its lease's fence so a superseded process aborts rather
+    than writing into a run directory it no longer owns.
     """
     rundir = RunDir.open(path)
     journal = Journal.open(rundir.journal_path)
@@ -94,7 +101,7 @@ def load_resume(path: str, library,
     quarantined = rundir.note_crashes(state["in_flight"],
                                       pconfig.crash_quarantine_after)
     persist = FlowPersist(rundir, journal, pconfig, design,
-                          resumed=True)
+                          resumed=True, fence=fence)
     persist.seed_snapshot(record, record["status"], payload=payload)
     persist.note_resumed(record["seq"], record["status"],
                          state["in_flight"])

@@ -123,6 +123,17 @@ class RunDirError(Exception):
     """The run directory is missing, incompatible, or unreadable."""
 
 
+class RunFencedError(Exception):
+    """This process no longer owns the run directory.
+
+    Raised by a ``FlowPersist`` fence guard (see
+    ``repro.serve.lease.fence_guard``) when the run has been re-leased
+    to another worker under a newer fencing token: every further
+    durable write from this process would race the new holder's
+    resume, so the flow must abort immediately.
+    """
+
+
 class RunDir:
     """Filesystem layout + metadata of one durable run."""
 
@@ -343,12 +354,17 @@ class FlowPersist:
 
     def __init__(self, rundir: RunDir, journal: Journal,
                  config: PersistConfig, design: Design,
-                 resumed: bool = False) -> None:
+                 resumed: bool = False,
+                 fence: Optional[Callable[[], None]] = None) -> None:
         self.rundir = rundir
         self.journal = journal
         self.config = config
         self.design = design
         self.resumed = resumed
+        #: durable-write guard: called before every journal append
+        #: and snapshot; raises :class:`RunFencedError` when this
+        #: process lost the run to a newer lease (None = unfenced)
+        self.fence = fence
         #: signature/status of the most recent on-disk snapshot
         self._last_signature: Optional[str] = None
         self._last_status: Optional[int] = None
@@ -377,24 +393,33 @@ class FlowPersist:
 
     # -- journal bookkeeping -------------------------------------------
 
+    def _check_fence(self) -> None:
+        """Abort (RunFencedError) if this process lost the run."""
+        if self.fence is not None:
+            self.fence()
+
     def start(self, flow: str, seed: int) -> None:
         """Journal the start of a fresh run."""
+        self._check_fence()
         self.journal.append("run_start", flow=flow, seed=seed)
 
     def note_resumed(self, snapshot_seq: int, status: int,
                      in_flight: List[str]) -> None:
         """Journal that this process resumed from a snapshot."""
+        self._check_fence()
         self.journal.append("resumed", snapshot=snapshot_seq,
                             status=status, in_flight=in_flight)
 
     def phase(self, status: int, **metrics) -> None:
         """Journal a cut-status milestone and its metrics."""
+        self._check_fence()
         self.journal.append("phase", status=status, **metrics)
 
     # -- GuardedRunner recorder protocol -------------------------------
 
     def transform_start(self, name: str, invocation: int) -> None:
         """Journal a transform entering execution (write-ahead)."""
+        self._check_fence()
         self.journal.append("transform_start", name=name,
                             invocation=invocation,
                             status=self.design.status)
@@ -402,6 +427,7 @@ class FlowPersist:
     def transform_end(self, name: str, invocation: int, ok: bool,
                       kind: Optional[str] = None) -> None:
         """Journal a transform's completion (or guarded failure)."""
+        self._check_fence()
         fields = {"name": name, "invocation": invocation, "ok": ok}
         if kind is not None:
             fields["kind"] = kind
@@ -409,6 +435,7 @@ class FlowPersist:
 
     def quarantined(self, name: str) -> None:
         """Journal a quarantine and persist it for later attempts."""
+        self._check_fence()
         self.journal.append("quarantine", name=name)
         state = self.rundir.load_quarantine()
         if name not in state["quarantined"]:
@@ -436,6 +463,7 @@ class FlowPersist:
         and name counter, same extras) writes nothing: the previous
         snapshot file already is this state.
         """
+        self._check_fence()
         started = time.perf_counter()
         self.design.timing.invalidate_all()
         payload = design_state(self.design, extras)
@@ -625,6 +653,7 @@ class FlowPersist:
         Returns the payload so the caller can re-apply its ``extras``
         (scenario/transform state captured alongside the design).
         """
+        self._check_fence()
         payload = self.latest_snapshot()
         restore_design(self.design, payload)
         self.journal.append("restore", signature=payload["signature"],
@@ -650,6 +679,7 @@ class FlowPersist:
 
     def finish(self, report_state: dict) -> None:
         """Seal the run: elapsed, ``run_end``, signed report."""
+        self._check_fence()
         self.rundir.save_elapsed(self.elapsed_seconds())
         self.journal.append("run_end",
                             signature=state_signature(self.design),

@@ -46,9 +46,13 @@ from repro.serve.jobs import (
 from repro.serve.lease import (
     Heartbeat,
     backoff_delay,
+    fence_guard,
     live_workers,
+    read_fence,
+    read_heartbeat_docs,
     read_heartbeats,
     worker_identity,
+    write_fence,
 )
 from repro.serve.metrics import prometheus_metrics
 from repro.serve.pool import WorkerPool
@@ -72,10 +76,14 @@ __all__ = [
     "WorkerPool",
     "backoff_delay",
     "build_job_design",
+    "fence_guard",
     "job_flow_config",
     "live_workers",
     "normalize_spec",
     "prometheus_metrics",
+    "read_fence",
+    "read_heartbeat_docs",
     "read_heartbeats",
     "worker_identity",
+    "write_fence",
 ]

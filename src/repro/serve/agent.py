@@ -16,8 +16,11 @@ built for.  Its heartbeat thread dies with it, the lease goes silent,
 any other agent's reaper requeues the job, and the next lease resumes
 from the run directory's last milestone snapshot.  A *suspended*
 agent (SIGSTOP, VM pause) whose lease expires becomes a zombie on
-revival: its flow may finish, but its ``finish``/``requeue`` carries
-a stale fencing token and is journaled as ``fenced``, never applied.
+revival, fenced at **both** layers: its flow aborts at its next
+durable write because the run directory's ``fence.json`` now carries
+the successor's token (so it cannot corrupt the journal/snapshots the
+resume depends on), and its late ``finish``/``requeue`` presents a
+stale fencing token and is journaled as ``fenced``, never applied.
 
 Failure taxonomy inside a live agent mirrors the pool's: exit-0 →
 done; ``BAD_JOB_EXIT_CODE`` → failed fast; a raised exception or a
@@ -138,15 +141,19 @@ class WorkerAgent:
         token = job.token
         try:
             code = run_job(job.job_id, job.spec,
-                           self.store.run_path(job.job_id))
+                           self.store.run_path(job.job_id),
+                           token=token)
         except SystemExit as exc:  # simulated kill points (exit 17)
             code = exc.code if isinstance(exc.code, int) else 1
         except Exception:
             traceback.print_exc()
             code = 1
+        try:
+            self._settle(job, code, token)
         finally:
+            # keep the job heartbeat-listed until it is settled, so
+            # the reaper's jobs cross-check never sees a gap
             self._current = None
-        self._settle(job, code, token)
 
     def _settle(self, job: Job, exit_code: int, token: int) -> None:
         """The pool's exit taxonomy, fenced by this lease's token."""

@@ -14,9 +14,13 @@ of truth; the lock makes its sequence numbers a total order.
 Scheduling is built on **leases with fencing tokens**:
 
 * ``claim_next`` journals a ``lease`` record carrying a per-job,
-  monotonically increasing token.  The lease is time-bounded: it stays
+  monotonically increasing token, and stamps the token into the job's
+  run directory (``fence.json``) so the flow runner itself can detect
+  a superseded lease mid-run.  The lease is time-bounded: it stays
   live only while the holder's heartbeat file
-  (:mod:`repro.serve.lease`) is younger than the TTL.
+  (:mod:`repro.serve.lease`) is younger than the TTL *and lists the
+  job* — a crashed-and-restarted worker reusing the same id does not
+  keep an orphaned lease alive.
 * ``finish`` and ``requeue`` must present the job's *current* token.
   A stale token — a zombie worker revived after its lease expired and
   its job moved on — is rejected, and the rejection itself is
@@ -29,14 +33,19 @@ Scheduling is built on **leases with fencing tokens**:
 
 Record types: ``submit`` (job id + canonical spec), ``lease`` (claim
 with token/attempt/ttl), ``requeue`` (back in line, with cause:
-``crash`` / ``lease-expired`` / ``release``), ``finish`` (terminal),
-``fenced`` (a rejected stale write).  All counting happens while
-*applying* records, so a replayed table is indistinguishable from a
-live one.
+``crash`` / ``lease-expired`` / ``release``), ``finish`` (terminal,
+with the worker's exit code), ``fenced`` (a rejected stale write).
+All job-state counting happens while *applying* records, so a
+replayed table is indistinguishable from a live one.  The only
+exceptions are the admission-control counters ``jobs_rejected`` and
+``jobs_throttled``: refusals never enter the journal (journaling
+under overload is exactly the wrong moment to add fsyncs), so those
+two totals are **per-process**, not fleet-wide.
 """
 
 from __future__ import annotations
 
+import copy
 import fcntl
 import os
 import threading
@@ -52,7 +61,8 @@ from repro.serve.lease import (
     DEFAULT_LEASE_TTL,
     backoff_delay,
     live_workers,
-    read_heartbeats,
+    read_heartbeat_docs,
+    write_fence,
 )
 from repro.serve.spec import JobSpecError, normalize_spec
 
@@ -290,6 +300,7 @@ class JobStore:
             job.state = record["state"]
             job.error = record.get("error")
             job.finished_at = record.get("at")
+            job.last_exit = record.get("exit")
             self._totals[record["state"]] += 1
         elif kind == "fenced":
             self._totals["fenced"] += 1
@@ -332,9 +343,15 @@ class JobStore:
         Eligible: queued, in one of ``queues`` (None = any), and past
         its retry-backoff gate.  Highest priority wins; FIFO within a
         priority.  The journaled ``lease`` record carries the job's
-        next fencing token, which the returned job exposes as
-        ``job.token`` — the worker must present it to
-        :meth:`finish`/:meth:`requeue`.
+        next fencing token, which is also stamped into the job's run
+        directory (``fence.json``) while the lock is held.
+
+        Returns a **detached snapshot** of the job, captured under the
+        store lock: its ``token``/``attempts`` are this lease's, and a
+        later foreign expire+re-lease cannot mutate them out from
+        under the caller.  The worker presents ``job.token`` to
+        :meth:`finish`/:meth:`requeue`, which re-resolve the live job
+        by id.
         """
         with self._locked():
             moment = time.time() if now is None else now
@@ -355,7 +372,8 @@ class JobStore:
                          token=best.token + 1,
                          attempt=best.attempts + 1,
                          ttl=self.lease_ttl, at=moment)
-            return best
+            write_fence(self.run_path(best.job_id), best.token, worker)
+            return copy.copy(best)
 
     def _fenced(self, job: Job, op: str, token: Optional[int],
                 worker: Optional[str]) -> bool:
@@ -422,9 +440,10 @@ class JobStore:
                 return False
             if self._fenced(job, "finish", token, worker):
                 return False
+            # exit rides in the record so replayed tables agree on it
             self._append("finish", job_id=job.job_id, state=state,
-                         error=error, token=token, at=time.time())
-            job.last_exit = exit_code
+                         error=error, exit=exit_code, token=token,
+                         at=time.time())
             return True
 
     # -- the failure detector -------------------------------------------
@@ -432,25 +451,34 @@ class JobStore:
     def reap_expired(self, now: Optional[float] = None) -> List[Job]:
         """Requeue (or fail) every job whose lease went silent.
 
-        A lease is silent once both its grant time and its holder's
-        last heartbeat are older than the lease TTL.  Any process may
-        reap — the journal's total order makes it idempotent: whoever
-        appends first wins, and the loser's view refreshes before it
-        acts.  Jobs past their retry budget are failed instead of
-        requeued; the run directory still holds their snapshots for a
-        post-mortem.  Returns the jobs acted on.
+        A lease is live while its grant is younger than the TTL (grace
+        for a worker that has not heartbeat-listed the job yet), or
+        while its holder's heartbeat is fresh **and names the job** in
+        its ``jobs`` list.  The cross-check matters for fixed
+        ``--worker-id`` deployments: a crashed-and-restarted worker
+        heartbeats the same id while knowing nothing about its old
+        lease, so freshness alone would keep the orphaned job RUNNING
+        forever.  Any process may reap — the journal's total order
+        makes it idempotent: whoever appends first wins, and the
+        loser's view refreshes before it acts.  Jobs past their retry
+        budget are failed instead of requeued; the run directory still
+        holds their snapshots for a post-mortem.  Returns the jobs
+        acted on.
         """
         with self._locked():
             moment = time.time() if now is None else now
-            beats = read_heartbeats(self.state_dir)
+            beats = read_heartbeat_docs(self.state_dir)
             reaped: List[Job] = []
             for job_id in self._order:
                 job = self._jobs[job_id]
                 if job.state != RUNNING:
                     continue
-                alive_at = max(job.leased_at,
-                               beats.get(job.worker or "", 0.0))
-                if moment - alive_at <= job.lease_ttl:
+                if moment - job.leased_at <= job.lease_ttl:
+                    continue
+                doc = beats.get(job.worker or "")
+                if (doc is not None
+                        and moment - doc["at"] <= job.lease_ttl
+                        and job.job_id in doc["jobs"]):
                     continue
                 reaped.append(job)
                 if job.attempts >= job.max_attempts(
@@ -494,7 +522,13 @@ class JobStore:
 
     def counters(self) -> Dict[str, int]:
         """Job accounting for the server's CounterRegistry and
-        ``/metrics``: lifetime totals plus current fleet gauges."""
+        ``/metrics``: lifetime totals plus current fleet gauges.
+
+        All totals are journal-derived (fleet-wide, replay-stable)
+        except ``jobs_rejected`` and ``jobs_throttled``, which count
+        this process's own admission refusals — refusals are never
+        journaled, so a restarted server starts them at zero.
+        """
         with self._locked():
             by_state: Dict[str, int] = {}
             for job in self._jobs.values():

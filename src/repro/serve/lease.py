@@ -13,11 +13,22 @@ directory:
 * **Heartbeats** — each worker (the in-server pool and every
   standalone ``python -m repro worker`` agent) atomically rewrites one
   small JSON file under ``STATE_DIR/workers/`` every fraction of the
-  lease TTL.  A lease is *live* while its holder's heartbeat is fresh;
-  a worker that is SIGKILLed, loses power, or is swapped out past the
-  TTL simply stops writing, and the reaper requeues its jobs for
-  resume elsewhere.  Heartbeats are deliberately **not** journaled —
-  they are high-frequency liveness, not state transitions.
+  lease TTL.  A lease is *live* while its holder's heartbeat is fresh
+  **and lists the job**: the heartbeat's ``jobs`` field is the
+  holder's claim of what it is actually running, so a worker that
+  crashed and restarted under the same ``--worker-id`` (fresh
+  heartbeat, no memory of the old lease) does not keep its orphaned
+  job RUNNING forever.  A worker that is SIGKILLed, loses power, or is
+  swapped out past the TTL simply stops writing, and the reaper
+  requeues its jobs for resume elsewhere.  Heartbeats are deliberately
+  **not** journaled — they are high-frequency liveness, not state
+  transitions.
+* **Run-dir fences** — the journal's fencing token is carried into
+  each job's run directory as ``runs/<id>/fence.json``, written by
+  ``claim_next`` under the store's exclusive lock.  The in-process
+  flow runner re-reads it before every durable write (journal append,
+  snapshot), so a zombie whose lease moved on aborts instead of
+  mutating the run directory the new holder is resuming from.
 * **Backoff** — a transiently crashed job is requeued with a
   ``not_before`` gate that grows exponentially with its resume count,
   so a job that keeps killing workers cannot monopolize the fleet
@@ -119,19 +130,22 @@ class Heartbeat:
             pass
 
 
-def read_heartbeats(state_dir: str) -> Dict[str, float]:
-    """All workers' last-heartbeat wall times, by worker id.
+def read_heartbeat_docs(state_dir: str) -> Dict[str, dict]:
+    """All workers' full heartbeat documents, by worker id.
 
+    Each document carries at least ``at`` (wall time, float) and
+    ``jobs`` (list of job ids the worker says it is running — the
+    reaper cross-checks a lease against this, not just freshness).
     Partial or foreign files are skipped — a reader must tolerate a
     worker mid-rewrite (rewrites are atomic, but the directory may
     hold stray tmp files from a killed worker).
     """
     directory = os.path.join(state_dir, WORKERS_DIR)
-    beats: Dict[str, float] = {}
+    docs: Dict[str, dict] = {}
     try:
         names = os.listdir(directory)
     except OSError:
-        return beats
+        return docs
     for name in names:
         if not name.endswith(".json"):
             continue
@@ -143,8 +157,17 @@ def read_heartbeats(state_dir: str) -> Dict[str, float]:
         worker = document.get("worker")
         at = document.get("at")
         if isinstance(worker, str) and isinstance(at, (int, float)):
-            beats[worker] = float(at)
-    return beats
+            document["at"] = float(at)
+            if not isinstance(document.get("jobs"), list):
+                document["jobs"] = []
+            docs[worker] = document
+    return docs
+
+
+def read_heartbeats(state_dir: str) -> Dict[str, float]:
+    """All workers' last-heartbeat wall times, by worker id."""
+    return {worker: doc["at"]
+            for worker, doc in read_heartbeat_docs(state_dir).items()}
 
 
 def live_workers(state_dir: str, ttl: float,
@@ -154,3 +177,59 @@ def live_workers(state_dir: str, ttl: float,
     return sorted(worker
                   for worker, at in read_heartbeats(state_dir).items()
                   if moment - at <= ttl)
+
+
+# -- run-directory fences ----------------------------------------------
+
+FENCE_FILE = "fence.json"
+
+
+def write_fence(run_path: str, token: int, worker: str) -> None:
+    """Stamp a run directory with its current lease's fencing token.
+
+    Called by ``JobStore.claim_next`` *under the store's exclusive
+    file lock*, which makes the fence single-writer: tokens only ever
+    move forward, and a zombie holder never writes the fence at all —
+    it only reads it (and loses).
+    """
+    os.makedirs(run_path, exist_ok=True)
+    path = os.path.join(run_path, FENCE_FILE)
+    tmp = "%s.%d.tmp" % (path, os.getpid())
+    with open(tmp, "w") as stream:
+        json.dump({"token": int(token), "worker": worker,
+                   "at": time.time()}, stream, sort_keys=True)
+        stream.write("\n")
+        stream.flush()
+        os.fsync(stream.fileno())
+    os.replace(tmp, path)
+
+
+def read_fence(run_path: str) -> int:
+    """The run directory's current fencing token (0 if unfenced —
+    e.g. a CLI ``--run-dir`` run that never went through a lease)."""
+    try:
+        with open(os.path.join(run_path, FENCE_FILE)) as stream:
+            return int(json.load(stream)["token"])
+    except (OSError, ValueError, KeyError, TypeError):
+        return 0
+
+
+def fence_guard(run_path: str, token: int):
+    """A durable-write guard bound to one lease of one run directory.
+
+    The returned callable re-reads the fence file and raises
+    :class:`~repro.persist.rundir.RunFencedError` once the run has
+    been re-leased under a newer token — ``FlowPersist`` calls it
+    before every journal append and snapshot, so a zombie's flow
+    aborts instead of corrupting the state its successor resumes from.
+    """
+    from repro.persist.rundir import RunFencedError
+
+    def check() -> None:
+        current = read_fence(run_path)
+        if current and current != token:
+            raise RunFencedError(
+                "run %s is fenced: lease token moved %d -> %d"
+                % (run_path, token, current))
+
+    return check

@@ -151,9 +151,14 @@ class WorkerPool:
         self.store.reap_expired()
 
     def _spawn(self, job: Job) -> None:
+        # ``job`` is claim_next's detached snapshot: its token was
+        # captured under the store lock when the lease was journaled,
+        # so a foreign expire+re-lease between claim and spawn cannot
+        # swap a token this pool does not own under us.
         proc = self._ctx.Process(
             target=worker_entry,
-            args=(job.job_id, job.spec, self.store.run_path(job.job_id)),
+            args=(job.job_id, job.spec, self.store.run_path(job.job_id),
+                  job.token),
             name="repro-worker-%s" % job.job_id,
             daemon=True)
         try:

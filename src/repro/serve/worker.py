@@ -22,9 +22,16 @@ The worker's tracer streams spans to the run dir's ``trace.jsonl``
 ``metrics.json`` through a :class:`repro.obs.CounterSink`, which is
 what the server's ``/metrics`` endpoint aggregates.
 
+The lease's fencing token extends into the run directory: ``run_job``
+installs a :func:`~repro.serve.lease.fence_guard` on the run's
+``FlowPersist``, so a worker whose lease expired and whose job was
+re-leased elsewhere aborts before its next journal append or snapshot
+(``FENCED_EXIT_CODE``) instead of racing the new holder's resume.
+
 Exit codes: 0 success, ``DIE_EXIT_CODE`` (17) simulated kill, 3 bad
-job input, anything else a genuine crash.  Every nonzero exit leaves
-a resumable run directory behind.
+job input, ``FENCED_EXIT_CODE`` (4) fenced off mid-flow, anything
+else a genuine crash.  Every nonzero exit leaves a resumable run
+directory behind.
 """
 
 from __future__ import annotations
@@ -42,10 +49,12 @@ from repro.persist import (
     PersistConfig,
     RunDir,
     RunDirError,
+    RunFencedError,
     SnapshotError,
     load_resume,
 )
 from repro.scenario import SPRFlow, TPSScenario
+from repro.serve.lease import fence_guard
 from repro.serve.spec import (
     JobSpecError,
     build_job_design,
@@ -55,6 +64,10 @@ from repro.serve.spec import (
 
 #: worker exit code for a job that cannot even be constructed
 BAD_JOB_EXIT_CODE = 3
+
+#: worker exit code when the run dir's fence moved on mid-flow (the
+#: lease expired and the job was re-leased to another worker)
+FENCED_EXIT_CODE = 4
 
 SINK_FILE = "metrics.json"
 
@@ -85,8 +98,15 @@ def _resumable(run_path: str) -> bool:
             and os.path.isfile(os.path.join(run_path, "journal.jsonl")))
 
 
-def run_job(job_id: str, raw_spec: dict, run_path: str) -> int:
+def run_job(job_id: str, raw_spec: dict, run_path: str,
+            token: int = 0) -> int:
     """Execute one job to completion (or death); returns an exit code.
+
+    ``token`` is the lease's fencing token: with it, the run's
+    ``FlowPersist`` checks the run dir's fence file before every
+    durable write and the flow aborts with ``FENCED_EXIT_CODE`` the
+    moment a newer lease takes the directory over.  ``token=0`` (CLI
+    and unit-test runs without a lease) disables the guard.
 
     Importable and callable in-process for unit tests; the server
     always runs it behind :func:`worker_entry` in a child process.
@@ -97,22 +117,29 @@ def run_job(job_id: str, raw_spec: dict, run_path: str) -> int:
     except JobSpecError as exc:
         print("bad job spec: %s" % exc, file=sys.stderr)
         return BAD_JOB_EXIT_CODE
+    fence = fence_guard(run_path, token) if token else None
 
-    if _resumable(run_path):
-        try:
-            return _resume_job(job_id, spec, run_path, library)
-        except (RunDirError, JournalError) as exc:
-            print("unusable run dir %s: %s" % (run_path, exc),
-                  file=sys.stderr)
-            return BAD_JOB_EXIT_CODE
-        except SnapshotError:
-            # died before the init snapshot: nothing to continue from,
-            # so fall through and start the run over
-            pass
-    return _fresh_job(job_id, spec, run_path, library)
+    try:
+        if _resumable(run_path):
+            try:
+                return _resume_job(job_id, spec, run_path, library,
+                                   fence)
+            except (RunDirError, JournalError) as exc:
+                print("unusable run dir %s: %s" % (run_path, exc),
+                      file=sys.stderr)
+                return BAD_JOB_EXIT_CODE
+            except SnapshotError:
+                # died before the init snapshot: nothing to continue
+                # from, so fall through and start the run over
+                pass
+        return _fresh_job(job_id, spec, run_path, library, fence)
+    except RunFencedError as exc:
+        print("fenced off mid-flow: %s" % exc, file=sys.stderr)
+        return FENCED_EXIT_CODE
 
 
-def _fresh_job(job_id: str, spec: dict, run_path: str, library) -> int:
+def _fresh_job(job_id: str, spec: dict, run_path: str, library,
+               fence=None) -> int:
     try:
         design = build_job_design(spec, library)
     except (OSError, ValueError) as exc:
@@ -139,7 +166,8 @@ def _fresh_job(job_id: str, spec: dict, run_path: str, library) -> int:
     }
     rundir = RunDir.create(run_path, meta)
     journal = Journal.create(rundir.journal_path)
-    persist = FlowPersist(rundir, journal, pconfig, design)
+    persist = FlowPersist(rundir, journal, pconfig, design,
+                          fence=fence)
     scenario = _scenario_cls(spec["flow"])(
         design, config=config, injector=_injector(spec),
         persist=persist,
@@ -149,8 +177,9 @@ def _fresh_job(job_id: str, spec: dict, run_path: str, library) -> int:
     return 0
 
 
-def _resume_job(job_id: str, spec: dict, run_path: str, library) -> int:
-    run = load_resume(run_path, library)
+def _resume_job(job_id: str, spec: dict, run_path: str, library,
+                fence=None) -> int:
+    run = load_resume(run_path, library, fence=fence)
     if run.completed:
         return 0  # the previous worker finished; exit idempotently
     config_cls = type(job_flow_config(spec))
@@ -164,8 +193,9 @@ def _resume_job(job_id: str, spec: dict, run_path: str, library) -> int:
     return 0
 
 
-def worker_entry(job_id: str, spec: dict, run_path: str) -> None:
+def worker_entry(job_id: str, spec: dict, run_path: str,
+                 token: int = 0) -> None:
     """Process target: run the job, exit with its code."""
-    code = run_job(job_id, spec, run_path)
+    code = run_job(job_id, spec, run_path, token=token)
     if code:
         raise SystemExit(code)

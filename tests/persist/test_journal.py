@@ -99,6 +99,70 @@ def test_missing_file_raises(tmp_path):
         Journal.open(str(tmp_path / "nope.jsonl"))
 
 
+def test_valid_tail_without_newline_is_torn(journal):
+    """A record whose final newline never hit the disk is a torn
+    append: recovery must not count it, or a later append would
+    concatenate onto it."""
+    journal.append("run_start", flow="TPS", seed=0)
+    _raw_append(journal.path,
+                _line({"seq": 1, "type": "phase", "status": 10})[:-1])
+    reopened = Journal.open(journal.path)
+    assert len(reopened) == 1
+    assert reopened.truncated_lines == 1
+
+
+class TestMultiWriterRefresh:
+    """Two Journal handles on one file — the serve job-store contract
+    (each append is made under an exclusive lock, after refresh)."""
+
+    def test_refresh_folds_in_foreign_appends(self, journal):
+        other = Journal.open(journal.path)
+        journal.append("phase", status=10)
+        journal.append("phase", status=20)
+        fresh = other.refresh()
+        assert [r["status"] for r in fresh] == [10, 20]
+        # and the refreshed writer continues the shared sequence
+        other.append("phase", status=30)
+        assert journal.refresh()[0]["seq"] == 2
+
+    def test_refresh_repairs_torn_tail_in_place(self, journal):
+        """A writer crashed mid-append; the next refresher truncates
+        the torn line so appends cannot concatenate past it."""
+        journal.append("phase", status=10)
+        other = Journal.open(journal.path)
+        _raw_append(journal.path, '{"r": {"type": "phase", "st')
+        assert other.refresh() == []
+        assert other.repaired_lines == 1
+        # the file itself was repaired: appends land cleanly after
+        # the last valid record, for this writer and the first one
+        other.append("phase", status=20)
+        assert [r["seq"] for r in journal.refresh()] == [1]
+        final = Journal.open(journal.path)
+        assert final.truncated_lines == 0
+        assert [r["seq"] for r in final] == [0, 1]
+        assert final.last_of_type("phase")["status"] == 20
+
+    def test_no_fork_after_torn_tail(self, journal):
+        """The review scenario: writer A crashes mid-append, writers
+        B and C keep going.  Without in-place repair B and C would
+        continue from their stale prefixes (duplicate seqs, mutually
+        invisible records); with it they share one sequence and no
+        committed record is ever lost."""
+        journal.append("phase", status=10)
+        b = Journal.open(journal.path)
+        c = Journal.open(journal.path)
+        _raw_append(journal.path, '{"r": {"type": "le')  # A's crash
+        b.refresh()
+        b.append("phase", status=20)     # B: repair, then append
+        c.refresh()
+        c.append("phase", status=30)     # C: fold B's record in first
+        assert [r["seq"] for r in c.records] == [0, 1, 2]
+        final = Journal.open(journal.path)
+        assert final.truncated_lines == 0
+        assert [(r["seq"], r.get("status")) for r in final] \
+            == [(0, 10), (1, 20), (2, 30)]
+
+
 def test_of_type(journal):
     journal.append("phase", status=10)
     journal.append("snapshot", tag="init", file="x", status=0,

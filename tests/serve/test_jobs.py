@@ -51,11 +51,16 @@ class TestStore:
         store.submit(small_spec())
         job = store.claim_next(worker="w1")
         assert store.requeue(job, exit_code=17, token=job.token)
-        assert (job.state, job.resumes) == (QUEUED, 1)
+        # claim_next returns a detached snapshot: the live job moved,
+        # the claimer's copy did not
+        assert job.state == RUNNING
+        live = store.get(job.job_id)
+        assert (live.state, live.resumes) == (QUEUED, 1)
         job = store.claim_next(worker="w1")
         assert job.token == 2  # every lease advances the fence
         assert store.release(job, token=job.token)
-        assert (job.state, job.resumes) == (QUEUED, 1)
+        live = store.get(job.job_id)
+        assert (live.state, live.resumes) == (QUEUED, 1)
         assert store.counters()["job_resumes"] == 1
 
     def test_replay_restores_table_and_leases(self, tmp_path):

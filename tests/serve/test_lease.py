@@ -6,13 +6,24 @@ import time
 
 import pytest
 
+from repro.persist import (
+    FlowPersist,
+    Journal,
+    PersistConfig,
+    RunDir,
+    RunFencedError,
+)
 from repro.serve import DONE, FAILED, JobStore, QUEUED, QueueFull, RUNNING
 from repro.serve.lease import (
     Heartbeat,
     backoff_delay,
+    fence_guard,
     live_workers,
+    read_fence,
+    read_heartbeat_docs,
     read_heartbeats,
     worker_identity,
+    write_fence,
 )
 
 from tests.serve.conftest import small_spec
@@ -90,15 +101,48 @@ class TestLeasing:
     def test_heartbeat_keeps_a_slow_lease_alive(self, tmp_path):
         store = store_at(tmp_path)
         store.submit(small_spec())
-        job = store.claim_next(worker="slow@host:1")
+        moment = time.time()
+        # grant time is ancient (past the TTL grace)...
+        job = store.claim_next(worker="slow@host:1",
+                               now=moment - 3 * store.lease_ttl)
+        # ...but the heartbeat is fresh and lists the job
         hb = Heartbeat(str(tmp_path), "slow@host:1", interval=0.0)
         hb.write(jobs=[job.job_id], force=True)
-        # grant time is ancient, but the heartbeat is fresh
-        future = job.leased_at + 3 * store.lease_ttl
-        beat_at = time.time()
-        assert store.reap_expired(
-            now=min(future, beat_at + store.lease_ttl - 0.5)) == []
+        assert store.reap_expired(now=moment) == []
         assert store.get(job.job_id).state == RUNNING
+
+    def test_restarted_worker_does_not_shield_orphaned_lease(
+            self, tmp_path):
+        """A worker that crashed and came back under the same fixed
+        --worker-id heartbeats freshly but no longer lists the job —
+        freshness alone must not keep the orphan RUNNING forever."""
+        store = store_at(tmp_path, backoff_base=0.0)
+        store.submit(small_spec())
+        moment = time.time()
+        job = store.claim_next(worker="fixed-id@host:1",
+                               now=moment - store.lease_ttl - 1.0)
+        # the restarted process beats the same id, running nothing
+        hb = Heartbeat(str(tmp_path), "fixed-id@host:1", interval=0.0)
+        hb.write(jobs=[], force=True)
+        assert read_heartbeat_docs(str(tmp_path))[
+            "fixed-id@host:1"]["jobs"] == []
+        # fresh heartbeat, stale grant, job unlisted: reaped
+        reaped = store.reap_expired(now=moment)
+        assert [j.job_id for j in reaped] == [job.job_id]
+        assert store.get(job.job_id).state == QUEUED
+
+    def test_claim_returns_detached_snapshot(self, tmp_path):
+        """The claimer's token is captured under the store lock; a
+        foreign expire+re-lease cannot mutate it afterwards."""
+        store = store_at(tmp_path, backoff_base=0.0)
+        store.submit(small_spec())
+        mine = store.claim_next(worker="w1")
+        store.reap_expired(now=time.time() + store.lease_ttl + 1.0)
+        theirs = store.claim_next(worker="w2",
+                                  now=time.time() + store.lease_ttl
+                                  + 2.0)
+        assert (mine.token, theirs.token) == (1, 2)
+        assert mine.worker == "w1"
 
     def test_requeue_gates_the_next_claim_behind_backoff(self, tmp_path):
         store = store_at(tmp_path, backoff_base=10.0, backoff_cap=60.0)
@@ -168,6 +212,18 @@ class TestFencing:
         assert store.get(job.job_id).state == DONE
         assert store.counters()["writes_fenced"] == 1
 
+    def test_finish_exit_survives_replay(self, tmp_path):
+        """The finish record carries the worker's exit code, so a
+        replayed table agrees with the process that wrote it."""
+        store = store_at(tmp_path, backoff_base=0.0)
+        store.submit(small_spec())
+        job = store.claim_next(worker="w")
+        store.finish(job, FAILED, exit_code=9, token=job.token,
+                     error="boom")
+        assert store.get(job.job_id).last_exit == 9
+        replayed = store_at(tmp_path)
+        assert replayed.get(job.job_id).last_exit == 9
+
     def test_fence_counts_survive_replay(self, tmp_path):
         store = store_at(tmp_path, backoff_base=0.0)
         store.submit(small_spec())
@@ -177,6 +233,49 @@ class TestFencing:
         replayed = store_at(tmp_path)
         assert replayed.counters()["writes_fenced"] == 1
         assert replayed.counters()["jobs_done"] == 1
+
+
+class TestRunDirFence:
+    """The fencing token extends into the run directory: a zombie's
+    flow must abort before its next durable write, not just have its
+    final settle rejected."""
+
+    def test_claim_stamps_the_fence(self, tmp_path):
+        store = store_at(tmp_path, backoff_base=0.0)
+        store.submit(small_spec())
+        job = store.claim_next(worker="w1")
+        assert read_fence(store.run_path(job.job_id)) == job.token == 1
+        store.reap_expired(now=time.time() + store.lease_ttl + 1.0)
+        store.claim_next(worker="w2",
+                         now=time.time() + store.lease_ttl + 2.0)
+        assert read_fence(store.run_path(job.job_id)) == 2
+
+    def test_guard_passes_holder_blocks_zombie(self, tmp_path):
+        run = str(tmp_path / "run")
+        write_fence(run, 1, "w1")
+        fence_guard(run, 1)()                 # current holder: fine
+        write_fence(run, 2, "w2")             # the lease moved on
+        with pytest.raises(RunFencedError):
+            fence_guard(run, 1)()
+        fence_guard(run, 2)()                 # the new holder: fine
+        # an unfenced run dir (CLI --run-dir, no lease) never trips
+        fence_guard(str(tmp_path / "bare"), 7)()
+
+    def test_fenced_persist_aborts_before_the_write(self, tmp_path):
+        """A FlowPersist whose lease was superseded raises before
+        appending, leaving the journal exactly as the new holder
+        expects to find it."""
+        run = str(tmp_path / "run")
+        rundir = RunDir.create(run, {})
+        journal = Journal.create(rundir.journal_path)
+        write_fence(run, 1, "w1")
+        persist = FlowPersist(rundir, journal, PersistConfig(), None,
+                              fence=fence_guard(run, 1))
+        persist.phase(0)                      # holder writes freely
+        write_fence(run, 2, "w2")             # re-leased elsewhere
+        with pytest.raises(RunFencedError):
+            persist.phase(10)
+        assert len(Journal.open(rundir.journal_path)) == 1
 
 
 class TestRetryBudget:
