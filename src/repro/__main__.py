@@ -32,11 +32,13 @@ from repro import (
     default_library,
     make_design,
 )
-from repro.guard import FaultInjector, GuardConfig
+from repro.guard import FaultInjector, FaultKind, GuardConfig
 from repro.netlist.verilog import read_verilog, write_placement, write_verilog
 from repro.obs import CutTimeline, Tracer, TraceWriter, read_trace, write_chrome_trace
 from repro.persist import (
+    IO_EXIT_CODE,
     FlowPersist,
+    IoFatalError,
     Journal,
     JournalError,
     PersistConfig,
@@ -138,14 +140,43 @@ def _print_trace(args, report) -> None:
             print("   ", line)
 
 
+def _parse_io_fault(spec: str) -> dict:
+    """``kind[:op[:pathsub]][@at]`` → :meth:`inject_io` kwargs.
+
+    Examples: ``disk-full`` (first write anywhere), ``bit-flip:write``
+    (first write), ``io-error:fsync:journal@3`` (the 4th fsync whose
+    path mentions "journal").
+    """
+    fields = {"at": 0}
+    if "@" in spec:
+        spec, at = spec.rsplit("@", 1)
+        fields["at"] = int(at)
+    parts = spec.split(":")
+    fields["kind"] = FaultKind(parts[0])
+    if len(parts) > 1 and parts[1]:
+        fields["op"] = parts[1]
+    if len(parts) > 2 and parts[2]:
+        fields["path_contains"] = parts[2]
+    return fields
+
+
 def _guard_setup(args):
     """(GuardConfig, FaultInjector) from the chaos CLI flags."""
     injector = None
-    if getattr(args, "chaos_seed", None) is not None:
+    io_rate = getattr(args, "io_chaos_rate", 0.0) or 0.0
+    io_faults = getattr(args, "io_fault", None) or []
+    if (getattr(args, "chaos_seed", None) is not None
+            or io_rate or io_faults):
         # default kinds: everything except process-kill, which only the
         # resume tests opt into explicitly
-        injector = FaultInjector(seed=args.chaos_seed,
-                                 rate=args.chaos_rate)
+        transform_rate = (args.chaos_rate
+                          if getattr(args, "chaos_seed", None)
+                          is not None else 0.0)
+        injector = FaultInjector(seed=args.chaos_seed or 0,
+                                 rate=transform_rate,
+                                 io_rate=io_rate)
+        for fault in io_faults:
+            injector.inject_io(**_parse_io_fault(fault))
     config = None
     if getattr(args, "guard", False) or injector is not None:
         # durable runs retry transient failures before striking
@@ -153,6 +184,30 @@ def _guard_setup(args):
         config = GuardConfig(budget_seconds=args.guard_budget,
                              retries=retries)
     return config, injector
+
+
+def _run_flow(scenario, injector):
+    """Run a scenario with storage chaos armed; exit 5 on fatal I/O.
+
+    A fatal storage failure (real ``ENOSPC``/``EROFS``, an exhausted
+    retry budget, or an injected one) aborts the flow with
+    :data:`~repro.persist.io.IO_EXIT_CODE`; the run directory is left
+    at its last good milestone, so ``--resume`` continues the run
+    bit-identically once the disk recovers.
+    """
+    if injector is not None and injector.has_io_chaos():
+        injector.arm_io()
+    try:
+        return scenario.run()
+    except IoFatalError as exc:
+        print("fatal storage failure: %s" % exc, file=sys.stderr)
+        print("the run directory holds the last good milestone; "
+              "re-run with --resume once the disk recovers",
+              file=sys.stderr)
+        raise SystemExit(IO_EXIT_CODE)
+    finally:
+        if injector is not None:
+            injector.disarm_io()
 
 
 def _persist_create(args, flow, design, config, injector):
@@ -171,8 +226,11 @@ def _persist_create(args, flow, design, config, injector):
                    "cycle": args.cycle,
                    "sdc": getattr(args, "sdc", None)},
         "config": config.to_state(),
+        # io-chaos flags are deliberately not recorded: a resumed
+        # process runs against a disk presumed healthy again
         "chaos": ({"seed": args.chaos_seed, "rate": args.chaos_rate}
-                  if injector is not None else None),
+                  if getattr(args, "chaos_seed", None) is not None
+                  else None),
         "persist": pconfig.to_state(),
     }
     rundir = RunDir.create(args.run_dir, meta)
@@ -226,7 +284,7 @@ def _cmd_resume(args, expected_flow) -> int:
                            config=SPRConfig.from_state(meta["config"]),
                            injector=injector, persist=run.persist,
                            resume_state=run.resume_state, tracer=tracer)
-    report = scenario.run()
+    report = _run_flow(scenario, injector)
     _print_report(report)
     _print_trace(args, report)
     _write_outputs(design, args)
@@ -244,7 +302,7 @@ def cmd_tps(args) -> int:
     scenario = TPSScenario(design, config=config, injector=injector,
                            persist=persist,
                            tracer=_tracer_setup(args, design, persist))
-    report = scenario.run()
+    report = _run_flow(scenario, injector)
     _print_report(report)
     if injector is not None:
         fired = injector.fired()
@@ -266,7 +324,7 @@ def cmd_spr(args) -> int:
     flow = SPRFlow(design, config=config, injector=injector,
                    persist=persist,
                    tracer=_tracer_setup(args, design, persist))
-    report = flow.run()
+    report = _run_flow(flow, injector)
     _print_report(report)
     _print_trace(args, report)
     _write_outputs(design, args)
@@ -472,6 +530,24 @@ def cmd_submit(args) -> int:
     return 0
 
 
+def cmd_fsck(args) -> int:
+    """Scrub (and with --repair heal) durable state on disk."""
+    from repro.persist import fsck_path
+
+    report = fsck_path(args.path, repair=args.repair)
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as stream:
+            stream.write(text + "\n")
+    if not args.quiet:
+        print(text)
+    if report["clean"]:
+        return 0
+    # repair mode is "successful" when everything found was healed;
+    # detect-only mode flags any finding
+    return 0 if (args.repair and report["unrepaired"] == 0) else 1
+
+
 def cmd_info(args) -> int:
     library = default_library()
     design = _load_design(args, library)
@@ -512,6 +588,19 @@ def _add_design_args(parser) -> None:
     parser.add_argument("--chaos-rate", type=float, default=0.05,
                         help="per-invocation fault probability for "
                              "--chaos-seed (default 0.05)")
+    parser.add_argument("--io-chaos-rate", type=float, default=0.0,
+                        help="per-operation storage-fault probability "
+                             "at the persist I/O shim (transient "
+                             "kinds; seeded by --chaos-seed, "
+                             "default 0)")
+    parser.add_argument("--io-fault", action="append", default=None,
+                        metavar="KIND[:OP[:PATH]][@AT]",
+                        help="inject one deterministic storage fault: "
+                             "kind disk-full|io-error|fsync-fail|"
+                             "torn-write|bit-flip, optionally pinned "
+                             "to an op (write/fsync/replace/...), a "
+                             "path substring, and the AT-th matching "
+                             "operation (repeatable)")
 
 
 def _add_trace_args(parser) -> None:
@@ -695,6 +784,25 @@ def main(argv=None) -> int:
                    help="poll interval ceiling for --wait "
                         "(default 5)")
     p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("fsck",
+                       help="scrub a run directory or fleet state "
+                            "dir: verify journals, snapshots, "
+                            "fences; --repair quarantines what "
+                            "cannot be verified")
+    p.add_argument("path",
+                   help="a run directory (--run-dir) or a fleet "
+                        "state dir (--state-dir)")
+    p.add_argument("--repair", action="store_true",
+                   help="truncate torn journal tails, quarantine "
+                        "corrupt milestones (resume falls back to "
+                        "the previous good one), sweep temp debris")
+    p.add_argument("-o", "--out", default=None,
+                   help="also write the JSON report to this file")
+    p.add_argument("-q", "--quiet", action="store_true",
+                   help="suppress the report on stdout (exit code "
+                        "still tells: 0 clean/healed, 1 findings)")
+    p.set_defaults(func=cmd_fsck)
 
     p = sub.add_parser("info", help="design statistics only")
     _add_design_args(p)

@@ -38,7 +38,13 @@ from repro.guard.invariants import (
     InvariantSuite,
     default_invariants,
 )
-from repro.guard.faults import FaultInjector, FaultKind, FaultSpec
+from repro.guard.faults import (
+    IO_KINDS,
+    FaultInjector,
+    FaultKind,
+    FaultSpec,
+    IoFaultSpec,
+)
 from repro.guard.runner import (
     GuardConfig,
     GuardedRunner,
@@ -55,9 +61,11 @@ __all__ = [
     "GuardConfig",
     "GuardError",
     "GuardedRunner",
+    "IO_KINDS",
     "Invariant",
     "InvariantSuite",
     "InvariantViolation",
+    "IoFaultSpec",
     "RestoreMismatch",
     "TransformError",
     "TransformHealth",

@@ -50,7 +50,25 @@ class FaultKind(enum.Enum):
     #: OOM kill would — the run dies with a write-ahead journal entry
     #: open and must be recovered by ``--resume``
     PROCESS_KILL = "process-kill"
+    #: storage faults, fired by the ``repro.persist.io`` shim (not
+    #: the transform hooks): the filesystem refuses with ENOSPC
+    DISK_FULL = "disk-full"
+    #: a transient EIO — the I/O shim's retry loop should survive it
+    IO_ERROR = "io-error"
+    #: the write lands but its fsync fails: never reached the platter
+    FSYNC_FAIL = "fsync-fail"
+    #: only a prefix of the payload reaches the file (crash mid-write)
+    TORN_WRITE = "torn-write"
+    #: the write "succeeds" but one bit on disk silently flips —
+    #: detectable only by CRC / gzip checksum / signature verify
+    BIT_FLIP = "bit-flip"
 
+
+#: kinds fired at the storage boundary by ``repro.persist.io``;
+#: the transform-level hooks never draw or fire these
+IO_KINDS = (FaultKind.DISK_FULL, FaultKind.IO_ERROR,
+            FaultKind.FSYNC_FAIL, FaultKind.TORN_WRITE,
+            FaultKind.BIT_FLIP)
 
 #: kinds that fire before the transform body runs
 _BEFORE_KINDS = (FaultKind.EXCEPTION, FaultKind.SLOWDOWN,
@@ -75,23 +93,73 @@ class FaultSpec:
                              self.invocation)
 
 
+@dataclass
+class IoFaultSpec:
+    """One scheduled storage fault at the ``repro.persist.io`` seam.
+
+    Fires on the ``at``-th (0-based) shim operation whose name
+    matches ``op`` (None = any) and whose path contains
+    ``path_contains`` (None = any path).  ``count`` fires the fault
+    on that many consecutive matches — a DISK_FULL with a large
+    ``count`` models a partition that stays full, exhausting the
+    retry budget.
+    """
+
+    kind: FaultKind
+    op: Optional[str] = None
+    path_contains: Optional[str] = None
+    at: int = 0
+    count: int = 1
+    seen: int = field(default=0, compare=False)
+    fires: int = field(default=0, compare=False)
+
+    def matches(self, op: str, path: str) -> bool:
+        """Does this shim operation fall in the spec's scope?"""
+        if self.op is not None and op != self.op:
+            return False
+        if (self.path_contains is not None
+                and self.path_contains not in path):
+            return False
+        return True
+
+    def __str__(self) -> str:
+        return "%s@io:%s#%d" % (self.kind.value, self.op or "*",
+                                self.at)
+
+
 class FaultInjector:
     """Seeded, repeatable fault scheduler for guarded invocations."""
 
     def __init__(self, seed: int = 0, rate: float = 0.0,
-                 kinds: Optional[List[FaultKind]] = None) -> None:
+                 kinds: Optional[List[FaultKind]] = None,
+                 io_rate: float = 0.0,
+                 io_kinds: Optional[List[FaultKind]] = None) -> None:
         self.seed = seed
         #: probability that any given invocation is faulted (random
         #: mode; explicit ``inject`` specs fire regardless)
         self.rate = rate
-        #: PROCESS_KILL terminates the run, so random mode never draws
-        #: it by default — schedule it explicitly with ``inject``
+        #: PROCESS_KILL terminates the run and the IO kinds fire at
+        #: the storage boundary, so random transform mode never draws
+        #: them — schedule IO faults via ``inject_io`` / ``io_rate``
         self.kinds = (list(kinds) if kinds else
                       [k for k in FaultKind
-                       if k is not FaultKind.PROCESS_KILL])
+                       if k is not FaultKind.PROCESS_KILL
+                       and k not in IO_KINDS])
+        #: probability that any given storage operation is faulted
+        #: (consulted by :meth:`io_hook` once per shim op)
+        self.io_rate = io_rate
+        #: the storage kinds random io mode draws from: transient-ish
+        #: by default — DISK_FULL stays explicit, it ends the run
+        self.io_kinds = (list(io_kinds) if io_kinds else
+                         [FaultKind.IO_ERROR, FaultKind.FSYNC_FAIL])
         self._rng = random.Random(seed)
+        #: separate stream so arming io chaos does not perturb the
+        #: transform-fault schedule of an existing seed
+        self._io_rng = random.Random((seed << 1) ^ 0x5EED)
         self._specs: List[FaultSpec] = []
+        self._io_specs: List[IoFaultSpec] = []
         self._fired: List[FaultSpec] = []
+        self._io_ops = 0
 
     # -- scheduling ----------------------------------------------------
 
@@ -103,9 +171,66 @@ class FaultInjector:
         self._specs.append(spec)
         return spec
 
+    def inject_io(self, kind: FaultKind, op: Optional[str] = None,
+                  path_contains: Optional[str] = None, at: int = 0,
+                  count: int = 1) -> IoFaultSpec:
+        """Schedule one storage fault at the I/O shim; returns it."""
+        spec = IoFaultSpec(kind, op=op, path_contains=path_contains,
+                           at=at, count=count)
+        self._io_specs.append(spec)
+        return spec
+
     def fired(self) -> List[FaultSpec]:
         """Every fault that actually fired, in firing order."""
         return list(self._fired)
+
+    # -- the storage seam ----------------------------------------------
+
+    def io_hook(self, op: str, path: str) -> Optional[FaultKind]:
+        """The ``repro.persist.io`` fault hook: one consult per op.
+
+        Explicit :meth:`inject_io` specs are checked first (each
+        keeps its own match counter, so ``at``/``count`` windows are
+        deterministic); with none due, random io mode draws once from
+        the dedicated io RNG.  Either way the decision depends only
+        on the seed and the operation sequence, so a storage-chaos
+        run replays exactly.
+        """
+        self._io_ops += 1
+        for spec in self._io_specs:
+            if not spec.matches(op, path):
+                continue
+            index = spec.seen
+            spec.seen += 1
+            if index < spec.at or spec.fires >= spec.count:
+                continue
+            spec.fires += 1
+            self._fired.append(FaultSpec("io:%s" % op, spec.kind,
+                                         self._io_ops - 1, fired=True))
+            return spec.kind
+        if self.io_rate > 0.0:
+            draw = self._io_rng.random()
+            kind = self._io_rng.choice(self.io_kinds)
+            if draw < self.io_rate:
+                self._fired.append(FaultSpec("io:%s" % op, kind,
+                                             self._io_ops - 1,
+                                             fired=True))
+                return kind
+        return None
+
+    def has_io_chaos(self) -> bool:
+        """Is any storage-fault plan loaded (random or explicit)?"""
+        return bool(self.io_rate or self._io_specs)
+
+    def arm_io(self) -> None:
+        """Install :meth:`io_hook` as the process-wide shim hook."""
+        from repro.persist import io as persist_io
+        persist_io.set_fault_hook(self.io_hook)
+
+    def disarm_io(self) -> None:
+        """Remove the shim hook (pair with :meth:`arm_io`)."""
+        from repro.persist import io as persist_io
+        persist_io.clear_fault_hook()
 
     # -- persistence ---------------------------------------------------
 
@@ -113,8 +238,17 @@ class FaultInjector:
         """Everything a resumed process needs to continue the chaos
         schedule exactly where this one left it (JSON-serializable)."""
         version, internal, gauss = self._rng.getstate()
+        io_version, io_internal, io_gauss = self._io_rng.getstate()
         return {
             "rng": [version, list(internal), gauss],
+            "io_rng": [io_version, list(io_internal), io_gauss],
+            "io_ops": self._io_ops,
+            "io_specs": [
+                {"kind": s.kind.value, "op": s.op,
+                 "path_contains": s.path_contains, "at": s.at,
+                 "count": s.count, "seen": s.seen, "fires": s.fires}
+                for s in self._io_specs
+            ],
             "specs": [
                 {"transform": s.transform, "kind": s.kind.value,
                  "invocation": s.invocation,
@@ -131,6 +265,19 @@ class FaultInjector:
     def load_state_dict(self, state: dict) -> None:
         version, internal, gauss = state["rng"]
         self._rng.setstate((version, tuple(internal), gauss))
+        if "io_rng" in state:  # pre-storage-chaos states lack these
+            io_version, io_internal, io_gauss = state["io_rng"]
+            self._io_rng.setstate((io_version, tuple(io_internal),
+                                   io_gauss))
+        self._io_ops = state.get("io_ops", 0)
+        self._io_specs = [
+            IoFaultSpec(FaultKind(rec["kind"]), op=rec["op"],
+                        path_contains=rec["path_contains"],
+                        at=rec["at"], count=rec.get("count", 1),
+                        seen=rec.get("seen", 0),
+                        fires=rec.get("fires", 0))
+            for rec in state.get("io_specs", [])
+        ]
         self._specs = [
             FaultSpec(rec["transform"], FaultKind(rec["kind"]),
                       rec["invocation"], rec["sleep_seconds"],

@@ -26,6 +26,8 @@ import os
 import time
 from typing import Dict, List, Optional
 
+from repro.persist import io as storage
+
 #: format tag of the sink document (bump on incompatible change)
 SINK_FORMAT = "repro-counter-sink"
 SINK_VERSION = 1
@@ -88,11 +90,11 @@ class CounterSink:
                       "last": self._last_span},
             "updated": time.time(),
         }
-        tmp = "%s.%d.tmp" % (self.path, os.getpid())
-        with open(tmp, "w") as stream:
-            json.dump(document, stream, sort_keys=True)
-            stream.write("\n")
-        os.replace(tmp, self.path)
+        # fsync=False: observe-only telemetry — atomic so readers
+        # never see a torn document, but a lost final publish is fine
+        storage.atomic_write_json(
+            self.path, document, fsync=False,
+            tmp_suffix=".%d.tmp" % os.getpid())
         return True
 
 

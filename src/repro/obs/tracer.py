@@ -30,6 +30,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
+from repro.persist import io as storage
 from repro.persist.journal import decode_line, encode_line
 
 #: the metric keys captured before/after every span
@@ -174,11 +175,10 @@ class TraceWriter:
         self.count += 1
 
     def _rewrite(self, records: List[dict]) -> None:
-        tmp = self.path + ".tmp"
-        with open(tmp, "w") as stream:
-            for record in records:
-                stream.write(encode_line(record) + "\n")
-        os.replace(tmp, self.path)
+        storage.atomic_write_text(
+            self.path,
+            "".join(encode_line(r) + "\n" for r in records),
+            fsync=False)
 
 
 def _scan(path: str) -> Tuple[List[dict], int]:

@@ -14,8 +14,27 @@ analysis incremental: in delta mode each milestone writes only what
 changed since the chain's base full snapshot
 (:mod:`repro.persist.delta`), and :meth:`Journal.compact` bounds the
 journal tail a resume must replay.
+
+Storage-fault tolerance: every durable byte routes through the
+:mod:`repro.persist.io` shim (retry/abort policy, deterministic fault
+injection, parent-directory fsyncs after atomic renames), and
+:mod:`repro.persist.fsck` scrubs — and with ``--repair`` heals — run
+directories and fleet state dirs offline.
 """
 
+from repro.persist.io import (
+    IO_EXIT_CODE,
+    IoFatalError,
+    IoPolicy,
+    fsync_dir,
+    sweep_tmp,
+)
+from repro.persist.fsck import (
+    REPORT_FORMAT as FSCK_REPORT_FORMAT,
+    fsck_path,
+    fsck_run_dir,
+    fsck_state_dir,
+)
 from repro.persist.delta import (
     DELTA_FORMAT,
     DELTA_VERSION,
@@ -52,7 +71,11 @@ __all__ = [
     "DELTA_FORMAT",
     "DELTA_VERSION",
     "DIE_EXIT_CODE",
+    "FSCK_REPORT_FORMAT",
     "FlowPersist",
+    "IO_EXIT_CODE",
+    "IoFatalError",
+    "IoPolicy",
     "Journal",
     "JournalError",
     "PersistConfig",
@@ -65,6 +88,10 @@ __all__ = [
     "SnapshotError",
     "apply_delta",
     "design_state",
+    "fsck_path",
+    "fsck_run_dir",
+    "fsck_state_dir",
+    "fsync_dir",
     "load_resume",
     "load_snapshot_payload",
     "make_delta",
@@ -73,6 +100,7 @@ __all__ = [
     "rebuild_design",
     "restore_design",
     "scan_resume",
+    "sweep_tmp",
     "write_delta",
     "write_payload",
     "write_snapshot",

@@ -50,9 +50,10 @@ from __future__ import annotations
 
 import gzip
 import json
-import os
+import zlib
 
 from repro.guard.checkpoint import payload_signature
+from repro.persist import io as storage
 from repro.persist.snapshot import SNAPSHOT_FORMAT, SNAPSHOT_VERSION, SnapshotError
 
 DELTA_FORMAT = "repro-design-delta"
@@ -276,12 +277,7 @@ def write_delta(path: str, delta_doc: dict) -> None:
     """Atomically write a delta document (same discipline as
     :func:`repro.persist.snapshot.write_snapshot`)."""
     data = json.dumps(delta_doc, separators=(",", ":")).encode()
-    tmp = path + ".tmp"
-    with gzip.open(tmp, "wb") as stream:
-        stream.write(data)
-    with open(tmp, "rb") as stream:
-        os.fsync(stream.fileno())
-    os.replace(tmp, path)
+    storage.atomic_write_bytes(path, gzip.compress(data, mtime=0))
 
 
 def read_delta(path: str) -> dict:
@@ -289,7 +285,7 @@ def read_delta(path: str) -> dict:
     try:
         with gzip.open(path, "rb") as stream:
             doc = json.loads(stream.read().decode())
-    except (OSError, EOFError, ValueError) as exc:
+    except (OSError, EOFError, ValueError, zlib.error) as exc:
         raise SnapshotError("unreadable delta %s: %s" % (path, exc))
     if not isinstance(doc, dict) or doc.get("format") != DELTA_FORMAT:
         raise SnapshotError("%s is not a %s file" % (path, DELTA_FORMAT))

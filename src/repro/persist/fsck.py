@@ -1,0 +1,438 @@
+"""``repro fsck``: scrub (and repair) durable state on disk.
+
+The crash matrix proves the flow layer survives dead *processes*; this
+module is the story for dishonest *storage*.  It walks a run directory
+(or a whole fleet state dir) and verifies every durability invariant
+the rest of ``repro.persist`` relies on:
+
+* the journal's CRC chain — every line decodes, checksums, and is
+  numbered monotonically; a torn or corrupt tail is reported (and with
+  ``--repair`` truncated back to the last valid byte, exactly what
+  :meth:`repro.persist.journal.Journal.open` would do);
+* the compaction head — a ``compacted`` record is only legal at seq 0;
+* every journaled snapshot — the file exists, decompresses (gzip's own
+  CRC catches bit rot), carries the signature its journal record
+  promises, and — for deltas — its base chain resolves all the way to
+  a full root with both signature checks of
+  :func:`repro.persist.delta.apply_delta` passing;
+* fence files — parseable, integer token; in state-dir mode the token
+  is cross-checked against the job's current lease token from the jobs
+  journal;
+* hygiene — orphaned ``*.tmp`` publish debris and snapshot files no
+  journal record references.
+
+``--repair`` is deliberately conservative: it never reconstructs data,
+it only *removes the broken thing from the resume path*.  Torn tails
+are truncated; corrupt or unresolvable milestones are **quarantined**
+(the file is renamed ``*.quarantined`` and a ``snapshot_quarantined``
+record is journaled, so :func:`repro.persist.rundir.scan_resume` falls
+back to the newest milestone that still verifies); orphans and stale
+debris are swept.  A repaired run resumes from an earlier — but
+*verified* — milestone and, the flow being deterministic, reproduces
+the same final report.
+
+Everything is reported as a machine-readable document (format
+``repro-fsck-report``) so CI and the serve front end can gate on it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+from repro.persist import io as storage
+from repro.persist.delta import apply_delta, read_delta
+from repro.persist.journal import Journal, _scan_lines
+from repro.persist.rundir import RUN_FORMAT
+from repro.persist.snapshot import SnapshotError, read_snapshot
+
+REPORT_FORMAT = "repro-fsck-report"
+REPORT_VERSION = 1
+
+#: suffix a quarantined milestone file is renamed to (bytes are kept
+#: for forensics; the journal record is what takes it off the resume
+#: path)
+QUARANTINE_SUFFIX = ".quarantined"
+
+
+def _finding(findings: List[dict], path: str, kind: str, detail: str,
+             repair: Optional[str] = None) -> dict:
+    entry = {"path": path, "kind": kind, "detail": detail,
+             "repair": repair, "repaired": False}
+    findings.append(entry)
+    return entry
+
+
+def _list_tmp(directory: str) -> List[str]:
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return []
+    return sorted(name for name in names
+                  if name.endswith(".tmp") or ".tmp." in name)
+
+
+def _check_tmp_debris(findings: List[dict], directory: str,
+                      rel: str, repair: bool) -> None:
+    for name in _list_tmp(directory):
+        entry = _finding(findings, os.path.join(rel, name),
+                         "orphan-tmp",
+                         "stranded temp file from an interrupted "
+                         "atomic publish", repair="remove")
+        if repair:
+            try:
+                os.remove(os.path.join(directory, name))
+                entry["repaired"] = True
+            except OSError as exc:
+                entry["detail"] += " (remove failed: %s)" % exc
+
+
+def _scan_journal_raw(path: str):
+    """(records, valid_bytes, bad_lines) without mutating the file."""
+    with open(path, "rb") as stream:
+        data = stream.read()
+    return _scan_lines(data, 0)
+
+
+def _check_journal(findings: List[dict], path: str, rel: str,
+                   repair: bool) -> Optional[List[dict]]:
+    """Verify one CRC journal; returns its valid records (or None)."""
+    try:
+        records, valid, bad = _scan_journal_raw(path)
+    except OSError as exc:
+        _finding(findings, rel, "journal-unreadable", str(exc))
+        return None
+    if bad:
+        entry = _finding(
+            findings, rel, "journal-torn-tail",
+            "%d torn/corrupt line(s) after byte %d" % (bad, valid),
+            repair="truncate")
+        if repair:
+            try:
+                storage.truncate(path, valid)
+                entry["repaired"] = True
+            except (OSError, storage.IoFatalError) as exc:
+                entry["detail"] += " (truncate failed: %s)" % exc
+    for record in records:
+        if record["type"] == "compacted" and record["seq"] != 0:
+            _finding(findings, rel, "compacted-head-misplaced",
+                     "compacted record at seq %d (only seq 0 is "
+                     "legal)" % record["seq"])
+    return records
+
+
+def _verify_snapshot_record(snap_dir: str,
+                            record: dict) -> Optional[str]:
+    """Why this journaled milestone cannot be loaded (None = fine).
+
+    Walks a delta record's base chain by hand (rather than through
+    :func:`~repro.persist.rundir.load_snapshot_payload`) so the
+    verdict names the first broken link, then fully resolves the
+    chain so every signature check runs.
+    """
+    filename = record["file"]
+    chain = []
+    seen = set()
+    while filename.endswith(".delta.gz"):
+        if filename in seen:
+            return "delta chain cycles at %s" % filename
+        seen.add(filename)
+        full = os.path.join(snap_dir, filename)
+        if not os.path.isfile(full):
+            return "missing delta file %s" % filename
+        try:
+            doc = read_delta(full)
+        except SnapshotError as exc:
+            return "corrupt delta %s: %s" % (filename, exc)
+        chain.append(doc)
+        filename = doc.get("base")
+        if not filename:
+            return "delta %s names no base snapshot" % record["file"]
+    full = os.path.join(snap_dir, filename)
+    if not os.path.isfile(full):
+        return "missing base snapshot %s" % filename
+    try:
+        payload = read_snapshot(full)
+    except SnapshotError as exc:
+        return "corrupt snapshot %s: %s" % (filename, exc)
+    try:
+        for doc in reversed(chain):
+            payload = apply_delta(payload, doc)
+    except SnapshotError as exc:
+        return "delta chain does not apply: %s" % exc
+    if payload["signature"] != record["signature"]:
+        return ("signature %s does not match the journal's %s"
+                % (payload["signature"][:12], record["signature"][:12]))
+    return None
+
+
+def _quarantine(entry: dict, snap_dir: str, journal: Optional[Journal],
+                filename: str, reason: str) -> None:
+    """Rename a broken milestone aside and journal the quarantine."""
+    if journal is None:
+        entry["detail"] += " (journal unusable: cannot quarantine)"
+        return
+    full = os.path.join(snap_dir, filename)
+    try:
+        if os.path.isfile(full):
+            os.replace(full, full + QUARANTINE_SUFFIX)
+        journal.append("snapshot_quarantined", file=filename,
+                       reason=reason)
+        entry["repaired"] = True
+    except (OSError, storage.IoFatalError) as exc:
+        entry["detail"] += " (quarantine failed: %s)" % exc
+
+
+def _check_snapshots(findings: List[dict], run_path: str, rel: str,
+                     records: List[dict], repair: bool) -> None:
+    snap_dir = os.path.join(run_path, "snapshots")
+    snap_records = [r for r in records if r["type"] == "snapshot"]
+    quarantined = {r["file"] for r in records
+                   if r["type"] == "snapshot_quarantined"}
+    by_file = {r["file"]: r for r in snap_records}
+    journal: Optional[Journal] = None
+    journal_path = os.path.join(run_path, "journal.jsonl")
+
+    def writer() -> Optional[Journal]:
+        nonlocal journal
+        if journal is None:
+            try:
+                journal = Journal.open(journal_path)
+            except Exception:
+                journal = None
+        return journal
+
+    newly_bad = set()
+    for record in snap_records:
+        filename = record["file"]
+        if filename in quarantined:
+            continue
+        problem = _verify_snapshot_record(snap_dir, record)
+        if problem is None:
+            continue
+        entry = _finding(findings,
+                         os.path.join(rel, "snapshots", filename),
+                         "snapshot-unloadable", problem,
+                         repair="quarantine")
+        newly_bad.add(filename)
+        if repair:
+            _quarantine(entry, snap_dir, writer(), filename, problem)
+
+    referenced = set(by_file) | {name + QUARANTINE_SUFFIX
+                                 for name in quarantined | newly_bad}
+    # the compaction head remembers its chain base; files it names
+    # are legitimately present even though their snapshot records
+    # were folded away
+    for record in records:
+        if record["type"] == "compacted" and record.get("base_file"):
+            referenced.add(record["base_file"])
+    try:
+        names = os.listdir(snap_dir)
+    except OSError:
+        return
+    for name in sorted(names):
+        if name in referenced or name.endswith(".tmp") \
+                or ".tmp." in name or name.endswith(QUARANTINE_SUFFIX):
+            continue
+        entry = _finding(
+            findings, os.path.join(rel, "snapshots", name),
+            "snapshot-orphan",
+            "snapshot file with no journal record (the record was "
+            "lost with a torn tail, or a compaction sweep died)",
+            repair="remove")
+        if repair:
+            try:
+                os.remove(os.path.join(snap_dir, name))
+                entry["repaired"] = True
+            except OSError as exc:
+                entry["detail"] += " (remove failed: %s)" % exc
+
+
+def _check_fence(findings: List[dict], run_path: str, rel: str,
+                 repair: bool,
+                 expected_token: Optional[int] = None,
+                 expected_worker: Optional[str] = None) -> None:
+    path = os.path.join(run_path, "fence.json")
+    if not os.path.exists(path):
+        return
+    token = None
+    try:
+        with open(path) as stream:
+            doc = json.load(stream)
+        token = doc["token"]
+        if not isinstance(token, int) or isinstance(token, bool):
+            raise TypeError("token %r is not an integer" % (token,))
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        entry = _finding(findings, os.path.join(rel, "fence.json"),
+                         "fence-corrupt", str(exc), repair="remove")
+        if repair:
+            try:
+                os.remove(path)
+                entry["repaired"] = True
+            except OSError as exc2:
+                entry["detail"] += " (remove failed: %s)" % exc2
+        return
+    if expected_token is not None and token != expected_token:
+        entry = _finding(
+            findings, os.path.join(rel, "fence.json"), "fence-stale",
+            "fence token %d but the jobs journal says the current "
+            "lease token is %d" % (token, expected_token),
+            repair="rewrite")
+        if repair:
+            try:
+                storage.atomic_write_json(
+                    path, {"token": int(expected_token),
+                           "worker": expected_worker or "fsck-repair",
+                           "at": doc.get("at", 0.0)})
+                entry["repaired"] = True
+            except (OSError, storage.IoFatalError) as exc:
+                entry["detail"] += " (rewrite failed: %s)" % exc
+
+
+def _check_json_file(findings: List[dict], path: str, rel: str) -> None:
+    if not os.path.exists(path):
+        return
+    try:
+        with open(path) as stream:
+            json.load(stream)
+    except (OSError, ValueError) as exc:
+        _finding(findings, rel, "json-unreadable", str(exc))
+
+
+def fsck_run_dir(path: str, repair: bool = False,
+                 _rel: str = "", _fence_token: Optional[int] = None,
+                 _fence_worker: Optional[str] = None) -> dict:
+    """Scrub one run directory; returns a ``repro-fsck-report``."""
+    findings: List[dict] = []
+    rel = _rel
+    run_json = os.path.join(path, "run.json")
+    try:
+        with open(run_json) as stream:
+            payload = json.load(stream)
+        if payload.get("format") != RUN_FORMAT:
+            _finding(findings, os.path.join(rel, "run.json"),
+                     "run-json-foreign",
+                     "format %r is not %r"
+                     % (payload.get("format"), RUN_FORMAT))
+    except (OSError, ValueError) as exc:
+        _finding(findings, os.path.join(rel, "run.json"),
+                 "run-json-unreadable", str(exc))
+    journal_path = os.path.join(path, "journal.jsonl")
+    if os.path.exists(journal_path):
+        records = _check_journal(findings, journal_path,
+                                 os.path.join(rel, "journal.jsonl"),
+                                 repair)
+        if records is not None:
+            _check_snapshots(findings, path, rel, records, repair)
+    else:
+        _finding(findings, os.path.join(rel, "journal.jsonl"),
+                 "journal-missing", "run directory has no journal")
+    _check_fence(findings, path, rel, repair,
+                 expected_token=_fence_token,
+                 expected_worker=_fence_worker)
+    for name in ("quarantine.json", "report.json", "elapsed.json"):
+        _check_json_file(findings, os.path.join(path, name),
+                         os.path.join(rel, name))
+    _check_tmp_debris(findings, path, rel, repair)
+    _check_tmp_debris(findings, os.path.join(path, "snapshots"),
+                      os.path.join(rel, "snapshots"), repair)
+    return _report(path, "run", findings)
+
+
+def _journal_tokens(records: List[dict]):
+    """Per-job current lease token + worker from jobs records."""
+    tokens: Dict[str, int] = {}
+    workers: Dict[str, str] = {}
+    for record in records:
+        if record["type"] == "lease":
+            job_id = record.get("job_id")
+            if job_id:
+                tokens[job_id] = record.get("token",
+                                            tokens.get(job_id, 0) + 1)
+                workers[job_id] = record.get("worker", "?")
+    return tokens, workers
+
+
+def fsck_state_dir(path: str, repair: bool = False) -> dict:
+    """Scrub a fleet state dir: jobs journal, heartbeats, every run."""
+    findings: List[dict] = []
+    jobs_path = os.path.join(path, "jobs.jsonl")
+    tokens: Dict[str, int] = {}
+    workers: Dict[str, str] = {}
+    if os.path.exists(jobs_path):
+        records = _check_journal(findings, jobs_path, "jobs.jsonl",
+                                 repair)
+        if records is not None:
+            tokens, workers = _journal_tokens(records)
+    else:
+        _finding(findings, "jobs.jsonl", "journal-missing",
+                 "state dir has no jobs journal")
+    workers_dir = os.path.join(path, "workers")
+    if os.path.isdir(workers_dir):
+        for name in sorted(os.listdir(workers_dir)):
+            if not name.endswith(".json"):
+                continue
+            full = os.path.join(workers_dir, name)
+            try:
+                with open(full) as stream:
+                    json.load(stream)
+            except (OSError, ValueError) as exc:
+                entry = _finding(findings,
+                                 os.path.join("workers", name),
+                                 "heartbeat-unreadable", str(exc),
+                                 repair="remove")
+                if repair:
+                    try:
+                        os.remove(full)
+                        entry["repaired"] = True
+                    except OSError as exc2:
+                        entry["detail"] += (" (remove failed: %s)"
+                                            % exc2)
+        _check_tmp_debris(findings, workers_dir, "workers", repair)
+    runs_dir = os.path.join(path, "runs")
+    run_reports = []
+    if os.path.isdir(runs_dir):
+        for name in sorted(os.listdir(runs_dir)):
+            run_path = os.path.join(runs_dir, name)
+            if not os.path.isdir(run_path):
+                continue
+            sub = fsck_run_dir(
+                run_path, repair=repair,
+                _rel=os.path.join("runs", name),
+                _fence_token=tokens.get(name),
+                _fence_worker=workers.get(name))
+            findings.extend(sub["findings"])
+            run_reports.append(name)
+    _check_tmp_debris(findings, path, "", repair)
+    report = _report(path, "state", findings)
+    report["run_dirs"] = run_reports
+    return report
+
+
+def fsck_path(path: str, repair: bool = False) -> dict:
+    """Scrub ``path``, auto-detecting run dir vs fleet state dir."""
+    if os.path.isfile(os.path.join(path, "run.json")):
+        return fsck_run_dir(path, repair=repair)
+    if (os.path.isfile(os.path.join(path, "jobs.jsonl"))
+            or os.path.isdir(os.path.join(path, "runs"))):
+        return fsck_state_dir(path, repair=repair)
+    findings: List[dict] = []
+    _finding(findings, "", "not-repro-state",
+             "%s holds neither a run.json nor a jobs journal" % path)
+    return _report(path, "unknown", findings)
+
+
+def _report(root: str, mode: str, findings: List[dict]) -> dict:
+    repaired = sum(1 for f in findings if f["repaired"])
+    return {
+        "format": REPORT_FORMAT,
+        "version": REPORT_VERSION,
+        "root": os.path.abspath(root),
+        "mode": mode,
+        "findings": findings,
+        "total_findings": len(findings),
+        "repaired": repaired,
+        "unrepaired": len(findings) - repaired,
+        "clean": not findings,
+    }

@@ -1,0 +1,431 @@
+"""The storage I/O boundary: every durable byte goes through here.
+
+``repro.persist`` (journal appends, snapshot/delta files, run-dir
+JSON) and ``repro.serve`` (fence files, heartbeats) used to call
+``open``/``write``/``fsync``/``os.replace`` directly, which left two
+gaps in the durability story:
+
+* **No single choke point.**  The crash matrix could kill the
+  *process* at any milestone, but nothing could make the *filesystem*
+  misbehave — disk full, EIO, a failed fsync, a torn or bit-flipped
+  write.  Routing every durable operation through this module gives
+  the chaos harness one seam: :func:`set_fault_hook` installs a
+  deterministic, seeded fault plan (see
+  :meth:`repro.guard.faults.FaultInjector.io_hook`) that can fail any
+  operation by kind, operation name, and path.
+
+* **No transient-vs-fatal policy.**  A real fleet sees both kinds of
+  I/O error.  Transient ones (``EINTR``, ``EAGAIN``, ``EIO`` — a
+  controller hiccup) are retried with bounded exponential backoff and
+  counted in ``io_retries``.  Fatal ones (``ENOSPC``, ``EDQUOT``,
+  ``EROFS``, ``EACCES``, ``EPERM``, or a transient that survives the
+  whole retry budget) raise :class:`IoFatalError`, which the CLI and
+  the serve worker translate into the documented exit code
+  :data:`IO_EXIT_CODE` — the run directory is left at its last good
+  milestone and ``--resume`` continues bit-identically once the disk
+  recovers.
+
+Durability rules enforced here (and nowhere else, so they cannot
+drift per call site):
+
+* an atomic publish is *tmp write → fsync(file) → os.replace →
+  fsync(parent dir)* — without the final directory fsync the rename
+  itself is not durable across a power cut (the satellite fix this PR
+  lands everywhere via :func:`fsync_dir`);
+* an append is *write → flush → fsync* on the live file;
+* all failures funnel through one classifier, all retries through one
+  counter, so ``/metrics`` (``io_retries``, ``io_faults_fatal``)
+  reflects every storage wobble in the process.
+
+The injected fault kinds mirror what the wrappers can then exhibit:
+
+=============  ======================================================
+DISK_FULL      the operation raises ``OSError(ENOSPC)`` (fatal)
+IO_ERROR       the operation raises ``OSError(EIO)`` (transient:
+               retried, succeeds if the hook relents)
+FSYNC_FAIL     only ``fsync`` operations fail (``EIO``) — the
+               write looked fine but never reached the platter
+TORN_WRITE     an append writes a prefix of its payload then raises
+               — exactly the tail the journal recovery scan drops
+BIT_FLIP       the write lands, then one bit of the written range is
+               flipped in place — silent corruption only a CRC,
+               gzip checksum, or signature verify can catch
+=============  ======================================================
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+#: process exit code for a fatal storage failure (documented in
+#: docs/operations.md §8; distinct from DIE=17, BAD_JOB=3, FENCED=4)
+IO_EXIT_CODE = 5
+
+#: errnos retried with backoff before being escalated to fatal
+TRANSIENT_ERRNOS = (errno.EINTR, errno.EAGAIN, errno.EIO,
+                    errno.ENOBUFS)
+
+#: errnos that are hopeless to retry: fail fast, resume later
+FATAL_ERRNOS = (errno.ENOSPC, errno.EDQUOT, errno.EROFS,
+                errno.EACCES, errno.EPERM)
+
+
+class IoFatalError(Exception):
+    """A durable write could not be completed, even with retries.
+
+    Carries the operation, path, and the underlying ``OSError`` so
+    the flow's abort message (and the serve worker's journal record)
+    say exactly which write was lost.  The run directory is left at
+    its last completed milestone: nothing after a raised
+    ``IoFatalError`` was partially applied, because every wrapper is
+    atomic-or-absent.
+    """
+
+    def __init__(self, op: str, path: str, cause: OSError) -> None:
+        self.op = op
+        self.path = path
+        self.cause = cause
+        super().__init__("fatal I/O failure: %s %s: %s"
+                         % (op, path, cause))
+
+
+@dataclass
+class IoPolicy:
+    """Retry policy for transient storage errors."""
+
+    #: attempts after the first failure (0 = fail immediately)
+    retries: int = 3
+    #: first backoff sleep in seconds; doubles per retry
+    backoff_base: float = 0.02
+    #: backoff ceiling in seconds
+    backoff_cap: float = 0.5
+    #: injected sleeps go through here (tests pass a no-op)
+    sleep: Callable[[float], None] = time.sleep
+
+    def delay(self, attempt: int) -> float:
+        """The backoff before retry ``attempt`` (0-based)."""
+        return min(self.backoff_cap,
+                   self.backoff_base * (2.0 ** attempt))
+
+
+#: the process-wide policy; tests may swap it wholesale
+_policy = IoPolicy()
+
+#: the installed fault hook: ``hook(op, path) -> Optional[FaultKind]``
+_fault_hook: Optional[Callable[[str, str], object]] = None
+
+#: process-wide storage accounting (see :func:`counters`)
+_counters: Dict[str, int] = {}
+
+
+def _zero() -> Dict[str, int]:
+    return {"io_writes": 0, "io_fsyncs": 0, "io_replaces": 0,
+            "io_dir_fsyncs": 0, "io_retries": 0, "io_faults_fatal": 0,
+            "io_faults_injected": 0}
+
+
+_counters = _zero()
+
+
+def counters() -> Dict[str, int]:
+    """Storage-shim activity for ``repro.obs`` counter registries."""
+    return dict(_counters)
+
+
+def reset_counters() -> None:
+    """Zero the accounting (test isolation)."""
+    _counters.update(_zero())
+
+
+def set_policy(policy: IoPolicy) -> None:
+    """Replace the process-wide retry policy."""
+    global _policy
+    _policy = policy
+
+
+def get_policy() -> IoPolicy:
+    """The active retry policy."""
+    return _policy
+
+
+def set_fault_hook(hook: Optional[Callable[[str, str], object]]) -> None:
+    """Install (or with ``None`` clear) the injection hook.
+
+    The hook is consulted before every guarded operation with
+    ``(op, path)`` — ``op`` is one of ``write``, ``fsync``,
+    ``replace``, ``fsync_dir``, ``truncate`` — and returns a
+    :class:`repro.guard.faults.FaultKind` (or None).  The wrappers
+    turn the kind into the matching filesystem misbehavior.
+    """
+    global _fault_hook
+    _fault_hook = hook
+
+
+def clear_fault_hook() -> None:
+    """Remove any installed fault hook."""
+    set_fault_hook(None)
+
+
+def _consult(op: str, path: str):
+    """The armed fault for this operation, as a kind *value* string.
+
+    The hook returns FaultKind members; comparing on ``.value``
+    avoids importing ``repro.guard`` here (persist must stay
+    importable without the guard package's heavier deps at call
+    time — and the string form is what tests can pass directly).
+    """
+    if _fault_hook is None:
+        return None
+    kind = _fault_hook(op, path)
+    if kind is None:
+        return None
+    _counters["io_faults_injected"] += 1
+    return getattr(kind, "value", kind)
+
+
+def _injected_error(kind: str, op: str, path: str) -> Optional[OSError]:
+    """The OSError an injected fault kind maps to (None = handled
+    specially by the write path itself, e.g. BIT_FLIP)."""
+    if kind == "disk-full":
+        return OSError(errno.ENOSPC, "injected: no space left on "
+                       "device", path)
+    if kind == "io-error":
+        return OSError(errno.EIO, "injected: input/output error", path)
+    if kind == "fsync-fail" and op in ("fsync", "fsync_dir"):
+        return OSError(errno.EIO, "injected: fsync failed", path)
+    return None
+
+
+def is_transient(exc: OSError) -> bool:
+    """Is this failure worth retrying?"""
+    return exc.errno in TRANSIENT_ERRNOS
+
+
+def is_fatal(exc: OSError) -> bool:
+    """Is this failure hopeless (retry cannot help)?"""
+    return exc.errno in FATAL_ERRNOS
+
+
+def _guarded(op: str, path: str, action: Callable[[], object]):
+    """Run one storage operation under injection + retry + escalation.
+
+    The injected fault is consulted once per *attempt*, so a
+    transient injection (IO_ERROR armed for one shot) is survived by
+    the retry loop — exactly how a real controller hiccup behaves —
+    while a persistent one (DISK_FULL, or a hook that keeps firing)
+    escalates to :class:`IoFatalError`.
+    """
+    policy = _policy
+    attempt = 0
+    while True:
+        try:
+            kind = _consult(op, path)
+            if kind is not None:
+                exc = _injected_error(kind, op, path)
+                if exc is not None:
+                    raise exc
+            return action()
+        except OSError as exc:
+            if is_fatal(exc) or not is_transient(exc) \
+                    or attempt >= policy.retries:
+                _counters["io_faults_fatal"] += 1
+                raise IoFatalError(op, path, exc)
+            _counters["io_retries"] += 1
+            policy.sleep(policy.delay(attempt))
+            attempt += 1
+
+
+# -- primitives ---------------------------------------------------------
+
+
+def fsync_dir(path: str) -> None:
+    """fsync a *directory*, making renames inside it durable.
+
+    ``os.replace`` updates the parent directory's entry table; until
+    the directory inode itself is flushed, a power cut can roll the
+    rename back (or worse, leave neither name).  Every atomic publish
+    below ends with this call — the durability gap this PR closes
+    across journal rewrites, snapshots, deltas, run JSON, and fences.
+    """
+    def action():
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        _counters["io_dir_fsyncs"] += 1
+
+    _guarded("fsync_dir", path, action)
+
+
+def _write_and_sync(stream, path: str, data: bytes, op_path: str) -> None:
+    """Write bytes to an open stream with torn/bit-flip injection."""
+    kind = _consult("write", op_path)
+    if kind == "torn-write":
+        torn = data[:max(0, len(data) // 2)]
+        stream.write(torn)
+        stream.flush()
+        try:
+            os.fsync(stream.fileno())
+        except OSError:
+            pass
+        _counters["io_faults_fatal"] += 1
+        raise IoFatalError(
+            "write", op_path,
+            OSError(errno.EIO, "injected: torn write after %d/%d "
+                    "bytes" % (len(torn), len(data)), op_path))
+    exc = _injected_error(kind, "write", op_path) if kind else None
+    if exc is not None:
+        raise exc
+    start = stream.tell()
+    stream.write(data)
+    _counters["io_writes"] += 1
+    stream.flush()
+    if kind == "bit-flip" and data:
+        # flip one bit of what was just written, in place: the write
+        # "succeeded", the bytes on disk silently did not
+        stream.flush()
+        with open(path, "r+b") as victim:
+            offset = start + (len(data) // 2)
+            victim.seek(offset)
+            byte = victim.read(1)
+            if byte:
+                victim.seek(offset)
+                victim.write(bytes([byte[0] ^ 0x10]))
+
+    def sync():
+        os.fsync(stream.fileno())
+        _counters["io_fsyncs"] += 1
+
+    _guarded("fsync", op_path, sync)
+
+
+def append_bytes(path: str, data: bytes) -> None:
+    """Durably append raw bytes: write → flush → fsync.
+
+    The journal's O(1) hot path.  A torn-write injection (or a real
+    crash mid-write) leaves a prefix of ``data`` on disk — exactly
+    the torn tail :meth:`repro.persist.journal.Journal.open`
+    truncates and :meth:`~repro.persist.journal.Journal.refresh`
+    repairs in place.
+    """
+    def action():
+        with open(path, "ab") as stream:
+            _write_and_sync(stream, path, data, path)
+
+    _guarded("open", path, action)
+
+
+def append_text(path: str, text: str) -> None:
+    """Durably append UTF-8 text (journal lines, trace records)."""
+    append_bytes(path, text.encode("utf-8"))
+
+
+def replace(tmp: str, path: str, dir_sync: bool = True) -> None:
+    """``os.replace`` plus the parent-directory fsync that makes the
+    rename itself durable."""
+    def action():
+        os.replace(tmp, path)
+        _counters["io_replaces"] += 1
+
+    _guarded("replace", path, action)
+    if dir_sync:
+        fsync_dir(os.path.dirname(os.path.abspath(path)) or ".")
+
+
+def truncate(path: str, size: int) -> None:
+    """Durably truncate a file in place (torn-tail repair)."""
+    def action():
+        with open(path, "r+b") as stream:
+            stream.truncate(size)
+            stream.flush()
+            os.fsync(stream.fileno())
+
+    _guarded("truncate", path, action)
+
+
+def atomic_write_bytes(path: str, data: bytes, fsync: bool = True,
+                       dir_sync: bool = True,
+                       tmp_suffix: Optional[str] = None) -> None:
+    """Publish ``data`` at ``path`` atomically and durably.
+
+    tmp write → fsync(file) → replace → fsync(dir).  ``fsync=False``
+    drops both syncs for observe-only files (heartbeats, metric
+    sinks) where atomicity matters but a lost last write does not.
+    A crash at any point leaves either the old file or the new one,
+    never a mix — plus possibly a ``*.tmp`` orphan, which run-dir
+    open and ``repro fsck`` sweep.
+    """
+    tmp = path + (tmp_suffix or ".tmp")
+
+    def action():
+        with open(tmp, "wb") as stream:
+            if fsync:
+                _write_and_sync(stream, tmp, data, path)
+            else:
+                kind = _consult("write", path)
+                exc = (_injected_error(kind, "write", path)
+                       if kind else None)
+                if exc is not None:
+                    raise exc
+                stream.write(data)
+                _counters["io_writes"] += 1
+
+    _guarded("open", path, action)
+    replace(tmp, path, dir_sync=fsync and dir_sync)
+
+
+def atomic_write_text(path: str, text: str, fsync: bool = True,
+                      dir_sync: bool = True,
+                      tmp_suffix: Optional[str] = None) -> None:
+    """UTF-8 variant of :func:`atomic_write_bytes`."""
+    atomic_write_bytes(path, text.encode("utf-8"), fsync=fsync,
+                       dir_sync=dir_sync, tmp_suffix=tmp_suffix)
+
+
+def atomic_write_json(path: str, payload, fsync: bool = True,
+                      dir_sync: bool = True, indent: Optional[int] = None,
+                      tmp_suffix: Optional[str] = None) -> None:
+    """Publish a JSON document atomically (sorted keys, trailing
+    newline — the shape every small state file in the repo uses)."""
+    text = json.dumps(payload, indent=indent, sort_keys=True) + "\n"
+    atomic_write_text(path, text, fsync=fsync, dir_sync=dir_sync,
+                      tmp_suffix=tmp_suffix)
+
+
+# -- temp-file hygiene --------------------------------------------------
+
+
+def sweep_tmp(directory: str,
+              suffix_contains: str = ".tmp") -> int:
+    """Delete stale ``*.tmp`` debris in one directory (not recursive).
+
+    A crash between the tmp write and the ``os.replace`` strands the
+    temp file forever; every attach point (run-dir open, journal
+    open/create, fsck) calls this.  Single-writer attach semantics
+    make it safe: nobody can be mid-publish in a directory that is
+    only now being opened.  Returns the number of files removed.
+    """
+    removed = 0
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return 0
+    for name in names:
+        if suffix_contains not in name:
+            continue
+        if not (name.endswith(".tmp") or ".tmp." in name):
+            continue
+        try:
+            full = os.path.join(directory, name)
+            if os.path.isfile(full):
+                os.remove(full)
+                removed += 1
+        except OSError:
+            pass
+    return removed

@@ -40,6 +40,8 @@ import os
 import zlib
 from typing import Iterable, List, Optional
 
+from repro.persist import io as storage
+
 
 class JournalError(Exception):
     """The journal file cannot be used at all (not just a torn tail)."""
@@ -143,6 +145,14 @@ class Journal:
                 data = stream.read()
         except OSError as exc:
             raise JournalError("cannot open journal %s: %s" % (path, exc))
+        # a crash between a rewrite's tmp write and its replace
+        # strands ``journal.jsonl.tmp`` forever; attach is the safe
+        # moment to drop it (nobody can be mid-publish on a journal
+        # that is only now being opened)
+        try:
+            os.remove(path + ".tmp")
+        except OSError:
+            pass
         records, valid, dropped = _scan_lines(data, 0)
         journal = cls(path, records, truncated=dropped)
         if dropped:
@@ -176,10 +186,7 @@ class Journal:
         fresh, valid, torn = _scan_lines(data, len(self.records))
         self._valid_bytes += valid
         if torn:
-            with open(self.path, "r+b") as stream:
-                stream.truncate(self._valid_bytes)
-                stream.flush()
-                os.fsync(stream.fileno())
+            storage.truncate(self.path, self._valid_bytes)
             self.repaired_lines += torn
         self.records.extend(fresh)
         return fresh
@@ -198,12 +205,12 @@ class Journal:
         """
         record = {"seq": len(self.records), "type": type_}
         record.update(fields)
-        self.records.append(record)
         line = encode_line(record) + "\n"
-        with open(self.path, "a") as stream:
-            stream.write(line)
-            stream.flush()
-            os.fsync(stream.fileno())
+        # record joins memory only after the durable append: a failed
+        # (or torn) write must not leave a phantom in-memory record
+        # that the on-disk sequence never saw
+        storage.append_text(self.path, line)
+        self.records.append(record)
         self._valid_bytes += len(line.encode("utf-8"))
         return record
 
@@ -243,17 +250,10 @@ class Journal:
         return head
 
     def _rewrite(self) -> None:
-        tmp = self.path + ".tmp"
-        total = 0
-        with open(tmp, "w") as stream:
-            for record in self.records:
-                line = encode_line(record) + "\n"
-                stream.write(line)
-                total += len(line.encode("utf-8"))
-            stream.flush()
-            os.fsync(stream.fileno())
-        os.replace(tmp, self.path)
-        self._valid_bytes = total
+        text = "".join(encode_line(record) + "\n"
+                       for record in self.records)
+        storage.atomic_write_text(self.path, text)
+        self._valid_bytes = len(text.encode("utf-8"))
 
     # -- queries -------------------------------------------------------
 

@@ -41,6 +41,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.design import Design
 from repro.guard.checkpoint import state_signature
+from repro.persist import io as storage
 from repro.persist.delta import apply_delta, make_delta, read_delta, write_delta
 from repro.persist.journal import Journal, JournalError
 from repro.persist.snapshot import (
@@ -110,13 +111,7 @@ class PersistConfig:
 
 
 def _write_json(path: str, payload: dict) -> None:
-    tmp = path + ".tmp"
-    with open(tmp, "w") as stream:
-        json.dump(payload, stream, indent=2, sort_keys=True)
-        stream.write("\n")
-        stream.flush()
-        os.fsync(stream.fileno())
-    os.replace(tmp, path)
+    storage.atomic_write_json(path, payload, indent=2)
 
 
 class RunDirError(Exception):
@@ -150,6 +145,7 @@ class RunDir:
         os.makedirs(path, exist_ok=True)
         os.makedirs(os.path.join(path, "snapshots"), exist_ok=True)
         rundir = cls(path, meta)
+        rundir.sweep_tmp()
         _write_json(rundir.run_json_path,
                     {"format": RUN_FORMAT, "version": RUN_VERSION,
                      "meta": meta})
@@ -172,7 +168,22 @@ class RunDir:
             raise RunDirError(
                 "run dir %s has version %r; this build reads version %d"
                 % (path, payload.get("version"), RUN_VERSION))
-        return cls(path, payload.get("meta", {}))
+        rundir = cls(path, payload.get("meta", {}))
+        rundir.sweep_tmp()
+        return rundir
+
+    def sweep_tmp(self) -> int:
+        """Drop stranded ``*.tmp`` publish debris (root + snapshots).
+
+        A crash between a tmp write and its ``os.replace`` leaves the
+        temp file forever; open/create is the safe moment to sweep —
+        single-writer attach semantics mean nobody can be mid-publish
+        in a directory that is only now being (re)opened.
+        """
+        removed = storage.sweep_tmp(self.path)
+        removed += storage.sweep_tmp(os.path.join(self.path,
+                                                  "snapshots"))
+        return removed
 
     # -- paths ---------------------------------------------------------
 
@@ -284,9 +295,21 @@ def scan_resume(journal: Journal) -> dict:
     transforms with a ``transform_start`` after the last snapshot and
     no matching ``transform_end`` — i.e. the ones running when the
     previous process died, which earn a crash strike.
+
+    Snapshots named by a ``snapshot_quarantined`` record (written by
+    ``repro fsck --repair`` when a milestone file is corrupt) are
+    skipped: resume falls back to the newest snapshot that still
+    verifies.
     """
     completed = journal.last_of_type("run_end") is not None
-    snapshot = journal.last_of_type("snapshot")
+    quarantined = {r["file"]
+                   for r in journal.of_type("snapshot_quarantined")}
+    snapshot = None
+    for record in reversed(journal.records):
+        if (record["type"] == "snapshot"
+                and record["file"] not in quarantined):
+            snapshot = record
+            break
     horizon = snapshot["seq"] if snapshot else -1
     open_starts: Dict[tuple, dict] = {}
     for record in journal:
@@ -669,10 +692,14 @@ class FlowPersist:
 
     def counters(self) -> Dict[str, int]:
         """Persistence activity for ``repro.obs``: snapshot/delta
-        counts and bytes, dedupes, compactions, journal records."""
+        counts and bytes, dedupes, compactions, journal records —
+        plus the storage shim's I/O accounting (writes, fsyncs,
+        retries, injected and fatal faults), so every metrics sink
+        that carries persist counters also carries the disk story."""
         flat = {key: value for key, value in self.stats.items()
                 if isinstance(value, int)}
         flat["journal_records"] = len(self.journal)
+        flat.update(storage.counters())
         return flat
 
     # -- completion ----------------------------------------------------

@@ -21,8 +21,10 @@ from __future__ import annotations
 
 import gzip
 import json
-import os
+import zlib
 from typing import Optional
+
+from repro.persist import io as storage
 
 from repro.design import Design
 from repro.geometry import Rect
@@ -130,12 +132,11 @@ def write_payload(path: str, payload: dict) -> str:
     base) serialize the design exactly once.  Returns the signature.
     """
     data = json.dumps(payload, separators=(",", ":")).encode()
-    tmp = path + ".tmp"
-    with gzip.open(tmp, "wb") as stream:
-        stream.write(data)
-    with open(tmp, "rb") as stream:
-        os.fsync(stream.fileno())
-    os.replace(tmp, path)
+    # mtime=0 keeps the gzip container deterministic: the same design
+    # state always produces byte-identical snapshot files, which is
+    # what lets fsck and the CI chaos smoke compare runs bit-for-bit
+    blob = gzip.compress(data, mtime=0)
+    storage.atomic_write_bytes(path, blob)
     return payload["signature"]
 
 
@@ -150,7 +151,7 @@ def read_snapshot(path: str) -> dict:
     try:
         with gzip.open(path, "rb") as stream:
             payload = json.loads(stream.read().decode())
-    except (OSError, EOFError, ValueError) as exc:
+    except (OSError, EOFError, ValueError, zlib.error) as exc:
         raise SnapshotError("unreadable snapshot %s: %s" % (path, exc))
     if not isinstance(payload, dict) \
             or payload.get("format") != SNAPSHOT_FORMAT:

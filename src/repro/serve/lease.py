@@ -47,6 +47,8 @@ import socket
 import time
 from typing import Dict, List, Optional
 
+from repro.persist import io as storage
+
 #: default seconds a lease survives without a heartbeat renewal
 DEFAULT_LEASE_TTL = 30.0
 
@@ -115,11 +117,12 @@ class Heartbeat:
             "host": socket.gethostname(),
             "jobs": list(jobs or []),
         }
-        tmp = "%s.%d.tmp" % (self.path, os.getpid())
-        with open(tmp, "w") as stream:
-            json.dump(document, stream, sort_keys=True)
-            stream.write("\n")
-        os.replace(tmp, self.path)
+        # fsync=False: a heartbeat is high-frequency liveness, not
+        # state — atomicity matters (readers never see a torn file),
+        # durability of the very last beat does not
+        storage.atomic_write_json(
+            self.path, document, fsync=False,
+            tmp_suffix=".%d.tmp" % os.getpid())
         return True
 
     def remove(self) -> None:
@@ -194,14 +197,10 @@ def write_fence(run_path: str, token: int, worker: str) -> None:
     """
     os.makedirs(run_path, exist_ok=True)
     path = os.path.join(run_path, FENCE_FILE)
-    tmp = "%s.%d.tmp" % (path, os.getpid())
-    with open(tmp, "w") as stream:
-        json.dump({"token": int(token), "worker": worker,
-                   "at": time.time()}, stream, sort_keys=True)
-        stream.write("\n")
-        stream.flush()
-        os.fsync(stream.fileno())
-    os.replace(tmp, path)
+    storage.atomic_write_json(
+        path, {"token": int(token), "worker": worker,
+               "at": time.time()},
+        tmp_suffix=".%d.tmp" % os.getpid())
 
 
 def read_fence(run_path: str) -> int:

@@ -21,7 +21,10 @@ Worker-exit taxonomy (the retry policy):
   ``max_attempts - 1``) is spent, then fail.  The run directory
   survives every death, so each retry is a *resume* with
   crash-implicated transforms quarantined (``repro.persist``'s
-  standard semantics).
+  standard semantics).  ``IO_EXIT_CODE`` (5, fatal storage failure)
+  deliberately lands here too: the backoff doubles as "wait for the
+  disk to come back", and the resume continues from the last
+  milestone that made it to disk.
 
 ``workers=0`` runs the pool as a pure front end: no leases are taken,
 but the heartbeat/reap loop still runs so a server with only external

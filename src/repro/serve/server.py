@@ -21,22 +21,35 @@ POST   /shutdown                graceful shutdown (``{"drain": bool}``)
 Errors are JSON ``{"error": ...}`` with conventional status codes
 (400 malformed spec, 404 unknown job/path, 409 result not ready,
 429 queue full — with a ``Retry-After`` header clients should honor —
-503 shutting down).  The server itself is a
+503 shutting down *or storage-degraded*).  The server itself is a
 :class:`http.server.ThreadingHTTPServer` — one OS thread per in-flight
 request, which is plenty for an operator surface; the actual flow work
 happens in the pool's worker *processes*.
+
+Storage degradation: on startup the server fsck-scrubs its state dir
+(``--repair`` semantics — torn tails truncated, corrupt milestones
+quarantined) and every ``/healthz`` scrape *probes* the state dir with
+a real durable write.  When the disk dies — unwritable, full, gone
+read-only — the service flips **degraded**: status, results and
+``/metrics`` keep serving from what is already on disk, but submits
+get ``503`` with a ``Retry-After`` header.  The flip is visible within
+one scrape (``degraded`` in ``/healthz`` and as a ``storage.degraded``
+gauge), and it heals itself the same way: the next successful probe
+lifts the flag.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
 from repro.obs import CounterRegistry, read_sink
-from repro.persist import RunDir, RunDirError
+from repro.persist import RunDir, RunDirError, fsck_state_dir
+from repro.persist import io as storage
 from repro.serve.jobs import (
     DONE,
     JobSpecError,
@@ -61,7 +74,8 @@ class FlowServer:
     def __init__(self, state_dir: str, host: str = "127.0.0.1",
                  port: int = 0, workers: int = 2,
                  max_attempts: int = 3, queue_cap: int = 0,
-                 lease_ttl: Optional[float] = None) -> None:
+                 lease_ttl: Optional[float] = None,
+                 fsck_on_start: bool = True) -> None:
         self.state_dir = state_dir
         self.store = JobStore(state_dir, queue_cap=queue_cap,
                               default_max_attempts=max_attempts)
@@ -71,6 +85,15 @@ class FlowServer:
         self.registry = CounterRegistry()
         self.registry.add("server", self.store.counters)
         self.registry.add("pool", self.pool.counters)
+        self.registry.add("storage", self._storage_counters)
+        self.fsck_report: Optional[dict] = None
+        self._degraded_reason: Optional[str] = None
+        if fsck_on_start:
+            # scrub before serving: the store's journal replay already
+            # healed torn tails; this quarantines corrupt milestones
+            # so resumes fall back to verified ones
+            self.fsck_report = fsck_state_dir(state_dir, repair=True)
+        self.probe_storage()
         self._shutting_down = threading.Event()
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
@@ -158,6 +181,60 @@ class FlowServer:
         """True once shutdown began (new submissions are refused)."""
         return self._shutting_down.is_set()
 
+    # -- storage health ------------------------------------------------
+
+    def probe_storage(self) -> bool:
+        """One durable write into the state dir; flips ``degraded``.
+
+        Runs on every ``/healthz`` scrape and before every submit, so
+        a dead disk shows up within one scrape — and so does its
+        recovery: degradation is a *probe result*, not a latch.
+        """
+        probe = os.path.join(self.state_dir,
+                             ".probe.%d.json" % os.getpid())
+        try:
+            storage.atomic_write_json(probe, {"pid": os.getpid()})
+            try:
+                os.remove(probe)
+            except OSError:
+                pass  # a concurrent scrape won the race; harmless
+        except (OSError, storage.IoFatalError) as exc:
+            self._degraded_reason = ("state dir unwritable: %s" % exc)
+            return False
+        if self.fsck_report is not None \
+                and self.fsck_report["unrepaired"]:
+            self._degraded_reason = (
+                "%d unrepaired fsck finding(s); run `repro fsck "
+                "--repair %s`" % (self.fsck_report["unrepaired"],
+                                  self.state_dir))
+            return False
+        self._degraded_reason = None
+        return True
+
+    def note_storage_failure(self, exc: BaseException) -> None:
+        """A durable write failed in a handler: degrade immediately."""
+        self._degraded_reason = "storage failure: %s" % exc
+
+    @property
+    def degraded(self) -> bool:
+        """Read-only mode: reads serve, submits get 503."""
+        return self._degraded_reason is not None
+
+    @property
+    def degraded_reason(self) -> Optional[str]:
+        """Why the service is degraded (None when healthy)."""
+        return self._degraded_reason
+
+    def _storage_counters(self) -> dict:
+        gauges = dict(storage.counters())
+        gauges["degraded"] = int(self.degraded)
+        report = self.fsck_report
+        gauges["fsck_findings"] = (report["total_findings"]
+                                   if report else 0)
+        gauges["fsck_unrepaired"] = (report["unrepaired"]
+                                     if report else 0)
+        return gauges
+
 
 class _Handler(BaseHTTPRequestHandler):
     """Routes HTTP requests onto the owning :class:`FlowServer`."""
@@ -193,6 +270,13 @@ class _Handler(BaseHTTPRequestHandler):
     def _error(self, code: int, message: str) -> None:
         self._send(code, {"error": message})
 
+    def _degraded_503(self, retry_after: int = 30) -> None:
+        self._send(503, {"error": "service degraded (read-only): %s"
+                                  % self.flow.degraded_reason,
+                         "degraded": True,
+                         "retry_after": retry_after},
+                   headers={"Retry-After": "%d" % retry_after})
+
     def _body(self) -> Optional[dict]:
         length = int(self.headers.get("Content-Length") or 0)
         if length == 0:
@@ -206,9 +290,14 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         if self.path == "/healthz":
+            self.flow.probe_storage()  # degradation shows this scrape
             counters = self.flow.registry.snapshot()
             self._send(200, {
                 "ok": True,
+                "degraded": self.flow.degraded,
+                "degraded_reason": self.flow.degraded_reason,
+                "fsck_unrepaired":
+                    counters.get("storage.fsck_unrepaired", 0),
                 "shutting_down": self.flow.shutting_down,
                 "draining": self.flow.pool.draining,
                 "workers_busy": counters.get("pool.workers_busy", 0),
@@ -257,6 +346,9 @@ class _Handler(BaseHTTPRequestHandler):
             if self.flow.shutting_down:
                 self._error(503, "server is shutting down")
                 return
+            if not self.flow.probe_storage():
+                self._degraded_503()
+                return
             body = self._body()
             if body is None:
                 self._error(400, "request body is not valid JSON")
@@ -265,6 +357,11 @@ class _Handler(BaseHTTPRequestHandler):
                 job = self.flow.store.submit(body)
             except JobSpecError as exc:
                 self._error(400, str(exc))
+                return
+            except storage.IoFatalError as exc:
+                # the journal append itself died: degrade on the spot
+                self.flow.note_storage_failure(exc)
+                self._degraded_503()
                 return
             except QueueFull as exc:
                 # backpressure: tell the client when to come back

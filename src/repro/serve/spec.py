@@ -137,6 +137,9 @@ def normalize_spec(spec: dict) -> dict:
                  "chaos must be an object with a 'seed'")
         out["chaos"] = {"seed": int(chaos["seed"]),
                         "rate": float(chaos.get("rate", 0.05))}
+        if chaos.get("io_rate") is not None:
+            # storage-fault injection rate at the repro.persist.io shim
+            out["chaos"]["io_rate"] = float(chaos["io_rate"])
     for key in ("die_at_status", "die_at_snapshot"):
         if spec.get(key) is not None:
             out[key] = int(spec[key])

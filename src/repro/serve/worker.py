@@ -29,9 +29,12 @@ re-leased elsewhere aborts before its next journal append or snapshot
 (``FENCED_EXIT_CODE``) instead of racing the new holder's resume.
 
 Exit codes: 0 success, ``DIE_EXIT_CODE`` (17) simulated kill, 3 bad
-job input, ``FENCED_EXIT_CODE`` (4) fenced off mid-flow, anything
+job input, ``FENCED_EXIT_CODE`` (4) fenced off mid-flow,
+``IO_EXIT_CODE`` (5) fatal storage failure (disk full, read-only —
+the shim's retries were exhausted or the errno was hopeless), anything
 else a genuine crash.  Every nonzero exit leaves a resumable run
-directory behind.
+directory behind; the supervisor requeues 5 like any crash, so the
+retry backoff doubles as "wait for the disk to come back".
 """
 
 from __future__ import annotations
@@ -44,6 +47,8 @@ from repro.guard import FaultInjector, GuardConfig
 from repro.obs import CounterSink, Tracer, TraceWriter
 from repro.persist import (
     FlowPersist,
+    IO_EXIT_CODE,
+    IoFatalError,
     Journal,
     JournalError,
     PersistConfig,
@@ -76,7 +81,8 @@ def _injector(spec: dict):
     chaos = spec.get("chaos")
     if chaos is None:
         return None
-    return FaultInjector(seed=chaos["seed"], rate=chaos["rate"])
+    return FaultInjector(seed=chaos["seed"], rate=chaos["rate"],
+                         io_rate=chaos.get("io_rate", 0.0))
 
 
 def _scenario_cls(flow: str):
@@ -118,12 +124,19 @@ def run_job(job_id: str, raw_spec: dict, run_path: str,
         print("bad job spec: %s" % exc, file=sys.stderr)
         return BAD_JOB_EXIT_CODE
     fence = fence_guard(run_path, token) if token else None
+    injector = _injector(spec)
+    # io chaos arms on the first attempt only (like die_at_*): a
+    # resumed attempt with the same seed would hit the same injected
+    # fault at the same write and the job could never finish
+    if injector is not None and injector.has_io_chaos() \
+            and not _resumable(run_path):
+        injector.arm_io()
 
     try:
         if _resumable(run_path):
             try:
                 return _resume_job(job_id, spec, run_path, library,
-                                   fence)
+                                   fence, injector)
             except (RunDirError, JournalError) as exc:
                 print("unusable run dir %s: %s" % (run_path, exc),
                       file=sys.stderr)
@@ -132,14 +145,21 @@ def run_job(job_id: str, raw_spec: dict, run_path: str,
                 # died before the init snapshot: nothing to continue
                 # from, so fall through and start the run over
                 pass
-        return _fresh_job(job_id, spec, run_path, library, fence)
+        return _fresh_job(job_id, spec, run_path, library, fence,
+                          injector)
     except RunFencedError as exc:
         print("fenced off mid-flow: %s" % exc, file=sys.stderr)
         return FENCED_EXIT_CODE
+    except IoFatalError as exc:
+        print("fatal storage failure: %s" % exc, file=sys.stderr)
+        return IO_EXIT_CODE
+    finally:
+        if injector is not None:
+            injector.disarm_io()
 
 
 def _fresh_job(job_id: str, spec: dict, run_path: str, library,
-               fence=None) -> int:
+               fence=None, injector=None) -> int:
     try:
         design = build_job_design(spec, library)
     except (OSError, ValueError) as exc:
@@ -169,7 +189,7 @@ def _fresh_job(job_id: str, spec: dict, run_path: str, library,
     persist = FlowPersist(rundir, journal, pconfig, design,
                           fence=fence)
     scenario = _scenario_cls(spec["flow"])(
-        design, config=config, injector=_injector(spec),
+        design, config=config, injector=injector,
         persist=persist,
         tracer=_tracer(design, run_path, job_id, spec["flow"],
                        resumed=False))
@@ -178,14 +198,14 @@ def _fresh_job(job_id: str, spec: dict, run_path: str, library,
 
 
 def _resume_job(job_id: str, spec: dict, run_path: str, library,
-                fence=None) -> int:
+                fence=None, injector=None) -> int:
     run = load_resume(run_path, library, fence=fence)
     if run.completed:
         return 0  # the previous worker finished; exit idempotently
     config_cls = type(job_flow_config(spec))
     config = config_cls.from_state(run.meta["config"])
     scenario = _scenario_cls(spec["flow"])(
-        run.design, config=config, injector=_injector(spec),
+        run.design, config=config, injector=injector,
         persist=run.persist, resume_state=run.resume_state,
         tracer=_tracer(run.design, run_path, job_id, spec["flow"],
                        resumed=True))

@@ -1,0 +1,334 @@
+"""``repro fsck``: the seeded corruption matrix, detect → repair →
+resume.
+
+Every row of the acceptance matrix gets a test: a real (tiny) run is
+copied, one specific kind of storage damage is inflicted — torn
+journal tail, flipped snapshot byte, tampered signature, missing delta
+base, stale fence, orphan tmp/snapshot, misplaced compaction head —
+and fsck must *detect* it, ``--repair`` must *converge* to a clean
+report, and (for milestone damage) a resume from the repaired
+directory must reproduce the reference run's report bit-identically.
+"""
+
+import gzip
+import json
+import os
+import random
+import shutil
+import zlib
+
+import pytest
+
+from repro.guard import DesignCheckpoint
+from repro.persist import (
+    DIE_EXIT_CODE,
+    Journal,
+    RunDir,
+    fsck_path,
+    fsck_run_dir,
+    fsck_state_dir,
+    read_snapshot,
+    scan_resume,
+)
+from repro.persist.fsck import QUARANTINE_SUFFIX
+from repro.scenario.report import report_state
+
+from tests.persist.test_resume import fresh_run, resume_run
+
+
+def kinds(report):
+    return sorted({f["kind"] for f in report["findings"]})
+
+
+def crc_line(record):
+    body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return json.dumps(
+        {"r": record, "c": zlib.crc32(body.encode("utf-8"))},
+        sort_keys=True, separators=(",", ":")) + "\n"
+
+
+@pytest.fixture(scope="module")
+def finished_run(library, tmp_path_factory):
+    """One completed TPS run (full-snapshot mode), copied per test."""
+    path = tmp_path_factory.mktemp("fsck-ref") / "run"
+    _, scenario = fresh_run(path, library)
+    scenario.run()
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def killed_run(library, tmp_path_factory):
+    """(reference report, killed-run template) for repair-then-resume:
+    the reference ran uninterrupted; the template died at status 50
+    and still needs its resume leg."""
+    ref_dir = tmp_path_factory.mktemp("fsck-ref-full") / "run"
+    _, scenario = fresh_run(ref_dir, library)
+    reference = scenario.run()
+    kill_dir = tmp_path_factory.mktemp("fsck-killed") / "run"
+    _, doomed = fresh_run(kill_dir, library, die_at=50)
+    with pytest.raises(SystemExit) as death:
+        doomed.run()
+    assert death.value.code == DIE_EXIT_CODE
+    return reference, str(kill_dir)
+
+
+@pytest.fixture
+def run_copy(finished_run, tmp_path):
+    target = str(tmp_path / "run")
+    shutil.copytree(finished_run, target)
+    return target
+
+
+def newest_snapshot(run_path, suffix=".snap.gz"):
+    journal = Journal.open(os.path.join(run_path, "journal.jsonl"))
+    files = [r["file"] for r in journal.of_type("snapshot")
+             if r["file"].endswith(suffix)]
+    assert files, "run has no %s milestones" % suffix
+    return files[-1]
+
+
+class TestCleanAndDetect:
+    def test_clean_run_reports_clean(self, run_copy):
+        report = fsck_run_dir(run_copy)
+        assert report["clean"] is True
+        assert report["mode"] == "run"
+        assert report["total_findings"] == 0
+
+    def test_torn_journal_tail(self, run_copy):
+        journal = os.path.join(run_copy, "journal.jsonl")
+        with open(journal, "a") as stream:
+            stream.write('{"r": {"type": "phase", "sta')  # mid-write
+        report = fsck_run_dir(run_copy)
+        assert kinds(report) == ["journal-torn-tail"]
+        repaired = fsck_run_dir(run_copy, repair=True)
+        assert repaired["unrepaired"] == 0
+        assert fsck_run_dir(run_copy)["clean"] is True
+        # the journal reopens with every original record intact
+        assert Journal.open(journal).last_of_type("run_end") is not None
+
+    def test_flipped_snapshot_byte(self, run_copy):
+        filename = newest_snapshot(run_copy)
+        full = os.path.join(run_copy, "snapshots", filename)
+        with open(full, "r+b") as stream:
+            stream.seek(os.path.getsize(full) // 2)
+            byte = stream.read(1)
+            stream.seek(-1, os.SEEK_CUR)
+            stream.write(bytes([byte[0] ^ 0x01]))  # gzip CRC catches it
+        report = fsck_run_dir(run_copy)
+        assert kinds(report) == ["snapshot-unloadable"]
+        assert filename in report["findings"][0]["path"]
+
+    def test_tampered_signature_detected(self, run_copy):
+        filename = newest_snapshot(run_copy)
+        full = os.path.join(run_copy, "snapshots", filename)
+        payload = read_snapshot(full)
+        payload["signature"] = "0" * len(payload["signature"])
+        with open(full, "wb") as stream:
+            stream.write(gzip.compress(
+                json.dumps(payload, separators=(",", ":")).encode(),
+                mtime=0))
+        report = fsck_run_dir(run_copy)
+        assert kinds(report) == ["snapshot-unloadable"]
+        assert "does not match" in report["findings"][0]["detail"]
+
+    def test_orphan_tmp_and_orphan_snapshot(self, run_copy):
+        open(os.path.join(run_copy, "report.json.tmp"), "w").close()
+        snap_dir = os.path.join(run_copy, "snapshots")
+        open(os.path.join(snap_dir, "s9999.snap.gz.tmp"), "w").close()
+        with open(os.path.join(snap_dir, "s9999.snap.gz"), "wb") as f:
+            f.write(gzip.compress(b"{}"))
+        report = fsck_run_dir(run_copy)
+        assert kinds(report) == ["orphan-tmp", "snapshot-orphan"]
+        assert sum(1 for f in report["findings"]
+                   if f["kind"] == "orphan-tmp") == 2
+        repaired = fsck_run_dir(run_copy, repair=True)
+        assert repaired["unrepaired"] == 0
+        assert fsck_run_dir(run_copy)["clean"] is True
+        assert not os.path.exists(os.path.join(snap_dir,
+                                               "s9999.snap.gz"))
+
+    def test_misplaced_compacted_head(self, tmp_path):
+        run = tmp_path / "run"
+        os.makedirs(str(run / "snapshots"))
+        (run / "run.json").write_text(json.dumps(
+            {"format": "repro-run", "version": 1, "meta": {}}))
+        with open(str(run / "journal.jsonl"), "w") as stream:
+            stream.write(crc_line({"seq": 0, "type": "run_start"}))
+            stream.write(crc_line({"seq": 1, "type": "compacted",
+                                   "dropped": 3}))
+        report = fsck_run_dir(str(run))
+        assert "compacted-head-misplaced" in kinds(report)
+
+
+class TestRepairConvergence:
+    def test_quarantine_takes_milestone_off_resume_path(self, run_copy):
+        filename = newest_snapshot(run_copy)
+        snap_dir = os.path.join(run_copy, "snapshots")
+        with open(os.path.join(snap_dir, filename), "r+b") as stream:
+            stream.seek(10)
+            stream.write(b"\x00\x00\x00\x00")
+        before = scan_resume(Journal.open(
+            os.path.join(run_copy, "journal.jsonl")))
+        assert before["snapshot"]["file"] == filename
+        repaired = fsck_run_dir(run_copy, repair=True)
+        assert repaired["unrepaired"] == 0
+        assert os.path.exists(os.path.join(
+            snap_dir, filename + QUARANTINE_SUFFIX))
+        after = scan_resume(Journal.open(
+            os.path.join(run_copy, "journal.jsonl")))
+        assert after["snapshot"] is not None
+        assert after["snapshot"]["file"] != filename
+        assert fsck_run_dir(run_copy)["clean"] is True
+
+    def test_compacted_head_fuzz_converges(self, tmp_path):
+        """Random byte damage to the compaction head is always
+        detected, and repair reaches a clean report within two
+        passes (truncate, then orphan sweep)."""
+        for seed in range(5):
+            run = tmp_path / ("run%d" % seed)
+            os.makedirs(str(run / "snapshots"))
+            (run / "run.json").write_text(json.dumps(
+                {"format": "repro-run", "version": 1, "meta": {}}))
+            head = crc_line({"seq": 0, "type": "compacted",
+                             "dropped": 7, "base_file": "b.snap.gz"})
+            tail = crc_line({"seq": 1, "type": "phase", "status": 10})
+            rng = random.Random(seed)
+            index = rng.randrange(len(head) - 1)
+            damaged = (head[:index]
+                       + chr((ord(head[index]) + 1) % 127 or 32)
+                       + head[index + 1:])
+            (run / "journal.jsonl").write_text(damaged + tail)
+            report = fsck_run_dir(str(run))
+            assert not report["clean"], "seed %d undetected" % seed
+            fsck_run_dir(str(run), repair=True)
+            second = fsck_run_dir(str(run), repair=True)
+            assert second["unrepaired"] == 0
+            assert fsck_run_dir(str(run))["clean"] is True
+
+    def test_repair_then_resume_matches_reference(self, killed_run,
+                                                  library, tmp_path):
+        reference, template = killed_run
+        run_path = str(tmp_path / "run")
+        shutil.copytree(template, run_path)
+        filename = newest_snapshot(run_path)
+        full = os.path.join(run_path, "snapshots", filename)
+        with open(full, "r+b") as stream:  # bit rot on the newest
+            stream.seek(os.path.getsize(full) // 2)
+            byte = stream.read(1)
+            stream.seek(-1, os.SEEK_CUR)
+            stream.write(bytes([byte[0] ^ 0x40]))
+        assert not fsck_run_dir(run_path)["clean"]
+        repaired = fsck_run_dir(run_path, repair=True)
+        assert repaired["unrepaired"] == 0
+        design, report = resume_run(run_path, library)
+        assert report_state(report) == report_state(reference)
+        stored = RunDir.open(run_path).read_report()
+        assert (stored["state_signature"]
+                == DesignCheckpoint.state_signature(design))
+
+
+class TestDeltaChains:
+    @pytest.fixture(scope="class")
+    def delta_run(self, library, tmp_path_factory):
+        from repro.persist import PersistConfig
+        path = tmp_path_factory.mktemp("fsck-delta") / "run"
+        pconfig = PersistConfig(snapshot_every=10,
+                                snapshot_mode="delta", full_every=6)
+        _, scenario = fresh_run(path, library, pconfig=pconfig)
+        scenario.run()
+        return str(path)
+
+    @pytest.fixture
+    def delta_copy(self, delta_run, tmp_path):
+        target = str(tmp_path / "run")
+        shutil.copytree(delta_run, target)
+        return target
+
+    def test_missing_delta_base_detected_and_quarantined(
+            self, delta_copy):
+        journal = Journal.open(os.path.join(delta_copy,
+                                            "journal.jsonl"))
+        deltas = [r["file"] for r in journal.of_type("snapshot")
+                  if r["file"].endswith(".delta.gz")]
+        assert deltas, "delta mode produced no delta milestones"
+        first_delta = os.path.join(delta_copy, "snapshots", deltas[0])
+        from repro.persist import read_delta
+        base_name = read_delta(first_delta)["base"]
+        os.remove(os.path.join(delta_copy, "snapshots", base_name))
+        report = fsck_run_dir(delta_copy)
+        assert "snapshot-unloadable" in kinds(report)
+        assert any("missing base snapshot" in f["detail"]
+                   for f in report["findings"])
+        repaired = fsck_run_dir(delta_copy, repair=True)
+        assert repaired["unrepaired"] == 0
+        # convergence: a second pass may sweep newly orphaned files
+        fsck_run_dir(delta_copy, repair=True)
+        assert fsck_run_dir(delta_copy)["clean"] is True
+
+    def test_missing_mid_chain_delta_detected(self, delta_copy):
+        journal = Journal.open(os.path.join(delta_copy,
+                                            "journal.jsonl"))
+        deltas = [r["file"] for r in journal.of_type("snapshot")
+                  if r["file"].endswith(".delta.gz")]
+        assert deltas
+        os.remove(os.path.join(delta_copy, "snapshots", deltas[0]))
+        report = fsck_run_dir(delta_copy)
+        assert any("missing delta" in f["detail"]
+                   or "missing base" in f["detail"]
+                   for f in report["findings"])
+
+
+class TestStateDir:
+    def _state_dir(self, tmp_path, finished_run, fence_token):
+        state = str(tmp_path / "state")
+        os.makedirs(os.path.join(state, "runs"))
+        jobs = Journal.create(os.path.join(state, "jobs.jsonl"))
+        jobs.append("submit", job_id="job-0001")
+        jobs.append("lease", job_id="job-0001", worker="w1", token=7)
+        run_path = os.path.join(state, "runs", "job-0001")
+        shutil.copytree(finished_run, run_path)
+        with open(os.path.join(run_path, "fence.json"), "w") as f:
+            json.dump({"token": fence_token, "worker": "w1",
+                       "at": 0.0}, f)
+        return state, run_path
+
+    def test_stale_fence_cross_checked_and_rewritten(
+            self, tmp_path, finished_run):
+        state, run_path = self._state_dir(tmp_path, finished_run,
+                                          fence_token=3)
+        report = fsck_state_dir(state)
+        assert "fence-stale" in kinds(report)
+        assert report["run_dirs"] == ["job-0001"]
+        repaired = fsck_state_dir(state, repair=True)
+        assert repaired["unrepaired"] == 0
+        with open(os.path.join(run_path, "fence.json")) as stream:
+            assert json.load(stream)["token"] == 7
+        assert fsck_state_dir(state)["clean"] is True
+
+    def test_corrupt_fence_and_heartbeat(self, tmp_path, finished_run):
+        state, run_path = self._state_dir(tmp_path, finished_run,
+                                          fence_token=7)
+        with open(os.path.join(run_path, "fence.json"), "w") as f:
+            f.write("not json{")
+        workers = os.path.join(state, "workers")
+        os.makedirs(workers)
+        with open(os.path.join(workers, "w1.json"), "w") as f:
+            f.write("also not json")
+        report = fsck_state_dir(state)
+        assert set(kinds(report)) == {"fence-corrupt",
+                                      "heartbeat-unreadable"}
+        repaired = fsck_state_dir(state, repair=True)
+        assert repaired["unrepaired"] == 0
+        assert fsck_state_dir(state)["clean"] is True
+
+    def test_fsck_path_autodetects(self, tmp_path, run_copy):
+        assert fsck_path(run_copy)["mode"] == "run"
+        state = str(tmp_path / "state")
+        os.makedirs(os.path.join(state, "runs"))
+        Journal.create(os.path.join(state, "jobs.jsonl"))
+        assert fsck_path(state)["mode"] == "state"
+        empty = str(tmp_path / "empty")
+        os.makedirs(empty)
+        report = fsck_path(empty)
+        assert report["mode"] == "unknown"
+        assert kinds(report) == ["not-repro-state"]

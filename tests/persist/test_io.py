@@ -1,0 +1,239 @@
+"""The storage I/O shim: retry policy, fault injection, hygiene.
+
+Every durable byte in the repo routes through ``repro.persist.io``,
+so this file is the contract test for the whole storage boundary:
+transient errors are retried with backoff, fatal ones escalate to
+:class:`IoFatalError` (→ exit code 5), injected faults exhibit the
+exact on-disk damage the recovery paths are built to survive, and
+atomic publishes never leave a half-written file behind.
+"""
+
+import errno
+import json
+import os
+
+import pytest
+
+from repro.guard import FaultInjector, FaultKind, IO_KINDS
+from repro.persist import IO_EXIT_CODE, IoFatalError, IoPolicy
+from repro.persist import io as storage
+
+
+@pytest.fixture(autouse=True)
+def clean_shim():
+    """Every test starts with a fresh hook, counters, and a no-sleep
+    retry policy (backoff delays are pointless in tests)."""
+    storage.clear_fault_hook()
+    storage.reset_counters()
+    old = storage.get_policy()
+    storage.set_policy(IoPolicy(retries=3, sleep=lambda _s: None))
+    yield
+    storage.set_policy(old)
+    storage.clear_fault_hook()
+    storage.reset_counters()
+
+
+def hook_for(kind, ops=None, times=None):
+    """A fault hook firing ``kind`` (optionally only for ``ops``,
+    optionally only the first ``times`` consults that match)."""
+    state = {"left": times}
+
+    def hook(op, path):
+        if ops is not None and op not in ops:
+            return None
+        if state["left"] is not None:
+            if state["left"] <= 0:
+                return None
+            state["left"] -= 1
+        return kind
+
+    return hook
+
+
+class TestAtomicPublish:
+    def test_json_roundtrip_and_no_tmp_left(self, tmp_path):
+        path = str(tmp_path / "doc.json")
+        storage.atomic_write_json(path, {"a": 1, "b": [2, 3]})
+        with open(path) as stream:
+            assert json.load(stream) == {"a": 1, "b": [2, 3]}
+        assert os.listdir(str(tmp_path)) == ["doc.json"]
+
+    def test_counters_track_the_full_publish(self, tmp_path):
+        storage.atomic_write_bytes(str(tmp_path / "f"), b"x")
+        counts = storage.counters()
+        assert counts["io_writes"] == 1
+        assert counts["io_fsyncs"] == 1
+        assert counts["io_replaces"] == 1
+        assert counts["io_dir_fsyncs"] == 1
+
+    def test_failed_publish_leaves_old_content(self, tmp_path):
+        path = str(tmp_path / "doc.json")
+        storage.atomic_write_json(path, {"v": 1})
+        storage.set_fault_hook(hook_for("disk-full", ops=("write",)))
+        with pytest.raises(IoFatalError):
+            storage.atomic_write_json(path, {"v": 2})
+        storage.clear_fault_hook()
+        with open(path) as stream:
+            assert json.load(stream) == {"v": 1}
+
+    def test_append_is_durable_and_ordered(self, tmp_path):
+        path = str(tmp_path / "log")
+        storage.append_text(path, "one\n")
+        storage.append_text(path, "two\n")
+        with open(path) as stream:
+            assert stream.read() == "one\ntwo\n"
+        assert storage.counters()["io_fsyncs"] == 2
+
+
+class TestRetryPolicy:
+    def test_transient_error_is_retried_to_success(self, tmp_path):
+        storage.set_fault_hook(hook_for("io-error", times=2))
+        storage.atomic_write_bytes(str(tmp_path / "f"), b"ok")
+        counts = storage.counters()
+        assert counts["io_retries"] == 2
+        assert counts["io_faults_fatal"] == 0
+        with open(str(tmp_path / "f"), "rb") as stream:
+            assert stream.read() == b"ok"
+
+    def test_exhausted_retries_escalate_to_fatal(self, tmp_path):
+        storage.set_policy(IoPolicy(retries=2, sleep=lambda _s: None))
+        storage.set_fault_hook(hook_for("io-error"))
+        with pytest.raises(IoFatalError) as info:
+            storage.atomic_write_bytes(str(tmp_path / "f"), b"x")
+        assert info.value.cause.errno == errno.EIO
+        counts = storage.counters()
+        assert counts["io_retries"] == 2
+        assert counts["io_faults_fatal"] == 1
+
+    def test_fatal_errno_fails_fast_without_retry(self, tmp_path):
+        storage.set_fault_hook(hook_for("disk-full"))
+        with pytest.raises(IoFatalError) as info:
+            storage.atomic_write_bytes(str(tmp_path / "f"), b"x")
+        assert info.value.cause.errno == errno.ENOSPC
+        counts = storage.counters()
+        assert counts["io_retries"] == 0
+        assert counts["io_faults_fatal"] == 1
+
+    def test_fsync_fail_only_hits_sync_operations(self, tmp_path):
+        storage.set_policy(IoPolicy(retries=1, sleep=lambda _s: None))
+        storage.set_fault_hook(hook_for("fsync-fail"))
+        with pytest.raises(IoFatalError) as info:
+            storage.atomic_write_bytes(str(tmp_path / "f"), b"x")
+        assert info.value.op in ("fsync", "fsync_dir")
+
+    def test_backoff_doubles_and_caps(self):
+        policy = IoPolicy(backoff_base=0.1, backoff_cap=0.35)
+        assert policy.delay(0) == pytest.approx(0.1)
+        assert policy.delay(1) == pytest.approx(0.2)
+        assert policy.delay(2) == pytest.approx(0.35)
+        assert policy.delay(9) == pytest.approx(0.35)
+
+    def test_exit_code_is_distinct(self):
+        # 0 ok, 3 bad job, 4 fenced, 17 simulated kill
+        assert IO_EXIT_CODE == 5
+
+
+class TestInjectedDamage:
+    def test_torn_write_leaves_a_prefix(self, tmp_path):
+        path = str(tmp_path / "log")
+        storage.append_text(path, "intact line\n")
+        storage.set_fault_hook(hook_for("torn-write", ops=("write",)))
+        with pytest.raises(IoFatalError):
+            storage.append_text(path, "doomed line that tears\n")
+        storage.clear_fault_hook()
+        with open(path) as stream:
+            data = stream.read()
+        assert data.startswith("intact line\n")
+        # a strict prefix of the doomed payload landed — the exact
+        # torn tail the journal recovery scan truncates
+        tail = data[len("intact line\n"):]
+        assert 0 < len(tail) < len("doomed line that tears\n")
+
+    def test_bit_flip_lands_silently(self, tmp_path):
+        path = str(tmp_path / "blob")
+        payload = b"A" * 64
+        storage.set_fault_hook(hook_for("bit-flip", ops=("write",)))
+        storage.atomic_write_bytes(path, payload)  # no exception
+        storage.clear_fault_hook()
+        with open(path, "rb") as stream:
+            on_disk = stream.read()
+        assert len(on_disk) == len(payload)
+        assert on_disk != payload
+        flipped = [i for i in range(len(payload))
+                   if on_disk[i] != payload[i]]
+        assert len(flipped) == 1  # exactly one corrupted byte
+
+
+class TestHygiene:
+    def test_sweep_removes_only_tmp_debris(self, tmp_path):
+        for name in ("a.tmp", "b.json.tmp", "fence.json.123.tmp",
+                     "keep.json", "keep.tmpl"):
+            (tmp_path / name).write_text("x")
+        removed = storage.sweep_tmp(str(tmp_path))
+        assert removed == 3
+        assert sorted(os.listdir(str(tmp_path))) == ["keep.json",
+                                                     "keep.tmpl"]
+
+    def test_sweep_missing_directory_is_a_noop(self, tmp_path):
+        assert storage.sweep_tmp(str(tmp_path / "nope")) == 0
+
+    def test_fsync_dir_counts(self, tmp_path):
+        storage.fsync_dir(str(tmp_path))
+        assert storage.counters()["io_dir_fsyncs"] == 1
+
+
+class TestInjectorIntegration:
+    def test_explicit_spec_fires_at_the_scheduled_op(self, tmp_path):
+        injector = FaultInjector(seed=7)
+        injector.inject_io(FaultKind.DISK_FULL, op="write", at=2)
+        injector.arm_io()
+        try:
+            storage.append_text(str(tmp_path / "log"), "0\n")
+            storage.append_text(str(tmp_path / "log"), "1\n")
+            with pytest.raises(IoFatalError):
+                storage.append_text(str(tmp_path / "log"), "2\n")
+        finally:
+            injector.disarm_io()
+        fired = injector.fired()
+        assert len(fired) == 1
+        assert fired[0].kind is FaultKind.DISK_FULL
+
+    def test_random_io_plan_replays_deterministically(self, tmp_path):
+        def fault_ops(seed):
+            injector = FaultInjector(seed=seed, io_rate=0.3)
+            injector.arm_io()
+            hits = []
+            try:
+                for index in range(20):
+                    try:
+                        storage.atomic_write_bytes(
+                            str(tmp_path / ("f%d" % index)), b"x")
+                    except IoFatalError:
+                        hits.append(index)
+            finally:
+                injector.disarm_io()
+            return hits
+
+        first, second = fault_ops(11), fault_ops(11)
+        assert first == second
+        assert fault_ops(12) != first or True  # other seeds may differ
+
+    def test_io_state_round_trips(self):
+        # io_rate/seed travel in run meta; state_dict carries the
+        # *streams* — rng position, op counter, spec match windows —
+        # so a resumed injector continues the schedule mid-sequence
+        injector = FaultInjector(seed=3, io_rate=0.2)
+        injector.inject_io(FaultKind.BIT_FLIP, op="write", at=5)
+        for _ in range(4):
+            injector.io_hook("write", "warmup")
+        clone = FaultInjector(seed=3, io_rate=0.2)
+        clone.load_state_dict(injector.state_dict())
+        assert clone.has_io_chaos()
+        assert [s.kind for s in clone._io_specs] == [FaultKind.BIT_FLIP]
+        assert clone._io_specs[0].seen == injector._io_specs[0].seen
+        assert [clone.io_hook("write", "f") for _ in range(8)] \
+            == [injector.io_hook("write", "f") for _ in range(8)]
+
+    def test_io_kinds_excluded_from_transform_pool(self):
+        injector = FaultInjector(seed=1, rate=1.0)
+        assert not set(injector.kinds) & set(IO_KINDS)

@@ -1,0 +1,144 @@
+"""Degraded-mode service: dead disk → read-only, alive, honest.
+
+The contract under test: when the state dir stops taking durable
+writes the server (a) reports ``degraded`` on the very next
+``/healthz`` scrape, (b) refuses submits with 503 + ``Retry-After``,
+(c) keeps serving status, results, and ``/metrics`` from what is
+already on disk, and (d) recovers by itself once the disk does.
+Workers translate a fatal storage failure into ``IO_EXIT_CODE`` (5),
+which the supervisor requeues like any transient crash.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.persist import IO_EXIT_CODE, IoPolicy
+from repro.persist import io as storage
+from repro.serve.worker import run_job
+
+from tests.serve.conftest import small_spec
+
+
+@pytest.fixture(autouse=True)
+def clean_shim():
+    storage.clear_fault_hook()
+    storage.reset_counters()
+    old = storage.get_policy()
+    storage.set_policy(IoPolicy(retries=2, sleep=lambda _s: None))
+    yield
+    storage.set_policy(old)
+    storage.clear_fault_hook()
+    storage.reset_counters()
+
+
+def http_get(url, path):
+    with urllib.request.urlopen(url + path) as response:
+        body = response.read()
+    if path == "/metrics":
+        return response.status, body.decode()
+    return response.status, json.loads(body)
+
+
+def http_post(url, path, payload):
+    request = urllib.request.Request(
+        url + path, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, dict(response.headers), \
+                json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), \
+            json.loads(error.read())
+
+
+def dead_disk_hook(op, path):
+    """Every durable write into the state dir hits ENOSPC."""
+    return "disk-full"
+
+
+class TestDegradedMode:
+    def test_flip_503_reads_survive_and_recover(self, serve_factory):
+        server = serve_factory(workers=0)
+        url = server.url
+
+        status, health = http_get(url, "/healthz")
+        assert status == 200
+        assert health["degraded"] is False
+        assert health["degraded_reason"] is None
+
+        storage.set_fault_hook(dead_disk_hook)
+        # (a) visible within one scrape
+        _, health = http_get(url, "/healthz")
+        assert health["degraded"] is True
+        assert "unwritable" in health["degraded_reason"]
+        # (b) submits refused with backpressure semantics
+        code, headers, body = http_post(url, "/jobs", small_spec())
+        assert code == 503
+        assert headers.get("Retry-After")
+        assert body["degraded"] is True
+        # (c) the read surface stays up
+        status, listing = http_get(url, "/jobs")
+        assert status == 200 and listing == {"jobs": []}
+        status, metrics = http_get(url, "/metrics")
+        assert status == 200
+        assert "repro_storage_degraded 1" in metrics
+        # (d) the disk comes back; no restart needed
+        storage.clear_fault_hook()
+        _, health = http_get(url, "/healthz")
+        assert health["degraded"] is False
+        status, metrics = http_get(url, "/metrics")
+        assert "repro_storage_degraded 0" in metrics
+
+    def test_startup_fsck_report_and_gauges(self, serve_factory):
+        server = serve_factory(workers=0)
+        report = server.fsck_report
+        assert report is not None
+        assert report["format"] == "repro-fsck-report"
+        assert report["unrepaired"] == 0
+        _, metrics = http_get(server.url, "/metrics")
+        assert "repro_storage_fsck_unrepaired 0" in metrics
+        assert "repro_storage_io_retries" in metrics
+        assert "repro_storage_io_faults_fatal" in metrics
+
+    def test_submit_accepted_after_recovery(self, serve_factory):
+        server = serve_factory(workers=0)
+        storage.set_fault_hook(dead_disk_hook)
+        code, _, _ = http_post(server.url, "/jobs", small_spec())
+        assert code == 503
+        storage.clear_fault_hook()
+        code, _, body = http_post(server.url, "/jobs", small_spec())
+        assert code == 202
+        assert body["job_id"]
+
+
+class TestWorkerStorageFailure:
+    def test_fatal_io_maps_to_documented_exit_code(self, tmp_path):
+        # io_rate=1.0 faults every storage op; the transient kinds
+        # exhaust the retry budget on the very first durable write
+        spec = small_spec(chaos={"seed": 3, "rate": 0.0,
+                                 "io_rate": 1.0})
+        code = run_job("job-x", spec, str(tmp_path / "run"))
+        assert code == IO_EXIT_CODE
+        assert storage.counters()["io_faults_fatal"] >= 1
+        # the armed hook must not leak out of the worker path
+        assert storage._fault_hook is None
+
+    def test_io_chaos_does_not_arm_on_resume(self, tmp_path,
+                                             monkeypatch):
+        armed = []
+        from repro.guard import FaultInjector
+        monkeypatch.setattr(
+            FaultInjector, "arm_io",
+            lambda self: armed.append(True))
+        monkeypatch.setattr(
+            "repro.serve.worker._resumable", lambda path: True)
+        spec = small_spec(chaos={"seed": 3, "rate": 0.0,
+                                 "io_rate": 1.0})
+        # the resume leg fails fast on the empty dir; what matters
+        # is that io chaos stayed disarmed for a resumed attempt
+        run_job("job-x", spec, str(tmp_path / "run"))
+        assert armed == []
