@@ -16,8 +16,10 @@ the rest of ``repro.persist`` relies on:
   a full root with both signature checks of
   :func:`repro.persist.delta.apply_delta` passing;
 * fence files — parseable, integer token; in state-dir mode the token
-  is cross-checked against the job's current lease token from the jobs
-  journal;
+  is cross-checked against the job's current lease token replayed from
+  the jobs journal (lease *and* requeue/finish records — only a job
+  the journal says is still RUNNING has a current token to be stale
+  against);
 * hygiene — orphaned ``*.tmp`` publish debris and snapshot files no
   journal record references.
 
@@ -37,9 +39,11 @@ Everything is reported as a machine-readable document (format
 
 from __future__ import annotations
 
+import fcntl
 import json
 import os
-from typing import Dict, List, Optional
+import time
+from typing import Dict, List, Optional, Set
 
 from repro.persist import io as storage
 from repro.persist.delta import apply_delta, read_delta
@@ -55,6 +59,19 @@ REPORT_VERSION = 1
 #: path)
 QUARANTINE_SUFFIX = ".quarantined"
 
+#: seconds a lease is presumed live when its grant record carries no
+#: TTL — mirrors ``repro.serve.lease.DEFAULT_LEASE_TTL`` (kept local:
+#: persist must not import the serve layer)
+DEFAULT_LEASE_TTL = 30.0
+
+#: minimum age (seconds since mtime) before a *state-dir-level*
+#: ``*.tmp`` file counts as orphaned debris.  Heartbeats and health
+#: probes publish through short-lived tmp files at any moment and are
+#: not serialized by the jobs lock, so a fresh tmp is far more likely
+#: an in-flight atomic publish than a stranded one; sweeping it would
+#: make the publisher's ``os.replace`` die ENOENT.
+TMP_STALE_AGE = 60.0
+
 
 def _finding(findings: List[dict], path: str, kind: str, detail: str,
              repair: Optional[str] = None) -> dict:
@@ -64,18 +81,33 @@ def _finding(findings: List[dict], path: str, kind: str, detail: str,
     return entry
 
 
-def _list_tmp(directory: str) -> List[str]:
+def _list_tmp(directory: str, min_age: float = 0.0,
+              now: Optional[float] = None) -> List[str]:
     try:
         names = os.listdir(directory)
     except OSError:
         return []
-    return sorted(name for name in names
-                  if name.endswith(".tmp") or ".tmp." in name)
+    picked = []
+    for name in sorted(names):
+        if not (name.endswith(".tmp") or ".tmp." in name):
+            continue
+        if min_age > 0.0:
+            moment = time.time() if now is None else now
+            try:
+                age = moment - os.path.getmtime(
+                    os.path.join(directory, name))
+            except OSError:
+                continue  # vanished: its publisher just renamed it
+            if age < min_age:
+                continue
+        picked.append(name)
+    return picked
 
 
 def _check_tmp_debris(findings: List[dict], directory: str,
-                      rel: str, repair: bool) -> None:
-    for name in _list_tmp(directory):
+                      rel: str, repair: bool, min_age: float = 0.0,
+                      now: Optional[float] = None) -> None:
+    for name in _list_tmp(directory, min_age=min_age, now=now):
         entry = _finding(findings, os.path.join(rel, name),
                          "orphan-tmp",
                          "stranded temp file from an interrupted "
@@ -340,73 +372,185 @@ def fsck_run_dir(path: str, repair: bool = False,
     return _report(path, "run", findings)
 
 
-def _journal_tokens(records: List[dict]):
-    """Per-job current lease token + worker from jobs records."""
-    tokens: Dict[str, int] = {}
-    workers: Dict[str, str] = {}
+def _replay_jobs(records: List[dict]) -> Dict[str, dict]:
+    """Minimal replay of the jobs journal: per-job lease currency.
+
+    Mirrors ``repro.serve.jobs.JobStore._apply`` for exactly the
+    fields the scrubber needs — current fencing token, holder, state,
+    and lease timing.  Accounting for ``requeue`` and ``finish``
+    records (not just the last ``lease``) matters twice over: a fence
+    is only *stale* against a job the journal says is still RUNNING,
+    and lease liveness must not be inferred from a claim that has
+    since been released, expired, or completed.
+    """
+    jobs: Dict[str, dict] = {}
     for record in records:
-        if record["type"] == "lease":
-            job_id = record.get("job_id")
-            if job_id:
-                tokens[job_id] = record.get("token",
-                                            tokens.get(job_id, 0) + 1)
-                workers[job_id] = record.get("worker", "?")
-    return tokens, workers
+        job_id = record.get("job_id")
+        if not job_id:
+            continue
+        job = jobs.setdefault(job_id, {
+            "state": "queued", "token": 0, "worker": None,
+            "leased_at": 0.0, "ttl": DEFAULT_LEASE_TTL})
+        kind = record["type"]
+        if kind == "lease":
+            job["state"] = "running"
+            job["token"] = record.get("token", job["token"] + 1)
+            job["worker"] = record.get("worker")
+            job["leased_at"] = record.get("at", 0.0)
+            job["ttl"] = record.get("ttl", DEFAULT_LEASE_TTL)
+        elif kind == "requeue":
+            job["state"] = "queued"
+            job["worker"] = None
+        elif kind == "finish":
+            job["state"] = record.get("state", "done")
+    return jobs
 
 
-def fsck_state_dir(path: str, repair: bool = False) -> dict:
-    """Scrub a fleet state dir: jobs journal, heartbeats, every run."""
+def _read_heartbeats(state_dir: str) -> Dict[str, dict]:
+    """``workers/*.json`` documents by worker id — the same shape
+    ``repro.serve.lease`` publishes, read here without importing the
+    serve layer.  Unreadable or foreign files are simply skipped
+    (the heartbeat check reports them separately)."""
+    directory = os.path.join(state_dir, "workers")
+    docs: Dict[str, dict] = {}
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return docs
+    for name in names:
+        if not name.endswith(".json"):
+            continue
+        try:
+            with open(os.path.join(directory, name)) as stream:
+                document = json.load(stream)
+        except (OSError, ValueError):
+            continue
+        worker = document.get("worker")
+        if isinstance(worker, str):
+            docs[worker] = document
+    return docs
+
+
+def _lease_live(job_id: str, job: dict, beats: Dict[str, dict],
+                now: float) -> bool:
+    """The reaper's liveness rule (``JobStore.reap_expired``): a
+    lease is live within TTL of its grant, or while its holder's
+    heartbeat is fresh *and still lists the job*."""
+    if job["state"] != "running":
+        return False
+    ttl = job["ttl"]
+    if now - job["leased_at"] <= ttl:
+        return True
+    doc = beats.get(job["worker"] or "")
+    if doc is None:
+        return False
+    at = doc.get("at")
+    held = doc.get("jobs")
+    return (isinstance(at, (int, float)) and now - float(at) <= ttl
+            and isinstance(held, list) and job_id in held)
+
+
+def fsck_state_dir(path: str, repair: bool = False,
+                   now: Optional[float] = None) -> dict:
+    """Scrub a fleet state dir: jobs journal, heartbeats, every run.
+
+    The state dir is a **multi-host contract** — external ``repro
+    agent`` workers may be appending journals and publishing files
+    while this scrub runs — so the scrub is lease-aware rather than
+    assuming exclusive ownership:
+
+    * the fleet's ``jobs.lock`` is held for the whole scrub, so a
+      half-written ``jobs.jsonl`` line really is a torn tail (writers
+      serialize under the lock), and no new lease can be granted to a
+      run directory mid-scrub;
+    * a run directory whose job still holds a **live** lease (by the
+      reaper's rule: grant younger than its TTL, or holder
+      heartbeating fresh and listing the job) is skipped entirely —
+      truncating, quarantining, or sweeping under a live writer would
+      corrupt state the writer owns.  Skipped dirs are listed in the
+      report's ``skipped_live_runs``; re-run after the lease expires
+      (or the job finishes) to scrub them;
+    * state-dir-level ``*.tmp`` files (heartbeat and probe publishes,
+      which the jobs lock does not serialize) only count as debris
+      once older than :data:`TMP_STALE_AGE` seconds.
+    """
+    moment = time.time() if now is None else now
     findings: List[dict] = []
-    jobs_path = os.path.join(path, "jobs.jsonl")
-    tokens: Dict[str, int] = {}
-    workers: Dict[str, str] = {}
-    if os.path.exists(jobs_path):
-        records = _check_journal(findings, jobs_path, "jobs.jsonl",
-                                 repair)
-        if records is not None:
-            tokens, workers = _journal_tokens(records)
-    else:
-        _finding(findings, "jobs.jsonl", "journal-missing",
-                 "state dir has no jobs journal")
-    workers_dir = os.path.join(path, "workers")
-    if os.path.isdir(workers_dir):
-        for name in sorted(os.listdir(workers_dir)):
-            if not name.endswith(".json"):
-                continue
-            full = os.path.join(workers_dir, name)
+    lock_stream = None
+    try:
+        lock_stream = open(os.path.join(path, "jobs.lock"), "a+")
+        fcntl.flock(lock_stream, fcntl.LOCK_EX)
+    except OSError:
+        lock_stream = None  # read-only dir: scan without the lock
+    try:
+        jobs_path = os.path.join(path, "jobs.jsonl")
+        jobs: Dict[str, dict] = {}
+        if os.path.exists(jobs_path):
+            records = _check_journal(findings, jobs_path, "jobs.jsonl",
+                                     repair)
+            if records is not None:
+                jobs = _replay_jobs(records)
+        else:
+            _finding(findings, "jobs.jsonl", "journal-missing",
+                     "state dir has no jobs journal")
+        beats = _read_heartbeats(path)
+        live: Set[str] = {job_id for job_id, job in jobs.items()
+                          if _lease_live(job_id, job, beats, moment)}
+        workers_dir = os.path.join(path, "workers")
+        if os.path.isdir(workers_dir):
+            for name in sorted(os.listdir(workers_dir)):
+                if not name.endswith(".json"):
+                    continue
+                full = os.path.join(workers_dir, name)
+                try:
+                    with open(full) as stream:
+                        json.load(stream)
+                except (OSError, ValueError) as exc:
+                    entry = _finding(findings,
+                                     os.path.join("workers", name),
+                                     "heartbeat-unreadable", str(exc),
+                                     repair="remove")
+                    if repair:
+                        try:
+                            os.remove(full)
+                            entry["repaired"] = True
+                        except OSError as exc2:
+                            entry["detail"] += (" (remove failed: %s)"
+                                                % exc2)
+            _check_tmp_debris(findings, workers_dir, "workers", repair,
+                              min_age=TMP_STALE_AGE, now=moment)
+        runs_dir = os.path.join(path, "runs")
+        run_reports = []
+        skipped_live = []
+        if os.path.isdir(runs_dir):
+            for name in sorted(os.listdir(runs_dir)):
+                run_path = os.path.join(runs_dir, name)
+                if not os.path.isdir(run_path):
+                    continue
+                if name in live:
+                    skipped_live.append(name)
+                    continue
+                job = jobs.get(name)
+                running = job is not None and job["state"] == "running"
+                sub = fsck_run_dir(
+                    run_path, repair=repair,
+                    _rel=os.path.join("runs", name),
+                    _fence_token=(job["token"] if running else None),
+                    _fence_worker=(job["worker"] if running else None))
+                findings.extend(sub["findings"])
+                run_reports.append(name)
+        _check_tmp_debris(findings, path, "", repair,
+                          min_age=TMP_STALE_AGE, now=moment)
+    finally:
+        if lock_stream is not None:
             try:
-                with open(full) as stream:
-                    json.load(stream)
-            except (OSError, ValueError) as exc:
-                entry = _finding(findings,
-                                 os.path.join("workers", name),
-                                 "heartbeat-unreadable", str(exc),
-                                 repair="remove")
-                if repair:
-                    try:
-                        os.remove(full)
-                        entry["repaired"] = True
-                    except OSError as exc2:
-                        entry["detail"] += (" (remove failed: %s)"
-                                            % exc2)
-        _check_tmp_debris(findings, workers_dir, "workers", repair)
-    runs_dir = os.path.join(path, "runs")
-    run_reports = []
-    if os.path.isdir(runs_dir):
-        for name in sorted(os.listdir(runs_dir)):
-            run_path = os.path.join(runs_dir, name)
-            if not os.path.isdir(run_path):
-                continue
-            sub = fsck_run_dir(
-                run_path, repair=repair,
-                _rel=os.path.join("runs", name),
-                _fence_token=tokens.get(name),
-                _fence_worker=workers.get(name))
-            findings.extend(sub["findings"])
-            run_reports.append(name)
-    _check_tmp_debris(findings, path, "", repair)
+                fcntl.flock(lock_stream, fcntl.LOCK_UN)
+            except OSError:
+                pass
+            lock_stream.close()
     report = _report(path, "state", findings)
     report["run_dirs"] = run_reports
+    report["skipped_live_runs"] = skipped_live
     return report
 
 

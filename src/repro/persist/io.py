@@ -313,8 +313,28 @@ def append_bytes(path: str, data: bytes) -> None:
     the torn tail :meth:`repro.persist.journal.Journal.open`
     truncates and :meth:`~repro.persist.journal.Journal.refresh`
     repairs in place.
+
+    Appending is not naturally idempotent, so each retry first
+    truncates the file back to the size captured before the first
+    attempt: a transient error can strike *after* part of ``data``
+    reached the file, and blindly re-running the append would land
+    the full payload behind the partial prefix — a corrupt merged
+    line whose extra bytes also throw off every offset the journal's
+    valid-byte accounting later truncates at.
     """
+    try:
+        base = os.path.getsize(path)
+    except OSError:
+        base = 0  # no file yet: the first attempt creates it
+
     def action():
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            size = base
+        if size > base:
+            with open(path, "r+b") as stream:
+                stream.truncate(base)
         with open(path, "ab") as stream:
             _write_and_sync(stream, path, data, path)
 

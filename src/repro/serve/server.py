@@ -28,14 +28,18 @@ happens in the pool's worker *processes*.
 
 Storage degradation: on startup the server fsck-scrubs its state dir
 (``--repair`` semantics — torn tails truncated, corrupt milestones
-quarantined) and every ``/healthz`` scrape *probes* the state dir with
-a real durable write.  When the disk dies — unwritable, full, gone
-read-only — the service flips **degraded**: status, results and
-``/metrics`` keep serving from what is already on disk, but submits
-get ``503`` with a ``Retry-After`` header.  The flip is visible within
-one scrape (``degraded`` in ``/healthz`` and as a ``storage.degraded``
-gauge), and it heals itself the same way: the next successful probe
-lifts the flag.
+quarantined; the scrub is lease-aware and leaves run dirs with live
+external leases alone) and every ``/healthz`` scrape *probes* the
+state dir with a real durable write.  When the disk dies —
+unwritable, full, gone read-only — the service flips **degraded**:
+status, results and ``/metrics`` keep serving from what is already on
+disk, but submits get ``503`` with a ``Retry-After`` header.  The
+flip is visible within one scrape (``degraded`` in ``/healthz`` and
+as a ``storage.degraded`` gauge), and it heals itself the same way:
+the next successful probe lifts the flag — including when the cause
+was unrepaired fsck findings, in which case a successful probe
+re-scrubs (detect-only, rate-limited) so an operator's ``repro fsck
+--repair`` clears the flag without a restart.
 """
 
 from __future__ import annotations
@@ -44,6 +48,7 @@ import json
 import os
 import re
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
@@ -88,10 +93,17 @@ class FlowServer:
         self.registry.add("storage", self._storage_counters)
         self.fsck_report: Optional[dict] = None
         self._degraded_reason: Optional[str] = None
+        #: seconds between degraded-mode re-scrubs (see probe_storage)
+        self.fsck_rescrub_interval = 15.0
+        self._rescrub_lock = threading.Lock()
+        self._last_rescrub = time.monotonic()
         if fsck_on_start:
             # scrub before serving: the store's journal replay already
             # healed torn tails; this quarantines corrupt milestones
-            # so resumes fall back to verified ones
+            # so resumes fall back to verified ones.  The scrub is
+            # lease-aware (it holds jobs.lock and skips run dirs whose
+            # job still holds a live lease), so repairing here cannot
+            # corrupt state an external agent worker is writing.
             self.fsck_report = fsck_state_dir(state_dir, repair=True)
         self.probe_storage()
         self._shutting_down = threading.Event()
@@ -188,19 +200,29 @@ class FlowServer:
 
         Runs on every ``/healthz`` scrape and before every submit, so
         a dead disk shows up within one scrape — and so does its
-        recovery: degradation is a *probe result*, not a latch.
+        recovery: degradation is a *probe result*, not a latch.  The
+        probe file is unique per pid *and thread*: handler threads
+        probe concurrently, and sharing one path would let one
+        thread's cleanup race another's mid-publish rename.
         """
-        probe = os.path.join(self.state_dir,
-                             ".probe.%d.json" % os.getpid())
+        probe = os.path.join(
+            self.state_dir,
+            ".probe.%d.%d.json" % (os.getpid(), threading.get_ident()))
         try:
             storage.atomic_write_json(probe, {"pid": os.getpid()})
             try:
                 os.remove(probe)
             except OSError:
-                pass  # a concurrent scrape won the race; harmless
+                pass  # already gone; harmless
         except (OSError, storage.IoFatalError) as exc:
             self._degraded_reason = ("state dir unwritable: %s" % exc)
             return False
+        if self.fsck_report is not None \
+                and self.fsck_report["unrepaired"]:
+            # the startup report is a snapshot — once the operator has
+            # run the repair it tells them to, only a fresh scrub can
+            # prove the findings are gone and lift the flag
+            self._maybe_rescrub()
         if self.fsck_report is not None \
                 and self.fsck_report["unrepaired"]:
             self._degraded_reason = (
@@ -210,6 +232,29 @@ class FlowServer:
             return False
         self._degraded_reason = None
         return True
+
+    def _maybe_rescrub(self) -> None:
+        """Refresh ``fsck_report`` after an operator repair.
+
+        Detect-only (the request path must never mutate the state
+        dir), at most once per ``fsck_rescrub_interval`` seconds, and
+        single-flight across handler threads — a slow scrub must not
+        pile up behind concurrent ``/healthz`` scrapes.
+        """
+        if not self._rescrub_lock.acquire(blocking=False):
+            return
+        try:
+            if (time.monotonic() - self._last_rescrub
+                    < self.fsck_rescrub_interval):
+                return
+            self._last_rescrub = time.monotonic()
+            try:
+                self.fsck_report = fsck_state_dir(self.state_dir,
+                                                  repair=False)
+            except (OSError, storage.IoFatalError):
+                pass  # keep the stale report; stay degraded
+        finally:
+            self._rescrub_lock.release()
 
     def note_storage_failure(self, exc: BaseException) -> None:
         """A durable write failed in a handler: degrade immediately."""

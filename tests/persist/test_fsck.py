@@ -15,6 +15,7 @@ import json
 import os
 import random
 import shutil
+import time
 import zlib
 
 import pytest
@@ -320,6 +321,86 @@ class TestStateDir:
         repaired = fsck_state_dir(state, repair=True)
         assert repaired["unrepaired"] == 0
         assert fsck_state_dir(state)["clean"] is True
+
+    def test_live_lease_run_dir_is_skipped(self, tmp_path,
+                                           finished_run):
+        """A run dir whose job holds a live lease belongs to its
+        worker: repair must not truncate what may be an in-flight
+        append.  Once the lease expires, the same dir is scrubbed."""
+        state = str(tmp_path / "state")
+        os.makedirs(os.path.join(state, "runs"))
+        jobs = Journal.create(os.path.join(state, "jobs.jsonl"))
+        jobs.append("submit", job_id="job-0001")
+        jobs.append("lease", job_id="job-0001", worker="w1", token=7,
+                    at=time.time(), ttl=30.0)
+        run_path = os.path.join(state, "runs", "job-0001")
+        shutil.copytree(finished_run, run_path)
+        journal = os.path.join(run_path, "journal.jsonl")
+        with open(journal, "a") as stream:
+            stream.write('{"r": {"type": "phase"')  # append in flight
+        size = os.path.getsize(journal)
+        report = fsck_state_dir(state, repair=True)
+        assert report["skipped_live_runs"] == ["job-0001"]
+        assert report["run_dirs"] == []
+        assert os.path.getsize(journal) == size  # untouched
+        later = time.time() + 120.0  # lease long expired
+        report = fsck_state_dir(state, repair=True, now=later)
+        assert report["skipped_live_runs"] == []
+        assert report["run_dirs"] == ["job-0001"]
+        assert "journal-torn-tail" in kinds(report)
+        assert os.path.getsize(journal) < size
+
+    def test_heartbeat_keeps_expired_grant_live(self, tmp_path,
+                                                finished_run):
+        """The reaper's rule, mirrored: an ancient grant whose holder
+        still heartbeats (and lists the job) is live — fsck must not
+        rewrite its fence or scrub its run dir."""
+        state, _ = self._state_dir(tmp_path, finished_run,
+                                   fence_token=3)
+        workers = os.path.join(state, "workers")
+        os.makedirs(workers)
+        with open(os.path.join(workers, "w1.json"), "w") as f:
+            json.dump({"worker": "w1", "at": time.time(),
+                       "jobs": ["job-0001"]}, f)
+        report = fsck_state_dir(state, repair=True)
+        assert report["skipped_live_runs"] == ["job-0001"]
+        assert "fence-stale" not in kinds(report)
+
+    def test_fence_of_finished_job_is_not_stale(self, tmp_path,
+                                                finished_run):
+        """After finish/requeue the job has no current lease; a fence
+        left over from an older attempt is expected debris (the next
+        claim rewrites it), not an inconsistency to repair."""
+        state, _ = self._state_dir(tmp_path, finished_run,
+                                   fence_token=3)
+        jobs = Journal.open(os.path.join(state, "jobs.jsonl"))
+        jobs.append("finish", job_id="job-0001", state="done", exit=0)
+        report = fsck_state_dir(state)
+        assert "fence-stale" not in kinds(report)
+        assert report["clean"] is True
+
+    def test_fresh_state_level_tmp_is_not_swept(self, tmp_path,
+                                                finished_run):
+        """Heartbeat/probe publishes are not serialized by the jobs
+        lock, so a *fresh* tmp is an in-flight atomic publish — only
+        aged tmp debris is reported and swept at the state level."""
+        state, _ = self._state_dir(tmp_path, finished_run,
+                                   fence_token=7)
+        workers = os.path.join(state, "workers")
+        os.makedirs(workers)
+        fresh = os.path.join(workers, "w1.json.123.tmp")
+        open(fresh, "w").close()
+        stale = os.path.join(workers, "w2.json.456.tmp")
+        open(stale, "w").close()
+        old = time.time() - 3600.0
+        os.utime(stale, (old, old))
+        report = fsck_state_dir(state, repair=True)
+        tmp_findings = [f["path"] for f in report["findings"]
+                        if f["kind"] == "orphan-tmp"]
+        assert tmp_findings == [os.path.join("workers",
+                                             "w2.json.456.tmp")]
+        assert os.path.exists(fresh)
+        assert not os.path.exists(stale)
 
     def test_fsck_path_autodetects(self, tmp_path, run_copy):
         assert fsck_path(run_copy)["mode"] == "run"

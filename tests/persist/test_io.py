@@ -105,6 +105,31 @@ class TestRetryPolicy:
         assert counts["io_retries"] == 2
         assert counts["io_faults_fatal"] == 1
 
+    def test_append_retry_does_not_duplicate_partial_write(
+            self, tmp_path, monkeypatch):
+        """A transient error striking *after* part of an append
+        reached the file must not merge a partial prefix with the
+        retried full payload: every retry truncates back to the size
+        captured before the first attempt."""
+        path = str(tmp_path / "log")
+        storage.append_text(path, "intact line\n")
+        real = storage._write_and_sync
+        calls = {"n": 0}
+
+        def flaky(stream, file_path, data, op_path):
+            if calls["n"] == 0:
+                calls["n"] += 1
+                stream.write(data[:len(data) // 2])
+                stream.flush()
+                raise OSError(errno.EIO, "controller hiccup mid-write")
+            return real(stream, file_path, data, op_path)
+
+        monkeypatch.setattr(storage, "_write_and_sync", flaky)
+        storage.append_text(path, "second line\n")
+        with open(path) as stream:
+            assert stream.read() == "intact line\nsecond line\n"
+        assert storage.counters()["io_retries"] == 1
+
     def test_fatal_errno_fails_fast_without_retry(self, tmp_path):
         storage.set_fault_hook(hook_for("disk-full"))
         with pytest.raises(IoFatalError) as info:

@@ -10,6 +10,7 @@ which the supervisor requeues like any transient crash.
 """
 
 import json
+import shutil
 import urllib.error
 import urllib.request
 
@@ -103,6 +104,32 @@ class TestDegradedMode:
         assert "repro_storage_fsck_unrepaired 0" in metrics
         assert "repro_storage_io_retries" in metrics
         assert "repro_storage_io_faults_fatal" in metrics
+
+    def test_fsck_degraded_clears_after_operator_repair(
+            self, tmp_path, serve_factory):
+        """Degraded mode latched on unrepaired fsck findings must
+        lift once the operator repairs: a successful probe re-scrubs
+        (detect-only) instead of trusting the startup snapshot."""
+        # an unrepairable finding: a run dir with no journal at all
+        bogus = tmp_path / "state" / "runs" / "job-0999"
+        bogus.mkdir(parents=True)
+        server = serve_factory(workers=0)
+        server.fsck_rescrub_interval = 0.0
+        assert server.fsck_report["unrepaired"] > 0
+        _, health = http_get(server.url, "/healthz")
+        assert health["degraded"] is True
+        assert "fsck" in health["degraded_reason"]
+        code, _, _ = http_post(server.url, "/jobs", small_spec())
+        assert code == 503
+        # the operator repairs (here: removes the foreign debris);
+        # the next probe re-scrubs and lifts the flag, no restart
+        shutil.rmtree(str(bogus))
+        _, health = http_get(server.url, "/healthz")
+        assert health["degraded"] is False
+        assert health["fsck_unrepaired"] == 0
+        code, _, body = http_post(server.url, "/jobs", small_spec())
+        assert code == 202
+        assert body["job_id"]
 
     def test_submit_accepted_after_recovery(self, serve_factory):
         server = serve_factory(workers=0)
