@@ -9,6 +9,7 @@ check that runtime grows sub-quadratically.
 """
 
 import math
+import resource
 
 from conftest import publish, stopwatch
 
@@ -35,7 +36,10 @@ def run_sweep(library):
                 part.cut()
                 reflow.run()
             legalize_rows(design)
-        points.append((n, sw.seconds, design.total_wirelength()))
+        # ru_maxrss is the process high-water mark (KiB on Linux), so
+        # the column is a running maximum across the sweep
+        rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+        points.append((n, sw.seconds, design.total_wirelength(), rss))
     return points
 
 
@@ -43,14 +47,15 @@ def test_scalability(benchmark, library):
     points = benchmark.pedantic(run_sweep, args=(library,),
                                 rounds=1, iterations=1)
     lines = ["Placement scalability sweep",
-             "%8s %9s %10s %12s" % ("cells", "seconds", "s/cell(ms)",
-                                    "wirelength")]
-    for n, secs, wl in points:
-        lines.append("%8d %9.2f %10.2f %12.0f"
-                     % (n, secs, 1000.0 * secs / n, wl))
+             "%8s %9s %10s %12s %12s" % ("cells", "seconds",
+                                         "s/cell(ms)", "wirelength",
+                                         "peakRSS(MB)")]
+    for n, secs, wl, rss in points:
+        lines.append("%8d %9.2f %10.2f %12.0f %12.1f"
+                     % (n, secs, 1000.0 * secs / n, wl, rss))
     # empirical scaling exponent from the first and last points
-    n0, t0, _ = points[0]
-    n1, t1, _ = points[-1]
+    n0, t0 = points[0][:2]
+    n1, t1 = points[-1][:2]
     exponent = math.log(t1 / t0) / math.log(n1 / n0)
     lines.append("empirical runtime exponent: %.2f "
                  "(1.0 = linear, 2.0 = quadratic)" % exponent)

@@ -1,0 +1,173 @@
+"""Structure-of-arrays core: kernel speedups over the object graph.
+
+Times the three ported kernels in their flow-dominant regimes, per Des
+preset and per core, publishing ``BENCH_soa.json``:
+
+* **sta_sweep** — a placement-iteration retime: every movable cell
+  moves, the shared electrical cache is pre-warmed (the wire model is
+  identical Python in both cores and is *not* part of the ported
+  kernel), then one full-frontier flush is timed — heap-and-dict
+  propagation vs the levelized array sweep;
+* **quad_assembly** — ``QuadraticPlacer._solve`` with the (scipy, so
+  core-independent) CG solve stubbed out, isolating clique/star system
+  assembly — per-net Python loops vs batched emission streams;
+* **bin_rebuild** — full grid re-binning at two resolutions — the
+  per-cell insert walk vs the vectorized occupancy scatter.
+
+Also reported: array-core s/cell per preset, the empirical runtime
+exponent of the array kernel suite across preset sizes, and the
+process peak RSS.  The sweep's array advantage is bounded by logic
+depth (one numpy dispatch per level, see docs/internals.md §10), so
+speedups grow with preset width.
+
+Knobs: ``REPRO_SOA_SCALE`` (default 2.0) scales the presets;
+``REPRO_SOA_PRESETS`` (comma list, default all five) picks presets —
+the CI perf smoke runs Des1 only.
+"""
+
+import json
+import math
+import os
+import random
+import resource
+
+import numpy as np
+from conftest import publish, stopwatch
+
+from repro.geometry import Point
+from repro.library import default_library
+from repro.placement import QuadraticPlacer
+import repro.placement.quadratic as quad_mod
+from repro.wirelength.wlm import WireLoadModel
+from repro.workloads.presets import DES_PRESETS, build_des_design
+
+SOA_SCALE = float(os.environ.get("REPRO_SOA_SCALE", "2.0"))
+SOA_PRESETS = [p for p in
+               os.environ.get("REPRO_SOA_PRESETS",
+                              ",".join(sorted(DES_PRESETS))).split(",")
+               if p]
+
+ROUNDS = 3
+
+
+def _build(preset, core, library):
+    design = build_des_design(preset, library, scale=SOA_SCALE,
+                              core=core)
+    # the lumped wire-load model keeps the (shared, core-independent)
+    # electrical Python out of the kernel timings
+    design.timing.set_wire_model(
+        WireLoadModel(design.steiner, design.parasitics))
+    QuadraticPlacer(design).run()
+    design.timing.worst_slack()  # settle; warms the array image
+    return design
+
+
+def _time_sweep(design):
+    """Mass-move retime: the frontier is the whole design."""
+    rng = random.Random(7)
+    cells = design.netlist.movable_cells()
+    nets = design.netlist.nets()
+    die = design.die
+    total = 0.0
+    for _ in range(ROUNDS):
+        for cell in cells:
+            design.netlist.move_cell(cell, Point(
+                die.xlo + rng.random() * die.width,
+                die.ylo + rng.random() * die.height))
+        for net in nets:  # pre-warm the shared electrical cache
+            design.timing.net_electrical(net)
+        with stopwatch() as sw:
+            design.timing.worst_slack()
+            design.timing.total_negative_slack()
+        total += sw.seconds
+    return total
+
+
+def _time_assembly(design):
+    """System assembly alone: CG is scipy in both cores, so stub it."""
+    real_cg = quad_mod.cg
+
+    def stub(mat, rhs, rtol=None, maxiter=None):
+        return np.zeros(mat.shape[0]), 0
+
+    quad_mod.cg = stub
+    try:
+        placer = QuadraticPlacer(design)
+        movable = design.netlist.movable_cells()
+        with stopwatch() as sw:
+            for _ in range(ROUNDS):
+                placer._solve(movable)
+        return sw.seconds
+    finally:
+        quad_mod.cg = real_cg
+
+
+def _time_bins(design):
+    with stopwatch() as sw:
+        for _ in range(ROUNDS):
+            design.grid.resize(24, 24)
+            design.grid.resize(12, 12)
+    return sw.seconds
+
+
+def _kernels(preset, core, library):
+    design = _build(preset, core, library)
+    return design.icell_count(), {
+        "sta_sweep": _time_sweep(design),
+        "quad_assembly": _time_assembly(design),
+        "bin_rebuild": _time_bins(design),
+    }
+
+
+def test_soa_speedup():
+    library = default_library()
+    presets = {}
+    sizes = []
+    for preset in SOA_PRESETS:
+        n, obj = _kernels(preset, "object", library)
+        _, arr = _kernels(preset, "array", library)
+        t_obj = sum(obj.values())
+        t_arr = sum(arr.values())
+        entry = {
+            "cells": n,
+            "object_seconds": {k: round(v, 4) for k, v in obj.items()},
+            "array_seconds": {k: round(v, 4) for k, v in arr.items()},
+            "speedup": {k: round(obj[k] / arr[k], 2) for k in obj},
+            "total_speedup": round(t_obj / t_arr, 2),
+            "array_s_per_cell": round(t_arr / n, 6),
+        }
+        presets[preset] = entry
+        sizes.append((n, t_arr))
+
+    # empirical runtime exponent of the array kernel suite, from the
+    # smallest to the largest preset actually run
+    sizes.sort()
+    (n0, t0), (n1, t1) = sizes[0], sizes[-1]
+    exponent = (math.log(t1 / t0) / math.log(n1 / n0)
+                if n1 > n0 else 1.0)
+    rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+    speedups = [presets[p]["total_speedup"] for p in presets]
+    report = {
+        "scale": SOA_SCALE,
+        "rounds": ROUNDS,
+        "presets": presets,
+        "aggregate_speedup": round(
+            sum(speedups) / len(speedups), 2),
+        "best_kernel_speedup": round(
+            max(e["speedup"][k] for e in presets.values()
+                for k in e["speedup"]), 2),
+        "runtime_exponent": round(exponent, 3),
+        "peak_rss_mb": round(rss_mb, 1),
+    }
+    publish("BENCH_soa.json",
+            json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    # the perf bars: the array core must beat the object core on every
+    # preset, and the array kernels must stay near-linear in cells
+    for preset, entry in presets.items():
+        assert entry["total_speedup"] > 1.0, \
+            "array core slower than object on %s: %s" % (preset, entry)
+    if n1 > n0:
+        assert exponent <= 1.1, \
+            "array kernels no longer near-linear: %.3f" % exponent

@@ -58,13 +58,14 @@ def _load_design(args, library):
         raise SystemExit(
             "a design (Des1..Des5 preset or Verilog file) is required "
             "unless resuming with --run-dir DIR --resume")
+    core = getattr(args, "core", "object")
     if args.design in DES_PRESETS:
         return build_des_design(args.design, library, scale=args.scale,
-                                cycle_time=args.cycle)
+                                cycle_time=args.cycle, core=core)
     with open(args.design) as stream:
         netlist = read_verilog(stream, library)
     cycle = args.cycle if args.cycle else 1000.0
-    design = make_design(netlist, library, cycle_time=cycle)
+    design = make_design(netlist, library, cycle_time=cycle, core=core)
     if getattr(args, "sdc", None):
         from repro.timing.sdc import read_sdc
         with open(args.sdc) as stream:
@@ -224,7 +225,8 @@ def _persist_create(args, flow, design, config, injector):
         "flow": flow,
         "design": {"design": args.design, "scale": args.scale,
                    "cycle": args.cycle,
-                   "sdc": getattr(args, "sdc", None)},
+                   "sdc": getattr(args, "sdc", None),
+                   "core": getattr(args, "core", "object")},
         "config": config.to_state(),
         # io-chaos flags are deliberately not recorded: a resumed
         # process runs against a disk presumed healthy again
@@ -576,6 +578,12 @@ def _add_design_args(parser) -> None:
     parser.add_argument("--sdc", default=None,
                         help="SDC-lite constraint file (Verilog "
                              "designs only)")
+    parser.add_argument("--core", choices=("object", "array"),
+                        default="array",
+                        help="compute core for the hot kernels: the "
+                             "object graph or the repro.core SoA "
+                             "arrays (default array; results are "
+                             "bit-identical)")
     parser.add_argument("--guard", action="store_true",
                         help="run transforms through the guarded "
                              "runner (checkpoint/rollback/quarantine)")

@@ -1,0 +1,20 @@
+"""``repro.core``: the structure-of-arrays compute core.
+
+The object graph (``repro.netlist``) stays the mutable source of
+truth; this package maintains contiguous, id-indexed numpy views of it
+— cells, pins, nets (CSR pin spans), timing arcs, and bin occupancy —
+kept in sync through the ordinary :class:`NetlistListener` event bus.
+The three hottest kernels (quadratic-placement system assembly,
+incremental STA frontier sweeps, bin occupancy rebuilds) run over
+these arrays when a design is built with ``core="array"``.
+
+Equivalence contract: every array kernel replicates the exact
+floating-point *operation order* of its object-graph twin, so results
+— reports, placements, and incremental-work counters — are
+bit-identical under both cores.  ``tests/core`` holds the
+differential harness that pins this.
+"""
+
+from repro.core.image import CoreImage
+
+__all__ = ["CoreImage"]

@@ -1,0 +1,333 @@
+"""The structure-of-arrays design image.
+
+A :class:`CoreImage` mirrors a :class:`~repro.netlist.netlist.Netlist`
+into contiguous numpy arrays indexed by dense integer ids:
+
+* **cells** — position (x, y), placed/fixed flags, area, width, and a
+  library-size id into a compact size table;
+* **pins** — owner cell, net membership, direction/clock/scan flags,
+  and the spec's delay factor, grouped per cell in ``cell.pins()``
+  order (CSR spans);
+* **nets** — CSR pin spans in ``net._pins`` order, plus the driver
+  pin and a sink sub-span, so hyperedge traversals become gathers.
+
+Id-map invariants (pinned by ``tests/core/test_image_properties``):
+
+* ``cells[i]``/``pins[i]``/``nets[i]`` hold the live objects and
+  ``cell_index[id(obj)] == i`` (same for pins/nets) — ids are dense,
+  0-based, and follow netlist insertion order;
+* pin CSR spans partition the pin set: every pin appears in exactly
+  one cell span, and ``net_pin`` lists every connected pin exactly
+  once, in net pin-list order;
+* geometry arrays carry exactly the object values: positions and
+  sizes are updated in place from netlist events (the image is a
+  physical view, so *virtual* resizes arrive too), and any structural
+  event (cell/net add/remove, connect/disconnect) marks the image
+  dirty for a lazy full rebuild at the next ``sync()``.
+
+The object graph stays authoritative: per-cell annotations that
+mutate without events (``gain``, ``tags``, ``fixed``, net weights)
+are *gathered live* by the kernels that need them, never cached here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.geometry import Point
+from repro.netlist.cell import Cell, Pin
+from repro.netlist.net import Net
+from repro.netlist.netlist import Netlist, NetlistListener
+
+
+class CoreImage(NetlistListener):
+    """Array mirror of a netlist, synchronized via the event bus."""
+
+    #: positions/occupancy are physical state: receive virtual resizes
+    is_physical_view = True
+
+    def __init__(self, netlist: Netlist) -> None:
+        self.netlist = netlist
+        #: bumped on every structural rebuild; consumers that cache
+        #: derived indexing (e.g. the timing image) key on this
+        self.epoch = 0
+        self._dirty = True
+        self._stats = {
+            "rebuilds": 0,
+            "structural_events": 0,
+            "moves_applied": 0,
+            "resizes_applied": 0,
+            "cells": 0,
+            "pins": 0,
+            "nets": 0,
+        }
+
+        # -- cell arrays (valid after sync()) --
+        self.cells: List[Cell] = []
+        self.cell_index: Dict[int, int] = {}
+        self.cell_x = np.zeros(0)
+        self.cell_y = np.zeros(0)
+        self.cell_placed = np.zeros(0, dtype=bool)
+        self.cell_fixed = np.zeros(0, dtype=bool)
+        self.cell_area = np.zeros(0)
+        self.cell_width = np.zeros(0)
+        self.cell_seq = np.zeros(0, dtype=bool)
+        self.cell_port = np.zeros(0, dtype=bool)
+        self.cell_lib = np.zeros(0, dtype=np.int32)
+        self.lib_sizes: List = []
+
+        # -- pin arrays --
+        self.pins: List[Pin] = []
+        self.pin_index: Dict[int, int] = {}
+        self.pin_cell = np.zeros(0, dtype=np.int32)
+        self.pin_net = np.zeros(0, dtype=np.int32)
+        self.pin_out = np.zeros(0, dtype=bool)
+        self.pin_clock = np.zeros(0, dtype=bool)
+        self.pin_scan = np.zeros(0, dtype=bool)
+        self.pin_delay_factor = np.zeros(0)
+        self.cell_pin_start = np.zeros(1, dtype=np.int64)
+
+        # -- net arrays --
+        self.nets: List[Net] = []
+        self.net_index: Dict[int, int] = {}
+        self.net_pin_start = np.zeros(1, dtype=np.int64)
+        self.net_pin = np.zeros(0, dtype=np.int32)
+        self.net_driver = np.zeros(0, dtype=np.int32)
+
+        netlist.add_listener(self)
+
+    # ------------------------------------------------------------------
+    # Synchronization
+    # ------------------------------------------------------------------
+
+    @property
+    def dirty(self) -> bool:
+        return self._dirty
+
+    def sync(self) -> "CoreImage":
+        """Rebuild the arrays if a structural event invalidated them."""
+        if self._dirty:
+            self._rebuild()
+        return self
+
+    def stats(self) -> Dict[str, int]:
+        """Monotonic sync-work counters (the ``core.*`` namespace)."""
+        return dict(self._stats)
+
+    def _rebuild(self) -> None:
+        nl = self.netlist
+        cells = nl.cells()
+        ncells = len(cells)
+        self.cells = cells
+        self.cell_index = {id(c): i for i, c in enumerate(cells)}
+
+        self.cell_x = np.zeros(ncells)
+        self.cell_y = np.zeros(ncells)
+        self.cell_placed = np.zeros(ncells, dtype=bool)
+        self.cell_fixed = np.zeros(ncells, dtype=bool)
+        self.cell_area = np.zeros(ncells)
+        self.cell_width = np.zeros(ncells)
+        self.cell_seq = np.zeros(ncells, dtype=bool)
+        self.cell_port = np.zeros(ncells, dtype=bool)
+        self.cell_lib = np.zeros(ncells, dtype=np.int32)
+        self.lib_sizes = []
+        lib_ids: Dict[int, int] = {}
+
+        pins: List[Pin] = []
+        cell_pin_start = np.zeros(ncells + 1, dtype=np.int64)
+        for i, cell in enumerate(cells):
+            pos = cell.position
+            if pos is not None:
+                self.cell_x[i] = pos.x
+                self.cell_y[i] = pos.y
+                self.cell_placed[i] = True
+            self.cell_fixed[i] = cell.fixed
+            self.cell_area[i] = cell.area
+            self.cell_width[i] = cell.size.width
+            self.cell_seq[i] = cell.is_sequential
+            self.cell_port[i] = cell.is_port
+            self.cell_lib[i] = self._lib_id(cell.size, lib_ids)
+            pins.extend(cell.pins())
+            cell_pin_start[i + 1] = len(pins)
+        self.cell_pin_start = cell_pin_start
+
+        npins = len(pins)
+        self.pins = pins
+        self.pin_index = {id(p): k for k, p in enumerate(pins)}
+        self.pin_cell = np.zeros(npins, dtype=np.int32)
+        self.pin_net = np.full(npins, -1, dtype=np.int32)
+        self.pin_out = np.zeros(npins, dtype=bool)
+        self.pin_clock = np.zeros(npins, dtype=bool)
+        self.pin_scan = np.zeros(npins, dtype=bool)
+        self.pin_delay_factor = np.zeros(npins)
+
+        nets = nl.nets()
+        self.nets = nets
+        self.net_index = {id(n): j for j, n in enumerate(nets)}
+        self.net_driver = np.full(len(nets), -1, dtype=np.int32)
+        net_pin_start = np.zeros(len(nets) + 1, dtype=np.int64)
+        net_pin: List[int] = []
+        for j, net in enumerate(nets):
+            for p in net._pins:
+                net_pin.append(self.pin_index[id(p)])
+            net_pin_start[j + 1] = len(net_pin)
+            driver = net.driver()
+            if driver is not None:
+                self.net_driver[j] = self.pin_index[id(driver)]
+        self.net_pin_start = net_pin_start
+        self.net_pin = np.asarray(net_pin, dtype=np.int32)
+
+        for i, cell in enumerate(cells):
+            for k in range(cell_pin_start[i], cell_pin_start[i + 1]):
+                pin = pins[k]
+                self.pin_cell[k] = i
+                self.pin_out[k] = pin.is_output
+                self.pin_clock[k] = pin.is_clock
+                self.pin_scan[k] = pin.is_scan
+                self.pin_delay_factor[k] = pin.spec.delay_factor
+                if pin.net is not None:
+                    self.pin_net[k] = self.net_index[id(pin.net)]
+
+        self._dirty = False
+        self.epoch += 1
+        self._stats["rebuilds"] += 1
+        self._stats["cells"] = ncells
+        self._stats["pins"] = npins
+        self._stats["nets"] = len(nets)
+
+    def _lib_id(self, size, lib_ids: Dict[int, int]) -> int:
+        lid = lib_ids.get(id(size))
+        if lid is None:
+            lid = len(self.lib_sizes)
+            lib_ids[id(size)] = lid
+            self.lib_sizes.append(size)
+        return lid
+
+    # ------------------------------------------------------------------
+    # Netlist events
+    # ------------------------------------------------------------------
+
+    def _structural(self) -> None:
+        self._dirty = True
+        self._stats["structural_events"] += 1
+
+    def on_cell_added(self, cell: Cell) -> None:
+        self._structural()
+
+    def on_cell_removed(self, cell: Cell) -> None:
+        self._structural()
+
+    def on_net_added(self, net: Net) -> None:
+        self._structural()
+
+    def on_net_removed(self, net: Net) -> None:
+        self._structural()
+
+    def on_connect(self, pin: Pin, net: Net) -> None:
+        self._structural()
+
+    def on_disconnect(self, pin: Pin, net: Net) -> None:
+        self._structural()
+
+    def on_cell_moved(self, cell: Cell, old_position) -> None:
+        self._stats["moves_applied"] += 1
+        if self._dirty:
+            return
+        i = self.cell_index.get(id(cell))
+        if i is None:  # pragma: no cover - structural event must precede
+            self._dirty = True
+            return
+        pos = cell.position
+        if pos is None:
+            self.cell_placed[i] = False
+            self.cell_x[i] = 0.0
+            self.cell_y[i] = 0.0
+        else:
+            self.cell_placed[i] = True
+            self.cell_x[i] = pos.x
+            self.cell_y[i] = pos.y
+
+    def on_cell_resized(self, cell: Cell, old_size) -> None:
+        self._stats["resizes_applied"] += 1
+        if self._dirty:
+            return
+        i = self.cell_index.get(id(cell))
+        if i is None:  # pragma: no cover - structural event must precede
+            self._dirty = True
+            return
+        self.cell_area[i] = cell.area
+        self.cell_width[i] = cell.size.width
+        lib_ids = {id(s): k for k, s in enumerate(self.lib_sizes)}
+        self.cell_lib[i] = self._lib_id(cell.size, lib_ids)
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+
+    def positions_delta(self, base_x: np.ndarray, base_y: np.ndarray,
+                        base_placed: np.ndarray) -> np.ndarray:
+        """Indices of cells whose position differs from a baseline.
+
+        The delta-application hook used by checkpoint/snapshot diffing:
+        given baseline arrays captured at the same epoch, one
+        vectorized comparison replaces a per-cell dict walk.
+        """
+        moved = (self.cell_placed != base_placed) | (
+            self.cell_placed & (
+                (self.cell_x != base_x) | (self.cell_y != base_y)))
+        return np.nonzero(moved)[0]
+
+    def to_netlist(self, library=None) -> Netlist:
+        """Reconstruct a netlist from the arrays (round-trip check).
+
+        Structure, geometry, sizes, and connectivity come from the
+        arrays/size-table; annotation fields the arrays deliberately
+        do not own (gain, tags, weights, the unique-name counter) are
+        carried from the live objects, per the synchronization
+        contract above.
+        """
+        from repro.netlist.serialize import (
+            peek_name_counter,
+            set_name_counter,
+        )
+
+        self.sync()
+        out = Netlist(self.netlist.name)
+        for i, cell in enumerate(self.cells):
+            pos = (Point(float(self.cell_x[i]), float(self.cell_y[i]))
+                   if self.cell_placed[i] else None)
+            size = self.lib_sizes[self.cell_lib[i]]
+            if bool(self.cell_port[i]):
+                # recreate through the port constructors so the
+                # synthesized port gate types stay canonical
+                s, e = self.cell_pin_start[i], self.cell_pin_start[i + 1]
+                if s < e and self.pin_out[s]:
+                    new = out.add_input_port(cell.name, position=pos)
+                else:
+                    new = out.add_output_port(cell.name, position=pos)
+            else:
+                new = out.add_cell(cell.name, size, position=pos,
+                                   fixed=bool(self.cell_fixed[i]))
+            new.fixed = bool(self.cell_fixed[i])
+            new.gain = cell.gain
+            new.tags = set(cell.tags)
+        for j, net in enumerate(self.nets):
+            new_net = out.add_net(net.name, weight=net.weight,
+                                  is_clock=net.is_clock,
+                                  is_scan=net.is_scan)
+            new_net.base_weight = net.base_weight
+            s, e = self.net_pin_start[j], self.net_pin_start[j + 1]
+            for k in self.net_pin[s:e]:
+                pin = self.pins[k]
+                cell_name = self.cells[self.pin_cell[k]].name
+                out.connect(out.cell(cell_name).pin(pin.name), new_net)
+        set_name_counter(out, peek_name_counter(self.netlist))
+        return out
+
+    def __repr__(self) -> str:
+        state = "dirty" if self._dirty else "epoch %d" % self.epoch
+        return "<CoreImage %d cells / %d pins / %d nets (%s)>" % (
+            self._stats["cells"], self._stats["pins"],
+            self._stats["nets"], state)

@@ -1,0 +1,276 @@
+"""Array kernel for quadratic-placement system assembly.
+
+The object-graph placer (:mod:`repro.placement.quadratic`) walks nets
+pin by pin, appending clique/star spring contributions to the diagonal,
+the right-hand sides, and a COO triplet list.  Floating-point addition
+is not associative, so the array kernel cannot simply accumulate per
+net in any order: it must replay the *same contribution order*.
+
+The trick: every contribution is emitted into a flat record stream
+tagged ``(net_rank, minor)`` where ``minor`` encodes the pair/end slot
+within the net.  Contributions are produced batched (one vectorized
+pass per net degree and pair slot), then a stable lexsort restores the
+object path's net-major emission order, and a single ``np.add.at`` —
+which applies repeated indices sequentially, exactly like ``+=`` in a
+loop — reproduces the accumulation bit for bit.  COO duplicate
+summation in scipy is deterministic for identical triplet order, so
+the sorted off-diagonal stream matches too.
+
+Live-gathered state (per the CoreImage contract): net weights (the
+netweight transform writes ``net.weight`` directly) and the movable
+set (``cell.fixed`` is written directly by checkpoint restore paths).
+Positions come from the image arrays, which every ``move_cell`` event
+updates in place.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+from scipy.sparse import coo_matrix, csr_matrix
+
+
+def _pairs(k: int) -> List[Tuple[int, int]]:
+    return [(a, b) for a in range(k) for b in range(a + 1, k)]
+
+
+def _csr_ranges(start: np.ndarray, idx: np.ndarray):
+    """Flat gather indices + per-row counts for CSR rows ``idx``."""
+    cnt = start[idx + 1] - start[idx]
+    total = int(cnt.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), cnt
+    off = np.cumsum(cnt) - cnt
+    flat = (np.arange(total, dtype=np.int64)
+            - np.repeat(off, cnt) + np.repeat(start[idx], cnt))
+    return flat, cnt
+
+
+class _Streams:
+    """Contribution records, restored to emission order on finalize."""
+
+    def __init__(self) -> None:
+        self.diag: List[List[np.ndarray]] = [[], [], [], []]
+        self.rhs: List[List[np.ndarray]] = [[], [], [], [], []]
+        self.off: List[List[np.ndarray]] = [[], [], [], [], []]
+
+    @staticmethod
+    def _emit(stream: List[List[np.ndarray]], *cols) -> None:
+        for slot, col in zip(stream, cols):
+            slot.append(col)
+
+    def emit_diag(self, rank, minor, idx, val) -> None:
+        self._emit(self.diag, rank, minor, idx, val)
+
+    def emit_rhs(self, rank, minor, idx, vx, vy) -> None:
+        self._emit(self.rhs, rank, minor, idx, vx, vy)
+
+    def emit_off(self, rank, minor, i, j, val) -> None:
+        self._emit(self.off, rank, minor, i, j, val)
+
+    @staticmethod
+    def _finalize(stream: List[List[np.ndarray]], dtypes):
+        if not stream[0]:
+            return [np.zeros(0, dtype=dt) for dt in dtypes]
+        arrs = [np.concatenate(col) for col in stream]
+        order = np.lexsort((arrs[1], arrs[0]))
+        return [a[order] for a in arrs[2:]]
+
+    def apply(self, diag: np.ndarray, bx: np.ndarray, by: np.ndarray):
+        """Accumulate diag/rhs in emission order; return off-diag."""
+        d_idx, d_val = self._finalize(self.diag, (np.int64, float))
+        np.add.at(diag, d_idx, d_val)
+        r_idx, r_vx, r_vy = self._finalize(
+            self.rhs, (np.int64, float, float))
+        np.add.at(bx, r_idx, r_vx)
+        np.add.at(by, r_idx, r_vy)
+        return self._finalize(self.off, (np.int64, np.int64, float))
+
+
+def _emit_clique(streams: _Streams, ranks: np.ndarray, w: np.ndarray,
+                 em: np.ndarray, ex: np.ndarray, ey: np.ndarray,
+                 k: int) -> None:
+    """Contributions of one degree-``k`` clique batch.
+
+    ``em``/``ex``/``ey`` are (N, k): the movable index (or -1) and the
+    fixed position of each net end.  Minor keys pack the pair slot and
+    the within-pair sub-order (movable i before movable j).
+    """
+    i64 = np.int64
+    for s, (a, b) in enumerate(_pairs(k)):
+        ia = em[:, a]
+        ib = em[:, b]
+        am = ia >= 0
+        bm = ib >= 0
+        mm = am & bm
+        first = am | bm
+        if first.any():
+            streams.emit_diag(
+                ranks[first],
+                np.full(int(first.sum()), 4 * s, dtype=i64),
+                np.where(am, ia, ib)[first], w[first])
+        if mm.any():
+            streams.emit_diag(
+                ranks[mm], np.full(int(mm.sum()), 4 * s + 1, dtype=i64),
+                ib[mm], w[mm])
+            streams.emit_off(
+                ranks[mm], np.full(int(mm.sum()), 4 * s, dtype=i64),
+                ia[mm], ib[mm], -w[mm])
+            streams.emit_off(
+                ranks[mm], np.full(int(mm.sum()), 4 * s + 1, dtype=i64),
+                ib[mm], ia[mm], -w[mm])
+        onem = first & ~mm
+        if onem.any():
+            mf = am & ~bm
+            idx = np.where(mf, ia, ib)[onem]
+            px = np.where(mf, ex[:, b], ex[:, a])[onem]
+            py = np.where(mf, ey[:, b], ey[:, a])[onem]
+            streams.emit_rhs(
+                ranks[onem],
+                np.full(int(onem.sum()), 4 * s, dtype=i64),
+                idx, w[onem] * px, w[onem] * py)
+
+
+def assemble_system(design, movable):
+    """Array twin of ``QuadraticPlacer._solve``'s system assembly.
+
+    Returns ``(laplacian_csr, bx, by)`` bit-identical to the object
+    path's, for the same movable-cell list.
+    """
+    from repro.placement.quadratic import _ANCHOR_WEIGHT, _CLIQUE_LIMIT
+
+    im = design.core_image.sync()
+    n = len(movable)
+    center = design.die.center
+    nnets = len(im.nets)
+
+    mov = np.full(len(im.cells), -1, dtype=np.int64)
+    for r, c in enumerate(movable):
+        mov[im.cell_index[id(c)]] = r
+    weights = np.fromiter((nt.weight for nt in im.nets), dtype=float,
+                          count=nnets)
+
+    pc = im.pin_cell.astype(np.int64)[im.net_pin]
+    end_mov = mov[pc]
+    keep = (end_mov >= 0) | im.cell_placed[pc]
+    counts_all = np.diff(im.net_pin_start)
+    flat_net = np.repeat(np.arange(nnets, dtype=np.int64), counts_all)
+    kcnt = np.bincount(flat_net[keep], minlength=nnets)
+    e_mov = end_mov[keep]
+    e_x = im.cell_x[pc[keep]]
+    e_y = im.cell_y[pc[keep]]
+    kstart = np.zeros(nnets + 1, dtype=np.int64)
+    np.cumsum(kcnt, out=kstart[1:])
+    live = (weights > 0) & (kcnt >= 2)
+
+    diag = np.full(n, _ANCHOR_WEIGHT)
+    bx = np.zeros(n)
+    by = np.zeros(n)
+    bx += _ANCHOR_WEIGHT * center.x
+    by += _ANCHOR_WEIGHT * center.y
+
+    streams = _Streams()
+    for k in range(2, _CLIQUE_LIMIT + 1):
+        g = np.flatnonzero(live & (kcnt == k))
+        if g.size == 0:
+            continue
+        cols = kstart[g][:, None] + np.arange(k, dtype=np.int64)[None, :]
+        _emit_clique(streams, g, weights[g] / (k - 1),
+                     e_mov[cols], e_x[cols], e_y[cols], k)
+
+    stars = np.flatnonzero(live & (kcnt > _CLIQUE_LIMIT))
+    for j in stars.tolist():
+        s0 = kstart[j]
+        kk = int(kcnt[j])
+        movs = e_mov[s0:s0 + kk]
+        fmask = movs < 0
+        nf = int(fmask.sum())
+        if nf:
+            # Python-order mean, matching the object path's sum()
+            cx = sum(e_x[s0:s0 + kk][fmask].tolist()) / nf
+            cy = sum(e_y[s0:s0 + kk][fmask].tolist()) / nf
+        else:
+            cx, cy = center.x, center.y
+        w = weights[j] / kk
+        epos = np.flatnonzero(~fmask)
+        if epos.size:
+            rank = np.full(epos.size, j, dtype=np.int64)
+            idx = movs[epos]
+            streams.emit_diag(rank, 4 * epos, idx,
+                              np.full(epos.size, w))
+            streams.emit_rhs(rank, 4 * epos, idx,
+                             np.full(epos.size, w * cx),
+                             np.full(epos.size, w * cy))
+
+    rows, cols_, vals = streams.apply(diag, bx, by)
+    ar = np.arange(n, dtype=np.int64)
+    laplacian = csr_matrix(coo_matrix(
+        (np.concatenate([vals, diag]),
+         (np.concatenate([rows, ar]), np.concatenate([cols_, ar]))),
+        shape=(n, n)))
+    return laplacian, bx, by
+
+
+def assemble_dense(design, cells, rect):
+    """Array twin of ``QuadraticRefine._refine_group``'s assembly.
+
+    ``cells`` is the sorted movable group, ``rect`` the bin rectangle.
+    Returns ``(laplacian, bx, by)`` with the diagonal filled in,
+    bit-identical to the object path's dense system.
+    """
+    im = design.core_image.sync()
+    n = len(cells)
+    center = rect.center
+
+    gcells = np.fromiter((im.cell_index[id(c)] for c in cells),
+                         dtype=np.int64, count=n)
+    gmap = np.full(len(im.cells), -1, dtype=np.int64)
+    gmap[gcells] = np.arange(n, dtype=np.int64)
+
+    # candidate nets in first-seen order over the group's pins
+    flat, _cnt = _csr_ranges(im.cell_pin_start, gcells)
+    pnets = im.pin_net.astype(np.int64)[flat]
+    pnets = pnets[pnets >= 0]
+    _u, first_pos = np.unique(pnets, return_index=True)
+    cand = pnets[np.sort(first_pos)]
+    wts = np.fromiter((im.nets[j].weight for j in cand.tolist()),
+                      dtype=float, count=cand.size)
+    sel = wts > 0
+    cand = cand[sel]
+    wts = wts[sel]
+
+    diag = np.full(n, 1e-6)
+    bx = np.zeros(n)
+    by = np.zeros(n)
+    bx += 1e-6 * center.x
+    by += 1e-6 * center.y
+    laplacian = np.full((n, n), 0.0)
+
+    if cand.size:
+        nflat, ncnt = _csr_ranges(im.net_pin_start, cand)
+        pc = im.pin_cell.astype(np.int64)[im.net_pin[nflat]]
+        end_mov = gmap[pc]
+        keep = (end_mov >= 0) | im.cell_placed[pc]
+        rank_flat = np.repeat(np.arange(cand.size, dtype=np.int64), ncnt)
+        kcnt = np.bincount(rank_flat[keep], minlength=cand.size)
+        e_mov = end_mov[keep]
+        e_x = im.cell_x[pc[keep]]
+        e_y = im.cell_y[pc[keep]]
+        kstart = np.zeros(cand.size + 1, dtype=np.int64)
+        np.cumsum(kcnt, out=kstart[1:])
+
+        streams = _Streams()
+        for k in range(2, 11):
+            g = np.flatnonzero(kcnt == k)
+            if g.size == 0:
+                continue
+            cols = (kstart[g][:, None]
+                    + np.arange(k, dtype=np.int64)[None, :])
+            _emit_clique(streams, g, wts[g] / (k - 1),
+                         e_mov[cols], e_x[cols], e_y[cols], k)
+        rows, cols_, vals = streams.apply(diag, bx, by)
+        np.add.at(laplacian.reshape(-1), rows * n + cols_, vals)
+
+    np.fill_diagonal(laplacian, diag)
+    return laplacian, bx, by

@@ -30,7 +30,10 @@ class Design:
                  parasitics: Optional[WireParasitics] = None,
                  target_utilization: float = 0.85,
                  mode: DelayMode = DelayMode.GAIN,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 core: str = "object") -> None:
+        if core not in ("object", "array"):
+            raise ValueError("unknown compute core %r" % (core,))
         self.netlist = netlist
         self.library = library
         self.die = die
@@ -39,15 +42,25 @@ class Design:
         self.target_utilization = target_utilization
         self.rng = random.Random(seed)
 
+        #: Compute core: "object" runs the hot kernels over the object
+        #: graph, "array" over the repro.core SoA image.  Results are
+        #: bit-identical; tests/core pins the equivalence.
+        self.core = core
+        self.core_image = None
+        if core == "array":
+            from repro.core import CoreImage
+            self.core_image = CoreImage(netlist)
+
         self.grid = BinGrid(die, 1, 1, blockages=self.blockages,
                             target_utilization=target_utilization)
+        self.grid.core = self.core_image
         self.grid.attach(netlist)
 
         self.parasitics = parasitics or WireParasitics()
         self.steiner = SteinerCache(netlist, rent=RentEstimator())
         self.wire_model = WireModel(self.steiner, self.parasitics)
         self.timing = TimingEngine(netlist, self.wire_model, constraints,
-                                   mode=mode)
+                                   mode=mode, kernel=core)
         self.library_analysis: LibraryAnalysis = analyze_library(library)
 
         #: Placement progress 0..100 as reported by the Partitioner.

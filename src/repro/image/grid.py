@@ -37,6 +37,10 @@ class BinGrid(NetlistListener):
         self.target_utilization = target_utilization
         self.tracks_per_unit = tracks_per_unit
         self.netlist: Optional[Netlist] = None
+        #: optional repro.core.CoreImage; when set (array core), grid
+        #: rebuilds bin occupancy from its arrays instead of per-cell
+        #: property walks (bit-identical accumulation order)
+        self.core = None
         self.nx = 0
         self.ny = 0
         self._bins: List[List[Bin]] = []
@@ -71,9 +75,50 @@ class BinGrid(NetlistListener):
             self._bins.append(column)
         self._cell_bin = {}
         if self.netlist is not None:
-            for cell in self.netlist.cells():
-                if cell.placed:
-                    self._insert(cell)
+            if self.core is not None and self.core.netlist is self.netlist:
+                self._rebuild_occupancy_array()
+            else:
+                for cell in self.netlist.cells():
+                    if cell.placed:
+                        self._insert(cell)
+
+    def _rebuild_occupancy_array(self) -> None:
+        """Vectorized re-binning of all placed cells (array core).
+
+        Replicates ``_insert`` per placed cell in netlist order: the
+        same clamp/trunc bin indexing and — via ``np.add.at``, which
+        accumulates repeated indices sequentially — the same
+        ``area_used`` addition order, so occupancy is bit-identical to
+        the object path's.
+        """
+        import numpy as np
+
+        im = self.core.sync()
+        idx = np.flatnonzero(im.cell_placed)
+        if idx.size == 0:
+            return
+        die = self.die
+        bw = die.width / self.nx
+        bh = die.height / self.ny
+        px = np.minimum(np.maximum(im.cell_x[idx], die.xlo), die.xhi)
+        py = np.minimum(np.maximum(im.cell_y[idx], die.ylo), die.yhi)
+        ix = np.minimum(self.nx - 1, np.maximum(
+            0, ((px - die.xlo) / bw).astype(np.int64)))
+        iy = np.minimum(self.ny - 1, np.maximum(
+            0, ((py - die.ylo) / bh).astype(np.int64)))
+        flat = ix * self.ny + iy
+        area = np.zeros(self.nx * self.ny)
+        np.add.at(area, flat, im.cell_area[idx])
+        bins_flat = [b for column in self._bins for b in column]
+        cells = im.cells
+        cell_bin = self._cell_bin
+        for k, f in zip(idx.tolist(), flat.tolist()):
+            cell = cells[k]
+            b = bins_flat[f]
+            b.cells.add(cell)
+            cell_bin[cell.name] = b
+        for f in np.unique(flat).tolist():
+            bins_flat[f].area_used = float(area[f])
 
     def attach(self, netlist: Netlist) -> None:
         """Bind to a netlist: populate from placed cells and subscribe."""

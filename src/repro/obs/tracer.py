@@ -226,6 +226,11 @@ class Tracer:
         self.counters = registry or CounterRegistry()
         self.counters.add("timing", design.timing.stats)
         self.counters.add("steiner", lambda: design.steiner.stats)
+        if getattr(design, "core_image", None) is not None:
+            self.counters.add("core", design.core_image.stats)
+            akernel = getattr(design.timing, "_akernel", None)
+            if akernel is not None:
+                self.counters.add("core.sta", akernel.stats)
         #: optional :class:`repro.obs.sink.CounterSink` — the live
         #: cross-process metrics channel; published at every span end
         self.sink = sink

@@ -94,7 +94,8 @@ def load_resume(path: str, library,
     if record is None:
         raise SnapshotError("no snapshot to resume from in %s" % path)
     payload = load_snapshot_payload(rundir, record)
-    design = rebuild_design(payload, library)
+    core = rundir.meta.get("design", {}).get("core", "object")
+    design = rebuild_design(payload, library, core=core)
     pconfig = PersistConfig.from_state(rundir.meta.get("persist", {}))
     pconfig.die_at_status = die_at_status
     pconfig.die_at_snapshot = die_at_snapshot

@@ -199,8 +199,14 @@ def _verify(design: Design, payload: dict, where: str) -> None:
                                payload["signature"][:12]))
 
 
-def rebuild_design(payload: dict, library: Library) -> Design:
-    """A fresh ``Design`` from a snapshot payload, signature-verified."""
+def rebuild_design(payload: dict, library: Library,
+                   core: str = "object") -> Design:
+    """A fresh ``Design`` from a snapshot payload, signature-verified.
+
+    ``core`` selects the compute core of the rebuilt design; it is
+    not part of the payload (snapshots are core-independent), so the
+    caller passes the run's recorded choice.
+    """
     state = payload["design"]
     try:
         netlist = Netlist(state["netlist"]["name"])
@@ -217,7 +223,7 @@ def rebuild_design(payload: dict, library: Library) -> Design:
             netlist, library, die, constraints, blockages=blockages,
             parasitics=parasitics,
             target_utilization=state["target_utilization"],
-            mode=DelayMode(state["timing"]["mode"]))
+            mode=DelayMode(state["timing"]["mode"]), core=core)
         _apply_scalars(design, state)
     except (KeyError, TypeError, ValueError) as exc:
         raise SnapshotError("malformed snapshot payload: %s" % exc)

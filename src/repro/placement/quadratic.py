@@ -49,6 +49,13 @@ class QuadraticPlacer:
     # -- system assembly and solve ----------------------------------------
 
     def _solve(self, movable: List[Cell]) -> Tuple[np.ndarray, np.ndarray]:
+        if (self.design.core == "array"
+                and self.design.core_image is not None):
+            from repro.core.quad import assemble_system
+            laplacian, bx, by = assemble_system(self.design, movable)
+            xs, _ = cg(laplacian, bx, rtol=1e-8, maxiter=500)
+            ys, _ = cg(laplacian, by, rtol=1e-8, maxiter=500)
+            return xs, ys
         index = {id(c): i for i, c in enumerate(movable)}
         n = len(movable)
         rows: List[int] = []

@@ -57,6 +57,10 @@ class QuadraticRefine:
 
     def _refine_group(self, design: Design, cells: List[Cell],
                       b) -> bool:
+        if design.core == "array" and design.core_image is not None:
+            from repro.core.quad import assemble_dense
+            laplacian, bx, by = assemble_dense(design, cells, b.rect)
+            return self._try_solution(design, cells, b, laplacian, bx, by)
         index = {id(c): i for i, c in enumerate(cells)}
         n = len(cells)
         laplacian = np.full((n, n), 0.0)
@@ -103,6 +107,11 @@ class QuadraticRefine:
                             bx[ic] += w * pa.x
                             by[ic] += w * pa.y
         np.fill_diagonal(laplacian, diag)
+        return self._try_solution(design, cells, b, laplacian, bx, by)
+
+    def _try_solution(self, design: Design, cells: List[Cell], b,
+                      laplacian: np.ndarray, bx: np.ndarray,
+                      by: np.ndarray) -> bool:
         try:
             xs = np.linalg.solve(laplacian, bx)
             ys = np.linalg.solve(laplacian, by)

@@ -44,7 +44,8 @@ class TimingEngine(NetlistListener):
                  constraints: TimingConstraints,
                  mode: DelayMode = DelayMode.LOAD,
                  default_gain: float = 3.0,
-                 port_drive_resistance: float = 0.5) -> None:
+                 port_drive_resistance: float = 0.5,
+                 kernel: str = "object") -> None:
         self.netlist = netlist
         self.wire_model = wire_model
         self.constraints = constraints
@@ -75,6 +76,17 @@ class TimingEngine(NetlistListener):
             "levelizations": 0,
             "flushes": 0,
         }
+
+        #: Flush kernel: "object" walks the graph pin by pin, "array"
+        #: sweeps levelized index arrays (repro.core.sta).  Both
+        #: produce bit-identical values and counters.
+        self.kernel = kernel
+        self._akernel = None
+        if kernel == "array":
+            from repro.core.sta import ArrayStaKernel
+            self._akernel = ArrayStaKernel()
+        elif kernel != "object":
+            raise ValueError("unknown timing kernel %r" % (kernel,))
 
         netlist.add_listener(self)
         self._mark_all_dirty()
@@ -173,6 +185,9 @@ class TimingEngine(NetlistListener):
     def worst_slack(self) -> float:
         """Worst (most negative) endpoint slack (ps)."""
         self._flush()
+        ak = self._akernel
+        if ak is not None and ak.ready(self):
+            return ak.worst_slack(self)
         slacks = [self.slack(p) for p in self.endpoints()]
         finite = [s for s in slacks if s < INF]
         return min(finite) if finite else INF
@@ -180,6 +195,9 @@ class TimingEngine(NetlistListener):
     def total_negative_slack(self) -> float:
         """Sum of negative endpoint slacks (ps, <= 0)."""
         self._flush()
+        ak = self._akernel
+        if ak is not None and ak.ready(self):
+            return ak.total_negative_slack(self)
         return sum(min(0.0, self.slack(p)) for p in self.endpoints()
                    if self.slack(p) < INF)
 
@@ -257,6 +275,8 @@ class TimingEngine(NetlistListener):
         self._required.clear()
         self._dirty_arr = set()
         self._dirty_req = set()
+        if self._akernel is not None:
+            self._akernel.drop()
         for cell in self.netlist.cells():
             for pin in cell.pins():
                 self._dirty_arr.add(pin)
@@ -265,6 +285,8 @@ class TimingEngine(NetlistListener):
     def _touch_net(self, net: Net) -> None:
         """A net's wire or load changed: dirty the affected frontier."""
         self._net_elec.pop(net.name, None)
+        if self._akernel is not None:
+            self._akernel.net_touched(net)
         driver = net.driver()
         if driver is not None:
             # driver's output arrival (gate delay sees new load) and
@@ -289,6 +311,8 @@ class TimingEngine(NetlistListener):
     def on_cell_resized(self, cell: Cell, old_size: GateSize) -> None:
         # Input caps changed -> upstream nets see new loads; drive
         # changed -> this cell's own arcs change.
+        if self._akernel is not None:
+            self._akernel.cell_resized(cell)
         self._touch_cell_nets(cell)
         for p in cell.output_pins():
             self._dirty_arr.add(p)
@@ -344,6 +368,9 @@ class TimingEngine(NetlistListener):
             return
         self._stats["flushes"] += 1
         graph = self.graph()
+        if self._akernel is not None:
+            self._akernel.flush(self, graph)
+            return
         self._flush_arrivals(graph)
         self._flush_requireds(graph)
 

@@ -70,7 +70,8 @@ def make_design(netlist: Netlist, library: Library, cycle_time: float,
                 with_blockage: bool = False,
                 parasitics: Optional[WireParasitics] = None,
                 mode: DelayMode = DelayMode.GAIN,
-                seed: int = 0) -> Design:
+                seed: int = 0,
+                core: str = "object") -> Design:
     """Size a die, place ports, and wrap everything in a ``Design``.
 
     The die is sized for the area the netlist will have *after*
@@ -100,4 +101,5 @@ def make_design(netlist: Netlist, library: Library, cycle_time: float,
     constraints = TimingConstraints(cycle_time=cycle_time)
     return Design(netlist, library, die, constraints,
                   blockages=blockages, parasitics=parasitics,
-                  target_utilization=0.9, mode=mode, seed=seed)
+                  target_utilization=0.9, mode=mode, seed=seed,
+                  core=core)

@@ -62,7 +62,8 @@ def des_params(name: str, scale: float = 1.0) -> ProcessorParams:
 def build_des_design(name: str, library: Library, scale: float = 1.0,
                      cycle_time: float = None,
                      with_blockage: bool = True,
-                     mode: DelayMode = DelayMode.GAIN) -> Design:
+                     mode: DelayMode = DelayMode.GAIN,
+                     core: str = "object") -> Design:
     """Generate a Des preset netlist and wrap it in a Design."""
     params = des_params(name, scale)
     netlist = processor_partition(params, library)
@@ -70,4 +71,5 @@ def build_des_design(name: str, library: Library, scale: float = 1.0,
         cycle_time = DES_PRESETS[name]["cycle_time"]
     return make_design(netlist, library, cycle_time,
                        with_blockage=with_blockage, mode=mode,
-                       seed=DES_PRESETS[name]["seed"])
+                       seed=DES_PRESETS[name]["seed"],
+                       core=core)

@@ -1,0 +1,165 @@
+"""Kill-and-resume under the array core.
+
+Extends the crash matrix (``tests/persist/test_crash_matrix.py``) to
+``core="array"``: a TPS run killed at a milestone snapshot and resumed
+through the production path — ``load_resume``, which reads the run's
+recorded core choice from ``run.json`` and rebuilds an array-core
+design — must land on a report and final state signature bit-identical
+to an uninterrupted run, which is itself bit-identical to an
+uninterrupted *object*-core run (the differential closes end to end).
+
+The fast tier kills once mid-chain; the ``slow`` tier replays the
+chain protocol, dying at **every** milestone of the schedule exactly
+once.
+"""
+
+import pytest
+
+from repro.guard import DesignCheckpoint
+from repro.persist import (
+    DIE_EXIT_CODE,
+    FlowPersist,
+    Journal,
+    PersistConfig,
+    RunDir,
+    load_resume,
+    scan_resume,
+)
+from repro.scenario import TPSConfig, TPSScenario
+from repro.scenario.report import report_state
+from repro.workloads.presets import build_des_design
+
+SCALE = 0.05
+
+
+def _design(library, core):
+    return build_des_design("Des1", library, scale=SCALE, core=core)
+
+
+def _pconfig(die_at_snapshot=None, compact_every=0):
+    return PersistConfig(snapshot_every=20, snapshot_mode="delta",
+                         full_every=4, compact_every=compact_every,
+                         die_at_snapshot=die_at_snapshot)
+
+
+def fresh_array_run(path, library, pconfig):
+    """A persisted array-core TPS scenario, recording the core choice
+    in run.json exactly as ``python -m repro tps --core=array`` does."""
+    design = _design(library, "array")
+    config = TPSConfig(seed=1)
+    meta = {"flow": "TPS", "config": config.to_state(),
+            "persist": pconfig.to_state(),
+            "design": {"core": "array"}}
+    rundir = RunDir.create(str(path), meta)
+    journal = Journal.create(rundir.journal_path)
+    persist = FlowPersist(rundir, journal, pconfig, design)
+    return design, TPSScenario(design, config, persist=persist)
+
+
+def resume_array_run(path, library, die_at_snapshot=None):
+    """Resume through the production ``load_resume`` path; the core
+    choice must come from the run directory, not the caller."""
+    run = load_resume(str(path), library,
+                      die_at_snapshot=die_at_snapshot)
+    assert run.design.core == "array"
+    assert run.design.core_image is not None
+    config = TPSConfig.from_state(run.meta["config"])
+    scenario = TPSScenario(run.design, config, persist=run.persist,
+                           resume_state=run.resume_state)
+    return run.design, scenario.run()
+
+
+@pytest.fixture(scope="module")
+def references(library, tmp_path_factory):
+    """Uninterrupted reference runs, one per core."""
+    refs = {}
+    for core in ("object", "array"):
+        path = tmp_path_factory.mktemp("ref-%s" % core)
+        design = _design(library, core)
+        config = TPSConfig(seed=1)
+        meta = {"flow": "TPS", "config": config.to_state(),
+                "persist": _pconfig().to_state(),
+                "design": {"core": core}}
+        rundir = RunDir.create(str(path), meta)
+        journal = Journal.create(rundir.journal_path)
+        persist = FlowPersist(rundir, journal, _pconfig(), design)
+        report = TPSScenario(design, config, persist=persist).run()
+        written = [r for r in journal if r["type"] == "snapshot"
+                   and r.get("milestone")]
+        refs[core] = {
+            "report": report_state(report),
+            "signature": DesignCheckpoint.state_signature(design),
+            "kill_points": len(written) + persist.stats["deduped"],
+        }
+    return refs
+
+
+def test_cores_agree_uninterrupted(references):
+    """The cross-core differential must hold before any kill."""
+    assert references["array"]["report"] \
+        == references["object"]["report"]
+    assert references["array"]["signature"] \
+        == references["object"]["signature"]
+
+
+def test_kill_once_and_resume(references, library, tmp_path):
+    """Fast tier: one mid-chain kill; the resumed array run must
+    match both uninterrupted references field-by-field."""
+    ref = references["array"]
+    path = tmp_path / "killed"
+    # kill point 11 sits mid-delta-chain with full_every=4, so the
+    # restore walks delta links back to a full root
+    _, scenario = fresh_array_run(
+        path, library, _pconfig(die_at_snapshot=11, compact_every=5))
+    with pytest.raises(SystemExit) as death:
+        scenario.run()
+    assert death.value.code == DIE_EXIT_CODE
+    design, report = resume_array_run(path, library)
+    assert report_state(report) == ref["report"]
+    assert DesignCheckpoint.state_signature(design) == ref["signature"]
+    journal = Journal.open(RunDir.open(str(path)).journal_path)
+    assert scan_resume(journal)["completed"]
+
+
+@pytest.mark.slow
+def test_kill_chain_covers_every_milestone(references, library,
+                                           tmp_path):
+    """Die at every milestone of one array run; the survivor must
+    match the uninterrupted references (chain protocol as in
+    ``tests/persist/test_crash_matrix.py``)."""
+    ref = references["array"]
+    path = tmp_path / "chain"
+    _, scenario = fresh_array_run(
+        path, library, _pconfig(die_at_snapshot=1, compact_every=6))
+    with pytest.raises(SystemExit) as death:
+        scenario.run()
+    assert death.value.code == DIE_EXIT_CODE
+    deaths = 1
+    die_at = 1
+    prev_tag = None
+    design = report = None
+    while deaths <= 400:  # far above any milestone count
+        journal = Journal.open(RunDir.open(str(path)).journal_path)
+        record = scan_resume(journal)["snapshot"]
+        if record.get("tag") == prev_tag:
+            die_at += 1  # last death re-hit the same schedule point
+        else:
+            die_at = 1
+        prev_tag = record.get("tag")
+        try:
+            design, report = resume_array_run(
+                path, library, die_at_snapshot=die_at)
+            break
+        except SystemExit as death:
+            assert death.code == DIE_EXIT_CODE
+            deaths += 1
+    else:
+        pytest.fail("kill chain never completed after %d deaths"
+                    % deaths)
+    where = "after %d deaths" % deaths
+    assert deaths >= ref["kill_points"], where
+    assert report_state(report) == ref["report"], where
+    assert (DesignCheckpoint.state_signature(design)
+            == ref["signature"]), where
+    assert (report_state(report)
+            == references["object"]["report"]), where
