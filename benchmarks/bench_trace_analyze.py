@@ -1,0 +1,91 @@
+"""Trace-analytics cost: kernel profiling hooks and the analyzer.
+
+The kernel profiler (:mod:`repro.obs.profile`) brackets every hot
+kernel call with a ``perf_counter`` pair and folds the totals into the
+counter registry, so every traced span carries ``profile.*`` deltas.
+For the hooks to stay on by default in traced runs their cost has to
+be invisible: the budget is 2% wall-clock on a traced Des3 TPS run,
+measured hooks-on vs hooks-off (``profile.enable(False)``), with
+bit-identical results — published as ``BENCH_trace.json``.
+
+The same entry records what the analytics layer costs downstream:
+``analyze_trace`` and ``diff_traces`` wall time on the produced trace,
+which is what ``trace-report`` / ``trace-diff`` pay per invocation.
+"""
+
+import json
+import os
+
+from conftest import BENCH_SCALE, publish, stopwatch
+
+from repro import TPSScenario, Tracer, TraceWriter
+from repro.obs import analyze_trace, diff_traces, profile, read_trace
+from repro.scenario import TPSConfig
+from repro.scenario.report import report_state
+from repro.workloads.presets import build_des_design
+
+
+def traced_run(library, trace_path, profiling):
+    design = build_des_design("Des3", library, scale=BENCH_SCALE)
+    tracer = Tracer(design, writer=TraceWriter(trace_path))
+    config = TPSConfig(seed=1)
+    profile.reset()
+    profile.enable(profiling)
+    try:
+        with stopwatch() as sw:
+            report = TPSScenario(design, config, tracer=tracer).run()
+    finally:
+        profile.enable(True)
+    return report, sw.seconds
+
+
+def test_trace_analyze_cost(benchmark, library, tmp_path):
+    off_path = str(tmp_path / "trace-off.jsonl")
+    on_path = str(tmp_path / "trace-on.jsonl")
+    results = benchmark.pedantic(
+        lambda: {
+            "off": traced_run(library, off_path, False),
+            "on": traced_run(library, on_path, True),
+        },
+        rounds=1, iterations=1)
+
+    plain, t_off = results["off"]
+    hooked, t_on = results["on"]
+    records = read_trace(on_path)
+    with stopwatch() as sw_analyze:
+        report = analyze_trace(records)
+    with stopwatch() as sw_diff:
+        diff = diff_traces(records, records)
+
+    kernels = {}
+    for row in report.rows:
+        for kernel, seconds in row.kernels.items():
+            kernels[kernel] = kernels.get(kernel, 0.0) + seconds
+    overhead_pct = 100.0 * (t_on - t_off) / t_off
+    entry = {
+        "preset": "Des3",
+        "scale": BENCH_SCALE,
+        "icells": hooked.icells,
+        "spans": len(records),
+        "trace_bytes": os.path.getsize(on_path),
+        "hooks_off_seconds": round(t_off, 3),
+        "hooks_on_seconds": round(t_on, 3),
+        "profiling_overhead_pct": round(overhead_pct, 2),
+        "profiling_budget_pct": 2.0,
+        "kernel_seconds": {k: round(s, 3)
+                           for k, s in sorted(kernels.items())},
+        "analyze_seconds": round(sw_analyze.seconds, 4),
+        "diff_seconds": round(sw_diff.seconds, 4),
+    }
+    publish("BENCH_trace.json",
+            json.dumps(entry, indent=2, sort_keys=True) + "\n")
+
+    # the hooks observe, they must not steer
+    assert report_state(hooked) == report_state(plain)
+    # hooks actually fired: every span carries kernel attribution
+    assert kernels, "no profile.* counters reached the trace"
+    # a run diffed against itself must always triage clean
+    assert diff.verdict == "ok"
+    # the acceptance budget: hooks stay inside 2% of traced wall time
+    assert overhead_pct <= 2.0, \
+        "profiling hooks cost %.1f%% over a traced run" % overhead_pct

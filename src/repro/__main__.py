@@ -9,6 +9,12 @@ Commands:
 * ``info``     — print design statistics without running a flow
 * ``trace-export`` — convert a run's ``trace.jsonl`` span stream to
   Chrome trace-event JSON (load in ``chrome://tracing`` / Perfetto)
+* ``trace-report`` — roll a run's trace into the per-transform payoff
+  table (invocations, wall seconds, ΔWNS/ΔTNS/Δwirelength and rates)
+* ``trace-diff`` — classify drift between two runs' traces against
+  configurable thresholds; exits 1 when a regression survives
+* ``fleet-report`` — aggregate jobs, latency histograms and payoff
+  tables across a serve state dir (the offline ``/metrics``)
 * ``serve``    — long-running flow job server (worker pool, HTTP API,
   live ``/metrics``; see ``docs/operations.md``)
 * ``worker``   — standalone worker agent: lease jobs from a shared
@@ -22,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro import (
@@ -299,7 +306,8 @@ def cmd_tps(args) -> int:
     library = default_library()
     design = _load_design(args, library)
     guard, injector = _guard_setup(args)
-    config = TPSConfig(guard=guard)
+    config = TPSConfig(guard=guard,
+                       pin_swap_budget=args.pin_swap_budget)
     persist = _persist_create(args, "TPS", design, config, injector)
     scenario = TPSScenario(design, config=config, injector=injector,
                            persist=persist,
@@ -364,21 +372,16 @@ def cmd_synth(args) -> int:
 
 def cmd_trace_export(args) -> int:
     """Convert a span stream to Chrome trace-event JSON."""
-    import os
-    source = args.source
-    if os.path.isdir(source):  # a run directory: use its trace.jsonl
-        try:
-            source = RunDir.open(source).trace_path
-        except RunDirError as exc:
-            print("not a run directory: %s" % exc, file=sys.stderr)
-            return 2
-    if not os.path.exists(source):
-        print("no trace at %s (the run was not traced, or the path "
-              "is wrong)" % source, file=sys.stderr)
+    from repro.obs.analyze import TraceNotFound, load_trace
+    try:
+        records = load_trace(args.source)
+    except TraceNotFound as exc:
+        print("%s (the run was not traced, or the path is wrong)"
+              % exc, file=sys.stderr)
         return 2
-    records = read_trace(source)
     if not records:
-        print("no valid span records in %s" % source, file=sys.stderr)
+        print("no valid span records in %s" % args.source,
+              file=sys.stderr)
         return 1
     count = write_chrome_trace(records, args.out)
     print("wrote %s: %d events from %d spans"
@@ -386,6 +389,76 @@ def cmd_trace_export(args) -> int:
     if args.timeline:
         for line in CutTimeline.from_records(records).lines():
             print("   ", line)
+    return 0
+
+
+def cmd_trace_report(args) -> int:
+    """Per-transform payoff table from a run's trace."""
+    from repro.obs.analyze import (
+        TraceNotFound, analyze_trace, load_trace, write_report)
+    try:
+        records = load_trace(args.source)
+    except TraceNotFound as exc:
+        print("%s (the run was not traced, or the path is wrong)"
+              % exc, file=sys.stderr)
+        return 2
+    if not records:
+        print("no valid span records in %s" % args.source,
+              file=sys.stderr)
+        return 1
+    report = analyze_trace(records)
+    for line in report.table():
+        print(line)
+    if args.out:
+        write_report(report, args.out)
+        print("wrote %s" % args.out)
+    return 0
+
+
+def cmd_trace_diff(args) -> int:
+    """Classify drift between two runs' traces; exit 1 on regression."""
+    from repro.obs.analyze import TraceNotFound, load_trace
+    from repro.obs.diff import DiffConfig, diff_traces
+    try:
+        records_a = load_trace(args.baseline)
+        records_b = load_trace(args.candidate)
+    except TraceNotFound as exc:
+        print("%s (the run was not traced, or the path is wrong)"
+              % exc, file=sys.stderr)
+        return 2
+    config = DiffConfig()
+    for spec in args.threshold or ():
+        key, _, value = spec.partition("=")
+        if not hasattr(config, key) or not value:
+            print("unknown threshold %r (see repro.obs.diff.DiffConfig)"
+                  % spec, file=sys.stderr)
+            return 2
+        kind = type(getattr(config, key))
+        setattr(config, key, kind(float(value)))
+    diff = diff_traces(records_a, records_b, config)
+    for line in diff.lines():
+        print(line)
+    if args.out:
+        with open(args.out, "w") as stream:
+            json.dump(diff.to_json(), stream, indent=2)
+            stream.write("\n")
+        print("wrote %s" % args.out)
+    return 1 if diff.verdict == "regression" else 0
+
+
+def cmd_fleet_report(args) -> int:
+    """Aggregate jobs, latency and payoff across a serve state dir."""
+    from repro.serve.fleet import (
+        fleet_lines, fleet_report, write_fleet_report)
+    if not os.path.isdir(args.state_dir):
+        print("no state dir at %s" % args.state_dir, file=sys.stderr)
+        return 2
+    report = fleet_report(args.state_dir)
+    for line in fleet_lines(report):
+        print(line)
+    if args.out:
+        write_fleet_report(report, args.out)
+        print("wrote %s" % args.out)
     return 0
 
 
@@ -667,6 +740,9 @@ def main(argv=None) -> int:
     _add_design_args(p)
     _add_persist_args(p)
     _add_trace_args(p)
+    p.add_argument("--pin-swap-budget", type=int, default=200,
+                   help="critical cells the pin-swapping transform "
+                        "may visit per invocation (default 200)")
     p.add_argument("--out-verilog")
     p.add_argument("--out-placement")
     p.set_defaults(func=cmd_tps)
@@ -688,6 +764,38 @@ def main(argv=None) -> int:
     p.add_argument("--timeline", action="store_true",
                    help="also print the cut-status timeline table")
     p.set_defaults(func=cmd_trace_export)
+
+    p = sub.add_parser("trace-report",
+                       help="per-transform payoff table from a trace")
+    p.add_argument("source",
+                   help="a trace.jsonl file or a run directory")
+    p.add_argument("-o", "--out", default=None,
+                   help="also write the report as JSON to this file")
+    p.set_defaults(func=cmd_trace_report)
+
+    p = sub.add_parser("trace-diff",
+                       help="classify drift between two runs' traces "
+                            "(exit 1 on regression)")
+    p.add_argument("baseline",
+                   help="baseline trace.jsonl file or run directory")
+    p.add_argument("candidate",
+                   help="candidate trace.jsonl file or run directory")
+    p.add_argument("-o", "--out", default=None,
+                   help="also write the diff verdict as JSON")
+    p.add_argument("-t", "--threshold", action="append", default=[],
+                   metavar="KEY=VALUE",
+                   help="override a DiffConfig threshold, e.g. "
+                        "-t slow_ratio=3.0 (repeatable)")
+    p.set_defaults(func=cmd_trace_diff)
+
+    p = sub.add_parser("fleet-report",
+                       help="aggregate jobs, latency histograms and "
+                            "payoff across a serve state dir")
+    p.add_argument("state_dir",
+                   help="the fleet's state dir (jobs.jsonl + runs/)")
+    p.add_argument("-o", "--out", default=None,
+                   help="also write the rollup as JSON to this file")
+    p.set_defaults(func=cmd_fleet_report)
 
     p = sub.add_parser("compare", help="SPR vs TPS on one design")
     _add_design_args(p)

@@ -1,0 +1,84 @@
+"""Leaf implementation of the kernel profiler (no repro imports).
+
+The hot kernel modules (:mod:`repro.image.grid`,
+:mod:`repro.wirelength.steiner`, :mod:`repro.timing.engine`,
+:mod:`repro.core.quad`, the quadratic placers) sit *below* the
+observability package in the import graph — ``repro.obs`` pulls in the
+persistence and guard layers, which pull in ``repro.design``, which
+pulls in those very modules.  Importing ``repro.obs.profile`` from a
+kernel would therefore be circular.  The accumulator lives here, in a
+module with zero intra-package imports, and :mod:`repro.obs.profile`
+re-exports it as the public face; both names share one process-global
+table.  See :mod:`repro.obs.profile` for the API and kernel-key
+documentation.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict
+
+#: counter-key prefix under which kernel timings are registered; every
+#: key below it is wall-clock and excluded from span comparisons
+PROFILE_PREFIX = "profile."
+
+_enabled = True
+#: kernel key → [calls, seconds] (seconds stay float internally; the
+#: registry sees integer microseconds)
+_acc: Dict[str, list] = {}
+
+
+def enable(on: bool = True) -> None:
+    """Globally switch the hooks on or off (on by default)."""
+    global _enabled
+    _enabled = on
+
+
+def enabled() -> bool:
+    """Whether kernel timing is currently armed."""
+    return _enabled
+
+
+def begin() -> float:
+    """Start one kernel timing; pass the result to :func:`end`."""
+    if not _enabled:
+        return 0.0
+    return perf_counter()
+
+
+def end(key: str, t0: float) -> None:
+    """Close one kernel timing opened by :func:`begin`."""
+    if not _enabled:
+        return
+    dt = perf_counter() - t0
+    slot = _acc.get(key)
+    if slot is None:
+        _acc[key] = [1, dt]
+    else:
+        slot[0] += 1
+        slot[1] += dt
+
+
+def counters() -> Dict[str, int]:
+    """The accumulated table as integer counters.
+
+    ``<kernel>.calls`` is the invocation count, ``<kernel>.us`` the
+    cumulative wall time in integer microseconds — both monotonically
+    increasing, so :class:`~repro.obs.tracer.CounterRegistry` deltas
+    attribute kernel work to individual spans.
+    """
+    flat: Dict[str, int] = {}
+    for key, (calls, seconds) in _acc.items():
+        flat[key + ".calls"] = calls
+        flat[key + ".us"] = int(seconds * 1e6)
+    return flat
+
+
+def seconds_by_kernel() -> Dict[str, float]:
+    """Cumulative seconds per kernel (report/benchmark view)."""
+    return {key: slot[1] for key, slot in _acc.items()}
+
+
+def reset() -> None:
+    """Zero the accumulator (benchmarks and tests)."""
+    _acc.clear()

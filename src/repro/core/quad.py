@@ -30,6 +30,8 @@ from typing import List, Tuple
 import numpy as np
 from scipy.sparse import coo_matrix, csr_matrix
 
+from repro import _profile as profile
+
 
 def _pairs(k: int) -> List[Tuple[int, int]]:
     return [(a, b) for a in range(k) for b in range(a + 1, k)]
@@ -140,6 +142,7 @@ def assemble_system(design, movable):
     """
     from repro.placement.quadratic import _ANCHOR_WEIGHT, _CLIQUE_LIMIT
 
+    _p0 = profile.begin()
     im = design.core_image.sync()
     n = len(movable)
     center = design.die.center
@@ -209,6 +212,7 @@ def assemble_system(design, movable):
         (np.concatenate([vals, diag]),
          (np.concatenate([rows, ar]), np.concatenate([cols_, ar]))),
         shape=(n, n)))
+    profile.end("quad.assemble", _p0)
     return laplacian, bx, by
 
 
@@ -219,6 +223,7 @@ def assemble_dense(design, cells, rect):
     Returns ``(laplacian, bx, by)`` with the diagonal filled in,
     bit-identical to the object path's dense system.
     """
+    _p0 = profile.begin()
     im = design.core_image.sync()
     n = len(cells)
     center = rect.center
@@ -273,4 +278,5 @@ def assemble_dense(design, cells, rect):
         np.add.at(laplacian.reshape(-1), rows * n + cols_, vals)
 
     np.fill_diagonal(laplacian, diag)
+    profile.end("quad.dense", _p0)
     return laplacian, bx, by

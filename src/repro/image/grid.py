@@ -18,6 +18,7 @@ from repro.image.blockage import Blockage
 from repro.library.types import GateSize
 from repro.netlist.cell import Cell
 from repro.netlist.netlist import Netlist, NetlistListener
+from repro import _profile as profile
 
 
 class BinGrid(NetlistListener):
@@ -51,6 +52,7 @@ class BinGrid(NetlistListener):
 
     def _rebuild(self, nx: int, ny: int) -> None:
         """(Re)create the bin array at the given resolution."""
+        _p0 = profile.begin()
         self.nx, self.ny = nx, ny
         bw = self.die.width / nx
         bh = self.die.height / ny
@@ -81,6 +83,7 @@ class BinGrid(NetlistListener):
                 for cell in self.netlist.cells():
                     if cell.placed:
                         self._insert(cell)
+        profile.end("bins.rebuild", _p0)
 
     def _rebuild_occupancy_array(self) -> None:
         """Vectorized re-binning of all placed cells (array core).

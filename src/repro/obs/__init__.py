@@ -1,12 +1,32 @@
-"""Flow telemetry: spans, counters, timelines, Chrome export.
+"""Flow telemetry: spans, counters, timelines, analytics, export.
 
 The observability layer of the reproduction — see
-``docs/internals.md`` §8.  Everything here observes the flow without
+``docs/internals.md`` §8 (spans/sinks) and §11 (the analytics built
+on them: payoff accounting, trace-diff triage, kernel profiling,
+latency histograms).  Everything here observes the flow without
 steering it: a run with tracing on computes bit-identical results to
-the same run with tracing off.
+the same run with tracing off — the wall-clock ``profile.*`` counters
+are excluded from determinism comparisons by :func:`comparable` for
+exactly that reason.
 """
 
+from repro.obs.analyze import (
+    PayoffReport,
+    PayoffRow,
+    TraceNotFound,
+    analyze_path,
+    analyze_trace,
+    load_trace,
+    resolve_trace,
+    write_report,
+)
 from repro.obs.chrome import chrome_events, write_chrome_trace
+from repro.obs.diff import DiffConfig, Finding, TraceDiff, diff_traces
+from repro.obs.hist import (
+    DEFAULT_BOUNDS,
+    LatencyHistogram,
+    quantile_gauges,
+)
 from repro.obs.sink import CounterSink, read_sink, sum_counters
 from repro.obs.timeline import CutTimeline, StatusRow
 from repro.obs.tracer import (
@@ -21,19 +41,34 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "DEFAULT_BOUNDS",
     "METRIC_KEYS",
     "CounterRegistry",
     "CounterSink",
     "CutTimeline",
+    "DiffConfig",
+    "Finding",
+    "LatencyHistogram",
+    "PayoffReport",
+    "PayoffRow",
     "Span",
     "StatusRow",
+    "TraceDiff",
+    "TraceNotFound",
     "TraceWriter",
     "Tracer",
+    "analyze_path",
+    "analyze_trace",
     "chrome_events",
     "comparable",
     "design_metrics",
+    "diff_traces",
+    "load_trace",
+    "quantile_gauges",
     "read_sink",
     "read_trace",
+    "resolve_trace",
     "sum_counters",
     "write_chrome_trace",
+    "write_report",
 ]

@@ -1,0 +1,240 @@
+"""Payoff accounting: roll a span stream into per-transform totals.
+
+PR 4 made every transform invocation a :class:`~repro.obs.Span`; this
+module is the first thing that *reads* them.  :func:`analyze_trace`
+folds a ``trace.jsonl`` record stream into one :class:`PayoffRow` per
+``(name, kind)`` — invocations, accepts/rejects, wall seconds, the
+summed metric movement (ΔWNS/ΔTNS/Δwirelength), per-second payoff
+rates, and the summed counter deltas (including the ``profile.*``
+kernel timers) — the measured per-transform payoff signal that
+ROADMAP's span-driven auto-tuning item and the trace-diff triage tool
+(:mod:`repro.obs.diff`) both consume.
+
+Sign conventions (fixed here so every consumer agrees):
+
+* ``wns_gain`` / ``tns_gain`` — ``after − before`` summed over the
+  transform's spans; slack grows toward zero, so **positive is
+  better**.
+* ``wirelength_gain`` — ``before − after`` summed; wirelength
+  shrinks, so **positive is better** here too.
+
+Loading goes through :func:`resolve_trace` / :func:`load_trace`,
+which accept either a run directory or a direct path to a
+``trace.jsonl`` — shared by ``trace-report``, ``trace-diff``,
+``trace-export`` and ``fleet-report``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.tracer import read_trace
+
+#: the span stream's file name inside a run directory
+TRACE_FILE = "trace.jsonl"
+
+
+class TraceNotFound(Exception):
+    """No readable trace at the given path (wrong path or an untraced
+    run)."""
+
+
+def resolve_trace(path: str) -> str:
+    """The ``trace.jsonl`` path behind ``path``.
+
+    Accepts a run directory (looks for ``trace.jsonl`` inside it) or a
+    direct path to the file itself; raises :class:`TraceNotFound`
+    otherwise.
+    """
+    if os.path.isdir(path):
+        candidate = os.path.join(path, TRACE_FILE)
+        if not os.path.exists(candidate):
+            raise TraceNotFound("%s has no %s" % (path, TRACE_FILE))
+        return candidate
+    if not os.path.exists(path):
+        raise TraceNotFound("no trace at %s" % path)
+    return path
+
+
+def load_trace(path: str) -> List[dict]:
+    """All valid span records behind a run dir or trace-file path."""
+    return read_trace(resolve_trace(path))
+
+
+def kernel_seconds(counters: Dict[str, int]) -> Dict[str, float]:
+    """Per-kernel seconds hidden in ``profile.<kernel>.us`` counters."""
+    out: Dict[str, float] = {}
+    for key, value in counters.items():
+        if key.startswith("profile.") and key.endswith(".us"):
+            out[key[len("profile."):-len(".us")]] = value / 1e6
+    return out
+
+
+@dataclass
+class PayoffRow:
+    """Accumulated payoff of one ``(name, kind)`` across a whole run."""
+
+    name: str
+    kind: str
+    invocations: int = 0
+    accepts: int = 0
+    rejects: int = 0
+    seconds: float = 0.0
+    wns_gain: float = 0.0
+    tns_gain: float = 0.0
+    wirelength_gain: float = 0.0
+    statuses: List[int] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def fold(self, record: dict) -> None:
+        """Fold one span record of this transform into the row."""
+        self.invocations += 1
+        if record.get("ok", True):
+            self.accepts += 1
+        else:
+            self.rejects += 1
+        self.seconds += record.get("dt", 0.0)
+        before = record.get("before", {})
+        after = record.get("after", {})
+        self.wns_gain += after.get("wns", 0.0) - before.get("wns", 0.0)
+        self.tns_gain += after.get("tns", 0.0) - before.get("tns", 0.0)
+        self.wirelength_gain += (before.get("wirelength", 0.0)
+                                 - after.get("wirelength", 0.0))
+        status = record.get("status")
+        if status is not None and status not in self.statuses:
+            self.statuses.append(status)
+        for key, value in record.get("counters", {}).items():
+            self.counters[key] = self.counters.get(key, 0) + value
+
+    def rate(self, gain: float) -> float:
+        """A per-second payoff rate (0 when the row took no time)."""
+        return gain / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def kernels(self) -> Dict[str, float]:
+        """Seconds attributed to each profiled kernel in this row."""
+        return kernel_seconds(self.counters)
+
+    def to_json(self) -> dict:
+        """The row as a plain-JSON object (``report.json`` schema)."""
+        return {
+            "name": self.name, "kind": self.kind,
+            "invocations": self.invocations,
+            "accepts": self.accepts, "rejects": self.rejects,
+            "seconds": self.seconds,
+            "wns_gain": self.wns_gain, "tns_gain": self.tns_gain,
+            "wirelength_gain": self.wirelength_gain,
+            "wns_per_second": self.rate(self.wns_gain),
+            "tns_per_second": self.rate(self.tns_gain),
+            "wirelength_per_second": self.rate(self.wirelength_gain),
+            "statuses": list(self.statuses),
+            "kernel_seconds": self.kernels,
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+
+@dataclass
+class PayoffReport:
+    """Per-transform payoff rows plus the run-level flow summary."""
+
+    rows: List[PayoffRow]
+    flow: Optional[dict] = None
+    span_count: int = 0
+
+    def row(self, name: str, kind: str = "transform") -> Optional[PayoffRow]:
+        """The row for one transform, or None if it never ran."""
+        for r in self.rows:
+            if r.name == name and r.kind == kind:
+                return r
+        return None
+
+    @property
+    def total_seconds(self) -> float:
+        """Summed wall seconds across all non-flow rows."""
+        return sum(r.seconds for r in self.rows)
+
+    def to_json(self) -> dict:
+        """The whole report as one plain-JSON object."""
+        return {
+            "spans": self.span_count,
+            "total_seconds": self.total_seconds,
+            "flow": self.flow,
+            "rows": [r.to_json() for r in self.rows],
+        }
+
+    def table(self) -> List[str]:
+        """The payoff table as fixed-width text lines."""
+        header = ("%-28s %-9s %4s %4s %4s %9s %9s %9s %11s %9s %11s"
+                  % ("transform", "kind", "inv", "ok", "rej", "sec",
+                     "d_wns", "d_tns", "d_wirelen", "wns/s", "wirelen/s"))
+        lines = [header, "-" * len(header)]
+        for r in self.rows:
+            lines.append(
+                "%-28s %-9s %4d %4d %4d %9.3f %9.2f %9.2f %11.1f %9.2f %11.1f"
+                % (r.name[:28], r.kind, r.invocations, r.accepts,
+                   r.rejects, r.seconds, r.wns_gain, r.tns_gain,
+                   r.wirelength_gain, r.rate(r.wns_gain),
+                   r.rate(r.wirelength_gain)))
+        if self.flow is not None:
+            lines.append("-" * len(header))
+            lines.append(
+                "%-28s %-9s %4d %4s %4s %9.3f %9.2f %9.2f %11.1f"
+                % (self.flow["name"][:28], "flow", 1, "", "",
+                   self.flow["seconds"], self.flow["wns_gain"],
+                   self.flow["tns_gain"], self.flow["wirelength_gain"]))
+        return lines
+
+
+def analyze_trace(records: List[dict]) -> PayoffReport:
+    """Fold a span-record stream into a :class:`PayoffReport`.
+
+    Rows are keyed ``(name, kind)`` in first-appearance order; the
+    enclosing ``flow`` span (there is at most one in a merged trace)
+    becomes the report-level summary instead of a row.
+    """
+    rows: Dict[Tuple[str, str], PayoffRow] = {}
+    order: List[Tuple[str, str]] = []
+    flow: Optional[dict] = None
+    for record in records:
+        kind = record.get("kind", "transform")
+        name = record.get("name", "?")
+        if kind == "flow":
+            before = record.get("before", {})
+            after = record.get("after", {})
+            flow = {
+                "name": name,
+                "seconds": record.get("dt", 0.0),
+                "ok": record.get("ok", True),
+                "before": dict(before),
+                "after": dict(after),
+                "wns_gain": (after.get("wns", 0.0)
+                             - before.get("wns", 0.0)),
+                "tns_gain": (after.get("tns", 0.0)
+                             - before.get("tns", 0.0)),
+                "wirelength_gain": (before.get("wirelength", 0.0)
+                                    - after.get("wirelength", 0.0)),
+            }
+            continue
+        key = (name, kind)
+        row = rows.get(key)
+        if row is None:
+            row = rows[key] = PayoffRow(name=name, kind=kind)
+            order.append(key)
+        row.fold(record)
+    return PayoffReport(rows=[rows[k] for k in order], flow=flow,
+                        span_count=len(records))
+
+
+def analyze_path(path: str) -> PayoffReport:
+    """:func:`load_trace` + :func:`analyze_trace` in one call."""
+    return analyze_trace(load_trace(path))
+
+
+def write_report(report: PayoffReport, path: str) -> None:
+    """Write a report's JSON form to ``path``."""
+    with open(path, "w") as stream:
+        json.dump(report.to_json(), stream, indent=2, sort_keys=False)
+        stream.write("\n")

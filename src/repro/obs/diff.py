@@ -1,0 +1,305 @@
+"""Cross-run trace-diff: regression triage between two span streams.
+
+Given a baseline trace A and a candidate trace B (two ``trace.jsonl``
+streams, usually two runs of the same flow at the same seed),
+:func:`diff_traces` aligns them and classifies per-transform drift.
+
+**Alignment** follows the span identity the tracer records: spans
+aggregate per ``(name, kind)`` — the transform — and, inside each
+transform, per cut ``status`` (the flow's level/step position).  Two
+seeded runs of the same configuration produce identical aggregates
+for every deterministic dimension, so any drift there is a real
+behavioural change, not noise.
+
+**Drift dimensions**, each with configurable thresholds
+(:class:`DiffConfig`):
+
+``missing_span`` / ``new_span``
+    a transform present in only one run — the flow shape changed.
+``count_drift``
+    invocation counts diverged (in total or at some cut status).
+    Deterministic.
+``less_effective``
+    the transform's summed metric payoff (ΔWNS / ΔTNS / Δwirelength,
+    sign conventions of :mod:`repro.obs.analyze`) dropped by more
+    than a floor *and* more than a fraction of its baseline payoff.
+    Deterministic.  Floors are scale-free: a share of the baseline
+    run's total absolute payoff per metric.
+``counter_blowup``
+    a deterministic analyzer counter grew past ``counter_ratio``×
+    with a real absolute magnitude (no flag on 3 → 7).
+``slower`` / ``kernel_slower``
+    wall-seconds dimensions — the only non-deterministic ones, so
+    both require a ratio *and* an absolute floor, making them robust
+    to scheduler noise on identical runs.  ``kernel_slower`` reads
+    the ``profile.<kernel>.us`` counters, attributing a slowdown to
+    a specific kernel.
+
+The verdict is machine-readable (:meth:`TraceDiff.to_json`) and drives
+``python -m repro trace-diff``'s exit code: 1 when any regression
+survives the thresholds, 0 otherwise.  Improvements (faster, more
+effective) are reported as notes, never as regressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.analyze import PayoffReport, PayoffRow, analyze_trace
+
+#: metric → (gain attribute, human unit) handled by the
+#: effectiveness dimension
+_GAIN_METRICS = (("wns", "wns_gain"), ("tns", "tns_gain"),
+                 ("wirelength", "wirelength_gain"))
+
+
+@dataclass
+class DiffConfig:
+    """Thresholds of the drift classifier (see module docstring)."""
+
+    #: invocation-count ratio beyond which count drift is flagged
+    count_ratio: float = 1.5
+    #: minimum absolute invocation-count change (no flag on 1 → 2)
+    count_min: int = 2
+    #: wall-seconds ratio beyond which a transform counts as slower
+    slow_ratio: float = 2.0
+    #: minimum candidate wall seconds before ``slower`` can fire
+    slow_min_seconds: float = 0.25
+    #: fraction of baseline payoff a transform may lose before
+    #: ``less_effective`` fires
+    effect_ratio: float = 0.5
+    #: per-metric payoff floor, as a share of the baseline run's total
+    #: absolute payoff in that metric
+    effect_min_share: float = 0.10
+    #: deterministic-counter growth ratio for ``counter_blowup``
+    counter_ratio: float = 2.0
+    #: minimum candidate counter value before blowup can fire
+    counter_min: int = 1000
+    #: ``profile.*.us`` growth ratio for ``kernel_slower``
+    kernel_ratio: float = 2.0
+    #: minimum candidate kernel seconds before ``kernel_slower`` fires
+    kernel_min_seconds: float = 0.25
+
+    def to_json(self) -> dict:
+        """The thresholds as a plain-JSON object."""
+        return {
+            "count_ratio": self.count_ratio,
+            "count_min": self.count_min,
+            "slow_ratio": self.slow_ratio,
+            "slow_min_seconds": self.slow_min_seconds,
+            "effect_ratio": self.effect_ratio,
+            "effect_min_share": self.effect_min_share,
+            "counter_ratio": self.counter_ratio,
+            "counter_min": self.counter_min,
+            "kernel_ratio": self.kernel_ratio,
+            "kernel_min_seconds": self.kernel_min_seconds,
+        }
+
+
+@dataclass
+class Finding:
+    """One classified drift observation on one transform."""
+
+    name: str
+    kind: str
+    dimension: str
+    severity: str  # "regression" | "note"
+    detail: str
+    baseline: float = 0.0
+    candidate: float = 0.0
+
+    def to_json(self) -> dict:
+        """The finding as a plain-JSON object."""
+        return {
+            "name": self.name, "kind": self.kind,
+            "dimension": self.dimension, "severity": self.severity,
+            "detail": self.detail,
+            "baseline": self.baseline, "candidate": self.candidate,
+        }
+
+
+@dataclass
+class TraceDiff:
+    """The classified drift between two runs."""
+
+    findings: List[Finding] = field(default_factory=list)
+    config: DiffConfig = field(default_factory=DiffConfig)
+
+    @property
+    def regressions(self) -> List[Finding]:
+        """Only the findings that fail the run."""
+        return [f for f in self.findings if f.severity == "regression"]
+
+    @property
+    def flagged(self) -> List[str]:
+        """Transform names with at least one regression, sorted."""
+        return sorted({f.name for f in self.regressions})
+
+    @property
+    def verdict(self) -> str:
+        """``"regression"`` or ``"ok"``."""
+        return "regression" if self.regressions else "ok"
+
+    def to_json(self) -> dict:
+        """The whole diff as one plain-JSON object."""
+        return {
+            "verdict": self.verdict,
+            "flagged": self.flagged,
+            "regressions": len(self.regressions),
+            "findings": [f.to_json() for f in self.findings],
+            "thresholds": self.config.to_json(),
+        }
+
+    def lines(self) -> List[str]:
+        """Human-readable summary lines, regressions first."""
+        out = ["verdict: %s" % self.verdict]
+        if self.flagged:
+            out.append("flagged: %s" % ", ".join(self.flagged))
+        for f in sorted(self.findings,
+                        key=lambda f: (f.severity != "regression", f.name)):
+            out.append("  [%s] %s/%s %s: %s"
+                       % (f.severity, f.name, f.kind, f.dimension,
+                          f.detail))
+        return out
+
+
+def _status_counts(records: List[dict]) -> Dict[Tuple[str, str],
+                                                Dict[int, int]]:
+    """Per-transform invocation counts broken down by cut status."""
+    table: Dict[Tuple[str, str], Dict[int, int]] = {}
+    for record in records:
+        if record.get("kind") == "flow":
+            continue
+        key = (record.get("name", "?"), record.get("kind", "transform"))
+        per = table.setdefault(key, {})
+        status = record.get("status", 0)
+        per[status] = per.get(status, 0) + 1
+    return table
+
+
+def _total_abs_gains(report: PayoffReport) -> Dict[str, float]:
+    """Total absolute payoff per metric across a baseline report."""
+    totals = {metric: 0.0 for metric, _attr in _GAIN_METRICS}
+    for row in report.rows:
+        for metric, attr in _GAIN_METRICS:
+            totals[metric] += abs(getattr(row, attr))
+    return totals
+
+
+def _diff_counts(out: List[Finding], cfg: DiffConfig,
+                 ra: PayoffRow, rb: PayoffRow,
+                 sa: Dict[int, int], sb: Dict[int, int]) -> None:
+    a, b = ra.invocations, rb.invocations
+    if abs(b - a) >= cfg.count_min and (
+            b >= a * cfg.count_ratio or a >= b * cfg.count_ratio):
+        drifted = sorted(set(sa) | set(sb))
+        at = [s for s in drifted if sa.get(s, 0) != sb.get(s, 0)]
+        out.append(Finding(
+            ra.name, ra.kind, "count_drift", "regression",
+            "invocations %d -> %d (drift at statuses %s)"
+            % (a, b, at), a, b))
+
+
+def _diff_effectiveness(out: List[Finding], cfg: DiffConfig,
+                        ra: PayoffRow, rb: PayoffRow,
+                        floors: Dict[str, float]) -> None:
+    for metric, attr in _GAIN_METRICS:
+        ga = getattr(ra, attr)
+        gb = getattr(rb, attr)
+        drop = ga - gb
+        floor = floors[metric] * cfg.effect_min_share
+        if floor <= 0.0:
+            continue
+        if drop > floor and drop > cfg.effect_ratio * abs(ga):
+            out.append(Finding(
+                ra.name, ra.kind, "less_effective", "regression",
+                "%s payoff %.2f -> %.2f" % (metric, ga, gb), ga, gb))
+        elif -drop > floor and -drop > cfg.effect_ratio * abs(ga):
+            out.append(Finding(
+                ra.name, ra.kind, "more_effective", "note",
+                "%s payoff %.2f -> %.2f" % (metric, ga, gb), ga, gb))
+
+
+def _diff_counters(out: List[Finding], cfg: DiffConfig,
+                   ra: PayoffRow, rb: PayoffRow) -> None:
+    for key in sorted(set(ra.counters) | set(rb.counters)):
+        if key.startswith("profile."):
+            continue  # wall clock: the kernel dimension's job
+        a = ra.counters.get(key, 0)
+        b = rb.counters.get(key, 0)
+        if b >= cfg.counter_min and b >= a * cfg.counter_ratio:
+            out.append(Finding(
+                ra.name, ra.kind, "counter_blowup", "regression",
+                "%s %d -> %d" % (key, a, b), a, b))
+
+
+def _diff_wallclock(out: List[Finding], cfg: DiffConfig,
+                    ra: PayoffRow, rb: PayoffRow) -> None:
+    if (rb.seconds >= cfg.slow_min_seconds
+            and rb.seconds >= ra.seconds * cfg.slow_ratio):
+        out.append(Finding(
+            ra.name, ra.kind, "slower", "regression",
+            "%.3fs -> %.3fs" % (ra.seconds, rb.seconds),
+            ra.seconds, rb.seconds))
+    elif (ra.seconds >= cfg.slow_min_seconds
+            and ra.seconds >= rb.seconds * cfg.slow_ratio):
+        out.append(Finding(
+            ra.name, ra.kind, "faster", "note",
+            "%.3fs -> %.3fs" % (ra.seconds, rb.seconds),
+            ra.seconds, rb.seconds))
+    ka = ra.kernels
+    kb = rb.kernels
+    for kernel in sorted(set(ka) | set(kb)):
+        a = ka.get(kernel, 0.0)
+        b = kb.get(kernel, 0.0)
+        if (b >= cfg.kernel_min_seconds and b >= a * cfg.kernel_ratio):
+            out.append(Finding(
+                ra.name, ra.kind, "kernel_slower", "regression",
+                "%s %.3fs -> %.3fs" % (kernel, a, b), a, b))
+
+
+def diff_reports(report_a: PayoffReport, report_b: PayoffReport,
+                 status_a: Dict[Tuple[str, str], Dict[int, int]],
+                 status_b: Dict[Tuple[str, str], Dict[int, int]],
+                 config: Optional[DiffConfig] = None) -> TraceDiff:
+    """Classify drift between two analyzed runs (A = baseline)."""
+    cfg = config or DiffConfig()
+    findings: List[Finding] = []
+    rows_a = {(r.name, r.kind): r for r in report_a.rows}
+    rows_b = {(r.name, r.kind): r for r in report_b.rows}
+    floors = _total_abs_gains(report_a)
+
+    for key, ra in rows_a.items():
+        if key not in rows_b:
+            findings.append(Finding(
+                ra.name, ra.kind, "missing_span", "regression",
+                "ran %d times in baseline, absent in candidate"
+                % ra.invocations, ra.invocations, 0))
+    for key, rb in rows_b.items():
+        if key not in rows_a:
+            findings.append(Finding(
+                rb.name, rb.kind, "new_span", "regression",
+                "absent in baseline, ran %d times in candidate"
+                % rb.invocations, 0, rb.invocations))
+
+    for key, ra in rows_a.items():
+        rb = rows_b.get(key)
+        if rb is None:
+            continue
+        _diff_counts(findings, cfg, ra, rb,
+                     status_a.get(key, {}), status_b.get(key, {}))
+        _diff_effectiveness(findings, cfg, ra, rb, floors)
+        _diff_counters(findings, cfg, ra, rb)
+        _diff_wallclock(findings, cfg, ra, rb)
+    return TraceDiff(findings=findings, config=cfg)
+
+
+def diff_traces(records_a: List[dict], records_b: List[dict],
+                config: Optional[DiffConfig] = None) -> TraceDiff:
+    """Analyze and classify drift between two raw span streams."""
+    return diff_reports(analyze_trace(records_a),
+                        analyze_trace(records_b),
+                        _status_counts(records_a),
+                        _status_counts(records_b),
+                        config)

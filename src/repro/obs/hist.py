@@ -1,0 +1,140 @@
+"""Fixed-bucket latency histograms for the serve fleet.
+
+A :class:`LatencyHistogram` is the smallest thing that can answer
+"what does submit→lease latency look like across the fleet": a fixed
+ladder of log-spaced upper bounds (Prometheus ``le`` semantics —
+each bucket counts observations ``<= bound``, rendered cumulatively),
+a total count, and a running sum.  Fixed buckets make histograms
+*mergeable*: fleet-wide aggregation (``repro fleet-report``) and
+multi-process export just add counts bucket by bucket, which no
+quantile sketch does without error bars.
+
+Quantiles (:meth:`quantile`) interpolate linearly inside the bucket
+that crosses the requested rank — the same estimate Prometheus's
+``histogram_quantile`` computes server-side; ``/healthz`` publishes
+p50/p99 from the same data so an operator without a Prometheus stack
+sees the identical numbers.
+
+The default ladder spans 5 ms to 5 minutes, which covers the three
+serve stages it was built for (submit→lease queue wait, lease→start
+spawn latency, and whole-job run time) at both test and real scale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: default bucket upper bounds in seconds (log-spaced, 5 ms – 5 min)
+DEFAULT_BOUNDS: Tuple[float, ...] = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+    2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0)
+
+
+class LatencyHistogram:
+    """Counts of observations in a fixed ladder of ``le`` buckets."""
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BOUNDS) -> None:
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError("bucket bounds must be strictly increasing")
+        #: per-bucket (non-cumulative) counts; index len(bounds) is the
+        #: +Inf overflow bucket
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency observation."""
+        idx = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if seconds <= bound:
+                idx = i
+                break
+        self.counts[idx] += 1
+        self.total += 1
+        self.sum += seconds
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(le, cumulative_count)`` pairs, ending with ``+Inf``.
+
+        This is exactly the Prometheus ``_bucket`` series shape.
+        """
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds, self.counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), running + self.counts[-1]))
+        return out
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated q-quantile (0 < q <= 1), or None when empty.
+
+        Linear interpolation inside the crossing bucket, like
+        Prometheus ``histogram_quantile``; observations in the
+        overflow bucket report the largest finite bound.
+        """
+        if self.total == 0:
+            return None
+        rank = q * self.total
+        running = 0
+        lower = 0.0
+        for bound, count in zip(self.bounds, self.counts):
+            if count and running + count >= rank:
+                frac = (rank - running) / count
+                return lower + (bound - lower) * frac
+            running += count
+            lower = bound
+        return self.bounds[-1]
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram (same bounds) into this one."""
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different "
+                             "bucket bounds")
+        for i, count in enumerate(other.counts):
+            self.counts[i] += count
+        self.total += other.total
+        self.sum += other.sum
+
+    def to_json(self) -> dict:
+        """The histogram as a plain-JSON object."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.total,
+            "sum": self.sum,
+            "p50": self.quantile(0.50),
+            "p99": self.quantile(0.99),
+        }
+
+    @classmethod
+    def from_json(cls, state: dict) -> "LatencyHistogram":
+        """Rebuild a histogram from :meth:`to_json` output."""
+        hist = cls(bounds=state["bounds"])
+        hist.counts = list(state["counts"])
+        hist.total = state["count"]
+        hist.sum = state["sum"]
+        return hist
+
+    def __repr__(self) -> str:
+        return ("<LatencyHistogram n=%d sum=%.3fs p50=%s p99=%s>"
+                % (self.total, self.sum, self.quantile(0.5),
+                   self.quantile(0.99)))
+
+
+def quantile_gauges(hists: Dict[str, "LatencyHistogram"]) -> Dict[str, float]:
+    """``<stage>_p50`` / ``<stage>_p99`` gauges for ``/healthz``.
+
+    Stages with no observations yet are omitted rather than reported
+    as zero — an empty histogram has no latency, not a great one.
+    """
+    out: Dict[str, float] = {}
+    for stage, hist in sorted(hists.items()):
+        p50 = hist.quantile(0.50)
+        p99 = hist.quantile(0.99)
+        if p50 is not None:
+            out["%s_p50" % stage] = p50
+        if p99 is not None:
+            out["%s_p99" % stage] = p99
+    return out

@@ -30,6 +30,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
+from repro import _profile as profile
 from repro.persist import io as storage
 from repro.persist.journal import decode_line, encode_line
 
@@ -38,6 +39,11 @@ METRIC_KEYS = ("wns", "tns", "wirelength", "cells")
 
 #: span-record fields that are wall-clock, not deterministic
 TIMESTAMP_KEYS = ("t0", "dt")
+
+#: counter-key prefixes that carry wall-clock values (integer
+#: microseconds) and are therefore exempt from the determinism
+#: contract, like ``t0``/``dt``
+WALLCLOCK_COUNTER_PREFIXES = (profile.PROFILE_PREFIX,)
 
 
 def design_metrics(design) -> Dict[str, float]:
@@ -54,9 +60,19 @@ def comparable(record: dict) -> dict:
     """A span record with its wall-clock fields stripped.
 
     Two seeded runs of the same flow produce identical ``comparable``
-    sequences; only ``t0``/``dt`` may differ between them.
+    sequences; only ``t0``/``dt`` and the ``profile.*`` kernel-timing
+    counters (wall clock rendered as integer microseconds) may differ
+    between them.
     """
-    return {k: v for k, v in record.items() if k not in TIMESTAMP_KEYS}
+    stripped = {k: v for k, v in record.items() if k not in TIMESTAMP_KEYS}
+    counters = stripped.get("counters")
+    if counters:
+        kept = {k: v for k, v in counters.items()
+                if not k.startswith(WALLCLOCK_COUNTER_PREFIXES)}
+        if len(kept) != len(counters):
+            stripped = dict(stripped)
+            stripped["counters"] = kept
+    return stripped
 
 
 class CounterRegistry:
@@ -226,6 +242,10 @@ class Tracer:
         self.counters = registry or CounterRegistry()
         self.counters.add("timing", design.timing.stats)
         self.counters.add("steiner", lambda: design.steiner.stats)
+        # kernel wall-clock accounting (repro.obs.profile); the whole
+        # prefix is stripped by comparable() — see
+        # WALLCLOCK_COUNTER_PREFIXES
+        self.counters.add("profile", profile.counters)
         if getattr(design, "core_image", None) is not None:
             self.counters.add("core", design.core_image.stats)
             akernel = getattr(design.timing, "_akernel", None)

@@ -20,6 +20,7 @@ from scipy.sparse.linalg import cg
 from repro.design import Design
 from repro.geometry import Point, Rect
 from repro.netlist.cell import Cell
+from repro import _profile as profile
 
 #: Nets up to this degree use a clique model; larger nets use a star.
 _CLIQUE_LIMIT = 6
@@ -56,6 +57,7 @@ class QuadraticPlacer:
             xs, _ = cg(laplacian, bx, rtol=1e-8, maxiter=500)
             ys, _ = cg(laplacian, by, rtol=1e-8, maxiter=500)
             return xs, ys
+        _p0 = profile.begin()
         index = {id(c): i for i, c in enumerate(movable)}
         n = len(movable)
         rows: List[int] = []
@@ -126,6 +128,7 @@ class QuadraticPlacer:
         vals.extend(diag)
         laplacian = csr_matrix(
             coo_matrix((vals, (rows, cols)), shape=(n, n)))
+        profile.end("quad.assemble", _p0)
         xs, _ = cg(laplacian, bx, rtol=1e-8, maxiter=500)
         ys, _ = cg(laplacian, by, rtol=1e-8, maxiter=500)
         return xs, ys

@@ -18,6 +18,7 @@ import numpy as np
 from repro.design import Design
 from repro.geometry import Point
 from repro.netlist.cell import Cell
+from repro import _profile as profile
 
 
 class QuadraticRefine:
@@ -61,6 +62,7 @@ class QuadraticRefine:
             from repro.core.quad import assemble_dense
             laplacian, bx, by = assemble_dense(design, cells, b.rect)
             return self._try_solution(design, cells, b, laplacian, bx, by)
+        _p0 = profile.begin()
         index = {id(c): i for i, c in enumerate(cells)}
         n = len(cells)
         laplacian = np.full((n, n), 0.0)
@@ -107,6 +109,7 @@ class QuadraticRefine:
                             bx[ic] += w * pa.x
                             by[ic] += w * pa.y
         np.fill_diagonal(laplacian, diag)
+        profile.end("quad.dense", _p0)
         return self._try_solution(design, cells, b, laplacian, bx, by)
 
     def _try_solution(self, design: Design, cells: List[Cell], b,

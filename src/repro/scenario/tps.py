@@ -93,6 +93,9 @@ class TPSConfig:
     use_detailed_placement: bool = True
     use_in_footprint_sizing: bool = True
     regs_per_clock_buffer: int = 6
+    #: per-invocation work budget of the pin-swapping transform: the
+    #: number of critical cells it may visit (PinSwapping.max_cells)
+    pin_swap_budget: int = 200
     #: §7 extensions (off by default: not part of the paper's Table 1
     #: scenario): power recovery after closure, hold fixing after
     #: routing, cluster-wise early cuts.
@@ -125,6 +128,7 @@ class TPSConfig:
             "use_detailed_placement": self.use_detailed_placement,
             "use_in_footprint_sizing": self.use_in_footprint_sizing,
             "regs_per_clock_buffer": self.regs_per_clock_buffer,
+            "pin_swap_budget": self.pin_swap_budget,
             "use_power_recovery": self.use_power_recovery,
             "use_hold_fix": self.use_hold_fix,
             "cluster_first_cuts": self.cluster_first_cuts,
@@ -245,7 +249,7 @@ class TPSScenario:
         migration = CircuitMigration()
         cloning = Cloning()
         buffering = BufferInsertion()
-        pinswap = PinSwapping()
+        pinswap = PinSwapping(max_cells=cfg.pin_swap_budget)
 
         linked = False
         status = 0

@@ -1,0 +1,167 @@
+"""Fleet rollup: one report across every job in a serve state dir.
+
+``python -m repro fleet-report STATE_DIR`` is the offline counterpart
+of the live ``/metrics`` endpoint: it attaches to the fleet's state
+dir (the same journal-replay path every server and worker uses, so
+the view is exactly what a server would see), then folds three layers
+into one document:
+
+* **jobs** — the journal-derived job table: totals by state, attempts,
+  resumes;
+* **latency** — the journal-derived submit→lease and job-run
+  histograms (:mod:`repro.obs.hist`), reported as count/sum/p50/p99
+  per stage.  ``lease_to_start`` is per-process and never journaled,
+  so it cannot appear here — the journal is the only offline source;
+* **transforms** — every job's ``trace.jsonl`` rolled up through
+  :mod:`repro.obs.analyze` and merged into one fleet-wide payoff
+  table, plus each job's counter sink (``metrics.json``) summary.
+
+Everything is read-only: attaching replays the journal (healing a torn
+tail in memory, as any reader does) but mutates nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs import read_sink
+from repro.obs.analyze import (
+    PayoffReport,
+    PayoffRow,
+    TraceNotFound,
+    analyze_path,
+)
+from repro.serve.jobs import JobStore
+from repro.serve.worker import SINK_FILE
+
+
+def _merge_row(into: PayoffRow, row: PayoffRow) -> None:
+    """Fold one job's payoff row into the fleet-wide row."""
+    into.invocations += row.invocations
+    into.accepts += row.accepts
+    into.rejects += row.rejects
+    into.seconds += row.seconds
+    into.wns_gain += row.wns_gain
+    into.tns_gain += row.tns_gain
+    into.wirelength_gain += row.wirelength_gain
+    for status in row.statuses:
+        if status not in into.statuses:
+            into.statuses.append(status)
+    for key, value in row.counters.items():
+        into.counters[key] = into.counters.get(key, 0) + value
+
+
+def merge_reports(reports: List[PayoffReport]) -> List[PayoffRow]:
+    """One fleet-wide payoff row per transform, summed across jobs."""
+    merged: Dict[Tuple[str, str], PayoffRow] = {}
+    order: List[Tuple[str, str]] = []
+    for report in reports:
+        for row in report.rows:
+            key = (row.name, row.kind)
+            into = merged.get(key)
+            if into is None:
+                into = merged[key] = PayoffRow(name=row.name,
+                                               kind=row.kind)
+                order.append(key)
+            _merge_row(into, row)
+    return [merged[k] for k in order]
+
+
+def _job_entry(store: JobStore, job) -> Tuple[dict,
+                                              Optional[PayoffReport]]:
+    """One job's rollup line plus its analyzed trace (if traced)."""
+    entry = job.summary()
+    run_path = store.run_path(job.job_id)
+    sink = read_sink(os.path.join(run_path, SINK_FILE))
+    if sink is not None:
+        entry["cut_status"] = sink.get("status")
+        entry["sink_spans"] = sink.get("spans", {}).get("total")
+        entry["sink_final"] = bool(sink.get("final"))
+    report = None
+    try:
+        report = analyze_path(run_path)
+    except TraceNotFound:
+        pass
+    if report is not None:
+        entry["spans"] = report.span_count
+        entry["transform_seconds"] = report.total_seconds
+        if report.flow is not None:
+            entry["flow_seconds"] = report.flow["seconds"]
+            entry["wns_gain"] = report.flow["wns_gain"]
+            entry["tns_gain"] = report.flow["tns_gain"]
+            entry["wirelength_gain"] = report.flow["wirelength_gain"]
+    return entry, report
+
+
+def fleet_report(state_dir: str) -> dict:
+    """The whole fleet rollup as one plain-JSON document."""
+    store = JobStore(state_dir)
+    try:
+        jobs = store.jobs()
+        by_state: Dict[str, int] = {}
+        for job in jobs:
+            by_state[job.state] = by_state.get(job.state, 0) + 1
+        entries: List[dict] = []
+        reports: List[PayoffReport] = []
+        for job in jobs:
+            entry, report = _job_entry(store, job)
+            entries.append(entry)
+            if report is not None:
+                reports.append(report)
+        rows = merge_reports(reports)
+        rows.sort(key=lambda r: -r.seconds)
+        return {
+            "state_dir": os.path.abspath(state_dir),
+            "jobs": {
+                "total": len(jobs),
+                "by_state": dict(sorted(by_state.items())),
+                "attempts": sum(j.attempts for j in jobs),
+                "resumes": sum(j.resumes for j in jobs),
+            },
+            "latency": {stage: hist.to_json()
+                        for stage, hist in
+                        sorted(store.histograms.items())},
+            "traced_jobs": len(reports),
+            "spans": sum(r.span_count for r in reports),
+            "transforms": [row.to_json() for row in rows],
+            "per_job": entries,
+        }
+    finally:
+        store.close()
+
+
+def fleet_lines(report: dict) -> List[str]:
+    """A terse human-readable rendering of :func:`fleet_report`."""
+    jobs = report["jobs"]
+    states = ", ".join("%s=%d" % kv
+                       for kv in jobs["by_state"].items()) or "none"
+    out = [
+        "state dir: %s" % report["state_dir"],
+        "jobs: %d (%s); attempts=%d resumes=%d"
+        % (jobs["total"], states, jobs["attempts"], jobs["resumes"]),
+        "traced jobs: %d (%d spans)"
+        % (report["traced_jobs"], report["spans"]),
+    ]
+    for stage, hist in report["latency"].items():
+        if not hist["count"]:
+            continue
+        out.append("latency %s: n=%d p50=%.3fs p99=%.3fs"
+                   % (stage, hist["count"], hist["p50"], hist["p99"]))
+    if report["transforms"]:
+        out.append("top transforms by wall seconds:")
+        for row in report["transforms"][:10]:
+            out.append(
+                "  %-28s %5d inv %8.3fs  d_wns %8.2f  d_wirelen %10.1f"
+                % (row["name"][:28], row["invocations"],
+                   row["seconds"], row["wns_gain"],
+                   row["wirelength_gain"]))
+    return out
+
+
+def write_fleet_report(report: dict, path: str) -> None:
+    """Write a fleet report's JSON form to ``path``."""
+    with open(path, "w") as stream:
+        json.dump(report, stream, indent=2, sort_keys=False)
+        stream.write("\n")

@@ -54,6 +54,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+from repro.obs.hist import LatencyHistogram
 from repro.persist.journal import Journal, JournalError
 from repro.serve.lease import (
     DEFAULT_BACKOFF_BASE,
@@ -121,6 +122,9 @@ class Job:
     lease_ttl: float = DEFAULT_LEASE_TTL
     #: earliest wall time the job may be leased again (retry backoff)
     not_before: float = 0.0
+    #: wall time the job last (re)entered the queue — submit or
+    #: requeue; the start of the current submit→lease wait
+    queued_at: float = 0.0
 
     @property
     def priority(self) -> int:
@@ -207,6 +211,13 @@ class JobStore:
         self._totals = {"submitted": 0, "done": 0, "failed": 0,
                         "cancelled": 0, "resumes": 0, "rejected": 0,
                         "throttled": 0, "expired": 0, "fenced": 0}
+        #: fleet-wide latency histograms, rebuilt from the journal the
+        #: same way the job table is (replay == live, so a restarted
+        #: process reports the whole fleet's history, not its own)
+        self.histograms: Dict[str, LatencyHistogram] = {
+            "submit_to_lease": LatencyHistogram(),
+            "job_run": LatencyHistogram(),
+        }
         fcntl.flock(self._lockfile, fcntl.LOCK_EX)
         try:
             try:
@@ -265,7 +276,8 @@ class JobStore:
         if kind == "submit":
             job = Job(job_id=record["job_id"],
                       spec=record["spec"],
-                      submitted_at=record.get("at", 0.0))
+                      submitted_at=record.get("at", 0.0),
+                      queued_at=record.get("at", 0.0))
             self._jobs[job.job_id] = job
             self._order.append(job.job_id)
             self._totals["submitted"] += 1
@@ -276,6 +288,10 @@ class JobStore:
         if job is None:
             return
         if kind == "lease":
+            at = record.get("at", 0.0)
+            if at and job.queued_at:
+                self.histograms["submit_to_lease"].observe(
+                    max(0.0, at - job.queued_at))
             job.state = RUNNING
             job.worker = record.get("worker")
             job.token = record.get("token", job.token + 1)
@@ -287,6 +303,9 @@ class JobStore:
             job.worker = None
             job.last_exit = record.get("exit")
             job.not_before = record.get("not_before", 0.0)
+            # the queue wait restarts when the job becomes claimable
+            # again, not when it got kicked back
+            job.queued_at = job.not_before or record.get("at", 0.0)
             cause = record.get("cause")
             if cause is None:  # PR-5 records: exit None marked release
                 cause = ("release" if record.get("exit") is None
@@ -297,6 +316,10 @@ class JobStore:
             if cause == "lease-expired":
                 self._totals["expired"] += 1
         elif kind == "finish":
+            at = record.get("at")
+            if job.state == RUNNING and at and job.leased_at:
+                self.histograms["job_run"].observe(
+                    max(0.0, at - job.leased_at))
             job.state = record["state"]
             job.error = record.get("error")
             job.finished_at = record.get("at")

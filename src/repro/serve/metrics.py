@@ -1,6 +1,6 @@
 """Rendering the live counter registry as Prometheus text format.
 
-Two sources feed ``/metrics``:
+Three sources feed ``/metrics``:
 
 * the **server registry** — a :class:`repro.obs.CounterRegistry` over
   the job store and the worker pool, rendered as unlabeled
@@ -10,7 +10,13 @@ Two sources feed ``/metrics``:
   the flow's own analyzer counters as
   ``repro_flow_<counter>{job=...,flow=...}`` plus span summaries
   (``repro_flow_spans_total``, ``repro_flow_span_seconds_total``,
-  ``repro_flow_cut_status``).
+  ``repro_flow_cut_status``);
+* the **latency histograms** — the store's journal-derived
+  submit→lease and job-run histograms plus the pool's lease→start
+  one (:mod:`repro.obs.hist`), rendered as real Prometheus histogram
+  families: ``repro_latency_<stage>_seconds_bucket`` (cumulative
+  ``le`` buckets ending at ``+Inf``), ``_sum`` and ``_count``, so
+  ``histogram_quantile()`` works on them unmodified.
 
 Only the `Prometheus text exposition format
 <https://prometheus.io/docs/instrumenting/exposition_formats/>`_ is
@@ -21,7 +27,9 @@ escaped, no client library required.
 from __future__ import annotations
 
 import re
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.hist import LatencyHistogram
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
 
@@ -74,14 +82,35 @@ def _format(value) -> str:
     return repr(float(value))
 
 
+def histogram_lines(stage: str, hist: LatencyHistogram) -> List[str]:
+    """One ``repro_latency_<stage>_seconds`` histogram family.
+
+    The Prometheus histogram shape: cumulative ``_bucket`` samples
+    labeled by upper bound ``le`` (ending at ``+Inf``), then ``_sum``
+    and ``_count`` — the exact series ``histogram_quantile()`` wants.
+    """
+    name = "repro_latency_%s_seconds" % metric_name(stage)
+    out = ["# TYPE %s histogram" % name]
+    for bound, running in hist.cumulative():
+        le = "+Inf" if bound == float("inf") else _format(bound)
+        out.append('%s_bucket{le="%s"} %d' % (name, le, running))
+    out.append("%s_sum %s" % (name, _format(hist.sum)))
+    out.append("%s_count %d" % (name, hist.total))
+    return out
+
+
 def prometheus_metrics(server_counters: Dict[str, int],
-                       sink_documents: Iterable[dict]) -> str:
+                       sink_documents: Iterable[dict],
+                       histograms: Optional[
+                           Dict[str, LatencyHistogram]] = None) -> str:
     """The full ``/metrics`` payload as one text blob.
 
     ``server_counters`` is the registry snapshot (already flattened to
     ``prefix.key``); ``sink_documents`` are the per-job counter-sink
     documents (see :func:`repro.obs.read_sink`), whose ``labels``
-    become Prometheus labels.
+    become Prometheus labels; ``histograms`` maps stage names to the
+    serve latency histograms (rendered even when empty, so dashboards
+    can rely on the series existing).
     """
     families: Dict[str, _Family] = {}
 
@@ -130,4 +159,6 @@ def prometheus_metrics(server_counters: Dict[str, int],
     lines: List[str] = []
     for name in sorted(families):
         lines.extend(families[name].lines())
+    for stage in sorted(histograms or {}):
+        lines.extend(histogram_lines(stage, histograms[stage]))
     return "\n".join(lines) + "\n"

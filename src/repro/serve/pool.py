@@ -38,6 +38,7 @@ import threading
 import time
 from typing import Dict, Optional, Set, Tuple
 
+from repro.obs.hist import LatencyHistogram
 from repro.persist import DIE_EXIT_CODE
 from repro.serve.jobs import CANCELLED, DONE, FAILED, Job, JobStore
 from repro.serve.lease import Heartbeat, worker_identity
@@ -75,6 +76,10 @@ class WorkerPool:
         self._thread: Optional[threading.Thread] = None
         self._last_reap = 0.0
         self._totals = {"spawned": 0, "crashes": 0, "kills": 0}
+        #: lease→start spawn latency (this pool's own processes only —
+        #: unlike the store's journal-derived histograms, spawn times
+        #: are never journaled, so this one is per-process)
+        self.histograms = {"lease_to_start": LatencyHistogram()}
 
     # -- lifecycle -----------------------------------------------------
 
@@ -171,6 +176,9 @@ class WorkerPool:
                               worker=self.worker_id,
                               error="cannot start worker: %s" % exc)
             return
+        if job.leased_at:
+            self.histograms["lease_to_start"].observe(
+                max(0.0, time.time() - job.leased_at))
         with self._lock:
             self._procs[job.job_id] = (proc, job.token)
             self._totals["spawned"] += 1

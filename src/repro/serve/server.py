@@ -53,6 +53,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
 from repro.obs import CounterRegistry, read_sink
+from repro.obs.hist import quantile_gauges
 from repro.persist import RunDir, RunDirError, fsck_state_dir
 from repro.persist import io as storage
 from repro.serve.jobs import (
@@ -186,7 +187,19 @@ class FlowServer:
                                     SINK_FILE))
             if document is not None:
                 documents.append(document)
-        return prometheus_metrics(self.registry.snapshot(), documents)
+        return prometheus_metrics(self.registry.snapshot(), documents,
+                                  self.latency_histograms())
+
+    def latency_histograms(self) -> dict:
+        """All three serve latency histograms by stage name.
+
+        ``submit_to_lease`` and ``job_run`` come from the store
+        (journal-derived, fleet-wide); ``lease_to_start`` from the
+        pool (this process's own spawns).
+        """
+        merged = dict(self.store.histograms)
+        merged.update(self.pool.histograms)
+        return merged
 
     @property
     def shutting_down(self) -> bool:
@@ -353,6 +366,9 @@ class _Handler(BaseHTTPRequestHandler):
                 "leases_active": counters.get("server.leases_active",
                                               0),
                 "workers_live": counters.get("server.workers_live", 0),
+                # p50/p99 per latency stage (empty stages omitted)
+                "latency": quantile_gauges(
+                    self.flow.latency_histograms()),
             })
         elif self.path == "/metrics":
             self._send(200, self.flow.metrics_text().encode(),

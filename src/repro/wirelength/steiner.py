@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.geometry import Point, manhattan
+from repro import _profile as profile
 
 #: Degree above which we fall back to the plain RMST.
 _ONE_STEINER_LIMIT = 12
@@ -198,6 +199,7 @@ def build_steiner(points: Sequence[Point]) -> SteinerTree:
     (optimal), up to ``_ONE_STEINER_LIMIT`` via iterated 1-Steiner,
     beyond that a plain RMST.
     """
+    _p0 = profile.begin()
     unique: List[Point] = []
     seen = set()
     for p in points:
@@ -207,9 +209,12 @@ def build_steiner(points: Sequence[Point]) -> SteinerTree:
     n = len(unique)
     if n <= 2:
         edges = [(0, 1)] if n == 2 else []
-        return SteinerTree(unique, edges, num_terminals=n)
-    if n == 3:
-        return _median_trunk(unique)
-    if n <= _ONE_STEINER_LIMIT:
-        return iterated_one_steiner(unique)
-    return SteinerTree(unique, prim_rmst(unique), num_terminals=n)
+        tree = SteinerTree(unique, edges, num_terminals=n)
+    elif n == 3:
+        tree = _median_trunk(unique)
+    elif n <= _ONE_STEINER_LIMIT:
+        tree = iterated_one_steiner(unique)
+    else:
+        tree = SteinerTree(unique, prim_rmst(unique), num_terminals=n)
+    profile.end("steiner.build", _p0)
+    return tree

@@ -28,9 +28,11 @@ CORES = ("object", "array")
 
 
 def _strip_core(counters):
-    """Counter keys minus the array core's own namespaces."""
+    """Counter keys minus the array core's own namespaces and the
+    wall-clock ``profile.*`` kernel timers (per-kernel split differs
+    between cores by design — e.g. quad.assemble vs quad.dense mix)."""
     return {k: v for k, v in counters.items()
-            if not k.startswith(("core.", "core_"))}
+            if not k.startswith(("core.", "core_", "profile."))}
 
 
 def run_flow(flow, preset, core, library, scale=SCALE):

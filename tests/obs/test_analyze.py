@@ -1,0 +1,147 @@
+"""Payoff accounting (repro.obs.analyze) on synthetic span streams.
+
+Synthetic records keep these tests fast and make every expected
+number exact; the CLI-level tests in ``test_trace_cli.py`` and the
+CI smoke job cover real traces.
+"""
+
+import json
+
+from repro.obs.analyze import (
+    TraceNotFound,
+    analyze_path,
+    analyze_trace,
+    kernel_seconds,
+    load_trace,
+    resolve_trace,
+    write_report,
+)
+from repro.persist.journal import encode_line
+
+import pytest
+
+
+def span(name="reflow", kind="transform", status=0, dt=1.0, ok=True,
+         before=None, after=None, counters=None, seq=1):
+    """One synthetic span record in the tracer's on-disk shape."""
+    return {"seq": seq, "name": name, "kind": kind, "status": status,
+            "t0": 0.0, "dt": dt, "ok": ok,
+            "before": before or {}, "after": after or {},
+            "counters": counters or {}}
+
+
+def write_trace(path, records):
+    """Write records as a CRC-wrapped trace.jsonl."""
+    with open(path, "w") as stream:
+        for record in records:
+            stream.write(encode_line(record) + "\n")
+
+
+class TestLoading:
+    def test_run_dir_resolves_to_trace_file(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        write_trace(str(trace), [span()])
+        assert resolve_trace(str(tmp_path)) == str(trace)
+        assert len(load_trace(str(tmp_path))) == 1
+
+    def test_direct_file_path(self, tmp_path):
+        trace = tmp_path / "elsewhere.jsonl"
+        write_trace(str(trace), [span(), span(seq=2)])
+        assert len(load_trace(str(trace))) == 2
+
+    def test_untraced_dir_raises(self, tmp_path):
+        with pytest.raises(TraceNotFound):
+            resolve_trace(str(tmp_path))
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(TraceNotFound):
+            resolve_trace(str(tmp_path / "nope.jsonl"))
+
+
+class TestPayoffRows:
+    def test_gains_use_fixed_sign_conventions(self):
+        report = analyze_trace([
+            span(before={"wns": -5.0, "tns": -50.0, "wirelength": 1000.0},
+                 after={"wns": -3.0, "tns": -30.0, "wirelength": 900.0}),
+        ])
+        row = report.row("reflow")
+        # slack grows toward zero: positive gain is better
+        assert row.wns_gain == pytest.approx(2.0)
+        assert row.tns_gain == pytest.approx(20.0)
+        # wirelength shrinks: before - after, positive is better
+        assert row.wirelength_gain == pytest.approx(100.0)
+
+    def test_rows_accumulate_and_keep_first_appearance_order(self):
+        report = analyze_trace([
+            span(name="b", dt=1.0), span(name="a", dt=2.0),
+            span(name="b", dt=3.0, ok=False),
+        ])
+        assert [r.name for r in report.rows] == ["b", "a"]
+        b = report.row("b")
+        assert b.invocations == 2
+        assert b.accepts == 1 and b.rejects == 1
+        assert b.seconds == pytest.approx(4.0)
+        assert report.total_seconds == pytest.approx(6.0)
+
+    def test_counters_sum_and_kernels_decode(self):
+        report = analyze_trace([
+            span(counters={"timing.arrival_recomputes": 10,
+                           "profile.sta.sweep.us": 500000,
+                           "profile.sta.sweep.calls": 3}),
+            span(counters={"timing.arrival_recomputes": 5,
+                           "profile.sta.sweep.us": 250000}),
+        ])
+        row = report.row("reflow")
+        assert row.counters["timing.arrival_recomputes"] == 15
+        assert row.kernels == {"sta.sweep": pytest.approx(0.75)}
+
+    def test_rate_is_zero_without_wall_time(self):
+        report = analyze_trace([span(dt=0.0)])
+        assert report.row("reflow").rate(5.0) == 0.0
+
+    def test_flow_span_becomes_summary_not_row(self):
+        report = analyze_trace([
+            span(name="TPS", kind="flow", dt=9.0,
+                 before={"wns": -5.0, "wirelength": 1000.0},
+                 after={"wns": -1.0, "wirelength": 800.0}),
+            span(name="reflow"),
+        ])
+        assert report.row("TPS", "flow") is None
+        assert report.flow["wns_gain"] == pytest.approx(4.0)
+        assert report.flow["wirelength_gain"] == pytest.approx(200.0)
+        assert report.span_count == 2
+
+
+class TestKernelSeconds:
+    def test_only_profile_us_keys_decode(self):
+        seconds = kernel_seconds({
+            "profile.quad.dense.us": 1500000,
+            "profile.quad.dense.calls": 7,
+            "timing.arrival_recomputes": 12})
+        assert seconds == {"quad.dense": pytest.approx(1.5)}
+
+
+class TestReportOutput:
+    def test_table_has_header_and_one_line_per_row(self):
+        report = analyze_trace([span(name="a"), span(name="b")])
+        lines = report.table()
+        assert "transform" in lines[0]
+        assert sum(1 for l in lines if l.startswith("a ")) == 1
+        assert sum(1 for l in lines if l.startswith("b ")) == 1
+
+    def test_written_report_round_trips(self, tmp_path):
+        report = analyze_trace([span(
+            counters={"profile.steiner.build.us": 100})])
+        out = tmp_path / "report.json"
+        write_report(report, str(out))
+        doc = json.loads(out.read_text())
+        assert doc["spans"] == 1
+        assert doc["rows"][0]["name"] == "reflow"
+        assert doc["rows"][0]["kernel_seconds"]["steiner.build"] \
+            == pytest.approx(0.0001)
+
+    def test_analyze_path_end_to_end(self, tmp_path):
+        write_trace(str(tmp_path / "trace.jsonl"),
+                    [span(), span(name="sizing", seq=2)])
+        report = analyze_path(str(tmp_path))
+        assert {r.name for r in report.rows} == {"reflow", "sizing"}

@@ -1,0 +1,137 @@
+"""Trace-diff triage (repro.obs.diff) on synthetic span streams.
+
+Each drift dimension gets a positive and a negative case, plus the
+two properties the tool's exit code rests on: identical streams diff
+clean, and improvements are notes, never regressions.  The real
+two-run acceptance scenario (a perturbed transform budget flagged by
+name on Des2) lives in ``test_trace_cli.py`` as a slow test and in
+the CI smoke job.
+"""
+
+from repro.obs.diff import DiffConfig, diff_traces
+
+from tests.obs.test_analyze import span
+
+
+def spans(n, **kwargs):
+    """n copies of one synthetic span."""
+    return [span(seq=i + 1, **kwargs) for i in range(n)]
+
+
+class TestCleanDiffs:
+    def test_identical_streams_are_ok(self):
+        records = (spans(3, name="a", dt=0.5,
+                         counters={"timing.arrival_recomputes": 10})
+                   + spans(2, name="b"))
+        diff = diff_traces(records, list(records))
+        assert diff.verdict == "ok"
+        assert diff.findings == []
+
+    def test_small_noise_survives_thresholds(self):
+        a = spans(3, name="a", dt=0.100)
+        b = spans(3, name="a", dt=0.101)  # scheduler jitter
+        assert diff_traces(a, b).verdict == "ok"
+
+
+class TestShapeDrift:
+    def test_missing_span_flags(self):
+        diff = diff_traces(spans(2, name="a") + spans(1, name="b"),
+                           spans(2, name="a"))
+        assert diff.verdict == "regression"
+        assert diff.flagged == ["b"]
+        assert diff.regressions[0].dimension == "missing_span"
+
+    def test_new_span_flags(self):
+        diff = diff_traces(spans(2, name="a"),
+                           spans(2, name="a") + spans(1, name="c"))
+        assert [f.dimension for f in diff.regressions] == ["new_span"]
+
+
+class TestCountDrift:
+    def test_count_drift_needs_ratio_and_absolute_change(self):
+        # 8 -> 13: ratio 1.625 >= 1.5, change 5 >= 2 → flagged
+        diff = diff_traces(spans(8, dt=0.01), spans(13, dt=0.01))
+        assert [f.dimension for f in diff.regressions] == ["count_drift"]
+        # 1 -> 2: ratio 2.0 but change 1 < 2 → clean
+        assert diff_traces(spans(1, dt=0.01),
+                           spans(2, dt=0.01)).verdict == "ok"
+
+    def test_count_drift_is_symmetric(self):
+        assert diff_traces(spans(13, dt=0.01),
+                           spans(8, dt=0.01)).verdict == "regression"
+
+
+class TestEffectiveness:
+    def base(self, gain):
+        return [span(dt=1.0, before={"wns": -gain}, after={"wns": 0.0})]
+
+    def test_payoff_drop_flags_less_effective(self):
+        diff = diff_traces(self.base(10.0), self.base(1.0))
+        assert [f.dimension for f in diff.regressions] \
+            == ["less_effective"]
+
+    def test_payoff_growth_is_a_note(self):
+        diff = diff_traces(self.base(1.0), self.base(10.0))
+        assert diff.verdict == "ok"
+        assert [f.dimension for f in diff.findings] == ["more_effective"]
+
+
+class TestCounterBlowup:
+    def test_blowup_needs_magnitude_and_ratio(self):
+        a = spans(1, counters={"timing.arrival_recomputes": 100})
+        b = spans(1, counters={"timing.arrival_recomputes": 5000})
+        diff = diff_traces(a, b)
+        assert [f.dimension for f in diff.regressions] \
+            == ["counter_blowup"]
+        # 3 -> 7 doubles but is noise-scale: clean
+        small_a = spans(1, counters={"x": 3})
+        small_b = spans(1, counters={"x": 7})
+        assert diff_traces(small_a, small_b).verdict == "ok"
+
+    def test_profile_counters_are_exempt(self):
+        a = spans(1, counters={"profile.sta.sweep.us": 100})
+        b = spans(1, counters={"profile.sta.sweep.us": 500000})
+        findings = diff_traces(a, b).findings
+        assert "counter_blowup" not in [f.dimension for f in findings]
+
+
+class TestWallClock:
+    def test_slower_needs_ratio_and_floor(self):
+        diff = diff_traces(spans(1, dt=0.2), spans(1, dt=0.6))
+        assert [f.dimension for f in diff.regressions] == ["slower"]
+        # 0.01 -> 0.05 is 5x but under the floor: clean
+        assert diff_traces(spans(1, dt=0.01),
+                           spans(1, dt=0.05)).verdict == "ok"
+
+    def test_faster_is_a_note(self):
+        diff = diff_traces(spans(1, dt=0.6), spans(1, dt=0.2))
+        assert diff.verdict == "ok"
+        assert [f.dimension for f in diff.findings] == ["faster"]
+
+    def test_kernel_slower_names_the_kernel(self):
+        a = spans(1, dt=0.3, counters={"profile.sta.sweep.us": 100000})
+        b = spans(1, dt=0.35, counters={"profile.sta.sweep.us": 900000})
+        diff = diff_traces(a, b)
+        kernels = [f for f in diff.regressions
+                   if f.dimension == "kernel_slower"]
+        assert len(kernels) == 1
+        assert "sta.sweep" in kernels[0].detail
+
+
+class TestConfigAndOutput:
+    def test_thresholds_are_configurable(self):
+        a, b = spans(1, dt=0.2), spans(1, dt=0.6)
+        strict = diff_traces(a, b, DiffConfig(slow_ratio=10.0))
+        assert strict.verdict == "ok"
+
+    def test_json_shape(self):
+        diff = diff_traces(spans(8), spans(13))
+        doc = diff.to_json()
+        assert doc["verdict"] == "regression"
+        assert doc["flagged"] == ["reflow"]
+        assert doc["thresholds"]["count_ratio"] == 1.5
+        assert doc["findings"][0]["dimension"] == "count_drift"
+
+    def test_lines_lead_with_verdict(self):
+        lines = diff_traces(spans(1), spans(1)).lines()
+        assert lines[0] == "verdict: ok"

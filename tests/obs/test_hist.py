@@ -1,0 +1,84 @@
+"""Latency histograms (repro.obs.hist): buckets, quantiles, merging."""
+
+from repro.obs.hist import (
+    DEFAULT_BOUNDS,
+    LatencyHistogram,
+    quantile_gauges,
+)
+
+import pytest
+
+
+class TestObserve:
+    def test_observations_land_in_le_buckets(self):
+        h = LatencyHistogram(bounds=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.1, 0.5, 5.0, 100.0):
+            h.observe(v)
+        # le semantics: 0.1 lands in the 0.1 bucket, 100 overflows
+        assert h.counts == [2, 1, 1, 1]
+        assert h.total == 5
+        assert h.sum == pytest.approx(105.65)
+
+    def test_cumulative_is_the_prometheus_shape(self):
+        h = LatencyHistogram(bounds=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(50.0)
+        assert h.cumulative() == [(0.1, 1), (1.0, 1),
+                                  (float("inf"), 2)]
+
+    def test_bounds_must_strictly_increase(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(bounds=(1.0, 1.0, 2.0))
+
+
+class TestQuantiles:
+    def test_empty_histogram_has_no_quantiles(self):
+        assert LatencyHistogram().quantile(0.5) is None
+        assert quantile_gauges({"stage": LatencyHistogram()}) == {}
+
+    def test_quantile_interpolates_inside_the_bucket(self):
+        h = LatencyHistogram(bounds=(1.0, 2.0))
+        for _ in range(4):
+            h.observe(1.5)  # all in the (1, 2] bucket
+        # rank 2 of 4 → halfway through the bucket
+        assert h.quantile(0.5) == pytest.approx(1.5)
+
+    def test_overflow_reports_largest_finite_bound(self):
+        h = LatencyHistogram(bounds=(1.0, 2.0))
+        h.observe(100.0)
+        assert h.quantile(0.99) == pytest.approx(2.0)
+
+    def test_gauges_name_stage_and_percentile(self):
+        h = LatencyHistogram()
+        h.observe(0.02)
+        gauges = quantile_gauges({"job_run": h})
+        assert set(gauges) == {"job_run_p50", "job_run_p99"}
+        assert 0.0 < gauges["job_run_p50"] <= 0.025
+
+
+class TestMerge:
+    def test_merge_adds_bucket_by_bucket(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        a.observe(0.01)
+        b.observe(3.0)
+        a.merge(b)
+        assert a.total == 2
+        assert a.sum == pytest.approx(3.01)
+
+    def test_merge_refuses_different_bounds(self):
+        a = LatencyHistogram()
+        b = LatencyHistogram(bounds=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestJson:
+    def test_round_trip(self):
+        h = LatencyHistogram()
+        h.observe(0.3)
+        h.observe(7.0)
+        again = LatencyHistogram.from_json(h.to_json())
+        assert again.bounds == DEFAULT_BOUNDS
+        assert again.counts == h.counts
+        assert again.total == 2
+        assert again.quantile(0.5) == h.quantile(0.5)

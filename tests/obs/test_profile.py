@@ -1,0 +1,117 @@
+"""Kernel-profiler behaviour: accumulation, integer counters, the
+enable switch, provider registration, and the determinism exemption.
+
+The load-bearing property is the last one: ``profile.*`` counters are
+wall clock, so :func:`repro.obs.comparable` must strip them exactly
+like ``t0``/``dt`` — otherwise every seeded-identity and differential
+test in the suite would flake on timing noise.
+"""
+
+import pytest
+
+from repro.obs import Tracer, comparable, profile
+from repro.obs.tracer import WALLCLOCK_COUNTER_PREFIXES
+
+from tests.guard.conftest import build_design
+
+
+@pytest.fixture(autouse=True)
+def clean_profiler():
+    """Each test sees an empty, enabled accumulator."""
+    profile.reset()
+    profile.enable(True)
+    yield
+    profile.reset()
+    profile.enable(True)
+
+
+class TestAccumulator:
+    def test_begin_end_accumulates_calls_and_time(self):
+        for _ in range(3):
+            t0 = profile.begin()
+            profile.end("k.test", t0)
+        flat = profile.counters()
+        assert flat["k.test.calls"] == 3
+        assert isinstance(flat["k.test.us"], int)
+        assert flat["k.test.us"] >= 0
+
+    def test_counters_are_all_ints(self):
+        profile.end("a", profile.begin())
+        profile.end("b", profile.begin())
+        assert all(isinstance(v, int) for v in profile.counters().values())
+
+    def test_seconds_by_kernel_tracks_keys(self):
+        profile.end("x", profile.begin())
+        seconds = profile.seconds_by_kernel()
+        assert set(seconds) == {"x"}
+        assert seconds["x"] >= 0.0
+
+    def test_reset_clears(self):
+        profile.end("x", profile.begin())
+        profile.reset()
+        assert profile.counters() == {}
+
+    def test_disable_makes_hooks_noops(self):
+        profile.enable(False)
+        assert not profile.enabled()
+        profile.end("x", profile.begin())
+        assert profile.counters() == {}
+        profile.enable(True)
+        assert profile.enabled()
+
+    def test_leaf_and_facade_share_state(self):
+        from repro import _profile as leaf
+        leaf.end("shared", leaf.begin())
+        assert profile.counters()["shared.calls"] == 1
+
+
+class TestDeterminismExemption:
+    def test_comparable_strips_profile_counters(self):
+        record = {"seq": 0, "name": "x", "t0": 1.0, "dt": 0.5,
+                  "counters": {"timing.flushes": 2,
+                               "profile.sta.sweep.calls": 2,
+                               "profile.sta.sweep.us": 1234}}
+        stripped = comparable(record)
+        assert stripped["counters"] == {"timing.flushes": 2}
+        # and the original record is untouched
+        assert "profile.sta.sweep.us" in record["counters"]
+
+    def test_profile_prefix_is_registered_wallclock(self):
+        assert profile.PROFILE_PREFIX in WALLCLOCK_COUNTER_PREFIXES
+
+    def test_comparable_leaves_counterless_records_alone(self):
+        record = {"seq": 0, "name": "x", "t0": 1.0, "dt": 0.5}
+        assert comparable(record) == {"seq": 0, "name": "x"}
+
+
+class TestTracerIntegration:
+    def test_spans_carry_kernel_deltas(self, library):
+        design = build_design(library, gates=40, regs=4)
+        tracer = Tracer(design)
+        cell = next(iter(design.netlist.movable_cells()))
+        from repro.geometry import Point
+        with tracer.span("nudge") as _span:
+            design.netlist.move_cell(cell, Point(design.die.xlo + 10.0,
+                                                 design.die.ylo + 10.0))
+        record = tracer.records()[0]
+        # the end-of-span metric query flushed timing: one sweep, and
+        # the wirelength query built Steiner trees
+        assert record["counters"].get("profile.sta.sweep.calls", 0) >= 1
+        assert record["counters"].get("profile.steiner.build.calls", 0) >= 1
+        assert record["counters"].get("profile.sta.sweep.us", 0) >= 0
+        # the stripped view hides every profile key
+        assert not any(k.startswith("profile.")
+                       for k in comparable(record)["counters"])
+
+    def test_hot_kernels_profiled_in_both_cores(self, library):
+        from repro.workloads.presets import build_des_design
+        for core in ("object", "array"):
+            profile.reset()
+            design = build_des_design("Des1", library, scale=0.05,
+                                      core=core)
+            design.timing.worst_slack()
+            design.total_wirelength()
+            flat = profile.counters()
+            assert flat.get("bins.rebuild.calls", 0) >= 1, core
+            assert flat.get("sta.sweep.calls", 0) >= 1, core
+            assert flat.get("steiner.build.calls", 0) >= 1, core

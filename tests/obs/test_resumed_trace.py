@@ -1,0 +1,92 @@
+"""Chrome export and cut timeline on a resumed (merged) trace.
+
+A run killed at a milestone and resumed writes a *merged*
+``trace.jsonl`` (ISSUE 4's contract, tested in ``test_flow_trace``).
+These tests pin what the two consumers do with such a stream: the
+Chrome exporter must keep event ordering sane across the kill point
+(a viewer renders events in timestamp order, so a resumed segment
+must not interleave backwards into the dead process's), and the cut
+timeline must fold the merged stream into exactly the same per-status
+rows as an uninterrupted run.
+"""
+
+import pytest
+
+from repro.obs import CutTimeline, chrome_events, read_trace
+from repro.persist import DIE_EXIT_CODE
+
+from tests.persist.test_resume import fresh_run, resume_run, small_design
+
+
+@pytest.fixture(scope="module")
+def merged_and_reference(library, tmp_path_factory):
+    """(merged records, reference records) for one killed+resumed run."""
+    ref_dir = tmp_path_factory.mktemp("trace-ref")
+    run_dir = tmp_path_factory.mktemp("trace-killed")
+    _, ref_scenario = fresh_run(ref_dir / "run", library,
+                                design=small_design(library))
+    ref_scenario.run()
+    ref_records = read_trace(ref_scenario.tracer.writer.path)
+
+    _, scenario = fresh_run(run_dir / "run", library, die_at=3,
+                            design=small_design(library))
+    with pytest.raises(SystemExit) as death:
+        scenario.run()
+    assert death.value.code == DIE_EXIT_CODE
+    resume_run(run_dir / "run", library)
+    records = read_trace(scenario.persist.rundir.trace_path)
+    return records, ref_records
+
+
+class TestChromeOnMergedTrace:
+    def test_resumed_segment_does_not_rewind_the_clock(
+            self, merged_and_reference):
+        # records are appended at span *end*, so file order is
+        # end-time order; the resume writer offsets new timestamps
+        # past the last recorded end (t_base), which must keep end
+        # times monotone across the kill point — without it the
+        # resumed spans would render *before* the dead process's
+        records, _ = merged_and_reference
+        events = chrome_events(records)
+        spans = [e for e in events if e["ph"] == "X"]
+        assert len(spans) == len(records)
+        ends = [e["ts"] + e["dur"] for e in spans]
+        assert all(b >= a - 1.0 for a, b in zip(ends, ends[1:])), \
+            "resumed segment rewound behind the dead segment"
+
+    def test_every_span_event_is_complete(self, merged_and_reference):
+        records, _ = merged_and_reference
+        for event in chrome_events(records):
+            if event["ph"] != "X":
+                continue
+            assert event["dur"] >= 0.0
+            assert set(event["args"]) == {"status", "ok", "before",
+                                          "after", "counters"}
+
+    def test_counter_tracks_cover_both_segments(self,
+                                                merged_and_reference):
+        records, ref_records = merged_and_reference
+        counters = [e for e in chrome_events(records)
+                    if e["ph"] == "C"]
+        ref_counters = [e for e in chrome_events(ref_records)
+                        if e["ph"] == "C"]
+        # same spans → same counter-track samples, kill or no kill
+        assert len(counters) == len(ref_counters)
+
+
+class TestTimelineOnMergedTrace:
+    def test_row_count_matches_uninterrupted_run(self,
+                                                 merged_and_reference):
+        records, ref_records = merged_and_reference
+        timeline = CutTimeline.from_records(records)
+        reference = CutTimeline.from_records(ref_records)
+        assert len(timeline.rows) == len(reference.rows)
+        assert [r.status for r in timeline.rows] \
+            == [r.status for r in reference.rows]
+
+    def test_final_metrics_match_uninterrupted_run(self,
+                                                   merged_and_reference):
+        records, ref_records = merged_and_reference
+        timeline = CutTimeline.from_records(records)
+        reference = CutTimeline.from_records(ref_records)
+        assert timeline.final == reference.final

@@ -1,0 +1,127 @@
+"""The trace-report / trace-diff / fleet-report CLI surface.
+
+Fast cases run on synthetic traces; the acceptance scenario — a
+perturbed transform budget flagged *by name* between two otherwise
+identical seeded runs, with no false positives at identical seeds —
+runs real Des2 flows and is marked slow (CI's trace-analyze-smoke job
+covers the same property on Des1 every push).
+"""
+
+import json
+
+from repro.__main__ import main
+
+from tests.obs.test_analyze import span, write_trace
+
+import pytest
+
+
+def _trace_dir(tmp_path, name, records):
+    d = tmp_path / name
+    d.mkdir()
+    write_trace(str(d / "trace.jsonl"), records)
+    return str(d)
+
+
+class TestTraceReportCli:
+    def test_report_prints_table_and_writes_json(self, tmp_path,
+                                                 capsys):
+        run = _trace_dir(tmp_path, "run", [
+            span(name="reflow", dt=0.5,
+                 before={"wns": -5.0}, after={"wns": -4.0})])
+        out = tmp_path / "report.json"
+        assert main(["trace-report", run, "-o", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "transform" in text and "reflow" in text
+        doc = json.loads(out.read_text())
+        assert doc["rows"][0]["wns_gain"] == pytest.approx(1.0)
+
+    def test_untraced_dir_exits_2(self, tmp_path, capsys):
+        assert main(["trace-report", str(tmp_path)]) == 2
+        assert "has no trace.jsonl" in capsys.readouterr().err
+
+    def test_empty_trace_exits_1(self, tmp_path, capsys):
+        (tmp_path / "trace.jsonl").write_text("")
+        assert main(["trace-report", str(tmp_path)]) == 1
+
+
+class TestTraceDiffCli:
+    def test_identical_runs_exit_0(self, tmp_path, capsys):
+        records = [span(name="a", dt=0.1)]
+        a = _trace_dir(tmp_path, "a", records)
+        b = _trace_dir(tmp_path, "b", records)
+        assert main(["trace-diff", a, b]) == 0
+        assert "verdict: ok" in capsys.readouterr().out
+
+    def test_regression_exits_1_and_writes_json(self, tmp_path,
+                                                capsys):
+        a = _trace_dir(tmp_path, "a",
+                       [span(seq=i + 1, dt=0.01) for i in range(2)])
+        b = _trace_dir(tmp_path, "b",
+                       [span(seq=i + 1, dt=0.01) for i in range(8)])
+        out = tmp_path / "diff.json"
+        assert main(["trace-diff", a, b, "-o", str(out)]) == 1
+        doc = json.loads(out.read_text())
+        assert doc["verdict"] == "regression"
+        assert doc["flagged"] == ["reflow"]
+        assert "count_drift" in capsys.readouterr().out
+
+    def test_threshold_override_changes_verdict(self, tmp_path):
+        a = _trace_dir(tmp_path, "a",
+                       [span(seq=i + 1, dt=0.01) for i in range(2)])
+        b = _trace_dir(tmp_path, "b",
+                       [span(seq=i + 1, dt=0.01) for i in range(8)])
+        assert main(["trace-diff", a, b, "-t", "count_ratio=10"]) == 0
+
+    def test_unknown_threshold_exits_2(self, tmp_path, capsys):
+        a = _trace_dir(tmp_path, "a", [span()])
+        assert main(["trace-diff", a, a, "-t", "bogus=1"]) == 2
+        assert "unknown threshold" in capsys.readouterr().err
+
+    def test_missing_trace_exits_2(self, tmp_path):
+        a = _trace_dir(tmp_path, "a", [span()])
+        assert main(["trace-diff", a, str(tmp_path / "nope")]) == 2
+
+
+class TestFleetReportCli:
+    def test_missing_state_dir_exits_2(self, tmp_path, capsys):
+        assert main(["fleet-report", str(tmp_path / "nope")]) == 2
+        assert "no state dir" in capsys.readouterr().err
+
+    def test_empty_state_dir_reports_zero_jobs(self, tmp_path, capsys):
+        out = tmp_path / "fleet.json"
+        assert main(["fleet-report", str(tmp_path),
+                     "-o", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["jobs"]["total"] == 0
+        assert set(doc["latency"]) == {"job_run", "submit_to_lease"}
+        assert "jobs: 0" in capsys.readouterr().out
+
+
+@pytest.mark.slow
+class TestBudgetPerturbationAcceptance:
+    """The ISSUE's acceptance scenario on real Des2 runs."""
+
+    def _run(self, tmp_path, name, budget):
+        run_dir = tmp_path / name
+        code = main(["tps", "Des2", "--scale", "0.05", "--trace",
+                     "--run-dir", str(run_dir),
+                     "--pin-swap-budget", str(budget)])
+        assert code == 0
+        return str(run_dir)
+
+    def test_perturbed_budget_flags_exactly_pin_swapping(self,
+                                                         tmp_path):
+        base = self._run(tmp_path, "base", 200)
+        same = self._run(tmp_path, "same", 200)
+        pert = self._run(tmp_path, "pert", 2)
+        # identical seeds: no false positives
+        assert main(["trace-diff", base, same]) == 0
+        # perturbed budget as baseline: the extra work the default
+        # budget does shows up as counter/wall-clock regressions on
+        # pin_swapping and nothing else
+        out = tmp_path / "diff.json"
+        assert main(["trace-diff", pert, base,
+                     "-o", str(out)]) == 1
+        doc = json.loads(out.read_text())
+        assert doc["flagged"] == ["pin_swapping"]

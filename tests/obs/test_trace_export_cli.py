@@ -1,8 +1,16 @@
 """trace-export must fail cleanly — a message and exit 2, never a
-traceback — on directories that are not (traced) run dirs."""
+traceback — on paths that are not (traced) run dirs or trace files.
+
+The loading goes through :func:`repro.obs.analyze.resolve_trace`,
+shared with ``trace-report`` and ``trace-diff``, so a direct
+``trace.jsonl`` path works exactly like a run directory.
+"""
+
+import json
 
 from repro.__main__ import main
 from repro.persist import RunDir
+from repro.persist.journal import encode_line
 
 
 class TestTraceExportErrors:
@@ -11,17 +19,31 @@ class TestTraceExportErrors:
         code = main(["trace-export", str(tmp_path / "run"),
                      "-o", str(tmp_path / "out.json")])
         assert code == 2
-        assert "no trace at" in capsys.readouterr().err
+        assert "has no trace.jsonl" in capsys.readouterr().err
 
     def test_not_a_run_dir_exits_2(self, tmp_path, capsys):
         (tmp_path / "junk").mkdir()
         code = main(["trace-export", str(tmp_path / "junk"),
                      "-o", str(tmp_path / "out.json")])
         assert code == 2
-        assert "not a run directory" in capsys.readouterr().err
+        assert "has no trace.jsonl" in capsys.readouterr().err
 
     def test_missing_file_exits_2(self, tmp_path, capsys):
         code = main(["trace-export", str(tmp_path / "nope.jsonl"),
                      "-o", str(tmp_path / "out.json")])
         assert code == 2
         assert "no trace at" in capsys.readouterr().err
+
+
+class TestTraceExportDirectPath:
+    def test_direct_trace_file_path(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        record = {"seq": 1, "name": "reflow", "kind": "transform",
+                  "status": 0, "t0": 0.0, "dt": 0.5, "ok": True,
+                  "before": {}, "after": {}, "counters": {}}
+        trace.write_text(encode_line(record) + "\n")
+        out = tmp_path / "out.json"
+        code = main(["trace-export", str(trace), "-o", str(out)])
+        assert code == 0
+        events = json.loads(out.read_text())["traceEvents"]
+        assert any(e.get("name") == "reflow" for e in events)

@@ -1,0 +1,73 @@
+"""fleet-report aggregation: jobs + latency + merged payoff tables."""
+
+import os
+
+from repro.serve.fleet import fleet_lines, fleet_report, merge_reports
+from repro.serve.jobs import JobStore
+from repro.obs.analyze import analyze_trace
+
+from tests.obs.test_analyze import span, write_trace
+
+
+def spec():
+    return {"flow": "TPS", "design": {"name": "Des1", "scale": 0.05}}
+
+
+def _settled_job(store, records=None):
+    """Submit → lease → finish one job; optionally drop a trace in
+    its run dir."""
+    job = store.submit(spec())
+    leased = store.claim_next(worker="w1")
+    store.finish(leased, "done", token=leased.token, exit_code=0,
+                 worker="w1")
+    if records is not None:
+        run_path = store.run_path(job.job_id)
+        os.makedirs(run_path, exist_ok=True)
+        write_trace(os.path.join(run_path, "trace.jsonl"), records)
+    return job
+
+
+class TestMergeReports:
+    def test_rows_sum_across_jobs(self):
+        a = analyze_trace([span(name="reflow", dt=1.0,
+                                counters={"x": 5})])
+        b = analyze_trace([span(name="reflow", dt=2.0,
+                                counters={"x": 7}),
+                           span(name="sizing", seq=2)])
+        rows = {r.name: r for r in merge_reports([a, b])}
+        assert rows["reflow"].invocations == 2
+        assert rows["reflow"].seconds == 3.0
+        assert rows["reflow"].counters["x"] == 12
+        assert rows["sizing"].invocations == 1
+
+
+class TestFleetReport:
+    def test_aggregates_jobs_latency_and_transforms(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        _settled_job(store, [span(name="reflow", dt=0.5)])
+        _settled_job(store, [span(name="reflow", dt=0.5),
+                             span(name="sizing", seq=2)])
+        _settled_job(store)  # untraced
+        store.close()
+
+        report = fleet_report(str(tmp_path))
+        assert report["jobs"]["total"] == 3
+        assert report["jobs"]["by_state"] == {"done": 3}
+        assert report["latency"]["submit_to_lease"]["count"] == 3
+        assert report["latency"]["job_run"]["count"] == 3
+        assert report["traced_jobs"] == 2
+        assert report["spans"] == 3
+        rows = {r["name"]: r for r in report["transforms"]}
+        assert rows["reflow"]["invocations"] == 2
+        assert rows["sizing"]["invocations"] == 1
+        assert len(report["per_job"]) == 3
+        traced = [e for e in report["per_job"] if "spans" in e]
+        assert len(traced) == 2
+
+    def test_lines_are_renderable(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        _settled_job(store, [span(name="reflow", dt=0.5)])
+        store.close()
+        lines = fleet_lines(fleet_report(str(tmp_path)))
+        assert any("jobs: 1" in line for line in lines)
+        assert any("reflow" in line for line in lines)

@@ -65,3 +65,38 @@ class TestRendering:
     def test_none_documents_are_skipped(self):
         text = prometheus_metrics({"server.jobs_done": 0}, [None, {}])
         assert "repro_server_jobs_done 0" in text
+
+
+class TestHistogramRendering:
+    def _hist(self, *values):
+        from repro.obs.hist import LatencyHistogram
+        hist = LatencyHistogram(bounds=(0.1, 1.0, 10.0))
+        for value in values:
+            hist.observe(value)
+        return hist
+
+    def test_histogram_family_is_prometheus_shaped(self):
+        text = prometheus_metrics({}, [], {"job_run":
+                                           self._hist(0.05, 5.0)})
+        assert "# TYPE repro_latency_job_run_seconds histogram" in text
+        assert 'repro_latency_job_run_seconds_bucket{le="0.1"} 1' \
+            in text
+        assert 'repro_latency_job_run_seconds_bucket{le="10.0"} 2' \
+            in text
+        assert 'repro_latency_job_run_seconds_bucket{le="+Inf"} 2' \
+            in text
+        assert "repro_latency_job_run_seconds_count 2" in text
+
+    def test_buckets_are_cumulative(self):
+        text = prometheus_metrics({}, [], {"s": self._hist(0.05, 0.5,
+                                                           100.0)})
+        assert 'repro_latency_s_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_latency_s_seconds_bucket{le="1.0"} 2' in text
+        assert 'repro_latency_s_seconds_bucket{le="10.0"} 2' in text
+        assert 'repro_latency_s_seconds_bucket{le="+Inf"} 3' in text
+
+    def test_empty_histograms_still_render(self):
+        # dashboards rely on the series existing from scrape one
+        text = prometheus_metrics({}, [], {"submit_to_lease":
+                                           self._hist()})
+        assert "repro_latency_submit_to_lease_seconds_count 0" in text
